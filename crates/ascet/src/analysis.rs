@@ -1,0 +1,256 @@
+//! White-box analysis: finding the implicit modes of an ASCET model.
+//!
+//! The case study observed that "implicit modes of ASCET processes can be
+//! made explicit to the developer by using MTDs, rather than control flow
+//! operators such as If-Then-Else" (paper, Sec. 5, Fig. 8). This module
+//! implements the detection half of that reengineering step: it scans
+//! process bodies for top-level If-Then-Else statements whose condition
+//! tests Boolean *flag* messages and whose branches define alternate
+//! behaviours for the same outputs — precisely the `ThrottleRateOfChange`
+//! pattern. The extraction half (building the MTD) lives in
+//! `automode-transform`.
+
+use automode_lang::Expr;
+
+use crate::model::{AscetModel, AscetType, Stmt};
+
+/// An implicit mode found in an ASCET process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeCandidate {
+    /// The module containing the process.
+    pub module: String,
+    /// The process.
+    pub process: String,
+    /// The discriminating condition of the If-Then-Else.
+    pub condition: Expr,
+    /// The Boolean flag messages the condition tests.
+    pub flags: Vec<String>,
+    /// Statements of the THEN branch (one mode's behaviour).
+    pub then_branch: Vec<Stmt>,
+    /// Statements of the ELSE branch (the other mode's behaviour).
+    pub else_branch: Vec<Stmt>,
+    /// The outputs both branches define.
+    pub shared_writes: Vec<String>,
+}
+
+impl ModeCandidate {
+    /// A quality score: candidates whose branches fully agree on their
+    /// write sets are the safest to extract.
+    pub fn is_exhaustive(&self) -> bool {
+        let mut then_w = Vec::new();
+        let mut else_w = Vec::new();
+        for s in &self.then_branch {
+            s.writes(&mut then_w);
+        }
+        for s in &self.else_branch {
+            s.writes(&mut else_w);
+        }
+        then_w.sort();
+        else_w.sort();
+        then_w == else_w && !then_w.is_empty()
+    }
+}
+
+/// Scans the model for implicit-mode candidates: top-level `If` statements
+/// whose condition reads at least one `log` message and whose branches both
+/// write at least one common message.
+pub fn mode_candidates(model: &AscetModel) -> Vec<ModeCandidate> {
+    let mut out = Vec::new();
+    for module in &model.modules {
+        for process in &module.processes {
+            for stmt in &process.body {
+                let Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } = stmt
+                else {
+                    continue;
+                };
+                let flags: Vec<String> = cond
+                    .free_idents()
+                    .into_iter()
+                    .filter(|id| {
+                        model
+                            .find_message(id)
+                            .map(|d| d.ty == AscetType::Log)
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if flags.is_empty() {
+                    continue;
+                }
+                let mut then_w = Vec::new();
+                let mut else_w = Vec::new();
+                for s in then_branch {
+                    s.writes(&mut then_w);
+                }
+                for s in else_branch {
+                    s.writes(&mut else_w);
+                }
+                let shared: Vec<String> = then_w
+                    .iter()
+                    .filter(|w| else_w.contains(w))
+                    .cloned()
+                    .collect();
+                if shared.is_empty() {
+                    continue;
+                }
+                out.push(ModeCandidate {
+                    module: module.name.clone(),
+                    process: process.name.clone(),
+                    condition: cond.clone(),
+                    flags,
+                    then_branch: then_branch.clone(),
+                    else_branch: else_branch.clone(),
+                    shared_writes: shared,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Finds the module emitting the most Boolean flags — the case study's
+/// "centralized software component \[that\] emits a large number of flags
+/// which altogether represent the global state of the engine". Returns the
+/// module name and its flag count, if any module emits flags at all.
+pub fn central_flag_module(model: &AscetModel) -> Option<(String, usize)> {
+    model
+        .modules
+        .iter()
+        .map(|m| {
+            let count = m
+                .messages
+                .iter()
+                .filter(|d| d.ty == AscetType::Log && d.kind == crate::model::MessageKind::Send)
+                .count();
+            (m.name.clone(), count)
+        })
+        .filter(|(_, c)| *c > 0)
+        .max_by_key(|(_, c)| *c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{MessageDecl, MessageKind, Module, Process};
+    use automode_lang::parse;
+
+    fn throttle_like() -> AscetModel {
+        AscetModel::new("engine").module(
+            Module::new("throttle")
+                .message(MessageDecl::new("rpm", AscetType::Cont, MessageKind::Receive))
+                .message(MessageDecl::new("rate", AscetType::Cont, MessageKind::Send))
+                .message(MessageDecl::new(
+                    "b_cranking",
+                    AscetType::Log,
+                    MessageKind::Send,
+                ))
+                .process(Process::new(
+                    "calc",
+                    10,
+                    vec![Stmt::If {
+                        cond: parse("b_cranking").unwrap(),
+                        then_branch: vec![Stmt::assign("rate", parse("0.2").unwrap())],
+                        else_branch: vec![Stmt::assign("rate", parse("rpm * 0.001").unwrap())],
+                    }],
+                )),
+        )
+    }
+
+    #[test]
+    fn finds_flag_guarded_if() {
+        let m = throttle_like();
+        let cands = mode_candidates(&m);
+        assert_eq!(cands.len(), 1);
+        let c = &cands[0];
+        assert_eq!(c.flags, vec!["b_cranking"]);
+        assert_eq!(c.shared_writes, vec!["rate"]);
+        assert!(c.is_exhaustive());
+    }
+
+    #[test]
+    fn ignores_non_flag_conditions() {
+        let m = AscetModel::new("t").module(
+            Module::new("m")
+                .message(MessageDecl::new("x", AscetType::Cont, MessageKind::Receive))
+                .message(MessageDecl::new("y", AscetType::Cont, MessageKind::Send))
+                .process(Process::new(
+                    "p",
+                    10,
+                    vec![Stmt::If {
+                        cond: parse("x > 1.0").unwrap(),
+                        then_branch: vec![Stmt::assign("y", parse("1.0").unwrap())],
+                        else_branch: vec![Stmt::assign("y", parse("2.0").unwrap())],
+                    }],
+                )),
+        );
+        assert!(mode_candidates(&m).is_empty());
+    }
+
+    #[test]
+    fn ignores_branches_without_shared_writes() {
+        let m = AscetModel::new("t").module(
+            Module::new("m")
+                .message(MessageDecl::new("f", AscetType::Log, MessageKind::Receive))
+                .message(MessageDecl::new("a", AscetType::Cont, MessageKind::Send))
+                .message(MessageDecl::new("b", AscetType::Cont, MessageKind::Send))
+                .process(Process::new(
+                    "p",
+                    10,
+                    vec![Stmt::If {
+                        cond: parse("f").unwrap(),
+                        then_branch: vec![Stmt::assign("a", parse("1.0").unwrap())],
+                        else_branch: vec![Stmt::assign("b", parse("2.0").unwrap())],
+                    }],
+                )),
+        );
+        assert!(mode_candidates(&m).is_empty());
+    }
+
+    #[test]
+    fn non_exhaustive_candidate_detected() {
+        let m = AscetModel::new("t").module(
+            Module::new("m")
+                .message(MessageDecl::new("f", AscetType::Log, MessageKind::Receive))
+                .message(MessageDecl::new("a", AscetType::Cont, MessageKind::Send))
+                .message(MessageDecl::new("b", AscetType::Cont, MessageKind::Send))
+                .process(Process::new(
+                    "p",
+                    10,
+                    vec![Stmt::If {
+                        cond: parse("f").unwrap(),
+                        then_branch: vec![
+                            Stmt::assign("a", parse("1.0").unwrap()),
+                            Stmt::assign("b", parse("1.0").unwrap()),
+                        ],
+                        else_branch: vec![Stmt::assign("a", parse("2.0").unwrap())],
+                    }],
+                )),
+        );
+        let cands = mode_candidates(&m);
+        assert_eq!(cands.len(), 1);
+        assert!(!cands[0].is_exhaustive());
+    }
+
+    #[test]
+    fn central_flag_module_found() {
+        let mut model = throttle_like();
+        model = model.module(
+            Module::new("engine_state")
+                .message(MessageDecl::new("b_idle", AscetType::Log, MessageKind::Send))
+                .message(MessageDecl::new("b_overrun", AscetType::Log, MessageKind::Send))
+                .message(MessageDecl::new("b_fullload", AscetType::Log, MessageKind::Send)),
+        );
+        let (name, count) = central_flag_module(&model).unwrap();
+        assert_eq!(name, "engine_state");
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn no_flags_no_central_module() {
+        let m = AscetModel::new("t").module(Module::new("m"));
+        assert!(central_flag_module(&m).is_none());
+    }
+}

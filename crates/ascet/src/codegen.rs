@@ -1,0 +1,435 @@
+//! OA project generation: ASCET-SD-style projects per ECU.
+//!
+//! "Based on the deployment decisions, the AutoMoDe tool prototype will
+//! generate ASCET-SD projects for each ECU of the target architecture. ...
+//! In all generated ASCET-SD projects, additional communication components
+//! have to be added which can be configured according to the generated or
+//! supplemented communication matrix" (paper, Sec. 3.4).
+//!
+//! A [`Project`] bundles, for one ECU, a project manifest, one C-like
+//! source file per module, and a communication-component stub per bus
+//! signal. Output is deterministic text, so golden tests are possible.
+
+use std::fmt::Write as _;
+
+use automode_kernel::ops::{BinOp, UnOp};
+use automode_kernel::Value;
+use automode_lang::Expr;
+
+use crate::error::AscetError;
+use crate::model::{AscetModel, AscetType, MessageKind, Module, Stmt};
+
+/// A generated file: `(path, contents)`.
+pub type GeneratedFile = (String, String);
+
+/// A generated per-ECU project.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Project {
+    /// The ECU this project targets.
+    pub ecu: String,
+    /// Generated files in deterministic order.
+    pub files: Vec<GeneratedFile>,
+}
+
+impl Project {
+    /// Looks up a generated file by path.
+    pub fn file(&self, path: &str) -> Option<&str> {
+        self.files
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, c)| c.as_str())
+    }
+
+    /// Total generated size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.files.iter().map(|(_, c)| c.len()).sum()
+    }
+}
+
+fn c_type(ty: AscetType) -> &'static str {
+    match ty {
+        AscetType::Cont => "float",
+        AscetType::SDisc => "int32",
+        AscetType::Log => "bool",
+    }
+}
+
+fn c_value(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => if *b { "true" } else { "false" }.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => {
+            if x.fract() == 0.0 {
+                format!("{x:.1}f")
+            } else {
+                format!("{x}f")
+            }
+        }
+        Value::Fixed(q) => format!("{} /* q{} */", q.raw(), q.frac_bits()),
+        Value::Sym(s) => s.to_uppercase(),
+    }
+}
+
+fn c_binop(op: BinOp) -> Result<&'static str, AscetError> {
+    Ok(match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+        BinOp::Min | BinOp::Max => {
+            return Err(AscetError::Config(
+                "min/max are emitted as calls, not operators".to_string(),
+            ))
+        }
+    })
+}
+
+/// Renders a base-language expression as C.
+///
+/// # Errors
+///
+/// Returns [`AscetError::Config`] for constructs with no C equivalent in
+/// the generated runtime (`present`, `?`).
+pub fn expr_to_c(expr: &Expr) -> Result<String, AscetError> {
+    Ok(match expr {
+        Expr::Lit(v) => c_value(v),
+        Expr::Ident(n) => n.clone(),
+        Expr::Unary(UnOp::Neg, e) => format!("(-{})", expr_to_c(e)?),
+        Expr::Unary(UnOp::Not, e) => format!("(!{})", expr_to_c(e)?),
+        Expr::Unary(UnOp::Abs, e) => format!("fabsf({})", expr_to_c(e)?),
+        Expr::Binary(BinOp::Min, a, b) => {
+            format!("fminf({}, {})", expr_to_c(a)?, expr_to_c(b)?)
+        }
+        Expr::Binary(BinOp::Max, a, b) => {
+            format!("fmaxf({}, {})", expr_to_c(a)?, expr_to_c(b)?)
+        }
+        Expr::Binary(op, a, b) => {
+            format!("({} {} {})", expr_to_c(a)?, c_binop(*op)?, expr_to_c(b)?)
+        }
+        Expr::If(c, t, e) => format!(
+            "({} ? {} : {})",
+            expr_to_c(c)?,
+            expr_to_c(t)?,
+            expr_to_c(e)?
+        ),
+        Expr::Call(name, args) => {
+            let mapped = match name.as_str() {
+                "min" => "fminf",
+                "max" => "fmaxf",
+                "abs" => "fabsf",
+                "clamp" => "clampf",
+                other => {
+                    return Err(AscetError::Config(format!(
+                        "no C mapping for function `{other}`"
+                    )))
+                }
+            };
+            let rendered: Result<Vec<String>, AscetError> = args.iter().map(expr_to_c).collect();
+            format!("{mapped}({})", rendered?.join(", "))
+        }
+        Expr::Present(_) | Expr::OrElse(_, _) => {
+            return Err(AscetError::Config(
+                "presence operators have no C equivalent; refine the model first".to_string(),
+            ))
+        }
+    })
+}
+
+fn stmt_to_c(stmt: &Stmt, indent: usize, out: &mut String) -> Result<(), AscetError> {
+    let pad = "    ".repeat(indent);
+    match stmt {
+        Stmt::Assign { target, expr } => {
+            let _ = writeln!(out, "{pad}{target} = {};", expr_to_c(expr)?);
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", expr_to_c(cond)?);
+            for s in then_branch {
+                stmt_to_c(s, indent + 1, out)?;
+            }
+            if else_branch.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in else_branch {
+                    stmt_to_c(s, indent + 1, out)?;
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn module_source(module: &Module) -> Result<String, AscetError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "/* generated by automode-ascet: module {} */", module.name);
+    let _ = writeln!(out, "#include \"automode_rt.h\"");
+    out.push('\n');
+    for m in &module.messages {
+        let qual = match m.kind {
+            MessageKind::Receive => "extern ",
+            MessageKind::Send => "",
+            MessageKind::Local => "static ",
+        };
+        let _ = writeln!(
+            out,
+            "{qual}{} {} /* init: {} */;",
+            c_type(m.ty),
+            m.name,
+            c_value(&m.init)
+        );
+    }
+    out.push('\n');
+    for p in &module.processes {
+        let _ = writeln!(out, "/* period: {} ms */", p.period_ms);
+        let _ = writeln!(out, "void {}_{}(void) {{", module.name, p.name);
+        for s in &p.body {
+            stmt_to_c(s, 1, &mut out)?;
+        }
+        let _ = writeln!(out, "}}");
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Signals routed onto the bus for this ECU, as `(signal, direction)` where
+/// direction is `"tx"` or `"rx"`.
+pub type BusBinding = Vec<(String, &'static str)>;
+
+/// Generates the per-ECU project: manifest, per-module sources, OS task
+/// configuration, and communication components for the bus bindings.
+///
+/// # Errors
+///
+/// Propagates model validation and C-mapping errors.
+pub fn generate_project(
+    ecu: &str,
+    model: &AscetModel,
+    bus_bindings: &BusBinding,
+) -> Result<Project, AscetError> {
+    model.validate()?;
+    let mut files = Vec::new();
+
+    // Manifest.
+    let mut manifest = String::new();
+    let _ = writeln!(manifest, "project {} for ecu {ecu}", model.name);
+    let _ = writeln!(manifest, "modules {}", model.modules.len());
+    for module in &model.modules {
+        let _ = writeln!(manifest, "  module {}", module.name);
+        for p in &module.processes {
+            let _ = writeln!(manifest, "    process {} period {}ms", p.name, p.period_ms);
+        }
+        for msg in &module.messages {
+            let kind = match msg.kind {
+                MessageKind::Receive => "receive",
+                MessageKind::Send => "send",
+                MessageKind::Local => "local",
+            };
+            let _ = writeln!(manifest, "    message {} {} {}", msg.name, msg.ty, kind);
+        }
+    }
+    files.push((format!("{ecu}/project.amdesc"), manifest));
+
+    // OS configuration: one task per distinct period, rate-monotonic
+    // priorities (shorter period = higher priority = lower number).
+    let mut periods: Vec<u32> = model
+        .modules
+        .iter()
+        .flat_map(|m| m.processes.iter().map(|p| p.period_ms))
+        .collect();
+    periods.sort_unstable();
+    periods.dedup();
+    let mut oscfg = String::new();
+    let _ = writeln!(oscfg, "/* OSEK OS configuration for {ecu} */");
+    for (prio, period) in periods.iter().enumerate() {
+        let _ = writeln!(oscfg, "TASK task_{period}ms {{");
+        let _ = writeln!(oscfg, "    PRIORITY = {prio};");
+        let _ = writeln!(oscfg, "    SCHEDULE = FULL;");
+        let _ = writeln!(oscfg, "    /* alarms activate every {period} ms */");
+        for module in &model.modules {
+            for p in module.processes.iter().filter(|p| p.period_ms == *period) {
+                let _ = writeln!(oscfg, "    CALL {}_{};", module.name, p.name);
+            }
+        }
+        let _ = writeln!(oscfg, "}}");
+    }
+    files.push((format!("{ecu}/os.oil"), oscfg));
+
+    // Module sources.
+    for module in &model.modules {
+        files.push((
+            format!("{ecu}/{}.c", module.name),
+            module_source(module)?,
+        ));
+    }
+
+    // Communication components from bus bindings.
+    if !bus_bindings.is_empty() {
+        let mut com = String::new();
+        let _ = writeln!(com, "/* communication components for {ecu} */");
+        for (signal, dir) in bus_bindings {
+            let _ = writeln!(com, "void com_{dir}_{signal}(void) {{");
+            match *dir {
+                "tx" => {
+                    let _ = writeln!(com, "    can_send(SIG_{});", signal.to_uppercase());
+                }
+                _ => {
+                    let _ = writeln!(com, "    can_receive(SIG_{});", signal.to_uppercase());
+                }
+            }
+            let _ = writeln!(com, "}}");
+        }
+        files.push((format!("{ecu}/com.c"), com));
+    }
+
+    Ok(Project {
+        ecu: ecu.to_string(),
+        files,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AscetModel, MessageDecl, Process};
+    use automode_lang::parse;
+
+    fn model() -> AscetModel {
+        AscetModel::new("engine").module(
+            Module::new("throttle")
+                .message(MessageDecl::new("rpm", AscetType::Cont, MessageKind::Receive))
+                .message(MessageDecl::new("rate", AscetType::Cont, MessageKind::Send))
+                .message(
+                    MessageDecl::new("b_crank", AscetType::Log, MessageKind::Local).init(true),
+                )
+                .process(Process::new(
+                    "calc",
+                    10,
+                    vec![Stmt::If {
+                        cond: parse("b_crank").unwrap(),
+                        then_branch: vec![Stmt::assign("rate", parse("0.2").unwrap())],
+                        else_branch: vec![Stmt::assign(
+                            "rate",
+                            parse("clamp(rpm * 0.001, 0.0, 1.0)").unwrap(),
+                        )],
+                    }],
+                ))
+                .process(Process::new(
+                    "slow",
+                    100,
+                    vec![Stmt::assign("rate", parse("min(rate, 0.9)").unwrap())],
+                )),
+        )
+    }
+
+    #[test]
+    fn expr_rendering() {
+        assert_eq!(expr_to_c(&parse("a + b * 2").unwrap()).unwrap(), "(a + (b * 2))");
+        assert_eq!(
+            expr_to_c(&parse("if c then 1 else 2").unwrap()).unwrap(),
+            "(c ? 1 : 2)"
+        );
+        assert_eq!(
+            expr_to_c(&parse("min(a, abs(b))").unwrap()).unwrap(),
+            "fminf(a, fabsf(b))"
+        );
+        assert_eq!(
+            expr_to_c(&parse("not a and b").unwrap()).unwrap(),
+            "((!a) && b)"
+        );
+        assert!(expr_to_c(&parse("present(x)").unwrap()).is_err());
+        assert!(expr_to_c(&parse("x ? 0").unwrap()).is_err());
+    }
+
+    #[test]
+    fn project_layout_is_deterministic() {
+        let m = model();
+        let p1 = generate_project("engine_ecu", &m, &vec![("rate".into(), "tx")]).unwrap();
+        let p2 = generate_project("engine_ecu", &m, &vec![("rate".into(), "tx")]).unwrap();
+        assert_eq!(p1, p2);
+        let paths: Vec<&str> = p1.files.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "engine_ecu/project.amdesc",
+                "engine_ecu/os.oil",
+                "engine_ecu/throttle.c",
+                "engine_ecu/com.c"
+            ]
+        );
+    }
+
+    #[test]
+    fn manifest_lists_structure() {
+        let p = generate_project("e", &model(), &vec![]).unwrap();
+        let manifest = p.file("e/project.amdesc").unwrap();
+        assert!(manifest.contains("module throttle"));
+        assert!(manifest.contains("process calc period 10ms"));
+        assert!(manifest.contains("message rpm cont receive"));
+    }
+
+    #[test]
+    fn os_config_groups_by_period_rate_monotonic() {
+        let p = generate_project("e", &model(), &vec![]).unwrap();
+        let oil = p.file("e/os.oil").unwrap();
+        assert!(oil.contains("TASK task_10ms"));
+        assert!(oil.contains("TASK task_100ms"));
+        // 10ms task has higher priority (lower number).
+        let p10 = oil.find("task_10ms").unwrap();
+        let p100 = oil.find("task_100ms").unwrap();
+        assert!(p10 < p100);
+        assert!(oil.contains("CALL throttle_calc;"));
+    }
+
+    #[test]
+    fn module_source_compiles_control_flow() {
+        let p = generate_project("e", &model(), &vec![]).unwrap();
+        let src = p.file("e/throttle.c").unwrap();
+        assert!(src.contains("void throttle_calc(void)"));
+        assert!(src.contains("if (b_crank) {"));
+        assert!(src.contains("rate = 0.2f;"));
+        assert!(src.contains("} else {"));
+        assert!(src.contains("clampf((rpm * 0.001f), 0.0f, 1.0f)"));
+        assert!(src.contains("extern float rpm"));
+        assert!(src.contains("static bool b_crank"));
+    }
+
+    #[test]
+    fn com_components_generated_per_binding() {
+        let p = generate_project(
+            "e",
+            &model(),
+            &vec![("rate".into(), "tx"), ("rpm".into(), "rx")],
+        )
+        .unwrap();
+        let com = p.file("e/com.c").unwrap();
+        assert!(com.contains("void com_tx_rate(void)"));
+        assert!(com.contains("can_send(SIG_RATE);"));
+        assert!(com.contains("void com_rx_rpm(void)"));
+        assert!(com.contains("can_receive(SIG_RPM);"));
+        assert!(p.size_bytes() > 0);
+    }
+
+    #[test]
+    fn invalid_model_rejected() {
+        let bad = AscetModel::new("bad").module(Module::new("m").process(Process::new(
+            "p",
+            10,
+            vec![Stmt::assign("ghost", parse("1").unwrap())],
+        )));
+        assert!(generate_project("e", &bad, &vec![]).is_err());
+    }
+}

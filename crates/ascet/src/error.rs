@@ -1,0 +1,80 @@
+//! Errors of the ASCET substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use automode_lang::LangError;
+
+/// Errors raised while building, executing, or generating ASCET models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AscetError {
+    /// A duplicate name where names must be unique.
+    DuplicateName(String),
+    /// A reference to an unknown message or module.
+    Unknown {
+        /// Entity kind.
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// A process assigned to a message it did not declare.
+    UndeclaredMessage {
+        /// The process.
+        process: String,
+        /// The message.
+        message: String,
+    },
+    /// An expression failed to evaluate or type check.
+    Lang(LangError),
+    /// An `if` condition did not evaluate to a Boolean.
+    Condition(String),
+    /// Invalid configuration (periods, etc.).
+    Config(String),
+}
+
+impl fmt::Display for AscetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AscetError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            AscetError::Unknown { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            AscetError::UndeclaredMessage { process, message } => {
+                write!(f, "process `{process}` uses undeclared message `{message}`")
+            }
+            AscetError::Lang(e) => write!(f, "{e}"),
+            AscetError::Condition(msg) => write!(f, "condition not boolean: {msg}"),
+            AscetError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for AscetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AscetError::Lang(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LangError> for AscetError {
+    fn from(e: LangError) -> Self {
+        AscetError::Lang(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AscetError::UndeclaredMessage {
+            process: "p".into(),
+            message: "m".into(),
+        };
+        assert!(e.to_string().contains("undeclared"));
+        let e: AscetError = LangError::Unbound("x".into()).into();
+        assert!(Error::source(&e).is_some());
+    }
+}

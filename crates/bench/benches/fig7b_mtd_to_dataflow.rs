@@ -1,0 +1,71 @@
+//! Experiment E10 (Sec. 3.3): the MTD-to-dataflow transformation.
+//!
+//! Shape claims: the transformation produces a *semantically equivalent*
+//! model (verified by trace comparison across mode counts) with bounded,
+//! linear structural overhead (one selector + one instance per mode + one
+//! mux per output), and its runtime scales with the number of modes.
+
+use automode_bench::ring_mtd;
+use automode_kernel::TraceEquivalence;
+use automode_sim::{simulate_component, stimulus};
+use automode_transform::mode_dataflow::{mtd_to_dataflow, partition_count};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn shape_report() {
+    eprintln!("\n[E10 report] MTD -> dataflow equivalence and overhead:");
+    for modes in [2usize, 4, 8, 16, 32] {
+        let (mut model, owner) = ring_mtd(modes, modes as u64);
+        let df = mtd_to_dataflow(&mut model, owner).unwrap();
+        let parts = partition_count(&model, df).unwrap();
+
+        let x = stimulus::seeded_random(-1.0, 2.0, 200, modes as u64);
+        let a = simulate_component(&model, owner, &[("x", x.clone())], 200).unwrap();
+        let b = simulate_component(&model, df, &[("x", x)], 200).unwrap();
+        let rel = TraceEquivalence::exact().on_signals(["y"]);
+        let equivalent = a.trace.equivalent(&b.trace, &rel);
+        eprintln!(
+            "  modes = {modes:>2}: partitions = {parts:>2} (modes + selector), trace-equivalent = {equivalent}"
+        );
+        assert!(equivalent, "{:?}", a.trace.diff(&b.trace, &rel));
+        assert_eq!(parts, modes + 1);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    shape_report();
+    let mut group = c.benchmark_group("fig7b_mtd_to_dataflow");
+    for &modes in &[2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("transform", modes), &modes, |b, &modes| {
+            b.iter(|| {
+                let (mut model, owner) = ring_mtd(modes, 1);
+                mtd_to_dataflow(&mut model, owner).unwrap()
+            })
+        });
+
+        // Execution overhead: MTD interpreter vs. generated dataflow.
+        let (mut model, owner) = ring_mtd(modes, 1);
+        let df = mtd_to_dataflow(&mut model, owner).unwrap();
+        let x = stimulus::seeded_random(-1.0, 2.0, 500, 5);
+        group.bench_with_input(BenchmarkId::new("run_mtd", modes), &modes, |b, _| {
+            b.iter(|| simulate_component(&model, owner, &[("x", x.clone())], 500).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("run_dataflow", modes), &modes, |b, _| {
+            b.iter(|| simulate_component(&model, df, &[("x", x.clone())], 500).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench
+}
+criterion_main!(benches);

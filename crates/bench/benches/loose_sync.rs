@@ -1,0 +1,58 @@
+//! Extension experiment (paper Sec. 2 outlook, ref. [8]): loose
+//! synchronization of event-triggered networks.
+//!
+//! Shape claims (EMSOFT'04): a globally clocked model deploys onto a
+//! drifting, event-triggered network with a *small* logical-delay overhead
+//! (1–2 periods for typical CAN parameters), provided the consumer
+//! resynchronizes; the required depth grows with the latency envelope.
+
+use automode_platform::loose_sync::{required_depth, simulate, LooseSyncConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn shape_report() {
+    eprintln!("\n[E13 report] loose synchronization: required delay depth");
+    eprintln!("  (10 ms period, +/-100 ppm drift, resync every 1000 ticks)");
+    for (lo, hi) in [(200u64, 1_000u64), (200, 2_000), (2_000, 8_000), (8_000, 18_000)] {
+        let cfg = LooseSyncConfig {
+            latency_min_us: lo,
+            latency_max_us: hi,
+            ..LooseSyncConfig::typical_can()
+        };
+        let d = required_depth(&cfg, 8, 100_000, 1).unwrap();
+        eprintln!("  latency {lo:>5}..{hi:>5} us -> depth {d:?}");
+    }
+    let no_resync = LooseSyncConfig {
+        resync_interval_ticks: 0,
+        ..LooseSyncConfig::typical_can()
+    };
+    let broken = simulate(&no_resync, 2, 10_000_000, 1).unwrap();
+    eprintln!(
+        "  without resynchronization, depth 2 over 10^7 ticks: {} misses (drift wins)",
+        broken.misses
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    shape_report();
+    let mut group = c.benchmark_group("loose_sync");
+    for &ticks in &[10_000u64, 100_000, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("simulate_ticks", ticks), &ticks, |b, &t| {
+            b.iter(|| simulate(&LooseSyncConfig::typical_can(), 2, t, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,302 @@
+//! # automode-bench
+//!
+//! Shared workload generators for the benchmark harness. Every figure of
+//! the paper has a bench target under `benches/` (see `EXPERIMENTS.md` for
+//! the experiment index); this library provides the parameterized model
+//! generators they sweep over.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use automode_core::model::{
+    Behavior, Component, ComponentId, Composite, CompositeKind, Endpoint, Model, Primitive,
+};
+use automode_core::types::DataType;
+use automode_core::Mtd;
+use automode_kernel::Value;
+use automode_lang::{parse, Expr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random DFD of `n` expression blocks with forward edges only
+/// (guaranteed causal), rooted in a single boundary input/output.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_causal_dfd(n: usize, seed: u64) -> (Model, ComponentId) {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = Model::new("random_dfd");
+    let block = model
+        .add_component(
+            Component::new("B")
+                .input("a", DataType::Float)
+                .input("b", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::expr(
+                    "y",
+                    parse("a * 0.5 + b * 0.5").unwrap(),
+                )),
+        )
+        .unwrap();
+    let mut net = Composite::new(CompositeKind::Dfd);
+    for i in 0..n {
+        net.instantiate(format!("n{i}"), block);
+    }
+    // Forward wiring: inputs come from earlier blocks (or the boundary).
+    for i in 0..n {
+        for port in ["a", "b"] {
+            if i == 0 || rng.gen_bool(0.15) {
+                net.connect(
+                    Endpoint::boundary("in"),
+                    Endpoint::child(format!("n{i}"), port),
+                );
+            } else {
+                let j = rng.gen_range(0..i);
+                net.connect(
+                    Endpoint::child(format!("n{j}"), "y"),
+                    Endpoint::child(format!("n{i}"), port),
+                );
+            }
+        }
+    }
+    net.connect(
+        Endpoint::child(format!("n{}", n - 1), "y"),
+        Endpoint::boundary("out"),
+    );
+    let top = model
+        .add_component(
+            Component::new("Top")
+                .input("in", DataType::Float)
+                .output("out", DataType::Float)
+                .with_behavior(Behavior::Composite(net)),
+        )
+        .unwrap();
+    model.set_root(top);
+    (model, top)
+}
+
+/// Like [`random_causal_dfd`] but closes one instantaneous back edge,
+/// producing a causality violation.
+pub fn random_looped_dfd(n: usize, seed: u64) -> (Model, ComponentId) {
+    let n = n.max(2);
+    let (mut model, top) = random_causal_dfd(n, seed);
+    if let Behavior::Composite(net) = &mut model.component_mut(top).behavior {
+        let last = format!("n{}", n - 1);
+        // Guarantee a forward path n0 -> n_{n-1} ...
+        if let Some(ch) = net
+            .channels
+            .iter_mut()
+            .find(|c| c.to.instance.as_deref() == Some(last.as_str()) && c.to.port == "b")
+        {
+            ch.from = Endpoint::child("n0", "y");
+        }
+        // ... then close the instantaneous back edge n_{n-1} -> n0.
+        if let Some(ch) = net
+            .channels
+            .iter_mut()
+            .find(|c| c.to.instance.as_deref() == Some("n0") && c.to.port == "a")
+        {
+            ch.from = Endpoint::child(last, "y");
+        }
+    }
+    (model, top)
+}
+
+/// Builds an SSD chain of `n` pass-through components (each hop adds one
+/// message delay).
+pub fn ssd_chain(n: usize) -> (Model, ComponentId) {
+    let mut model = Model::new("ssd_chain");
+    let stage = model
+        .add_component(
+            Component::new("Stage")
+                .input("x", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::expr("y", parse("x + 1.0").unwrap())),
+        )
+        .unwrap();
+    let mut net = Composite::new(CompositeKind::Ssd);
+    for i in 0..n {
+        net.instantiate(format!("s{i}"), stage);
+    }
+    net.connect(Endpoint::boundary("in"), Endpoint::child("s0", "x"));
+    for i in 1..n {
+        net.connect(
+            Endpoint::child(format!("s{}", i - 1), "y"),
+            Endpoint::child(format!("s{i}"), "x"),
+        );
+    }
+    net.connect(
+        Endpoint::child(format!("s{}", n - 1), "y"),
+        Endpoint::boundary("out"),
+    );
+    let top = model
+        .add_component(
+            Component::new("Chain")
+                .input("in", DataType::Float)
+                .output("out", DataType::Float)
+                .with_behavior(Behavior::Composite(net)),
+        )
+        .unwrap();
+    model.set_root(top);
+    (model, top)
+}
+
+/// Builds an MTD with `modes` ring-connected modes (mode `i` hands over to
+/// `i+1` when the input crosses a mode-specific threshold). All mode
+/// behaviours are stateless expressions, so the MTD qualifies for the
+/// dataflow transformation.
+pub fn ring_mtd(modes: usize, seed: u64) -> (Model, ComponentId) {
+    assert!(modes >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = Model::new("ring_mtd");
+    let mut mtd = Mtd::new();
+    for i in 0..modes {
+        let gain = rng.gen_range(0.5..2.0);
+        let behavior = model
+            .add_component(
+                Component::new(format!("Mode{i}Behavior"))
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr(
+                        "y",
+                        Expr::bin(
+                            automode_kernel::ops::BinOp::Add,
+                            Expr::bin(
+                                automode_kernel::ops::BinOp::Mul,
+                                Expr::ident("x"),
+                                Expr::lit(Value::Float(gain)),
+                            ),
+                            Expr::lit(Value::Float(i as f64)),
+                        ),
+                    )),
+            )
+            .unwrap();
+        mtd.add_mode(format!("M{i}"), behavior);
+    }
+    for i in 0..modes {
+        let threshold = (i % 10) as f64 / 10.0;
+        mtd.add_transition(
+            i,
+            (i + 1) % modes,
+            Expr::bin(
+                automode_kernel::ops::BinOp::Gt,
+                Expr::ident("x"),
+                Expr::lit(Value::Float(threshold)),
+            ),
+            0,
+        );
+    }
+    let owner = model
+        .add_component(
+            Component::new("Ring")
+                .input("x", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::Mtd(mtd)),
+        )
+        .unwrap();
+    model.set_root(owner);
+    (model, owner)
+}
+
+/// A DFD accumulator used as a stateful reference workload.
+pub fn accumulator() -> (Model, ComponentId) {
+    let mut model = Model::new("acc");
+    let add = model
+        .add_component(
+            Component::new("Add")
+                .input("a", DataType::Float)
+                .input("b", DataType::Float)
+                .output("s", DataType::Float)
+                .with_behavior(Behavior::expr("s", parse("a + b").unwrap())),
+        )
+        .unwrap();
+    let dly = model
+        .add_component(
+            Component::new("Dly")
+                .input("x", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::Primitive(Primitive::Delay {
+                    init: Some(Value::Float(0.0)),
+                })),
+        )
+        .unwrap();
+    let mut net = Composite::new(CompositeKind::Dfd);
+    net.instantiate("add", add);
+    net.instantiate("dly", dly);
+    net.connect(Endpoint::boundary("u"), Endpoint::child("add", "a"));
+    net.connect(Endpoint::child("dly", "y"), Endpoint::child("add", "b"));
+    net.connect(Endpoint::child("add", "s"), Endpoint::child("dly", "x"));
+    net.connect(Endpoint::child("add", "s"), Endpoint::boundary("acc"));
+    let top = model
+        .add_component(
+            Component::new("Accumulator")
+                .input("u", DataType::Float)
+                .output("acc", DataType::Float)
+                .with_behavior(Behavior::Composite(net)),
+        )
+        .unwrap();
+    model.set_root(top);
+    (model, top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::causality_struct::check_component;
+
+    #[test]
+    fn random_causal_dfd_passes_causality() {
+        for n in [1, 5, 50] {
+            let (m, top) = random_causal_dfd(n, 1);
+            m.validate_structure().unwrap();
+            check_component(&m, top).unwrap();
+        }
+    }
+
+    #[test]
+    fn random_looped_dfd_fails_causality() {
+        let (m, top) = random_looped_dfd(10, 2);
+        assert!(check_component(&m, top).is_err());
+    }
+
+    #[test]
+    fn ssd_chain_has_n_delays() {
+        use automode_kernel::Value;
+        let n = 5;
+        let (m, top) = ssd_chain(n);
+        let input = automode_sim::stimulus::constant(Value::Float(0.0), n + 2);
+        let run = automode_sim::simulate_component(&m, top, &[("in", input)], n + 2).unwrap();
+        let out = run.trace.signal("out").unwrap();
+        // n+1 channels (in + n-1 internal + out): first value at tick n+1.
+        for t in 0..=n {
+            assert!(out[t].is_absent(), "tick {t} should still be absent");
+        }
+        assert!(out[n + 1].is_present());
+    }
+
+    #[test]
+    fn ring_mtd_is_transformable() {
+        let (mut m, owner) = ring_mtd(4, 3);
+        automode_core::levels::validate_fda(&m).unwrap();
+        automode_transform::mode_dataflow::mtd_to_dataflow(&mut m, owner).unwrap();
+    }
+
+    #[test]
+    fn accumulator_accumulates() {
+        use automode_kernel::Value;
+        let (m, top) = accumulator();
+        let input = automode_sim::stimulus::constant(Value::Float(2.0), 5);
+        let run = automode_sim::simulate_component(&m, top, &[("u", input)], 5).unwrap();
+        let vals: Vec<f64> = run
+            .trace
+            .signal("acc")
+            .unwrap()
+            .present_values()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .collect();
+        assert_eq!(vals, vec![2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+}

@@ -1,0 +1,527 @@
+//! Cluster Communication Diagrams (CCDs) — the LA-level notation.
+//!
+//! "The LA mainly groups and instantiates FDA-level components to clusters
+//! ... A cluster can be thought of as a 'smallest deployable unit'. ...
+//! Like SSD components, clusters have statically typed interfaces —
+//! moreover, signal frequencies are made explicit on the LA level. In
+//! contrast to SSDs and DFDs, Clusters may not be defined recursively by
+//! other CCDs" (paper, Sec. 3.3).
+//!
+//! Well-definedness conditions are *target-dependent* ([`TargetPolicy`]):
+//! for an OSEK-conformant platform with data-integrity inter-task
+//! communication and fixed-priority preemptive scheduling
+//! ([`FixedPriorityDataIntegrityPolicy`]), communication from a slower-rate
+//! cluster to a faster-rate cluster requires at least one delay operator in
+//! the direction of data flow; fast-to-slow communication does not.
+
+use crate::error::CoreError;
+use crate::model::{Behavior, ComponentId, CompositeKind, Direction, Model};
+
+/// A cluster: an instantiated FDA component plus its execution rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Cluster name, unique in the CCD.
+    pub name: String,
+    /// The FDA-level component implementing the cluster.
+    pub component: ComponentId,
+    /// Execution period in base ticks (the explicit signal frequency).
+    pub period: u32,
+    /// Phase offset in base ticks.
+    pub phase: u32,
+}
+
+impl Cluster {
+    /// Creates a cluster.
+    pub fn new(name: impl Into<String>, component: ComponentId, period: u32) -> Self {
+        Cluster {
+            name: name.into(),
+            component,
+            period,
+            phase: 0,
+        }
+    }
+
+    /// `true` if `self` runs strictly slower than `other`.
+    pub fn is_slower_than(&self, other: &Cluster) -> bool {
+        self.period > other.period
+    }
+
+    /// `true` if the two cluster rates are harmonic (one period divides the
+    /// other) — the precondition for delay-based rate transition.
+    pub fn is_harmonic_with(&self, other: &Cluster) -> bool {
+        let (a, b) = (self.period.max(other.period), self.period.min(other.period));
+        b != 0 && a % b == 0
+    }
+}
+
+/// A channel between cluster ports, possibly through a delay operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcdChannel {
+    /// Source cluster name.
+    pub from_cluster: String,
+    /// Source output port.
+    pub from_port: String,
+    /// Destination cluster name.
+    pub to_cluster: String,
+    /// Destination input port.
+    pub to_port: String,
+    /// Number of delay operators on the channel (0 = direct).
+    pub delays: u32,
+}
+
+impl CcdChannel {
+    /// A direct (undelayed) channel.
+    pub fn direct(
+        from_cluster: impl Into<String>,
+        from_port: impl Into<String>,
+        to_cluster: impl Into<String>,
+        to_port: impl Into<String>,
+    ) -> Self {
+        CcdChannel {
+            from_cluster: from_cluster.into(),
+            from_port: from_port.into(),
+            to_cluster: to_cluster.into(),
+            to_port: to_port.into(),
+            delays: 0,
+        }
+    }
+
+    /// Adds `n` delay operators to the channel (builder style).
+    pub fn with_delays(mut self, n: u32) -> Self {
+        self.delays = n;
+        self
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{}.{} -> {}.{}",
+            self.from_cluster, self.from_port, self.to_cluster, self.to_port
+        )
+    }
+}
+
+/// A Cluster Communication Diagram: a *flat* network of clusters.
+///
+/// ```
+/// use automode_core::ccd::{Ccd, CcdChannel, Cluster, FixedPriorityDataIntegrityPolicy};
+/// use automode_core::model::{Behavior, Component, Model};
+/// use automode_core::types::DataType;
+/// use automode_lang::parse;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut model = Model::new("demo");
+/// let fast = model.add_component(
+///     Component::new("Fuel")
+///         .input("rpm", DataType::Float)
+///         .output("ti", DataType::Float)
+///         .with_behavior(Behavior::expr("ti", parse("rpm * 0.001")?)),
+/// )?;
+/// let slow = model.add_component(
+///     Component::new("Diag")
+///         .input("ti", DataType::Float)
+///         .output("limit", DataType::Float)
+///         .with_behavior(Behavior::expr("limit", parse("min(ti, 6.0)")?)),
+/// )?;
+/// let ccd = Ccd::new()
+///     .cluster(Cluster::new("fuel", fast, 10))
+///     .cluster(Cluster::new("diag", slow, 100))
+///     // fast -> slow needs no delay; slow -> fast would need `.with_delays(1)`.
+///     .channel(CcdChannel::direct("fuel", "ti", "diag", "ti"));
+/// ccd.validate_against(&model, &FixedPriorityDataIntegrityPolicy::new())?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ccd {
+    /// The clusters.
+    pub clusters: Vec<Cluster>,
+    /// The channels.
+    pub channels: Vec<CcdChannel>,
+}
+
+impl Ccd {
+    /// An empty CCD.
+    pub fn new() -> Self {
+        Ccd::default()
+    }
+
+    /// Adds a cluster (builder style).
+    pub fn cluster(mut self, c: Cluster) -> Self {
+        self.clusters.push(c);
+        self
+    }
+
+    /// Adds a channel (builder style).
+    pub fn channel(mut self, ch: CcdChannel) -> Self {
+        self.channels.push(ch);
+        self
+    }
+
+    /// Finds a cluster by name.
+    pub fn find_cluster(&self, name: &str) -> Option<&Cluster> {
+        self.clusters.iter().find(|c| c.name == name)
+    }
+
+    /// Structural validation: unique names, resolvable components and
+    /// ports, correct directions, single writer, no recursive CCD nesting
+    /// (cluster behaviours must be DFD/atomic — top SSD hierarchies are
+    /// dissolved when transitioning to the LA, Sec. 3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ccd`] (or a structural error) on the first
+    /// violation.
+    pub fn validate_structure(&self, model: &Model) -> Result<(), CoreError> {
+        for (i, c) in self.clusters.iter().enumerate() {
+            if self.clusters[..i].iter().any(|d| d.name == c.name) {
+                return Err(CoreError::DuplicateName(c.name.clone()));
+            }
+            if c.period == 0 {
+                return Err(CoreError::Ccd(format!(
+                    "cluster `{}` has period 0",
+                    c.name
+                )));
+            }
+            if c.component.index() >= model.component_count() {
+                return Err(CoreError::UnknownComponent(c.name.clone()));
+            }
+            let comp = model.component(c.component);
+            if let Behavior::Composite(net) = &comp.behavior {
+                if net.kind == CompositeKind::Ssd {
+                    return Err(CoreError::Ccd(format!(
+                        "cluster `{}` wraps SSD `{}`; dissolve SSD hierarchy before forming clusters",
+                        c.name, comp.name
+                    )));
+                }
+            }
+        }
+        let mut written: Vec<(String, String)> = Vec::new();
+        for ch in &self.channels {
+            let from = self
+                .find_cluster(&ch.from_cluster)
+                .ok_or_else(|| CoreError::Ccd(format!("unknown cluster `{}`", ch.from_cluster)))?;
+            let to = self
+                .find_cluster(&ch.to_cluster)
+                .ok_or_else(|| CoreError::Ccd(format!("unknown cluster `{}`", ch.to_cluster)))?;
+            let from_comp = model.component(from.component);
+            let to_comp = model.component(to.component);
+            let fp = from_comp
+                .find_port(&ch.from_port)
+                .ok_or_else(|| CoreError::UnknownPort {
+                    component: from_comp.name.clone(),
+                    port: ch.from_port.clone(),
+                })?;
+            let tp = to_comp
+                .find_port(&ch.to_port)
+                .ok_or_else(|| CoreError::UnknownPort {
+                    component: to_comp.name.clone(),
+                    port: ch.to_port.clone(),
+                })?;
+            if fp.direction != Direction::Out || tp.direction != Direction::In {
+                return Err(CoreError::DirectionMismatch {
+                    channel: ch.describe(),
+                });
+            }
+            if !fp.ty.connectable_to(&tp.ty) {
+                return Err(CoreError::ChannelTypeMismatch {
+                    channel: ch.describe(),
+                    from: fp.ty.to_string(),
+                    to: tp.ty.to_string(),
+                });
+            }
+            let key = (ch.to_cluster.clone(), ch.to_port.clone());
+            if written.contains(&key) {
+                return Err(CoreError::MultipleWriters {
+                    instance: ch.to_cluster.clone(),
+                    port: ch.to_port.clone(),
+                });
+            }
+            written.push(key);
+        }
+        Ok(())
+    }
+
+    /// Checks the target-dependent well-definedness conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first policy violation.
+    pub fn validate_against(&self, model: &Model, policy: &dyn TargetPolicy) -> Result<(), CoreError> {
+        self.validate_structure(model)?;
+        for ch in &self.channels {
+            let from = self.find_cluster(&ch.from_cluster).expect("validated");
+            let to = self.find_cluster(&ch.to_cluster).expect("validated");
+            policy.check_channel(from, to, ch)?;
+        }
+        Ok(())
+    }
+
+    /// All violations (rather than just the first) — used by design-rule
+    /// reporting and the Fig. 7 experiment.
+    pub fn violations(&self, model: &Model, policy: &dyn TargetPolicy) -> Vec<CoreError> {
+        let mut out = Vec::new();
+        if let Err(e) = self.validate_structure(model) {
+            out.push(e);
+            return out;
+        }
+        for ch in &self.channels {
+            let from = self.find_cluster(&ch.from_cluster).expect("validated");
+            let to = self.find_cluster(&ch.to_cluster).expect("validated");
+            if let Err(e) = policy.check_channel(from, to, ch) {
+                out.push(e);
+            }
+        }
+        out
+    }
+}
+
+/// A deployment target's CCD well-definedness conditions.
+///
+/// "CCD well-definedness conditions may be adapted to the specific target
+/// architecture considered for implementation" (paper, Sec. 3.3).
+pub trait TargetPolicy {
+    /// Short policy name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Checks one channel between two clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ccd`] if the channel violates the target's
+    /// conditions.
+    fn check_channel(
+        &self,
+        from: &Cluster,
+        to: &Cluster,
+        channel: &CcdChannel,
+    ) -> Result<(), CoreError>;
+}
+
+/// The paper's example target: an OSEK-conformant operating system with
+/// data-integrity inter-task communication (ERCOS-style, paper ref. 12) and
+/// fixed-priority preemptive scheduling.
+///
+/// Conditions:
+///
+/// * cluster rates on a channel must be harmonic;
+/// * **slow → fast** channels require at least one delay operator;
+/// * fast → slow channels need none.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedPriorityDataIntegrityPolicy;
+
+impl FixedPriorityDataIntegrityPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FixedPriorityDataIntegrityPolicy
+    }
+}
+
+impl TargetPolicy for FixedPriorityDataIntegrityPolicy {
+    fn name(&self) -> &str {
+        "osek-fixed-priority-data-integrity"
+    }
+
+    fn check_channel(
+        &self,
+        from: &Cluster,
+        to: &Cluster,
+        channel: &CcdChannel,
+    ) -> Result<(), CoreError> {
+        if !from.is_harmonic_with(to) {
+            return Err(CoreError::Ccd(format!(
+                "channel {}: rates {} and {} are not harmonic",
+                channel.describe(),
+                from.period,
+                to.period
+            )));
+        }
+        if from.is_slower_than(to) && channel.delays == 0 {
+            return Err(CoreError::Ccd(format!(
+                "channel {}: slow-rate ({}) to fast-rate ({}) communication requires at least one delay operator",
+                channel.describe(),
+                from.period,
+                to.period
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A permissive policy for targets with time-triggered communication where
+/// every channel is implicitly buffered (used as a baseline in tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PermissivePolicy;
+
+impl TargetPolicy for PermissivePolicy {
+    fn name(&self) -> &str {
+        "permissive"
+    }
+
+    fn check_channel(
+        &self,
+        _from: &Cluster,
+        _to: &Cluster,
+        _channel: &CcdChannel,
+    ) -> Result<(), CoreError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Component, Composite, Model};
+    use crate::types::DataType;
+
+    fn fixture() -> (Model, ComponentId, ComponentId) {
+        let mut m = Model::new("t");
+        let fast = m
+            .add_component(
+                Component::new("FuelControl")
+                    .input("rpm", DataType::Float)
+                    .output("inj", DataType::Float),
+            )
+            .unwrap();
+        let slow = m
+            .add_component(
+                Component::new("Diagnosis")
+                    .input("inj", DataType::Float)
+                    .output("rpm_limit", DataType::Float),
+            )
+            .unwrap();
+        (m, fast, slow)
+    }
+
+    #[test]
+    fn fast_to_slow_needs_no_delay() {
+        let (m, fast, slow) = fixture();
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fuel", fast, 10))
+            .cluster(Cluster::new("diag", slow, 100))
+            .channel(CcdChannel::direct("fuel", "inj", "diag", "inj"));
+        ccd.validate_against(&m, &FixedPriorityDataIntegrityPolicy::new())
+            .unwrap();
+    }
+
+    #[test]
+    fn slow_to_fast_requires_delay() {
+        let (m, fast, slow) = fixture();
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fuel", fast, 10))
+            .cluster(Cluster::new("diag", slow, 100))
+            .channel(CcdChannel::direct("diag", "rpm_limit", "fuel", "rpm"));
+        let err = ccd
+            .validate_against(&m, &FixedPriorityDataIntegrityPolicy::new())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Ccd(msg) if msg.contains("delay")));
+
+        // Adding a delay operator fixes it.
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fuel", fast, 10))
+            .cluster(Cluster::new("diag", slow, 100))
+            .channel(CcdChannel::direct("diag", "rpm_limit", "fuel", "rpm").with_delays(1));
+        ccd.validate_against(&m, &FixedPriorityDataIntegrityPolicy::new())
+            .unwrap();
+    }
+
+    #[test]
+    fn non_harmonic_rates_rejected() {
+        let (m, fast, slow) = fixture();
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fuel", fast, 10))
+            .cluster(Cluster::new("diag", slow, 25))
+            .channel(CcdChannel::direct("fuel", "inj", "diag", "inj"));
+        let err = ccd
+            .validate_against(&m, &FixedPriorityDataIntegrityPolicy::new())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Ccd(msg) if msg.contains("harmonic")));
+        // The permissive policy does not care.
+        ccd.validate_against(&m, &PermissivePolicy).unwrap();
+    }
+
+    #[test]
+    fn structural_checks() {
+        let (m, fast, _) = fixture();
+        // Unknown cluster in channel.
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fuel", fast, 10))
+            .channel(CcdChannel::direct("ghost", "x", "fuel", "rpm"));
+        assert!(matches!(
+            ccd.validate_structure(&m),
+            Err(CoreError::Ccd(_))
+        ));
+        // Duplicate cluster names.
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fuel", fast, 10))
+            .cluster(Cluster::new("fuel", fast, 20));
+        assert!(matches!(
+            ccd.validate_structure(&m),
+            Err(CoreError::DuplicateName(_))
+        ));
+        // Zero period.
+        let ccd = Ccd::new().cluster(Cluster::new("fuel", fast, 0));
+        assert!(matches!(ccd.validate_structure(&m), Err(CoreError::Ccd(_))));
+    }
+
+    #[test]
+    fn direction_and_writer_checks() {
+        let (m, fast, slow) = fixture();
+        // Input used as source.
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fuel", fast, 10))
+            .cluster(Cluster::new("diag", slow, 10))
+            .channel(CcdChannel::direct("fuel", "rpm", "diag", "inj"));
+        assert!(matches!(
+            ccd.validate_structure(&m),
+            Err(CoreError::DirectionMismatch { .. })
+        ));
+        // Two writers on one input.
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fuel", fast, 10))
+            .cluster(Cluster::new("fuel2", fast, 10))
+            .cluster(Cluster::new("diag", slow, 10))
+            .channel(CcdChannel::direct("fuel", "inj", "diag", "inj"))
+            .channel(CcdChannel::direct("fuel2", "inj", "diag", "inj"));
+        assert!(matches!(
+            ccd.validate_structure(&m),
+            Err(CoreError::MultipleWriters { .. })
+        ));
+    }
+
+    #[test]
+    fn ssd_cluster_rejected() {
+        let (mut m, fast, _) = fixture();
+        let inner = Composite::new(CompositeKind::Ssd);
+        let ssd_comp = m
+            .add_component(Component::new("SsdTop").with_behavior(Behavior::Composite(inner)))
+            .unwrap();
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("a", ssd_comp, 10))
+            .cluster(Cluster::new("b", fast, 10));
+        assert!(matches!(ccd.validate_structure(&m), Err(CoreError::Ccd(_))));
+    }
+
+    #[test]
+    fn violations_lists_all() {
+        let (m, fast, slow) = fixture();
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fuel", fast, 10))
+            .cluster(Cluster::new("diag", slow, 100))
+            .channel(CcdChannel::direct("diag", "rpm_limit", "fuel", "rpm"))
+            .channel(CcdChannel::direct("fuel", "inj", "diag", "inj"));
+        let v = ccd.violations(&m, &FixedPriorityDataIntegrityPolicy::new());
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn harmonic_relation() {
+        let (_, fast, _) = fixture();
+        let a = Cluster::new("a", fast, 10);
+        let b = Cluster::new("b", fast, 100);
+        let c = Cluster::new("c", fast, 25);
+        assert!(a.is_harmonic_with(&b));
+        assert!(!a.is_harmonic_with(&c));
+        assert!(b.is_slower_than(&a));
+        assert!(!a.is_slower_than(&b));
+    }
+}

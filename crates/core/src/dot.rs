@@ -1,0 +1,373 @@
+//! Graphviz (DOT) export of the graphical notations.
+//!
+//! The AutoMoDe notations are *graphical* — the paper presents every model
+//! as a diagram (Figs. 4–8). This module renders the meta-model back into
+//! that form: SSDs/DFDs as clustered block diagrams, MTDs/STDs as state
+//! graphs, CCDs as rate-annotated cluster networks. Output is plain DOT
+//! text, deterministic, and suitable for `dot -Tsvg`.
+
+use std::fmt::Write as _;
+
+use crate::ccd::Ccd;
+use crate::model::{Behavior, ComponentId, Endpoint, Model};
+
+fn esc(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+/// Renders a composite component (SSD or DFD) as a DOT digraph.
+///
+/// Child instances become boxes (with their component type as a second
+/// label line); boundary ports become plaintext nodes; SSD channels are
+/// drawn with the `z⁻¹` delay marker the semantics implies.
+pub fn composite_to_dot(model: &Model, id: ComponentId) -> String {
+    let comp = model.component(id);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", esc(&comp.name));
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    node [shape=box, fontname=\"Helvetica\"];");
+    match &comp.behavior {
+        Behavior::Composite(net) => {
+            let kind = match net.kind {
+                crate::model::CompositeKind::Ssd => "SSD",
+                crate::model::CompositeKind::Dfd => "DFD",
+            };
+            let _ = writeln!(out, "    label=\"{} ({kind})\";", esc(&comp.name));
+            for p in comp.inputs() {
+                let _ = writeln!(
+                    out,
+                    "    \"in:{0}\" [label=\"{0}\", shape=plaintext];",
+                    esc(&p.name)
+                );
+            }
+            for p in comp.outputs() {
+                let _ = writeln!(
+                    out,
+                    "    \"out:{0}\" [label=\"{0}\", shape=plaintext];",
+                    esc(&p.name)
+                );
+            }
+            for inst in &net.instances {
+                let child = model.component(inst.component);
+                let _ = writeln!(
+                    out,
+                    "    \"{}\" [label=\"{}\\n:{}\"];",
+                    esc(&inst.name),
+                    esc(&inst.name),
+                    esc(&child.name)
+                );
+            }
+            let node = |ep: &Endpoint, dir_in: bool| match &ep.instance {
+                Some(i) => format!("\"{}\"", esc(i)),
+                None => {
+                    if dir_in {
+                        format!("\"in:{}\"", esc(&ep.port))
+                    } else {
+                        format!("\"out:{}\"", esc(&ep.port))
+                    }
+                }
+            };
+            let delayed = net.kind == crate::model::CompositeKind::Ssd;
+            for ch in &net.channels {
+                let style = if delayed {
+                    ", style=dashed, label=\"z⁻¹\""
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "    {} -> {} [taillabel=\"{}\", headlabel=\"{}\", fontsize=9{}];",
+                    node(&ch.from, true),
+                    node(&ch.to, false),
+                    esc(&ch.from.port),
+                    esc(&ch.to.port),
+                    style
+                );
+            }
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "    \"{}\" [label=\"{} (atomic)\"];",
+                esc(&comp.name),
+                esc(&comp.name)
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders an MTD component as a DOT state graph (modes as rounded boxes,
+/// trigger expressions on the transitions, the initial mode marked).
+pub fn mtd_to_dot(model: &Model, id: ComponentId) -> String {
+    let comp = model.component(id);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", esc(&comp.name));
+    let _ = writeln!(out, "    label=\"{} (MTD)\";", esc(&comp.name));
+    let _ = writeln!(
+        out,
+        "    node [shape=box, style=rounded, fontname=\"Helvetica\"];"
+    );
+    if let Behavior::Mtd(mtd) = &comp.behavior {
+        let _ = writeln!(out, "    \"__init\" [shape=point];");
+        for (i, mode) in mtd.modes.iter().enumerate() {
+            let beh = model.component(mode.behavior);
+            let _ = writeln!(
+                out,
+                "    \"{}\" [label=\"{}\\n[{}]\"];",
+                esc(&mode.name),
+                esc(&mode.name),
+                esc(&beh.name)
+            );
+            if i == mtd.initial {
+                let _ = writeln!(out, "    \"__init\" -> \"{}\";", esc(&mode.name));
+            }
+        }
+        for t in &mtd.transitions {
+            let _ = writeln!(
+                out,
+                "    \"{}\" -> \"{}\" [label=\"{}\", fontsize=9];",
+                esc(&mtd.modes[t.from].name),
+                esc(&mtd.modes[t.to].name),
+                esc(&t.trigger.to_string())
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders an STD component as a DOT state graph (guards and actions on
+/// the transitions).
+pub fn std_to_dot(model: &Model, id: ComponentId) -> String {
+    let comp = model.component(id);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", esc(&comp.name));
+    let _ = writeln!(out, "    label=\"{} (STD)\";", esc(&comp.name));
+    let _ = writeln!(out, "    node [shape=ellipse, fontname=\"Helvetica\"];");
+    if let Behavior::Std(fsm) = &comp.behavior {
+        let _ = writeln!(out, "    \"__init\" [shape=point];");
+        for (i, state) in fsm.states.iter().enumerate() {
+            let _ = writeln!(out, "    \"{}\";", esc(state));
+            if i == fsm.initial {
+                let _ = writeln!(out, "    \"__init\" -> \"{}\";", esc(state));
+            }
+        }
+        for t in &fsm.transitions {
+            let actions: Vec<String> = t
+                .actions
+                .iter()
+                .map(|a| format!("{} := {}", a.target, a.expr))
+                .collect();
+            let label = if actions.is_empty() {
+                t.guard.to_string()
+            } else {
+                format!("{} / {}", t.guard, actions.join("; "))
+            };
+            let _ = writeln!(
+                out,
+                "    \"{}\" -> \"{}\" [label=\"{}\", fontsize=9];",
+                esc(&fsm.states[t.from]),
+                esc(&fsm.states[t.to]),
+                esc(&label)
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a CCD as a DOT digraph: clusters as double-walled boxes with
+/// their period annotation, channels with their delay-operator count.
+pub fn ccd_to_dot(model: &Model, ccd: &Ccd, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", esc(title));
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    label=\"{} (CCD)\";", esc(title));
+    let _ = writeln!(
+        out,
+        "    node [shape=box, peripheries=2, fontname=\"Helvetica\"];"
+    );
+    for c in &ccd.clusters {
+        let comp = model.component(c.component);
+        let _ = writeln!(
+            out,
+            "    \"{}\" [label=\"{}\\n:{} @ {} ticks\"];",
+            esc(&c.name),
+            esc(&c.name),
+            esc(&comp.name),
+            c.period
+        );
+    }
+    for ch in &ccd.channels {
+        let label = if ch.delays > 0 {
+            format!("{} → {} ({}× delay)", ch.from_port, ch.to_port, ch.delays)
+        } else {
+            format!("{} → {}", ch.from_port, ch.to_port)
+        };
+        let style = if ch.delays > 0 { ", style=dashed" } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\" -> \"{}\" [label=\"{}\", fontsize=9{}];",
+            esc(&ch.from_cluster),
+            esc(&ch.to_cluster),
+            esc(&label),
+            style
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccd::{CcdChannel, Cluster};
+    use crate::model::{Component, Composite, CompositeKind};
+    use crate::mtd::Mtd;
+    use crate::std_machine::{Assign, StdMachine, StdTransition};
+    use crate::types::DataType;
+    use automode_lang::parse;
+
+    fn model_with_composite(kind: CompositeKind) -> (Model, ComponentId) {
+        let mut m = Model::new("t");
+        let leaf = m
+            .add_component(
+                Component::new("Leaf")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+            )
+            .unwrap();
+        let mut net = Composite::new(kind);
+        net.instantiate("a", leaf);
+        net.connect(Endpoint::boundary("in"), Endpoint::child("a", "x"));
+        net.connect(Endpoint::child("a", "y"), Endpoint::boundary("out"));
+        let top = m
+            .add_component(
+                Component::new("Top")
+                    .input("in", DataType::Float)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Composite(net)),
+            )
+            .unwrap();
+        (m, top)
+    }
+
+    #[test]
+    fn ssd_dot_marks_delays() {
+        let (m, top) = model_with_composite(CompositeKind::Ssd);
+        let dot = composite_to_dot(&m, top);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("(SSD)"));
+        assert!(dot.contains("z⁻¹"));
+        assert!(dot.contains("\"a\" [label=\"a\\n:Leaf\"]"));
+    }
+
+    #[test]
+    fn dfd_dot_has_no_delay_marker() {
+        let (m, top) = model_with_composite(CompositeKind::Dfd);
+        let dot = composite_to_dot(&m, top);
+        assert!(dot.contains("(DFD)"));
+        assert!(!dot.contains("z⁻¹"));
+        assert!(dot.contains("\"in:in\""));
+        assert!(dot.contains("\"out:out\""));
+    }
+
+    #[test]
+    fn mtd_dot_shows_modes_and_triggers() {
+        let mut m = Model::new("t");
+        let a = m
+            .add_component(
+                Component::new("A")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+            )
+            .unwrap();
+        let mut mtd = Mtd::new();
+        let ma = mtd.add_mode("Idle", a);
+        let mb = mtd.add_mode("Load", a);
+        mtd.add_transition(ma, mb, parse("x > 1.0").unwrap(), 0);
+        let owner = m
+            .add_component(
+                Component::new("M")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Mtd(mtd)),
+            )
+            .unwrap();
+        let dot = mtd_to_dot(&m, owner);
+        assert!(dot.contains("\"Idle\""));
+        assert!(dot.contains("\"Idle\" -> \"Load\" [label=\"(x > 1.0)\""));
+        assert!(dot.contains("__init\" -> \"Idle\""));
+    }
+
+    #[test]
+    fn std_dot_shows_guards_and_actions() {
+        let mut m = Model::new("t");
+        let mut fsm = StdMachine::new();
+        let off = fsm.add_state("Off");
+        let on = fsm.add_state("On");
+        fsm.add_transition(StdTransition {
+            from: off,
+            to: on,
+            guard: parse("go").unwrap(),
+            actions: vec![Assign {
+                target: "q".into(),
+                expr: parse("true").unwrap(),
+            }],
+            priority: 0,
+        });
+        let owner = m
+            .add_component(
+                Component::new("S")
+                    .input("go", DataType::Bool)
+                    .output("q", DataType::Bool)
+                    .with_behavior(Behavior::Std(fsm)),
+            )
+            .unwrap();
+        let dot = std_to_dot(&m, owner);
+        assert!(dot.contains("go / q := true"));
+        assert!(dot.contains("__init\" -> \"Off\""));
+    }
+
+    #[test]
+    fn ccd_dot_annotates_rates_and_delays() {
+        let mut m = Model::new("t");
+        let c = m
+            .add_component(
+                Component::new("C")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+            )
+            .unwrap();
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fast", c, 1))
+            .cluster(Cluster::new("slow", c, 10))
+            .channel(CcdChannel::direct("slow", "y", "fast", "x").with_delays(1));
+        let dot = ccd_to_dot(&m, &ccd, "engine");
+        assert!(dot.contains("@ 1 ticks"));
+        assert!(dot.contains("@ 10 ticks"));
+        assert!(dot.contains("1× delay"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let (m, top) = model_with_composite(CompositeKind::Dfd);
+        assert_eq!(composite_to_dot(&m, top), composite_to_dot(&m, top));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut m = Model::new("t");
+        let id = m
+            .add_component(Component::new("Weird\"Name"))
+            .unwrap();
+        let dot = composite_to_dot(&m, id);
+        assert!(dot.contains("Weird\\\"Name"));
+    }
+}

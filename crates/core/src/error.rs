@@ -1,0 +1,118 @@
+//! Errors of the AutoMoDe meta-model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating AutoMoDe models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A referenced component id does not exist in the model.
+    UnknownComponent(String),
+    /// A referenced port name does not exist on a component.
+    UnknownPort {
+        /// The component.
+        component: String,
+        /// The missing port.
+        port: String,
+    },
+    /// A channel connects ports with incompatible directions.
+    DirectionMismatch {
+        /// Human-readable description of the channel.
+        channel: String,
+    },
+    /// A channel connects ports with incompatible data types.
+    ChannelTypeMismatch {
+        /// Human-readable description of the channel.
+        channel: String,
+        /// Source type.
+        from: String,
+        /// Destination type.
+        to: String,
+    },
+    /// An input port has more than one writer.
+    MultipleWriters {
+        /// The component instance.
+        instance: String,
+        /// The port.
+        port: String,
+    },
+    /// A duplicate name where names must be unique.
+    DuplicateName(String),
+    /// The model element violates a notation restriction.
+    Notation(String),
+    /// A level-specific validation failed (FAA/FDA/LA).
+    Level {
+        /// The abstraction level.
+        level: &'static str,
+        /// What went wrong.
+        message: String,
+    },
+    /// An expression failed to type check.
+    ExprType {
+        /// Where the expression lives.
+        context: String,
+        /// The underlying language error.
+        message: String,
+    },
+    /// An MTD is malformed (no modes, bad initial, interface mismatch...).
+    Mtd(String),
+    /// An STD violates its syntactic restrictions.
+    Std(String),
+    /// A CCD well-definedness condition is violated.
+    Ccd(String),
+    /// A value/type refinement is impossible.
+    Refinement(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownComponent(n) => write!(f, "unknown component `{n}`"),
+            CoreError::UnknownPort { component, port } => {
+                write!(f, "component `{component}` has no port `{port}`")
+            }
+            CoreError::DirectionMismatch { channel } => {
+                write!(f, "channel {channel} connects incompatible directions")
+            }
+            CoreError::ChannelTypeMismatch { channel, from, to } => {
+                write!(f, "channel {channel} connects {from} to {to}")
+            }
+            CoreError::MultipleWriters { instance, port } => {
+                write!(f, "input `{instance}.{port}` has more than one writer")
+            }
+            CoreError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            CoreError::Notation(msg) => write!(f, "notation restriction: {msg}"),
+            CoreError::Level { level, message } => write!(f, "{level} validation: {message}"),
+            CoreError::ExprType { context, message } => {
+                write!(f, "expression in {context}: {message}")
+            }
+            CoreError::Mtd(msg) => write!(f, "mtd: {msg}"),
+            CoreError::Std(msg) => write!(f, "std: {msg}"),
+            CoreError::Ccd(msg) => write!(f, "ccd: {msg}"),
+            CoreError::Refinement(msg) => write!(f, "refinement: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CoreError::UnknownPort {
+            component: "DoorLockControl".into(),
+            port: "T9".into(),
+        };
+        assert_eq!(e.to_string(), "component `DoorLockControl` has no port `T9`");
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

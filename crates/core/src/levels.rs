@@ -1,0 +1,347 @@
+//! Abstraction levels and their validation conditions.
+//!
+//! AutoMoDe defines a stack of system abstractions (paper, Fig. 3):
+//!
+//! * **FAA** — Functional Analysis Architecture: vehicle functions and their
+//!   dependencies; behaviours may be left unspecified; types may be
+//!   physical/abstract.
+//! * **FDA** — Functional Design Architecture: "a structurally as well as
+//!   behaviorally complete description of the software part" — every
+//!   reachable component has specified, type-correct, causally sound
+//!   behaviour.
+//! * **LA** — Logical Architecture: FDA components grouped into clusters
+//!   with explicit rates and implementation types; CCD well-definedness
+//!   holds for the chosen target.
+//!
+//! The functions here are the machine-checkable membership tests for each
+//! level; the transformations in `automode-transform` move models between
+//! levels.
+
+use automode_lang::{check as type_check, TypeEnv};
+
+use crate::causality_struct;
+use crate::ccd::{Ccd, TargetPolicy};
+use crate::error::CoreError;
+use crate::model::{Behavior, ComponentId, Model};
+
+/// The abstraction levels of the AutoMoDe process (Fig. 3). The OA is
+/// produced by code generation and lives outside the meta-model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbstractionLevel {
+    /// Functional Analysis Architecture.
+    Faa,
+    /// Functional Design Architecture.
+    Fda,
+    /// Logical Architecture (with its Technical Architecture counterpart).
+    La,
+}
+
+impl std::fmt::Display for AbstractionLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AbstractionLevel::Faa => "FAA",
+            AbstractionLevel::Fda => "FDA",
+            AbstractionLevel::La => "LA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Validates a model as an FAA-level description: structural
+/// well-formedness only; unspecified behaviour is explicitly allowed
+/// ("it may be perfectly adequate to leave the detailed behavior
+/// unspecified", Sec. 3.1).
+///
+/// # Errors
+///
+/// Returns the first structural error.
+pub fn validate_faa(model: &Model) -> Result<(), CoreError> {
+    model.validate_structure()
+}
+
+/// Components reachable from the root (or all components if no root).
+fn scope(model: &Model) -> Vec<ComponentId> {
+    match model.root() {
+        None => model.component_ids().collect(),
+        Some(root) => {
+            let mut seen = vec![false; model.component_count()];
+            let mut stack = vec![root];
+            seen[root.index()] = true;
+            while let Some(id) = stack.pop() {
+                let mut visit = |c: ComponentId| {
+                    if !seen[c.index()] {
+                        seen[c.index()] = true;
+                        stack.push(c);
+                    }
+                };
+                match &model.component(id).behavior {
+                    Behavior::Composite(net) => {
+                        for inst in &net.instances {
+                            visit(inst.component);
+                        }
+                    }
+                    Behavior::Mtd(mtd) => {
+                        for mode in &mtd.modes {
+                            visit(mode.behavior);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            model
+                .component_ids()
+                .filter(|c| seen[c.index()])
+                .collect()
+        }
+    }
+}
+
+/// Validates one component's behaviour completeness and typing.
+fn validate_behavior(model: &Model, id: ComponentId) -> Result<(), CoreError> {
+    let comp = model.component(id);
+    match &comp.behavior {
+        Behavior::Unspecified => Err(CoreError::Level {
+            level: "FDA",
+            message: format!("component `{}` has unspecified behavior", comp.name),
+        }),
+        Behavior::Expr(defs) => {
+            let env: TypeEnv = comp
+                .inputs()
+                .map(|p| (p.name.clone(), p.ty.lang_type()))
+                .collect();
+            for out in comp.outputs() {
+                let expr = defs.get(&out.name).ok_or_else(|| CoreError::Level {
+                    level: "FDA",
+                    message: format!(
+                        "output `{}.{}` has no defining expression",
+                        comp.name, out.name
+                    ),
+                })?;
+                let ty = type_check(expr, &env).map_err(|e| CoreError::ExprType {
+                    context: format!("`{}.{}`", comp.name, out.name),
+                    message: e.to_string(),
+                })?;
+                if !ty.is_assignable_to(out.ty.lang_type()) {
+                    return Err(CoreError::ExprType {
+                        context: format!("`{}.{}`", comp.name, out.name),
+                        message: format!("expression has type {ty}, port has type {}", out.ty),
+                    });
+                }
+            }
+            for name in defs.keys() {
+                if comp.find_port(name).is_none() {
+                    return Err(CoreError::UnknownPort {
+                        component: comp.name.clone(),
+                        port: name.clone(),
+                    });
+                }
+            }
+            Ok(())
+        }
+        Behavior::Mtd(mtd) => mtd.validate(model, id),
+        Behavior::Std(fsm) => fsm.validate(model, id),
+        Behavior::Composite(_) | Behavior::Primitive(_) => Ok(()),
+    }
+}
+
+/// Validates a model as an FDA-level description: structure, behavioural
+/// completeness of every component reachable from the root, expression
+/// typing, MTD/STD restrictions, and freedom from instantaneous loops.
+///
+/// # Errors
+///
+/// Returns the first violation.
+pub fn validate_fda(model: &Model) -> Result<(), CoreError> {
+    model.validate_structure()?;
+    for id in scope(model) {
+        validate_behavior(model, id)?;
+    }
+    causality_struct::check_model(model)?;
+    Ok(())
+}
+
+/// Validates a model plus its CCD as an LA-level description: the FDA
+/// conditions, CCD structure and target well-definedness, and implementation
+/// types chosen for every cluster interface port ("the type system at the LA
+/// level is extended by implementation types", Sec. 3.3).
+///
+/// # Errors
+///
+/// Returns the first violation.
+pub fn validate_la(model: &Model, ccd: &Ccd, policy: &dyn TargetPolicy) -> Result<(), CoreError> {
+    validate_fda(model)?;
+    ccd.validate_against(model, policy)?;
+    for cluster in &ccd.clusters {
+        let comp = model.component(cluster.component);
+        for port in &comp.ports {
+            if port.refinement.is_none() {
+                return Err(CoreError::Level {
+                    level: "LA",
+                    message: format!(
+                        "cluster `{}` port `{}.{}` has no implementation type",
+                        cluster.name, comp.name, port.name
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccd::{CcdChannel, Cluster, FixedPriorityDataIntegrityPolicy};
+    use crate::model::{Component, Composite, CompositeKind, Endpoint};
+    use crate::types::{DataType, Encoding, ImplType, Refinement};
+    use automode_lang::parse;
+
+    fn leaf(m: &mut Model, name: &str) -> ComponentId {
+        m.add_component(
+            Component::new(name)
+                .input("x", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::expr("y", parse("x * 2.0").unwrap())),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn faa_allows_unspecified() {
+        let mut m = Model::new("faa");
+        m.add_component(Component::new("VehicleFn").input("s", DataType::Float))
+            .unwrap();
+        validate_faa(&m).unwrap();
+        assert!(matches!(
+            validate_fda(&m),
+            Err(CoreError::Level { level: "FDA", .. })
+        ));
+    }
+
+    #[test]
+    fn fda_requires_defined_outputs() {
+        let mut m = Model::new("fda");
+        m.add_component(
+            Component::new("C")
+                .input("x", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::Expr(Default::default())),
+        )
+        .unwrap();
+        assert!(matches!(
+            validate_fda(&m),
+            Err(CoreError::Level { level: "FDA", .. })
+        ));
+    }
+
+    #[test]
+    fn fda_type_checks_expressions() {
+        let mut m = Model::new("fda");
+        m.add_component(
+            Component::new("C")
+                .input("x", DataType::Float)
+                .output("y", DataType::Bool)
+                .with_behavior(Behavior::expr("y", parse("x + 1.0").unwrap())),
+        )
+        .unwrap();
+        assert!(matches!(
+            validate_fda(&m),
+            Err(CoreError::ExprType { .. })
+        ));
+    }
+
+    #[test]
+    fn fda_rejects_expr_for_unknown_output() {
+        let mut m = Model::new("fda");
+        let mut defs = std::collections::BTreeMap::new();
+        defs.insert("y".to_string(), parse("x").unwrap());
+        defs.insert("ghost".to_string(), parse("x").unwrap());
+        m.add_component(
+            Component::new("C")
+                .input("x", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::Expr(defs)),
+        )
+        .unwrap();
+        assert!(matches!(
+            validate_fda(&m),
+            Err(CoreError::UnknownPort { .. })
+        ));
+    }
+
+    #[test]
+    fn fda_scope_is_root_reachable() {
+        let mut m = Model::new("fda");
+        let l = leaf(&mut m, "Used");
+        // An unspecified component NOT reachable from the root is ignored.
+        m.add_component(Component::new("Orphan").input("q", DataType::Bool))
+            .unwrap();
+        let mut net = Composite::new(CompositeKind::Dfd);
+        net.instantiate("l", l);
+        net.connect(Endpoint::boundary("in"), Endpoint::child("l", "x"));
+        net.connect(Endpoint::child("l", "y"), Endpoint::boundary("out"));
+        let top = m
+            .add_component(
+                Component::new("Top")
+                    .input("in", DataType::Float)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Composite(net)),
+            )
+            .unwrap();
+        m.set_root(top);
+        validate_fda(&m).unwrap();
+    }
+
+    #[test]
+    fn la_requires_impl_types() {
+        let mut m = Model::new("la");
+        let c = leaf(&mut m, "Fuel");
+        let ccd = Ccd::new().cluster(Cluster::new("fuel", c, 10));
+        let err = validate_la(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new()).unwrap_err();
+        assert!(matches!(err, CoreError::Level { level: "LA", .. }));
+
+        // After refinement, validation passes.
+        let refinement = Refinement {
+            impl_type: ImplType::Fixed {
+                width: 16,
+                frac_bits: 8,
+            },
+            encoding: Encoding::identity(),
+        };
+        for p in &mut m.component_mut(c).ports {
+            p.refinement = Some(refinement.clone());
+        }
+        validate_la(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new()).unwrap();
+    }
+
+    #[test]
+    fn la_checks_ccd_policy() {
+        let mut m = Model::new("la");
+        let fast = leaf(&mut m, "Fast");
+        let slow = leaf(&mut m, "Slow");
+        for id in [fast, slow] {
+            for p in &mut m.component_mut(id).ports {
+                p.refinement = Some(Refinement {
+                    impl_type: ImplType::Float32,
+                    encoding: Encoding::identity(),
+                });
+            }
+        }
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fast", fast, 10))
+            .cluster(Cluster::new("slow", slow, 100))
+            .channel(CcdChannel::direct("slow", "y", "fast", "x"));
+        assert!(matches!(
+            validate_la(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new()),
+            Err(CoreError::Ccd(_))
+        ));
+    }
+
+    #[test]
+    fn display_levels() {
+        assert_eq!(AbstractionLevel::Faa.to_string(), "FAA");
+        assert_eq!(AbstractionLevel::Fda.to_string(), "FDA");
+        assert_eq!(AbstractionLevel::La.to_string(), "LA");
+        assert!(AbstractionLevel::Faa < AbstractionLevel::La);
+    }
+}

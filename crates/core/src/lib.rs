@@ -1,0 +1,82 @@
+//! # automode-core
+//!
+//! The AutoMoDe **meta-model** — the primary contribution of the DATE'05
+//! paper: problem-specific design notations with an explicit formal
+//! foundation, organized into tailored system abstractions.
+//!
+//! * [`model`] — the coherent meta-model all notations are views on:
+//!   components with statically typed message-passing ports, channels,
+//!   hierarchical composition. SSDs (delayed channels) and DFDs
+//!   (instantaneous channels) are [`model::Composite`]s.
+//! * [`mtd`] — Mode Transition Diagrams: explicit operational modes with
+//!   per-mode subordinate behaviour.
+//! * [`std_machine`] — State Transition Diagrams: restricted
+//!   Statecharts-like machines with ambiguity-excluding syntactic
+//!   restrictions.
+//! * [`ccd`] — Cluster Communication Diagrams: the LA-level notation with
+//!   explicit signal frequencies and target-dependent well-definedness
+//!   conditions (e.g. the OSEK slow→fast delay rule).
+//! * [`types`] — abstract data types, implementation types, encodings, and
+//!   checked type refinements.
+//! * [`levels`] — the FAA/FDA/LA abstraction levels and their validation.
+//! * [`rules`] — FAA design rules (actuator conflicts and countermeasures).
+//! * [`causality_struct`] — the structural causality check for
+//!   instantaneous loops in DFDs.
+//! * [`metrics`] — structural metrics used by the reengineering case study.
+//!
+//! ## Example: the Fig. 4 style SSD
+//!
+//! ```
+//! use automode_core::model::{Behavior, Component, Composite, CompositeKind, Endpoint, Model};
+//! use automode_core::types::DataType;
+//!
+//! # fn main() -> Result<(), automode_core::CoreError> {
+//! let mut model = Model::new("vehicle");
+//! let ctrl = model.add_component(
+//!     Component::new("DoorLockControl")
+//!         .input("T4S", DataType::Bool)
+//!         .output("T1C", DataType::Bool),
+//! )?;
+//! let mut ssd = Composite::new(CompositeKind::Ssd);
+//! ssd.instantiate("door_lock", ctrl);
+//! ssd.connect(Endpoint::boundary("lock_status"), Endpoint::child("door_lock", "T4S"));
+//! ssd.connect(Endpoint::child("door_lock", "T1C"), Endpoint::boundary("cmd"));
+//! let top = model.add_component(
+//!     Component::new("BodyElectronics")
+//!         .input("lock_status", DataType::Bool)
+//!         .output("cmd", DataType::Bool)
+//!         .with_behavior(Behavior::Composite(ssd)),
+//! )?;
+//! model.set_root(top);
+//! model.validate_structure()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod causality_struct;
+pub mod ccd;
+pub mod dot;
+pub mod error;
+pub mod levels;
+pub mod metrics;
+pub mod model;
+pub mod mtd;
+pub mod rules;
+pub mod std_machine;
+pub mod text;
+pub mod types;
+
+pub use ccd::{Ccd, CcdChannel, Cluster, FixedPriorityDataIntegrityPolicy, TargetPolicy};
+pub use error::CoreError;
+pub use levels::AbstractionLevel;
+pub use metrics::ModelMetrics;
+pub use model::{
+    Behavior, Channel, Component, ComponentId, Composite, CompositeKind, Direction, Endpoint,
+    Instance, Model, Port, Primitive,
+};
+pub use mtd::{Mode, ModeTransition, Mtd};
+pub use std_machine::{Assign, StdMachine, StdTransition};
+pub use types::{DataType, Encoding, EnumType, ImplType, Refinement};

@@ -1,0 +1,217 @@
+//! Structural model metrics.
+//!
+//! The paper's Sec. 5 argues qualitatively that explicit modes (MTDs) beat
+//! implicit If-Then-Else control flow and flag-based global state. To make
+//! that claim measurable, this module computes the structural metrics our
+//! case-study experiments report: control-flow counts, mode counts, and the
+//! number of Boolean "flag" outputs.
+
+use automode_lang::Expr;
+
+use crate::model::{Behavior, Direction, Model};
+use crate::types::DataType;
+
+/// Structural metrics of a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelMetrics {
+    /// Component definitions.
+    pub components: usize,
+    /// Composite (SSD/DFD) components.
+    pub composites: usize,
+    /// Atomic expression blocks.
+    pub expr_blocks: usize,
+    /// Channels across all composites.
+    pub channels: usize,
+    /// MTDs.
+    pub mtds: usize,
+    /// Total modes across MTDs.
+    pub modes: usize,
+    /// Mode transitions across MTDs.
+    pub mode_transitions: usize,
+    /// STD machines.
+    pub stds: usize,
+    /// Total STD states.
+    pub states: usize,
+    /// Total `if` nodes in all expressions (implicit control flow).
+    pub if_count: usize,
+    /// Deepest `if` nesting in any expression.
+    pub if_depth_max: usize,
+    /// Total expression AST size.
+    pub expr_size: usize,
+    /// Boolean output ports — the "flags" of the paper's central flag
+    /// component.
+    pub flag_outputs: usize,
+}
+
+impl ModelMetrics {
+    /// Measures a model.
+    pub fn measure(model: &Model) -> ModelMetrics {
+        let mut m = ModelMetrics {
+            components: model.component_count(),
+            ..ModelMetrics::default()
+        };
+        for id in model.component_ids() {
+            let comp = model.component(id);
+            m.flag_outputs += comp
+                .ports
+                .iter()
+                .filter(|p| p.direction == Direction::Out && p.ty == DataType::Bool)
+                .count();
+            match &comp.behavior {
+                Behavior::Composite(net) => {
+                    m.composites += 1;
+                    m.channels += net.channels.len();
+                }
+                Behavior::Expr(defs) => {
+                    m.expr_blocks += 1;
+                    for expr in defs.values() {
+                        m.absorb_expr(expr);
+                    }
+                }
+                Behavior::Mtd(mtd) => {
+                    m.mtds += 1;
+                    m.modes += mtd.modes.len();
+                    m.mode_transitions += mtd.transitions.len();
+                    for t in &mtd.transitions {
+                        m.absorb_expr(&t.trigger);
+                    }
+                }
+                Behavior::Std(fsm) => {
+                    m.stds += 1;
+                    m.states += fsm.states.len();
+                    for t in &fsm.transitions {
+                        m.absorb_expr(&t.guard);
+                        for a in &t.actions {
+                            m.absorb_expr(&a.expr);
+                        }
+                    }
+                }
+                Behavior::Unspecified | Behavior::Primitive(_) => {}
+            }
+        }
+        m
+    }
+
+    fn absorb_expr(&mut self, expr: &Expr) {
+        self.if_count += expr.if_count();
+        self.if_depth_max = self.if_depth_max.max(expr.if_depth());
+        self.expr_size += expr.size();
+    }
+
+    /// A scalar "implicit-control-flow" score: `if` nodes weighted by their
+    /// nesting depth. The reengineering experiment reports the drop in this
+    /// score when If-Then-Else cascades become MTD modes.
+    pub fn implicit_control_score(&self) -> usize {
+        self.if_count * (1 + self.if_depth_max)
+    }
+}
+
+impl std::fmt::Display for ModelMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "components:        {}", self.components)?;
+        writeln!(f, "composites:        {}", self.composites)?;
+        writeln!(f, "expr blocks:       {}", self.expr_blocks)?;
+        writeln!(f, "channels:          {}", self.channels)?;
+        writeln!(
+            f,
+            "mtds/modes/trans:  {}/{}/{}",
+            self.mtds, self.modes, self.mode_transitions
+        )?;
+        writeln!(f, "stds/states:       {}/{}", self.stds, self.states)?;
+        writeln!(
+            f,
+            "if count/depth:    {}/{}",
+            self.if_count, self.if_depth_max
+        )?;
+        writeln!(f, "expr size:         {}", self.expr_size)?;
+        write!(f, "flag outputs:      {}", self.flag_outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Component, Composite, CompositeKind};
+    use crate::mtd::Mtd;
+    use automode_lang::parse;
+
+    #[test]
+    fn counts_expressions_and_flags() {
+        let mut m = Model::new("t");
+        m.add_component(
+            Component::new("C")
+                .input("x", DataType::Float)
+                .output("y", DataType::Float)
+                .output("flag", DataType::Bool)
+                .with_behavior(Behavior::Expr(
+                    [
+                        (
+                            "y".to_string(),
+                            parse("if x > 0.0 then if x > 1.0 then 2.0 else 1.0 else 0.0")
+                                .unwrap(),
+                        ),
+                        ("flag".to_string(), parse("x > 0.5").unwrap()),
+                    ]
+                    .into_iter()
+                    .collect(),
+                )),
+        )
+        .unwrap();
+        let metrics = ModelMetrics::measure(&m);
+        assert_eq!(metrics.expr_blocks, 1);
+        assert_eq!(metrics.if_count, 2);
+        assert_eq!(metrics.if_depth_max, 2);
+        assert_eq!(metrics.flag_outputs, 1);
+        assert!(metrics.implicit_control_score() >= 2);
+    }
+
+    #[test]
+    fn counts_modes_and_channels() {
+        let mut m = Model::new("t");
+        let a = m
+            .add_component(
+                Component::new("A")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+            )
+            .unwrap();
+        let b = m
+            .add_component(
+                Component::new("B")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("0.0 - x").unwrap())),
+            )
+            .unwrap();
+        let mut mtd = Mtd::new();
+        let ma = mtd.add_mode("Fwd", a);
+        let mb = mtd.add_mode("Rev", b);
+        mtd.add_transition(ma, mb, parse("x < 0.0").unwrap(), 0);
+        m.add_component(
+            Component::new("Sign")
+                .input("x", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::Mtd(mtd)),
+        )
+        .unwrap();
+        let mut net = Composite::new(CompositeKind::Ssd);
+        net.instantiate("a", a);
+        net.instantiate("b", b);
+        net.connect(
+            crate::model::Endpoint::child("a", "y"),
+            crate::model::Endpoint::child("b", "x"),
+        );
+        m.add_component(Component::new("Net").with_behavior(Behavior::Composite(net)))
+            .unwrap();
+
+        let metrics = ModelMetrics::measure(&m);
+        assert_eq!(metrics.mtds, 1);
+        assert_eq!(metrics.modes, 2);
+        assert_eq!(metrics.mode_transitions, 1);
+        assert_eq!(metrics.composites, 1);
+        assert_eq!(metrics.channels, 1);
+        let text = metrics.to_string();
+        assert!(text.contains("mtds/modes/trans:  1/2/1"));
+    }
+}

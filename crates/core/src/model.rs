@@ -1,0 +1,738 @@
+//! The AutoMoDe meta-model: components, ports, channels, behaviours.
+//!
+//! All notations of the paper are views on this one coherent meta-model
+//! ("the information offered in these views are abstracted from the coherent
+//! AutoMoDe meta-model of the system. Thus, consistency between abstraction
+//! levels is guaranteed", Sec. 3):
+//!
+//! * an SSD is a [`Composite`] with [`CompositeKind::Ssd`] — its channels
+//!   introduce a message delay;
+//! * a DFD is a [`Composite`] with [`CompositeKind::Dfd`] — instantaneous
+//!   channels, subject to the causality check;
+//! * MTDs and STDs are behaviours of atomic components;
+//! * CCDs live in [`ccd`](crate::ccd) and reference components as cluster
+//!   implementations.
+
+use std::collections::BTreeMap;
+
+use automode_kernel::{Clock, Value};
+use automode_lang::Expr;
+
+use crate::error::CoreError;
+use crate::mtd::Mtd;
+use crate::std_machine::StdMachine;
+use crate::types::{DataType, Refinement};
+
+/// Identifier of a component definition within a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub(crate) usize);
+
+impl ComponentId {
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Direction of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Input port.
+    In,
+    /// Output port.
+    Out,
+}
+
+/// A statically typed message-passing port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Port name, unique within the component.
+    pub name: String,
+    /// Direction.
+    pub direction: Direction,
+    /// Abstract data type.
+    pub ty: DataType,
+    /// Explicit abstract clock (mandatory at LA level).
+    pub clock: Option<Clock>,
+    /// Implementation type chosen by refinement (LA level).
+    pub refinement: Option<Refinement>,
+    /// FAA resource tag: the sensor/actuator this port reads/drives.
+    pub resource: Option<String>,
+}
+
+impl Port {
+    /// Creates a port with the given name, direction, and type.
+    pub fn new(name: impl Into<String>, direction: Direction, ty: DataType) -> Self {
+        Port {
+            name: name.into(),
+            direction,
+            ty,
+            clock: None,
+            refinement: None,
+            resource: None,
+        }
+    }
+}
+
+/// Built-in primitive behaviours available as atomic DFD blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Primitive {
+    /// The `delay` operator on the block's clock; `init` emitted first.
+    Delay {
+        /// Initial value (absent first tick if `None`).
+        init: Option<Value>,
+    },
+    /// A strict base-clock unit delay (the SSD-channel primitive).
+    UnitDelay {
+        /// Message emitted at tick 0.
+        init: Option<Value>,
+    },
+    /// The `when` sampling operator (`inputs: [data, condition]`).
+    When,
+    /// The `current` hold operator.
+    Current {
+        /// Value held before the first message.
+        init: Value,
+    },
+}
+
+/// The behaviour of a component.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Behavior {
+    /// No behaviour yet — "on the FAA level, it may be perfectly adequate to
+    /// leave the detailed behavior unspecified" (Sec. 3.1).
+    Unspecified,
+    /// Atomic block defined by one base-language expression per output port.
+    Expr(BTreeMap<String, Expr>),
+    /// A hierarchical network (SSD or DFD).
+    Composite(Composite),
+    /// A Mode Transition Diagram.
+    Mtd(Mtd),
+    /// A State Transition Diagram.
+    Std(StdMachine),
+    /// A built-in operator.
+    Primitive(Primitive),
+}
+
+impl Behavior {
+    /// Atomic expression behaviour with a single output.
+    pub fn expr(output: impl Into<String>, expr: Expr) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(output.into(), expr);
+        Behavior::Expr(m)
+    }
+
+    /// `true` if the behaviour is fully specified (recursively, at this
+    /// component's own level; composite children are checked separately).
+    pub fn is_specified(&self) -> bool {
+        !matches!(self, Behavior::Unspecified)
+    }
+}
+
+/// One endpoint of a channel: either a port of a child instance or a port on
+/// the composite's own boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// The child instance name, or `None` for the composite boundary.
+    pub instance: Option<String>,
+    /// The port name.
+    pub port: String,
+}
+
+impl Endpoint {
+    /// An endpoint on a child instance.
+    pub fn child(instance: impl Into<String>, port: impl Into<String>) -> Self {
+        Endpoint {
+            instance: Some(instance.into()),
+            port: port.into(),
+        }
+    }
+
+    /// An endpoint on the composite boundary.
+    pub fn boundary(port: impl Into<String>) -> Self {
+        Endpoint {
+            instance: None,
+            port: port.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.instance {
+            Some(i) => write!(f, "{i}.{}", self.port),
+            None => write!(f, "self.{}", self.port),
+        }
+    }
+}
+
+/// A directed channel between two endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Channel {
+    /// Source endpoint (an output, or a boundary input).
+    pub from: Endpoint,
+    /// Destination endpoint (an input, or a boundary output).
+    pub to: Endpoint,
+}
+
+/// The kind of a composite, determining channel semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompositeKind {
+    /// System Structure Diagram: every channel introduces a message delay.
+    Ssd,
+    /// Data Flow Diagram: instantaneous channels (causality-checked).
+    Dfd,
+}
+
+/// A child instance of a component definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instance name, unique within the composite.
+    pub name: String,
+    /// The instantiated component definition.
+    pub component: ComponentId,
+}
+
+/// A hierarchical network of component instances — the structure underlying
+/// both SSDs and DFDs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Composite {
+    /// SSD or DFD.
+    pub kind: CompositeKind,
+    /// Child instances.
+    pub instances: Vec<Instance>,
+    /// Channels.
+    pub channels: Vec<Channel>,
+}
+
+impl Composite {
+    /// An empty composite of the given kind.
+    pub fn new(kind: CompositeKind) -> Self {
+        Composite {
+            kind,
+            instances: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// Adds a child instance; returns its index.
+    pub fn instantiate(&mut self, name: impl Into<String>, component: ComponentId) -> usize {
+        self.instances.push(Instance {
+            name: name.into(),
+            component,
+        });
+        self.instances.len() - 1
+    }
+
+    /// Adds a channel.
+    pub fn connect(&mut self, from: Endpoint, to: Endpoint) {
+        self.channels.push(Channel { from, to });
+    }
+
+    /// Finds a child instance by name.
+    pub fn instance(&self, name: &str) -> Option<&Instance> {
+        self.instances.iter().find(|i| i.name == name)
+    }
+}
+
+/// A component definition: named, typed interface plus behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Component (type) name.
+    pub name: String,
+    /// The interface.
+    pub ports: Vec<Port>,
+    /// The behaviour.
+    pub behavior: Behavior,
+}
+
+impl Component {
+    /// A new component with no ports and unspecified behaviour.
+    pub fn new(name: impl Into<String>) -> Self {
+        Component {
+            name: name.into(),
+            ports: Vec::new(),
+            behavior: Behavior::Unspecified,
+        }
+    }
+
+    /// Adds an input port (builder style).
+    pub fn input(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.ports.push(Port::new(name, Direction::In, ty));
+        self
+    }
+
+    /// Adds an output port (builder style).
+    pub fn output(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.ports.push(Port::new(name, Direction::Out, ty));
+        self
+    }
+
+    /// Adds a fully specified port (builder style).
+    pub fn port(mut self, port: Port) -> Self {
+        self.ports.push(port);
+        self
+    }
+
+    /// Sets the behaviour (builder style).
+    pub fn with_behavior(mut self, behavior: Behavior) -> Self {
+        self.behavior = behavior;
+        self
+    }
+
+    /// Tags the named port with a sensor/actuator resource (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist (builder misuse).
+    pub fn resource(mut self, port: &str, resource: impl Into<String>) -> Self {
+        let p = self
+            .ports
+            .iter_mut()
+            .find(|p| p.name == port)
+            .expect("resource() on unknown port");
+        p.resource = Some(resource.into());
+        self
+    }
+
+    /// Looks up a port by name.
+    pub fn find_port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Input ports in declaration order.
+    pub fn inputs(&self) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(|p| p.direction == Direction::In)
+    }
+
+    /// Output ports in declaration order.
+    pub fn outputs(&self) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(|p| p.direction == Direction::Out)
+    }
+
+    /// The interface signature: `(name, direction, type)` triples. MTD mode
+    /// behaviours must share their owner's signature.
+    pub fn signature(&self) -> Vec<(String, Direction, DataType)> {
+        self.ports
+            .iter()
+            .map(|p| (p.name.clone(), p.direction, p.ty.clone()))
+            .collect()
+    }
+}
+
+/// A complete AutoMoDe model: an arena of component definitions plus a
+/// designated root.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Model {
+    name: String,
+    components: Vec<Component>,
+    root: Option<ComponentId>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new(name: impl Into<String>) -> Self {
+        Model {
+            name: name.into(),
+            components: Vec::new(),
+            root: None,
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a component definition; names must be unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateName`] on name collision.
+    pub fn add_component(&mut self, component: Component) -> Result<ComponentId, CoreError> {
+        if self.components.iter().any(|c| c.name == component.name) {
+            return Err(CoreError::DuplicateName(component.name));
+        }
+        self.components.push(component);
+        Ok(ComponentId(self.components.len() - 1))
+    }
+
+    /// Declares the root component (the system under consideration).
+    pub fn set_root(&mut self, id: ComponentId) {
+        self.root = Some(id);
+    }
+
+    /// The root component, if set.
+    pub fn root(&self) -> Option<ComponentId> {
+        self.root
+    }
+
+    /// Borrows a component definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this model.
+    pub fn component(&self, id: ComponentId) -> &Component {
+        &self.components[id.0]
+    }
+
+    /// Mutably borrows a component definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this model.
+    pub fn component_mut(&mut self, id: ComponentId) -> &mut Component {
+        &mut self.components[id.0]
+    }
+
+    /// Finds a component definition by name.
+    pub fn find(&self, name: &str) -> Option<ComponentId> {
+        self.components
+            .iter()
+            .position(|c| c.name == name)
+            .map(ComponentId)
+    }
+
+    /// All component ids, in definition order.
+    pub fn component_ids(&self) -> impl Iterator<Item = ComponentId> {
+        (0..self.components.len()).map(ComponentId)
+    }
+
+    /// Number of component definitions.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Validates the structural well-formedness of one composite component:
+    /// instance references, endpoint existence, channel directions, the
+    /// single-writer property, and channel type compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoreError`] found.
+    pub fn validate_composite(&self, owner: ComponentId) -> Result<(), CoreError> {
+        let comp = self.component(owner);
+        let composite = match &comp.behavior {
+            Behavior::Composite(c) => c,
+            _ => return Ok(()),
+        };
+        // Unique instance names (indexed: composites can be large).
+        let mut instance_index: BTreeMap<&str, &Instance> = BTreeMap::new();
+        for inst in &composite.instances {
+            if instance_index.insert(&inst.name, inst).is_some() {
+                return Err(CoreError::DuplicateName(format!(
+                    "{}.{}",
+                    comp.name, inst.name
+                )));
+            }
+            if inst.component.0 >= self.components.len() {
+                return Err(CoreError::UnknownComponent(inst.name.clone()));
+            }
+        }
+        // Per-component port index for the components in use.
+        let mut port_index: BTreeMap<usize, BTreeMap<&str, &Port>> = BTreeMap::new();
+        for inst in &composite.instances {
+            port_index.entry(inst.component.0).or_insert_with(|| {
+                self.components[inst.component.0]
+                    .ports
+                    .iter()
+                    .map(|p| (p.name.as_str(), p))
+                    .collect()
+            });
+        }
+        let resolve = |ep: &Endpoint| -> Result<(&Port, bool), CoreError> {
+            // bool: endpoint is on a child.
+            match &ep.instance {
+                Some(inst_name) => {
+                    let inst = instance_index.get(inst_name.as_str()).ok_or_else(|| {
+                        CoreError::UnknownComponent(format!("{}.{}", comp.name, inst_name))
+                    })?;
+                    let cid = inst.component.0;
+                    let port = port_index[&cid].get(ep.port.as_str()).copied().ok_or_else(
+                        || CoreError::UnknownPort {
+                            component: self.components[cid].name.clone(),
+                            port: ep.port.clone(),
+                        },
+                    )?;
+                    Ok((port, true))
+                }
+                None => {
+                    let port =
+                        comp.find_port(&ep.port)
+                            .ok_or_else(|| CoreError::UnknownPort {
+                                component: comp.name.clone(),
+                                port: ep.port.clone(),
+                            })?;
+                    Ok((port, false))
+                }
+            }
+        };
+        let mut written: std::collections::BTreeSet<&Endpoint> = std::collections::BTreeSet::new();
+        for ch in &composite.channels {
+            let (from_port, from_child) = resolve(&ch.from)?;
+            let (to_port, to_child) = resolve(&ch.to)?;
+            let desc = format!("{} -> {}", ch.from, ch.to);
+            // Legal source: child output or boundary input.
+            let src_ok = (from_child && from_port.direction == Direction::Out)
+                || (!from_child && from_port.direction == Direction::In);
+            // Legal destination: child input or boundary output.
+            let dst_ok = (to_child && to_port.direction == Direction::In)
+                || (!to_child && to_port.direction == Direction::Out);
+            if !src_ok || !dst_ok {
+                return Err(CoreError::DirectionMismatch { channel: desc });
+            }
+            if !from_port.ty.connectable_to(&to_port.ty) {
+                return Err(CoreError::ChannelTypeMismatch {
+                    channel: desc,
+                    from: from_port.ty.to_string(),
+                    to: to_port.ty.to_string(),
+                });
+            }
+            if !written.insert(&ch.to) {
+                return Err(CoreError::MultipleWriters {
+                    instance: ch
+                        .to
+                        .instance
+                        .clone()
+                        .unwrap_or_else(|| "self".to_string()),
+                    port: ch.to.port.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates every composite in the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoreError`] found.
+    pub fn validate_structure(&self) -> Result<(), CoreError> {
+        for id in self.component_ids() {
+            self.validate_composite(id)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_lang::parse;
+
+    fn float_in(name: &str) -> Port {
+        Port::new(name, Direction::In, DataType::Float)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let mut m = Model::new("test");
+        let id = m
+            .add_component(
+                Component::new("Ctrl")
+                    .input("a", DataType::Float)
+                    .output("y", DataType::Float),
+            )
+            .unwrap();
+        assert_eq!(m.find("Ctrl"), Some(id));
+        assert_eq!(m.component(id).inputs().count(), 1);
+        assert!(m.component(id).find_port("y").is_some());
+        assert_eq!(m.component_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_component_name_rejected() {
+        let mut m = Model::new("test");
+        m.add_component(Component::new("A")).unwrap();
+        assert!(matches!(
+            m.add_component(Component::new("A")),
+            Err(CoreError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn valid_composite_passes() {
+        let mut m = Model::new("test");
+        let leaf = m
+            .add_component(
+                Component::new("Leaf")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x + 1.0").unwrap())),
+            )
+            .unwrap();
+        let mut net = Composite::new(CompositeKind::Dfd);
+        net.instantiate("a", leaf);
+        net.instantiate("b", leaf);
+        net.connect(Endpoint::boundary("in"), Endpoint::child("a", "x"));
+        net.connect(Endpoint::child("a", "y"), Endpoint::child("b", "x"));
+        net.connect(Endpoint::child("b", "y"), Endpoint::boundary("out"));
+        let top = m
+            .add_component(
+                Component::new("Top")
+                    .input("in", DataType::Float)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Composite(net)),
+            )
+            .unwrap();
+        m.set_root(top);
+        m.validate_structure().unwrap();
+    }
+
+    #[test]
+    fn direction_mismatch_detected() {
+        let mut m = Model::new("test");
+        let leaf = m
+            .add_component(
+                Component::new("Leaf")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float),
+            )
+            .unwrap();
+        let mut net = Composite::new(CompositeKind::Ssd);
+        net.instantiate("a", leaf);
+        net.instantiate("b", leaf);
+        // Output to output: illegal.
+        net.connect(Endpoint::child("a", "y"), Endpoint::child("b", "y"));
+        m.add_component(Component::new("Top").with_behavior(Behavior::Composite(net)))
+            .unwrap();
+        assert!(matches!(
+            m.validate_structure(),
+            Err(CoreError::DirectionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let mut m = Model::new("test");
+        let f = m
+            .add_component(Component::new("F").output("y", DataType::Float))
+            .unwrap();
+        let b = m
+            .add_component(Component::new("B").input("x", DataType::Bool))
+            .unwrap();
+        let mut net = Composite::new(CompositeKind::Dfd);
+        net.instantiate("f", f);
+        net.instantiate("b", b);
+        net.connect(Endpoint::child("f", "y"), Endpoint::child("b", "x"));
+        m.add_component(Component::new("Top").with_behavior(Behavior::Composite(net)))
+            .unwrap();
+        assert!(matches!(
+            m.validate_structure(),
+            Err(CoreError::ChannelTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_writers_detected() {
+        let mut m = Model::new("test");
+        let f = m
+            .add_component(Component::new("F").output("y", DataType::Float))
+            .unwrap();
+        let g = m
+            .add_component(Component::new("G").input("x", DataType::Float))
+            .unwrap();
+        let mut net = Composite::new(CompositeKind::Dfd);
+        net.instantiate("f1", f);
+        net.instantiate("f2", f);
+        net.instantiate("g", g);
+        net.connect(Endpoint::child("f1", "y"), Endpoint::child("g", "x"));
+        net.connect(Endpoint::child("f2", "y"), Endpoint::child("g", "x"));
+        m.add_component(Component::new("Top").with_behavior(Behavior::Composite(net)))
+            .unwrap();
+        assert!(matches!(
+            m.validate_structure(),
+            Err(CoreError::MultipleWriters { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_port_and_instance_detected() {
+        let mut m = Model::new("test");
+        let f = m
+            .add_component(Component::new("F").output("y", DataType::Float))
+            .unwrap();
+        let mut net = Composite::new(CompositeKind::Dfd);
+        net.instantiate("f", f);
+        net.connect(Endpoint::child("f", "nope"), Endpoint::boundary("out"));
+        m.add_component(
+            Component::new("Top")
+                .output("out", DataType::Float)
+                .with_behavior(Behavior::Composite(net)),
+        )
+        .unwrap();
+        assert!(matches!(
+            m.validate_structure(),
+            Err(CoreError::UnknownPort { .. })
+        ));
+
+        let mut m2 = Model::new("t2");
+        let mut net2 = Composite::new(CompositeKind::Dfd);
+        net2.connect(Endpoint::child("ghost", "y"), Endpoint::boundary("out"));
+        m2.add_component(
+            Component::new("Top")
+                .output("out", DataType::Float)
+                .with_behavior(Behavior::Composite(net2)),
+        )
+        .unwrap();
+        assert!(matches!(
+            m2.validate_structure(),
+            Err(CoreError::UnknownComponent(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_instance_names_detected() {
+        let mut m = Model::new("test");
+        let f = m.add_component(Component::new("F")).unwrap();
+        let mut net = Composite::new(CompositeKind::Ssd);
+        net.instantiate("x", f);
+        net.instantiate("x", f);
+        m.add_component(Component::new("Top").with_behavior(Behavior::Composite(net)))
+            .unwrap();
+        assert!(matches!(
+            m.validate_structure(),
+            Err(CoreError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn signature_captures_interface() {
+        let c = Component::new("C")
+            .port(float_in("a"))
+            .output("y", DataType::Bool);
+        let sig = c.signature();
+        assert_eq!(sig.len(), 2);
+        assert_eq!(sig[0].0, "a");
+        assert_eq!(sig[1].1, Direction::Out);
+    }
+
+    #[test]
+    fn resource_tagging() {
+        let c = Component::new("Wiper")
+            .output("motor", DataType::Float)
+            .resource("motor", "WiperMotor");
+        assert_eq!(
+            c.find_port("motor").unwrap().resource.as_deref(),
+            Some("WiperMotor")
+        );
+    }
+
+    #[test]
+    fn int_to_float_channel_allowed() {
+        let mut m = Model::new("test");
+        let f = m
+            .add_component(Component::new("F").output("y", DataType::Int))
+            .unwrap();
+        let g = m
+            .add_component(Component::new("G").input("x", DataType::Float))
+            .unwrap();
+        let mut net = Composite::new(CompositeKind::Dfd);
+        net.instantiate("f", f);
+        net.instantiate("g", g);
+        net.connect(Endpoint::child("f", "y"), Endpoint::child("g", "x"));
+        m.add_component(Component::new("Top").with_behavior(Behavior::Composite(net)))
+            .unwrap();
+        m.validate_structure().unwrap();
+    }
+}

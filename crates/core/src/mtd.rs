@@ -1,0 +1,407 @@
+//! Mode Transition Diagrams (MTDs).
+//!
+//! "In order to represent explicit system modes and alternate behaviors
+//! w.r.t. modes, Mode Transition Diagrams are used. MTDs consist of modes,
+//! and transitions between modes. Transitions are triggered by certain
+//! combinations of messages arriving at the MTD's component. The behavior of
+//! the component within a mode is then defined by a subordinate DFD or SSD
+//! associated with the mode" (paper, Sec. 3.2, cf. *charts).
+//!
+//! ## Semantics
+//!
+//! At every tick the transitions leaving the active mode are evaluated
+//! over the *current* inputs in ascending priority order; the first one
+//! whose trigger is present-`true` fires **immediately**, and the mode
+//! reached then computes this tick's outputs. Immediate switching matches
+//! the branch-selection semantics of the If-Then-Else cascades that MTDs
+//! make explicit (Sec. 5), so white-box reengineering is trace-preserving.
+//! The composition stays causal because triggers range over the MTD's
+//! *inputs* only — never over the outputs computed within the same tick.
+//! The MTD-to-dataflow transformation (Sec. 3.3) realizes the same
+//! recurrence with a delayed mode-state signal.
+
+use automode_lang::{check, Expr, Type, TypeEnv};
+
+use crate::error::CoreError;
+use crate::model::{Behavior, ComponentId, Model};
+
+/// One mode of an MTD: a name plus the component implementing the mode's
+/// behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mode {
+    /// Mode name, e.g. `FuelEnabled` or `CrankingOverrun` (Fig. 8).
+    pub name: String,
+    /// The subordinate behaviour (a DFD/SSD/expression component whose
+    /// interface matches the MTD owner's interface).
+    pub behavior: ComponentId,
+}
+
+/// A transition between modes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeTransition {
+    /// Source mode index.
+    pub from: usize,
+    /// Target mode index.
+    pub to: usize,
+    /// Trigger: a Boolean base-language expression over the owner's input
+    /// ports ("certain combinations of messages arriving at the MTD's
+    /// component").
+    pub trigger: Expr,
+    /// Priority; lower fires first. Unique per source mode.
+    pub priority: u32,
+}
+
+/// A Mode Transition Diagram.
+///
+/// ```
+/// use automode_core::model::{Behavior, Component, Model};
+/// use automode_core::types::DataType;
+/// use automode_core::Mtd;
+/// use automode_lang::parse;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut model = Model::new("demo");
+/// let iface = |name: &str| {
+///     Component::new(name)
+///         .input("rpm", DataType::Float)
+///         .output("rate", DataType::Float)
+/// };
+/// let cranking = model.add_component(
+///     iface("Cranking").with_behavior(Behavior::expr("rate", parse("0.2 + rpm * 0.0")?)),
+/// )?;
+/// let enabled = model.add_component(
+///     iface("Enabled").with_behavior(Behavior::expr("rate", parse("rpm * 0.001")?)),
+/// )?;
+///
+/// let mut mtd = Mtd::new();
+/// let a = mtd.add_mode("CrankingOverrun", cranking);
+/// let b = mtd.add_mode("FuelEnabled", enabled);
+/// mtd.add_transition(a, b, parse("rpm > 600.0")?, 0);
+/// mtd.add_transition(b, a, parse("rpm < 300.0")?, 0);
+///
+/// let owner = model.add_component(iface("Throttle").with_behavior(Behavior::Mtd(mtd)))?;
+/// match &model.component(owner).behavior {
+///     Behavior::Mtd(mtd) => mtd.validate(&model, owner)?,
+///     _ => unreachable!(),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mtd {
+    /// The modes.
+    pub modes: Vec<Mode>,
+    /// The transitions.
+    pub transitions: Vec<ModeTransition>,
+    /// Index of the initial mode.
+    pub initial: usize,
+}
+
+impl Mtd {
+    /// An empty MTD (add modes before use; `initial` defaults to 0).
+    pub fn new() -> Self {
+        Mtd {
+            modes: Vec::new(),
+            transitions: Vec::new(),
+            initial: 0,
+        }
+    }
+
+    /// Adds a mode; returns its index.
+    pub fn add_mode(&mut self, name: impl Into<String>, behavior: ComponentId) -> usize {
+        self.modes.push(Mode {
+            name: name.into(),
+            behavior,
+        });
+        self.modes.len() - 1
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(&mut self, from: usize, to: usize, trigger: Expr, priority: u32) {
+        self.transitions.push(ModeTransition {
+            from,
+            to,
+            trigger,
+            priority,
+        });
+    }
+
+    /// Finds a mode index by name.
+    pub fn mode_index(&self, name: &str) -> Option<usize> {
+        self.modes.iter().position(|m| m.name == name)
+    }
+
+    /// Transitions leaving `mode`, sorted by ascending priority.
+    pub fn transitions_from(&self, mode: usize) -> Vec<&ModeTransition> {
+        let mut out: Vec<&ModeTransition> =
+            self.transitions.iter().filter(|t| t.from == mode).collect();
+        out.sort_by_key(|t| t.priority);
+        out
+    }
+
+    /// Validates the MTD against its owner component.
+    ///
+    /// Checks: at least one mode; valid initial mode; unique mode names;
+    /// transitions reference existing modes with unique priorities per
+    /// source; triggers are Boolean expressions over the owner's *input*
+    /// ports; every mode behaviour exists and exposes exactly the owner's
+    /// interface (the *charts composition requires interface equality).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Mtd`] describing the first violation.
+    pub fn validate(&self, model: &Model, owner: ComponentId) -> Result<(), CoreError> {
+        let comp = model.component(owner);
+        if self.modes.is_empty() {
+            return Err(CoreError::Mtd(format!("`{}` has no modes", comp.name)));
+        }
+        if self.initial >= self.modes.len() {
+            return Err(CoreError::Mtd(format!(
+                "`{}` initial mode index {} out of range",
+                comp.name, self.initial
+            )));
+        }
+        for (i, mode) in self.modes.iter().enumerate() {
+            if self.modes[..i].iter().any(|m| m.name == mode.name) {
+                return Err(CoreError::Mtd(format!(
+                    "duplicate mode name `{}`",
+                    mode.name
+                )));
+            }
+            if mode.behavior.index() >= model.component_count() {
+                return Err(CoreError::Mtd(format!(
+                    "mode `{}` references an unknown behaviour component",
+                    mode.name
+                )));
+            }
+            let beh = model.component(mode.behavior);
+            if beh.signature() != comp.signature() {
+                return Err(CoreError::Mtd(format!(
+                    "mode `{}` behaviour `{}` does not match the interface of `{}`",
+                    mode.name, beh.name, comp.name
+                )));
+            }
+        }
+        // Trigger typing environment: the owner's inputs.
+        let env: TypeEnv = comp
+            .inputs()
+            .map(|p| (p.name.clone(), p.ty.lang_type()))
+            .collect();
+        for t in &self.transitions {
+            if t.from >= self.modes.len() || t.to >= self.modes.len() {
+                return Err(CoreError::Mtd(format!(
+                    "transition references mode index out of range ({} -> {})",
+                    t.from, t.to
+                )));
+            }
+            let ty = check(&t.trigger, &env).map_err(|e| CoreError::ExprType {
+                context: format!(
+                    "trigger {} -> {} of `{}`",
+                    self.modes[t.from].name, self.modes[t.to].name, comp.name
+                ),
+                message: e.to_string(),
+            })?;
+            if ty != Type::Bool && ty != Type::Any {
+                return Err(CoreError::Mtd(format!(
+                    "trigger {} -> {} has type {ty}, expected bool",
+                    self.modes[t.from].name, self.modes[t.to].name
+                )));
+            }
+        }
+        // Unique priorities per source mode (determinism restriction).
+        for (i, a) in self.transitions.iter().enumerate() {
+            for b in &self.transitions[..i] {
+                if a.from == b.from && a.priority == b.priority {
+                    return Err(CoreError::Mtd(format!(
+                        "mode `{}` has two transitions with priority {}",
+                        self.modes[a.from].name, a.priority
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Mtd {
+    fn default() -> Self {
+        Mtd::new()
+    }
+}
+
+/// Convenience: builds an MTD-behaviour component whose modes share the
+/// owner interface, validating on the spot.
+///
+/// # Errors
+///
+/// Propagates [`Mtd::validate`] errors.
+pub fn attach_mtd(model: &mut Model, owner: ComponentId, mtd: Mtd) -> Result<(), CoreError> {
+    mtd.validate(model, owner)?;
+    model.component_mut(owner).behavior = Behavior::Mtd(mtd);
+    Ok(())
+}
+
+/// Counts the reachable modes from the initial mode (graph reachability over
+/// transitions) — a well-formedness diagnostic: unreachable modes usually
+/// indicate a reengineering mistake.
+pub fn reachable_modes(mtd: &Mtd) -> Vec<usize> {
+    let mut seen = vec![false; mtd.modes.len()];
+    if mtd.modes.is_empty() {
+        return Vec::new();
+    }
+    let mut stack = vec![mtd.initial];
+    seen[mtd.initial] = true;
+    while let Some(m) = stack.pop() {
+        for t in mtd.transitions_from(m) {
+            if !seen[t.to] {
+                seen[t.to] = true;
+                stack.push(t.to);
+            }
+        }
+    }
+    (0..mtd.modes.len()).filter(|&i| seen[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Component, Model};
+    use crate::types::DataType;
+    use automode_lang::parse;
+
+    /// Builds a model with an owner interface and two conforming behaviours.
+    fn fixture() -> (Model, ComponentId, ComponentId, ComponentId) {
+        let mut m = Model::new("t");
+        let iface = |name: &str| {
+            Component::new(name)
+                .input("rpm", DataType::Float)
+                .output("rate", DataType::Float)
+        };
+        let a = m
+            .add_component(iface("ModeA").with_behavior(Behavior::expr(
+                "rate",
+                parse("0.2").unwrap(),
+            )))
+            .unwrap();
+        let b = m
+            .add_component(iface("ModeB").with_behavior(Behavior::expr(
+                "rate",
+                parse("rpm * 0.01").unwrap(),
+            )))
+            .unwrap();
+        let owner = m.add_component(iface("Throttle")).unwrap();
+        (m, owner, a, b)
+    }
+
+    #[test]
+    fn valid_mtd_attaches() {
+        let (mut m, owner, a, b) = fixture();
+        let mut mtd = Mtd::new();
+        let ma = mtd.add_mode("CrankingOverrun", a);
+        let mb = mtd.add_mode("FuelEnabled", b);
+        mtd.add_transition(ma, mb, parse("rpm > 800.0").unwrap(), 0);
+        mtd.add_transition(mb, ma, parse("rpm < 400.0").unwrap(), 0);
+        attach_mtd(&mut m, owner, mtd).unwrap();
+        assert!(matches!(
+            m.component(owner).behavior,
+            Behavior::Mtd(_)
+        ));
+    }
+
+    #[test]
+    fn empty_mtd_rejected() {
+        let (m, owner, _, _) = fixture();
+        assert!(matches!(
+            Mtd::new().validate(&m, owner),
+            Err(CoreError::Mtd(_))
+        ));
+    }
+
+    #[test]
+    fn interface_mismatch_rejected() {
+        let (mut m, owner, a, _) = fixture();
+        let odd = m
+            .add_component(Component::new("Odd").output("zzz", DataType::Bool))
+            .unwrap();
+        let mut mtd = Mtd::new();
+        mtd.add_mode("A", a);
+        mtd.add_mode("Bad", odd);
+        let err = mtd.validate(&m, owner).unwrap_err();
+        assert!(matches!(err, CoreError::Mtd(msg) if msg.contains("interface")));
+    }
+
+    #[test]
+    fn trigger_must_be_boolean_over_inputs() {
+        let (m, owner, a, b) = fixture();
+        let mut mtd = Mtd::new();
+        let ma = mtd.add_mode("A", a);
+        let mb = mtd.add_mode("B", b);
+        mtd.add_transition(ma, mb, parse("rpm + 1.0").unwrap(), 0);
+        assert!(matches!(mtd.validate(&m, owner), Err(CoreError::Mtd(_))));
+
+        let mut mtd2 = Mtd::new();
+        let ma = mtd2.add_mode("A", a);
+        let mb = mtd2.add_mode("B", b);
+        // `rate` is an output, not an input: unbound in the trigger env.
+        mtd2.add_transition(ma, mb, parse("rate > 1.0").unwrap(), 0);
+        assert!(matches!(
+            mtd2.validate(&m, owner),
+            Err(CoreError::ExprType { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_priorities_rejected() {
+        let (m, owner, a, b) = fixture();
+        let mut mtd = Mtd::new();
+        let ma = mtd.add_mode("A", a);
+        let mb = mtd.add_mode("B", b);
+        mtd.add_transition(ma, mb, parse("rpm > 1.0").unwrap(), 0);
+        mtd.add_transition(ma, ma, parse("rpm > 2.0").unwrap(), 0);
+        assert!(matches!(mtd.validate(&m, owner), Err(CoreError::Mtd(_))));
+    }
+
+    #[test]
+    fn duplicate_mode_names_rejected() {
+        let (m, owner, a, b) = fixture();
+        let mut mtd = Mtd::new();
+        mtd.add_mode("A", a);
+        mtd.add_mode("A", b);
+        assert!(matches!(mtd.validate(&m, owner), Err(CoreError::Mtd(_))));
+    }
+
+    #[test]
+    fn bad_initial_rejected() {
+        let (m, owner, a, _) = fixture();
+        let mut mtd = Mtd::new();
+        mtd.add_mode("A", a);
+        mtd.initial = 5;
+        assert!(matches!(mtd.validate(&m, owner), Err(CoreError::Mtd(_))));
+    }
+
+    #[test]
+    fn transitions_sorted_by_priority() {
+        let (_, _, a, b) = fixture();
+        let mut mtd = Mtd::new();
+        let ma = mtd.add_mode("A", a);
+        let mb = mtd.add_mode("B", b);
+        mtd.add_transition(ma, mb, parse("true").unwrap(), 5);
+        mtd.add_transition(ma, ma, parse("true").unwrap(), 1);
+        let ts = mtd.transitions_from(ma);
+        assert_eq!(ts[0].priority, 1);
+        assert_eq!(ts[1].priority, 5);
+    }
+
+    #[test]
+    fn reachability() {
+        let (_, _, a, b) = fixture();
+        let mut mtd = Mtd::new();
+        let ma = mtd.add_mode("A", a);
+        let mb = mtd.add_mode("B", b);
+        let mc = mtd.add_mode("C", a);
+        mtd.add_transition(ma, mb, parse("true").unwrap(), 0);
+        // C unreachable.
+        assert_eq!(reachable_modes(&mtd), vec![ma, mb]);
+        assert!(!reachable_modes(&mtd).contains(&mc));
+    }
+}

@@ -1,0 +1,322 @@
+//! FAA design rules: conflict detection between vehicle functions.
+//!
+//! "Based on the functional structure and dependencies, rules identify
+//! possible conflicts (e.g. two vehicle functions access the same actuator)
+//! and suggest suitable countermeasures to resolve them (e.g. introduce a
+//! coordinating functionality)" (paper, Sec. 3.1).
+//!
+//! Rules produce [`Finding`]s rather than hard errors: at the FAA level,
+//! conflicts are design inputs, not defects.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::model::{Behavior, ComponentId, Direction, Model};
+
+/// Severity of a rule finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational — worth knowing, no action required.
+    Info,
+    /// A potential problem requiring a design decision.
+    Warning,
+    /// A conflict that must be resolved before refinement.
+    Conflict,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Conflict => "conflict",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One finding of the FAA rule engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `actuator-conflict`.
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Suggested countermeasure, if the rule has one.
+    pub suggestion: Option<String>,
+    /// The components involved.
+    pub components: Vec<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.severity, self.rule, self.message)?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (suggestion: {s})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs all FAA rules over the model and returns the findings, most severe
+/// first.
+pub fn check_faa_rules(model: &Model) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(actuator_conflicts(model));
+    findings.extend(shared_sensors(model));
+    findings.extend(unspecified_behaviors(model));
+    findings.extend(unconnected_inputs(model));
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.rule.cmp(b.rule)));
+    findings
+}
+
+/// Rule `actuator-conflict`: two vehicle functions drive the same actuator
+/// resource. Countermeasure: introduce a coordinating functionality
+/// (exactly the paper's example).
+pub fn actuator_conflicts(model: &Model) -> Vec<Finding> {
+    let mut by_resource: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for id in model.component_ids() {
+        let comp = model.component(id);
+        for port in comp.ports.iter().filter(|p| p.direction == Direction::Out) {
+            if let Some(res) = &port.resource {
+                by_resource.entry(res).or_default().push(&comp.name);
+            }
+        }
+    }
+    by_resource
+        .into_iter()
+        .filter(|(_, users)| users.len() > 1)
+        .map(|(res, users)| Finding {
+            rule: "actuator-conflict",
+            severity: Severity::Conflict,
+            message: format!(
+                "functions {} all access actuator `{res}`",
+                users
+                    .iter()
+                    .map(|u| format!("`{u}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            suggestion: Some(format!(
+                "introduce a coordinating functionality arbitrating `{res}`"
+            )),
+            components: users.iter().map(|s| s.to_string()).collect(),
+        })
+        .collect()
+}
+
+/// Rule `shared-sensor`: several functions read the same sensor resource —
+/// informational (sharing sensors is normal, but the dependency matters for
+/// integration).
+pub fn shared_sensors(model: &Model) -> Vec<Finding> {
+    let mut by_resource: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for id in model.component_ids() {
+        let comp = model.component(id);
+        for port in comp.ports.iter().filter(|p| p.direction == Direction::In) {
+            if let Some(res) = &port.resource {
+                by_resource.entry(res).or_default().push(&comp.name);
+            }
+        }
+    }
+    by_resource
+        .into_iter()
+        .filter(|(_, users)| users.len() > 1)
+        .map(|(res, users)| Finding {
+            rule: "shared-sensor",
+            severity: Severity::Info,
+            message: format!("sensor `{res}` is read by {} functions", users.len()),
+            suggestion: None,
+            components: users.iter().map(|s| s.to_string()).collect(),
+        })
+        .collect()
+}
+
+/// Rule `unspecified-behavior`: informational at FAA — lists functions whose
+/// prototypical behaviour is still missing (they cannot participate in
+/// validation by simulation).
+pub fn unspecified_behaviors(model: &Model) -> Vec<Finding> {
+    model
+        .component_ids()
+        .filter(|&id| !model.component(id).behavior.is_specified())
+        .map(|id| {
+            let name = model.component(id).name.clone();
+            Finding {
+                rule: "unspecified-behavior",
+                severity: Severity::Info,
+                message: format!("function `{name}` has no prototypical behaviour yet"),
+                suggestion: Some("add a prototypical behavioural description".to_string()),
+                components: vec![name],
+            }
+        })
+        .collect()
+}
+
+/// Rule `unconnected-input`: a child input inside a composite has no writer —
+/// a latent integration gap.
+pub fn unconnected_inputs(model: &Model) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for id in model.component_ids() {
+        let comp = model.component(id);
+        let net = match &comp.behavior {
+            Behavior::Composite(net) => net,
+            _ => continue,
+        };
+        for inst in &net.instances {
+            let child = model.component(inst.component);
+            for port in child.ports.iter().filter(|p| p.direction == Direction::In) {
+                let written = net.channels.iter().any(|ch| {
+                    ch.to.instance.as_deref() == Some(inst.name.as_str())
+                        && ch.to.port == port.name
+                });
+                if !written {
+                    findings.push(Finding {
+                        rule: "unconnected-input",
+                        severity: Severity::Warning,
+                        message: format!(
+                            "input `{}.{}` in `{}` has no writer",
+                            inst.name, port.name, comp.name
+                        ),
+                        suggestion: None,
+                        components: vec![comp.name.clone(), child.name.clone()],
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Looks up the components involved in all `actuator-conflict` findings —
+/// the inputs to the coordinator-insertion refactoring.
+pub fn conflicting_components(model: &Model) -> Vec<(String, Vec<ComponentId>)> {
+    let mut by_resource: BTreeMap<String, Vec<ComponentId>> = BTreeMap::new();
+    for id in model.component_ids() {
+        let comp = model.component(id);
+        for port in comp.ports.iter().filter(|p| p.direction == Direction::Out) {
+            if let Some(res) = &port.resource {
+                let users = by_resource.entry(res.clone()).or_default();
+                if !users.contains(&id) {
+                    users.push(id);
+                }
+            }
+        }
+    }
+    by_resource
+        .into_iter()
+        .filter(|(_, users)| users.len() > 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Component, Composite, CompositeKind, Endpoint};
+    use crate::types::DataType;
+
+    fn conflict_model() -> Model {
+        let mut m = Model::new("body");
+        m.add_component(
+            Component::new("CentralLocking")
+                .input("speed", DataType::Float)
+                .output("lock_cmd", DataType::Bool)
+                .resource("lock_cmd", "DoorLockActuator")
+                .resource("speed", "SpeedSensor"),
+        )
+        .unwrap();
+        m.add_component(
+            Component::new("CrashUnlock")
+                .input("crash", DataType::Bool)
+                .input("speed", DataType::Float)
+                .output("unlock_cmd", DataType::Bool)
+                .resource("unlock_cmd", "DoorLockActuator")
+                .resource("speed", "SpeedSensor"),
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn actuator_conflict_detected_with_suggestion() {
+        let m = conflict_model();
+        let findings = actuator_conflicts(&m);
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(f.severity, Severity::Conflict);
+        assert!(f.message.contains("DoorLockActuator"));
+        assert!(f
+            .suggestion
+            .as_deref()
+            .unwrap()
+            .contains("coordinating functionality"));
+        assert_eq!(f.components.len(), 2);
+    }
+
+    #[test]
+    fn shared_sensor_is_informational() {
+        let m = conflict_model();
+        let findings = shared_sensors(&m);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Info);
+        assert!(findings[0].message.contains("SpeedSensor"));
+    }
+
+    #[test]
+    fn no_conflict_for_single_user() {
+        let mut m = Model::new("t");
+        m.add_component(
+            Component::new("Solo")
+                .output("cmd", DataType::Bool)
+                .resource("cmd", "OnlyActuator"),
+        )
+        .unwrap();
+        assert!(actuator_conflicts(&m).is_empty());
+    }
+
+    #[test]
+    fn unspecified_behaviors_reported() {
+        let m = conflict_model();
+        let f = unspecified_behaviors(&m);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn unconnected_inputs_reported() {
+        let mut m = conflict_model();
+        let locking = m.find("CentralLocking").unwrap();
+        let mut net = Composite::new(CompositeKind::Ssd);
+        net.instantiate("cl", locking);
+        // Input `speed` left unconnected.
+        net.connect(Endpoint::child("cl", "lock_cmd"), Endpoint::boundary("out"));
+        m.add_component(
+            Component::new("Body")
+                .output("out", DataType::Bool)
+                .with_behavior(Behavior::Composite(net)),
+        )
+        .unwrap();
+        let findings = unconnected_inputs(&m);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("cl.speed"));
+    }
+
+    #[test]
+    fn check_faa_rules_sorts_by_severity() {
+        let m = conflict_model();
+        let findings = check_faa_rules(&m);
+        assert!(!findings.is_empty());
+        assert_eq!(findings[0].severity, Severity::Conflict);
+        // Display renders severity and rule.
+        let s = findings[0].to_string();
+        assert!(s.contains("[conflict] actuator-conflict"));
+    }
+
+    #[test]
+    fn conflicting_components_resolve_ids() {
+        let m = conflict_model();
+        let c = conflicting_components(&m);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].1.len(), 2);
+        assert_eq!(c[0].0, "DoorLockActuator");
+    }
+}

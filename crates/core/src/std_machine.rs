@@ -1,0 +1,389 @@
+//! State Transition Diagrams (STDs).
+//!
+//! "State Transition Diagrams are extended finite state machines similar to
+//! the popular Statecharts notation, but with some syntactic restrictions
+//! for excluding certain semantic ambiguities allowed by some standard
+//! Statecharts dialects" (paper, Sec. 3.2, citing von der Beeck's
+//! comparison, paper ref. 11).
+//!
+//! The restrictions enforced by [`StdMachine::validate`]:
+//!
+//! 1. **Flat machines** — no state hierarchy, hence no inter-level
+//!    transitions (ambiguity source #1 in Statecharts dialects).
+//! 2. **Deterministic choice** — priorities are total and unique per source
+//!    state; exactly the highest-priority enabled transition fires.
+//! 3. **No instantaneous self-reaction** — a transition's actions take
+//!    effect for the *next* evaluation; triggers never observe the outputs
+//!    emitted in the same tick (no Statecharts "instantaneous dialogue").
+//! 4. **Single assignment** — a transition assigns each output/variable at
+//!    most once.
+
+use automode_kernel::Value;
+use automode_lang::{check, Expr, Type, TypeEnv};
+
+use crate::error::CoreError;
+use crate::model::{ComponentId, Direction, Model};
+
+/// An assignment performed when a transition fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// Target: an output port or a local variable name.
+    pub target: String,
+    /// The value expression (over inputs, variables, and the constant pool).
+    pub expr: Expr,
+}
+
+/// A transition of an STD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StdTransition {
+    /// Source state index.
+    pub from: usize,
+    /// Target state index.
+    pub to: usize,
+    /// Guard expression (Boolean over inputs and variables).
+    pub guard: Expr,
+    /// Actions executed when the transition fires.
+    pub actions: Vec<Assign>,
+    /// Priority; lower fires first. Unique per source state.
+    pub priority: u32,
+}
+
+/// An extended finite state machine with local variables.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StdMachine {
+    /// State names.
+    pub states: Vec<String>,
+    /// Local variables with initial values.
+    pub vars: Vec<(String, Value)>,
+    /// Transitions.
+    pub transitions: Vec<StdTransition>,
+    /// Initial state index.
+    pub initial: usize,
+}
+
+impl StdMachine {
+    /// An empty machine.
+    pub fn new() -> Self {
+        StdMachine::default()
+    }
+
+    /// Adds a state; returns its index.
+    pub fn add_state(&mut self, name: impl Into<String>) -> usize {
+        self.states.push(name.into());
+        self.states.len() - 1
+    }
+
+    /// Declares a local variable with an initial value.
+    pub fn add_var(&mut self, name: impl Into<String>, init: impl Into<Value>) {
+        self.vars.push((name.into(), init.into()));
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(&mut self, t: StdTransition) {
+        self.transitions.push(t);
+    }
+
+    /// Finds a state index by name.
+    pub fn state_index(&self, name: &str) -> Option<usize> {
+        self.states.iter().position(|s| s == name)
+    }
+
+    /// Transitions leaving `state`, sorted by ascending priority.
+    pub fn transitions_from(&self, state: usize) -> Vec<&StdTransition> {
+        let mut out: Vec<&StdTransition> = self
+            .transitions
+            .iter()
+            .filter(|t| t.from == state)
+            .collect();
+        out.sort_by_key(|t| t.priority);
+        out
+    }
+
+    /// Validates the machine against its owner component's interface,
+    /// enforcing the syntactic restrictions listed in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Std`] (or [`CoreError::ExprType`]) describing
+    /// the first violation.
+    pub fn validate(&self, model: &Model, owner: ComponentId) -> Result<(), CoreError> {
+        let comp = model.component(owner);
+        if self.states.is_empty() {
+            return Err(CoreError::Std(format!("`{}` has no states", comp.name)));
+        }
+        if self.initial >= self.states.len() {
+            return Err(CoreError::Std(format!(
+                "`{}` initial state index {} out of range",
+                comp.name, self.initial
+            )));
+        }
+        for (i, s) in self.states.iter().enumerate() {
+            if self.states[..i].contains(s) {
+                return Err(CoreError::Std(format!("duplicate state name `{s}`")));
+            }
+        }
+        for (i, (v, _)) in self.vars.iter().enumerate() {
+            if self.vars[..i].iter().any(|(w, _)| w == v) {
+                return Err(CoreError::Std(format!("duplicate variable `{v}`")));
+            }
+            if comp.find_port(v).is_some() {
+                return Err(CoreError::Std(format!(
+                    "variable `{v}` shadows a port of `{}`",
+                    comp.name
+                )));
+            }
+        }
+        // Guard/action environment: inputs + variables (never outputs —
+        // restriction 3: no instantaneous observation of own outputs).
+        let mut env: TypeEnv = comp
+            .inputs()
+            .map(|p| (p.name.clone(), p.ty.lang_type()))
+            .collect();
+        for (v, init) in &self.vars {
+            env.bind(v.clone(), Type::of_value(init));
+        }
+        for t in &self.transitions {
+            if t.from >= self.states.len() || t.to >= self.states.len() {
+                return Err(CoreError::Std(format!(
+                    "transition references state index out of range ({} -> {})",
+                    t.from, t.to
+                )));
+            }
+            let gty = check(&t.guard, &env).map_err(|e| CoreError::ExprType {
+                context: format!(
+                    "guard {} -> {} of `{}`",
+                    self.states[t.from], self.states[t.to], comp.name
+                ),
+                message: e.to_string(),
+            })?;
+            if gty != Type::Bool && gty != Type::Any {
+                return Err(CoreError::Std(format!(
+                    "guard {} -> {} has type {gty}, expected bool",
+                    self.states[t.from], self.states[t.to]
+                )));
+            }
+            let mut assigned: Vec<&str> = Vec::new();
+            for a in &t.actions {
+                let is_output = comp
+                    .find_port(&a.target)
+                    .map(|p| p.direction == Direction::Out)
+                    .unwrap_or(false);
+                let is_var = self.vars.iter().any(|(v, _)| v == &a.target);
+                if !is_output && !is_var {
+                    return Err(CoreError::Std(format!(
+                        "action assigns `{}`, which is neither an output of `{}` nor a variable",
+                        a.target, comp.name
+                    )));
+                }
+                if assigned.contains(&a.target.as_str()) {
+                    return Err(CoreError::Std(format!(
+                        "transition assigns `{}` twice",
+                        a.target
+                    )));
+                }
+                assigned.push(&a.target);
+                check(&a.expr, &env).map_err(|e| CoreError::ExprType {
+                    context: format!("action `{}` of `{}`", a.target, comp.name),
+                    message: e.to_string(),
+                })?;
+            }
+        }
+        // Restriction 2: unique priorities per source state.
+        for (i, a) in self.transitions.iter().enumerate() {
+            for b in &self.transitions[..i] {
+                if a.from == b.from && a.priority == b.priority {
+                    return Err(CoreError::Std(format!(
+                        "state `{}` has two transitions with priority {}",
+                        self.states[a.from], a.priority
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Component, Model};
+    use crate::types::DataType;
+    use automode_lang::parse;
+
+    fn fixture() -> (Model, ComponentId) {
+        let mut m = Model::new("t");
+        let owner = m
+            .add_component(
+                Component::new("Latch")
+                    .input("set", DataType::Bool)
+                    .input("rst", DataType::Bool)
+                    .output("q", DataType::Bool),
+            )
+            .unwrap();
+        (m, owner)
+    }
+
+    fn basic_machine() -> StdMachine {
+        let mut fsm = StdMachine::new();
+        let off = fsm.add_state("Off");
+        let on = fsm.add_state("On");
+        fsm.add_transition(StdTransition {
+            from: off,
+            to: on,
+            guard: parse("set").unwrap(),
+            actions: vec![Assign {
+                target: "q".into(),
+                expr: parse("true").unwrap(),
+            }],
+            priority: 0,
+        });
+        fsm.add_transition(StdTransition {
+            from: on,
+            to: off,
+            guard: parse("rst").unwrap(),
+            actions: vec![Assign {
+                target: "q".into(),
+                expr: parse("false").unwrap(),
+            }],
+            priority: 0,
+        });
+        fsm
+    }
+
+    #[test]
+    fn valid_machine_passes() {
+        let (m, owner) = fixture();
+        basic_machine().validate(&m, owner).unwrap();
+    }
+
+    #[test]
+    fn empty_machine_rejected() {
+        let (m, owner) = fixture();
+        assert!(matches!(
+            StdMachine::new().validate(&m, owner),
+            Err(CoreError::Std(_))
+        ));
+    }
+
+    #[test]
+    fn guard_over_outputs_rejected() {
+        // Restriction: triggers never observe same-tick outputs.
+        let (m, owner) = fixture();
+        let mut fsm = basic_machine();
+        fsm.add_transition(StdTransition {
+            from: 0,
+            to: 0,
+            guard: parse("q").unwrap(),
+            actions: vec![],
+            priority: 1,
+        });
+        assert!(matches!(
+            fsm.validate(&m, owner),
+            Err(CoreError::ExprType { .. })
+        ));
+    }
+
+    #[test]
+    fn non_bool_guard_rejected() {
+        let (m, owner) = fixture();
+        let mut fsm = basic_machine();
+        fsm.add_transition(StdTransition {
+            from: 0,
+            to: 1,
+            guard: parse("1 + 2").unwrap(),
+            actions: vec![],
+            priority: 7,
+        });
+        assert!(matches!(fsm.validate(&m, owner), Err(CoreError::Std(_))));
+    }
+
+    #[test]
+    fn duplicate_priority_rejected() {
+        let (m, owner) = fixture();
+        let mut fsm = basic_machine();
+        fsm.add_transition(StdTransition {
+            from: 0,
+            to: 1,
+            guard: parse("rst").unwrap(),
+            actions: vec![],
+            priority: 0,
+        });
+        assert!(matches!(fsm.validate(&m, owner), Err(CoreError::Std(_))));
+    }
+
+    #[test]
+    fn assigning_inputs_rejected() {
+        let (m, owner) = fixture();
+        let mut fsm = basic_machine();
+        fsm.transitions[0].actions.push(Assign {
+            target: "set".into(),
+            expr: parse("true").unwrap(),
+        });
+        assert!(matches!(fsm.validate(&m, owner), Err(CoreError::Std(_))));
+    }
+
+    #[test]
+    fn double_assignment_rejected() {
+        let (m, owner) = fixture();
+        let mut fsm = basic_machine();
+        fsm.transitions[0].actions.push(Assign {
+            target: "q".into(),
+            expr: parse("false").unwrap(),
+        });
+        assert!(matches!(fsm.validate(&m, owner), Err(CoreError::Std(_))));
+    }
+
+    #[test]
+    fn variables_join_environment() {
+        let (m, owner) = fixture();
+        let mut fsm = basic_machine();
+        fsm.add_var("count", 0i64);
+        fsm.transitions[0].actions.push(Assign {
+            target: "count".into(),
+            expr: parse("count + 1").unwrap(),
+        });
+        fsm.validate(&m, owner).unwrap();
+    }
+
+    #[test]
+    fn variable_shadowing_port_rejected() {
+        let (m, owner) = fixture();
+        let mut fsm = basic_machine();
+        fsm.add_var("set", false);
+        assert!(matches!(fsm.validate(&m, owner), Err(CoreError::Std(_))));
+    }
+
+    #[test]
+    fn duplicate_states_and_bad_initial_rejected() {
+        let (m, owner) = fixture();
+        let mut fsm = basic_machine();
+        fsm.add_state("Off");
+        assert!(matches!(fsm.validate(&m, owner), Err(CoreError::Std(_))));
+
+        let mut fsm2 = basic_machine();
+        fsm2.initial = 9;
+        assert!(matches!(fsm2.validate(&m, owner), Err(CoreError::Std(_))));
+    }
+
+    #[test]
+    fn transitions_from_is_priority_sorted() {
+        let mut fsm = StdMachine::new();
+        let s = fsm.add_state("S");
+        fsm.add_transition(StdTransition {
+            from: s,
+            to: s,
+            guard: parse("true").unwrap(),
+            actions: vec![],
+            priority: 3,
+        });
+        fsm.add_transition(StdTransition {
+            from: s,
+            to: s,
+            guard: parse("false").unwrap(),
+            actions: vec![],
+            priority: 1,
+        });
+        let ts = fsm.transitions_from(s);
+        assert_eq!(ts[0].priority, 1);
+    }
+}

@@ -1,0 +1,863 @@
+//! The `.amdl` textual model format.
+//!
+//! The AutoMoDe tool prototype persists models; this module defines a
+//! human-readable textual format for the meta-model with a serializer
+//! ([`to_text`]) and parser ([`from_text`]) that round-trip exactly. The
+//! format covers components, ports (with resource tags), and every
+//! behaviour: expressions, composites (SSD/DFD), MTDs, STDs, and
+//! primitives. Port clocks and refinements are LA-level decoration and are
+//! not serialized (they are reproducible from the refinement inputs).
+//!
+//! ```text
+//! model engine
+//!
+//! component Gain {
+//!   in u: float
+//!   out y: float
+//!   expr y = (u * 3.0)
+//! }
+//!
+//! component Top {
+//!   in a: float
+//!   out b: float
+//!   dfd {
+//!     inst g: Gain
+//!     connect self.a -> g.u
+//!     connect g.y -> self.b
+//!   }
+//! }
+//!
+//! root Top
+//! ```
+
+use std::fmt::Write as _;
+
+use automode_kernel::Value;
+use automode_lang::parse as parse_expr;
+
+use crate::error::CoreError;
+use crate::model::{
+    Behavior, Component, Composite, CompositeKind, Direction, Endpoint, Model, Primitive,
+};
+use crate::mtd::Mtd;
+use crate::std_machine::{Assign, StdMachine, StdTransition};
+use crate::types::{DataType, EnumType};
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+fn type_to_text(ty: &DataType) -> String {
+    match ty {
+        DataType::Bool => "bool".to_string(),
+        DataType::Int => "int".to_string(),
+        DataType::Float => "float".to_string(),
+        DataType::Physical { quantity, unit } => format!("physical \"{quantity}\" \"{unit}\""),
+        DataType::Enum(e) => format!("enum {} {{ {} }}", e.name, e.literals.join(", ")),
+    }
+}
+
+fn value_to_text(v: &Value) -> String {
+    match v {
+        Value::Sym(s) => format!("#{s}"),
+        other => other.to_string(),
+    }
+}
+
+fn endpoint_to_text(ep: &Endpoint) -> String {
+    match &ep.instance {
+        Some(i) => format!("{i}.{}", ep.port),
+        None => format!("self.{}", ep.port),
+    }
+}
+
+/// Serializes a model to `.amdl` text.
+pub fn to_text(model: &Model) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "model {}", model.name());
+    for id in model.component_ids() {
+        let comp = model.component(id);
+        out.push('\n');
+        let _ = writeln!(out, "component {} {{", comp.name);
+        for p in &comp.ports {
+            let dir = match p.direction {
+                Direction::In => "in",
+                Direction::Out => "out",
+            };
+            let res = p
+                .resource
+                .as_ref()
+                .map(|r| format!(" @resource \"{r}\""))
+                .unwrap_or_default();
+            let _ = writeln!(out, "  {dir} {}: {}{res}", p.name, type_to_text(&p.ty));
+        }
+        match &comp.behavior {
+            Behavior::Unspecified => {}
+            Behavior::Expr(defs) => {
+                for (name, expr) in defs {
+                    let _ = writeln!(out, "  expr {name} = {expr}");
+                }
+            }
+            Behavior::Primitive(p) => {
+                let _ = match p {
+                    Primitive::Delay { init: Some(v) } => {
+                        writeln!(out, "  primitive delay init {}", value_to_text(v))
+                    }
+                    Primitive::Delay { init: None } => writeln!(out, "  primitive delay"),
+                    Primitive::UnitDelay { init: Some(v) } => {
+                        writeln!(out, "  primitive unitdelay init {}", value_to_text(v))
+                    }
+                    Primitive::UnitDelay { init: None } => writeln!(out, "  primitive unitdelay"),
+                    Primitive::When => writeln!(out, "  primitive when"),
+                    Primitive::Current { init } => {
+                        writeln!(out, "  primitive current init {}", value_to_text(init))
+                    }
+                };
+            }
+            Behavior::Composite(net) => {
+                let kw = match net.kind {
+                    CompositeKind::Ssd => "ssd",
+                    CompositeKind::Dfd => "dfd",
+                };
+                let _ = writeln!(out, "  {kw} {{");
+                for inst in &net.instances {
+                    let child = model.component(inst.component);
+                    let _ = writeln!(out, "    inst {}: {}", inst.name, child.name);
+                }
+                for ch in &net.channels {
+                    let _ = writeln!(
+                        out,
+                        "    connect {} -> {}",
+                        endpoint_to_text(&ch.from),
+                        endpoint_to_text(&ch.to)
+                    );
+                }
+                let _ = writeln!(out, "  }}");
+            }
+            Behavior::Mtd(mtd) => {
+                let _ = writeln!(out, "  mtd initial {} {{", mtd.modes[mtd.initial].name);
+                for mode in &mtd.modes {
+                    let beh = model.component(mode.behavior);
+                    let _ = writeln!(out, "    mode {}: {}", mode.name, beh.name);
+                }
+                for t in &mtd.transitions {
+                    let _ = writeln!(
+                        out,
+                        "    trans {} -> {} prio {} when {}",
+                        mtd.modes[t.from].name, mtd.modes[t.to].name, t.priority, t.trigger
+                    );
+                }
+                let _ = writeln!(out, "  }}");
+            }
+            Behavior::Std(fsm) => {
+                let _ = writeln!(out, "  std initial {} {{", fsm.states[fsm.initial]);
+                for s in &fsm.states {
+                    let _ = writeln!(out, "    state {s}");
+                }
+                for (v, init) in &fsm.vars {
+                    let _ = writeln!(out, "    var {v} = {}", value_to_text(init));
+                }
+                for t in &fsm.transitions {
+                    let actions = t
+                        .actions
+                        .iter()
+                        .map(|a| format!("{} := {}", a.target, a.expr))
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    let tail = if actions.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" do {actions}")
+                    };
+                    let _ = writeln!(
+                        out,
+                        "    trans {} -> {} prio {} when {}{tail}",
+                        fsm.states[t.from], fsm.states[t.to], t.priority, t.guard
+                    );
+                }
+                let _ = writeln!(out, "  }}");
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
+    if let Some(root) = model.root() {
+        out.push('\n');
+        let _ = writeln!(out, "root {}", model.component(root).name);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn err(line_no: usize, msg: impl Into<String>) -> CoreError {
+    CoreError::Notation(format!("amdl line {}: {}", line_no + 1, msg.into()))
+}
+
+fn parse_value(s: &str, line_no: usize) -> Result<Value, CoreError> {
+    let s = s.trim();
+    if let Some(sym) = s.strip_prefix('#') {
+        return Ok(Value::sym(sym));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if s.contains('.') {
+        s.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| err(line_no, format!("bad float `{s}`: {e}")))
+    } else {
+        s.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| err(line_no, format!("bad int `{s}`: {e}")))
+    }
+}
+
+fn parse_type(s: &str, line_no: usize) -> Result<DataType, CoreError> {
+    let s = s.trim();
+    match s {
+        "bool" => return Ok(DataType::Bool),
+        "int" => return Ok(DataType::Int),
+        "float" => return Ok(DataType::Float),
+        _ => {}
+    }
+    if let Some(rest) = s.strip_prefix("physical") {
+        let parts: Vec<&str> = rest.split('"').collect();
+        if parts.len() >= 4 {
+            return Ok(DataType::physical(parts[1], parts[3]));
+        }
+        return Err(err(line_no, format!("malformed physical type `{s}`")));
+    }
+    if let Some(rest) = s.strip_prefix("enum") {
+        let (name, body) = rest
+            .split_once('{')
+            .ok_or_else(|| err(line_no, format!("malformed enum `{s}`")))?;
+        let body = body
+            .strip_suffix('}')
+            .ok_or_else(|| err(line_no, "enum missing `}`"))?;
+        let literals: Vec<String> = body
+            .split(',')
+            .map(|l| l.trim().to_string())
+            .filter(|l| !l.is_empty())
+            .collect();
+        return Ok(DataType::Enum(EnumType::new(name.trim(), literals)));
+    }
+    Err(err(line_no, format!("unknown type `{s}`")))
+}
+
+fn parse_endpoint(s: &str, line_no: usize) -> Result<Endpoint, CoreError> {
+    let (head, port) = s
+        .trim()
+        .split_once('.')
+        .ok_or_else(|| err(line_no, format!("endpoint `{s}` needs `.`")))?;
+    Ok(if head == "self" {
+        Endpoint::boundary(port.trim())
+    } else {
+        Endpoint::child(head.trim(), port.trim())
+    })
+}
+
+/// Deferred references resolved after all components are declared.
+enum PendingBehavior {
+    Composite {
+        kind: CompositeKind,
+        instances: Vec<(String, String)>,
+        channels: Vec<(Endpoint, Endpoint)>,
+    },
+    Mtd {
+        initial: String,
+        modes: Vec<(String, String)>,
+        transitions: Vec<(String, String, u32, automode_lang::Expr)>,
+    },
+}
+
+/// Parses `.amdl` text into a model.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Notation`] with a line number on the first syntax
+/// problem, and structural errors (duplicate names, unknown references)
+/// from model construction.
+pub fn from_text(src: &str) -> Result<Model, CoreError> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut model: Option<Model> = None;
+    let mut root: Option<String> = None;
+    let mut pending: Vec<(String, PendingBehavior)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < lines.len() {
+        let line = lines[i].trim();
+        if line.is_empty() || line.starts_with('#') {
+            i += 1;
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("model ") {
+            model = Some(Model::new(name.trim()));
+            i += 1;
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("root ") {
+            root = Some(name.trim().to_string());
+            i += 1;
+            continue;
+        }
+        if let Some(head) = line.strip_prefix("component ") {
+            let name = head
+                .strip_suffix('{')
+                .ok_or_else(|| err(i, "component header must end with `{`"))?
+                .trim()
+                .to_string();
+            let mut comp = Component::new(name.clone());
+            let mut behavior: Option<Behavior> = None;
+            let mut this_pending: Option<PendingBehavior> = None;
+            i += 1;
+            // Component body.
+            while i < lines.len() {
+                let body = lines[i].trim();
+                if body == "}" {
+                    break;
+                }
+                if body.is_empty() || body.starts_with('#') {
+                    i += 1;
+                    continue;
+                }
+                if let Some(rest) = body.strip_prefix("in ").or_else(|| body.strip_prefix("out ")) {
+                    let dir = if body.starts_with("in ") {
+                        Direction::In
+                    } else {
+                        Direction::Out
+                    };
+                    let (port_name, tail) = rest
+                        .split_once(':')
+                        .ok_or_else(|| err(i, "port needs `name: type`"))?;
+                    let (ty_part, resource) = match tail.split_once("@resource") {
+                        Some((t, r)) => {
+                            let r = r.trim().trim_matches('"').to_string();
+                            (t, Some(r))
+                        }
+                        None => (tail, None),
+                    };
+                    let ty = parse_type(ty_part, i)?;
+                    let mut port =
+                        crate::model::Port::new(port_name.trim(), dir, ty);
+                    port.resource = resource;
+                    comp = comp.port(port);
+                } else if let Some(rest) = body.strip_prefix("expr ") {
+                    let (out_name, expr_src) = rest
+                        .split_once('=')
+                        .ok_or_else(|| err(i, "expr needs `name = expression`"))?;
+                    let expr = parse_expr(expr_src.trim())
+                        .map_err(|e| err(i, format!("expression: {e}")))?;
+                    let defs = match behavior.take() {
+                        Some(Behavior::Expr(mut defs)) => {
+                            defs.insert(out_name.trim().to_string(), expr);
+                            defs
+                        }
+                        None => {
+                            let mut defs = std::collections::BTreeMap::new();
+                            defs.insert(out_name.trim().to_string(), expr);
+                            defs
+                        }
+                        Some(_) => return Err(err(i, "component already has a behaviour")),
+                    };
+                    behavior = Some(Behavior::Expr(defs));
+                } else if let Some(rest) = body.strip_prefix("primitive ") {
+                    let mut parts = rest.split_whitespace();
+                    let kind = parts.next().unwrap_or_default();
+                    let init = match parts.next() {
+                        Some("init") => {
+                            let rest: Vec<&str> = parts.collect();
+                            Some(parse_value(&rest.join(" "), i)?)
+                        }
+                        Some(other) => {
+                            return Err(err(i, format!("unexpected `{other}` after primitive")))
+                        }
+                        None => None,
+                    };
+                    let prim = match (kind, init) {
+                        ("delay", init) => Primitive::Delay { init },
+                        ("unitdelay", init) => Primitive::UnitDelay { init },
+                        ("when", None) => Primitive::When,
+                        ("current", Some(v)) => Primitive::Current { init: v },
+                        (k, _) => return Err(err(i, format!("bad primitive `{k}`"))),
+                    };
+                    behavior = Some(Behavior::Primitive(prim));
+                } else if body == "ssd {" || body == "dfd {" {
+                    let kind = if body.starts_with("ssd") {
+                        CompositeKind::Ssd
+                    } else {
+                        CompositeKind::Dfd
+                    };
+                    let mut instances = Vec::new();
+                    let mut channels = Vec::new();
+                    i += 1;
+                    while i < lines.len() {
+                        let inner = lines[i].trim();
+                        if inner == "}" {
+                            break;
+                        }
+                        if inner.is_empty() || inner.starts_with('#') {
+                            i += 1;
+                            continue;
+                        }
+                        if let Some(rest) = inner.strip_prefix("inst ") {
+                            let (iname, cname) = rest
+                                .split_once(':')
+                                .ok_or_else(|| err(i, "inst needs `name: Component`"))?;
+                            instances
+                                .push((iname.trim().to_string(), cname.trim().to_string()));
+                        } else if let Some(rest) = inner.strip_prefix("connect ") {
+                            let (from, to) = rest
+                                .split_once("->")
+                                .ok_or_else(|| err(i, "connect needs `a -> b`"))?;
+                            channels.push((parse_endpoint(from, i)?, parse_endpoint(to, i)?));
+                        } else {
+                            return Err(err(i, format!("unexpected `{inner}` in composite")));
+                        }
+                        i += 1;
+                    }
+                    this_pending = Some(PendingBehavior::Composite {
+                        kind,
+                        instances,
+                        channels,
+                    });
+                } else if let Some(rest) = body.strip_prefix("mtd initial ") {
+                    let initial = rest
+                        .strip_suffix('{')
+                        .ok_or_else(|| err(i, "mtd header must end with `{`"))?
+                        .trim()
+                        .to_string();
+                    let mut modes = Vec::new();
+                    let mut transitions = Vec::new();
+                    i += 1;
+                    while i < lines.len() {
+                        let inner = lines[i].trim();
+                        if inner == "}" {
+                            break;
+                        }
+                        if inner.is_empty() || inner.starts_with('#') {
+                            i += 1;
+                            continue;
+                        }
+                        if let Some(rest) = inner.strip_prefix("mode ") {
+                            let (mname, cname) = rest
+                                .split_once(':')
+                                .ok_or_else(|| err(i, "mode needs `name: Component`"))?;
+                            modes.push((mname.trim().to_string(), cname.trim().to_string()));
+                        } else if let Some(rest) = inner.strip_prefix("trans ") {
+                            let (fromto, tail) = rest
+                                .split_once(" prio ")
+                                .ok_or_else(|| err(i, "trans needs ` prio `"))?;
+                            let (from, to) = fromto
+                                .split_once("->")
+                                .ok_or_else(|| err(i, "trans needs `A -> B`"))?;
+                            let (prio, trigger_src) = tail
+                                .split_once(" when ")
+                                .ok_or_else(|| err(i, "trans needs ` when `"))?;
+                            let prio: u32 = prio
+                                .trim()
+                                .parse()
+                                .map_err(|e| err(i, format!("bad priority: {e}")))?;
+                            let trigger = parse_expr(trigger_src.trim())
+                                .map_err(|e| err(i, format!("trigger: {e}")))?;
+                            transitions.push((
+                                from.trim().to_string(),
+                                to.trim().to_string(),
+                                prio,
+                                trigger,
+                            ));
+                        } else {
+                            return Err(err(i, format!("unexpected `{inner}` in mtd")));
+                        }
+                        i += 1;
+                    }
+                    this_pending = Some(PendingBehavior::Mtd {
+                        initial,
+                        modes,
+                        transitions,
+                    });
+                } else if let Some(rest) = body.strip_prefix("std initial ") {
+                    let initial = rest
+                        .strip_suffix('{')
+                        .ok_or_else(|| err(i, "std header must end with `{`"))?
+                        .trim()
+                        .to_string();
+                    let mut fsm = StdMachine::new();
+                    let mut state_names = Vec::new();
+                    i += 1;
+                    while i < lines.len() {
+                        let inner = lines[i].trim();
+                        if inner == "}" {
+                            break;
+                        }
+                        if inner.is_empty() || inner.starts_with('#') {
+                            i += 1;
+                            continue;
+                        }
+                        if let Some(name) = inner.strip_prefix("state ") {
+                            state_names.push(name.trim().to_string());
+                            fsm.add_state(name.trim());
+                        } else if let Some(rest) = inner.strip_prefix("var ") {
+                            let (vname, init) = rest
+                                .split_once('=')
+                                .ok_or_else(|| err(i, "var needs `name = value`"))?;
+                            fsm.add_var(vname.trim(), parse_value(init, i)?);
+                        } else if let Some(rest) = inner.strip_prefix("trans ") {
+                            let (fromto, tail) = rest
+                                .split_once(" prio ")
+                                .ok_or_else(|| err(i, "trans needs ` prio `"))?;
+                            let (from, to) = fromto
+                                .split_once("->")
+                                .ok_or_else(|| err(i, "trans needs `A -> B`"))?;
+                            let (prio, rest2) = tail
+                                .split_once(" when ")
+                                .ok_or_else(|| err(i, "trans needs ` when `"))?;
+                            let prio: u32 = prio
+                                .trim()
+                                .parse()
+                                .map_err(|e| err(i, format!("bad priority: {e}")))?;
+                            let (guard_src, actions_src) = match rest2.split_once(" do ") {
+                                Some((g, a)) => (g, Some(a)),
+                                None => (rest2, None),
+                            };
+                            let guard = parse_expr(guard_src.trim())
+                                .map_err(|e| err(i, format!("guard: {e}")))?;
+                            let mut actions = Vec::new();
+                            if let Some(asrc) = actions_src {
+                                for a in asrc.split(';') {
+                                    let (target, esrc) = a
+                                        .split_once(":=")
+                                        .ok_or_else(|| err(i, "action needs `target := expr`"))?;
+                                    actions.push(Assign {
+                                        target: target.trim().to_string(),
+                                        expr: parse_expr(esrc.trim())
+                                            .map_err(|e| err(i, format!("action: {e}")))?,
+                                    });
+                                }
+                            }
+                            let from_idx = state_names
+                                .iter()
+                                .position(|s| s == from.trim())
+                                .ok_or_else(|| err(i, format!("unknown state `{from}`")))?;
+                            let to_idx = state_names
+                                .iter()
+                                .position(|s| s == to.trim())
+                                .ok_or_else(|| err(i, format!("unknown state `{to}`")))?;
+                            fsm.add_transition(StdTransition {
+                                from: from_idx,
+                                to: to_idx,
+                                guard,
+                                actions,
+                                priority: prio,
+                            });
+                        } else {
+                            return Err(err(i, format!("unexpected `{inner}` in std")));
+                        }
+                        i += 1;
+                    }
+                    fsm.initial = state_names
+                        .iter()
+                        .position(|s| *s == initial)
+                        .ok_or_else(|| err(i, format!("unknown initial state `{initial}`")))?;
+                    behavior = Some(Behavior::Std(fsm));
+                } else {
+                    return Err(err(i, format!("unexpected `{body}` in component")));
+                }
+                i += 1;
+            }
+            if let Some(b) = behavior {
+                comp = comp.with_behavior(b);
+            }
+            let m = model
+                .as_mut()
+                .ok_or_else(|| err(i, "`model <name>` must come first"))?;
+            m.add_component(comp)?;
+            if let Some(p) = this_pending {
+                pending.push((name, p));
+            }
+            i += 1;
+            continue;
+        }
+        return Err(err(i, format!("unexpected `{line}`")));
+    }
+
+    let mut m = model.ok_or_else(|| CoreError::Notation("missing `model` header".into()))?;
+
+    // Resolve deferred behaviours now that every component exists.
+    for (owner_name, p) in pending {
+        let owner = m
+            .find(&owner_name)
+            .ok_or_else(|| CoreError::UnknownComponent(owner_name.clone()))?;
+        match p {
+            PendingBehavior::Composite {
+                kind,
+                instances,
+                channels,
+            } => {
+                let mut net = Composite::new(kind);
+                for (iname, cname) in instances {
+                    let cid = m
+                        .find(&cname)
+                        .ok_or_else(|| CoreError::UnknownComponent(cname))?;
+                    net.instantiate(iname, cid);
+                }
+                for (from, to) in channels {
+                    net.connect(from, to);
+                }
+                m.component_mut(owner).behavior = Behavior::Composite(net);
+            }
+            PendingBehavior::Mtd {
+                initial,
+                modes,
+                transitions,
+            } => {
+                let mut mtd = Mtd::new();
+                let mut names = Vec::new();
+                for (mname, cname) in modes {
+                    let cid = m
+                        .find(&cname)
+                        .ok_or_else(|| CoreError::UnknownComponent(cname))?;
+                    mtd.add_mode(mname.clone(), cid);
+                    names.push(mname);
+                }
+                for (from, to, prio, trigger) in transitions {
+                    let fi = names
+                        .iter()
+                        .position(|n| *n == from)
+                        .ok_or_else(|| CoreError::Mtd(format!("unknown mode `{from}`")))?;
+                    let ti = names
+                        .iter()
+                        .position(|n| *n == to)
+                        .ok_or_else(|| CoreError::Mtd(format!("unknown mode `{to}`")))?;
+                    mtd.add_transition(fi, ti, trigger, prio);
+                }
+                mtd.initial = names
+                    .iter()
+                    .position(|n| *n == initial)
+                    .ok_or_else(|| CoreError::Mtd(format!("unknown initial mode `{initial}`")))?;
+                m.component_mut(owner).behavior = Behavior::Mtd(mtd);
+            }
+        }
+    }
+
+    if let Some(root_name) = root {
+        let id = m
+            .find(&root_name)
+            .ok_or_else(|| CoreError::UnknownComponent(root_name))?;
+        m.set_root(id);
+    }
+    m.validate_structure()?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_lang::parse;
+
+    fn roundtrip(m: &Model) -> Model {
+        let text = to_text(m);
+        from_text(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"))
+    }
+
+    #[test]
+    fn expr_component_roundtrips() {
+        let mut m = Model::new("t");
+        let id = m
+            .add_component(
+                Component::new("Gain")
+                    .input("u", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("u * 3.0").unwrap())),
+            )
+            .unwrap();
+        m.set_root(id);
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn all_port_types_roundtrip() {
+        let mut m = Model::new("t");
+        m.add_component(
+            Component::new("Types")
+                .input("b", DataType::Bool)
+                .input("i", DataType::Int)
+                .input("f", DataType::Float)
+                .input("p", DataType::physical("Voltage", "V"))
+                .input(
+                    "e",
+                    DataType::Enum(EnumType::new("LockStatus", ["Locked", "Unlocked"])),
+                )
+                .output("y", DataType::Float)
+                .resource("y", "SomeActuator"),
+        )
+        .unwrap();
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        for kind in [CompositeKind::Ssd, CompositeKind::Dfd] {
+            let mut m = Model::new("t");
+            let leaf = m
+                .add_component(
+                    Component::new("Leaf")
+                        .input("x", DataType::Float)
+                        .output("y", DataType::Float)
+                        .with_behavior(Behavior::expr("y", parse("x + 1.0").unwrap())),
+                )
+                .unwrap();
+            let mut net = Composite::new(kind);
+            net.instantiate("a", leaf);
+            net.instantiate("b", leaf);
+            net.connect(Endpoint::boundary("in"), Endpoint::child("a", "x"));
+            net.connect(Endpoint::child("a", "y"), Endpoint::child("b", "x"));
+            net.connect(Endpoint::child("b", "y"), Endpoint::boundary("out"));
+            let top = m
+                .add_component(
+                    Component::new("Top")
+                        .input("in", DataType::Float)
+                        .output("out", DataType::Float)
+                        .with_behavior(Behavior::Composite(net)),
+                )
+                .unwrap();
+            m.set_root(top);
+            assert_eq!(roundtrip(&m), m);
+        }
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut m = Model::new("t");
+        for (name, prim) in [
+            ("D1", Primitive::Delay { init: Some(Value::Float(1.5)) }),
+            ("D2", Primitive::Delay { init: None }),
+            ("D3", Primitive::UnitDelay { init: Some(Value::Int(3)) }),
+            ("D4", Primitive::UnitDelay { init: None }),
+            ("W", Primitive::When),
+            ("C", Primitive::Current { init: Value::sym("Idle") }),
+        ] {
+            m.add_component(
+                Component::new(name)
+                    .input("x", DataType::Float)
+                    .input("c", DataType::Bool)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Primitive(prim)),
+            )
+            .unwrap();
+        }
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn mtd_roundtrips() {
+        let mut m = Model::new("t");
+        let a = m
+            .add_component(
+                Component::new("A")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("0.2 + x * 0.0").unwrap())),
+            )
+            .unwrap();
+        let b = m
+            .add_component(
+                Component::new("B")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+            )
+            .unwrap();
+        let mut mtd = Mtd::new();
+        let ma = mtd.add_mode("CrankingOverrun", a);
+        let mb = mtd.add_mode("FuelEnabled", b);
+        mtd.add_transition(ma, mb, parse("x > 600.0").unwrap(), 0);
+        mtd.add_transition(mb, ma, parse("x < 300.0").unwrap(), 0);
+        mtd.initial = mb;
+        m.add_component(
+            Component::new("Throttle")
+                .input("x", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::Mtd(mtd)),
+        )
+        .unwrap();
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn std_roundtrips() {
+        let mut m = Model::new("t");
+        let mut fsm = StdMachine::new();
+        let off = fsm.add_state("Off");
+        let on = fsm.add_state("On");
+        fsm.add_var("count", 0i64);
+        fsm.add_transition(StdTransition {
+            from: off,
+            to: on,
+            guard: parse("go").unwrap(),
+            actions: vec![
+                Assign {
+                    target: "q".into(),
+                    expr: parse("true").unwrap(),
+                },
+                Assign {
+                    target: "count".into(),
+                    expr: parse("count + 1").unwrap(),
+                },
+            ],
+            priority: 0,
+        });
+        fsm.add_transition(StdTransition {
+            from: on,
+            to: off,
+            guard: parse("not go").unwrap(),
+            actions: vec![],
+            priority: 0,
+        });
+        fsm.initial = on;
+        m.add_component(
+            Component::new("Latch")
+                .input("go", DataType::Bool)
+                .output("q", DataType::Bool)
+                .with_behavior(Behavior::Std(fsm)),
+        )
+        .unwrap();
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let src = "model t\n\ncomponent X {\n  frobnicate\n}\n";
+        let e = from_text(src).unwrap_err();
+        assert!(e.to_string().contains("line 4"), "{e}");
+    }
+
+    #[test]
+    fn unknown_references_rejected() {
+        let src = "model t\n\ncomponent T {\n  dfd {\n    inst a: Ghost\n  }\n}\n";
+        assert!(matches!(
+            from_text(src),
+            Err(CoreError::UnknownComponent(_))
+        ));
+        let src = "model t\nroot Ghost\n";
+        assert!(matches!(
+            from_text(src),
+            Err(CoreError::UnknownComponent(_))
+        ));
+    }
+
+    #[test]
+    fn missing_model_header_rejected() {
+        assert!(from_text("component X {\n}\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# header comment\nmodel t\n\ncomponent X {\n  # port comment\n  in x: float\n}\n";
+        let m = from_text(src).unwrap();
+        assert_eq!(m.component_count(), 1);
+    }
+}

@@ -1,0 +1,448 @@
+//! The AutoMoDe type system: abstract types and implementation types.
+//!
+//! FAA/FDA models use *abstract* data types ([`DataType`]) — including
+//! physical quantities with units — while LA-level models use
+//! *implementation types* ([`ImplType`]) that "capture the platform-related
+//! constraints associated with implementation": `int` maps to `int16` or
+//! `int32`, floating-point messages map to fixed-point or integer messages
+//! (paper, Sec. 3.3). An [`Encoding`] carries the linear conversion law of
+//! such a mapping; [`Refinement`] pairs the target type with its encoding
+//! and a quantization error bound.
+
+use std::fmt;
+
+use automode_lang::Type as LangType;
+
+use crate::error::CoreError;
+
+/// An enumeration type: a name plus its literals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EnumType {
+    /// The type name, e.g. `LockStatus`.
+    pub name: String,
+    /// The literals, e.g. `Locked`, `Unlocked`.
+    pub literals: Vec<String>,
+}
+
+impl EnumType {
+    /// Creates an enumeration type.
+    pub fn new(
+        name: impl Into<String>,
+        literals: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        EnumType {
+            name: name.into(),
+            literals: literals.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Whether `lit` is a literal of this enumeration.
+    pub fn contains(&self, lit: &str) -> bool {
+        self.literals.iter().any(|l| l == lit)
+    }
+}
+
+/// An abstract (FAA/FDA-level) data type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// Abstract integer (unbounded range at this level).
+    Int,
+    /// Abstract real number.
+    Float,
+    /// An enumeration.
+    Enum(EnumType),
+    /// A physical quantity with a unit, e.g. `Voltage [V]`. Behaves like
+    /// `Float` in simulation; refinement maps it to an implementation type
+    /// with an explicit encoding.
+    Physical {
+        /// Quantity name, e.g. `Voltage`.
+        quantity: String,
+        /// Unit, e.g. `V`.
+        unit: String,
+    },
+}
+
+impl DataType {
+    /// A physical quantity type.
+    pub fn physical(quantity: impl Into<String>, unit: impl Into<String>) -> Self {
+        DataType::Physical {
+            quantity: quantity.into(),
+            unit: unit.into(),
+        }
+    }
+
+    /// The corresponding base-language type (for expression checking).
+    pub fn lang_type(&self) -> LangType {
+        match self {
+            DataType::Bool => LangType::Bool,
+            DataType::Int => LangType::Int,
+            DataType::Float | DataType::Physical { .. } => LangType::Float,
+            DataType::Enum(_) => LangType::Sym,
+        }
+    }
+
+    /// Whether a channel may connect a source of type `self` to a
+    /// destination of type `other` without an explicit conversion.
+    pub fn connectable_to(&self, other: &DataType) -> bool {
+        self == other
+            || matches!(
+                (self, other),
+                (DataType::Int, DataType::Float) | (DataType::Physical { .. }, DataType::Float)
+            )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Bool => write!(f, "bool"),
+            DataType::Int => write!(f, "int"),
+            DataType::Float => write!(f, "float"),
+            DataType::Enum(e) => write!(f, "{}", e.name),
+            DataType::Physical { quantity, unit } => write!(f, "{quantity}[{unit}]"),
+        }
+    }
+}
+
+/// An implementation (LA-level) type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImplType {
+    /// One machine Boolean.
+    Bool,
+    /// Signed 8-bit integer.
+    Int8,
+    /// Signed 16-bit integer.
+    Int16,
+    /// Signed 32-bit integer.
+    Int32,
+    /// Unsigned 8-bit integer.
+    UInt8,
+    /// Unsigned 16-bit integer.
+    UInt16,
+    /// Unsigned 32-bit integer.
+    UInt32,
+    /// IEEE-754 single precision.
+    Float32,
+    /// IEEE-754 double precision.
+    Float64,
+    /// Fixed-point with a storage width and fractional bits.
+    Fixed {
+        /// Total storage bits (8, 16, or 32).
+        width: u8,
+        /// Fractional bits (< width).
+        frac_bits: u8,
+    },
+    /// Enumeration stored as a small integer.
+    Enum(EnumType),
+}
+
+impl ImplType {
+    /// Storage width in bits.
+    pub fn bits(&self) -> u8 {
+        match self {
+            ImplType::Bool => 1,
+            ImplType::Int8 | ImplType::UInt8 => 8,
+            ImplType::Int16 | ImplType::UInt16 => 16,
+            ImplType::Int32 | ImplType::UInt32 | ImplType::Float32 => 32,
+            ImplType::Float64 => 64,
+            ImplType::Fixed { width, .. } => *width,
+            ImplType::Enum(_) => 8,
+        }
+    }
+
+    /// Representable integer range for the integral types.
+    pub fn int_range(&self) -> Option<(i64, i64)> {
+        match self {
+            ImplType::Int8 => Some((i8::MIN as i64, i8::MAX as i64)),
+            ImplType::Int16 => Some((i16::MIN as i64, i16::MAX as i64)),
+            ImplType::Int32 => Some((i32::MIN as i64, i32::MAX as i64)),
+            ImplType::UInt8 => Some((0, u8::MAX as i64)),
+            ImplType::UInt16 => Some((0, u16::MAX as i64)),
+            ImplType::UInt32 => Some((0, u32::MAX as i64)),
+            ImplType::Fixed { width, .. } => {
+                let w = *width as u32;
+                Some((-(1i64 << (w - 1)), (1i64 << (w - 1)) - 1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this implementation type can implement the abstract type
+    /// (ignoring range/precision, which the [`Encoding`] handles).
+    pub fn implements(&self, abstract_ty: &DataType) -> bool {
+        match (abstract_ty, self) {
+            (DataType::Bool, ImplType::Bool) => true,
+            (
+                DataType::Int,
+                ImplType::Int8
+                | ImplType::Int16
+                | ImplType::Int32
+                | ImplType::UInt8
+                | ImplType::UInt16
+                | ImplType::UInt32,
+            ) => true,
+            (
+                DataType::Float | DataType::Physical { .. },
+                ImplType::Float32
+                | ImplType::Float64
+                | ImplType::Fixed { .. }
+                | ImplType::Int8
+                | ImplType::Int16
+                | ImplType::Int32
+                | ImplType::UInt16
+                | ImplType::UInt8
+                | ImplType::UInt32,
+            ) => true,
+            (DataType::Enum(a), ImplType::Enum(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ImplType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImplType::Bool => write!(f, "bool"),
+            ImplType::Int8 => write!(f, "int8"),
+            ImplType::Int16 => write!(f, "int16"),
+            ImplType::Int32 => write!(f, "int32"),
+            ImplType::UInt8 => write!(f, "uint8"),
+            ImplType::UInt16 => write!(f, "uint16"),
+            ImplType::UInt32 => write!(f, "uint32"),
+            ImplType::Float32 => write!(f, "float32"),
+            ImplType::Float64 => write!(f, "float64"),
+            ImplType::Fixed { width, frac_bits } => write!(f, "fixed{width}q{frac_bits}"),
+            ImplType::Enum(e) => write!(f, "enum {}", e.name),
+        }
+    }
+}
+
+/// A linear encoding of a physical/abstract value into an implementation
+/// value: `physical = scale * raw + offset`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Encoding {
+    /// Scale (LSB weight).
+    pub scale: f64,
+    /// Offset.
+    pub offset: f64,
+}
+
+impl Encoding {
+    /// The identity encoding.
+    pub fn identity() -> Self {
+        Encoding {
+            scale: 1.0,
+            offset: 0.0,
+        }
+    }
+
+    /// A pure scaling.
+    pub fn scaled(scale: f64) -> Self {
+        Encoding { scale, offset: 0.0 }
+    }
+
+    /// Quantizes a physical value to its raw representation.
+    pub fn quantize(&self, physical: f64) -> i64 {
+        ((physical - self.offset) / self.scale).round() as i64
+    }
+
+    /// Decodes a raw representation back to the physical value.
+    pub fn decode(&self, raw: i64) -> f64 {
+        self.scale * raw as f64 + self.offset
+    }
+
+    /// The worst-case quantization error (half an LSB).
+    pub fn max_quantization_error(&self) -> f64 {
+        self.scale.abs() / 2.0
+    }
+}
+
+impl Default for Encoding {
+    fn default() -> Self {
+        Encoding::identity()
+    }
+}
+
+/// A complete type refinement: abstract type → implementation type with an
+/// encoding (paper, Sec. 4, "transformation of physical signals to
+/// implementation signals (i.e. the choice of encoding and data type)").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Refinement {
+    /// The implementation type chosen.
+    pub impl_type: ImplType,
+    /// The encoding law.
+    pub encoding: Encoding,
+}
+
+impl Refinement {
+    /// Builds a refinement and checks it implements the abstract type, and
+    /// that the given physical range fits the implementation range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Refinement`] if the implementation type cannot
+    /// represent the abstract type, or the range does not fit.
+    pub fn checked(
+        abstract_ty: &DataType,
+        impl_type: ImplType,
+        encoding: Encoding,
+        physical_range: Option<(f64, f64)>,
+    ) -> Result<Self, CoreError> {
+        if !impl_type.implements(abstract_ty) {
+            return Err(CoreError::Refinement(format!(
+                "{impl_type} cannot implement {abstract_ty}"
+            )));
+        }
+        if let (Some((lo, hi)), Some((rlo, rhi))) = (physical_range, impl_type.int_range()) {
+            for bound in [lo, hi] {
+                let raw = encoding.quantize(bound);
+                if raw < rlo || raw > rhi {
+                    return Err(CoreError::Refinement(format!(
+                        "value {bound} encodes to raw {raw}, outside {impl_type} range [{rlo}, {rhi}]"
+                    )));
+                }
+            }
+        }
+        Ok(Refinement {
+            impl_type,
+            encoding,
+        })
+    }
+
+    /// Round-trip error of representing `physical` through this refinement.
+    pub fn roundtrip_error(&self, physical: f64) -> f64 {
+        (self.encoding.decode(self.encoding.quantize(physical)) - physical).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_type_contains() {
+        let e = EnumType::new("LockStatus", ["Locked", "Unlocked"]);
+        assert!(e.contains("Locked"));
+        assert!(!e.contains("Ajar"));
+    }
+
+    #[test]
+    fn lang_type_mapping() {
+        assert_eq!(DataType::Bool.lang_type(), LangType::Bool);
+        assert_eq!(
+            DataType::physical("Voltage", "V").lang_type(),
+            LangType::Float
+        );
+        assert_eq!(
+            DataType::Enum(EnumType::new("E", ["A"])).lang_type(),
+            LangType::Sym
+        );
+    }
+
+    #[test]
+    fn connectability() {
+        assert!(DataType::Int.connectable_to(&DataType::Float));
+        assert!(!DataType::Float.connectable_to(&DataType::Int));
+        assert!(DataType::physical("V", "V").connectable_to(&DataType::Float));
+        assert!(DataType::Bool.connectable_to(&DataType::Bool));
+        assert!(!DataType::Bool.connectable_to(&DataType::Int));
+    }
+
+    #[test]
+    fn impl_type_ranges() {
+        assert_eq!(ImplType::Int16.int_range(), Some((-32768, 32767)));
+        assert_eq!(ImplType::UInt8.int_range(), Some((0, 255)));
+        assert_eq!(ImplType::Float32.int_range(), None);
+        assert_eq!(
+            ImplType::Fixed {
+                width: 16,
+                frac_bits: 8
+            }
+            .int_range(),
+            Some((-32768, 32767))
+        );
+    }
+
+    #[test]
+    fn implements_relation() {
+        assert!(ImplType::Int16.implements(&DataType::Int));
+        assert!(ImplType::Fixed {
+            width: 16,
+            frac_bits: 8
+        }
+        .implements(&DataType::Float));
+        assert!(!ImplType::Bool.implements(&DataType::Int));
+        assert!(ImplType::Int16.implements(&DataType::physical("Speed", "m/s")));
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        // Voltage 0..16 V at 1/256 V per bit.
+        let enc = Encoding::scaled(1.0 / 256.0);
+        let raw = enc.quantize(12.5);
+        assert_eq!(raw, 3200);
+        assert_eq!(enc.decode(raw), 12.5);
+        assert!(enc.max_quantization_error() <= 1.0 / 512.0 + 1e-12);
+    }
+
+    #[test]
+    fn encoding_with_offset() {
+        // Temperature -40..215 C in uint8.
+        let enc = Encoding {
+            scale: 1.0,
+            offset: -40.0,
+        };
+        assert_eq!(enc.quantize(-40.0), 0);
+        assert_eq!(enc.quantize(25.0), 65);
+        assert_eq!(enc.decode(65), 25.0);
+    }
+
+    #[test]
+    fn checked_refinement_validates_range() {
+        let r = Refinement::checked(
+            &DataType::physical("Voltage", "V"),
+            ImplType::UInt16,
+            Encoding::scaled(1.0 / 256.0),
+            Some((0.0, 16.0)),
+        )
+        .unwrap();
+        assert!(r.roundtrip_error(12.3) <= r.encoding.max_quantization_error());
+
+        // 0..300 V does not fit uint8 at 1 V/bit.
+        let err = Refinement::checked(
+            &DataType::physical("Voltage", "V"),
+            ImplType::UInt8,
+            Encoding::identity(),
+            Some((0.0, 300.0)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Refinement(_)));
+    }
+
+    #[test]
+    fn checked_refinement_rejects_wrong_kind() {
+        let err = Refinement::checked(
+            &DataType::Bool,
+            ImplType::Int16,
+            Encoding::identity(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Refinement(_)));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            ImplType::Fixed {
+                width: 16,
+                frac_bits: 8
+            }
+            .to_string(),
+            "fixed16q8"
+        );
+        assert_eq!(DataType::physical("Voltage", "V").to_string(), "Voltage[V]");
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests of the type system and CCD rules.
+
+use automode_core::ccd::{Ccd, CcdChannel, Cluster, FixedPriorityDataIntegrityPolicy, TargetPolicy};
+use automode_core::model::{Behavior, Component, Model};
+use automode_core::types::{DataType, Encoding, ImplType, Refinement};
+use automode_lang::parse;
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantize/decode round trip stays within half an LSB for any linear
+    /// encoding.
+    #[test]
+    fn encoding_roundtrip_bound(
+        x in -1000.0f64..1000.0,
+        scale_exp in -8i32..4,
+        offset in -100.0f64..100.0
+    ) {
+        let scale = 2.0f64.powi(scale_exp);
+        let enc = Encoding { scale, offset };
+        let err = (enc.decode(enc.quantize(x)) - x).abs();
+        prop_assert!(err <= enc.max_quantization_error() + 1e-9,
+            "err {err} > bound {}", enc.max_quantization_error());
+    }
+
+    /// A checked refinement never accepts a range outside the target's
+    /// representable raw interval.
+    #[test]
+    fn checked_refinement_respects_ranges(lo in -500.0f64..0.0, hi in 0.0f64..500.0) {
+        let r = Refinement::checked(
+            &DataType::Float,
+            ImplType::Int8,
+            Encoding::identity(),
+            Some((lo, hi)),
+        );
+        let fits = lo.round() >= i8::MIN as f64 && hi.round() <= i8::MAX as f64;
+        prop_assert_eq!(r.is_ok(), fits);
+    }
+
+    /// The OSEK policy accepts a channel iff rates are harmonic and
+    /// (slow→fast implies delayed).
+    #[test]
+    fn osek_policy_characterization(
+        from_period in 1u32..200,
+        to_period in 1u32..200,
+        delays in 0u32..3
+    ) {
+        let mut model = Model::new("t");
+        let src = model
+            .add_component(
+                Component::new("S")
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("1.0").unwrap())),
+            )
+            .unwrap();
+        let dst = model
+            .add_component(
+                Component::new("D")
+                    .input("x", DataType::Float)
+                    .output("o", DataType::Float)
+                    .with_behavior(Behavior::expr("o", parse("x").unwrap())),
+            )
+            .unwrap();
+        let from = Cluster::new("from", src, from_period);
+        let to = Cluster::new("to", dst, to_period);
+        let ch = CcdChannel::direct("from", "y", "to", "x").with_delays(delays);
+        let policy = FixedPriorityDataIntegrityPolicy::new();
+        let verdict = policy.check_channel(&from, &to, &ch);
+        let harmonic = from_period.max(to_period) % from_period.min(to_period) == 0;
+        let needs_delay = from_period > to_period;
+        let expected_ok = harmonic && (!needs_delay || delays > 0);
+        prop_assert_eq!(verdict.is_ok(), expected_ok);
+    }
+
+    /// CCD structural validation accepts any single-writer chain of
+    /// type-compatible clusters.
+    #[test]
+    fn ccd_chains_validate(n in 2usize..12, periods in prop::collection::vec(1u32..8, 12)) {
+        let mut model = Model::new("t");
+        let mut ccd = Ccd::new();
+        for i in 0..n {
+            let id = model
+                .add_component(
+                    Component::new(format!("C{i}"))
+                        .input("x", DataType::Float)
+                        .output("y", DataType::Float)
+                        .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+                )
+                .unwrap();
+            // Power-of-two periods are always harmonic.
+            ccd = ccd.cluster(Cluster::new(format!("c{i}"), id, 1 << (periods[i] % 4)));
+        }
+        for i in 0..n - 1 {
+            let from = ccd.clusters[i].clone();
+            let to = ccd.clusters[i + 1].clone();
+            let mut ch = CcdChannel::direct(from.name.clone(), "y", to.name.clone(), "x");
+            if from.period > to.period {
+                ch = ch.with_delays(1);
+            }
+            ccd = ccd.channel(ch);
+        }
+        prop_assert!(ccd
+            .validate_against(&model, &FixedPriorityDataIntegrityPolicy::new())
+            .is_ok());
+    }
+
+    /// Implementation types implement exactly their abstract counterparts'
+    /// kind (sampled check over the numeric grid).
+    #[test]
+    fn impl_type_bits_positive(width_sel in 0usize..9) {
+        let all = [
+            ImplType::Bool,
+            ImplType::Int8,
+            ImplType::Int16,
+            ImplType::Int32,
+            ImplType::UInt8,
+            ImplType::UInt16,
+            ImplType::UInt32,
+            ImplType::Float32,
+            ImplType::Float64,
+        ];
+        let t = &all[width_sel % all.len()];
+        prop_assert!(t.bits() >= 1);
+        if let Some((lo, hi)) = t.int_range() {
+            prop_assert!(lo <= hi);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `.amdl` round-trip property
+// ---------------------------------------------------------------------------
+
+use automode_core::model::{Composite, CompositeKind, Endpoint};
+use automode_core::text::{from_text, to_text};
+use automode_kernel::ops::BinOp;
+use automode_lang::Expr;
+
+fn arb_leaf_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::ident("a")),
+        Just(Expr::ident("b")),
+        (0i64..20).prop_map(Expr::lit),
+        (0u8..40).prop_map(|x| Expr::lit(automode_kernel::Value::Float(f64::from(x) / 4.0))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::bin(BinOp::Add, x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::bin(BinOp::Mul, x, y)),
+            (inner.clone(), inner).prop_map(|(x, y)| Expr::bin(BinOp::Min, x, y)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random models (leaf expression components + a DFD wiring them)
+    /// round-trip exactly through the `.amdl` format.
+    #[test]
+    fn amdl_roundtrip_random_models(
+        exprs in prop::collection::vec(arb_leaf_expr(), 1..5),
+        kind in prop_oneof![Just(CompositeKind::Dfd), Just(CompositeKind::Ssd)],
+    ) {
+        let mut m = Model::new("random");
+        let mut leaves = Vec::new();
+        for (i, e) in exprs.iter().enumerate() {
+            let id = m
+                .add_component(
+                    Component::new(format!("Leaf{i}"))
+                        .input("a", DataType::Float)
+                        .input("b", DataType::Float)
+                        .output("y", DataType::Float)
+                        .with_behavior(Behavior::expr("y", e.clone())),
+                )
+                .unwrap();
+            leaves.push(id);
+        }
+        let mut net = Composite::new(kind);
+        for (i, id) in leaves.iter().enumerate() {
+            net.instantiate(format!("n{i}"), *id);
+        }
+        // Chain: boundary -> n0 -> n1 -> ... -> boundary.
+        net.connect(Endpoint::boundary("in"), Endpoint::child("n0", "a"));
+        net.connect(Endpoint::boundary("in"), Endpoint::child("n0", "b"));
+        for i in 1..leaves.len() {
+            net.connect(
+                Endpoint::child(format!("n{}", i - 1), "y"),
+                Endpoint::child(format!("n{i}"), "a"),
+            );
+            net.connect(Endpoint::boundary("in"), Endpoint::child(format!("n{i}"), "b"));
+        }
+        net.connect(
+            Endpoint::child(format!("n{}", leaves.len() - 1), "y"),
+            Endpoint::boundary("out"),
+        );
+        let top = m
+            .add_component(
+                Component::new("Top")
+                    .input("in", DataType::Float)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Composite(net)),
+            )
+            .unwrap();
+        m.set_root(top);
+
+        let text = to_text(&m);
+        let reloaded = from_text(&text)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        prop_assert_eq!(reloaded, m);
+    }
+}

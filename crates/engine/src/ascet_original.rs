@@ -1,0 +1,255 @@
+//! The "original" ASCET-style four-stroke gasoline engine controller.
+//!
+//! The case study (Sec. 5) was "provided in terms of a detailed ASCET-SD
+//! model"; this module rebuilds a synthetic equivalent exhibiting exactly
+//! the pathologies the paper describes:
+//!
+//! * a **central component that "emits a large number of flags which
+//!   altogether represent the global state of the engine"** — the
+//!   `engine_state` module with its `b_*` log messages;
+//! * **implicit modes hidden in If-Then-Else control flow** — most
+//!   prominently `throttle_ctrl.calc_rate`, the paper's
+//!   `ThrottleRateOfChange`, whose two branches are the implicit
+//!   `FuelEnabled` / `CrankingOverrun` modes of Fig. 8;
+//! * nested conditional cascades (`fuel.calc_ti`) and stateful trimming
+//!   (`idle_speed.trim`).
+
+use automode_ascet::model::{
+    AscetModel, AscetType, MessageDecl, MessageKind, Module, Process, Stmt,
+};
+use automode_lang::parse;
+
+fn msg(name: &str, ty: AscetType, kind: MessageKind) -> MessageDecl {
+    MessageDecl::new(name, ty, kind)
+}
+
+/// Builds the original flag-based engine controller model.
+///
+/// Modules:
+///
+/// * `engine_state` (10 ms) — computes the five global flags from `rpm`,
+///   `throttle`, `key_on`;
+/// * `throttle_ctrl` (10 ms) — `ThrottleRateOfChange`: rate limiting with
+///   an implicit Cranking/Overrun mode;
+/// * `fuel` (10 ms) — injection time with a nested If cascade over three
+///   flags;
+/// * `ignition` (10 ms) — spark advance with a cranking special case;
+/// * `lambda_control` (10 ms) — stateful closed-loop lambda trim with an
+///   open-loop hold guarded by three flags;
+/// * `idle_speed` (100 ms) — stateful idle-speed trim integrator.
+pub fn original_engine_model() -> AscetModel {
+    let engine_state = Module::new("engine_state")
+        .message(msg("rpm", AscetType::Cont, MessageKind::Receive))
+        .message(msg("throttle", AscetType::Cont, MessageKind::Receive))
+        .message(msg("key_on", AscetType::Log, MessageKind::Receive))
+        .message(msg("b_cranking", AscetType::Log, MessageKind::Send))
+        .message(msg("b_running", AscetType::Log, MessageKind::Send))
+        .message(msg("b_idle", AscetType::Log, MessageKind::Send))
+        .message(msg("b_overrun", AscetType::Log, MessageKind::Send))
+        .message(msg("b_fullload", AscetType::Log, MessageKind::Send))
+        .process(Process::new(
+            "compute_flags",
+            10,
+            vec![
+                Stmt::assign("b_cranking", parse("key_on and rpm < 600.0").unwrap()),
+                Stmt::assign("b_running", parse("key_on and rpm >= 600.0").unwrap()),
+                Stmt::assign(
+                    "b_idle",
+                    parse("key_on and rpm >= 600.0 and throttle < 0.05").unwrap(),
+                ),
+                Stmt::assign(
+                    "b_overrun",
+                    parse("key_on and rpm > 1500.0 and throttle < 0.01").unwrap(),
+                ),
+                Stmt::assign(
+                    "b_fullload",
+                    parse("key_on and rpm >= 600.0 and throttle > 0.9").unwrap(),
+                ),
+            ],
+        ));
+
+    // The paper's ThrottleRateOfChange: constant factor while cranking or
+    // in overrun, detailed algorithm otherwise (Fig. 8).
+    let throttle_ctrl = Module::new("throttle_ctrl")
+        .message(msg("rate", AscetType::Cont, MessageKind::Send))
+        .process(Process::new(
+            "calc_rate",
+            10,
+            vec![Stmt::If {
+                cond: parse("b_cranking or b_overrun").unwrap(),
+                then_branch: vec![Stmt::assign("rate", parse("0.2").unwrap())],
+                else_branch: vec![Stmt::assign(
+                    "rate",
+                    parse("clamp(throttle * 2.0 + rpm * 0.0001, 0.0, 2.0)").unwrap(),
+                )],
+            }],
+        ));
+
+    let fuel = Module::new("fuel")
+        .message(msg("ti", AscetType::Cont, MessageKind::Send))
+        .process(Process::new(
+            "calc_ti",
+            10,
+            vec![Stmt::If {
+                cond: parse("b_overrun").unwrap(),
+                then_branch: vec![Stmt::assign("ti", parse("0.0").unwrap())],
+                else_branch: vec![Stmt::If {
+                    cond: parse("b_cranking").unwrap(),
+                    then_branch: vec![Stmt::assign("ti", parse("4.0").unwrap())],
+                    else_branch: vec![Stmt::If {
+                        cond: parse("b_fullload").unwrap(),
+                        then_branch: vec![Stmt::assign(
+                            "ti",
+                            parse("(1.0 + throttle * 8.0 + rpm * 0.0001) * 1.2").unwrap(),
+                        )],
+                        else_branch: vec![Stmt::assign(
+                            "ti",
+                            parse("1.0 + throttle * 8.0 + rpm * 0.0001").unwrap(),
+                        )],
+                    }],
+                }],
+            }],
+        ));
+
+    let ignition = Module::new("ignition")
+        .message(msg("advance", AscetType::Cont, MessageKind::Send))
+        .process(Process::new(
+            "calc_adv",
+            10,
+            vec![Stmt::If {
+                cond: parse("b_cranking").unwrap(),
+                then_branch: vec![Stmt::assign("advance", parse("5.0").unwrap())],
+                else_branch: vec![Stmt::assign(
+                    "advance",
+                    parse("clamp(10.0 + rpm * 0.003, 10.0, 35.0)").unwrap(),
+                )],
+            }],
+        ));
+
+    // Closed-loop lambda (air-fuel ratio) trim: integrates the O2-sensor
+    // error while the engine is in its closed-loop window, holds the trim
+    // in open-loop phases (cranking, full load, overrun).
+    let lambda_control = Module::new("lambda_control")
+        .message(msg("o2", AscetType::Cont, MessageKind::Receive))
+        .message(msg("lam_trim", AscetType::Cont, MessageKind::Send))
+        .process(Process::new(
+            "lambda",
+            10,
+            vec![Stmt::If {
+                cond: parse("b_running and not b_fullload and not b_overrun").unwrap(),
+                then_branch: vec![Stmt::assign(
+                    "lam_trim",
+                    parse("clamp(lam_trim + (1.0 - o2) * 0.01, -0.3, 0.3)").unwrap(),
+                )],
+                else_branch: vec![Stmt::assign("lam_trim", parse("lam_trim").unwrap())],
+            }],
+        ));
+
+    let idle_speed = Module::new("idle_speed")
+        .message(msg("idle_trim", AscetType::Cont, MessageKind::Send))
+        .process(Process::new(
+            "trim",
+            100,
+            vec![Stmt::If {
+                cond: parse("b_idle").unwrap(),
+                then_branch: vec![Stmt::assign(
+                    "idle_trim",
+                    parse("clamp(idle_trim + (800.0 - rpm) * 0.0001, -0.5, 0.5)").unwrap(),
+                )],
+                else_branch: vec![Stmt::assign("idle_trim", parse("idle_trim").unwrap())],
+            }],
+        ));
+
+    AscetModel::new("gasoline_engine_controller")
+        .module(engine_state)
+        .module(throttle_ctrl)
+        .module(fuel)
+        .module(ignition)
+        .module(lambda_control)
+        .module(idle_speed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_ascet::{central_flag_module, mode_candidates, AscetInterp, Stimulus};
+    use automode_kernel::Value;
+
+    #[test]
+    fn model_validates() {
+        original_engine_model().validate().unwrap();
+    }
+
+    #[test]
+    fn central_flag_component_is_engine_state() {
+        let m = original_engine_model();
+        let (name, count) = central_flag_module(&m).unwrap();
+        assert_eq!(name, "engine_state");
+        assert_eq!(count, 5, "the paper's 'large number of flags'");
+        assert_eq!(m.flag_count(), 5);
+    }
+
+    #[test]
+    fn implicit_modes_are_detectable() {
+        let m = original_engine_model();
+        let cands = mode_candidates(&m);
+        // throttle_ctrl, fuel, ignition, idle_speed all hide modes in
+        // flag-guarded conditionals.
+        assert!(cands.len() >= 5, "found {}", cands.len());
+        let throttle = cands
+            .iter()
+            .find(|c| c.process == "calc_rate")
+            .expect("ThrottleRateOfChange candidate");
+        assert!(throttle.is_exhaustive());
+        assert_eq!(throttle.flags, vec!["b_cranking", "b_overrun"]);
+        assert_eq!(m.if_count(), 7);
+    }
+
+    #[test]
+    fn cranking_behaviour_observable_in_execution() {
+        let m = original_engine_model();
+        let mut interp = AscetInterp::new(&m).unwrap();
+        let mut stim = Stimulus::new();
+        stim.insert("key_on".into(), Box::new(|_| Some(Value::Bool(true))));
+        stim.insert(
+            "rpm".into(),
+            Box::new(|t| Some(Value::Float(if t < 50 { 200.0 } else { 2000.0 }))),
+        );
+        stim.insert("throttle".into(), Box::new(|_| Some(Value::Float(0.3))));
+        let trace = interp
+            .run(100, &stim, &["rate", "ti", "advance"])
+            .unwrap();
+        // While cranking: rate pinned to 0.2, rich mixture, fixed advance.
+        let rate0 = trace.signal("rate").unwrap()[10].value().unwrap().as_float().unwrap();
+        assert_eq!(rate0, 0.2);
+        let ti0 = trace.signal("ti").unwrap()[10].value().unwrap().as_float().unwrap();
+        assert_eq!(ti0, 4.0);
+        let adv0 = trace.signal("advance").unwrap()[10].value().unwrap().as_float().unwrap();
+        assert_eq!(adv0, 5.0);
+        // Once running: detailed computations take over.
+        let rate1 = trace.signal("rate").unwrap()[90].value().unwrap().as_float().unwrap();
+        assert!((rate1 - (0.3 * 2.0 + 2000.0 * 0.0001)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_trim_accumulates_only_in_idle() {
+        let m = original_engine_model();
+        let mut interp = AscetInterp::new(&m).unwrap();
+        let mut stim = Stimulus::new();
+        stim.insert("key_on".into(), Box::new(|_| Some(Value::Bool(true))));
+        stim.insert("rpm".into(), Box::new(|_| Some(Value::Float(700.0))));
+        stim.insert("throttle".into(), Box::new(|_| Some(Value::Float(0.0))));
+        let trace = interp.run(500, &stim, &["idle_trim"]).unwrap();
+        let first = trace.signal("idle_trim").unwrap()[0]
+            .value()
+            .unwrap()
+            .as_float()
+            .unwrap();
+        let last = trace.signal("idle_trim").unwrap()[499]
+            .value()
+            .unwrap()
+            .as_float()
+            .unwrap();
+        assert!(last > first, "trim must integrate the 100 rpm deficit");
+    }
+}

@@ -1,0 +1,240 @@
+//! The simplified engine-controller CCD of Fig. 7 and its deployment.
+//!
+//! Fig. 7 shows "an AutoMoDe CCD representing a simplified engine
+//! controller": a flat network of clusters with explicit rates. We build a
+//! three-cluster version: `fuel_control` and `ignition_control` at the fast
+//! rate, `diagnosis_monitoring` at the slow rate. The diagnosis cluster
+//! consumes the fast signals (fast→slow: no delay needed) and feeds a
+//! limit back to fuel control (slow→fast: requires an explicit delay
+//! operator on the OSEK target, Sec. 3.3).
+
+use std::collections::BTreeMap;
+
+use automode_core::ccd::{Ccd, CcdChannel, Cluster};
+use automode_core::model::{Behavior, Component, ComponentId, Model};
+use automode_core::types::DataType;
+use automode_core::CoreError;
+use automode_lang::parse;
+
+/// The three clusters of the simplified engine controller CCD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineClusterIds {
+    /// Fuel control component (fast rate).
+    pub fuel: ComponentId,
+    /// Ignition control component (fast rate).
+    pub ignition: ComponentId,
+    /// Diagnosis/monitoring component (slow rate).
+    pub diagnosis: ComponentId,
+}
+
+/// Builds the Fig. 7 CCD. `fast`/`slow` are the cluster periods in base
+/// ticks (e.g. 1 and 10 for 10 ms / 100 ms).
+///
+/// # Errors
+///
+/// Propagates meta-model construction errors.
+///
+/// # Panics
+///
+/// Panics if `fast == 0` or `slow == 0` (cluster periods must be positive).
+pub fn build_engine_ccd(
+    model: &mut Model,
+    fast: u32,
+    slow: u32,
+) -> Result<(Ccd, EngineClusterIds), CoreError> {
+    // Reuse components if they were already built into this model (e.g. a
+    // second CCD variant over the same components).
+    if let (Some(fuel), Some(ignition), Some(diagnosis)) = (
+        model.find("FuelControl"),
+        model.find("IgnitionControl"),
+        model.find("DiagnosisMonitoring"),
+    ) {
+        return Ok((
+            assemble_ccd(fuel, ignition, diagnosis, fast, slow),
+            EngineClusterIds {
+                fuel,
+                ignition,
+                diagnosis,
+            },
+        ));
+    }
+    let fuel = model.add_component(
+        Component::new("FuelControl")
+            .input("rpm", DataType::physical("EngineSpeed", "rpm"))
+            .input("throttle", DataType::Float)
+            .input("ti_limit", DataType::Float)
+            .output("ti", DataType::Float)
+            .with_behavior(Behavior::expr(
+                "ti",
+                parse("min(1.0 + throttle * 8.0 + rpm * 0.0001, ti_limit)").unwrap(),
+            )),
+    )?;
+    let ignition = model.add_component(
+        Component::new("IgnitionControl")
+            .input("rpm", DataType::physical("EngineSpeed", "rpm"))
+            .output("advance", DataType::Float)
+            .with_behavior(Behavior::expr(
+                "advance",
+                parse("clamp(10.0 + rpm * 0.003, 10.0, 35.0)").unwrap(),
+            )),
+    )?;
+    let diagnosis = model.add_component(
+        Component::new("DiagnosisMonitoring")
+            .input("ti", DataType::Float)
+            .input("advance", DataType::Float)
+            .output("ti_limit", DataType::Float)
+            .with_behavior(Behavior::expr(
+                // Derate fuel when the engine runs hot (proxy: sustained
+                // high injection + high advance).
+                "ti_limit",
+                parse("if ti + advance * 0.1 > 12.0 then 6.0 else 20.0").unwrap(),
+            )),
+    )?;
+
+    Ok((
+        assemble_ccd(fuel, ignition, diagnosis, fast, slow),
+        EngineClusterIds {
+            fuel,
+            ignition,
+            diagnosis,
+        },
+    ))
+}
+
+fn assemble_ccd(
+    fuel: ComponentId,
+    ignition: ComponentId,
+    diagnosis: ComponentId,
+    fast: u32,
+    slow: u32,
+) -> Ccd {
+    Ccd::new()
+        .cluster(Cluster::new("fuel_control", fuel, fast))
+        .cluster(Cluster::new("ignition_control", ignition, fast))
+        .cluster(Cluster::new("diagnosis_monitoring", diagnosis, slow))
+        // Fast -> slow: no delay operator required.
+        .channel(CcdChannel::direct("fuel_control", "ti", "diagnosis_monitoring", "ti"))
+        .channel(CcdChannel::direct(
+            "ignition_control",
+            "advance",
+            "diagnosis_monitoring",
+            "advance",
+        ))
+        // Slow -> fast: one delay operator required by the OSEK target.
+        .channel(
+            CcdChannel::direct("diagnosis_monitoring", "ti_limit", "fuel_control", "ti_limit")
+                .with_delays(1),
+        )
+}
+
+/// An ill-formed variant of the same CCD: the slow→fast feedback channel
+/// lacks its delay operator. Used by the Fig. 7 experiment to demonstrate
+/// rule detection.
+///
+/// # Errors
+///
+/// Propagates meta-model construction errors.
+pub fn build_engine_ccd_missing_delay(
+    model: &mut Model,
+    fast: u32,
+    slow: u32,
+) -> Result<Ccd, CoreError> {
+    let (ccd, _) = build_engine_ccd(model, fast, slow)?;
+    let mut bad = Ccd::new();
+    for c in &ccd.clusters {
+        bad = bad.cluster(Cluster::new(
+            format!("{}2", c.name),
+            c.component,
+            c.period,
+        ));
+    }
+    for ch in &ccd.channels {
+        let mut ch2 = CcdChannel::direct(
+            format!("{}2", ch.from_cluster),
+            ch.from_port.clone(),
+            format!("{}2", ch.to_cluster),
+            ch.to_port.clone(),
+        );
+        // Strip the delay from every channel.
+        ch2.delays = 0;
+        bad = bad.channel(ch2);
+    }
+    Ok(bad)
+}
+
+/// The default WCET budget per cluster (µs) used by deployment examples and
+/// benches.
+pub fn engine_cluster_wcets() -> BTreeMap<String, u64> {
+    let mut w = BTreeMap::new();
+    w.insert("fuel_control".to_string(), 800);
+    w.insert("ignition_control".to_string(), 400);
+    w.insert("diagnosis_monitoring".to_string(), 2_000);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::ccd::{FixedPriorityDataIntegrityPolicy, PermissivePolicy};
+    use automode_transform::deploy::{deploy, DeploymentSpec};
+
+    #[test]
+    fn fig7_ccd_is_well_defined_for_osek() {
+        let mut m = Model::new("fig7");
+        let (ccd, _) = build_engine_ccd(&mut m, 1, 10).unwrap();
+        ccd.validate_against(&m, &FixedPriorityDataIntegrityPolicy::new())
+            .unwrap();
+    }
+
+    #[test]
+    fn missing_delay_is_detected_exactly_once() {
+        let mut m = Model::new("fig7bad");
+        let bad = build_engine_ccd_missing_delay(&mut m, 1, 10).unwrap();
+        let violations = bad.violations(&m, &FixedPriorityDataIntegrityPolicy::new());
+        assert_eq!(violations.len(), 1, "exactly the slow->fast channel");
+        assert!(violations[0].to_string().contains("delay"));
+        // A permissive (time-triggered) target accepts the same CCD:
+        // well-definedness conditions are target-dependent.
+        bad.validate_against(&m, &PermissivePolicy).unwrap();
+    }
+
+    #[test]
+    fn fig7_ccd_deploys_to_one_ecu() {
+        let mut m = Model::new("fig7");
+        let (ccd, _) = build_engine_ccd(&mut m, 10, 100).unwrap();
+        let mut spec = DeploymentSpec::new(["engine_ecu"]);
+        for (c, w) in engine_cluster_wcets() {
+            spec = spec.wcet(c, w);
+        }
+        let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+        assert!(d.clusters_unsplit());
+        let ecu = d.ta.ecu("engine_ecu").unwrap();
+        assert_eq!(ecu.tasks.len(), 2); // 10-tick and 100-tick tasks
+        assert!(ecu.utilization() < 0.5);
+        // Single ECU: no bus traffic.
+        assert!(d.comm_matrix.signals.is_empty());
+        // The generated project contains all three clusters as modules.
+        let manifest = d.projects[0].file("engine_ecu/project.amdesc").unwrap();
+        for module in ["fuel_control", "ignition_control", "diagnosis_monitoring"] {
+            assert!(manifest.contains(module), "missing {module}");
+        }
+    }
+
+    #[test]
+    fn split_deployment_generates_comm_matrix() {
+        let mut m = Model::new("fig7");
+        let (ccd, _) = build_engine_ccd(&mut m, 10, 100).unwrap();
+        let spec = DeploymentSpec::new(["engine_ecu", "diag_ecu"])
+            .pin("fuel_control", "engine_ecu")
+            .pin("ignition_control", "engine_ecu")
+            .pin("diagnosis_monitoring", "diag_ecu");
+        let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+        // Three signals cross the ECU boundary.
+        assert_eq!(d.comm_matrix.signals.len(), 3);
+        assert_eq!(d.projects.len(), 2);
+        assert_eq!(d.ta.buses.len(), 1);
+        // Bus load must be sane.
+        let bus = &d.ta.buses[0];
+        assert!(bus.load() < 0.2, "load {}", bus.load());
+    }
+}

@@ -1,0 +1,311 @@
+//! The `DoorLockControl` of Fig. 1 and its body-electronics SSD (Fig. 4).
+//!
+//! Fig. 1 shows the component with inputs `T4S:LockStatus`,
+//! `CRSH:CrashStatus`, `FZG_V:Voltage` and outputs `T1C..T4C:LockCommand`,
+//! and a trace in which channels carry either values or the `"-"` absence
+//! marker. The behaviour modelled here:
+//!
+//! * a crash event forces `Unlock` on all four doors (event-triggered:
+//!   `CRSH` is sporadic);
+//! * otherwise, a change of the driver-door lock switch `T4S` is mirrored
+//!   to all doors as a `Lock`/`Unlock` command — but only while the board
+//!   voltage suffices (≥ 9 V);
+//! * when nothing happens, **no message** is emitted (the `"-"` of Fig. 1).
+
+use automode_core::model::{
+    Behavior, Component, Composite, CompositeKind, ComponentId, Endpoint, Model, Primitive,
+};
+use automode_core::types::{DataType, EnumType};
+use automode_core::CoreError;
+use automode_lang::parse;
+
+/// The `LockStatus` enumeration of Fig. 1.
+pub fn lock_status_type() -> DataType {
+    DataType::Enum(EnumType::new("LockStatus", ["Locked", "Unlocked"]))
+}
+
+/// The `CrashStatus` enumeration.
+pub fn crash_status_type() -> DataType {
+    DataType::Enum(EnumType::new("CrashStatus", ["NoCrash", "Crash"]))
+}
+
+/// The `LockCommand` enumeration.
+pub fn lock_command_type() -> DataType {
+    DataType::Enum(EnumType::new("LockCommand", ["Lock", "Unlock"]))
+}
+
+/// Builds the `DoorLockControl` component into `model` and returns its id.
+///
+/// Internally a DFD: a crash detector gated through a `when`, the mirrored
+/// lock command gated by a voltage check, and an or-else merge giving the
+/// crash path priority.
+///
+/// # Errors
+///
+/// Propagates meta-model construction errors.
+pub fn build_door_lock(model: &mut Model) -> Result<ComponentId, CoreError> {
+    // crash = (CRSH ? #NoCrash) == #Crash   -- absent CRSH means no crash.
+    let crash_flag = model.add_component(
+        Component::new("CrashFlag")
+            .input("CRSH", crash_status_type())
+            .output("crash", DataType::Bool)
+            .with_behavior(Behavior::expr(
+                "crash",
+                parse("(CRSH ? #NoCrash) == #Crash").unwrap(),
+            )),
+    )?;
+    let unlock_const = model.add_component(
+        Component::new("UnlockConst")
+            .output("cmd", lock_command_type())
+            .with_behavior(Behavior::expr("cmd", parse("#Unlock").unwrap())),
+    )?;
+    let crash_gate = model.add_component(
+        Component::new("CrashGate")
+            .input("data", lock_command_type())
+            .input("cond", DataType::Bool)
+            .output("out", lock_command_type())
+            .with_behavior(Behavior::Primitive(Primitive::When)),
+    )?;
+    let volt_ok = model.add_component(
+        Component::new("VoltOk")
+            .input("FZG_V", DataType::physical("Voltage", "V"))
+            .output("ok", DataType::Bool)
+            .with_behavior(Behavior::expr("ok", parse("FZG_V >= 9.0").unwrap())),
+    )?;
+    // Strict in T4S: absent switch event -> absent command.
+    let mirror = model.add_component(
+        Component::new("MirrorCommand")
+            .input("T4S", lock_status_type())
+            .output("cmd", lock_command_type())
+            .with_behavior(Behavior::expr(
+                "cmd",
+                parse("if T4S == #Locked then #Lock else #Unlock").unwrap(),
+            )),
+    )?;
+    let mirror_gate = model.add_component(
+        Component::new("MirrorGate")
+            .input("data", lock_command_type())
+            .input("cond", DataType::Bool)
+            .output("out", lock_command_type())
+            .with_behavior(Behavior::Primitive(Primitive::When)),
+    )?;
+    // Crash command wins; otherwise the mirrored command; otherwise absent.
+    let merge = model.add_component(
+        Component::new("CommandMerge")
+            .input("a", lock_command_type())
+            .input("b", lock_command_type())
+            .output("out", lock_command_type())
+            .with_behavior(Behavior::expr("out", parse("a ? b").unwrap())),
+    )?;
+
+    let mut net = Composite::new(CompositeKind::Dfd);
+    net.instantiate("crash_flag", crash_flag);
+    net.instantiate("unlock_const", unlock_const);
+    net.instantiate("crash_gate", crash_gate);
+    net.instantiate("volt_ok", volt_ok);
+    net.instantiate("mirror", mirror);
+    net.instantiate("mirror_gate", mirror_gate);
+    net.instantiate("merge", merge);
+    net.connect(Endpoint::boundary("CRSH"), Endpoint::child("crash_flag", "CRSH"));
+    net.connect(Endpoint::child("unlock_const", "cmd"), Endpoint::child("crash_gate", "data"));
+    net.connect(Endpoint::child("crash_flag", "crash"), Endpoint::child("crash_gate", "cond"));
+    net.connect(Endpoint::boundary("FZG_V"), Endpoint::child("volt_ok", "FZG_V"));
+    net.connect(Endpoint::boundary("T4S"), Endpoint::child("mirror", "T4S"));
+    net.connect(Endpoint::child("mirror", "cmd"), Endpoint::child("mirror_gate", "data"));
+    net.connect(Endpoint::child("volt_ok", "ok"), Endpoint::child("mirror_gate", "cond"));
+    net.connect(Endpoint::child("crash_gate", "out"), Endpoint::child("merge", "a"));
+    net.connect(Endpoint::child("mirror_gate", "out"), Endpoint::child("merge", "b"));
+    for out in ["T1C", "T2C", "T3C", "T4C"] {
+        net.connect(Endpoint::child("merge", "out"), Endpoint::boundary(out));
+    }
+
+    let mut comp = Component::new("DoorLockControl")
+        .input("T4S", lock_status_type())
+        .input("CRSH", crash_status_type())
+        .input("FZG_V", DataType::physical("Voltage", "V"));
+    for out in ["T1C", "T2C", "T3C", "T4C"] {
+        comp = comp.output(out, lock_command_type());
+    }
+    comp = comp
+        .resource("T1C", "DoorActuatorFL")
+        .resource("T2C", "DoorActuatorFR")
+        .resource("T3C", "DoorActuatorRL")
+        .resource("T4C", "DoorActuatorRR")
+        .with_behavior(Behavior::Composite(net));
+    model.add_component(comp)
+}
+
+/// Builds the body-electronics SSD of Fig. 4 around [`build_door_lock`]:
+/// the `DoorLockControl` plus a crash sensor filter, connected by SSD
+/// channels (each introducing one message delay). Returns the SSD root.
+///
+/// # Errors
+///
+/// Propagates meta-model construction errors.
+pub fn build_door_lock_system(model: &mut Model) -> Result<ComponentId, CoreError> {
+    let ctrl = build_door_lock(model)?;
+    let crash_sensor = model.add_component(
+        Component::new("CrashSensorFilter")
+            .input("raw_accel", DataType::physical("Acceleration", "m/s^2"))
+            .output("CRSH", crash_status_type())
+            .with_behavior(Behavior::expr(
+                "CRSH",
+                parse("if abs(raw_accel) > 50.0 then #Crash else #NoCrash").unwrap(),
+            )),
+    )?;
+    let mut ssd = Composite::new(CompositeKind::Ssd);
+    ssd.instantiate("crash_sensor", crash_sensor);
+    ssd.instantiate("door_lock", ctrl);
+    ssd.connect(Endpoint::boundary("raw_accel"), Endpoint::child("crash_sensor", "raw_accel"));
+    ssd.connect(
+        Endpoint::child("crash_sensor", "CRSH"),
+        Endpoint::child("door_lock", "CRSH"),
+    );
+    ssd.connect(Endpoint::boundary("T4S"), Endpoint::child("door_lock", "T4S"));
+    ssd.connect(Endpoint::boundary("FZG_V"), Endpoint::child("door_lock", "FZG_V"));
+    ssd.connect(Endpoint::child("door_lock", "T1C"), Endpoint::boundary("T1C"));
+
+    let root = model.add_component(
+        Component::new("BodyElectronics")
+            .input("T4S", lock_status_type())
+            .input("raw_accel", DataType::physical("Acceleration", "m/s^2"))
+            .input("FZG_V", DataType::physical("Voltage", "V"))
+            .output("T1C", lock_command_type())
+            .with_behavior(Behavior::Composite(ssd)),
+    )?;
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_kernel::{Message, Stream, Value};
+    use automode_sim::{simulate_component, stimulus};
+
+    fn lock_events() -> Stream {
+        // Sporadic T4S events: locked at t1, unlocked at t4, else absent.
+        let mut s = Stream::absent(6);
+        // Indexing is immutable; rebuild instead.
+        let mut v: Vec<Message> = s.clone().into_inner();
+        v[1] = Message::present(Value::sym("Locked"));
+        v[4] = Message::present(Value::sym("Unlocked"));
+        s = v.into_iter().collect();
+        s
+    }
+
+    #[test]
+    fn fig1_trace_has_values_and_absences() {
+        let mut m = Model::new("fig1");
+        let ctrl = build_door_lock(&mut m).unwrap();
+        automode_core::levels::validate_fda(&m).unwrap();
+
+        let t4s = lock_events();
+        let crsh = Stream::absent(6);
+        let volt = stimulus::constant(Value::Float(12.0), 6);
+        let run = simulate_component(
+            &m,
+            ctrl,
+            &[("T4S", t4s), ("CRSH", crsh), ("FZG_V", volt)],
+            6,
+        )
+        .unwrap();
+        let t1c = run.trace.signal("T1C").unwrap();
+        assert!(t1c[0].is_absent());
+        assert_eq!(t1c[1], Message::present(Value::sym("Lock")));
+        assert!(t1c[2].is_absent());
+        assert_eq!(t1c[4], Message::present(Value::sym("Unlock")));
+        // All four doors receive the same command.
+        for door in ["T2C", "T3C", "T4C"] {
+            assert_eq!(run.trace.signal(door).unwrap(), t1c);
+        }
+    }
+
+    #[test]
+    fn crash_overrides_and_is_event_triggered() {
+        let mut m = Model::new("crash");
+        let ctrl = build_door_lock(&mut m).unwrap();
+        let mut crsh: Vec<Message> = vec![Message::Absent; 4];
+        crsh[2] = Message::present(Value::sym("Crash"));
+        let t4s: Stream = vec![
+            Message::present(Value::sym("Locked")),
+            Message::Absent,
+            Message::present(Value::sym("Locked")),
+            Message::Absent,
+        ]
+        .into_iter()
+        .collect();
+        let run = simulate_component(
+            &m,
+            ctrl,
+            &[
+                ("T4S", t4s),
+                ("CRSH", crsh.into_iter().collect()),
+                ("FZG_V", stimulus::constant(Value::Float(12.0), 4)),
+            ],
+            4,
+        )
+        .unwrap();
+        let t1c = run.trace.signal("T1C").unwrap();
+        assert_eq!(t1c[0], Message::present(Value::sym("Lock")));
+        // At t2 the crash fires: unlock wins over the lock request.
+        assert_eq!(t1c[2], Message::present(Value::sym("Unlock")));
+    }
+
+    #[test]
+    fn low_voltage_suppresses_commands() {
+        let mut m = Model::new("volt");
+        let ctrl = build_door_lock(&mut m).unwrap();
+        let t4s: Stream = vec![Message::present(Value::sym("Locked"))].into_iter().collect();
+        let run = simulate_component(
+            &m,
+            ctrl,
+            &[
+                ("T4S", t4s),
+                ("CRSH", Stream::absent(1)),
+                ("FZG_V", stimulus::constant(Value::Float(6.0), 1)),
+            ],
+            1,
+        )
+        .unwrap();
+        assert!(run.trace.signal("T1C").unwrap()[0].is_absent());
+    }
+
+    #[test]
+    fn ssd_adds_one_delay_per_channel() {
+        let mut m = Model::new("fig4");
+        let root = build_door_lock_system(&mut m).unwrap();
+        m.set_root(root);
+        automode_core::levels::validate_fda(&m).unwrap();
+
+        let t4s: Stream = vec![
+            Message::present(Value::sym("Locked")),
+            Message::Absent,
+            Message::Absent,
+        ]
+        .into_iter()
+        .collect();
+        let run = simulate_component(
+            &m,
+            root,
+            &[
+                ("T4S", t4s),
+                ("raw_accel", stimulus::constant(Value::Float(0.0), 3)),
+                ("FZG_V", stimulus::constant(Value::Float(12.0), 3)),
+            ],
+            3,
+        )
+        .unwrap();
+        let t1c = run.trace.signal("T1C").unwrap();
+        // Boundary-in SSD channel (1 delay) + boundary-out channel (1
+        // delay): the t0 event appears at t2.
+        assert!(t1c[0].is_absent() && t1c[1].is_absent());
+        assert_eq!(t1c[2], Message::present(Value::sym("Lock")));
+    }
+
+    #[test]
+    fn door_actuator_resources_are_disjoint() {
+        let mut m = Model::new("rules");
+        build_door_lock(&mut m).unwrap();
+        assert!(automode_core::rules::actuator_conflicts(&m).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # automode-engine
+//!
+//! The **case-study models** of the AutoMoDe paper, rebuilt as a synthetic
+//! but faithful workload (the original four-stroke gasoline engine
+//! controller was a proprietary ASCET-SD model):
+//!
+//! * [`door_lock`] — the `DoorLockControl` component of Fig. 1/Fig. 4:
+//!   message-based, time-synchronous communication with explicit absence,
+//!   event-triggered behaviour, and the body-electronics SSD around it.
+//! * [`momentum`] — the longitudinal momentum controller DFD of Fig. 5,
+//!   including the `ADD` block defined by `ch1+ch2+ch3` and a delayed
+//!   integrator loop.
+//! * [`modes`] — the engine-operation MTD of Fig. 6 (Stop, Cranking, Idle,
+//!   PartLoad, FullLoad, Overrun).
+//! * [`ascet_original`] — the "original" ASCET-style engine controller of
+//!   Sec. 5: a central component emitting a large number of flags, and
+//!   If-Then-Else cascades hiding implicit modes (`ThrottleRateOfChange`).
+//! * [`reengineered`] — the white-box reengineering of that model into an
+//!   FDA AutoMoDe model with explicit MTDs (Fig. 8), plus the metric and
+//!   trace-equivalence comparisons the experiments report.
+//! * [`ccd`] — the simplified engine-controller CCD of Fig. 7 and its
+//!   deployment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascet_original;
+pub mod ccd;
+pub mod door_lock;
+pub mod modes;
+pub mod momentum;
+pub mod reengineered;
+pub mod sequencer;
+
+pub use ascet_original::original_engine_model;
+pub use ccd::build_engine_ccd;
+pub use door_lock::{build_door_lock, build_door_lock_system};
+pub use modes::build_engine_modes;
+pub use momentum::build_momentum_controller;
+pub use reengineered::reengineer_engine;
+pub use sequencer::build_start_sequencer;

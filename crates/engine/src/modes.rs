@@ -1,0 +1,229 @@
+//! The engine-operation MTD of Fig. 6.
+//!
+//! "An AutoMoDe MTD specifying engine operation modes": Stop, Cranking,
+//! Idle, PartLoad, FullLoad, Overrun. Each mode's behaviour is a
+//! subordinate expression component computing the injection time `ti`
+//! (together the "global mode transition system which is then correct by
+//! construction" that the case study contrasts against flag soup, Sec. 5).
+
+use automode_core::model::{Behavior, Component, ComponentId, Model};
+use automode_core::types::DataType;
+use automode_core::{CoreError, Mtd};
+use automode_lang::parse;
+
+/// Names of the six engine operation modes, in MTD order.
+pub const MODE_NAMES: [&str; 6] = [
+    "Stop", "Cranking", "Idle", "PartLoad", "FullLoad", "Overrun",
+];
+
+/// Builds the Fig. 6 MTD into `model`; returns the owner component.
+///
+/// Interface: inputs `key_on : bool`, `rpm`, `throttle`; output `ti`
+/// (injection time, ms). Mode outputs are chosen so every mode is
+/// distinguishable in a trace:
+///
+/// | mode     | ti                                  |
+/// |----------|-------------------------------------|
+/// | Stop     | 0.0                                 |
+/// | Cranking | 4.0 (rich start mixture)            |
+/// | Idle     | 1.0                                 |
+/// | PartLoad | 1.0 + throttle * 8.0                |
+/// | FullLoad | 1.2 * (1.0 + throttle * 8.0)        |
+/// | Overrun  | 0.0 (fuel cut-off)                  |
+///
+/// # Errors
+///
+/// Propagates meta-model construction errors.
+pub fn build_engine_modes(model: &mut Model) -> Result<ComponentId, CoreError> {
+    let iface = |name: &str| {
+        Component::new(name)
+            .input("key_on", DataType::Bool)
+            .input("rpm", DataType::physical("EngineSpeed", "rpm"))
+            .input("throttle", DataType::Float)
+            .output("ti", DataType::Float)
+    };
+    let behaviors: [(&str, &str); 6] = [
+        ("StopBehavior", "0.0 + rpm * 0.0 + throttle * 0.0"),
+        ("CrankingBehavior", "4.0 + rpm * 0.0 + throttle * 0.0"),
+        ("IdleBehavior", "1.0 + rpm * 0.0 + throttle * 0.0"),
+        ("PartLoadBehavior", "1.0 + throttle * 8.0 + rpm * 0.0"),
+        (
+            "FullLoadBehavior",
+            "(1.0 + throttle * 8.0 + rpm * 0.0) * 1.2",
+        ),
+        ("OverrunBehavior", "0.0 + rpm * 0.0 + throttle * 0.0"),
+    ];
+    let mut ids = Vec::new();
+    for (name, expr) in behaviors {
+        ids.push(model.add_component(
+            iface(name).with_behavior(Behavior::expr("ti", parse(expr).unwrap())),
+        )?);
+    }
+
+    let mut mtd = Mtd::new();
+    let [stop, cranking, idle, part, full, overrun]: [usize; 6] = MODE_NAMES
+        .iter()
+        .zip(&ids)
+        .map(|(name, id)| mtd.add_mode(*name, *id))
+        .collect::<Vec<_>>()
+        .try_into()
+        .expect("six modes");
+    mtd.initial = stop;
+
+    let t = |src: usize, dst: usize, expr: &str, prio: u32| {
+        (src, dst, parse(expr).unwrap(), prio)
+    };
+    let transitions = [
+        // Key-off dominates from everywhere.
+        t(cranking, stop, "not key_on", 0),
+        t(idle, stop, "not key_on", 0),
+        t(part, stop, "not key_on", 0),
+        t(full, stop, "not key_on", 0),
+        t(overrun, stop, "not key_on", 0),
+        // Start sequence (plus restart detection when already spinning).
+        t(stop, cranking, "key_on and rpm < 600.0", 0),
+        t(stop, idle, "key_on and rpm >= 600.0", 1),
+        t(cranking, idle, "rpm >= 600.0", 1),
+        // Load transitions.
+        t(idle, part, "throttle >= 0.1", 1),
+        t(part, full, "throttle >= 0.9", 1),
+        t(full, part, "throttle < 0.9", 1),
+        t(part, overrun, "throttle < 0.01 and rpm > 1500.0", 2),
+        t(part, idle, "throttle < 0.1", 3),
+        t(overrun, idle, "rpm <= 1500.0", 1),
+        t(idle, overrun, "throttle < 0.01 and rpm > 1500.0", 2),
+        // Stall back to cranking while key on.
+        t(idle, cranking, "rpm < 400.0", 4),
+    ];
+    for (src, dst, expr, prio) in transitions {
+        mtd.add_transition(src, dst, expr, prio);
+    }
+
+    let owner = model.add_component(iface("EngineOperation").with_behavior(Behavior::Mtd(mtd)))?;
+    Ok(owner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::mtd::reachable_modes;
+    use automode_kernel::{Stream, Value};
+    use automode_sim::simulate_component;
+    use automode_sim::stimulus::{constant, standard_engine_cycle};
+
+    #[test]
+    fn mtd_validates_and_all_modes_reachable() {
+        let mut m = Model::new("fig6");
+        let id = build_engine_modes(&mut m).unwrap();
+        m.set_root(id);
+        automode_core::levels::validate_fda(&m).unwrap();
+        match &m.component(id).behavior {
+            Behavior::Mtd(mtd) => {
+                assert_eq!(mtd.modes.len(), 6);
+                assert_eq!(reachable_modes(mtd).len(), 6);
+            }
+            _ => panic!("expected MTD"),
+        }
+    }
+
+    /// Drives the standard cycle and decodes the visited modes from the
+    /// distinctive `ti` values.
+    #[test]
+    fn drive_cycle_visits_expected_mode_sequence() {
+        let mut m = Model::new("fig6");
+        let id = build_engine_modes(&mut m).unwrap();
+        let (rpm, throttle) = standard_engine_cycle();
+        let ticks = rpm.len();
+        // Key on for the whole cycle except the final stop phase.
+        let key: Stream = (0..ticks)
+            .map(|t| automode_kernel::Message::present(Value::Bool(t < ticks - 5)))
+            .collect();
+        let run = simulate_component(
+            &m,
+            id,
+            &[("key_on", key), ("rpm", rpm), ("throttle", throttle)],
+            ticks,
+        )
+        .unwrap();
+        let tis: Vec<f64> = run
+            .trace
+            .signal("ti")
+            .unwrap()
+            .present_values()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .collect();
+        // Phase checks: cranking-rich early, fuel cut in the overrun phase,
+        // full-load enrichment somewhere in between, and stop at the end.
+        assert!(tis[..5].iter().any(|&x| (x - 4.0).abs() < 1e-9), "cranking");
+        assert!(
+            tis.iter().any(|&x| x > 8.0),
+            "full load enrichment expected, max was {}",
+            tis.iter().fold(0.0f64, |a, &b| a.max(b))
+        );
+        // Overrun fuel cut while rpm still high (end of phase 5, where the
+        // throttle finally closes below 1%).
+        assert!(
+            tis[80..105].contains(&0.0),
+            "overrun fuel cut expected"
+        );
+        assert_eq!(*tis.last().unwrap(), 0.0, "stop at key-off");
+    }
+
+    #[test]
+    fn key_off_always_stops() {
+        let mut m = Model::new("fig6");
+        let id = build_engine_modes(&mut m).unwrap();
+        let ticks = 20;
+        let run = simulate_component(
+            &m,
+            id,
+            &[
+                ("key_on", constant(Value::Bool(false), ticks)),
+                ("rpm", constant(Value::Float(3000.0), ticks)),
+                ("throttle", constant(Value::Float(0.5), ticks)),
+            ],
+            ticks,
+        )
+        .unwrap();
+        for v in run.trace.signal("ti").unwrap().present_values() {
+            assert_eq!(v.as_float().unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn overrun_requires_closed_throttle_and_high_rpm() {
+        let mut m = Model::new("fig6");
+        let id = build_engine_modes(&mut m).unwrap();
+        // Reach part load, then close the throttle at high rpm.
+        let ticks = 10;
+        let rpm = constant(Value::Float(3000.0), ticks);
+        let throttle: Stream = (0..ticks)
+            .map(|t| {
+                automode_kernel::Message::present(Value::Float(if t < 5 { 0.5 } else { 0.0 }))
+            })
+            .collect();
+        let run = simulate_component(
+            &m,
+            id,
+            &[
+                ("key_on", constant(Value::Bool(true), ticks)),
+                ("rpm", rpm),
+                ("throttle", throttle),
+            ],
+            ticks,
+        )
+        .unwrap();
+        let tis: Vec<f64> = run
+            .trace
+            .signal("ti")
+            .unwrap()
+            .present_values()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .collect();
+        // Part load first (1 + 0.5*8 = 5), then overrun cut (0).
+        assert!(tis[..5].iter().any(|&x| (x - 5.0).abs() < 1e-9));
+        assert_eq!(*tis.last().unwrap(), 0.0);
+    }
+}

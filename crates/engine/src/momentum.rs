@@ -1,0 +1,259 @@
+//! The longitudinal momentum controller DFD of Fig. 5.
+//!
+//! A PI controller with feed-forward: the error between desired and actual
+//! vehicle speed drives a proportional path and a clamped integrator
+//! (a delayed feedback loop — legal in a DFD because the delay breaks the
+//! instantaneous cycle), and the three contributions are summed by the
+//! paper's `ADD` block, "defined by the function ch1+ch2+ch3" (Sec. 3.2),
+//! then limited.
+
+use automode_core::model::{
+    Behavior, Component, ComponentId, Composite, CompositeKind, Endpoint, Model, Primitive,
+};
+use automode_core::types::DataType;
+use automode_core::CoreError;
+use automode_kernel::Value;
+use automode_lang::parse;
+
+/// Controller gains and limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MomentumGains {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain (per tick).
+    pub ki: f64,
+    /// Feed-forward gain on the desired speed.
+    pub kff: f64,
+    /// Integrator anti-windup clamp.
+    pub i_max: f64,
+    /// Output momentum limit.
+    pub m_max: f64,
+}
+
+impl Default for MomentumGains {
+    fn default() -> Self {
+        MomentumGains {
+            kp: 0.4,
+            ki: 0.05,
+            kff: 0.1,
+            i_max: 5.0,
+            m_max: 10.0,
+        }
+    }
+}
+
+/// Builds the momentum controller into `model`; returns its component id.
+///
+/// Interface: inputs `v_des`, `v_act` (m/s); output `m_dem` (momentum
+/// demand).
+///
+/// # Errors
+///
+/// Propagates meta-model construction errors.
+pub fn build_momentum_controller(
+    model: &mut Model,
+    gains: MomentumGains,
+) -> Result<ComponentId, CoreError> {
+    let speed = || DataType::physical("Speed", "m/s");
+    let err = model.add_component(
+        Component::new("SpeedError")
+            .input("v_des", speed())
+            .input("v_act", speed())
+            .output("err", DataType::Float)
+            .with_behavior(Behavior::expr("err", parse("v_des - v_act").unwrap())),
+    )?;
+    let p_term = model.add_component(
+        Component::new("PTerm")
+            .input("err", DataType::Float)
+            .output("p", DataType::Float)
+            .with_behavior(Behavior::expr(
+                "p",
+                parse(&format!("err * {}", gains.kp)).unwrap(),
+            )),
+    )?;
+    // Clamped integrator: i_next = clamp(i_prev + err*ki, -imax, imax).
+    let i_step = model.add_component(
+        Component::new("IStep")
+            .input("err", DataType::Float)
+            .input("i_prev", DataType::Float)
+            .output("i", DataType::Float)
+            .with_behavior(Behavior::expr(
+                "i",
+                parse(&format!(
+                    "clamp(i_prev + err * {}, -{}, {})",
+                    gains.ki, gains.i_max, gains.i_max
+                ))
+                .unwrap(),
+            )),
+    )?;
+    let i_delay = model.add_component(
+        Component::new("IDelay")
+            .input("x", DataType::Float)
+            .output("y", DataType::Float)
+            .with_behavior(Behavior::Primitive(Primitive::Delay {
+                init: Some(Value::Float(0.0)),
+            })),
+    )?;
+    let ff = model.add_component(
+        Component::new("FeedForward")
+            .input("v_des", speed())
+            .output("ff", DataType::Float)
+            .with_behavior(Behavior::expr(
+                "ff",
+                parse(&format!("v_des * {}", gains.kff)).unwrap(),
+            )),
+    )?;
+    // The paper's ADD block: ch1+ch2+ch3.
+    let add = model.add_component(
+        Component::new("ADD")
+            .input("ch1", DataType::Float)
+            .input("ch2", DataType::Float)
+            .input("ch3", DataType::Float)
+            .output("sum", DataType::Float)
+            .with_behavior(Behavior::expr("sum", parse("ch1 + ch2 + ch3").unwrap())),
+    )?;
+    let limit = model.add_component(
+        Component::new("MomentumLimit")
+            .input("u", DataType::Float)
+            .output("m", DataType::Float)
+            .with_behavior(Behavior::expr(
+                "m",
+                parse(&format!("clamp(u, -{}, {})", gains.m_max, gains.m_max)).unwrap(),
+            )),
+    )?;
+
+    let mut net = Composite::new(CompositeKind::Dfd);
+    net.instantiate("err", err);
+    net.instantiate("p_term", p_term);
+    net.instantiate("i_step", i_step);
+    net.instantiate("i_delay", i_delay);
+    net.instantiate("ff", ff);
+    net.instantiate("add", add);
+    net.instantiate("limit", limit);
+    net.connect(Endpoint::boundary("v_des"), Endpoint::child("err", "v_des"));
+    net.connect(Endpoint::boundary("v_act"), Endpoint::child("err", "v_act"));
+    net.connect(Endpoint::boundary("v_des"), Endpoint::child("ff", "v_des"));
+    net.connect(Endpoint::child("err", "err"), Endpoint::child("p_term", "err"));
+    net.connect(Endpoint::child("err", "err"), Endpoint::child("i_step", "err"));
+    net.connect(Endpoint::child("i_delay", "y"), Endpoint::child("i_step", "i_prev"));
+    net.connect(Endpoint::child("i_step", "i"), Endpoint::child("i_delay", "x"));
+    net.connect(Endpoint::child("p_term", "p"), Endpoint::child("add", "ch1"));
+    net.connect(Endpoint::child("i_step", "i"), Endpoint::child("add", "ch2"));
+    net.connect(Endpoint::child("ff", "ff"), Endpoint::child("add", "ch3"));
+    net.connect(Endpoint::child("add", "sum"), Endpoint::child("limit", "u"));
+    net.connect(Endpoint::child("limit", "m"), Endpoint::boundary("m_dem"));
+
+    model.add_component(
+        Component::new("LongitudinalMomentumController")
+            .input("v_des", speed())
+            .input("v_act", speed())
+            .output("m_dem", DataType::Float)
+            .with_behavior(Behavior::Composite(net)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_kernel::Value;
+    use automode_sim::{simulate_component, stimulus};
+
+    fn outputs(
+        m: &Model,
+        id: ComponentId,
+        v_des: automode_kernel::Stream,
+        v_act: automode_kernel::Stream,
+        ticks: usize,
+    ) -> Vec<f64> {
+        let run = simulate_component(m, id, &[("v_des", v_des), ("v_act", v_act)], ticks).unwrap();
+        run.trace
+            .signal("m_dem")
+            .unwrap()
+            .present_values()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn validates_as_fda_and_is_causal() {
+        let mut m = Model::new("fig5");
+        let id = build_momentum_controller(&mut m, MomentumGains::default()).unwrap();
+        m.set_root(id);
+        automode_core::levels::validate_fda(&m).unwrap();
+        automode_core::causality_struct::check_component(&m, id).unwrap();
+    }
+
+    #[test]
+    fn zero_error_yields_pure_feedforward() {
+        let mut m = Model::new("t");
+        let g = MomentumGains::default();
+        let id = build_momentum_controller(&mut m, g).unwrap();
+        let v = stimulus::constant(Value::Float(10.0), 5);
+        let out = outputs(&m, id, v.clone(), v, 5);
+        for x in out {
+            assert!((x - 10.0 * g.kff).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn integrator_ramps_and_saturates_under_constant_error() {
+        let mut m = Model::new("t");
+        let g = MomentumGains::default();
+        let id = build_momentum_controller(&mut m, g).unwrap();
+        let v_des = stimulus::constant(Value::Float(10.0), 300);
+        let v_act = stimulus::constant(Value::Float(0.0), 300);
+        let out = outputs(&m, id, v_des, v_act, 300);
+        // Monotonically non-decreasing while the integrator charges...
+        for w in out.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9);
+        }
+        // ...up to the saturation point p + i_max + ff.
+        let expected_sat = 10.0 * g.kp + g.i_max + 10.0 * g.kff;
+        let last = *out.last().unwrap();
+        assert!((last - expected_sat.min(g.m_max)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn output_respects_momentum_limit() {
+        let mut m = Model::new("t");
+        let g = MomentumGains {
+            kp: 100.0,
+            ..MomentumGains::default()
+        };
+        let id = build_momentum_controller(&mut m, g).unwrap();
+        let v_des = stimulus::constant(Value::Float(100.0), 10);
+        let v_act = stimulus::constant(Value::Float(0.0), 10);
+        let out = outputs(&m, id, v_des, v_act, 10);
+        for x in out {
+            assert!(x <= g.m_max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sign_symmetry() {
+        let mut m = Model::new("t");
+        let g = MomentumGains {
+            kff: 0.0,
+            ..MomentumGains::default()
+        };
+        let id = build_momentum_controller(&mut m, g).unwrap();
+        let pos = outputs(
+            &m,
+            id,
+            stimulus::constant(Value::Float(5.0), 50),
+            stimulus::constant(Value::Float(0.0), 50),
+            50,
+        );
+        let neg = outputs(
+            &m,
+            id,
+            stimulus::constant(Value::Float(-5.0), 50),
+            stimulus::constant(Value::Float(0.0), 50),
+            50,
+        );
+        for (p, n) in pos.iter().zip(&neg) {
+            assert!((p + n).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! White-box reengineering of the original engine controller (Sec. 5).
+//!
+//! Reproduces the case study end to end: the flag-based ASCET model of
+//! [`ascet_original`](crate::ascet_original) is lifted to an FDA AutoMoDe
+//! model; implicit If-Then-Else modes become explicit MTDs (Fig. 8:
+//! `ThrottleRateOfChange` splits into `CrankingOverrun` / `FuelEnabled`);
+//! and the paper's qualitative claims become measurable:
+//!
+//! * implicit modes made explicit ([`EngineReengineering::report`]);
+//! * If-Then-Else control flow removed
+//!   ([`EngineReengineering::ifs_before`] vs. the surviving `if_count`);
+//! * behaviour preserved (trace equivalence tests below).
+
+use std::collections::BTreeMap;
+
+use automode_core::metrics::ModelMetrics;
+use automode_core::model::{
+    Behavior, Component, ComponentId, Composite, CompositeKind, Direction, Endpoint, Model,
+};
+use automode_transform::reengineer::{reengineer_module, ReengineeringReport};
+use automode_transform::TransformError;
+
+use crate::ascet_original::original_engine_model;
+
+/// The result of reengineering the engine controller.
+#[derive(Debug, Clone)]
+pub struct EngineReengineering {
+    /// The FDA model containing all reengineered components plus the wired
+    /// root composite.
+    pub model: Model,
+    /// The root composite (all processes wired by message name).
+    pub root: ComponentId,
+    /// Per-process components with their original periods (ms).
+    pub components: BTreeMap<String, (ComponentId, u32)>,
+    /// Aggregated reengineering report across all modules.
+    pub report: ReengineeringReport,
+    /// If-Then-Else count of the *original* ASCET model.
+    pub ifs_before: usize,
+    /// Flag count of the original model.
+    pub flags_before: usize,
+    /// Structural metrics of the reengineered model.
+    pub metrics_after: ModelMetrics,
+}
+
+/// Runs the full white-box reengineering of the engine controller.
+///
+/// # Errors
+///
+/// Propagates reengineering and meta-model errors.
+pub fn reengineer_engine() -> Result<EngineReengineering, TransformError> {
+    let ascet = original_engine_model();
+    let ifs_before = ascet.if_count();
+    let flags_before = ascet.flag_count();
+
+    let mut model = Model::new("engine_fda");
+    let mut report = ReengineeringReport {
+        components: Vec::new(),
+        mtds_extracted: 0,
+        modes_made_explicit: 0,
+        ifs_removed: 0,
+    };
+    let mut components = BTreeMap::new();
+    for module in &ascet.modules {
+        let r = reengineer_module(&ascet, &module.name, &mut model)?;
+        for (i, process) in module.processes.iter().enumerate() {
+            let (id, period) = r.components[i];
+            components.insert(
+                format!("{}_{}", module.name, process.name),
+                (id, period),
+            );
+        }
+        report.components.extend(r.components);
+        report.mtds_extracted += r.mtds_extracted;
+        report.modes_made_explicit += r.modes_made_explicit;
+        report.ifs_removed += r.ifs_removed;
+    }
+
+    // Wire the root composite: connect inputs to same-named producer
+    // outputs, everything else to the boundary.
+    let mut producers: BTreeMap<String, (String, String)> = BTreeMap::new();
+    for (name, (id, _)) in &components {
+        for p in model.component(*id).outputs() {
+            producers.insert(p.name.clone(), (name.clone(), p.name.clone()));
+        }
+    }
+    let mut net = Composite::new(CompositeKind::Dfd);
+    for (name, (id, _)) in &components {
+        net.instantiate(name.clone(), *id);
+    }
+    let mut boundary_inputs: Vec<(String, automode_core::types::DataType)> = Vec::new();
+    let mut boundary_outputs: Vec<(String, automode_core::types::DataType)> = Vec::new();
+    for (name, (id, _)) in &components {
+        for p in model.component(*id).ports.clone() {
+            match p.direction {
+                Direction::In => match producers.get(&p.name) {
+                    Some((producer, port)) => net.connect(
+                        Endpoint::child(producer.clone(), port.clone()),
+                        Endpoint::child(name.clone(), p.name.clone()),
+                    ),
+                    None => {
+                        if !boundary_inputs.iter().any(|(n, _)| *n == p.name) {
+                            boundary_inputs.push((p.name.clone(), p.ty.clone()));
+                        }
+                        net.connect(
+                            Endpoint::boundary(p.name.clone()),
+                            Endpoint::child(name.clone(), p.name.clone()),
+                        );
+                    }
+                },
+                Direction::Out => {
+                    // Expose the controller's actuating signals.
+                    if ["rate", "ti", "advance", "idle_trim", "lam_trim"]
+                        .contains(&p.name.as_str())
+                    {
+                        boundary_outputs.push((p.name.clone(), p.ty.clone()));
+                        net.connect(
+                            Endpoint::child(name.clone(), p.name.clone()),
+                            Endpoint::boundary(p.name.clone()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let mut root_comp = Component::new("EngineController");
+    for (n, ty) in &boundary_inputs {
+        root_comp = root_comp.input(n.clone(), ty.clone());
+    }
+    for (n, ty) in &boundary_outputs {
+        root_comp = root_comp.output(n.clone(), ty.clone());
+    }
+    root_comp = root_comp.with_behavior(Behavior::Composite(net));
+    let root = model.add_component(root_comp)?;
+    model.set_root(root);
+    automode_core::levels::validate_fda(&model)?;
+
+    let metrics_after = ModelMetrics::measure(&model);
+    Ok(EngineReengineering {
+        model,
+        root,
+        components,
+        report,
+        ifs_before,
+        flags_before,
+        metrics_after,
+    })
+}
+
+/// The period assignment of the engine's processes (base tick = 10 ms, so
+/// the 10 ms processes get period 1 and the 100 ms idle trim gets 10) —
+/// the input to clock-based clustering.
+pub fn engine_periods() -> BTreeMap<String, u32> {
+    let mut p = BTreeMap::new();
+    p.insert("engine_state_compute_flags".to_string(), 1);
+    p.insert("throttle_ctrl_calc_rate".to_string(), 1);
+    p.insert("fuel_calc_ti".to_string(), 1);
+    p.insert("ignition_calc_adv".to_string(), 1);
+    p.insert("lambda_control_lambda".to_string(), 1);
+    p.insert("idle_speed_trim".to_string(), 10);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_ascet::{AscetInterp, Stimulus};
+    use automode_kernel::{Message, Stream, Value};
+    use automode_sim::simulate_component;
+
+    #[test]
+    fn reengineering_extracts_the_expected_mtds() {
+        let r = reengineer_engine().unwrap();
+        // throttle_ctrl, fuel, ignition are stateless single-If processes:
+        // three MTDs with two modes each.
+        assert_eq!(r.report.mtds_extracted, 3);
+        assert_eq!(r.report.modes_made_explicit, 6);
+        assert_eq!(r.ifs_before, 7);
+        assert_eq!(r.flags_before, 5);
+        assert_eq!(r.metrics_after.mtds, 3);
+        // Explicit modes shrink implicit control flow: the only surviving
+        // ifs are fuel's inner cascade (2) and the idle trim's (1).
+        assert!(
+            r.metrics_after.if_count < r.ifs_before,
+            "ifs after: {}",
+            r.metrics_after.if_count
+        );
+    }
+
+    /// The headline case-study check: the reengineered FDA model is trace
+    /// equivalent to the original ASCET model on the 10 ms activation grid.
+    #[test]
+    fn reengineered_controller_matches_original_traces() {
+        let r = reengineer_engine().unwrap();
+        let ascet = original_engine_model();
+
+        // Scenario: key on, rpm sweep crossing all flag regimes.
+        let rpm_at = |k: u64| match k {
+            0..=4 => 200.0,               // cranking
+            5..=9 => 900.0,               // running, idle-ish
+            10..=14 => 3000.0,            // part load
+            _ => 2500.0,                  // closing throttle -> overrun
+        };
+        let throttle_at = |k: u64| match k {
+            0..=4 => 0.0,
+            5..=9 => 0.02,
+            10..=14 => 0.95, // full load
+            _ => 0.0,        // overrun
+        };
+        let ticks = 20u64;
+
+        // ASCET execution at 1 ms; sample at each 10 ms activation.
+        let mut stim = Stimulus::new();
+        stim.insert("key_on".into(), Box::new(|_| Some(Value::Bool(true))));
+        stim.insert("o2".into(), Box::new(|_| Some(Value::Float(0.9))));
+        stim.insert(
+            "rpm".into(),
+            Box::new(move |t| Some(Value::Float(rpm_at(t / 10)))),
+        );
+        stim.insert(
+            "throttle".into(),
+            Box::new(move |t| Some(Value::Float(throttle_at(t / 10)))),
+        );
+        let mut interp = AscetInterp::new(&ascet).unwrap();
+        let ascet_trace = interp
+            .run(ticks * 10, &stim, &["rate", "ti", "advance", "lam_trim"])
+            .unwrap();
+
+        // Reengineered model: one tick per 10 ms activation.
+        let rpm: Stream = (0..ticks)
+            .map(|k| Message::present(Value::Float(rpm_at(k))))
+            .collect();
+        let throttle: Stream = (0..ticks)
+            .map(|k| Message::present(Value::Float(throttle_at(k))))
+            .collect();
+        let key: Stream = (0..ticks)
+            .map(|_| Message::present(Value::Bool(true)))
+            .collect();
+        let o2: Stream = (0..ticks)
+            .map(|_| Message::present(Value::Float(0.9)))
+            .collect();
+        let run = simulate_component(
+            &r.model,
+            r.root,
+            &[("rpm", rpm), ("throttle", throttle), ("key_on", key), ("o2", o2)],
+            ticks as usize,
+        )
+        .unwrap();
+
+        for sig in ["rate", "ti", "advance", "lam_trim"] {
+            let ascet_vals: Vec<Value> = (0..ticks)
+                .map(|k| {
+                    ascet_trace.signal(sig).unwrap()[(10 * k) as usize]
+                        .value()
+                        .unwrap()
+                        .clone()
+                })
+                .collect();
+            let model_vals = run.trace.signal(sig).unwrap().present_values();
+            assert_eq!(ascet_vals, model_vals, "signal `{sig}` diverged");
+        }
+    }
+
+    /// The stateful 100 ms idle trim is equivalent on its own activation
+    /// grid.
+    #[test]
+    fn idle_trim_equivalent_on_100ms_grid() {
+        let r = reengineer_engine().unwrap();
+        let ascet = original_engine_model();
+        let (idle_id, period) = r.components["idle_speed_trim"];
+        assert_eq!(period, 100);
+
+        let mut stim = Stimulus::new();
+        stim.insert("key_on".into(), Box::new(|_| Some(Value::Bool(true))));
+        stim.insert("rpm".into(), Box::new(|_| Some(Value::Float(700.0))));
+        stim.insert("throttle".into(), Box::new(|_| Some(Value::Float(0.0))));
+        let mut interp = AscetInterp::new(&ascet).unwrap();
+        let ascet_trace = interp.run(1000, &stim, &["idle_trim"]).unwrap();
+        let ascet_vals: Vec<Value> = (0..10)
+            .map(|k| {
+                ascet_trace.signal("idle_trim").unwrap()[100 * k]
+                    .value()
+                    .unwrap()
+                    .clone()
+            })
+            .collect();
+
+        // One tick per 100 ms activation; b_idle is true throughout.
+        let ticks = 10usize;
+        let run = simulate_component(
+            &r.model,
+            idle_id,
+            &[
+                ("b_idle", automode_sim::stimulus::constant(Value::Bool(true), ticks)),
+                ("rpm", automode_sim::stimulus::constant(Value::Float(700.0), ticks)),
+            ],
+            ticks,
+        )
+        .unwrap();
+        assert_eq!(
+            run.trace.signal("idle_trim").unwrap().present_values(),
+            ascet_vals
+        );
+    }
+
+    #[test]
+    fn periods_cover_all_components() {
+        let r = reengineer_engine().unwrap();
+        let periods = engine_periods();
+        for name in r.components.keys() {
+            assert!(periods.contains_key(name), "missing period for {name}");
+        }
+    }
+}

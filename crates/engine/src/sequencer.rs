@@ -1,0 +1,218 @@
+//! A start sequencer as a State Transition Diagram (STD).
+//!
+//! Exercises the third behavioural notation of Sec. 3.2 on the case study:
+//! the engine-start sequence is classical extended-FSM territory — fuel
+//! pump priming with a timeout, starter engagement, start verification,
+//! stall detection. The machine obeys the STD restrictions (flat,
+//! deterministic priorities, no same-tick self-observation).
+
+use automode_core::model::{Behavior, Component, ComponentId, Model};
+use automode_core::std_machine::{Assign, StdMachine, StdTransition};
+use automode_core::types::DataType;
+use automode_core::CoreError;
+use automode_lang::parse;
+
+/// Builds the start-sequencer STD into `model`.
+///
+/// Interface: inputs `key_on : bool`, `rpm : float`; outputs
+/// `fuel_pump : bool`, `starter : bool`. States:
+///
+/// * `Off` — everything off;
+/// * `Prime` — fuel pump on for `PRIME_TICKS` ticks (local counter);
+/// * `Crank` — starter engaged until the engine catches (rpm ≥ 600);
+/// * `Run` — self-sustained; stall (rpm < 100) returns to `Prime`.
+///
+/// # Errors
+///
+/// Propagates meta-model construction errors.
+pub fn build_start_sequencer(model: &mut Model) -> Result<ComponentId, CoreError> {
+    const PRIME_TICKS: i64 = 3;
+    let mut fsm = StdMachine::new();
+    let off = fsm.add_state("Off");
+    let prime = fsm.add_state("Prime");
+    let crank = fsm.add_state("Crank");
+    let run = fsm.add_state("Run");
+    fsm.add_var("prime_count", 0i64);
+
+    let assign = |target: &str, src: &str| Assign {
+        target: target.to_string(),
+        expr: parse(src).unwrap(),
+    };
+
+    // Off -> Prime on key-on: start the pump, reset the counter.
+    fsm.add_transition(StdTransition {
+        from: off,
+        to: prime,
+        guard: parse("key_on").unwrap(),
+        actions: vec![
+            assign("fuel_pump", "true"),
+            assign("starter", "false"),
+            assign("prime_count", "0"),
+        ],
+        priority: 0,
+    });
+    // Prime: count ticks; after PRIME_TICKS engage the starter.
+    fsm.add_transition(StdTransition {
+        from: prime,
+        to: off,
+        guard: parse("not key_on").unwrap(),
+        actions: vec![assign("fuel_pump", "false"), assign("starter", "false")],
+        priority: 0,
+    });
+    fsm.add_transition(StdTransition {
+        from: prime,
+        to: crank,
+        guard: parse(&format!("prime_count >= {PRIME_TICKS}")).unwrap(),
+        actions: vec![assign("starter", "true"), assign("fuel_pump", "true")],
+        priority: 1,
+    });
+    fsm.add_transition(StdTransition {
+        from: prime,
+        to: prime,
+        guard: parse("key_on").unwrap(),
+        actions: vec![
+            assign("prime_count", "prime_count + 1"),
+            assign("fuel_pump", "true"),
+        ],
+        priority: 2,
+    });
+    // Crank: until the engine catches; give up on key-off.
+    fsm.add_transition(StdTransition {
+        from: crank,
+        to: off,
+        guard: parse("not key_on").unwrap(),
+        actions: vec![assign("fuel_pump", "false"), assign("starter", "false")],
+        priority: 0,
+    });
+    fsm.add_transition(StdTransition {
+        from: crank,
+        to: run,
+        guard: parse("rpm >= 600.0").unwrap(),
+        actions: vec![assign("starter", "false"), assign("fuel_pump", "true")],
+        priority: 1,
+    });
+    // Run: stall detection; key-off.
+    fsm.add_transition(StdTransition {
+        from: run,
+        to: off,
+        guard: parse("not key_on").unwrap(),
+        actions: vec![assign("fuel_pump", "false"), assign("starter", "false")],
+        priority: 0,
+    });
+    fsm.add_transition(StdTransition {
+        from: run,
+        to: prime,
+        guard: parse("rpm < 100.0").unwrap(),
+        actions: vec![assign("prime_count", "0"), assign("fuel_pump", "true")],
+        priority: 1,
+    });
+
+    model.add_component(
+        Component::new("StartSequencer")
+            .input("key_on", DataType::Bool)
+            .input("rpm", DataType::physical("EngineSpeed", "rpm"))
+            .output("fuel_pump", DataType::Bool)
+            .output("starter", DataType::Bool)
+            .with_behavior(Behavior::Std(fsm)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_kernel::{Message, Stream, Value};
+    use automode_sim::simulate_component;
+
+    fn run(
+        model: &Model,
+        id: ComponentId,
+        key: &[bool],
+        rpm: &[f64],
+    ) -> (Vec<Option<bool>>, Vec<Option<bool>>) {
+        let ticks = key.len();
+        let key: Stream = key.iter().map(|&k| Message::present(Value::Bool(k))).collect();
+        let rpm: Stream = rpm
+            .iter()
+            .map(|&r| Message::present(Value::Float(r)))
+            .collect();
+        let out = simulate_component(model, id, &[("key_on", key), ("rpm", rpm)], ticks).unwrap();
+        let decode = |sig: &str| -> Vec<Option<bool>> {
+            (0..ticks)
+                .map(|t| {
+                    out.trace.signal(sig).unwrap()[t]
+                        .value()
+                        .and_then(Value::as_bool)
+                })
+                .collect()
+        };
+        (decode("fuel_pump"), decode("starter"))
+    }
+
+    #[test]
+    fn validates_as_std() {
+        let mut m = Model::new("seq");
+        let id = build_start_sequencer(&mut m).unwrap();
+        m.set_root(id);
+        automode_core::levels::validate_fda(&m).unwrap();
+    }
+
+    #[test]
+    fn normal_start_sequence() {
+        let mut m = Model::new("seq");
+        let id = build_start_sequencer(&mut m).unwrap();
+        // Key on at t0; engine catches at t8.
+        let key = [true; 12];
+        let mut rpm = [100.0f64; 12];
+        for r in rpm.iter_mut().skip(8) {
+            *r = 900.0;
+        }
+        let (pump, starter) = run(&m, id, &key, &rpm);
+        // t0: Off->Prime (pump on, starter off).
+        assert_eq!(pump[0], Some(true));
+        assert_eq!(starter[0], Some(false));
+        // Priming self-loops keep the pump on.
+        assert_eq!(pump[1], Some(true));
+        // Starter engages once primed (after 3 counted ticks + threshold).
+        let starter_on = starter.iter().position(|s| *s == Some(true)).unwrap();
+        assert!((3..=6).contains(&starter_on), "starter at {starter_on}");
+        // Once rpm catches, the starter disengages.
+        let starter_off_again = starter
+            .iter()
+            .enumerate()
+            .skip(starter_on + 1)
+            .find(|(_, s)| **s == Some(false))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(starter_off_again >= 8);
+    }
+
+    #[test]
+    fn key_off_aborts_everywhere() {
+        let mut m = Model::new("seq");
+        let id = build_start_sequencer(&mut m).unwrap();
+        let key = [true, true, false, false];
+        let rpm = [100.0; 4];
+        let (pump, starter) = run(&m, id, &key, &rpm);
+        assert_eq!(pump[2], Some(false));
+        assert_eq!(starter[2], Some(false));
+    }
+
+    #[test]
+    fn stall_restarts_priming() {
+        let mut m = Model::new("seq");
+        let id = build_start_sequencer(&mut m).unwrap();
+        // Start, run, then stall at t10.
+        let key = [true; 14];
+        let mut rpm = [100.0f64; 14];
+        for (i, r) in rpm.iter_mut().enumerate() {
+            if (6..10).contains(&i) {
+                *r = 900.0;
+            } else if i >= 10 {
+                *r = 0.0;
+            }
+        }
+        let (pump, _) = run(&m, id, &key, &rpm);
+        // After the stall the machine re-primes: pump stays on.
+        assert_eq!(pump[10].or(pump[11]), Some(true));
+    }
+}

@@ -1,0 +1,284 @@
+//! Abstract clocks.
+//!
+//! Each message flow in AutoMoDe is associated with an **abstract clock**: a
+//! Boolean expression evaluating to logical `true` whenever a message is
+//! present on the clock's flow (paper, Sec. 2). For periodic flows the clock
+//! denotes the frequency of message exchange; aperiodic flows use a condition
+//! over other signals, which the kernel handles *dynamically* via the
+//! [`When`](crate::ops::When) block. This module covers the statically
+//! analyzable (eventually-periodic) fragment used at the LA level where
+//! "signal frequencies are made explicit" (paper, Sec. 3.3).
+
+use std::fmt;
+
+use crate::Tick;
+
+/// A statically analyzable abstract clock.
+///
+/// Semantically a clock is the set of global ticks at which a message is
+/// present. The constructors mirror the paper's notation:
+///
+/// * [`Clock::base`] — the always-true base clock (`true`).
+/// * [`Clock::every`] — the macro operator `every(n, true)`, true each `n`-th
+///   tick of the base clock.
+/// * [`Clock::and`] / [`Clock::or`] — Boolean combinations.
+///
+/// ```
+/// use automode_kernel::Clock;
+/// let c = Clock::every(2, 0);
+/// assert!(c.is_active(0) && !c.is_active(1) && c.is_active(2));
+/// assert_eq!(c.period(), 2);
+/// assert!(c.is_subclock_of(&Clock::base()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum Clock {
+    /// The base clock: active at every global tick (`true`).
+    #[default]
+    Base,
+    /// `every(n, true)` shifted by `phase`: active at ticks `t` with
+    /// `t >= phase` and `(t - phase) % n == 0`.
+    Every {
+        /// Downsampling factor `n >= 1`.
+        n: u32,
+        /// Phase offset in base ticks (`< n` after normalization).
+        phase: u32,
+    },
+    /// Conjunction: active when both operands are active.
+    And(Box<Clock>, Box<Clock>),
+    /// Disjunction: active when either operand is active.
+    Or(Box<Clock>, Box<Clock>),
+}
+
+impl Clock {
+    /// The base clock.
+    pub fn base() -> Self {
+        Clock::Base
+    }
+
+    /// The macro clock `every(n, true)` with a phase offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`; a clock must tick eventually.
+    pub fn every(n: u32, phase: u32) -> Self {
+        assert!(n > 0, "clock period must be positive");
+        if n == 1 {
+            Clock::Base
+        } else {
+            Clock::Every { n, phase: phase % n }
+        }
+    }
+
+    /// Conjunction of two clocks.
+    pub fn and(self, other: Clock) -> Self {
+        Clock::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction of two clocks.
+    pub fn or(self, other: Clock) -> Self {
+        Clock::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Whether the clock is active (a message is present) at tick `t`.
+    pub fn is_active(&self, t: Tick) -> bool {
+        match self {
+            Clock::Base => true,
+            Clock::Every { n, phase } => {
+                t >= *phase as Tick && (t - *phase as Tick).is_multiple_of(*n as Tick)
+            }
+            Clock::And(a, b) => a.is_active(t) && b.is_active(t),
+            Clock::Or(a, b) => a.is_active(t) || b.is_active(t),
+        }
+    }
+
+    /// The structural period: the clock's activity pattern repeats with this
+    /// period once past the longest phase offset.
+    pub fn period(&self) -> u64 {
+        match self {
+            Clock::Base => 1,
+            Clock::Every { n, .. } => *n as u64,
+            Clock::And(a, b) | Clock::Or(a, b) => lcm(a.period(), b.period()),
+        }
+    }
+
+    /// The largest phase offset occurring in the expression; the activity
+    /// pattern is strictly periodic for ticks `>= max_phase()`.
+    pub fn max_phase(&self) -> u64 {
+        match self {
+            Clock::Base => 0,
+            Clock::Every { phase, .. } => *phase as u64,
+            Clock::And(a, b) | Clock::Or(a, b) => a.max_phase().max(b.max_phase()),
+        }
+    }
+
+    /// A horizon after which two clocks that agree so far agree forever.
+    fn decision_horizon(&self, other: &Clock) -> u64 {
+        let settle = self.max_phase().max(other.max_phase());
+        settle + lcm(self.period(), other.period())
+    }
+
+    /// Semantic equality: the two clocks are active at exactly the same ticks.
+    ///
+    /// Decidable for this eventually-periodic fragment by checking one full
+    /// hyperperiod past the phase offsets.
+    pub fn same_ticks(&self, other: &Clock) -> bool {
+        let h = self.decision_horizon(other);
+        (0..=h).all(|t| self.is_active(t) == other.is_active(t))
+    }
+
+    /// Sub-clock test: every active tick of `self` is active in `other`.
+    ///
+    /// A flow on a sub-clock can be read safely wherever the super-clock
+    /// flow is expected to be absent-aware.
+    pub fn is_subclock_of(&self, other: &Clock) -> bool {
+        let h = self.decision_horizon(other);
+        (0..=h).all(|t| !self.is_active(t) || other.is_active(t))
+    }
+
+    /// Whether the clocks are *harmonic*: one's active ticks are a subset of
+    /// the other's. Harmonic rates are the precondition for the simple
+    /// delay-based rate transitions of Sec. 3.3.
+    pub fn is_harmonic_with(&self, other: &Clock) -> bool {
+        self.is_subclock_of(other) || other.is_subclock_of(self)
+    }
+
+    /// `true` if this clock is never active within the decision horizon
+    /// (e.g. the conjunction of disjoint phases).
+    pub fn is_never_active(&self) -> bool {
+        let h = self.max_phase() + 2 * self.period();
+        (0..=h).all(|t| !self.is_active(t))
+    }
+
+    /// Materializes the activity pattern over `[0, len)` as a Boolean vector.
+    pub fn to_pattern(&self, len: usize) -> Vec<bool> {
+        (0..len as Tick).map(|t| self.is_active(t)).collect()
+    }
+
+    /// Counts active ticks in `[0, len)`.
+    pub fn active_count(&self, len: u64) -> u64 {
+        (0..len).filter(|&t| self.is_active(t)).count() as u64
+    }
+}
+
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Clock::Base => write!(f, "true"),
+            Clock::Every { n, phase } if *phase == 0 => write!(f, "every({n}, true)"),
+            Clock::Every { n, phase } => write!(f, "every({n}, true)@{phase}"),
+            Clock::And(a, b) => write!(f, "({a} and {b})"),
+            Clock::Or(a, b) => write!(f, "({a} or {b})"),
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple of two periods.
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        a / gcd(a, b) * b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_always_active() {
+        let c = Clock::base();
+        assert!((0..100).all(|t| c.is_active(t)));
+        assert_eq!(c.period(), 1);
+    }
+
+    #[test]
+    fn every_two_matches_fig2() {
+        // Fig. 2: a' is updated every second tick of the base clock.
+        let c = Clock::every(2, 0);
+        assert_eq!(
+            c.to_pattern(6),
+            vec![true, false, true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn every_normalizes_phase_and_unit_period() {
+        assert_eq!(Clock::every(1, 0), Clock::Base);
+        assert_eq!(Clock::every(4, 6), Clock::Every { n: 4, phase: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = Clock::every(0, 0);
+    }
+
+    #[test]
+    fn and_or_combinations() {
+        let a = Clock::every(2, 0);
+        let b = Clock::every(3, 0);
+        let both = a.clone().and(b.clone());
+        let either = a.clone().or(b.clone());
+        assert!(both.is_active(0) && both.is_active(6) && !both.is_active(2));
+        assert!(either.is_active(2) && either.is_active(3) && !either.is_active(5));
+        assert_eq!(both.period(), 6);
+    }
+
+    #[test]
+    fn subclock_relation() {
+        let slow = Clock::every(4, 0);
+        let fast = Clock::every(2, 0);
+        assert!(slow.is_subclock_of(&fast));
+        assert!(!fast.is_subclock_of(&slow));
+        assert!(slow.is_harmonic_with(&fast));
+        let offbeat = Clock::every(4, 1);
+        assert!(!offbeat.is_subclock_of(&fast));
+        assert!(!offbeat.is_harmonic_with(&fast));
+    }
+
+    #[test]
+    fn same_ticks_is_semantic() {
+        let a = Clock::every(2, 0).and(Clock::every(3, 0));
+        let b = Clock::every(6, 0);
+        assert!(a.same_ticks(&b));
+        assert!(!a.same_ticks(&Clock::every(6, 3)));
+    }
+
+    #[test]
+    fn never_active_detected() {
+        let c = Clock::every(2, 0).and(Clock::every(2, 1));
+        assert!(c.is_never_active());
+        assert!(!Clock::every(7, 3).is_never_active());
+    }
+
+    #[test]
+    fn active_count_matches_rate() {
+        assert_eq!(Clock::every(10, 0).active_count(100), 10);
+        assert_eq!(Clock::base().active_count(42), 42);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Clock::base().to_string(), "true");
+        assert_eq!(Clock::every(2, 0).to_string(), "every(2, true)");
+        assert_eq!(Clock::every(4, 1).to_string(), "every(4, true)@1");
+    }
+
+    #[test]
+    fn lcm_gcd() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 9), 9);
+        assert_eq!(lcm(0, 9), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Error types of the execution kernel.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::causality::CausalityError;
+
+/// Errors raised by the kernel while building or executing a network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// Two fixed-point operands had different scales.
+    FixedScaleMismatch {
+        /// Fractional bits of the left operand.
+        lhs: u8,
+        /// Fractional bits of the right operand.
+        rhs: u8,
+    },
+    /// An arithmetic operation overflowed; the payload names the operation.
+    Overflow(&'static str),
+    /// A block received a value of an unexpected dynamic type.
+    TypeMismatch {
+        /// The block that complained.
+        block: String,
+        /// What the block expected.
+        expected: &'static str,
+        /// What it actually found.
+        found: String,
+    },
+    /// A block required a message on an input that was absent.
+    UnexpectedAbsence {
+        /// The block that complained.
+        block: String,
+        /// The input port index.
+        input: usize,
+    },
+    /// A port reference was out of range for the node's arity.
+    PortOutOfRange {
+        /// The offending node (display name).
+        node: String,
+        /// The port index used.
+        port: usize,
+        /// The node's arity on that side.
+        arity: usize,
+    },
+    /// An input port was connected twice (channels have a single writer).
+    InputAlreadyConnected {
+        /// The offending node (display name).
+        node: String,
+        /// The input port index.
+        port: usize,
+    },
+    /// The network contains an instantaneous loop.
+    Causality(CausalityError),
+    /// A named network input/output was declared twice.
+    DuplicateName(String),
+    /// A stimulus row had the wrong number of entries.
+    StimulusArity {
+        /// Expected number of network inputs.
+        expected: usize,
+        /// Entries found in the offending row.
+        found: usize,
+        /// Tick index of the offending row.
+        tick: u64,
+    },
+    /// Division by zero in a lifted arithmetic block.
+    DivisionByZero {
+        /// The block that divided.
+        block: String,
+    },
+    /// A custom error raised by a user-defined block.
+    Block {
+        /// The block that failed.
+        block: String,
+        /// A human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::FixedScaleMismatch { lhs, rhs } => {
+                write!(f, "fixed-point scale mismatch: q{lhs} vs q{rhs}")
+            }
+            KernelError::Overflow(op) => write!(f, "arithmetic overflow in {op}"),
+            KernelError::TypeMismatch {
+                block,
+                expected,
+                found,
+            } => write!(f, "block `{block}` expected {expected}, found {found}"),
+            KernelError::UnexpectedAbsence { block, input } => {
+                write!(f, "block `{block}` requires a message on input {input}")
+            }
+            KernelError::PortOutOfRange { node, port, arity } => {
+                write!(f, "port {port} out of range for `{node}` (arity {arity})")
+            }
+            KernelError::InputAlreadyConnected { node, port } => {
+                write!(f, "input {port} of `{node}` already has a writer")
+            }
+            KernelError::Causality(e) => write!(f, "{e}"),
+            KernelError::DuplicateName(n) => write!(f, "duplicate network signal name `{n}`"),
+            KernelError::StimulusArity {
+                expected,
+                found,
+                tick,
+            } => write!(
+                f,
+                "stimulus row at tick {tick} has {found} entries, expected {expected}"
+            ),
+            KernelError::DivisionByZero { block } => {
+                write!(f, "division by zero in block `{block}`")
+            }
+            KernelError::Block { block, message } => write!(f, "block `{block}`: {message}"),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+impl From<CausalityError> for KernelError {
+    fn from(e: CausalityError) -> Self {
+        KernelError::Causality(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = KernelError::FixedScaleMismatch { lhs: 8, rhs: 4 };
+        assert_eq!(e.to_string(), "fixed-point scale mismatch: q8 vs q4");
+        let e = KernelError::DivisionByZero {
+            block: "div".into(),
+        };
+        assert!(e.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn kernel_error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelError>();
+    }
+}

@@ -1,0 +1,678 @@
+//! Synchronous block networks and their executor.
+//!
+//! A [`Network`] is a set of [`Block`]s wired by channels. Execution follows
+//! the paper's global discrete-time semantics: at every tick each channel
+//! holds one [`Message`]; blocks are evaluated in an order compatible with
+//! their *instantaneous* dependencies (checked by [`causality`]); channels
+//! into delayed inputs carry values across ticks.
+
+use std::collections::BTreeMap;
+
+use crate::causality;
+use crate::error::KernelError;
+use crate::ops::Block;
+use crate::trace::Trace;
+use crate::value::Message;
+use crate::Tick;
+
+/// Index of a node (block instance) within a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A reference to one port of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortRef {
+    /// The node.
+    pub node: NodeId,
+    /// The port index on that node.
+    pub port: usize,
+}
+
+/// Handle returned when adding a block; resolves ports ergonomically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockHandle {
+    /// The node created for the block.
+    pub id: NodeId,
+}
+
+impl BlockHandle {
+    /// Reference to input port `i`.
+    pub fn input(&self, i: usize) -> PortRef {
+        PortRef {
+            node: self.id,
+            port: i,
+        }
+    }
+
+    /// Reference to output port `o`.
+    pub fn output(&self, o: usize) -> PortRef {
+        PortRef {
+            node: self.id,
+            port: o,
+        }
+    }
+}
+
+/// Identifier of a named network input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputId(usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    /// Unconnected: always absent.
+    Open,
+    /// Wired to a node output.
+    Node(NodeId, usize),
+    /// Wired to a named network input.
+    External(usize),
+}
+
+struct Node {
+    block: Box<dyn Block + Send>,
+    sources: Vec<Source>,
+    /// Outputs computed this tick.
+    outputs: Vec<Message>,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("block", &self.block.name())
+            .field("sources", &self.sources)
+            .finish()
+    }
+}
+
+/// A synchronous network of blocks.
+///
+/// Building: [`Network::add_block`], [`Network::add_input`],
+/// [`Network::connect`], [`Network::expose_output`]. Running:
+/// [`Network::run`] (batch) or [`Network::prepare`] +
+/// [`ReadyNetwork::step_tick`] (incremental).
+#[derive(Debug)]
+pub struct Network {
+    name: String,
+    nodes: Vec<Node>,
+    input_names: Vec<String>,
+    /// Named probes: signal name -> port to observe.
+    probes: Vec<(String, Source)>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        Network {
+            name: name.into(),
+            nodes: Vec::new(),
+            input_names: Vec::new(),
+            probes: Vec::new(),
+        }
+    }
+
+    /// The network's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of blocks.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of named external inputs.
+    pub fn input_count(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Names of external inputs, in declaration order.
+    pub fn input_names(&self) -> impl Iterator<Item = &str> {
+        self.input_names.iter().map(String::as_str)
+    }
+
+    /// Names of exposed (probed) outputs, in declaration order.
+    pub fn output_names(&self) -> impl Iterator<Item = &str> {
+        self.probes.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Adds a block, returning a handle to its ports.
+    pub fn add_block(&mut self, block: impl Block + Send + 'static) -> BlockHandle {
+        let sources = vec![Source::Open; block.input_arity()];
+        let outputs = vec![Message::Absent; block.output_arity()];
+        self.nodes.push(Node {
+            block: Box::new(block),
+            sources,
+            outputs,
+        });
+        BlockHandle {
+            id: NodeId(self.nodes.len() - 1),
+        }
+    }
+
+    /// Declares a named external input.
+    pub fn add_input(&mut self, name: impl Into<String>) -> InputId {
+        self.input_names.push(name.into());
+        InputId(self.input_names.len() - 1)
+    }
+
+    /// The display name of a node's block.
+    pub fn block_name(&self, id: NodeId) -> &str {
+        self.nodes[id.0].block.name()
+    }
+
+    fn check_input_port(&self, to: PortRef) -> Result<(), KernelError> {
+        let node = &self.nodes[to.node.0];
+        let arity = node.block.input_arity();
+        if to.port >= arity {
+            return Err(KernelError::PortOutOfRange {
+                node: node.block.name().to_string(),
+                port: to.port,
+                arity,
+            });
+        }
+        if node.sources[to.port] != Source::Open {
+            return Err(KernelError::InputAlreadyConnected {
+                node: node.block.name().to_string(),
+                port: to.port,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_output_port(&self, from: PortRef) -> Result<(), KernelError> {
+        let node = &self.nodes[from.node.0];
+        let arity = node.block.output_arity();
+        if from.port >= arity {
+            return Err(KernelError::PortOutOfRange {
+                node: node.block.name().to_string(),
+                port: from.port,
+                arity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Connects a node output to a node input.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a port is out of range or the input already has a writer
+    /// (channels have exactly one writer).
+    pub fn connect(&mut self, from: PortRef, to: PortRef) -> Result<(), KernelError> {
+        self.check_output_port(from)?;
+        self.check_input_port(to)?;
+        self.nodes[to.node.0].sources[to.port] = Source::Node(from.node, from.port);
+        Ok(())
+    }
+
+    /// Connects a named external input to a node input.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::connect`].
+    pub fn connect_input(&mut self, input: InputId, to: PortRef) -> Result<(), KernelError> {
+        self.check_input_port(to)?;
+        self.nodes[to.node.0].sources[to.port] = Source::External(input.0);
+        Ok(())
+    }
+
+    /// Exposes a node output under a signal name; it will be recorded in the
+    /// trace of every run.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the port is out of range or the name is already taken.
+    pub fn expose_output(
+        &mut self,
+        name: impl Into<String>,
+        from: PortRef,
+    ) -> Result<(), KernelError> {
+        self.check_output_port(from)?;
+        let name = name.into();
+        if self.probes.iter().any(|(n, _)| *n == name) {
+            return Err(KernelError::DuplicateName(name));
+        }
+        self.probes.push((name, Source::Node(from.node, from.port)));
+        Ok(())
+    }
+
+    /// Additionally records an external input in run traces.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names.
+    pub fn probe_input(&mut self, name: impl Into<String>, input: InputId) -> Result<(), KernelError> {
+        let name = name.into();
+        if self.probes.iter().any(|(n, _)| *n == name) {
+            return Err(KernelError::DuplicateName(name));
+        }
+        self.probes.push((name, Source::External(input.0)));
+        Ok(())
+    }
+
+    /// The instantaneous dependency edges `(producer, consumer)` between
+    /// nodes — the input to the causality check.
+    pub fn instantaneous_edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for (port, src) in node.sources.iter().enumerate() {
+                if let Source::Node(from, _) = src {
+                    if node.block.input_is_instantaneous(port) {
+                        edges.push((from.0, i));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Runs the causality check and computes an evaluation schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Causality`] if the network has an
+    /// instantaneous loop.
+    pub fn prepare(mut self) -> Result<ReadyNetwork, KernelError> {
+        let edges = self.instantaneous_edges();
+        let names: Vec<String> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| format!("{}#{}", n.block.name(), i))
+            .collect();
+        let order = causality::check(self.nodes.len(), &edges, |i| names[i].clone())?;
+        for node in &mut self.nodes {
+            node.block.reset();
+            node.outputs.fill(Message::Absent);
+        }
+        Ok(ReadyNetwork {
+            net: self,
+            order,
+            tick: 0,
+        })
+    }
+
+    /// Batch-runs the network over a stimulus (one row of input messages per
+    /// tick) and records all probed signals.
+    ///
+    /// # Errors
+    ///
+    /// Fails on causality violations, stimulus arity mismatches, or block
+    /// evaluation errors.
+    pub fn run(self, stimulus: &[Vec<Message>]) -> Result<Trace, KernelError> {
+        let mut ready = self.prepare()?;
+        let mut trace = Trace::new();
+        for name in ready
+            .net
+            .probes
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect::<Vec<_>>()
+        {
+            trace.declare(name);
+        }
+        for row in stimulus {
+            let observed = ready.step_tick(row)?;
+            trace.push_row(&observed)?;
+        }
+        Ok(trace)
+    }
+}
+
+/// A causality-checked network with a fixed evaluation schedule.
+#[derive(Debug)]
+pub struct ReadyNetwork {
+    net: Network,
+    order: Vec<usize>,
+    tick: Tick,
+}
+
+impl ReadyNetwork {
+    /// The current tick (number of completed reactions).
+    pub fn tick(&self) -> Tick {
+        self.tick
+    }
+
+    /// The evaluation schedule (node indices in execution order).
+    pub fn schedule(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Resets all blocks and the tick counter.
+    pub fn reset(&mut self) {
+        for node in &mut self.net.nodes {
+            node.block.reset();
+            node.outputs.fill(Message::Absent);
+        }
+        self.tick = 0;
+    }
+
+    fn resolve(&self, src: Source, externals: &[Message]) -> Message {
+        match src {
+            Source::Open => Message::Absent,
+            Source::Node(n, p) => self.net.nodes[n.0].outputs[p].clone(),
+            Source::External(i) => externals[i].clone(),
+        }
+    }
+
+    /// Executes one global reaction.
+    ///
+    /// `externals` supplies one message per declared network input. Returns
+    /// the probed signals as `(name, message)` rows in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stimulus arity mismatch or block evaluation errors.
+    pub fn step_tick(
+        &mut self,
+        externals: &[Message],
+    ) -> Result<Vec<(String, Message)>, KernelError> {
+        if externals.len() != self.net.input_names.len() {
+            return Err(KernelError::StimulusArity {
+                expected: self.net.input_names.len(),
+                found: externals.len(),
+                tick: self.tick,
+            });
+        }
+        let t = self.tick;
+        // Phase 1: step in schedule order.
+        for idx in 0..self.order.len() {
+            let i = self.order[idx];
+            let inputs: Vec<Message> = self.net.nodes[i]
+                .sources
+                .iter()
+                .enumerate()
+                .map(|(port, &src)| {
+                    if self.net.nodes[i].block.input_is_instantaneous(port) {
+                        self.resolve(src, externals)
+                    } else {
+                        Message::Absent
+                    }
+                })
+                .collect();
+            let out = self.net.nodes[i].block.step(t, &inputs)?;
+            debug_assert_eq!(out.len(), self.net.nodes[i].outputs.len());
+            self.net.nodes[i].outputs = out;
+        }
+        // Phase 2: commit with final input values.
+        for i in 0..self.net.nodes.len() {
+            let inputs: Vec<Message> = self.net.nodes[i]
+                .sources
+                .iter()
+                .map(|&src| self.resolve(src, externals))
+                .collect();
+            self.net.nodes[i].block.commit(t, &inputs);
+        }
+        // Observe probes.
+        let observed = self
+            .net
+            .probes
+            .iter()
+            .map(|(name, src)| (name.clone(), self.resolve(*src, externals)))
+            .collect();
+        self.tick += 1;
+        Ok(observed)
+    }
+
+    /// Batch continuation: run further ticks and return their trace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReadyNetwork::step_tick`].
+    pub fn run(&mut self, stimulus: &[Vec<Message>]) -> Result<Trace, KernelError> {
+        let mut trace = Trace::new();
+        for (name, _) in &self.net.probes {
+            trace.declare(name.clone());
+        }
+        for row in stimulus {
+            let observed = self.step_tick(row)?;
+            trace.push_row(&observed)?;
+        }
+        Ok(trace)
+    }
+}
+
+/// Builds a stimulus of `len` rows from per-input closures.
+///
+/// Convenience for tests and examples: each closure produces the message for
+/// its input at each tick.
+pub fn stimulus_from_fns(
+    len: usize,
+    fns: Vec<Box<dyn Fn(Tick) -> Message>>,
+) -> Vec<Vec<Message>> {
+    (0..len as Tick)
+        .map(|t| fns.iter().map(|f| f(t)).collect())
+        .collect()
+}
+
+/// Builds a stimulus from named streams; inputs are matched by order.
+pub fn stimulus_from_streams(streams: &[crate::stream::Stream]) -> Vec<Vec<Message>> {
+    let len = streams.iter().map(|s| s.len()).max().unwrap_or(0);
+    (0..len)
+        .map(|t| {
+            streams
+                .iter()
+                .map(|s| s.get(t).cloned().unwrap_or(Message::Absent))
+                .collect()
+        })
+        .collect()
+}
+
+/// A labelled bundle of traces keyed by signal name — re-export point used by
+/// higher layers that organize traces per component.
+pub type SignalMap = BTreeMap<String, crate::stream::Stream>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{AddN, BinOp, Const, Delay, EveryClockGen, Lift2, UnitDelay, When};
+    use crate::stream::{self, Stream};
+    use crate::value::Value;
+
+    #[test]
+    fn add_network_computes_sum() {
+        let mut net = Network::new("sum");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let add = net.add_block(Lift2::new(BinOp::Add));
+        net.connect_input(a, add.input(0)).unwrap();
+        net.connect_input(b, add.input(1)).unwrap();
+        net.expose_output("sum", add.output(0)).unwrap();
+
+        let stim = stimulus_from_streams(&[
+            Stream::from_values([1i64, 2, 3]),
+            Stream::from_values([10i64, 20, 30]),
+        ]);
+        let trace = net.run(&stim).unwrap();
+        assert_eq!(
+            trace.signal("sum").unwrap().present_values(),
+            vec![Value::Int(11), Value::Int(22), Value::Int(33)]
+        );
+    }
+
+    #[test]
+    fn fig2_when_sampling_in_network() {
+        let mut net = Network::new("fig2");
+        let a = net.add_input("a");
+        let clk = net.add_block(EveryClockGen::new(2, 0));
+        let when = net.add_block(When::new());
+        net.connect_input(a, when.input(0)).unwrap();
+        net.connect(clk.output(0), when.input(1)).unwrap();
+        net.expose_output("a'", when.output(0)).unwrap();
+
+        let stim = stimulus_from_streams(&[Stream::from_values(0i64..6)]);
+        let trace = net.run(&stim).unwrap();
+        let s = trace.signal("a'").unwrap();
+        // Matches the pure combinator.
+        let expect = stream::when(&Stream::from_values(0i64..6), &stream::every(2, 0, 6));
+        assert_eq!(s, &expect);
+    }
+
+    #[test]
+    fn instantaneous_loop_is_rejected_with_cycle() {
+        let mut net = Network::new("loop");
+        let a = net.add_block(Lift2::new(BinOp::Add));
+        let b = net.add_block(Lift2::new(BinOp::Add));
+        net.connect(a.output(0), b.input(0)).unwrap();
+        net.connect(b.output(0), a.input(0)).unwrap();
+        let err = net.prepare().unwrap_err();
+        match err {
+            KernelError::Causality(e) => assert_eq!(e.cycle.len(), 2),
+            other => panic!("expected causality error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn delay_breaks_feedback_loop() {
+        // Accumulator: acc = delay(acc) + in. Classic causal feedback.
+        let mut net = Network::new("acc");
+        let input = net.add_input("in");
+        let add = net.add_block(Lift2::new(BinOp::Add));
+        let del = net.add_block(Delay::new(0i64));
+        net.connect_input(input, add.input(0)).unwrap();
+        net.connect(del.output(0), add.input(1)).unwrap();
+        net.connect(add.output(0), del.input(0)).unwrap();
+        net.expose_output("acc", add.output(0)).unwrap();
+
+        let stim = stimulus_from_streams(&[Stream::from_values([1i64, 2, 3, 4])]);
+        let trace = net.run(&stim).unwrap();
+        let vals: Vec<i64> = trace
+            .signal("acc")
+            .unwrap()
+            .present_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn unit_delay_implements_ssd_channel_semantics() {
+        // An SSD channel between two components introduces one tick delay.
+        let mut net = Network::new("ssd");
+        let input = net.add_input("x");
+        let ch = net.add_block(UnitDelay::new(Message::Absent));
+        net.connect_input(input, ch.input(0)).unwrap();
+        net.expose_output("y", ch.output(0)).unwrap();
+
+        let stim = stimulus_from_streams(&[Stream::from_values([5i64, 6, 7])]);
+        let trace = net.run(&stim).unwrap();
+        let y = trace.signal("y").unwrap();
+        assert!(y[0].is_absent());
+        assert_eq!(y[1], Message::present(5i64));
+        assert_eq!(y[2], Message::present(6i64));
+    }
+
+    #[test]
+    fn unconnected_input_reads_absent() {
+        let mut net = Network::new("open");
+        let add = net.add_block(Lift2::new(BinOp::Add));
+        net.expose_output("out", add.output(0)).unwrap();
+        let trace = net.run(&[vec![], vec![]]).unwrap();
+        assert_eq!(trace.signal("out").unwrap().present_count(), 0);
+    }
+
+    #[test]
+    fn double_connection_rejected() {
+        let mut net = Network::new("dup");
+        let c1 = net.add_block(Const::new(1i64));
+        let c2 = net.add_block(Const::new(2i64));
+        let add = net.add_block(Lift2::new(BinOp::Add));
+        net.connect(c1.output(0), add.input(0)).unwrap();
+        let err = net.connect(c2.output(0), add.input(0)).unwrap_err();
+        assert!(matches!(err, KernelError::InputAlreadyConnected { .. }));
+    }
+
+    #[test]
+    fn port_out_of_range_rejected() {
+        let mut net = Network::new("oor");
+        let c = net.add_block(Const::new(1i64));
+        let add = net.add_block(AddN::new(2));
+        assert!(matches!(
+            net.connect(c.output(1), add.input(0)),
+            Err(KernelError::PortOutOfRange { .. })
+        ));
+        assert!(matches!(
+            net.connect(c.output(0), add.input(5)),
+            Err(KernelError::PortOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_probe_name_rejected() {
+        let mut net = Network::new("dupname");
+        let c = net.add_block(Const::new(1i64));
+        net.expose_output("x", c.output(0)).unwrap();
+        assert!(matches!(
+            net.expose_output("x", c.output(0)),
+            Err(KernelError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn stimulus_arity_checked() {
+        let mut net = Network::new("arity");
+        let _a = net.add_input("a");
+        let err = net.run(&[vec![]]).unwrap_err();
+        assert!(matches!(err, KernelError::StimulusArity { .. }));
+    }
+
+    #[test]
+    fn ready_network_reset_replays_identically() {
+        let mut net = Network::new("replay");
+        let input = net.add_input("in");
+        let add = net.add_block(Lift2::new(BinOp::Add));
+        let del = net.add_block(Delay::new(0i64));
+        net.connect_input(input, add.input(0)).unwrap();
+        net.connect(del.output(0), add.input(1)).unwrap();
+        net.connect(add.output(0), del.input(0)).unwrap();
+        net.expose_output("acc", add.output(0)).unwrap();
+
+        let stim = stimulus_from_streams(&[Stream::from_values([1i64, 1, 1])]);
+        let mut ready = net.prepare().unwrap();
+        let t1 = ready.run(&stim).unwrap();
+        ready.reset();
+        let t2 = ready.run(&stim).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn stimulus_from_fns_builds_rows() {
+        let stim = stimulus_from_fns(
+            3,
+            vec![
+                Box::new(|t| Message::present(t as i64)),
+                Box::new(|t| {
+                    if t % 2 == 0 {
+                        Message::present(true)
+                    } else {
+                        Message::Absent
+                    }
+                }),
+            ],
+        );
+        assert_eq!(stim.len(), 3);
+        assert_eq!(stim[1][0], Message::present(1i64));
+        assert!(stim[1][1].is_absent());
+        assert_eq!(stim[2][1], Message::present(true));
+    }
+
+    #[test]
+    fn probe_input_records_stimulus() {
+        let mut net = Network::new("probe");
+        let a = net.add_input("a");
+        net.probe_input("a", a).unwrap();
+        let stim = stimulus_from_streams(&[Stream::from_values([4i64])]);
+        let trace = net.run(&stim).unwrap();
+        assert_eq!(
+            trace.signal("a").unwrap().present_values(),
+            vec![Value::Int(4)]
+        );
+    }
+}

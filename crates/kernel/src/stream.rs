@@ -1,0 +1,355 @@
+//! Finite message streams and the pure sampling combinators.
+//!
+//! A [`Stream`] is the value history of one channel over a finite prefix of
+//! the global time base: one [`Message`] per tick. The combinators in this
+//! module (`when`, `delay`, `current`) are the *reference semantics* of the
+//! corresponding executable blocks in [`ops`](crate::ops); property tests in
+//! the workspace assert that block execution agrees with them.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::clock::Clock;
+use crate::value::{Message, Value};
+
+/// The finite history of one channel: one message per global tick.
+///
+/// ```
+/// use automode_kernel::{Stream, Value};
+/// let s = Stream::from_values([1i64, 2, 3]);
+/// assert_eq!(s.len(), 3);
+/// assert_eq!(s.present_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Stream {
+    messages: Vec<Message>,
+}
+
+impl Stream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Stream::default()
+    }
+
+    /// A stream that is absent for `len` ticks.
+    pub fn absent(len: usize) -> Self {
+        Stream {
+            messages: vec![Message::Absent; len],
+        }
+    }
+
+    /// Builds a stream of present messages from values.
+    pub fn from_values<V: Into<Value>>(values: impl IntoIterator<Item = V>) -> Self {
+        Stream {
+            messages: values
+                .into_iter()
+                .map(|v| Message::Present(v.into()))
+                .collect(),
+        }
+    }
+
+    /// Builds a stream whose messages are present exactly on `clock`,
+    /// carrying values produced by `f` at each active tick.
+    pub fn on_clock(clock: &Clock, len: usize, mut f: impl FnMut(u64) -> Value) -> Self {
+        Stream {
+            messages: (0..len as u64)
+                .map(|t| {
+                    if clock.is_active(t) {
+                        Message::Present(f(t))
+                    } else {
+                        Message::Absent
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of ticks covered.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// `true` if the stream covers no ticks.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Number of ticks carrying a present message.
+    pub fn present_count(&self) -> usize {
+        self.messages.iter().filter(|m| m.is_present()).count()
+    }
+
+    /// Appends one message.
+    pub fn push(&mut self, m: Message) {
+        self.messages.push(m);
+    }
+
+    /// The message at tick `t`, or `None` past the end.
+    pub fn get(&self, t: usize) -> Option<&Message> {
+        self.messages.get(t)
+    }
+
+    /// Iterates over messages tick by tick.
+    pub fn iter(&self) -> std::slice::Iter<'_, Message> {
+        self.messages.iter()
+    }
+
+    /// Borrows the underlying messages.
+    pub fn as_slice(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Consumes the stream, yielding the underlying messages.
+    pub fn into_inner(self) -> Vec<Message> {
+        self.messages
+    }
+
+    /// The ticks at which a message is present (the stream's observed clock).
+    pub fn observed_clock_ticks(&self) -> Vec<u64> {
+        self.messages
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_present())
+            .map(|(t, _)| t as u64)
+            .collect()
+    }
+
+    /// `true` if the stream's presence pattern matches `clock` exactly.
+    pub fn conforms_to_clock(&self, clock: &Clock) -> bool {
+        self.messages
+            .iter()
+            .enumerate()
+            .all(|(t, m)| m.is_present() == clock.is_active(t as u64))
+    }
+
+    /// Extracts present values in order, discarding absences.
+    pub fn present_values(&self) -> Vec<Value> {
+        self.messages
+            .iter()
+            .filter_map(|m| m.value().cloned())
+            .collect()
+    }
+}
+
+impl Index<usize> for Stream {
+    type Output = Message;
+
+    fn index(&self, t: usize) -> &Message {
+        &self.messages[t]
+    }
+}
+
+impl FromIterator<Message> for Stream {
+    fn from_iter<I: IntoIterator<Item = Message>>(iter: I) -> Self {
+        Stream {
+            messages: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Message> for Stream {
+    fn extend<I: IntoIterator<Item = Message>>(&mut self, iter: I) {
+        self.messages.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Stream {
+    type Item = &'a Message;
+    type IntoIter = std::slice::Iter<'a, Message>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.messages.iter()
+    }
+}
+
+impl IntoIterator for Stream {
+    type Item = Message;
+    type IntoIter = std::vec::IntoIter<Message>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.messages.into_iter()
+    }
+}
+
+impl fmt::Display for Stream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<String> = self.messages.iter().map(|m| m.to_string()).collect();
+        write!(f, "[{}]", rendered.join(" "))
+    }
+}
+
+/// `when(s, c)`: sample `s` at the ticks where the Boolean stream `c` carries
+/// a present `true`; absent elsewhere (paper, Fig. 2).
+///
+/// The condition stream acts as a *dynamic clock*: the output's clock is the
+/// sub-clock of `s`'s clock at which `c` is present and true.
+pub fn when(s: &Stream, c: &Stream) -> Stream {
+    let len = s.len().min(c.len());
+    (0..len)
+        .map(|t| match (s[t].clone(), c[t].value().and_then(Value::as_bool)) {
+            (m @ Message::Present(_), Some(true)) => m,
+            _ => Message::Absent,
+        })
+        .collect()
+}
+
+/// `delay(s, init)`: a one-message delay *on the stream's clock*.
+///
+/// At the `k`-th present tick of `s` the output carries the value of the
+/// `(k-1)`-th present message, and `init` at the first. Absences pass
+/// through unchanged, so the output keeps `s`'s clock. This is the semantics
+/// of an SSD channel (paper, Sec. 3.1: "each SSD-level channel introduces a
+/// message delay").
+pub fn delay(s: &Stream, init: Value) -> Stream {
+    let mut last = init;
+    s.iter()
+        .map(|m| match m {
+            Message::Present(v) => {
+                let out = Message::Present(last.clone());
+                last = v.clone();
+                out
+            }
+            Message::Absent => Message::Absent,
+        })
+        .collect()
+}
+
+/// `current(s, init)`: up-sample `s` onto the base clock by holding the most
+/// recent present value; `init` before the first message.
+pub fn current(s: &Stream, init: Value) -> Stream {
+    let mut last = init;
+    s.iter()
+        .map(|m| {
+            if let Message::Present(v) = m {
+                last = v.clone();
+            }
+            Message::Present(last.clone())
+        })
+        .collect()
+}
+
+/// The Boolean stream of the macro clock `every(n, true)` over `len` ticks
+/// (always present, carrying `true` each `n`-th tick and `false` otherwise),
+/// exactly as used to drive the `when` operator in the paper's Fig. 2.
+pub fn every(n: u32, phase: u32, len: usize) -> Stream {
+    let clock = Clock::every(n, phase);
+    (0..len as u64)
+        .map(|t| Message::Present(Value::Bool(clock.is_active(t))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: impl IntoIterator<Item = i64>) -> Stream {
+        Stream::from_values(v)
+    }
+
+    #[test]
+    fn fig2_when_every_two() {
+        // Stream a sampled down by a factor of two.
+        let a = ints(0..6);
+        let c = every(2, 0, 6);
+        let a2 = when(&a, &c);
+        assert_eq!(a2[0], Message::present(0i64));
+        assert!(a2[1].is_absent());
+        assert_eq!(a2[2], Message::present(2i64));
+        assert!(a2[3].is_absent());
+        assert_eq!(a2.present_count(), 3);
+        assert!(a2.conforms_to_clock(&Clock::every(2, 0)));
+    }
+
+    #[test]
+    fn when_requires_present_true() {
+        let s = ints([1, 2, 3]);
+        let mut c = Stream::new();
+        c.push(Message::present(true));
+        c.push(Message::Absent); // absent condition: no sample
+        c.push(Message::present(false)); // false condition: no sample
+        let out = when(&s, &c);
+        assert!(out[0].is_present() && out[1].is_absent() && out[2].is_absent());
+    }
+
+    #[test]
+    fn when_of_absent_source_is_absent() {
+        let s = Stream::absent(3);
+        let c = every(1, 0, 3);
+        assert_eq!(when(&s, &c).present_count(), 0);
+    }
+
+    #[test]
+    fn delay_shifts_on_own_clock() {
+        // Present only at even ticks; delay shifts across the absences.
+        let s = Stream::on_clock(&Clock::every(2, 0), 6, |t| Value::Int(t as i64));
+        let d = delay(&s, Value::Int(-1));
+        assert_eq!(d[0], Message::present(-1i64));
+        assert!(d[1].is_absent());
+        assert_eq!(d[2], Message::present(0i64));
+        assert_eq!(d[4], Message::present(2i64));
+    }
+
+    #[test]
+    fn delay_then_values_is_shifted_values() {
+        let s = ints([10, 20, 30]);
+        let d = delay(&s, Value::Int(0));
+        assert_eq!(
+            d.present_values(),
+            vec![Value::Int(0), Value::Int(10), Value::Int(20)]
+        );
+    }
+
+    #[test]
+    fn current_holds_last_value() {
+        let s = Stream::on_clock(&Clock::every(3, 0), 7, |t| Value::Int(t as i64));
+        let c = current(&s, Value::Int(-5));
+        let vals: Vec<i64> = c
+            .present_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![0, 0, 0, 3, 3, 3, 6]);
+    }
+
+    #[test]
+    fn current_initial_value_before_first_message() {
+        let mut s = Stream::absent(2);
+        s.push(Message::present(9i64));
+        let c = current(&s, Value::Int(1));
+        assert_eq!(c[0], Message::present(1i64));
+        assert_eq!(c[1], Message::present(1i64));
+        assert_eq!(c[2], Message::present(9i64));
+    }
+
+    #[test]
+    fn observed_clock_ticks() {
+        let s = Stream::on_clock(&Clock::every(2, 1), 6, |_| Value::Bool(true));
+        assert_eq!(s.observed_clock_ticks(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: Stream = (0..3).map(|i| Message::present(i as i64)).collect();
+        s.extend([Message::Absent]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.present_count(), 3);
+    }
+
+    #[test]
+    fn display_uses_dash() {
+        let mut s = Stream::new();
+        s.push(Message::present(20i64));
+        s.push(Message::Absent);
+        s.push(Message::present(23i64));
+        assert_eq!(s.to_string(), "[20 - 23]");
+    }
+
+    #[test]
+    fn when_delay_composition_keeps_subclock() {
+        // delay(when(s, every2)) stays on every2's ticks.
+        let s = ints(0..8);
+        let sampled = when(&s, &every(2, 0, 8));
+        let delayed = delay(&sampled, Value::Int(-1));
+        assert!(delayed.conforms_to_clock(&Clock::every(2, 0)));
+    }
+}

@@ -1,0 +1,210 @@
+//! VCD (value change dump) export of traces.
+//!
+//! Renders a [`Trace`](crate::Trace) as a VCD waveform so runs can be
+//! inspected in standard viewers (GTKWave et al.). The mapping per signal
+//! kind, chosen from the first present message:
+//!
+//! * `Bool` → 1-bit wire (`0`/`1`); absence is `x`;
+//! * `Int`/`Float`/`Fixed` → `real`; absence is `NaN` (rendered `rnan`);
+//! * `Sym` → string variable (a GTKWave-supported extension); absence is
+//!   the empty string.
+//!
+//! One VCD time unit is one tick of the global base clock; values are
+//! emitted only on change, per VCD semantics.
+
+use std::fmt::Write as _;
+
+use crate::trace::Trace;
+use crate::value::{Message, Value};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarKind {
+    Wire,
+    Real,
+    Text,
+}
+
+fn kind_of(trace: &Trace, signal: &str) -> VarKind {
+    let stream = trace.signal(signal).expect("caller iterated names");
+    for m in stream {
+        if let Message::Present(v) = m {
+            return match v {
+                Value::Bool(_) => VarKind::Wire,
+                Value::Sym(_) => VarKind::Text,
+                _ => VarKind::Real,
+            };
+        }
+    }
+    VarKind::Real
+}
+
+/// VCD identifier codes: printable ASCII 33..=126, multi-char as needed.
+fn id_code(mut n: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push(char::from(33 + (n % 94) as u8));
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+        n -= 1;
+    }
+    s
+}
+
+fn emit_value(out: &mut String, kind: VarKind, msg: &Message, id: &str) {
+    match kind {
+        VarKind::Wire => {
+            let bit = match msg.value().and_then(Value::as_bool) {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => 'x',
+            };
+            let _ = writeln!(out, "{bit}{id}");
+        }
+        VarKind::Real => match msg.value().and_then(Value::as_numeric) {
+            Some(x) => {
+                let _ = writeln!(out, "r{x} {id}");
+            }
+            None => {
+                let _ = writeln!(out, "rnan {id}");
+            }
+        },
+        VarKind::Text => {
+            let s = msg
+                .value()
+                .and_then(Value::as_sym)
+                .unwrap_or("");
+            let _ = writeln!(out, "s{s} {id}");
+        }
+    }
+}
+
+/// Renders the trace as VCD text under the given module scope name.
+pub fn to_vcd(trace: &Trace, scope: &str) -> String {
+    let names: Vec<String> = trace.signal_names().map(String::from).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "$comment automode trace export $end");
+    let _ = writeln!(out, "$timescale 1 ms $end");
+    let _ = writeln!(out, "$scope module {scope} $end");
+    let kinds: Vec<VarKind> = names.iter().map(|n| kind_of(trace, n)).collect();
+    for (i, (name, kind)) in names.iter().zip(&kinds).enumerate() {
+        let id = id_code(i);
+        // VCD identifiers may not contain spaces; replace for safety.
+        let clean: String = name
+            .chars()
+            .map(|c| if c.is_whitespace() { '_' } else { c })
+            .collect();
+        let _ = match kind {
+            VarKind::Wire => writeln!(out, "$var wire 1 {id} {clean} $end"),
+            VarKind::Real => writeln!(out, "$var real 64 {id} {clean} $end"),
+            VarKind::Text => writeln!(out, "$var string 1 {id} {clean} $end"),
+        };
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    let ticks = trace.tick_count();
+    let mut last: Vec<Option<Message>> = vec![None; names.len()];
+    for t in 0..ticks {
+        let mut changes = String::new();
+        for (i, name) in names.iter().enumerate() {
+            let msg = trace
+                .signal(name)
+                .and_then(|s| s.get(t).cloned())
+                .unwrap_or(Message::Absent);
+            if last[i].as_ref() != Some(&msg) {
+                emit_value(&mut changes, kinds[i], &msg, &id_code(i));
+                last[i] = Some(msg);
+            }
+        }
+        if !changes.is_empty() || t == 0 {
+            let _ = writeln!(out, "#{t}");
+            out.push_str(&changes);
+        }
+    }
+    let _ = writeln!(out, "#{ticks}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::Stream;
+
+    fn trace() -> Trace {
+        let mut t = Trace::new();
+        t.insert(
+            "flag",
+            vec![
+                Message::present(true),
+                Message::present(true),
+                Message::Absent,
+                Message::present(false),
+            ]
+            .into_iter()
+            .collect::<Stream>(),
+        );
+        t.insert("speed", Stream::from_values([1.5f64, 1.5, 2.5, 2.5]));
+        t.insert(
+            "mode",
+            vec![
+                Message::present(Value::sym("Idle")),
+                Message::present(Value::sym("Load")),
+                Message::present(Value::sym("Load")),
+                Message::Absent,
+            ]
+            .into_iter()
+            .collect::<Stream>(),
+        );
+        t
+    }
+
+    #[test]
+    fn header_declares_each_kind() {
+        let vcd = to_vcd(&trace(), "run");
+        assert!(vcd.contains("$scope module run $end"));
+        assert!(vcd.contains("$var wire 1 ! flag $end"));
+        assert!(vcd.contains("$var string 1 # mode $end"));
+        assert!(vcd.contains("real 64"));
+        assert!(vcd.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn values_emitted_only_on_change() {
+        let vcd = to_vcd(&trace(), "run");
+        // speed stays 1.5 at t1: no re-emission between #0 and #2.
+        let t0 = vcd.find("#0").unwrap();
+        let t2 = vcd.find("#2").unwrap();
+        let between = &vcd[t0..t2];
+        assert_eq!(between.matches("r1.5").count(), 1);
+        // flag absence at t2 shows as x.
+        let after2 = &vcd[t2..];
+        assert!(after2.contains("x!"));
+    }
+
+    #[test]
+    fn symbols_and_final_timestamp() {
+        let vcd = to_vcd(&trace(), "run");
+        assert!(vcd.contains("sIdle #"));
+        assert!(vcd.contains("sLoad #"));
+        assert!(vcd.trim_end().ends_with("#4"));
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..500 {
+            let id = id_code(i);
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn empty_trace_still_valid() {
+        let vcd = to_vcd(&Trace::new(), "empty");
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.trim_end().ends_with("#0"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Property-based tests of the kernel's semantic laws: stream-operator
+//! algebra, clock algebra, and causality-check soundness/completeness.
+
+use automode_kernel::causality;
+use automode_kernel::stream::{current, delay, every, when};
+use automode_kernel::{Clock, Message, Stream, Value};
+use proptest::prelude::*;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        3 => any::<i64>().prop_map(|i| Message::present(Value::Int(i % 1000))),
+        1 => Just(Message::Absent),
+    ]
+}
+
+fn arb_stream(max_len: usize) -> impl Strategy<Value = Stream> {
+    prop::collection::vec(arb_message(), 0..max_len).prop_map(|v| v.into_iter().collect())
+}
+
+fn arb_clock() -> impl Strategy<Value = Clock> {
+    let leaf = prop_oneof![
+        Just(Clock::base()),
+        (1u32..12, 0u32..12).prop_map(|(n, p)| Clock::every(n, p)),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.or(b)),
+        ]
+    })
+}
+
+proptest! {
+    /// `when` with the always-true clock is the identity.
+    #[test]
+    fn when_base_clock_is_identity(s in arb_stream(64)) {
+        let c = every(1, 0, s.len());
+        prop_assert_eq!(when(&s, &c), s);
+    }
+
+    /// `when` never passes more messages than the source carries, and its
+    /// presence pattern is a subset of the source's.
+    #[test]
+    fn when_is_a_sampling(s in arb_stream(64), n in 1u32..8, phase in 0u32..8) {
+        let c = every(n, phase, s.len());
+        let out = when(&s, &c);
+        prop_assert!(out.present_count() <= s.present_count());
+        for t in 0..out.len() {
+            if out[t].is_present() {
+                prop_assert!(s[t].is_present());
+                prop_assert_eq!(&out[t], &s[t]);
+            }
+        }
+    }
+
+    /// `delay` preserves the presence pattern and shifts values by one
+    /// *message*, seeding with the initial value.
+    #[test]
+    fn delay_law(s in arb_stream(64), init in -100i64..100) {
+        let d = delay(&s, Value::Int(init));
+        prop_assert_eq!(d.len(), s.len());
+        for t in 0..s.len() {
+            prop_assert_eq!(d[t].is_present(), s[t].is_present());
+        }
+        let mut expected = vec![Value::Int(init)];
+        expected.extend(s.present_values());
+        expected.pop();
+        prop_assert_eq!(d.present_values(), expected);
+    }
+
+    /// `current` is always present and holds the latest value.
+    #[test]
+    fn current_law(s in arb_stream(64), init in -100i64..100) {
+        let c = current(&s, Value::Int(init));
+        prop_assert_eq!(c.present_count(), s.len());
+        let mut held = Value::Int(init);
+        for t in 0..s.len() {
+            if let Some(v) = s[t].value() {
+                held = v.clone();
+            }
+            prop_assert_eq!(c[t].value(), Some(&held));
+        }
+    }
+
+    /// `delay` after `when` keeps the sampled clock.
+    #[test]
+    fn delay_preserves_when_clock(s in arb_stream(64), n in 1u32..6) {
+        let c = every(n, 0, s.len());
+        let sampled = when(&s, &c);
+        let delayed = delay(&sampled, Value::Int(0));
+        for t in 0..sampled.len() {
+            prop_assert_eq!(delayed[t].is_present(), sampled[t].is_present());
+        }
+    }
+
+    /// Clock conjunction is an intersection; disjunction a union.
+    #[test]
+    fn clock_boolean_algebra(a in arb_clock(), b in arb_clock(), t in 0u64..500) {
+        let and = a.clone().and(b.clone());
+        let or = a.clone().or(b.clone());
+        prop_assert_eq!(and.is_active(t), a.is_active(t) && b.is_active(t));
+        prop_assert_eq!(or.is_active(t), a.is_active(t) || b.is_active(t));
+    }
+
+    /// `same_ticks` is a sound equivalence over the decision horizon.
+    #[test]
+    fn clock_same_ticks_sound(a in arb_clock(), b in arb_clock()) {
+        if a.same_ticks(&b) {
+            for t in 0..300u64 {
+                prop_assert_eq!(a.is_active(t), b.is_active(t));
+            }
+        }
+    }
+
+    /// Subclock implies containment of active ticks.
+    #[test]
+    fn subclock_containment(a in arb_clock(), b in arb_clock()) {
+        if a.is_subclock_of(&b) {
+            for t in 0..300u64 {
+                if a.is_active(t) {
+                    prop_assert!(b.is_active(t));
+                }
+            }
+        }
+    }
+
+    /// Every clock is a subclock of base and of itself.
+    #[test]
+    fn subclock_reflexive_and_base(a in arb_clock()) {
+        prop_assert!(a.is_subclock_of(&Clock::base()));
+        prop_assert!(a.is_subclock_of(&a));
+    }
+
+    /// Causality completeness: forward-only edge sets (DAGs) are accepted,
+    /// and the returned order respects every edge.
+    #[test]
+    fn causality_accepts_dags(
+        n in 2usize..40,
+        edges in prop::collection::vec((0usize..40, 0usize..40), 0..80)
+    ) {
+        let dag: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .filter(|(a, b)| a < b)
+            .collect();
+        let order = causality::check(n, &dag, |i| i.to_string()).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; n];
+            for (idx, &node) in order.iter().enumerate() {
+                p[node] = idx;
+            }
+            p
+        };
+        for (a, b) in dag {
+            prop_assert!(pos[a] < pos[b]);
+        }
+    }
+
+    /// Causality soundness: a reported loop is a real cycle in the graph.
+    #[test]
+    fn causality_reported_loops_are_real(
+        n in 2usize..30,
+        edges in prop::collection::vec((0usize..30, 0usize..30), 1..60)
+    ) {
+        let g: Vec<(usize, usize)> = edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let report = causality::analyze(n, &g);
+        for scc in &report.loops {
+            // Every loop member can reach itself through the subgraph.
+            for &start in scc {
+                let mut seen = vec![false; n];
+                let mut stack: Vec<usize> = g
+                    .iter()
+                    .filter(|&&(a, _)| a == start)
+                    .map(|&(_, b)| b)
+                    .collect();
+                let mut back = false;
+                while let Some(x) = stack.pop() {
+                    if x == start {
+                        back = true;
+                        break;
+                    }
+                    if !seen[x] {
+                        seen[x] = true;
+                        stack.extend(g.iter().filter(|&&(a, _)| a == x).map(|&(_, b)| b));
+                    }
+                }
+                prop_assert!(back, "node {start} not on a real cycle");
+            }
+        }
+        // Order exists iff no loops.
+        prop_assert_eq!(report.order.is_some(), report.loops.is_empty());
+    }
+
+    /// Fixed-point quantization round trip stays within half an LSB.
+    #[test]
+    fn fixed_quantization_error_bound(x in -100.0f64..100.0, frac in 0u8..16) {
+        let q = automode_kernel::Fixed::from_f64(x, frac);
+        let lsb = 1.0 / f64::from(1u32 << frac);
+        prop_assert!((q.to_f64() - x).abs() <= lsb / 2.0 + 1e-12);
+    }
+
+    /// Trace equivalence is reflexive and symmetric under the exact
+    /// relation.
+    #[test]
+    fn trace_equivalence_reflexive_symmetric(s in arb_stream(32), t in arb_stream(32)) {
+        use automode_kernel::{Trace, TraceEquivalence};
+        let mut a = Trace::new();
+        a.insert("x", s);
+        let mut b = Trace::new();
+        b.insert("x", t);
+        let rel = TraceEquivalence::exact();
+        prop_assert!(a.equivalent(&a, &rel));
+        prop_assert_eq!(a.equivalent(&b, &rel), b.equivalent(&a, &rel));
+    }
+}

@@ -1,0 +1,214 @@
+//! Abstract syntax of the base language.
+
+use std::fmt;
+
+use automode_kernel::ops::{BinOp, UnOp};
+use automode_kernel::Value;
+
+/// A base-language expression.
+///
+/// Constructed by [`parse`](crate::parse) or programmatically via the
+/// builder helpers ([`Expr::ident`], [`Expr::lit`], ...).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// Reference to an input port or local variable.
+    Ident(String),
+    /// Unary operator application.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `if c then a else b`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Builtin call, e.g. `min(a, b)`.
+    Call(String, Vec<Expr>),
+    /// `present(x)`: is a message present on `x` this tick?
+    Present(Box<Expr>),
+    /// `a ? d`: `a` if present, `d` otherwise (default operator).
+    OrElse(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A literal expression.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// A symbol literal, e.g. `#Locked`.
+    pub fn sym(s: impl Into<String>) -> Expr {
+        Expr::Lit(Value::sym(s))
+    }
+
+    /// An identifier expression.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+
+    /// Binary application.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Unary application.
+    pub fn un(op: UnOp, e: Expr) -> Expr {
+        Expr::Unary(op, Box::new(e))
+    }
+
+    /// Conditional expression.
+    pub fn ite(c: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::If(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    /// The free identifiers of the expression, in first-occurrence order.
+    pub fn free_idents(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_idents(&mut out);
+        out
+    }
+
+    fn collect_idents(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Ident(n) => {
+                if !out.contains(n) {
+                    out.push(n.clone());
+                }
+            }
+            Expr::Unary(_, e) | Expr::Present(e) => e.collect_idents(out),
+            Expr::Binary(_, a, b) | Expr::OrElse(a, b) => {
+                a.collect_idents(out);
+                b.collect_idents(out);
+            }
+            Expr::If(c, t, e) => {
+                c.collect_idents(out);
+                t.collect_idents(out);
+                e.collect_idents(out);
+            }
+            Expr::Call(_, args) => args.iter().for_each(|a| a.collect_idents(out)),
+        }
+    }
+
+    /// Structural size (number of AST nodes) — used as a complexity metric
+    /// by the reengineering case study.
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Expr::Lit(_) | Expr::Ident(_) => 0,
+            Expr::Unary(_, e) | Expr::Present(e) => e.size(),
+            Expr::Binary(_, a, b) | Expr::OrElse(a, b) => a.size() + b.size(),
+            Expr::If(c, t, e) => c.size() + t.size() + e.size(),
+            Expr::Call(_, args) => args.iter().map(Expr::size).sum(),
+        }
+    }
+
+    /// Counts `if`-nodes — the paper's Sec. 5 contrasts MTD modes against
+    /// If-Then-Else control-flow nesting; this is the metric we report.
+    pub fn if_count(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Ident(_) => 0,
+            Expr::Unary(_, e) | Expr::Present(e) => e.if_count(),
+            Expr::Binary(_, a, b) | Expr::OrElse(a, b) => a.if_count() + b.if_count(),
+            Expr::If(c, t, e) => 1 + c.if_count() + t.if_count() + e.if_count(),
+            Expr::Call(_, args) => args.iter().map(Expr::if_count).sum(),
+        }
+    }
+
+    /// Maximum `if`-nesting depth.
+    pub fn if_depth(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Ident(_) => 0,
+            Expr::Unary(_, e) | Expr::Present(e) => e.if_depth(),
+            Expr::Binary(_, a, b) | Expr::OrElse(a, b) => a.if_depth().max(b.if_depth()),
+            Expr::If(c, t, e) => 1 + c.if_depth().max(t.if_depth()).max(e.if_depth()),
+            Expr::Call(_, args) => args.iter().map(Expr::if_depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Substitutes identifiers by expressions (capture is not a concern:
+    /// the language has no binders).
+    pub fn substitute(&self, subst: &dyn Fn(&str) -> Option<Expr>) -> Expr {
+        match self {
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Ident(n) => subst(n).unwrap_or_else(|| Expr::Ident(n.clone())),
+            Expr::Unary(op, e) => Expr::un(*op, e.substitute(subst)),
+            Expr::Present(e) => Expr::Present(Box::new(e.substitute(subst))),
+            Expr::Binary(op, a, b) => Expr::bin(*op, a.substitute(subst), b.substitute(subst)),
+            Expr::OrElse(a, b) => {
+                Expr::OrElse(Box::new(a.substitute(subst)), Box::new(b.substitute(subst)))
+            }
+            Expr::If(c, t, e) => Expr::ite(
+                c.substitute(subst),
+                t.substitute(subst),
+                e.substitute(subst),
+            ),
+            Expr::Call(f, args) => Expr::Call(
+                f.clone(),
+                args.iter().map(|a| a.substitute(subst)).collect(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(Value::Sym(s)) => write!(f, "#{s}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Ident(n) => write!(f, "{n}"),
+            Expr::Unary(UnOp::Neg, e) => write!(f, "(-{e})"),
+            Expr::Unary(UnOp::Not, e) => write!(f, "(not {e})"),
+            Expr::Unary(UnOp::Abs, e) => write!(f, "abs({e})"),
+            Expr::Binary(op, a, b) => match op {
+                BinOp::Min | BinOp::Max => write!(f, "{op}({a}, {b})"),
+                _ => write!(f, "({a} {op} {b})"),
+            },
+            Expr::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+            Expr::Call(name, args) => {
+                let rendered: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                write!(f, "{name}({})", rendered.join(", "))
+            }
+            Expr::Present(e) => write!(f, "present({e})"),
+            Expr::OrElse(a, b) => write!(f, "({a} ? {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_idents_in_order_without_duplicates() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, Expr::ident("ch1"), Expr::ident("ch2")),
+            Expr::ident("ch1"),
+        );
+        assert_eq!(e.free_idents(), vec!["ch1", "ch2"]);
+    }
+
+    #[test]
+    fn size_and_if_metrics() {
+        let e = Expr::ite(
+            Expr::ident("c"),
+            Expr::ite(Expr::ident("d"), Expr::lit(1i64), Expr::lit(2i64)),
+            Expr::lit(3i64),
+        );
+        assert_eq!(e.if_count(), 2);
+        assert_eq!(e.if_depth(), 2);
+        assert_eq!(e.size(), 7);
+    }
+
+    #[test]
+    fn substitution_replaces_idents() {
+        let e = Expr::bin(BinOp::Add, Expr::ident("x"), Expr::ident("y"));
+        let s = e.substitute(&|n| (n == "x").then(|| Expr::lit(5i64)));
+        assert_eq!(s.to_string(), "(5 + y)");
+    }
+
+    #[test]
+    fn display_roundtrips_symbols() {
+        let e = Expr::bin(BinOp::Eq, Expr::ident("mode"), Expr::sym("Cranking"));
+        assert_eq!(e.to_string(), "(mode == #Cranking)");
+    }
+}

@@ -1,0 +1,119 @@
+//! Errors of the base language.
+
+use std::error::Error;
+use std::fmt;
+
+use automode_kernel::KernelError;
+
+/// Errors raised while lexing, parsing, type checking, or evaluating a
+/// base-language expression.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LangError {
+    /// An unexpected character in the source.
+    Lex {
+        /// Byte offset of the offending character.
+        at: usize,
+        /// The character.
+        ch: char,
+    },
+    /// A malformed numeric literal.
+    BadNumber {
+        /// Byte offset where the literal starts.
+        at: usize,
+        /// The literal text.
+        text: String,
+    },
+    /// The parser met a token it did not expect.
+    Parse {
+        /// Byte offset of the offending token.
+        at: usize,
+        /// What was found.
+        found: String,
+        /// What would have been valid.
+        expected: String,
+    },
+    /// An identifier is not bound in the environment.
+    Unbound(String),
+    /// A call to an unknown builtin.
+    UnknownFunction(String),
+    /// A builtin was called with the wrong number of arguments.
+    Arity {
+        /// The function name.
+        function: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Found argument count.
+        found: usize,
+    },
+    /// Static or dynamic type error.
+    Type(String),
+    /// An error propagated from kernel value arithmetic.
+    Kernel(KernelError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { at, ch } => write!(f, "unexpected character `{ch}` at offset {at}"),
+            LangError::BadNumber { at, text } => {
+                write!(f, "malformed number `{text}` at offset {at}")
+            }
+            LangError::Parse {
+                at,
+                found,
+                expected,
+            } => write!(f, "expected {expected}, found `{found}` at offset {at}"),
+            LangError::Unbound(name) => write!(f, "unbound identifier `{name}`"),
+            LangError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            LangError::Arity {
+                function,
+                expected,
+                found,
+            } => write!(
+                f,
+                "function `{function}` expects {expected} arguments, found {found}"
+            ),
+            LangError::Type(msg) => write!(f, "type error: {msg}"),
+            LangError::Kernel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for LangError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LangError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for LangError {
+    fn from(e: KernelError) -> Self {
+        LangError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LangError::Unbound("x".into());
+        assert_eq!(e.to_string(), "unbound identifier `x`");
+        let e = LangError::Arity {
+            function: "min".into(),
+            expected: 2,
+            found: 1,
+        };
+        assert!(e.to_string().contains("expects 2"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LangError>();
+    }
+}

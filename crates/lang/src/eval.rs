@@ -1,0 +1,263 @@
+//! Evaluation of base-language expressions over message environments.
+//!
+//! Evaluation follows the clocked semantics of the operational model:
+//! numeric/logic operators are **strict** in presence (an absent operand
+//! makes the whole result absent), while `present(x)` and `x ? d` observe
+//! absence explicitly — this is how AutoMoDe models event-triggered
+//! behaviour over the time-synchronous base (paper, Sec. 2).
+
+use std::collections::BTreeMap;
+
+use automode_kernel::ops::{apply_binop, apply_unop, BinOp};
+use automode_kernel::{Message, Value};
+
+use crate::ast::Expr;
+use crate::error::LangError;
+
+/// An evaluation environment: identifier → message.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Env {
+    bindings: BTreeMap<String, Message>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Binds an identifier to a message (replacing any previous binding).
+    pub fn bind(&mut self, name: impl Into<String>, msg: Message) -> &mut Self {
+        self.bindings.insert(name.into(), msg);
+        self
+    }
+
+    /// Binds an identifier to a present value.
+    pub fn bind_value(&mut self, name: impl Into<String>, v: impl Into<Value>) -> &mut Self {
+        self.bind(name, Message::present(v))
+    }
+
+    /// Looks up an identifier.
+    pub fn lookup(&self, name: &str) -> Option<&Message> {
+        self.bindings.get(name)
+    }
+}
+
+impl FromIterator<(String, Message)> for Env {
+    fn from_iter<I: IntoIterator<Item = (String, Message)>>(iter: I) -> Self {
+        Env {
+            bindings: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Expr {
+    /// Evaluates the expression under `env`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Unbound`] for identifiers missing from `env`,
+    /// and dynamic type/arithmetic errors from the kernel.
+    pub fn eval(&self, env: &Env) -> Result<Message, LangError> {
+        match self {
+            Expr::Lit(v) => Ok(Message::Present(v.clone())),
+            Expr::Ident(n) => env
+                .lookup(n)
+                .cloned()
+                .ok_or_else(|| LangError::Unbound(n.clone())),
+            Expr::Present(e) => {
+                let m = e.eval(env)?;
+                Ok(Message::present(m.is_present()))
+            }
+            Expr::OrElse(a, b) => {
+                let ma = a.eval(env)?;
+                if ma.is_present() {
+                    Ok(ma)
+                } else {
+                    b.eval(env)
+                }
+            }
+            Expr::Unary(op, e) => {
+                let m = e.eval(env)?;
+                match m.value() {
+                    Some(v) => Ok(Message::Present(apply_unop("expr", *op, v)?)),
+                    None => Ok(Message::Absent),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let ma = a.eval(env)?;
+                let mb = b.eval(env)?;
+                match (ma.value(), mb.value()) {
+                    (Some(x), Some(y)) => Ok(Message::Present(apply_binop("expr", *op, x, y)?)),
+                    _ => Ok(Message::Absent),
+                }
+            }
+            Expr::If(c, t, e) => {
+                let mc = c.eval(env)?;
+                match mc.value() {
+                    Some(Value::Bool(true)) => t.eval(env),
+                    Some(Value::Bool(false)) => e.eval(env),
+                    Some(v) => Err(LangError::Type(format!(
+                        "`if` condition evaluated to {} `{v}`",
+                        v.type_name()
+                    ))),
+                    None => Ok(Message::Absent),
+                }
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    match a.eval(env)?.into_value() {
+                        Some(v) => vals.push(v),
+                        None => return Ok(Message::Absent),
+                    }
+                }
+                eval_builtin(name, &vals).map(Message::Present)
+            }
+        }
+    }
+}
+
+fn eval_builtin(name: &str, args: &[Value]) -> Result<Value, LangError> {
+    let need = |n: usize| -> Result<(), LangError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(LangError::Arity {
+                function: name.to_string(),
+                expected: n,
+                found: args.len(),
+            })
+        }
+    };
+    match name {
+        "min" => {
+            need(2)?;
+            Ok(apply_binop(name, BinOp::Min, &args[0], &args[1])?)
+        }
+        "max" => {
+            need(2)?;
+            Ok(apply_binop(name, BinOp::Max, &args[0], &args[1])?)
+        }
+        "abs" => {
+            need(1)?;
+            Ok(apply_unop(name, automode_kernel::ops::UnOp::Abs, &args[0])?)
+        }
+        "clamp" => {
+            need(3)?;
+            let lo = apply_binop(name, BinOp::Max, &args[0], &args[1])?;
+            Ok(apply_binop(name, BinOp::Min, &lo, &args[2])?)
+        }
+        _ => Err(LangError::UnknownFunction(name.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn eval(src: &str, env: &Env) -> Message {
+        parse(src).unwrap().eval(env).unwrap()
+    }
+
+    fn env(pairs: &[(&str, Message)]) -> Env {
+        pairs
+            .iter()
+            .map(|(n, m)| (n.to_string(), m.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn paper_add_expression() {
+        let mut e = Env::new();
+        e.bind_value("ch1", 1i64)
+            .bind_value("ch2", 2i64)
+            .bind_value("ch3", 3i64);
+        assert_eq!(eval("ch1 + ch2 + ch3", &e), Message::present(6i64));
+    }
+
+    #[test]
+    fn strictness_propagates_absence() {
+        let e = env(&[
+            ("a", Message::present(1i64)),
+            ("b", Message::Absent),
+        ]);
+        assert!(eval("a + b", &e).is_absent());
+        assert!(eval("-b", &e).is_absent());
+        assert!(eval("min(a, b)", &e).is_absent());
+    }
+
+    #[test]
+    fn present_observes_absence() {
+        let e = env(&[("x", Message::Absent), ("y", Message::present(2i64))]);
+        assert_eq!(eval("present(x)", &e), Message::present(false));
+        assert_eq!(eval("present(y)", &e), Message::present(true));
+    }
+
+    #[test]
+    fn orelse_defaults_on_absence() {
+        let e = env(&[("x", Message::Absent)]);
+        assert_eq!(eval("x ? 42", &e), Message::present(42i64));
+        let e = env(&[("x", Message::present(7i64))]);
+        assert_eq!(eval("x ? 42", &e), Message::present(7i64));
+    }
+
+    #[test]
+    fn if_with_absent_condition_is_absent() {
+        let e = env(&[("c", Message::Absent)]);
+        assert!(eval("if c then 1 else 2", &e).is_absent());
+    }
+
+    #[test]
+    fn if_branches_are_lazy() {
+        // The untaken branch may reference an unbound identifier safely?
+        // No: identifiers must be bound. But a division by zero in the
+        // untaken branch must not fire.
+        let e = env(&[("c", Message::present(true)), ("x", Message::present(1i64))]);
+        assert_eq!(eval("if c then x else x / 0", &e), Message::present(1i64));
+    }
+
+    #[test]
+    fn if_non_bool_condition_is_type_error() {
+        let e = env(&[("c", Message::present(1i64))]);
+        assert!(matches!(
+            parse("if c then 1 else 2").unwrap().eval(&e),
+            Err(LangError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn builtin_clamp() {
+        let e = env(&[("x", Message::present(Value::Float(5.0)))]);
+        assert_eq!(
+            eval("clamp(x, 0.0, 1.0)", &e),
+            Message::present(Value::Float(1.0))
+        );
+        assert_eq!(
+            eval("clamp(x, 0.0, 10.0)", &e),
+            Message::present(Value::Float(5.0))
+        );
+    }
+
+    #[test]
+    fn unbound_identifier_errors() {
+        assert!(matches!(
+            parse("nope").unwrap().eval(&Env::new()),
+            Err(LangError::Unbound(_))
+        ));
+    }
+
+    #[test]
+    fn sym_equality() {
+        let e = env(&[("m", Message::present(Value::sym("Idle")))]);
+        assert_eq!(eval("m == #Idle", &e), Message::present(true));
+        assert_eq!(eval("m == #Cranking", &e), Message::present(false));
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let e = env(&[("x", Message::present(1i64))]);
+        assert!(parse("x / 0").unwrap().eval(&e).is_err());
+    }
+}

@@ -1,0 +1,404 @@
+//! Lexer for the base language.
+
+use automode_kernel::Value;
+
+use crate::error::LangError;
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub at: usize,
+}
+
+/// Token kinds of the base language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A literal (int, float, bool, or symbol).
+    Lit(Value),
+    /// An identifier.
+    Ident(String),
+    /// `if` keyword.
+    If,
+    /// `then` keyword.
+    Then,
+    /// `else` keyword.
+    Else,
+    /// `and` keyword.
+    And,
+    /// `or` keyword.
+    Or,
+    /// `not` keyword.
+    Not,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    Ne,
+    /// `?` (default / or-else operator).
+    Question,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Lit(v) => format!("literal `{v}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("{other:?}").to_lowercase(),
+        }
+    }
+}
+
+/// Tokenizes a source string.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] on unexpected characters and
+/// [`LangError::BadNumber`] on malformed numeric literals.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let at = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    at,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    at,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    at,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    at,
+                });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    at,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    at,
+                });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    at,
+                });
+                i += 1;
+            }
+            '%' => {
+                out.push(Token {
+                    kind: TokenKind::Percent,
+                    at,
+                });
+                i += 1;
+            }
+            '?' => {
+                out.push(Token {
+                    kind: TokenKind::Question,
+                    at,
+                });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        at,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        at,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        at,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        at,
+                    });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::EqEq,
+                        at,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LangError::Lex { at, ch: '=' });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        at,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LangError::Lex { at, ch: '!' });
+                }
+            }
+            '#' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LangError::Lex { at, ch: '#' });
+                }
+                out.push(Token {
+                    kind: TokenKind::Lit(Value::sym(&src[start..j])),
+                    at,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut saw_dot = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !saw_dot && bytes.get(j + 1).map(|b| (*b as char).is_ascii_digit()) == Some(true)
+                    {
+                        saw_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..j];
+                let kind = if saw_dot {
+                    let x: f64 = text.parse().map_err(|_| LangError::BadNumber {
+                        at: start,
+                        text: text.to_string(),
+                    })?;
+                    TokenKind::Lit(Value::Float(x))
+                } else {
+                    let x: i64 = text.parse().map_err(|_| LangError::BadNumber {
+                        at: start,
+                        text: text.to_string(),
+                    })?;
+                    TokenKind::Lit(Value::Int(x))
+                };
+                out.push(Token { kind, at: start });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                let word = &src[start..j];
+                let kind = match word {
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "not" => TokenKind::Not,
+                    "true" => TokenKind::Lit(Value::Bool(true)),
+                    "false" => TokenKind::Lit(Value::Bool(false)),
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                out.push(Token { kind, at: start });
+                i = j;
+            }
+            other => return Err(LangError::Lex { at, ch: other }),
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        at: src.len(),
+    });
+    Ok(out)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("ch1 + ch2");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("ch1".into()),
+                TokenKind::Plus,
+                TokenKind::Ident("ch2".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(
+            kinds("42 2.5"),
+            vec![
+                TokenKind::Lit(Value::Int(42)),
+                TokenKind::Lit(Value::Float(2.5)),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_without_digits_is_not_a_float() {
+        // "1." stops before the dot; the dot then fails to lex.
+        assert!(tokenize("1.").is_err());
+    }
+
+    #[test]
+    fn keywords_and_bools() {
+        assert_eq!(
+            kinds("if true then x else not y"),
+            vec![
+                TokenKind::If,
+                TokenKind::Lit(Value::Bool(true)),
+                TokenKind::Then,
+                TokenKind::Ident("x".into()),
+                TokenKind::Else,
+                TokenKind::Not,
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a <= b >= c == d != e < f > g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("c".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("d".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("e".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("f".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("g".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(
+            kinds("#CrankingOverrun"),
+            vec![
+                TokenKind::Lit(Value::sym("CrankingOverrun")),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("#").is_err());
+    }
+
+    #[test]
+    fn bad_chars_report_offset() {
+        match tokenize("a $ b") {
+            Err(LangError::Lex { at, ch }) => {
+                assert_eq!(at, 2);
+                assert_eq!(ch, '$');
+            }
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(tokenize("a = b").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! # automode-lang
+//!
+//! The AutoMoDe **base language**: the small functional expression language
+//! in which atomic DFD blocks are defined "directly through an expression
+//! (function)" (paper, Sec. 3.2) — e.g. the block `ADD` defined by
+//! `ch1 + ch2 + ch3`.
+//!
+//! The language is deliberately small:
+//!
+//! * literals: `1`, `2.5`, `true`, symbols `#Locked`;
+//! * identifiers referring to input ports or local variables;
+//! * arithmetic `+ - * / %`, comparisons, `and`/`or`/`not`;
+//! * `if c then a else b`;
+//! * built-in calls `min`, `max`, `abs`, `clamp`;
+//! * presence handling: `present(x)` tests whether a message is present on
+//!   `x` this tick (the paper's "reacting explicitly depending on the
+//!   presence (or absence) of a message"), `x ? d` ("else") yields `d` when
+//!   `x` is absent.
+//!
+//! Expressions evaluate over an environment of [`automode_kernel::Message`]s
+//! — strict in their numeric operands (an absent operand makes the result
+//! absent), but `present` and `?` allow explicit event-triggered behaviour.
+//!
+//! ```
+//! use automode_lang::{parse, Env};
+//! use automode_kernel::Message;
+//!
+//! # fn main() -> Result<(), automode_lang::LangError> {
+//! let e = parse("ch1 + ch2 + ch3")?;
+//! let mut env = Env::new();
+//! env.bind("ch1", Message::present(1i64));
+//! env.bind("ch2", Message::present(2i64));
+//! env.bind("ch3", Message::present(3i64));
+//! assert_eq!(e.eval(&env)?, Message::present(6i64));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod block;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod ty;
+
+pub use ast::Expr;
+pub use block::ExprBlock;
+pub use error::LangError;
+pub use eval::Env;
+pub use parser::parse;
+pub use ty::{check, Type, TypeEnv};

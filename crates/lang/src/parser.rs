@@ -1,0 +1,329 @@
+//! Recursive-descent parser for the base language.
+//!
+//! Grammar (precedence from loosest to tightest):
+//!
+//! ```text
+//! expr     := ite
+//! ite      := "if" expr "then" expr "else" expr | orelse
+//! orelse   := or ("?" or)*
+//! or       := and ("or" and)*
+//! and      := cmp ("and" cmp)*
+//! cmp      := add (("<"|"<="|">"|">="|"=="|"!=") add)?
+//! add      := mul (("+"|"-") mul)*
+//! mul      := unary (("*"|"/"|"%") unary)*
+//! unary    := ("-"|"not") unary | atom
+//! atom     := literal | ident | ident "(" args ")" | "(" expr ")"
+//! ```
+
+use automode_kernel::ops::{BinOp, UnOp};
+
+use crate::ast::Expr;
+use crate::error::LangError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses a base-language expression.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] describing the first lexical or syntactic
+/// problem.
+///
+/// ```
+/// use automode_lang::parse;
+/// let e = parse("if v < 10.0 then 0.2 else rate")?;
+/// assert_eq!(e.free_idents(), vec!["v", "rate"]);
+/// # Ok::<(), automode_lang::LangError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Expr, LangError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn at(&self) -> usize {
+        self.tokens[self.pos].at
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), LangError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(LangError::Parse {
+                at: self.at(),
+                found: self.peek().describe(),
+                expected: what.to_string(),
+            })
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), LangError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(LangError::Parse {
+                at: self.at(),
+                found: self.peek().describe(),
+                expected: "end of input".to_string(),
+            })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        if self.eat(&TokenKind::If) {
+            let c = self.expr()?;
+            self.expect(TokenKind::Then, "`then`")?;
+            let t = self.expr()?;
+            self.expect(TokenKind::Else, "`else`")?;
+            let e = self.expr()?;
+            Ok(Expr::ite(c, t, e))
+        } else {
+            self.orelse()
+        }
+    }
+
+    fn orelse(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.or()?;
+        while self.eat(&TokenKind::Question) {
+            let rhs = self.or()?;
+            lhs = Expr::OrElse(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.cmp()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add()?;
+        let op = match self.peek() {
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn add(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        if self.eat(&TokenKind::Minus) {
+            Ok(Expr::un(UnOp::Neg, self.unary()?))
+        } else if self.eat(&TokenKind::Not) {
+            Ok(Expr::un(UnOp::Not, self.unary()?))
+        } else {
+            self.atom()
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        match self.bump() {
+            TokenKind::Lit(v) => Ok(Expr::Lit(v)),
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(TokenKind::Comma, "`,` or `)`")?;
+                        }
+                    }
+                    // Normalize operator-backed builtins so that printing
+                    // and parsing round-trip structurally.
+                    match (name.as_str(), args.len()) {
+                        ("present", 1) => Ok(Expr::Present(Box::new(args.remove(0)))),
+                        ("present", n) => Err(LangError::Arity {
+                            function: name,
+                            expected: 1,
+                            found: n,
+                        }),
+                        ("abs", 1) => Ok(Expr::un(UnOp::Abs, args.remove(0))),
+                        ("min", 2) => {
+                            let b = args.remove(1);
+                            Ok(Expr::bin(BinOp::Min, args.remove(0), b))
+                        }
+                        ("max", 2) => {
+                            let b = args.remove(1);
+                            Ok(Expr::bin(BinOp::Max, args.remove(0), b))
+                        }
+                        _ => Ok(Expr::Call(name, args)),
+                    }
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => Err(LangError::Parse {
+                at: self.tokens[self.pos.saturating_sub(1)].at,
+                found: other.describe(),
+                expected: "an expression".to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> String {
+        parse(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn paper_add_block() {
+        // Fig. 5: block ADD defined by ch1+ch2+ch3.
+        assert_eq!(roundtrip("ch1+ch2+ch3"), "((ch1 + ch2) + ch3)");
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        assert_eq!(roundtrip("a + b * c"), "(a + (b * c))");
+        assert_eq!(roundtrip("(a + b) * c"), "((a + b) * c)");
+    }
+
+    #[test]
+    fn precedence_cmp_and_logic() {
+        assert_eq!(
+            roundtrip("a < b and c or not d"),
+            "(((a < b) and c) or (not d))"
+        );
+    }
+
+    #[test]
+    fn if_then_else_nested() {
+        assert_eq!(
+            roundtrip("if a then if b then 1 else 2 else 3"),
+            "(if a then (if b then 1 else 2) else 3)"
+        );
+    }
+
+    #[test]
+    fn calls_and_present() {
+        assert_eq!(roundtrip("min(a, max(b, 1))"), "min(a, max(b, 1))");
+        assert_eq!(roundtrip("present(x)"), "present(x)");
+        assert!(matches!(
+            parse("present(x, y)"),
+            Err(LangError::Arity { .. })
+        ));
+        assert_eq!(roundtrip("f()"), "f()");
+    }
+
+    #[test]
+    fn orelse_operator() {
+        assert_eq!(roundtrip("x ? 0"), "(x ? 0)");
+        assert_eq!(roundtrip("x ? y ? 0"), "((x ? y) ? 0)");
+    }
+
+    #[test]
+    fn unary_chains() {
+        assert_eq!(roundtrip("--a"), "(-(-a))");
+        assert_eq!(roundtrip("not not b"), "(not (not b))");
+    }
+
+    #[test]
+    fn symbol_comparison() {
+        assert_eq!(roundtrip("mode == #Idle"), "(mode == #Idle)");
+    }
+
+    #[test]
+    fn error_on_trailing_tokens() {
+        assert!(matches!(parse("a b"), Err(LangError::Parse { .. })));
+    }
+
+    #[test]
+    fn error_on_missing_paren() {
+        assert!(matches!(parse("(a + b"), Err(LangError::Parse { .. })));
+        assert!(matches!(parse("min(a,"), Err(LangError::Parse { .. })));
+    }
+
+    #[test]
+    fn error_on_empty_input() {
+        assert!(parse("").is_err());
+    }
+}

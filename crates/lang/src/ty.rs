@@ -1,0 +1,373 @@
+//! Static types and the type checker of the base language.
+//!
+//! DFD ports are *dynamically typed* in AutoMoDe, but the FDA requires
+//! well-defined behaviour, so the tool prototype checks expressions against
+//! the (abstract) types of the ports they read. `Any` is the dynamic escape
+//! hatch used on DFD-internal channels whose type is inferred.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use automode_kernel::ops::{BinOp, UnOp};
+use automode_kernel::Value;
+
+use crate::ast::Expr;
+use crate::error::LangError;
+
+/// An abstract value type of the base language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Type {
+    /// Boolean.
+    Bool,
+    /// Abstract integer.
+    Int,
+    /// Abstract real number (floating point in simulation).
+    Float,
+    /// Fixed-point (appears after LA-level type refinement).
+    Fixed,
+    /// Enumeration symbol.
+    Sym,
+    /// Dynamically typed (checked at evaluation time).
+    #[default]
+    Any,
+}
+
+impl Type {
+    /// Whether the type is numeric.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int | Type::Float | Type::Fixed | Type::Any)
+    }
+
+    /// The dynamic type of a value.
+    pub fn of_value(v: &Value) -> Type {
+        match v {
+            Value::Bool(_) => Type::Bool,
+            Value::Int(_) => Type::Int,
+            Value::Float(_) => Type::Float,
+            Value::Fixed(_) => Type::Fixed,
+            Value::Sym(_) => Type::Sym,
+        }
+    }
+
+    /// Least upper bound for numeric promotion, if the types are compatible.
+    pub fn join(self, other: Type) -> Option<Type> {
+        use Type::*;
+        match (self, other) {
+            (a, b) if a == b => Some(a),
+            (Any, t) | (t, Any) => Some(t),
+            (Int, Float) | (Float, Int) => Some(Float),
+            (Int, Fixed) | (Fixed, Int) => Some(Fixed),
+            (Float, Fixed) | (Fixed, Float) => Some(Float),
+            _ => None,
+        }
+    }
+
+    /// Whether a value of `self` is acceptable where `other` is expected.
+    pub fn is_assignable_to(&self, other: Type) -> bool {
+        *self == other
+            || *self == Type::Any
+            || other == Type::Any
+            || (self.is_numeric() && other.is_numeric() && self.join(other).is_some())
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::Bool => "bool",
+            Type::Int => "int",
+            Type::Float => "float",
+            Type::Fixed => "fixed",
+            Type::Sym => "sym",
+            Type::Any => "any",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typing environment: identifier → type.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TypeEnv {
+    bindings: BTreeMap<String, Type>,
+}
+
+impl TypeEnv {
+    /// An empty environment.
+    pub fn new() -> Self {
+        TypeEnv::default()
+    }
+
+    /// Binds an identifier to a type (replacing any previous binding).
+    pub fn bind(&mut self, name: impl Into<String>, ty: Type) -> &mut Self {
+        self.bindings.insert(name.into(), ty);
+        self
+    }
+
+    /// Looks up an identifier.
+    pub fn lookup(&self, name: &str) -> Option<Type> {
+        self.bindings.get(name).copied()
+    }
+}
+
+impl FromIterator<(String, Type)> for TypeEnv {
+    fn from_iter<I: IntoIterator<Item = (String, Type)>>(iter: I) -> Self {
+        TypeEnv {
+            bindings: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Infers the type of `expr` under `env`.
+///
+/// # Errors
+///
+/// Returns [`LangError::Unbound`] for free identifiers missing from `env`
+/// and [`LangError::Type`] on operator/operand mismatches.
+pub fn check(expr: &Expr, env: &TypeEnv) -> Result<Type, LangError> {
+    match expr {
+        Expr::Lit(v) => Ok(Type::of_value(v)),
+        Expr::Ident(n) => env
+            .lookup(n)
+            .ok_or_else(|| LangError::Unbound(n.clone())),
+        Expr::Present(e) => {
+            check(e, env)?;
+            Ok(Type::Bool)
+        }
+        Expr::Unary(op, e) => {
+            let t = check(e, env)?;
+            match op {
+                UnOp::Not => {
+                    if t == Type::Bool || t == Type::Any {
+                        Ok(Type::Bool)
+                    } else {
+                        Err(LangError::Type(format!("`not` applied to {t}")))
+                    }
+                }
+                UnOp::Neg | UnOp::Abs => {
+                    if t.is_numeric() {
+                        Ok(t)
+                    } else {
+                        Err(LangError::Type(format!("`{op}` applied to {t}")))
+                    }
+                }
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let ta = check(a, env)?;
+            let tb = check(b, env)?;
+            match op {
+                BinOp::And | BinOp::Or => {
+                    for t in [ta, tb] {
+                        if t != Type::Bool && t != Type::Any {
+                            return Err(LangError::Type(format!("`{op}` applied to {t}")));
+                        }
+                    }
+                    Ok(Type::Bool)
+                }
+                BinOp::Eq | BinOp::Ne => {
+                    ta.join(tb).ok_or_else(|| {
+                        LangError::Type(format!("cannot compare {ta} with {tb}"))
+                    })?;
+                    Ok(Type::Bool)
+                }
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    if ta.is_numeric() && tb.is_numeric() {
+                        Ok(Type::Bool)
+                    } else {
+                        Err(LangError::Type(format!("`{op}` applied to {ta}, {tb}")))
+                    }
+                }
+                _ => {
+                    if !ta.is_numeric() || !tb.is_numeric() {
+                        return Err(LangError::Type(format!("`{op}` applied to {ta}, {tb}")));
+                    }
+                    ta.join(tb)
+                        .ok_or_else(|| LangError::Type(format!("incompatible: {ta}, {tb}")))
+                }
+            }
+        }
+        Expr::If(c, t, e) => {
+            let tc = check(c, env)?;
+            if tc != Type::Bool && tc != Type::Any {
+                return Err(LangError::Type(format!("`if` condition has type {tc}")));
+            }
+            let tt = check(t, env)?;
+            let te = check(e, env)?;
+            tt.join(te).ok_or_else(|| {
+                LangError::Type(format!("`if` branches disagree: {tt} vs {te}"))
+            })
+        }
+        Expr::OrElse(a, b) => {
+            let ta = check(a, env)?;
+            let tb = check(b, env)?;
+            ta.join(tb)
+                .ok_or_else(|| LangError::Type(format!("`?` operands disagree: {ta} vs {tb}")))
+        }
+        Expr::Call(name, args) => {
+            let tys: Vec<Type> = args
+                .iter()
+                .map(|a| check(a, env))
+                .collect::<Result<_, _>>()?;
+            builtin_signature(name, &tys)
+        }
+    }
+}
+
+fn builtin_signature(name: &str, args: &[Type]) -> Result<Type, LangError> {
+    let need = |n: usize| -> Result<(), LangError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(LangError::Arity {
+                function: name.to_string(),
+                expected: n,
+                found: args.len(),
+            })
+        }
+    };
+    let numeric = |t: Type| -> Result<(), LangError> {
+        if t.is_numeric() {
+            Ok(())
+        } else {
+            Err(LangError::Type(format!("`{name}` applied to {t}")))
+        }
+    };
+    match name {
+        "min" | "max" => {
+            need(2)?;
+            numeric(args[0])?;
+            numeric(args[1])?;
+            args[0]
+                .join(args[1])
+                .ok_or_else(|| LangError::Type(format!("incompatible: {} {}", args[0], args[1])))
+        }
+        "abs" => {
+            need(1)?;
+            numeric(args[0])?;
+            Ok(args[0])
+        }
+        "clamp" => {
+            need(3)?;
+            for &t in args {
+                numeric(t)?;
+            }
+            let j = args[0]
+                .join(args[1])
+                .and_then(|t| t.join(args[2]))
+                .ok_or_else(|| LangError::Type("incompatible clamp operands".to_string()))?;
+            Ok(j)
+        }
+        _ => Err(LangError::UnknownFunction(name.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn env(pairs: &[(&str, Type)]) -> TypeEnv {
+        pairs
+            .iter()
+            .map(|(n, t)| (n.to_string(), *t))
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic_promotion() {
+        let env = env(&[("a", Type::Int), ("b", Type::Float)]);
+        assert_eq!(check(&parse("a + b").unwrap(), &env).unwrap(), Type::Float);
+        assert_eq!(check(&parse("a * a").unwrap(), &env).unwrap(), Type::Int);
+    }
+
+    #[test]
+    fn comparisons_are_bool() {
+        let env = env(&[("a", Type::Int)]);
+        assert_eq!(check(&parse("a < 3").unwrap(), &env).unwrap(), Type::Bool);
+        assert_eq!(
+            check(&parse("a == 3 and true").unwrap(), &env).unwrap(),
+            Type::Bool
+        );
+    }
+
+    #[test]
+    fn sym_equality_allowed_ordering_not() {
+        let env = env(&[("m", Type::Sym)]);
+        assert_eq!(
+            check(&parse("m == #Idle").unwrap(), &env).unwrap(),
+            Type::Bool
+        );
+        assert!(check(&parse("m < #Idle").unwrap(), &env).is_err());
+    }
+
+    #[test]
+    fn unbound_reported() {
+        assert!(matches!(
+            check(&parse("zz + 1").unwrap(), &TypeEnv::new()),
+            Err(LangError::Unbound(n)) if n == "zz"
+        ));
+    }
+
+    #[test]
+    fn if_branches_must_join() {
+        let env = env(&[("c", Type::Bool)]);
+        assert_eq!(
+            check(&parse("if c then 1 else 2.5").unwrap(), &env).unwrap(),
+            Type::Float
+        );
+        assert!(check(&parse("if c then 1 else #A").unwrap(), &env).is_err());
+        assert!(check(&parse("if 1 then 2 else 3").unwrap(), &env).is_err());
+    }
+
+    #[test]
+    fn builtins_checked() {
+        let env = env(&[("a", Type::Float)]);
+        assert_eq!(
+            check(&parse("clamp(a, 0.0, 1.0)").unwrap(), &env).unwrap(),
+            Type::Float
+        );
+        assert!(matches!(
+            check(&parse("min(a)").unwrap(), &env),
+            Err(LangError::Arity { .. })
+        ));
+        assert!(matches!(
+            check(&parse("frobnicate(a)").unwrap(), &env),
+            Err(LangError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn present_is_bool_of_anything() {
+        let env = env(&[("x", Type::Sym)]);
+        assert_eq!(
+            check(&parse("present(x)").unwrap(), &env).unwrap(),
+            Type::Bool
+        );
+    }
+
+    #[test]
+    fn orelse_joins() {
+        let env = env(&[("x", Type::Int)]);
+        assert_eq!(check(&parse("x ? 0").unwrap(), &env).unwrap(), Type::Int);
+        assert!(check(&parse("x ? #A").unwrap(), &env).is_err());
+    }
+
+    #[test]
+    fn any_is_permissive() {
+        let env = env(&[("x", Type::Any)]);
+        assert_eq!(check(&parse("x + 1").unwrap(), &env).unwrap(), Type::Int);
+        assert_eq!(
+            check(&parse("not x").unwrap(), &env).unwrap(),
+            Type::Bool
+        );
+    }
+
+    #[test]
+    fn join_table() {
+        assert_eq!(Type::Int.join(Type::Float), Some(Type::Float));
+        assert_eq!(Type::Int.join(Type::Fixed), Some(Type::Fixed));
+        assert_eq!(Type::Float.join(Type::Fixed), Some(Type::Float));
+        assert_eq!(Type::Bool.join(Type::Int), None);
+        assert_eq!(Type::Any.join(Type::Sym), Some(Type::Sym));
+    }
+}

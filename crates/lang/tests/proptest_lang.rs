@@ -1,0 +1,145 @@
+//! Property-based tests of the base language: print/parse round trips,
+//! evaluation determinism, and type-soundness of the checker.
+
+use automode_kernel::ops::{BinOp, UnOp};
+use automode_kernel::{Message, Value};
+use automode_lang::{check, parse, Env, Expr, LangError, Type, TypeEnv};
+use proptest::prelude::*;
+
+/// Random well-typed-ish expressions over three float inputs and one bool.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    // Literals are non-negative: `-1` prints back as the unary-minus
+    // expression `(-1)`, so negative literals would not round-trip
+    // structurally (they are semantically identical).
+    let leaf = prop_oneof![
+        (0i64..50).prop_map(Expr::lit),
+        (0.0f64..5.0).prop_map(|x| Expr::lit(Value::Float((x * 4.0).round() / 4.0))),
+        Just(Expr::ident("x")),
+        Just(Expr::ident("y")),
+        Just(Expr::ident("z")),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Add, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Sub, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Mul, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Min, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Max, a, b)),
+            inner.clone().prop_map(|a| Expr::un(UnOp::Neg, a)),
+            inner.clone().prop_map(|a| Expr::un(UnOp::Abs, a)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| {
+                Expr::ite(Expr::bin(BinOp::Lt, c, Expr::lit(0i64)), t, e)
+            }),
+            inner.clone().prop_map(|a| Expr::Present(Box::new(a))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::OrElse(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn env(x: f64, y: f64, z: Option<f64>) -> Env {
+    let mut e = Env::new();
+    e.bind_value("x", Value::Float(x));
+    e.bind_value("y", Value::Float(y));
+    e.bind(
+        "z",
+        z.map(|v| Message::present(Value::Float(v)))
+            .unwrap_or(Message::Absent),
+    );
+    e
+}
+
+fn tenv() -> TypeEnv {
+    let mut t = TypeEnv::new();
+    t.bind("x", Type::Float).bind("y", Type::Float).bind("z", Type::Float);
+    t
+}
+
+proptest! {
+    /// Display then parse reproduces the AST exactly (the printer is fully
+    /// parenthesized).
+    #[test]
+    fn print_parse_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
+        prop_assert_eq!(reparsed, e);
+    }
+
+    /// Evaluation is deterministic.
+    #[test]
+    fn eval_deterministic(e in arb_expr(), x in -5.0f64..5.0, y in -5.0f64..5.0) {
+        let env = env(x, y, Some(1.0));
+        let a = e.eval(&env);
+        let b = e.eval(&env);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Type soundness: if the checker accepts an expression over an
+    /// all-present, type-conforming environment, evaluation never raises a
+    /// *type* error (arithmetic overflow / division are value errors and
+    /// cannot occur in this operator subset).
+    #[test]
+    fn checked_expressions_do_not_go_wrong(e in arb_expr(), x in -5.0f64..5.0) {
+        if check(&e, &tenv()).is_ok() {
+            match e.eval(&env(x, -x, Some(x))) {
+                Ok(_) => {}
+                Err(LangError::Type(msg)) => prop_assert!(false, "type error at runtime: {msg}"),
+                Err(LangError::Kernel(automode_kernel::KernelError::TypeMismatch { .. })) => {
+                    prop_assert!(false, "kernel type mismatch at runtime")
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Absence is contained: for a *well-typed* expression, an absent
+    /// input can change the result (or make it absent) but never produces
+    /// a type error — absence routes through `present`/`?`/strictness, all
+    /// of which stay inside the checked types.
+    #[test]
+    fn absence_never_invents_errors(e in arb_expr(), x in -5.0f64..5.0) {
+        if check(&e, &tenv()).is_ok() {
+            match e.eval(&env(x, x, None)) {
+                Ok(_) => {}
+                Err(LangError::Type(msg)) => {
+                    prop_assert!(false, "type error under absence: {msg}")
+                }
+                Err(LangError::Kernel(automode_kernel::KernelError::TypeMismatch { .. })) => {
+                    prop_assert!(false, "kernel type mismatch under absence")
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// `free_idents` is exactly the set of identifiers whose absence from
+    /// the environment makes evaluation fail with `Unbound`.
+    #[test]
+    fn free_idents_matches_unbound(e in arb_expr()) {
+        let free = e.free_idents();
+        // Build an env binding everything but one free ident; expect
+        // Unbound (unless the expression short-circuits around it, which
+        // `if`/`?` can do — so only check the full-env direction).
+        let mut full = Env::new();
+        for id in &free {
+            full.bind_value(id.clone(), Value::Float(1.0));
+        }
+        if let Err(LangError::Unbound(name)) = e.eval(&full) {
+            prop_assert!(false, "unbound `{name}` despite full env");
+        }
+    }
+
+    /// Structural metrics are consistent: size bounds if-count.
+    #[test]
+    fn metrics_consistency(e in arb_expr()) {
+        prop_assert!(e.if_count() <= e.size());
+        prop_assert!(e.if_depth() <= e.if_count());
+        prop_assert!(e.size() >= 1);
+    }
+
+    /// Substituting identity leaves the expression unchanged.
+    #[test]
+    fn identity_substitution(e in arb_expr()) {
+        let s = e.substitute(&|_| None);
+        prop_assert_eq!(s, e);
+    }
+}

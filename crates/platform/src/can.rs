@@ -1,0 +1,315 @@
+//! A CAN-style priority-arbitrated bus simulation.
+//!
+//! "All signals between clusters deployed to different ECUs will be mapped
+//! to a communication network, e.g. CAN, possibly considering an existing
+//! communication matrix" (paper, Sec. 3.4). This module simulates periodic
+//! frame transmission with CAN's non-preemptive, lowest-identifier-wins
+//! arbitration, producing per-frame latency statistics and bus load — the
+//! figures a deployment needs to check its communication matrix.
+
+use std::collections::BTreeMap;
+
+use crate::error::PlatformError;
+
+/// Time in microseconds.
+pub type Us = u64;
+
+/// A periodic CAN frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanFrame {
+    /// Frame identifier; **lower wins arbitration**.
+    pub id: u32,
+    /// Frame name.
+    pub name: String,
+    /// Data length in bytes (0–8 for classic CAN).
+    pub dlc: u8,
+    /// Transmission period in microseconds.
+    pub period_us: Us,
+    /// Queuing offset in microseconds.
+    pub offset_us: Us,
+}
+
+impl CanFrame {
+    /// Creates a periodic frame.
+    pub fn new(id: u32, name: impl Into<String>, dlc: u8, period_us: Us) -> Self {
+        CanFrame {
+            id,
+            name: name.into(),
+            dlc,
+            period_us,
+            offset_us: 0,
+        }
+    }
+
+    /// Sets the queuing offset (builder style).
+    pub fn offset(mut self, offset_us: Us) -> Self {
+        self.offset_us = offset_us;
+        self
+    }
+
+    /// Frame size on the wire in bits (classic CAN, standard identifier,
+    /// worst-case stuffing approximation: 47 overhead bits + 8 per byte,
+    /// stuffed by 20%).
+    pub fn wire_bits(&self) -> u64 {
+        let raw = 47 + 8 * self.dlc as u64;
+        raw + raw / 5
+    }
+}
+
+/// Bus configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanBusConfig {
+    /// Bus name.
+    pub name: String,
+    /// Bit rate in bits per second (e.g. 500_000).
+    pub bitrate: u64,
+    /// The frames on this bus.
+    pub frames: Vec<CanFrame>,
+}
+
+impl CanBusConfig {
+    /// Creates a bus.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero bitrate.
+    pub fn new(name: impl Into<String>, bitrate: u64) -> Result<Self, PlatformError> {
+        if bitrate == 0 {
+            return Err(PlatformError::Config("bitrate must be positive".into()));
+        }
+        Ok(CanBusConfig {
+            name: name.into(),
+            bitrate,
+            frames: Vec::new(),
+        })
+    }
+
+    /// Adds a frame (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate identifiers or names, DLC > 8, zero periods.
+    pub fn frame(mut self, frame: CanFrame) -> Result<Self, PlatformError> {
+        if frame.dlc > 8 {
+            return Err(PlatformError::Config(format!(
+                "frame `{}` dlc {} > 8",
+                frame.name, frame.dlc
+            )));
+        }
+        if frame.period_us == 0 {
+            return Err(PlatformError::Config(format!(
+                "frame `{}` has zero period",
+                frame.name
+            )));
+        }
+        if self.frames.iter().any(|f| f.id == frame.id) {
+            return Err(PlatformError::DuplicateName(format!("id {}", frame.id)));
+        }
+        if self.frames.iter().any(|f| f.name == frame.name) {
+            return Err(PlatformError::DuplicateName(frame.name));
+        }
+        self.frames.push(frame);
+        Ok(self)
+    }
+
+    /// Transmission time of a frame on this bus, in microseconds (≥ 1).
+    pub fn tx_time_us(&self, frame: &CanFrame) -> Us {
+        (frame.wire_bits() * 1_000_000).div_ceil(self.bitrate).max(1)
+    }
+
+    /// Static bus load: sum over frames of tx_time/period.
+    pub fn load(&self) -> f64 {
+        self.frames
+            .iter()
+            .map(|f| self.tx_time_us(f) as f64 / f.period_us as f64)
+            .sum()
+    }
+}
+
+/// Per-frame latency statistics from a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameStats {
+    /// Instances queued.
+    pub queued: u64,
+    /// Instances fully transmitted.
+    pub sent: u64,
+    /// Worst observed latency (queue → end of transmission).
+    pub max_latency_us: Us,
+    /// Sum of latencies (for averaging).
+    pub total_latency_us: Us,
+}
+
+impl FrameStats {
+    /// Average latency in microseconds.
+    pub fn avg_latency_us(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.total_latency_us as f64 / self.sent as f64
+        }
+    }
+}
+
+/// The bus simulation.
+#[derive(Debug, Clone)]
+pub struct BusSim<'a> {
+    config: &'a CanBusConfig,
+}
+
+impl<'a> BusSim<'a> {
+    /// Creates a simulation over a bus configuration.
+    pub fn new(config: &'a CanBusConfig) -> Self {
+        BusSim { config }
+    }
+
+    /// Simulates `horizon_us` of bus time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Infeasible`] if the static load exceeds 1.
+    pub fn run(&self, horizon_us: Us) -> Result<BTreeMap<String, FrameStats>, PlatformError> {
+        let load = self.config.load();
+        if load > 1.0 {
+            return Err(PlatformError::Infeasible(format!("bus load {load:.2} > 1")));
+        }
+        let frames = &self.config.frames;
+        let mut stats: BTreeMap<String, FrameStats> = frames
+            .iter()
+            .map(|f| (f.name.clone(), FrameStats::default()))
+            .collect();
+        // Pending instances: (queue_time, frame index).
+        let mut next_queue: Vec<Us> = frames.iter().map(|f| f.offset_us).collect();
+        let mut pending: Vec<(Us, usize)> = Vec::new();
+        let mut now: Us = 0;
+        while now < horizon_us {
+            for (i, f) in frames.iter().enumerate() {
+                while next_queue[i] <= now {
+                    pending.push((next_queue[i], i));
+                    stats.get_mut(&f.name).expect("known").queued += 1;
+                    next_queue[i] += f.period_us;
+                }
+            }
+            // Arbitration: lowest id among pending whose queue time has come.
+            let winner = pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(qt, fi))| (frames[fi].id, qt))
+                .map(|(idx, _)| idx);
+            match winner {
+                None => {
+                    now = *next_queue.iter().min().expect("frames exist");
+                }
+                Some(idx) => {
+                    let (qt, fi) = pending.remove(idx);
+                    let tx = self.config.tx_time_us(&frames[fi]);
+                    // Non-preemptive: transmission runs to completion.
+                    now += tx;
+                    let st = stats.get_mut(&frames[fi].name).expect("known");
+                    st.sent += 1;
+                    let latency = now.saturating_sub(qt);
+                    st.max_latency_us = st.max_latency_us.max(latency);
+                    st.total_latency_us += latency;
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> CanBusConfig {
+        CanBusConfig::new("body_can", 500_000)
+            .unwrap()
+            .frame(CanFrame::new(0x100, "engine_status", 8, 10_000))
+            .unwrap()
+            .frame(CanFrame::new(0x200, "door_status", 2, 20_000))
+            .unwrap()
+            .frame(CanFrame::new(0x300, "diag", 8, 100_000))
+            .unwrap()
+    }
+
+    #[test]
+    fn wire_bits_and_tx_time() {
+        let f = CanFrame::new(1, "f", 8, 10_000);
+        assert_eq!(f.wire_bits(), 111 + 22);
+        let b = CanBusConfig::new("b", 500_000).unwrap();
+        // 133 bits at 500kbit/s = 266us.
+        assert_eq!(b.tx_time_us(&f), 266);
+    }
+
+    #[test]
+    fn load_is_sum_of_ratios() {
+        let b = bus();
+        let expected: f64 = b
+            .frames
+            .iter()
+            .map(|f| b.tx_time_us(f) as f64 / f.period_us as f64)
+            .sum();
+        assert!((b.load() - expected).abs() < 1e-12);
+        assert!(b.load() < 0.1);
+    }
+
+    #[test]
+    fn all_frames_transmit_under_light_load() {
+        let b = bus();
+        let stats = BusSim::new(&b).run(1_000_000).unwrap();
+        for (name, s) in &stats {
+            assert!(s.sent >= s.queued - 1, "{name} starved: {s:?}");
+            assert!(s.max_latency_us < 2_000, "{name} latency too high");
+        }
+    }
+
+    #[test]
+    fn low_id_wins_arbitration() {
+        // Two frames queued at the same instant: the lower id goes first and
+        // the higher id's latency includes the lower's transmission.
+        let b = CanBusConfig::new("b", 125_000)
+            .unwrap()
+            .frame(CanFrame::new(0x10, "hi_prio", 8, 50_000))
+            .unwrap()
+            .frame(CanFrame::new(0x700, "lo_prio", 8, 50_000))
+            .unwrap();
+        let tx = b.tx_time_us(&b.frames[0]);
+        let stats = BusSim::new(&b).run(500_000).unwrap();
+        assert!(stats["lo_prio"].max_latency_us >= 2 * tx);
+        assert!(stats["hi_prio"].max_latency_us <= tx + 1);
+    }
+
+    #[test]
+    fn overload_detected() {
+        let mut b = CanBusConfig::new("b", 10_000).unwrap();
+        for i in 0..20 {
+            b = b
+                .frame(CanFrame::new(i, format!("f{i}"), 8, 10_000))
+                .unwrap();
+        }
+        assert!(matches!(
+            BusSim::new(&b).run(100_000),
+            Err(PlatformError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CanBusConfig::new("b", 0).is_err());
+        let b = CanBusConfig::new("b", 500_000).unwrap();
+        assert!(b.clone().frame(CanFrame::new(1, "f", 9, 1_000)).is_err());
+        assert!(b.clone().frame(CanFrame::new(1, "f", 8, 0)).is_err());
+        let b = b.frame(CanFrame::new(1, "f", 8, 1_000)).unwrap();
+        assert!(b.clone().frame(CanFrame::new(1, "g", 8, 1_000)).is_err());
+        assert!(b.clone().frame(CanFrame::new(2, "f", 8, 1_000)).is_err());
+    }
+
+    #[test]
+    fn offsets_shift_queuing() {
+        let b = CanBusConfig::new("b", 500_000)
+            .unwrap()
+            .frame(CanFrame::new(1, "f", 8, 10_000).offset(5_000))
+            .unwrap();
+        let stats = BusSim::new(&b).run(20_000).unwrap();
+        assert_eq!(stats["f"].queued, 2); // at 5ms and 15ms
+    }
+}

@@ -1,0 +1,53 @@
+//! Errors of the technical-architecture substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or simulating platform models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// A duplicate name where names must be unique.
+    DuplicateName(String),
+    /// A reference to an unknown entity (task, ECU, frame, signal...).
+    Unknown {
+        /// Entity kind, e.g. `task`.
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// An invalid configuration value.
+    Config(String),
+    /// The simulation horizon or load is infeasible.
+    Infeasible(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            PlatformError::Unknown { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            PlatformError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            PlatformError::Infeasible(msg) => write!(f, "infeasible: {msg}"),
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            PlatformError::Unknown {
+                kind: "task",
+                name: "T1".into()
+            }
+            .to_string(),
+            "unknown task `T1`"
+        );
+    }
+}

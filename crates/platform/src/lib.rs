@@ -1,0 +1,40 @@
+//! # automode-platform
+//!
+//! The **Technical Architecture substrate** of the AutoMoDe reproduction.
+//!
+//! The paper's LA/TA level "represents target platform components (ECUs,
+//! tasks, buses, message frames) used to implement the system" (Sec. 3.3)
+//! and assumes an OSEK-conformant operating system "with inter-task
+//! communication between tasks using data integrity mechanisms and
+//! fixed-priority, preemptive scheduling". The original project had real
+//! ECUs, ERCOS/OSEK and CAN hardware; none of that is available here, so
+//! this crate implements faithful miniature equivalents:
+//!
+//! * [`ta`] — the TA meta-model: ECUs, tasks, runnables, buses, frames.
+//! * [`osek`] — a discrete-event, fixed-priority preemptive scheduler
+//!   simulation with two inter-task communication regimes (direct shared
+//!   access vs. OSEK-COM-style copy-in/copy-out), able to *observe* data
+//!   integrity violations — this is what makes the CCD well-definedness
+//!   rule of Sec. 3.3 empirically checkable (experiment E7).
+//! * [`can`] — a CAN-style priority-arbitrated bus simulation (frame
+//!   latency, bus load).
+//! * [`comm_matrix`] — communication matrices (signals→frames→ECUs), the
+//!   input artifact of "black-box" reengineering (Sec. 4), plus a synthetic
+//!   body-electronics generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod can;
+pub mod comm_matrix;
+pub mod error;
+pub mod loose_sync;
+pub mod osek;
+pub mod ta;
+
+pub use can::{BusSim, CanBusConfig, CanFrame};
+pub use comm_matrix::{CommMatrix, FrameDef, SignalDef};
+pub use error::PlatformError;
+pub use loose_sync::{LooseSyncConfig, LooseSyncOutcome};
+pub use osek::{IpcRegime, OsekSim, SimOutcome};
+pub use ta::{Ecu, Runnable, Task, TechnicalArchitecture};

@@ -1,0 +1,297 @@
+//! Loose synchronization of event-triggered networks.
+//!
+//! The paper notes that combining "a globally clocked operational model
+//! with distributed automotive E/E architectures featuring event-triggered,
+//! not tightly synchronized communication media such as the CAN bus poses
+//! some research questions", citing Romberg et al. (EMSOFT 2004) for "a
+//! proposal ... on how to use event-triggered media for firm real-time
+//! deployment of globally clocked models with comparatively small
+//! implementation overhead", and flags the topic as future work (Sec. 2).
+//!
+//! This module implements that proposal's quantitative core as a
+//! simulation: two nodes execute a globally clocked model at a nominal
+//! period, but their local clocks drift and the connecting bus delivers
+//! messages with bounded, jittering latency. Inserting `d` logical delay
+//! operators on the cross-node channel (the "implementation overhead")
+//! gives the consumer `d` periods of slack; the semantics of the clocked
+//! model is preserved iff every message arrives before its consumption
+//! tick. [`required_depth`] finds the minimal overhead for a given
+//! drift/latency envelope — the shape claim being that it is small (1–2)
+//! for realistic CAN parameters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::PlatformError;
+
+/// Clock and bus parameters of a two-node loosely synchronized deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LooseSyncConfig {
+    /// Nominal logical period in microseconds.
+    pub period_us: u64,
+    /// Producer clock drift in parts per million (positive = fast clock).
+    pub producer_drift_ppm: i32,
+    /// Consumer clock drift in parts per million.
+    pub consumer_drift_ppm: i32,
+    /// Initial phase offset of the consumer, microseconds.
+    pub consumer_offset_us: u64,
+    /// Minimum bus latency (queuing + transmission), microseconds.
+    pub latency_min_us: u64,
+    /// Maximum bus latency, microseconds.
+    pub latency_max_us: u64,
+    /// Consumer resynchronization interval in logical ticks (`0` = never).
+    /// Loose synchronization bounds the accumulated drift by periodically
+    /// re-basing the consumer's time base on the observed message stream;
+    /// without it, any fixed delay depth is eventually defeated by drift.
+    pub resync_interval_ticks: u64,
+}
+
+impl LooseSyncConfig {
+    /// A typical body-CAN setup: 10 ms period, ±100 ppm clocks, 0.2–2 ms
+    /// bus latency.
+    pub fn typical_can() -> Self {
+        LooseSyncConfig {
+            period_us: 10_000,
+            producer_drift_ppm: 100,
+            consumer_drift_ppm: -100,
+            consumer_offset_us: 0,
+            latency_min_us: 200,
+            latency_max_us: 2_000,
+            resync_interval_ticks: 1_000,
+        }
+    }
+
+    fn validate(&self) -> Result<(), PlatformError> {
+        if self.period_us == 0 {
+            return Err(PlatformError::Config("period must be positive".into()));
+        }
+        if self.latency_min_us > self.latency_max_us {
+            return Err(PlatformError::Config(
+                "latency_min must not exceed latency_max".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn local_period(&self, drift_ppm: i32) -> f64 {
+        self.period_us as f64 * (1.0 + drift_ppm as f64 * 1e-6)
+    }
+}
+
+/// The outcome of a loose-synchronization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LooseSyncOutcome {
+    /// Logical ticks simulated.
+    pub ticks: u64,
+    /// Messages arriving after their consumption instant (semantic
+    /// violations of the clocked model).
+    pub misses: u64,
+    /// Worst observed slack (consumption minus arrival), microseconds;
+    /// negative values are misses.
+    pub worst_slack_us: i64,
+}
+
+impl LooseSyncOutcome {
+    /// `true` if the clocked semantics was preserved throughout.
+    pub fn semantics_preserved(&self) -> bool {
+        self.misses == 0
+    }
+}
+
+/// Simulates `horizon_ticks` logical ticks of a producer→consumer channel
+/// carrying one message per tick, with `delay_depth` logical delay
+/// operators inserted on the channel.
+///
+/// The message produced at logical tick `k` is consumed at the consumer's
+/// local tick `k + delay_depth`; a miss is recorded whenever it has not
+/// arrived by then.
+///
+/// # Errors
+///
+/// Returns configuration errors.
+pub fn simulate(
+    config: &LooseSyncConfig,
+    delay_depth: u32,
+    horizon_ticks: u64,
+    seed: u64,
+) -> Result<LooseSyncOutcome, PlatformError> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tp = config.local_period(config.producer_drift_ppm);
+    let tc = config.local_period(config.consumer_drift_ppm);
+
+    let mut misses = 0u64;
+    let mut worst_slack = i64::MAX;
+    for k in 0..horizon_ticks {
+        // The producer finishes computing tick k at the end of its local
+        // period k (it computes during the period).
+        let completion = (k + 1) as f64 * tp;
+        let latency = if config.latency_max_us == config.latency_min_us {
+            config.latency_min_us
+        } else {
+            rng.gen_range(config.latency_min_us..=config.latency_max_us)
+        };
+        let arrival = completion + latency as f64;
+        // The consumer reads the value for tick k at the *start* of its
+        // local tick k + delay_depth. With resynchronization, the
+        // consumer's time base is re-anchored to the producer's every
+        // `resync_interval_ticks` ticks, so drift only accumulates within
+        // one interval.
+        let (base, local_k) = match k.checked_div(config.resync_interval_ticks) {
+            Some(r) => {
+                let anchor = r * config.resync_interval_ticks;
+                (anchor as f64 * tp, k - anchor)
+            }
+            None => (0.0, k),
+        };
+        let consumption = base
+            + config.consumer_offset_us as f64
+            + (local_k + delay_depth as u64) as f64 * tc;
+        let slack = (consumption - arrival) as i64;
+        worst_slack = worst_slack.min(slack);
+        if slack < 0 {
+            misses += 1;
+        }
+    }
+    Ok(LooseSyncOutcome {
+        ticks: horizon_ticks,
+        misses,
+        worst_slack_us: if horizon_ticks == 0 { 0 } else { worst_slack },
+    })
+}
+
+/// The minimal delay depth (searched in `0..=max_depth`) preserving the
+/// clocked semantics over the horizon, or `None` if even `max_depth` does
+/// not suffice.
+///
+/// # Errors
+///
+/// Returns configuration errors.
+pub fn required_depth(
+    config: &LooseSyncConfig,
+    max_depth: u32,
+    horizon_ticks: u64,
+    seed: u64,
+) -> Result<Option<u32>, PlatformError> {
+    for d in 0..=max_depth {
+        if simulate(config, d, horizon_ticks, seed)?.semantics_preserved() {
+            return Ok(Some(d));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_depth_always_misses() {
+        // Without any logical delay, the consumer would need the value of
+        // tick k at the start of tick k — before the producer finished it.
+        let out = simulate(&LooseSyncConfig::typical_can(), 0, 1_000, 1).unwrap();
+        assert_eq!(out.misses, out.ticks);
+    }
+
+    #[test]
+    fn typical_can_needs_small_overhead() {
+        // The EMSOFT'04 shape claim: "comparatively small implementation
+        // overhead" — depth 2 suffices for typical parameters (one period
+        // for the computation itself plus one for latency + drift).
+        let d = required_depth(&LooseSyncConfig::typical_can(), 8, 100_000, 2)
+            .unwrap()
+            .expect("bounded depth");
+        assert!(d <= 2, "required depth {d}");
+        assert!(d >= 1);
+    }
+
+    #[test]
+    fn drift_accumulation_eventually_breaks_fixed_depth() {
+        // A fast producer against a slow consumer: the phase error grows
+        // linearly, so any fixed depth fails on a long enough horizon
+        // without resynchronization.
+        let cfg = LooseSyncConfig {
+            producer_drift_ppm: 500,
+            consumer_drift_ppm: -500,
+            resync_interval_ticks: 0, // no resynchronization
+            ..LooseSyncConfig::typical_can()
+        };
+        let short = simulate(&cfg, 2, 300, 3).unwrap();
+        assert!(short.semantics_preserved());
+        let long = simulate(&cfg, 2, 100_000, 3).unwrap();
+        assert!(!long.semantics_preserved());
+        // ...which is exactly what resynchronization prevents:
+        let resynced = LooseSyncConfig {
+            resync_interval_ticks: 200,
+            ..cfg
+        };
+        let long = simulate(&resynced, 2, 100_000, 3).unwrap();
+        assert!(long.semantics_preserved());
+    }
+
+    #[test]
+    fn more_depth_never_hurts() {
+        let cfg = LooseSyncConfig::typical_can();
+        let mut last = u64::MAX;
+        for d in 0..5 {
+            let out = simulate(&cfg, d, 50_000, 4).unwrap();
+            assert!(out.misses <= last);
+            last = out.misses;
+        }
+    }
+
+    #[test]
+    fn latency_envelope_drives_required_depth() {
+        let tight = LooseSyncConfig {
+            latency_min_us: 100,
+            latency_max_us: 500,
+            ..LooseSyncConfig::typical_can()
+        };
+        let loose = LooseSyncConfig {
+            latency_min_us: 8_000,
+            latency_max_us: 18_000,
+            ..LooseSyncConfig::typical_can()
+        };
+        let dt = required_depth(&tight, 8, 10_000, 5).unwrap().unwrap();
+        let dl = required_depth(&loose, 8, 10_000, 5).unwrap().unwrap();
+        assert!(dl > dt, "loose {dl} vs tight {dt}");
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = LooseSyncConfig {
+            period_us: 0,
+            ..LooseSyncConfig::typical_can()
+        };
+        assert!(simulate(&bad, 1, 10, 0).is_err());
+        let bad = LooseSyncConfig {
+            latency_min_us: 10,
+            latency_max_us: 5,
+            ..LooseSyncConfig::typical_can()
+        };
+        assert!(simulate(&bad, 1, 10, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = LooseSyncConfig::typical_can();
+        let a = simulate(&cfg, 1, 10_000, 7).unwrap();
+        let b = simulate(&cfg, 1, 10_000, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slack_is_reported() {
+        let cfg = LooseSyncConfig {
+            latency_min_us: 100,
+            latency_max_us: 100,
+            producer_drift_ppm: 0,
+            consumer_drift_ppm: 0,
+            ..LooseSyncConfig::typical_can()
+        };
+        let out = simulate(&cfg, 2, 100, 0).unwrap();
+        // Deterministic: consumption k+2 periods, arrival k+1 periods +
+        // 100us -> slack = period - 100.
+        assert_eq!(out.worst_slack_us, 10_000 - 100);
+    }
+}

@@ -1,0 +1,231 @@
+//! The Technical Architecture meta-model: ECUs, tasks, runnables, buses.
+//!
+//! "The TA represents target platform components (ECUs, tasks, buses,
+//! message frames) used to implement the system" (paper, Sec. 3.3).
+//! Deployment (in `automode-transform`) maps LA clusters onto [`Task`]s —
+//! "several clusters may be mapped to a given operating system task, but a
+//! given cluster will not be split across several tasks".
+
+use crate::error::PlatformError;
+
+/// A schedulable unit of work inside a task — typically one deployed
+/// cluster's step function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Runnable {
+    /// Runnable name (usually the cluster name).
+    pub name: String,
+    /// Worst-case execution time in microseconds.
+    pub wcet_us: u64,
+}
+
+impl Runnable {
+    /// Creates a runnable.
+    pub fn new(name: impl Into<String>, wcet_us: u64) -> Self {
+        Runnable {
+            name: name.into(),
+            wcet_us,
+        }
+    }
+}
+
+/// A periodic OSEK-style task with fixed priority.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Task name.
+    pub name: String,
+    /// Fixed priority; **lower number = higher priority** (rate-monotonic
+    /// conventions assign the shortest period the lowest number).
+    pub priority: u32,
+    /// Activation period in microseconds.
+    pub period_us: u64,
+    /// Activation offset in microseconds.
+    pub offset_us: u64,
+    /// Runnables executed in order on each activation.
+    pub runnables: Vec<Runnable>,
+}
+
+impl Task {
+    /// Creates an empty task.
+    pub fn new(name: impl Into<String>, priority: u32, period_us: u64) -> Self {
+        Task {
+            name: name.into(),
+            priority,
+            period_us,
+            offset_us: 0,
+            runnables: Vec::new(),
+        }
+    }
+
+    /// Adds a runnable (builder style).
+    pub fn runnable(mut self, r: Runnable) -> Self {
+        self.runnables.push(r);
+        self
+    }
+
+    /// Total worst-case execution time of one activation.
+    pub fn wcet_us(&self) -> u64 {
+        self.runnables.iter().map(|r| r.wcet_us).sum()
+    }
+
+    /// CPU utilisation contributed by this task (0.0–1.0 under feasibility).
+    pub fn utilization(&self) -> f64 {
+        self.wcet_us() as f64 / self.period_us as f64
+    }
+}
+
+/// An electronic control unit hosting a set of tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecu {
+    /// ECU name.
+    pub name: String,
+    /// Tasks deployed to this ECU.
+    pub tasks: Vec<Task>,
+}
+
+impl Ecu {
+    /// Creates an ECU without tasks.
+    pub fn new(name: impl Into<String>) -> Self {
+        Ecu {
+            name: name.into(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Adds a task (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate task names.
+    pub fn with_task(mut self, task: Task) -> Result<Self, PlatformError> {
+        if self.tasks.iter().any(|t| t.name == task.name) {
+            return Err(PlatformError::DuplicateName(task.name));
+        }
+        self.tasks.push(task);
+        Ok(self)
+    }
+
+    /// Total CPU utilisation of all tasks.
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(Task::utilization).sum()
+    }
+
+    /// Finds a task by name.
+    pub fn task(&self, name: &str) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// The hyperperiod of all task periods in microseconds.
+    pub fn hyperperiod_us(&self) -> u64 {
+        self.tasks
+            .iter()
+            .map(|t| t.period_us)
+            .fold(1, automode_kernel::clock::lcm)
+    }
+}
+
+/// The complete technical architecture: ECUs plus buses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TechnicalArchitecture {
+    /// The ECUs.
+    pub ecus: Vec<Ecu>,
+    /// Named CAN buses.
+    pub buses: Vec<crate::can::CanBusConfig>,
+}
+
+impl TechnicalArchitecture {
+    /// An empty TA.
+    pub fn new() -> Self {
+        TechnicalArchitecture::default()
+    }
+
+    /// Adds an ECU (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate ECU names.
+    pub fn with_ecu(mut self, ecu: Ecu) -> Result<Self, PlatformError> {
+        if self.ecus.iter().any(|e| e.name == ecu.name) {
+            return Err(PlatformError::DuplicateName(ecu.name));
+        }
+        self.ecus.push(ecu);
+        Ok(self)
+    }
+
+    /// Adds a bus (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate bus names.
+    pub fn with_bus(mut self, bus: crate::can::CanBusConfig) -> Result<Self, PlatformError> {
+        if self.buses.iter().any(|b| b.name == bus.name) {
+            return Err(PlatformError::DuplicateName(bus.name));
+        }
+        self.buses.push(bus);
+        Ok(self)
+    }
+
+    /// Finds an ECU by name.
+    pub fn ecu(&self, name: &str) -> Option<&Ecu> {
+        self.ecus.iter().find(|e| e.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wcet_and_utilization() {
+        let t = Task::new("T10ms", 0, 10_000)
+            .runnable(Runnable::new("fuel", 1_000))
+            .runnable(Runnable::new("ign", 500));
+        assert_eq!(t.wcet_us(), 1_500);
+        assert!((t.utilization() - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecu_rejects_duplicate_tasks() {
+        let e = Ecu::new("ecu0")
+            .with_task(Task::new("T", 0, 10_000))
+            .unwrap();
+        assert!(matches!(
+            e.with_task(Task::new("T", 1, 20_000)),
+            Err(PlatformError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn hyperperiod() {
+        let e = Ecu::new("ecu0")
+            .with_task(Task::new("A", 0, 10_000))
+            .unwrap()
+            .with_task(Task::new("B", 1, 25_000))
+            .unwrap();
+        assert_eq!(e.hyperperiod_us(), 50_000);
+    }
+
+    #[test]
+    fn ta_builders() {
+        let ta = TechnicalArchitecture::new()
+            .with_ecu(Ecu::new("engine"))
+            .unwrap()
+            .with_ecu(Ecu::new("body"))
+            .unwrap();
+        assert!(ta.ecu("engine").is_some());
+        assert!(ta.ecu("chassis").is_none());
+        assert!(matches!(
+            ta.with_ecu(Ecu::new("body")),
+            Err(PlatformError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn ecu_utilization_sums_tasks() {
+        let e = Ecu::new("ecu0")
+            .with_task(Task::new("A", 0, 10_000).runnable(Runnable::new("a", 2_000)))
+            .unwrap()
+            .with_task(Task::new("B", 1, 100_000).runnable(Runnable::new("b", 10_000)))
+            .unwrap();
+        assert!((e.utilization() - 0.3).abs() < 1e-9);
+    }
+}

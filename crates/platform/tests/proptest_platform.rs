@@ -1,0 +1,158 @@
+//! Property-based tests of the OSEK scheduler and CAN bus invariants.
+
+use automode_platform::can::{BusSim, CanBusConfig, CanFrame};
+use automode_platform::osek::{IpcRegime, MessageConfig, OsekSim, SimRunnable, SimTask};
+use proptest::prelude::*;
+
+/// Random feasible task set: up to 4 tasks with harmonic-ish periods and
+/// bounded utilisation.
+fn arb_taskset() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    // (period_us, wcet_us) pairs.
+    prop::collection::vec((1u64..5, 1u64..30), 1..4).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(p, c)| {
+                let period = p * 10_000;
+                let wcet = (c * period / 100).max(100); // <= 30% each
+                (period, wcet)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under rate-monotonic priorities and modest utilisation, the
+    /// simulator schedules without deadline misses, and activation counts
+    /// match the horizon arithmetic.
+    #[test]
+    fn feasible_tasksets_meet_deadlines(tasks in arb_taskset()) {
+        let mut sorted = tasks.clone();
+        sorted.sort();
+        let mut sim = OsekSim::new(IpcRegime::CopyInCopyOut);
+        let mut total_util = 0.0;
+        for (i, (period, wcet)) in sorted.iter().enumerate() {
+            total_util += *wcet as f64 / *period as f64;
+            sim = sim
+                .task(
+                    SimTask::new(format!("t{i}"), i as u32, *period)
+                        .runnable(SimRunnable::compute("c", *wcet)),
+                )
+                .unwrap();
+        }
+        prop_assume!(total_util <= 0.69); // RM bound for any task count
+        let horizon = 500_000u64;
+        let out = sim.run(horizon).unwrap();
+        prop_assert_eq!(out.deadline_misses(), 0, "util {}", total_util);
+        for (i, (period, _)) in sorted.iter().enumerate() {
+            let stats = &out.stats[&format!("t{i}")];
+            prop_assert_eq!(stats.activations, horizon.div_ceil(*period));
+        }
+    }
+
+    /// Copy-in/copy-out data integrity never tears, for any writer gap and
+    /// priority layout.
+    #[test]
+    fn copy_semantics_never_tear(
+        gap_us in 0u64..20_000,
+        words in 2usize..5,
+        fast_period in 2u64..10
+    ) {
+        let sim = OsekSim::new(IpcRegime::CopyInCopyOut)
+            .task(
+                SimTask::new("reader", 0, fast_period * 1_000)
+                    .runnable(SimRunnable::reader("r", "m")),
+            )
+            .unwrap()
+            .task(
+                SimTask::new("writer", 1, 100_000)
+                    .runnable(SimRunnable::writer("w", "m", words, gap_us)),
+            )
+            .unwrap()
+            .message(MessageConfig::new("m", words))
+            .unwrap();
+        let out = sim.run(400_000).unwrap();
+        prop_assert_eq!(out.torn_reads(), 0);
+    }
+
+    /// Observed message values never decrease (the writer's activation
+    /// counter is monotone), in either regime.
+    #[test]
+    fn observed_values_monotone(direct in any::<bool>(), gap_us in 0u64..5_000) {
+        let regime = if direct { IpcRegime::Direct } else { IpcRegime::CopyInCopyOut };
+        let sim = OsekSim::new(regime)
+            .task(SimTask::new("reader", 0, 10_000).runnable(SimRunnable::reader("r", "m")))
+            .unwrap()
+            .task(
+                SimTask::new("writer", 1, 50_000)
+                    .runnable(SimRunnable::writer("w", "m", 2, gap_us)),
+            )
+            .unwrap()
+            .message(MessageConfig::new("m", 2))
+            .unwrap();
+        let out = sim.run(500_000).unwrap();
+        let vals = out.observed_values("reader", "m");
+        for w in vals.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    /// CAN: all queued frames of the highest-priority id transmit with
+    /// latency bounded by one blocking frame plus own transmission.
+    #[test]
+    fn can_highest_priority_bounded(
+        n_frames in 1usize..8,
+        dlcs in prop::collection::vec(0u8..9, 8)
+    ) {
+        let mut bus = CanBusConfig::new("b", 500_000).unwrap();
+        for i in 0..n_frames {
+            bus = bus
+                .frame(CanFrame::new(
+                    0x100 + i as u32,
+                    format!("f{i}"),
+                    dlcs[i],
+                    20_000,
+                ))
+                .unwrap();
+        }
+        prop_assume!(bus.load() <= 0.9);
+        let max_tx = bus
+            .frames
+            .iter()
+            .map(|f| bus.tx_time_us(f))
+            .max()
+            .unwrap();
+        let own_tx = bus.tx_time_us(&bus.frames[0]);
+        let stats = BusSim::new(&bus).run(400_000).unwrap();
+        let hi = &stats["f0"];
+        prop_assert!(
+            hi.max_latency_us <= max_tx + own_tx,
+            "latency {} > bound {}",
+            hi.max_latency_us,
+            max_tx + own_tx
+        );
+    }
+
+    /// Bus conservation: every frame's sent count differs from its queued
+    /// count by at most the backlog of one instance (under feasible load).
+    #[test]
+    fn can_conservation(bitrate_sel in 0usize..3) {
+        let bitrate = [125_000u64, 250_000, 500_000][bitrate_sel];
+        let mut bus = CanBusConfig::new("b", bitrate).unwrap();
+        for i in 0..5u32 {
+            bus = bus
+                .frame(CanFrame::new(i, format!("f{i}"), 8, 50_000))
+                .unwrap();
+        }
+        prop_assume!(bus.load() <= 0.9);
+        let stats = BusSim::new(&bus).run(1_000_000).unwrap();
+        for (name, s) in &stats {
+            prop_assert!(
+                s.queued - s.sent <= 1,
+                "{name}: queued {} sent {}",
+                s.queued,
+                s.sent
+            );
+        }
+    }
+}

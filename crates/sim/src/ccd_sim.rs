@@ -1,0 +1,354 @@
+//! Direct simulation of CCDs — the executable LA level.
+//!
+//! The CCD of Sec. 3.3 makes "signal frequencies explicit": every cluster
+//! runs on its own period/phase. This module elaborates a CCD into a
+//! kernel network in which
+//!
+//! * each cluster becomes a rate-gated block: it steps (and emits) only at
+//!   its active ticks and is frozen in between, exactly like a periodic
+//!   OS task running the cluster's step function;
+//! * each channel elaborates to the platform's rate-transition machinery:
+//!   an optional per-writer-period delay chain (the CCD `delay` operators)
+//!   followed by a *hold* — the reader always samples the latest published
+//!   value, as the OSEK data-integrity buffers provide.
+//!
+//! This gives the LA level an operational semantics of its own, so
+//! refinements into CCDs can be validated by trace equivalence like every
+//! other transformation.
+
+use automode_core::ccd::Ccd;
+use automode_core::model::{Direction, Model};
+use automode_kernel::network::{Network, ReadyNetwork};
+use automode_kernel::ops::{Block, Current, Delay};
+use automode_kernel::{Clock, KernelError, Message, Tick};
+
+use crate::elaborate::elaborate;
+use crate::error::SimError;
+
+/// A cluster as a rate-gated block: the wrapped component network steps
+/// only at the cluster clock's active ticks.
+struct ClusterBlock {
+    name: String,
+    clock: Clock,
+    inner: ReadyNetwork,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl std::fmt::Debug for ClusterBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBlock")
+            .field("name", &self.name)
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+impl Block for ClusterBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_arity(&self) -> usize {
+        self.inputs
+    }
+    fn output_arity(&self) -> usize {
+        self.outputs
+    }
+    fn step(&mut self, t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
+        if !self.clock.is_active(t) {
+            return Ok(vec![Message::Absent; self.outputs]);
+        }
+        let observed = self.inner.step_tick(inputs)?;
+        Ok(observed.into_iter().map(|(_, m)| m).collect())
+    }
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// Elaborates a CCD into an executable network.
+///
+/// External inputs are created for every cluster input port without a
+/// writer, named `{cluster}.{port}`; every cluster output is exposed as
+/// `{cluster}.{port}`.
+///
+/// # Errors
+///
+/// Propagates CCD validation and elaboration errors.
+pub fn elaborate_ccd(model: &Model, ccd: &Ccd) -> Result<Network, SimError> {
+    ccd.validate_structure(model)?;
+    let mut net = Network::new("ccd");
+
+    // Build the cluster blocks.
+    let mut handles = Vec::new();
+    for cluster in &ccd.clusters {
+        let comp = model.component(cluster.component);
+        let inner = elaborate(model, cluster.component)?.prepare()?;
+        let block = ClusterBlock {
+            name: cluster.name.clone(),
+            clock: Clock::every(cluster.period, cluster.phase),
+            inner,
+            inputs: comp.inputs().count(),
+            outputs: comp.outputs().count(),
+        };
+        handles.push(net.add_block(block));
+    }
+    let cluster_index = |name: &str| {
+        ccd.clusters
+            .iter()
+            .position(|c| c.name == name)
+            .expect("validated")
+    };
+    let port_index = |cluster: usize, port: &str, dir: Direction| {
+        let comp = model.component(ccd.clusters[cluster].component);
+        comp.ports
+            .iter()
+            .filter(|p| p.direction == dir)
+            .position(|p| p.name == port)
+            .expect("validated")
+    };
+
+    // Channels: [delays on writer clock] -> hold -> reader input.
+    for ch in &ccd.channels {
+        let from = cluster_index(&ch.from_cluster);
+        let to = cluster_index(&ch.to_cluster);
+        let writer_clock = Clock::every(ccd.clusters[from].period, ccd.clusters[from].phase);
+        let mut src = handles[from].output(port_index(from, &ch.from_port, Direction::Out));
+        for _ in 0..ch.delays {
+            let d = net.add_block(Delay::on_clock(None, writer_clock.clone()));
+            net.connect(src, d.input(0))?;
+            src = d.output(0);
+        }
+        // Hold the latest published value for the (possibly faster) reader,
+        // seeding with a type-conforming default until the first write.
+        let from_ty = &model
+            .component(ccd.clusters[from].component)
+            .find_port(&ch.from_port)
+            .expect("validated")
+            .ty;
+        let seed = match from_ty {
+            automode_core::types::DataType::Bool => automode_kernel::Value::Bool(false),
+            automode_core::types::DataType::Int => automode_kernel::Value::Int(0),
+            automode_core::types::DataType::Enum(e) => automode_kernel::Value::sym(
+                e.literals.first().cloned().unwrap_or_default(),
+            ),
+            _ => automode_kernel::Value::Float(0.0),
+        };
+        let hold = net.add_block(Current::new(seed));
+        net.connect(src, hold.input(0))?;
+        net.connect(
+            hold.output(0),
+            handles[to].input(port_index(to, &ch.to_port, Direction::In)),
+        )?;
+    }
+
+    // Open inputs become network inputs; all outputs are probed.
+    for (ci, cluster) in ccd.clusters.iter().enumerate() {
+        let comp = model.component(cluster.component);
+        for (pi, port) in comp.inputs().enumerate() {
+            let written = ccd
+                .channels
+                .iter()
+                .any(|ch| ch.to_cluster == cluster.name && ch.to_port == port.name);
+            if !written {
+                let ext = net.add_input(format!("{}.{}", cluster.name, port.name));
+                net.connect_input(ext, handles[ci].input(pi))?;
+            }
+        }
+        for (po, port) in comp.outputs().enumerate() {
+            net.expose_output(
+                format!("{}.{}", cluster.name, port.name),
+                handles[ci].output(po),
+            )?;
+        }
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::ccd::{CcdChannel, Cluster};
+    use automode_core::model::{Behavior, Component};
+    use automode_core::types::DataType;
+    use automode_kernel::{Stream, Value};
+    use automode_lang::parse;
+
+    fn counter_component(m: &mut Model, name: &str) -> automode_core::model::ComponentId {
+        // A stateless ramp follower: y = x (so its activity is visible).
+        m.add_component(
+            Component::new(name)
+                .input("x", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::expr("y", parse("x + 0.0").unwrap())),
+        )
+        .unwrap()
+    }
+
+    fn run_ccd(
+        model: &Model,
+        ccd: &Ccd,
+        inputs: &[(&str, Stream)],
+        ticks: usize,
+    ) -> automode_kernel::Trace {
+        let net = elaborate_ccd(model, ccd).unwrap();
+        let names: Vec<String> = net.input_names().map(String::from).collect();
+        let stim: Vec<Vec<Message>> = (0..ticks)
+            .map(|t| {
+                names
+                    .iter()
+                    .map(|n| {
+                        inputs
+                            .iter()
+                            .find(|(k, _)| k == n)
+                            .and_then(|(_, s)| s.get(t).cloned())
+                            .unwrap_or(Message::Absent)
+                    })
+                    .collect()
+            })
+            .collect();
+        net.run(&stim).unwrap()
+    }
+
+    #[test]
+    fn cluster_emits_only_on_its_clock() {
+        let mut m = Model::new("t");
+        let c = counter_component(&mut m, "C");
+        let ccd = Ccd::new().cluster(Cluster::new("slow", c, 3));
+        let input = crate::stimulus::ramp(0.0, 9.0, 10);
+        let trace = run_ccd(&m, &ccd, &[("slow.x", input)], 10);
+        let y = trace.signal("slow.y").unwrap();
+        assert!(y.conforms_to_clock(&Clock::every(3, 0)));
+        assert_eq!(y.present_count(), 4); // t = 0, 3, 6, 9
+    }
+
+    #[test]
+    fn fast_to_slow_sampling_takes_latest_value() {
+        let mut m = Model::new("t");
+        let fast = counter_component(&mut m, "Fast");
+        let slow = counter_component(&mut m, "Slow");
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("f", fast, 1))
+            .cluster(Cluster::new("s", slow, 4))
+            .channel(CcdChannel::direct("f", "y", "s", "x"));
+        let input = crate::stimulus::ramp(0.0, 9.0, 10);
+        let trace = run_ccd(&m, &ccd, &[("f.x", input)], 10);
+        let s = trace.signal("s.y").unwrap();
+        // At t=4 the slow cluster samples the fast cluster's t=4 value.
+        assert_eq!(s[4].value().unwrap().as_float().unwrap(), 4.0);
+        assert_eq!(s[8].value().unwrap().as_float().unwrap(), 8.0);
+    }
+
+    #[test]
+    fn slow_to_fast_delay_gives_previous_period_value() {
+        let mut m = Model::new("t");
+        let fast = counter_component(&mut m, "Fast");
+        let slow = counter_component(&mut m, "Slow");
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("f", fast, 1))
+            .cluster(Cluster::new("s", slow, 4))
+            .channel(CcdChannel::direct("s", "y", "f", "x").with_delays(1));
+        let input: Stream = (0..12)
+            .map(|t| Message::present(Value::Float(t as f64)))
+            .collect();
+        let trace = run_ccd(&m, &ccd, &[("s.x", input)], 12);
+        let f = trace.signal("f.y").unwrap();
+        // Slow publishes at t=0,4,8 (values 0,4,8); delayed by one slow
+        // period, the fast reader sees the previous publication:
+        // t in [4,8): value 0; t in [8,12): value 4.
+        assert_eq!(f[5].value().unwrap().as_float().unwrap(), 0.0);
+        assert_eq!(f[9].value().unwrap().as_float().unwrap(), 4.0);
+        // Matches the OSEK-platform experiment: deterministic per period.
+    }
+
+    #[test]
+    fn engine_ccd_executes_with_feedback_limit() {
+        let mut m = Model::new("engine");
+        let (ccd, _) = automode_engine_build(&mut m);
+        let rpm = crate::stimulus::constant(Value::Float(3000.0), 40);
+        let throttle = crate::stimulus::constant(Value::Float(0.9), 40);
+        let trace = run_ccd(
+            &m,
+            &ccd,
+            &[
+                ("fuel_control.rpm", rpm.clone()),
+                ("fuel_control.throttle", throttle),
+                ("ignition_control.rpm", rpm),
+            ],
+            40,
+        );
+        let ti = trace.signal("fuel_control.ti").unwrap();
+        // Initially the hold supplies limit 0.0 -> ti = min(base, 0) = 0;
+        // after the first diagnosis publication the limit opens up.
+        let vals: Vec<f64> = ti
+            .present_values()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .collect();
+        assert!(vals.iter().any(|&v| v > 0.0), "limit must open: {vals:?}");
+    }
+
+    /// Local copy of the Fig. 7 builder to avoid a dev-dependency cycle
+    /// with `automode-engine`.
+    fn automode_engine_build(
+        m: &mut Model,
+    ) -> (Ccd, ()) {
+        let fuel = m
+            .add_component(
+                Component::new("FuelControl")
+                    .input("rpm", DataType::Float)
+                    .input("throttle", DataType::Float)
+                    .input("ti_limit", DataType::Float)
+                    .output("ti", DataType::Float)
+                    .with_behavior(Behavior::expr(
+                        "ti",
+                        parse("min(1.0 + throttle * 8.0 + rpm * 0.0001, ti_limit)").unwrap(),
+                    )),
+            )
+            .unwrap();
+        let ignition = m
+            .add_component(
+                Component::new("IgnitionControl")
+                    .input("rpm", DataType::Float)
+                    .output("advance", DataType::Float)
+                    .with_behavior(Behavior::expr(
+                        "advance",
+                        parse("clamp(10.0 + rpm * 0.003, 10.0, 35.0)").unwrap(),
+                    )),
+            )
+            .unwrap();
+        let diagnosis = m
+            .add_component(
+                Component::new("DiagnosisMonitoring")
+                    .input("ti", DataType::Float)
+                    .input("advance", DataType::Float)
+                    .output("ti_limit", DataType::Float)
+                    .with_behavior(Behavior::expr(
+                        "ti_limit",
+                        parse("if ti + advance * 0.1 > 12.0 then 6.0 else 20.0").unwrap(),
+                    )),
+            )
+            .unwrap();
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fuel_control", fuel, 1))
+            .cluster(Cluster::new("ignition_control", ignition, 1))
+            .cluster(Cluster::new("diagnosis_monitoring", diagnosis, 10))
+            .channel(CcdChannel::direct("fuel_control", "ti", "diagnosis_monitoring", "ti"))
+            .channel(CcdChannel::direct(
+                "ignition_control",
+                "advance",
+                "diagnosis_monitoring",
+                "advance",
+            ))
+            .channel(
+                CcdChannel::direct(
+                    "diagnosis_monitoring",
+                    "ti_limit",
+                    "fuel_control",
+                    "ti_limit",
+                )
+                .with_delays(1),
+            );
+        (ccd, ())
+    }
+}

@@ -1,0 +1,730 @@
+//! Elaboration: meta-model → executable kernel network.
+
+use std::collections::BTreeMap;
+
+use automode_core::model::{Behavior, ComponentId, CompositeKind, Model, Primitive};
+use automode_core::CoreError;
+use automode_kernel::network::{Network, PortRef};
+use automode_kernel::ops::{self, Block, PureFn};
+use automode_kernel::{Clock, KernelError, Message, Tick, Value};
+use automode_lang::{Env, Expr, ExprBlock};
+
+use crate::error::SimError;
+
+/// The wiring interface of one elaborated component instance.
+#[derive(Debug, Clone)]
+struct Iface {
+    /// Where to connect each input port's source.
+    inputs: BTreeMap<String, PortRef>,
+    /// Where each output port's value is produced.
+    outputs: BTreeMap<String, PortRef>,
+}
+
+fn identity(name: String) -> PureFn {
+    PureFn::new(name, 1, 1, |_, inputs: &[Message]| Ok(vec![inputs[0].clone()]))
+}
+
+fn absent_stub(name: String) -> PureFn {
+    PureFn::new(name, 0, 1, |_, _: &[Message]| Ok(vec![Message::Absent]))
+}
+
+/// Elaborates `root` into a standalone [`Network`]: one external input per
+/// input port, one exposed output per output port (both keep their port
+/// names).
+///
+/// # Errors
+///
+/// Returns structural, typing, or causality errors discovered during
+/// elaboration.
+pub fn elaborate(model: &Model, root: ComponentId) -> Result<Network, SimError> {
+    let comp = model.component(root);
+    let mut net = Network::new(comp.name.clone());
+    let mut ext = BTreeMap::new();
+    for p in comp.inputs() {
+        ext.insert(p.name.clone(), net.add_input(p.name.clone()));
+    }
+    let iface = build_instance(&mut net, model, root, comp.name.clone())?;
+    for p in comp.inputs() {
+        net.connect_input(ext[&p.name], iface.inputs[&p.name])?;
+    }
+    for p in comp.outputs() {
+        net.expose_output(p.name.clone(), iface.outputs[&p.name])?;
+    }
+    Ok(net)
+}
+
+fn build_instance(
+    net: &mut Network,
+    model: &Model,
+    cid: ComponentId,
+    path: String,
+) -> Result<Iface, SimError> {
+    let comp = model.component(cid);
+    let input_names: Vec<String> = comp.inputs().map(|p| p.name.clone()).collect();
+    let output_names: Vec<String> = comp.outputs().map(|p| p.name.clone()).collect();
+
+    // One pass-through block per input port: gives every input a stable
+    // internal fan-out point.
+    let mut in_handles = BTreeMap::new();
+    for name in &input_names {
+        let h = net.add_block(identity(format!("in:{path}.{name}")));
+        in_handles.insert(name.clone(), h);
+    }
+    let inputs: BTreeMap<String, PortRef> = in_handles
+        .iter()
+        .map(|(n, h)| (n.clone(), h.input(0)))
+        .collect();
+    let mut outputs: BTreeMap<String, PortRef> = BTreeMap::new();
+
+    match &comp.behavior {
+        Behavior::Unspecified => {
+            for name in &output_names {
+                let h = net.add_block(absent_stub(format!("stub:{path}.{name}")));
+                outputs.insert(name.clone(), h.output(0));
+            }
+        }
+        Behavior::Expr(defs) => {
+            for name in &output_names {
+                let expr = defs.get(name).ok_or_else(|| CoreError::Level {
+                    level: "FDA",
+                    message: format!("output `{path}.{name}` has no defining expression"),
+                })?;
+                let blk =
+                    ExprBlock::with_inputs(format!("{path}.{name}"), input_names.clone(), expr.clone());
+                let h = net.add_block(blk);
+                for (i, inp) in input_names.iter().enumerate() {
+                    net.connect(in_handles[inp].output(0), h.input(i))?;
+                }
+                outputs.insert(name.clone(), h.output(0));
+            }
+        }
+        Behavior::Primitive(p) => {
+            let h = match p {
+                Primitive::Delay { init } => {
+                    net.add_block(ops::Delay::on_clock(init.clone(), Clock::base()))
+                }
+                Primitive::UnitDelay { init } => net.add_block(ops::UnitDelay::new(
+                    init.clone().map(Message::Present).unwrap_or(Message::Absent),
+                )),
+                Primitive::When => net.add_block(ops::When::new()),
+                Primitive::Current { init } => net.add_block(ops::Current::new(init.clone())),
+            };
+            for (i, inp) in input_names.iter().enumerate() {
+                net.connect(in_handles[inp].output(0), h.input(i))?;
+            }
+            let out_name = output_names.first().ok_or_else(|| {
+                SimError::Unsupported(format!("primitive `{path}` has no output port"))
+            })?;
+            outputs.insert(out_name.clone(), h.output(0));
+        }
+        Behavior::Mtd(mtd) => {
+            mtd.validate(model, cid)?;
+            let mut subnets = Vec::with_capacity(mtd.modes.len());
+            let mut mode_names = Vec::with_capacity(mtd.modes.len());
+            for mode in &mtd.modes {
+                let sub = elaborate(model, mode.behavior)?;
+                subnets.push(sub.prepare()?);
+                mode_names.push(mode.name.clone());
+            }
+            let mut triggers: Vec<Vec<(usize, Expr)>> = vec![Vec::new(); mtd.modes.len()];
+            for (mode_idx, trigger_list) in triggers.iter_mut().enumerate() {
+                for t in mtd.transitions_from(mode_idx) {
+                    trigger_list.push((t.to, t.trigger.clone()));
+                }
+            }
+            let h = net.add_block(MtdBlock {
+                name: format!("mtd:{path}"),
+                input_names: input_names.clone(),
+                output_names: output_names.clone(),
+                mode_names,
+                subnets,
+                triggers,
+                initial: mtd.initial,
+                current: mtd.initial,
+            });
+            for (i, inp) in input_names.iter().enumerate() {
+                net.connect(in_handles[inp].output(0), h.input(i))?;
+            }
+            for (o, name) in output_names.iter().enumerate() {
+                outputs.insert(name.clone(), h.output(o));
+            }
+        }
+        Behavior::Std(fsm) => {
+            fsm.validate(model, cid)?;
+            let h = net.add_block(StdBlock {
+                name: format!("std:{path}"),
+                input_names: input_names.clone(),
+                output_names: output_names.clone(),
+                machine: fsm.clone(),
+                state: fsm.initial,
+                vars: fsm.vars.iter().cloned().collect(),
+            });
+            for (i, inp) in input_names.iter().enumerate() {
+                net.connect(in_handles[inp].output(0), h.input(i))?;
+            }
+            for (o, name) in output_names.iter().enumerate() {
+                outputs.insert(name.clone(), h.output(o));
+            }
+        }
+        Behavior::Composite(c) => {
+            model.validate_composite(cid)?;
+            let is_ssd = c.kind == CompositeKind::Ssd;
+            let mut child_ifaces: BTreeMap<String, Iface> = BTreeMap::new();
+            for inst in &c.instances {
+                let iface =
+                    build_instance(net, model, inst.component, format!("{path}/{}", inst.name))?;
+                child_ifaces.insert(inst.name.clone(), iface);
+            }
+            for ch in &c.channels {
+                let src: PortRef = match &ch.from.instance {
+                    Some(inst) => child_ifaces[inst].outputs[&ch.from.port],
+                    None => in_handles[&ch.from.port].output(0),
+                };
+                // "Each SSD-level channel introduces a message delay."
+                let src = if is_ssd {
+                    let d = net.add_block(ops::UnitDelay::new(Message::Absent));
+                    net.connect(src, d.input(0))?;
+                    d.output(0)
+                } else {
+                    src
+                };
+                match &ch.to.instance {
+                    Some(inst) => {
+                        net.connect(src, child_ifaces[inst].inputs[&ch.to.port])?;
+                    }
+                    None => {
+                        outputs.insert(ch.to.port.clone(), src);
+                    }
+                }
+            }
+            for name in &output_names {
+                if !outputs.contains_key(name) {
+                    let h = net.add_block(absent_stub(format!("stub:{path}.{name}")));
+                    outputs.insert(name.clone(), h.output(0));
+                }
+            }
+        }
+    }
+    Ok(Iface { inputs, outputs })
+}
+
+/// The MTD interpreter block: one elaborated sub-network per mode; only the
+/// active mode steps; transitions are evaluated over the current inputs and
+/// take effect at the next tick (see `automode_core::mtd` docs).
+struct MtdBlock {
+    name: String,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+    mode_names: Vec<String>,
+    subnets: Vec<automode_kernel::network::ReadyNetwork>,
+    /// Per mode: (target, trigger) in priority order.
+    triggers: Vec<Vec<(usize, Expr)>>,
+    initial: usize,
+    current: usize,
+}
+
+impl std::fmt::Debug for MtdBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MtdBlock")
+            .field("name", &self.name)
+            .field("modes", &self.mode_names)
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl MtdBlock {
+    /// The currently active mode's name (used in tests via downcasting is
+    /// overkill; the name is also surfaced in Debug output).
+    #[allow(dead_code)]
+    fn current_mode(&self) -> &str {
+        &self.mode_names[self.current]
+    }
+}
+
+impl Block for MtdBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_arity(&self) -> usize {
+        self.input_names.len()
+    }
+    fn output_arity(&self) -> usize {
+        self.output_names.len()
+    }
+    fn step(&mut self, _t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
+        // Evaluate transitions over the current inputs FIRST (immediate
+        // switching): the mode that produces this tick's outputs is the one
+        // reached after the triggers fired — exactly the branch-selection
+        // semantics of the If-Then-Else cascades MTDs make explicit.
+        let env: Env = self
+            .input_names
+            .iter()
+            .zip(inputs)
+            .map(|(n, m)| (n.clone(), m.clone()))
+            .collect();
+        for (target, trigger) in &self.triggers[self.current] {
+            let fired = trigger
+                .eval(&env)
+                .map_err(|e| KernelError::Block {
+                    block: self.name.clone(),
+                    message: e.to_string(),
+                })?
+                .value()
+                .and_then(Value::as_bool)
+                == Some(true);
+            if fired {
+                self.current = *target;
+                break;
+            }
+        }
+        let observed = self.subnets[self.current].step_tick(inputs)?;
+        let by_name: BTreeMap<&str, &Message> =
+            observed.iter().map(|(n, m)| (n.as_str(), m)).collect();
+        let outputs: Vec<Message> = self
+            .output_names
+            .iter()
+            .map(|n| (*by_name.get(n.as_str()).unwrap_or(&&Message::Absent)).clone())
+            .collect();
+        Ok(outputs)
+    }
+    fn reset(&mut self) {
+        self.current = self.initial;
+        for s in &mut self.subnets {
+            s.reset();
+        }
+    }
+}
+
+/// The STD interpreter block: a flat extended state machine with local
+/// variables; the highest-priority enabled transition fires, executing its
+/// actions against the pre-state environment.
+struct StdBlock {
+    name: String,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+    machine: automode_core::std_machine::StdMachine,
+    state: usize,
+    vars: BTreeMap<String, Value>,
+}
+
+impl std::fmt::Debug for StdBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StdBlock")
+            .field("name", &self.name)
+            .field("state", &self.machine.states.get(self.state))
+            .finish()
+    }
+}
+
+impl Block for StdBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_arity(&self) -> usize {
+        self.input_names.len()
+    }
+    fn output_arity(&self) -> usize {
+        self.output_names.len()
+    }
+    fn step(&mut self, _t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
+        let mut env: Env = self
+            .input_names
+            .iter()
+            .zip(inputs)
+            .map(|(n, m)| (n.clone(), m.clone()))
+            .collect();
+        for (v, val) in &self.vars {
+            env.bind(v.clone(), Message::Present(val.clone()));
+        }
+        let wrap = |e: automode_lang::LangError, name: &str| KernelError::Block {
+            block: name.to_string(),
+            message: e.to_string(),
+        };
+        let mut outputs = vec![Message::Absent; self.output_names.len()];
+        let fired = {
+            let mut fired = None;
+            for t in self.machine.transitions_from(self.state) {
+                let enabled = t
+                    .guard
+                    .eval(&env)
+                    .map_err(|e| wrap(e, &self.name))?
+                    .value()
+                    .and_then(Value::as_bool)
+                    == Some(true);
+                if enabled {
+                    fired = Some(t.clone());
+                    break;
+                }
+            }
+            fired
+        };
+        if let Some(t) = fired {
+            // All actions evaluate against the pre-state environment.
+            let mut writes: Vec<(String, Value)> = Vec::with_capacity(t.actions.len());
+            for a in &t.actions {
+                match a.expr.eval(&env).map_err(|e| wrap(e, &self.name))? {
+                    Message::Present(v) => writes.push((a.target.clone(), v)),
+                    Message::Absent => {}
+                }
+            }
+            for (target, v) in writes {
+                if let Some(pos) = self.output_names.iter().position(|n| *n == target) {
+                    outputs[pos] = Message::Present(v);
+                } else {
+                    self.vars.insert(target, v);
+                }
+            }
+            self.state = t.to;
+        }
+        Ok(outputs)
+    }
+    fn reset(&mut self) {
+        self.state = self.machine.initial;
+        self.vars = self.machine.vars.iter().cloned().collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::model::{Component, Composite, Endpoint};
+    use automode_core::std_machine::{Assign, StdMachine, StdTransition};
+    use automode_core::types::DataType;
+    use automode_core::Mtd;
+    use automode_kernel::network::stimulus_from_streams;
+    use automode_kernel::Stream;
+    use automode_lang::parse;
+
+    fn leaf(m: &mut Model, name: &str, expr: &str) -> ComponentId {
+        m.add_component(
+            Component::new(name)
+                .input("x", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::expr("y", parse(expr).unwrap())),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expr_component_elaborates_and_runs() {
+        let mut m = Model::new("t");
+        let id = leaf(&mut m, "Twice", "x * 2.0");
+        let net = elaborate(&m, id).unwrap();
+        let stim = stimulus_from_streams(&[Stream::from_values([
+            Value::Float(1.0),
+            Value::Float(2.5),
+        ])]);
+        let trace = net.run(&stim).unwrap();
+        assert_eq!(
+            trace.signal("y").unwrap().present_values(),
+            vec![Value::Float(2.0), Value::Float(5.0)]
+        );
+    }
+
+    #[test]
+    fn dfd_is_instantaneous_ssd_delays() {
+        let mut m = Model::new("t");
+        let l = leaf(&mut m, "Id", "x");
+        for (kind, name, delay) in [
+            (CompositeKind::Dfd, "DfdTop", 0usize),
+            (CompositeKind::Ssd, "SsdTop", 2usize),
+        ] {
+            let mut net = Composite::new(kind);
+            net.instantiate("a", l);
+            net.connect(Endpoint::boundary("in"), Endpoint::child("a", "x"));
+            net.connect(Endpoint::child("a", "y"), Endpoint::boundary("out"));
+            let top = m
+                .add_component(
+                    Component::new(name)
+                        .input("in", DataType::Float)
+                        .output("out", DataType::Float)
+                        .with_behavior(Behavior::Composite(net)),
+                )
+                .unwrap();
+            let knet = elaborate(&m, top).unwrap();
+            let stim = stimulus_from_streams(&[Stream::from_values([
+                Value::Float(7.0),
+                Value::Float(8.0),
+                Value::Float(9.0),
+            ])]);
+            let trace = knet.run(&stim).unwrap();
+            let out = trace.signal("out").unwrap();
+            // SSD: both boundary channels delay -> total shift `delay`.
+            if delay == 0 {
+                assert_eq!(out[0], Message::present(Value::Float(7.0)));
+            } else {
+                assert!(out[0].is_absent() && out[1].is_absent());
+                assert_eq!(out[2], Message::present(Value::Float(7.0)));
+            }
+        }
+    }
+
+    #[test]
+    fn unspecified_behavior_yields_absent() {
+        let mut m = Model::new("t");
+        let id = m
+            .add_component(
+                Component::new("U")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float),
+            )
+            .unwrap();
+        let net = elaborate(&m, id).unwrap();
+        let stim = stimulus_from_streams(&[Stream::from_values([Value::Float(1.0)])]);
+        let trace = net.run(&stim).unwrap();
+        assert_eq!(trace.signal("y").unwrap().present_count(), 0);
+    }
+
+    #[test]
+    fn mtd_switches_modes_immediately() {
+        let mut m = Model::new("t");
+        let a = leaf(&mut m, "Constant", "0.2 + x * 0.0");
+        let b = leaf(&mut m, "Linear", "x * 1.0");
+        let mut mtd = Mtd::new();
+        let ma = mtd.add_mode("A", a);
+        let mb = mtd.add_mode("B", b);
+        mtd.add_transition(ma, mb, parse("x > 10.0").unwrap(), 0);
+        mtd.add_transition(mb, ma, parse("x < 5.0").unwrap(), 0);
+        let owner = m
+            .add_component(
+                Component::new("Switcher")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Mtd(mtd)),
+            )
+            .unwrap();
+        let net = elaborate(&m, owner).unwrap();
+        let xs = [1.0, 20.0, 20.0, 2.0, 2.0];
+        let stim = stimulus_from_streams(&[Stream::from_values(
+            xs.iter().map(|&x| Value::Float(x)).collect::<Vec<_>>(),
+        )]);
+        let trace = net.run(&stim).unwrap();
+        let ys: Vec<f64> = trace
+            .signal("y")
+            .unwrap()
+            .present_values()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .collect();
+        // t0: x=1, stays A -> 0.2.
+        // t1: x=20 fires A->B immediately -> 20.0.
+        // t2: x=20, stays B -> 20.0.
+        // t3: x=2 fires B->A immediately -> 0.2.
+        // t4: x=2, stays A -> 0.2.
+        assert_eq!(ys, vec![0.2, 20.0, 20.0, 0.2, 0.2]);
+    }
+
+    #[test]
+    fn mtd_transition_priorities_respected() {
+        let mut m = Model::new("t");
+        let a = leaf(&mut m, "A", "1.0 + x * 0.0");
+        let b = leaf(&mut m, "B", "2.0 + x * 0.0");
+        let c = leaf(&mut m, "C", "3.0 + x * 0.0");
+        let mut mtd = Mtd::new();
+        let ma = mtd.add_mode("A", a);
+        let mb = mtd.add_mode("B", b);
+        let mc = mtd.add_mode("C", c);
+        // Both triggers true; priority 0 (to B) must win over 1 (to C).
+        mtd.add_transition(ma, mc, parse("x > 0.0").unwrap(), 1);
+        mtd.add_transition(ma, mb, parse("x > 0.0").unwrap(), 0);
+        let owner = m
+            .add_component(
+                Component::new("P")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Mtd(mtd)),
+            )
+            .unwrap();
+        let net = elaborate(&m, owner).unwrap();
+        let stim = stimulus_from_streams(&[Stream::from_values([
+            Value::Float(1.0),
+            Value::Float(1.0),
+        ])]);
+        let trace = net.run(&stim).unwrap();
+        let ys: Vec<f64> = trace
+            .signal("y")
+            .unwrap()
+            .present_values()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .collect();
+        // Immediate switching: already at t0 the priority-0 transition to B
+        // wins over the priority-1 transition to C.
+        assert_eq!(ys, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn std_block_latches() {
+        let mut m = Model::new("t");
+        let mut fsm = StdMachine::new();
+        let off = fsm.add_state("Off");
+        let on = fsm.add_state("On");
+        fsm.add_transition(StdTransition {
+            from: off,
+            to: on,
+            guard: parse("set").unwrap(),
+            actions: vec![Assign {
+                target: "q".into(),
+                expr: parse("true").unwrap(),
+            }],
+            priority: 0,
+        });
+        fsm.add_transition(StdTransition {
+            from: on,
+            to: off,
+            guard: parse("rst").unwrap(),
+            actions: vec![Assign {
+                target: "q".into(),
+                expr: parse("false").unwrap(),
+            }],
+            priority: 0,
+        });
+        let owner = m
+            .add_component(
+                Component::new("Latch")
+                    .input("set", DataType::Bool)
+                    .input("rst", DataType::Bool)
+                    .output("q", DataType::Bool)
+                    .with_behavior(Behavior::Std(fsm)),
+            )
+            .unwrap();
+        let net = elaborate(&m, owner).unwrap();
+        let set = Stream::from_values([true, false, false, false]);
+        let rst = Stream::from_values([false, false, true, false]);
+        let stim = stimulus_from_streams(&[set, rst]);
+        let trace = net.run(&stim).unwrap();
+        let q = trace.signal("q").unwrap();
+        assert_eq!(q[0], Message::present(true)); // fired Off->On
+        assert!(q[1].is_absent()); // no transition enabled
+        assert_eq!(q[2], Message::present(false)); // fired On->Off
+        assert!(q[3].is_absent());
+    }
+
+    #[test]
+    fn std_vars_accumulate() {
+        let mut m = Model::new("t");
+        let mut fsm = StdMachine::new();
+        let s = fsm.add_state("S");
+        fsm.add_var("count", 0i64);
+        fsm.add_transition(StdTransition {
+            from: s,
+            to: s,
+            guard: parse("tick").unwrap(),
+            actions: vec![
+                Assign {
+                    target: "count".into(),
+                    expr: parse("count + 1").unwrap(),
+                },
+                Assign {
+                    target: "n".into(),
+                    expr: parse("count + 1").unwrap(),
+                },
+            ],
+            priority: 0,
+        });
+        let owner = m
+            .add_component(
+                Component::new("Counter")
+                    .input("tick", DataType::Bool)
+                    .output("n", DataType::Int)
+                    .with_behavior(Behavior::Std(fsm)),
+            )
+            .unwrap();
+        let net = elaborate(&m, owner).unwrap();
+        let stim = stimulus_from_streams(&[Stream::from_values([true, true, false, true])]);
+        let trace = net.run(&stim).unwrap();
+        let ns: Vec<i64> = trace
+            .signal("n")
+            .unwrap()
+            .present_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(ns, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn dfd_instantaneous_loop_rejected_at_prepare() {
+        let mut m = Model::new("t");
+        let f = leaf(&mut m, "F", "x + 1.0");
+        let g = leaf(&mut m, "G", "x * 2.0");
+        let mut net = Composite::new(CompositeKind::Dfd);
+        net.instantiate("f", f);
+        net.instantiate("g", g);
+        net.connect(Endpoint::child("f", "y"), Endpoint::child("g", "x"));
+        net.connect(Endpoint::child("g", "y"), Endpoint::child("f", "x"));
+        let top = m
+            .add_component(Component::new("Loop").with_behavior(Behavior::Composite(net)))
+            .unwrap();
+        let knet = elaborate(&m, top).unwrap();
+        assert!(matches!(
+            knet.prepare(),
+            Err(KernelError::Causality(_))
+        ));
+    }
+
+    #[test]
+    fn primitive_delay_elaborates() {
+        let mut m = Model::new("t");
+        let d = m
+            .add_component(
+                Component::new("D")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Primitive(Primitive::Delay {
+                        init: Some(Value::Float(-1.0)),
+                    })),
+            )
+            .unwrap();
+        let net = elaborate(&m, d).unwrap();
+        let stim = stimulus_from_streams(&[Stream::from_values([
+            Value::Float(1.0),
+            Value::Float(2.0),
+        ])]);
+        let trace = net.run(&stim).unwrap();
+        assert_eq!(
+            trace.signal("y").unwrap().present_values(),
+            vec![Value::Float(-1.0), Value::Float(1.0)]
+        );
+    }
+
+    #[test]
+    fn nested_composites_wire_through() {
+        let mut m = Model::new("t");
+        let l = leaf(&mut m, "Inc", "x + 1.0");
+        let mut inner = Composite::new(CompositeKind::Dfd);
+        inner.instantiate("i1", l);
+        inner.connect(Endpoint::boundary("in"), Endpoint::child("i1", "x"));
+        inner.connect(Endpoint::child("i1", "y"), Endpoint::boundary("out"));
+        let mid = m
+            .add_component(
+                Component::new("Mid")
+                    .input("in", DataType::Float)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Composite(inner)),
+            )
+            .unwrap();
+        let mut outer = Composite::new(CompositeKind::Dfd);
+        outer.instantiate("m1", mid);
+        outer.instantiate("m2", mid);
+        outer.connect(Endpoint::boundary("in"), Endpoint::child("m1", "in"));
+        outer.connect(Endpoint::child("m1", "out"), Endpoint::child("m2", "in"));
+        outer.connect(Endpoint::child("m2", "out"), Endpoint::boundary("out"));
+        let top = m
+            .add_component(
+                Component::new("Top")
+                    .input("in", DataType::Float)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Composite(outer)),
+            )
+            .unwrap();
+        let net = elaborate(&m, top).unwrap();
+        let stim = stimulus_from_streams(&[Stream::from_values([Value::Float(1.0)])]);
+        let trace = net.run(&stim).unwrap();
+        assert_eq!(
+            trace.signal("out").unwrap().present_values(),
+            vec![Value::Float(3.0)]
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Errors of the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use automode_core::CoreError;
+use automode_kernel::KernelError;
+use automode_lang::LangError;
+
+/// Errors raised while elaborating or simulating a model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A meta-model error surfaced during elaboration.
+    Core(CoreError),
+    /// A kernel error (causality, execution, wiring).
+    Kernel(KernelError),
+    /// A base-language error in a behaviour expression.
+    Lang(LangError),
+    /// The stimulus did not cover a declared input.
+    MissingInput(String),
+    /// Elaboration hit an unsupported construct.
+    Unsupported(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Core(e) => write!(f, "{e}"),
+            SimError::Kernel(e) => write!(f, "{e}"),
+            SimError::Lang(e) => write!(f, "{e}"),
+            SimError::MissingInput(n) => write!(f, "stimulus does not drive input `{n}`"),
+            SimError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            SimError::Kernel(e) => Some(e),
+            SimError::Lang(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<KernelError> for SimError {
+    fn from(e: KernelError) -> Self {
+        SimError::Kernel(e)
+    }
+}
+
+impl From<LangError> for SimError {
+    fn from(e: LangError) -> Self {
+        SimError::Lang(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SimError = KernelError::Overflow("x").into();
+        assert!(e.to_string().contains("overflow"));
+        assert!(Error::source(&e).is_some());
+        let e: SimError = CoreError::DuplicateName("a".into()).into();
+        assert!(e.to_string().contains("duplicate"));
+        let e: SimError = LangError::Unbound("q".into()).into();
+        assert!(e.to_string().contains("unbound"));
+    }
+}

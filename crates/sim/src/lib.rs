@@ -1,0 +1,43 @@
+//! # automode-sim
+//!
+//! The AutoMoDe **simulator**: elaborates meta-models from `automode-core`
+//! onto the executable kernel of `automode-kernel` and runs them against
+//! stimuli, producing traces.
+//!
+//! The paper uses simulation in two roles, both covered here:
+//!
+//! * **FAA validation** — "the validation of functional concepts based on
+//!   prototypical behavioral descriptions ... The simulation additionally
+//!   considers the prototypical behavioral descriptions" (Sec. 3.1);
+//! * **Transformation validation** — refactorings and refinements must be
+//!   semantics-preserving; we check this as trace equivalence between the
+//!   model before and after a transformation (e.g. the MTD-to-dataflow
+//!   algorithm of Sec. 3.3 "transforms an MTD into a semantically
+//!   equivalent, partitionable data-flow model").
+//!
+//! Elaboration rules (see [`elaborate`](mod@elaborate)):
+//!
+//! * DFD channels are wired directly (instantaneous);
+//! * every SSD channel gets a [`UnitDelay`](automode_kernel::ops::UnitDelay)
+//!   — "each SSD-level channel introduces a message delay" (Sec. 3.1);
+//! * MTDs become mode-interpreter blocks holding one sub-network per mode;
+//!   transitions are evaluated on the current inputs first (immediate
+//!   switching, matching If-Then-Else branch selection), then only the
+//!   active mode's network steps — inactive modes stay frozen;
+//! * STDs become state-machine interpreter blocks;
+//! * unspecified behaviours (legal at FAA) elaborate to all-absent stubs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccd_sim;
+pub mod elaborate;
+pub mod error;
+pub mod simulate;
+pub mod stimulus;
+
+pub use ccd_sim::elaborate_ccd;
+pub use elaborate::elaborate;
+pub use error::SimError;
+pub use simulate::{simulate, simulate_component, SimRun};
+pub use stimulus::{constant, drive_cycle, ramp, seeded_random, step, InputSpec};

@@ -1,0 +1,239 @@
+//! Stimulus generators for model simulation.
+//!
+//! FAA-level validation simulates "prototypical behavioral descriptions"
+//! against representative inputs. The generators here produce the input
+//! [`Stream`]s used by the examples, tests, and benches — including the
+//! synthetic drive cycles that exercise the engine case study.
+
+use automode_kernel::{Clock, Message, Stream, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named input stream.
+pub type InputSpec = (String, Stream);
+
+/// A constant present value for `len` ticks.
+pub fn constant(v: impl Into<Value>, len: usize) -> Stream {
+    let v = v.into();
+    (0..len).map(|_| Message::Present(v.clone())).collect()
+}
+
+/// A float ramp `from` → `to` over `len` ticks.
+pub fn ramp(from: f64, to: f64, len: usize) -> Stream {
+    (0..len)
+        .map(|t| {
+            let frac = if len <= 1 { 0.0 } else { t as f64 / (len - 1) as f64 };
+            Message::present(Value::Float(from + (to - from) * frac))
+        })
+        .collect()
+}
+
+/// A step: `before` until tick `at`, then `after`.
+pub fn step(before: impl Into<Value>, after: impl Into<Value>, at: usize, len: usize) -> Stream {
+    let (b, a) = (before.into(), after.into());
+    (0..len)
+        .map(|t| Message::Present(if t < at { b.clone() } else { a.clone() }))
+        .collect()
+}
+
+/// Uniform random floats in `[lo, hi]` from a seeded RNG (reproducible).
+pub fn seeded_random(lo: f64, hi: f64, len: usize, seed: u64) -> Stream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| Message::present(Value::Float(rng.gen_range(lo..=hi))))
+        .collect()
+}
+
+/// Random booleans with probability `p` of `true`.
+pub fn seeded_random_bool(p: f64, len: usize, seed: u64) -> Stream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| Message::present(Value::Bool(rng.gen_bool(p))))
+        .collect()
+}
+
+/// A sporadic (event-triggered) stream: present with probability `p`,
+/// carrying consecutive integers.
+pub fn sporadic(p: f64, len: usize, seed: u64) -> Stream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut n = 0i64;
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(p) {
+                n += 1;
+                Message::present(Value::Int(n))
+            } else {
+                Message::Absent
+            }
+        })
+        .collect()
+}
+
+/// A stream present only on `clock`, carrying values from `f`.
+pub fn clocked(clock: &Clock, len: usize, f: impl FnMut(u64) -> Value) -> Stream {
+    Stream::on_clock(clock, len, f)
+}
+
+/// One phase of a drive cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrivePhase {
+    /// Duration in ticks.
+    pub ticks: usize,
+    /// Engine speed at the end of the phase (linearly interpolated).
+    pub rpm: f64,
+    /// Throttle position at the end of the phase (0..1).
+    pub throttle: f64,
+}
+
+/// A synthetic drive cycle: returns `(rpm, throttle)` streams through the
+/// listed phases, starting from `(0, 0)`. Used by the engine case study:
+/// key-on, cranking, idle, acceleration, cruise, overrun, stop.
+pub fn drive_cycle(phases: &[DrivePhase]) -> (Stream, Stream) {
+    let mut rpm = Stream::new();
+    let mut throttle = Stream::new();
+    let (mut cur_rpm, mut cur_thr) = (0.0f64, 0.0f64);
+    for phase in phases {
+        for t in 0..phase.ticks {
+            let frac = (t + 1) as f64 / phase.ticks as f64;
+            let r = cur_rpm + (phase.rpm - cur_rpm) * frac;
+            let th = cur_thr + (phase.throttle - cur_thr) * frac;
+            rpm.push(Message::present(Value::Float(r)));
+            throttle.push(Message::present(Value::Float(th)));
+        }
+        cur_rpm = phase.rpm;
+        cur_thr = phase.throttle;
+    }
+    (rpm, throttle)
+}
+
+/// The standard test cycle used across the engine experiments: start,
+/// cranking, idle, part load, full load, overrun, back to idle, stop.
+pub fn standard_engine_cycle() -> (Stream, Stream) {
+    drive_cycle(&[
+        DrivePhase {
+            ticks: 10,
+            rpm: 250.0,
+            throttle: 0.0,
+        }, // cranking
+        DrivePhase {
+            ticks: 20,
+            rpm: 800.0,
+            throttle: 0.05,
+        }, // idle
+        DrivePhase {
+            ticks: 30,
+            rpm: 3000.0,
+            throttle: 0.5,
+        }, // part load
+        DrivePhase {
+            ticks: 20,
+            rpm: 5500.0,
+            throttle: 0.95,
+        }, // full load
+        DrivePhase {
+            ticks: 20,
+            rpm: 2000.0,
+            throttle: 0.0,
+        }, // overrun
+        DrivePhase {
+            ticks: 20,
+            rpm: 800.0,
+            throttle: 0.05,
+        }, // idle
+        DrivePhase {
+            ticks: 10,
+            rpm: 0.0,
+            throttle: 0.0,
+        }, // stop
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_and_step() {
+        let c = constant(5i64, 3);
+        assert_eq!(c.present_values(), vec![Value::Int(5); 3]);
+        let s = step(false, true, 2, 4);
+        assert_eq!(
+            s.present_values(),
+            vec![
+                Value::Bool(false),
+                Value::Bool(false),
+                Value::Bool(true),
+                Value::Bool(true)
+            ]
+        );
+    }
+
+    #[test]
+    fn ramp_endpoints() {
+        let r = ramp(0.0, 10.0, 11);
+        assert_eq!(r[0], Message::present(Value::Float(0.0)));
+        assert_eq!(r[10], Message::present(Value::Float(10.0)));
+        let single = ramp(3.0, 9.0, 1);
+        assert_eq!(single[0], Message::present(Value::Float(3.0)));
+    }
+
+    #[test]
+    fn seeded_random_is_reproducible_and_bounded() {
+        let a = seeded_random(-1.0, 1.0, 100, 7);
+        let b = seeded_random(-1.0, 1.0, 100, 7);
+        assert_eq!(a, b);
+        let c = seeded_random(-1.0, 1.0, 100, 8);
+        assert_ne!(a, c);
+        for m in &a {
+            let x = m.value().unwrap().as_float().unwrap();
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sporadic_has_absences_and_ordered_values() {
+        let s = sporadic(0.3, 200, 9);
+        assert!(s.present_count() > 0);
+        assert!(s.present_count() < 200);
+        let vals: Vec<i64> = s
+            .present_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        for w in vals.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn drive_cycle_interpolates() {
+        let (rpm, thr) = drive_cycle(&[DrivePhase {
+            ticks: 4,
+            rpm: 400.0,
+            throttle: 1.0,
+        }]);
+        assert_eq!(rpm.len(), 4);
+        assert_eq!(rpm[3], Message::present(Value::Float(400.0)));
+        assert_eq!(thr[0], Message::present(Value::Float(0.25)));
+    }
+
+    #[test]
+    fn standard_cycle_covers_all_phases() {
+        let (rpm, thr) = standard_engine_cycle();
+        assert_eq!(rpm.len(), 130);
+        assert_eq!(thr.len(), 130);
+        let max_rpm = rpm
+            .present_values()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .fold(0.0f64, f64::max);
+        assert!(max_rpm >= 5000.0);
+    }
+
+    #[test]
+    fn clocked_respects_clock() {
+        let s = clocked(&Clock::every(3, 0), 9, |t| Value::Int(t as i64));
+        assert_eq!(s.present_count(), 3);
+        assert!(s.conforms_to_clock(&Clock::every(3, 0)));
+    }
+}

@@ -1,0 +1,480 @@
+//! Deployment: mapping CCDs to ECUs and tasks, and generating the OA.
+//!
+//! "The LA/TA abstraction level ... provides all means necessary to
+//! defining the deployment of SW components to the target platform. ...
+//! several clusters may be mapped to a given operating system task, but a
+//! given cluster will not be split across several tasks" (paper, Sec. 3.3).
+//! "All signals between clusters deployed to different ECUs will be mapped
+//! to a communication network, e.g. CAN ... the AutoMoDe tool prototype
+//! will generate ASCET-SD projects for each ECU" (Sec. 3.4).
+//!
+//! [`deploy`] performs exactly this chain:
+//!
+//! 1. check the CCD's well-definedness for the chosen target policy;
+//! 2. assign clusters to ECUs (explicitly or first-fit by utilisation);
+//! 3. group same-ECU clusters by period into rate-monotonic tasks — a
+//!    cluster is never split;
+//! 4. derive the communication matrix for inter-ECU signals and a CAN bus
+//!    configuration from it;
+//! 5. lower each cluster to an ASCET module and emit one project per ECU.
+
+use std::collections::BTreeMap;
+
+use automode_ascet::model::AscetModel;
+use automode_ascet::{generate_project, Project};
+use automode_core::ccd::{Ccd, TargetPolicy};
+use automode_core::model::Model;
+use automode_platform::comm_matrix::{CommMatrix, FrameDef, SignalDef};
+use automode_platform::ta::{Ecu, Runnable, Task, TechnicalArchitecture};
+
+use crate::error::TransformError;
+use crate::lower::cluster_to_module;
+
+/// Parameters of a deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentSpec {
+    /// Available ECUs, in priority order for first-fit assignment.
+    pub ecus: Vec<String>,
+    /// Worst-case execution time per cluster step, in microseconds.
+    pub cluster_wcet_us: BTreeMap<String, u64>,
+    /// Explicit cluster→ECU assignments; unassigned clusters are placed
+    /// first-fit by utilisation.
+    pub pinned: BTreeMap<String, String>,
+    /// Real-time duration of one base tick in microseconds (a cluster with
+    /// period `p` ticks runs every `p * tick_us` µs).
+    pub tick_us: u64,
+    /// CAN bitrate for the generated bus.
+    pub bitrate: u64,
+}
+
+impl DeploymentSpec {
+    /// A spec with 1 ms ticks, 500 kbit/s CAN, and a default 100 µs WCET
+    /// for every cluster.
+    pub fn new(ecus: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        DeploymentSpec {
+            ecus: ecus.into_iter().map(Into::into).collect(),
+            cluster_wcet_us: BTreeMap::new(),
+            pinned: BTreeMap::new(),
+            tick_us: 1_000,
+            bitrate: 500_000,
+        }
+    }
+
+    /// Sets a cluster's WCET (builder style).
+    pub fn wcet(mut self, cluster: impl Into<String>, wcet_us: u64) -> Self {
+        self.cluster_wcet_us.insert(cluster.into(), wcet_us);
+        self
+    }
+
+    /// Pins a cluster to an ECU (builder style).
+    pub fn pin(mut self, cluster: impl Into<String>, ecu: impl Into<String>) -> Self {
+        self.pinned.insert(cluster.into(), ecu.into());
+        self
+    }
+
+    fn wcet_of(&self, cluster: &str) -> u64 {
+        self.cluster_wcet_us.get(cluster).copied().unwrap_or(100)
+    }
+}
+
+/// The result of a deployment.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The populated technical architecture (ECUs, tasks, bus).
+    pub ta: TechnicalArchitecture,
+    /// cluster → (ecu, task).
+    pub assignments: BTreeMap<String, (String, String)>,
+    /// The generated communication matrix for inter-ECU signals.
+    pub comm_matrix: CommMatrix,
+    /// One generated ASCET project per ECU that received clusters.
+    pub projects: Vec<Project>,
+}
+
+impl Deployment {
+    /// `true` if no cluster is split across tasks (always holds by
+    /// construction; exposed for the test suite and benches).
+    pub fn clusters_unsplit(&self) -> bool {
+        // Each cluster appears exactly once in the assignment map and each
+        // task lists it at most once.
+        let mut seen = BTreeMap::new();
+        for ecu in &self.ta.ecus {
+            for task in &ecu.tasks {
+                for r in &task.runnables {
+                    *seen.entry(r.name.clone()).or_insert(0usize) += 1;
+                }
+            }
+        }
+        seen.values().all(|&n| n == 1)
+    }
+}
+
+/// Deploys a validated CCD onto the target platform and generates the OA.
+///
+/// # Errors
+///
+/// Fails if the CCD violates the target policy, an ECU reference is
+/// unknown, a cluster cannot be lowered, or the generated bus is invalid.
+pub fn deploy(
+    model: &Model,
+    ccd: &Ccd,
+    policy: &dyn TargetPolicy,
+    spec: &DeploymentSpec,
+) -> Result<Deployment, TransformError> {
+    if spec.ecus.is_empty() {
+        return Err(TransformError::Precondition("no ECUs available".into()));
+    }
+    ccd.validate_against(model, policy)?;
+
+    // --- Cluster -> ECU assignment -------------------------------------
+    let mut load: BTreeMap<&str, f64> = spec.ecus.iter().map(|e| (e.as_str(), 0.0)).collect();
+    let mut ecu_of: BTreeMap<String, String> = BTreeMap::new();
+    for cluster in &ccd.clusters {
+        let util = spec.wcet_of(&cluster.name) as f64
+            / (cluster.period as u64 * spec.tick_us) as f64;
+        let ecu = match spec.pinned.get(&cluster.name) {
+            Some(e) => {
+                if !spec.ecus.contains(e) {
+                    return Err(TransformError::Precondition(format!(
+                        "cluster `{}` pinned to unknown ecu `{e}`",
+                        cluster.name
+                    )));
+                }
+                e.clone()
+            }
+            None => {
+                // First fit: the first ECU whose load stays under 0.7.
+                spec.ecus
+                    .iter()
+                    .find(|e| load[e.as_str()] + util <= 0.7)
+                    .or_else(|| {
+                        // Fall back to the least-loaded ECU.
+                        spec.ecus.iter().min_by(|a, b| {
+                            load[a.as_str()]
+                                .partial_cmp(&load[b.as_str()])
+                                .expect("finite")
+                        })
+                    })
+                    .expect("ecus nonempty")
+                    .clone()
+            }
+        };
+        *load.get_mut(ecu.as_str()).expect("known") += util;
+        ecu_of.insert(cluster.name.clone(), ecu);
+    }
+
+    // --- Task formation: one task per (ecu, period) ---------------------
+    // Rate-monotonic priorities per ECU.
+    let mut ta = TechnicalArchitecture::new();
+    let mut assignments = BTreeMap::new();
+    for ecu_name in &spec.ecus {
+        let mut periods: Vec<u32> = ccd
+            .clusters
+            .iter()
+            .filter(|c| ecu_of[&c.name] == *ecu_name)
+            .map(|c| c.period)
+            .collect();
+        periods.sort_unstable();
+        periods.dedup();
+        let mut ecu = Ecu::new(ecu_name.clone());
+        for (prio, period) in periods.iter().enumerate() {
+            let task_name = format!("t_{period}tick");
+            let mut task = Task::new(
+                task_name.clone(),
+                prio as u32,
+                *period as u64 * spec.tick_us,
+            );
+            for cluster in ccd
+                .clusters
+                .iter()
+                .filter(|c| ecu_of[&c.name] == *ecu_name && c.period == *period)
+            {
+                task = task.runnable(Runnable::new(
+                    cluster.name.clone(),
+                    spec.wcet_of(&cluster.name),
+                ));
+                assignments.insert(
+                    cluster.name.clone(),
+                    (ecu_name.clone(), task_name.clone()),
+                );
+            }
+            ecu = ecu.with_task(task)?;
+        }
+        if !ecu.tasks.is_empty() {
+            ta = ta.with_ecu(ecu)?;
+        }
+    }
+
+    // --- Communication matrix for inter-ECU channels ---------------------
+    let mut matrix = CommMatrix::new();
+    let mut frames_created: BTreeMap<(String, u32), String> = BTreeMap::new();
+    let mut next_id = 0x100u32;
+    for ch in &ccd.channels {
+        let from_ecu = ecu_of[&ch.from_cluster].clone();
+        let to_ecu = ecu_of[&ch.to_cluster].clone();
+        if from_ecu == to_ecu {
+            continue;
+        }
+        let from_cluster = ccd.find_cluster(&ch.from_cluster).expect("validated");
+        let key = (from_ecu.clone(), from_cluster.period);
+        if !frames_created.contains_key(&key) {
+            let frame_name = format!("f_{}_{}tick", from_ecu, from_cluster.period);
+            matrix = matrix.frame(FrameDef {
+                name: frame_name.clone(),
+                can_id: next_id,
+                sender: from_ecu.clone(),
+                period_ms: (from_cluster.period as u64 * spec.tick_us / 1_000).max(1) as u32,
+            })?;
+            next_id += 1;
+            frames_created.insert(key.clone(), frame_name);
+        }
+        let signal = format!("{}_{}", ch.from_cluster, ch.from_port);
+        let bits = model
+            .component(from_cluster.component)
+            .find_port(&ch.from_port)
+            .and_then(|p| p.refinement.as_ref())
+            .map(|r| r.impl_type.bits())
+            .unwrap_or(8);
+        // A signal may feed several receivers; extend rather than duplicate.
+        if let Some(existing) = matrix.signals.iter_mut().find(|s| s.name == signal) {
+            if !existing.receivers.contains(&to_ecu) {
+                existing.receivers.push(to_ecu.clone());
+            }
+        } else {
+            matrix = matrix.signal(SignalDef {
+                name: signal,
+                frame: frames_created[&key].clone(),
+                length_bits: bits,
+                receivers: vec![to_ecu.clone()],
+            })?;
+        }
+    }
+    if !matrix.frames.is_empty() {
+        ta = ta.with_bus(matrix.to_bus("deployment_can", spec.bitrate)?)?;
+    }
+
+    // --- Per-ECU ASCET projects ------------------------------------------
+    let mut projects = Vec::new();
+    for ecu_name in &spec.ecus {
+        let clusters: Vec<_> = ccd
+            .clusters
+            .iter()
+            .filter(|c| ecu_of[&c.name] == *ecu_name)
+            .collect();
+        if clusters.is_empty() {
+            continue;
+        }
+        let mut ascet = AscetModel::new(format!("{}_{}", model.name(), ecu_name));
+        for cluster in &clusters {
+            ascet = ascet.module(cluster_to_module(model, cluster)?);
+        }
+        // Bus bindings: tx for signals this ECU sends, rx for receives.
+        let mut bindings = Vec::new();
+        for s in &matrix.signals {
+            if matrix.sender_of(&s.name) == Some(ecu_name.as_str()) {
+                bindings.push((s.name.clone(), "tx"));
+            } else if s.receivers.contains(ecu_name) {
+                bindings.push((s.name.clone(), "rx"));
+            }
+        }
+        let mut project = generate_project(ecu_name, &ascet, &bindings)?;
+        // Intra-ECU message bindings: CCD channels whose both ends landed
+        // on this ECU connect a Send message of one module to a Receive
+        // message of another (ASCET project-level binding).
+        let mut local_bindings = String::new();
+        for ch in &ccd.channels {
+            if ecu_of[&ch.from_cluster] == *ecu_name && ecu_of[&ch.to_cluster] == *ecu_name {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    local_bindings,
+                    "bind {}.{} -> {}.{} delays {}",
+                    ch.from_cluster, ch.from_port, ch.to_cluster, ch.to_port, ch.delays
+                );
+            }
+        }
+        if !local_bindings.is_empty() {
+            project
+                .files
+                .push((format!("{ecu_name}/bindings.amdesc"), local_bindings));
+        }
+        projects.push(project);
+    }
+
+    Ok(Deployment {
+        ta,
+        assignments,
+        comm_matrix: matrix,
+        projects,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::ccd::{CcdChannel, Cluster, FixedPriorityDataIntegrityPolicy};
+    use automode_core::model::{Behavior, Component};
+    use automode_core::types::DataType;
+    use automode_lang::parse;
+
+    fn two_cluster_setup() -> (Model, Ccd) {
+        let mut m = Model::new("engine");
+        let fuel = m
+            .add_component(
+                Component::new("FuelCtrl")
+                    .input("rpm", DataType::Float)
+                    .output("inj", DataType::Float)
+                    .with_behavior(Behavior::expr("inj", parse("rpm * 0.001").unwrap())),
+            )
+            .unwrap();
+        let diag = m
+            .add_component(
+                Component::new("Diag")
+                    .input("inj", DataType::Float)
+                    .output("warn", DataType::Bool)
+                    .with_behavior(Behavior::expr("warn", parse("inj > 5.0").unwrap())),
+            )
+            .unwrap();
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("fuel", fuel, 10))
+            .cluster(Cluster::new("diag", diag, 100))
+            .channel(CcdChannel::direct("fuel", "inj", "diag", "inj"));
+        (m, ccd)
+    }
+
+    #[test]
+    fn single_ecu_deployment() {
+        let (m, ccd) = two_cluster_setup();
+        let spec = DeploymentSpec::new(["engine_ecu"]);
+        let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+        assert!(d.clusters_unsplit());
+        assert_eq!(d.assignments["fuel"].0, "engine_ecu");
+        assert_eq!(d.assignments["diag"].0, "engine_ecu");
+        // Different periods -> different tasks; rate-monotonic priorities.
+        let ecu = d.ta.ecu("engine_ecu").unwrap();
+        assert_eq!(ecu.tasks.len(), 2);
+        let fast = ecu.task("t_10tick").unwrap();
+        let slow = ecu.task("t_100tick").unwrap();
+        assert!(fast.priority < slow.priority);
+        // Same ECU: no comm matrix entries, one project.
+        assert!(d.comm_matrix.frames.is_empty());
+        assert_eq!(d.projects.len(), 1);
+    }
+
+    #[test]
+    fn pinned_two_ecu_deployment_generates_bus() {
+        let (m, ccd) = two_cluster_setup();
+        let spec = DeploymentSpec::new(["engine_ecu", "body_ecu"])
+            .pin("fuel", "engine_ecu")
+            .pin("diag", "body_ecu");
+        let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+        assert_eq!(d.assignments["diag"].0, "body_ecu");
+        // The fuel->diag signal crosses ECUs: a frame and a signal exist.
+        assert_eq!(d.comm_matrix.frames.len(), 1);
+        assert_eq!(d.comm_matrix.signals.len(), 1);
+        assert_eq!(d.comm_matrix.sender_of("fuel_inj"), Some("engine_ecu"));
+        assert_eq!(d.ta.buses.len(), 1);
+        assert_eq!(d.projects.len(), 2);
+        // The sender project carries a tx com component.
+        let engine_project = d.projects.iter().find(|p| p.ecu == "engine_ecu").unwrap();
+        let com = engine_project.file("engine_ecu/com.c").unwrap();
+        assert!(com.contains("com_tx_fuel_inj"));
+        let body_project = d.projects.iter().find(|p| p.ecu == "body_ecu").unwrap();
+        assert!(body_project
+            .file("body_ecu/com.c")
+            .unwrap()
+            .contains("com_rx_fuel_inj"));
+    }
+
+    #[test]
+    fn policy_violation_blocks_deployment() {
+        let (m, _) = two_cluster_setup();
+        let fuel = m.find("FuelCtrl").unwrap();
+        let diag = m.find("Diag").unwrap();
+        // Slow->fast without delay: ill-defined for the OSEK target.
+        let bad = Ccd::new()
+            .cluster(Cluster::new("fuel", fuel, 10))
+            .cluster(Cluster::new("diag", diag, 100))
+            .channel(CcdChannel::direct("diag", "warn", "fuel", "rpm"));
+        let spec = DeploymentSpec::new(["e"]);
+        assert!(matches!(
+            deploy(&m, &bad, &FixedPriorityDataIntegrityPolicy::new(), &spec),
+            Err(TransformError::Core(_))
+        ));
+    }
+
+    #[test]
+    fn first_fit_balances_by_utilization() {
+        let mut m = Model::new("t");
+        let mut ccd = Ccd::new();
+        for i in 0..4 {
+            let c = m
+                .add_component(
+                    Component::new(format!("C{i}"))
+                        .input("x", DataType::Float)
+                        .output("y", DataType::Float)
+                        .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+                )
+                .unwrap();
+            ccd = ccd.cluster(Cluster::new(format!("c{i}"), c, 10));
+        }
+        // Each cluster uses 60% of an ECU: they cannot share.
+        let mut spec = DeploymentSpec::new(["e0", "e1", "e2", "e3"]);
+        for i in 0..4 {
+            spec = spec.wcet(format!("c{i}"), 6_000);
+        }
+        let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+        let ecus: std::collections::BTreeSet<&str> = d
+            .assignments
+            .values()
+            .map(|(e, _)| e.as_str())
+            .collect();
+        assert_eq!(ecus.len(), 4, "each heavy cluster gets its own ECU");
+    }
+
+    #[test]
+    fn unknown_pin_and_empty_ecus_rejected() {
+        let (m, ccd) = two_cluster_setup();
+        let spec = DeploymentSpec::new(Vec::<String>::new());
+        assert!(matches!(
+            deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec),
+            Err(TransformError::Precondition(_))
+        ));
+        let spec = DeploymentSpec::new(["e"]).pin("fuel", "ghost");
+        assert!(matches!(
+            deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec),
+            Err(TransformError::Precondition(_))
+        ));
+    }
+
+    #[test]
+    fn fan_out_signal_lists_all_receivers() {
+        let mut m = Model::new("t");
+        let src = m
+            .add_component(
+                Component::new("Src")
+                    .output("v", DataType::Float)
+                    .with_behavior(Behavior::expr("v", parse("1.0").unwrap())),
+            )
+            .unwrap();
+        let sink = m
+            .add_component(
+                Component::new("Sink")
+                    .input("v", DataType::Float)
+                    .output("o", DataType::Float)
+                    .with_behavior(Behavior::expr("o", parse("v").unwrap())),
+            )
+            .unwrap();
+        let ccd = Ccd::new()
+            .cluster(Cluster::new("src", src, 10))
+            .cluster(Cluster::new("s1", sink, 10))
+            .cluster(Cluster::new("s2", sink, 10))
+            .channel(CcdChannel::direct("src", "v", "s1", "v"))
+            .channel(CcdChannel::direct("src", "v", "s2", "v"));
+        let spec = DeploymentSpec::new(["e0", "e1", "e2"])
+            .pin("src", "e0")
+            .pin("s1", "e1")
+            .pin("s2", "e2");
+        let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+        assert_eq!(d.comm_matrix.signals.len(), 1);
+        assert_eq!(d.comm_matrix.signals[0].receivers.len(), 2);
+    }
+}

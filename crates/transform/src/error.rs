@@ -1,0 +1,90 @@
+//! Errors of the transformation framework.
+
+use std::error::Error;
+use std::fmt;
+
+use automode_ascet::AscetError;
+use automode_core::CoreError;
+use automode_platform::PlatformError;
+use automode_sim::SimError;
+
+/// Errors raised by transformation steps.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TransformError {
+    /// A meta-model error.
+    Core(CoreError),
+    /// An ASCET substrate error.
+    Ascet(AscetError),
+    /// A platform substrate error.
+    Platform(PlatformError),
+    /// A simulation error (from transformation validation).
+    Sim(SimError),
+    /// The input model does not satisfy the step's precondition.
+    Precondition(String),
+    /// The step's restriction on supported constructs was hit.
+    Unsupported(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::Core(e) => write!(f, "{e}"),
+            TransformError::Ascet(e) => write!(f, "{e}"),
+            TransformError::Platform(e) => write!(f, "{e}"),
+            TransformError::Sim(e) => write!(f, "{e}"),
+            TransformError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+            TransformError::Unsupported(msg) => write!(f, "unsupported construct: {msg}"),
+        }
+    }
+}
+
+impl Error for TransformError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TransformError::Core(e) => Some(e),
+            TransformError::Ascet(e) => Some(e),
+            TransformError::Platform(e) => Some(e),
+            TransformError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for TransformError {
+    fn from(e: CoreError) -> Self {
+        TransformError::Core(e)
+    }
+}
+
+impl From<AscetError> for TransformError {
+    fn from(e: AscetError) -> Self {
+        TransformError::Ascet(e)
+    }
+}
+
+impl From<PlatformError> for TransformError {
+    fn from(e: PlatformError) -> Self {
+        TransformError::Platform(e)
+    }
+}
+
+impl From<SimError> for TransformError {
+    fn from(e: SimError) -> Self {
+        TransformError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: TransformError = CoreError::DuplicateName("x".into()).into();
+        assert!(e.to_string().contains("duplicate"));
+        assert!(Error::source(&e).is_some());
+        let e = TransformError::Precondition("needs an MTD".into());
+        assert!(e.to_string().contains("precondition"));
+    }
+}

@@ -1,0 +1,430 @@
+//! Global mode systems from flag components.
+//!
+//! The case study's central pathology: "a centralized software component
+//! emits a large number of flags which altogether represent the global
+//! state of the engine. Due to the high complexity of this central
+//! component, it is unclear which disjunctive states or modes exist at all"
+//! (Sec. 5). And the remedy: "the different modes in MTDs can be used in
+//! order to determine a global mode transition system which is then correct
+//! by construction."
+//!
+//! Two tools implement that remedy:
+//!
+//! * [`flag_overlap_report`] quantifies the pathology: it samples the flag
+//!   component's inputs and reports which flag pairs can be active
+//!   simultaneously (not disjunctive states at all) and which flags are
+//!   never active (dead modes).
+//! * [`mtd_from_flag_component`] builds the explicit global MTD: one mode
+//!   per flag plus a default mode; the flag-defining expressions become
+//!   transition triggers, and the MTD's priority-ordered, single-active-
+//!   mode semantics makes the result deterministic *by construction* even
+//!   where the flags overlap.
+
+use std::collections::BTreeMap;
+
+use automode_core::model::{Behavior, Component, ComponentId, Model};
+use automode_core::Mtd;
+use automode_kernel::ops::{BinOp, UnOp};
+use automode_kernel::{Message, Value};
+use automode_lang::{Env, Expr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::TransformError;
+
+/// The result of sampling a flag component for mode disjointness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlagOverlapReport {
+    /// Samples drawn.
+    pub samples: usize,
+    /// `(flag_a, flag_b, count)` for every pair observed simultaneously
+    /// true at least once.
+    pub overlaps: Vec<(String, String, usize)>,
+    /// Flags never observed true — candidate dead modes.
+    pub never_active: Vec<String>,
+    /// Samples on which *no* flag was true (the implicit default mode).
+    pub uncovered: usize,
+}
+
+impl FlagOverlapReport {
+    /// `true` if the flags form disjunctive states on the sampled space.
+    pub fn is_disjoint(&self) -> bool {
+        self.overlaps.is_empty()
+    }
+}
+
+fn flag_exprs(model: &Model, flags: ComponentId) -> Result<Vec<(String, Expr)>, TransformError> {
+    let comp = model.component(flags);
+    let defs = match &comp.behavior {
+        Behavior::Expr(defs) => defs,
+        _ => {
+            return Err(TransformError::Precondition(format!(
+                "flag component `{}` must be an expression component",
+                comp.name
+            )))
+        }
+    };
+    let mut out = Vec::new();
+    for p in comp.outputs() {
+        if p.ty != automode_core::types::DataType::Bool {
+            continue;
+        }
+        let expr = defs.get(&p.name).ok_or_else(|| {
+            TransformError::Precondition(format!("flag `{}` has no definition", p.name))
+        })?;
+        out.push((p.name.clone(), expr.clone()));
+    }
+    if out.is_empty() {
+        return Err(TransformError::Precondition(format!(
+            "component `{}` emits no Boolean flags",
+            comp.name
+        )));
+    }
+    Ok(out)
+}
+
+/// Samples the flag component's input space and reports overlaps and dead
+/// flags. `ranges` gives the sampling interval per float input; Boolean
+/// inputs are sampled uniformly.
+///
+/// # Errors
+///
+/// Fails if the component is not an expression component, or an input has
+/// no range, or a flag expression fails to evaluate.
+pub fn flag_overlap_report(
+    model: &Model,
+    flags: ComponentId,
+    ranges: &BTreeMap<String, (f64, f64)>,
+    samples: usize,
+    seed: u64,
+) -> Result<FlagOverlapReport, TransformError> {
+    let comp = model.component(flags);
+    let exprs = flag_exprs(model, flags)?;
+    let inputs: Vec<_> = comp.inputs().cloned().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut overlap_counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut active_counts: BTreeMap<&str, usize> = exprs.iter().map(|(n, _)| (n.as_str(), 0)).collect();
+    let mut uncovered = 0usize;
+
+    for _ in 0..samples {
+        let mut env = Env::new();
+        for p in &inputs {
+            let v = match p.ty.lang_type() {
+                automode_lang::Type::Bool => Value::Bool(rng.gen_bool(0.5)),
+                _ => {
+                    let (lo, hi) = ranges.get(&p.name).copied().ok_or_else(|| {
+                        TransformError::Precondition(format!(
+                            "no sampling range for input `{}`",
+                            p.name
+                        ))
+                    })?;
+                    Value::Float(rng.gen_range(lo..=hi))
+                }
+            };
+            env.bind(p.name.clone(), Message::Present(v));
+        }
+        let mut active = Vec::new();
+        for (name, expr) in &exprs {
+            let v = expr
+                .eval(&env)
+                .map_err(|e| TransformError::Precondition(e.to_string()))?;
+            if v.value().and_then(Value::as_bool) == Some(true) {
+                active.push(name.clone());
+                *active_counts.get_mut(name.as_str()).expect("known") += 1;
+            }
+        }
+        if active.is_empty() {
+            uncovered += 1;
+        }
+        for i in 0..active.len() {
+            for j in i + 1..active.len() {
+                *overlap_counts
+                    .entry((active[i].clone(), active[j].clone()))
+                    .or_default() += 1;
+            }
+        }
+    }
+    Ok(FlagOverlapReport {
+        samples,
+        overlaps: overlap_counts
+            .into_iter()
+            .map(|((a, b), c)| (a, b, c))
+            .collect(),
+        never_active: active_counts
+            .iter()
+            .filter(|(_, &c)| c == 0)
+            .map(|(n, _)| n.to_string())
+            .collect(),
+        uncovered,
+    })
+}
+
+/// Builds the explicit global MTD from a flag component.
+///
+/// One mode per entry of `mode_behaviors` (`flag name → behaviour
+/// component`), plus a default mode active when no flag holds. Triggers are
+/// the flag-defining expressions; priorities follow the order of
+/// `mode_behaviors`, so overlapping flags are disambiguated
+/// deterministically — the "correct by construction" property.
+///
+/// All behaviour components (and the default) must share one interface;
+/// the flag component's inputs must be a subset of it.
+///
+/// # Errors
+///
+/// Propagates precondition and meta-model errors.
+pub fn mtd_from_flag_component(
+    model: &mut Model,
+    flags: ComponentId,
+    mode_behaviors: &[(String, ComponentId)],
+    default_mode: (&str, ComponentId),
+    owner_name: &str,
+) -> Result<ComponentId, TransformError> {
+    let exprs: BTreeMap<String, Expr> = flag_exprs(model, flags)?.into_iter().collect();
+    for (flag, _) in mode_behaviors {
+        if !exprs.contains_key(flag) {
+            return Err(TransformError::Precondition(format!(
+                "`{flag}` is not a flag of the component"
+            )));
+        }
+    }
+    let iface_src = model.component(default_mode.1).clone();
+
+    let mut mtd = Mtd::new();
+    let default_idx = mtd.add_mode(default_mode.0, default_mode.1);
+    let mut mode_idx = Vec::new();
+    for (flag, behavior) in mode_behaviors {
+        mode_idx.push((flag.clone(), mtd.add_mode(format!("Mode_{flag}"), *behavior)));
+    }
+    mtd.initial = default_idx;
+
+    // From every mode, the highest-priority true flag wins; if none is
+    // true, fall back to the default mode.
+    let all_modes: Vec<usize> = std::iter::once(default_idx)
+        .chain(mode_idx.iter().map(|(_, i)| *i))
+        .collect();
+    let none_true = exprs
+        .iter()
+        .filter(|(f, _)| mode_behaviors.iter().any(|(mf, _)| mf == *f))
+        .map(|(_, e)| Expr::OrElse(Box::new(e.clone()), Box::new(Expr::lit(false))))
+        .reduce(|a, b| Expr::bin(BinOp::Or, a, b))
+        .map(|any| Expr::un(UnOp::Not, any))
+        .unwrap_or_else(|| Expr::lit(true));
+    for &from in &all_modes {
+        for (prio, (flag, to)) in mode_idx.iter().enumerate() {
+            if from != *to {
+                mtd.add_transition(from, *to, exprs[flag].clone(), prio as u32);
+            }
+        }
+        if from != default_idx {
+            mtd.add_transition(
+                from,
+                default_idx,
+                none_true.clone(),
+                mode_idx.len() as u32,
+            );
+        }
+    }
+
+    let mut owner = Component::new(owner_name);
+    for p in &iface_src.ports {
+        owner.ports.push(p.clone());
+    }
+    owner.behavior = Behavior::Mtd(mtd);
+    let id = model.add_component(owner)?;
+    // Validate: interfaces match, triggers well-typed over inputs.
+    match &model.component(id).behavior {
+        Behavior::Mtd(mtd) => mtd.validate(model, id)?,
+        _ => unreachable!(),
+    }
+    Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::types::DataType;
+    use automode_lang::parse;
+    use automode_sim::{simulate_component, stimulus};
+
+    /// A miniature of the engine_state flag component.
+    fn flag_model() -> (Model, ComponentId) {
+        let mut m = Model::new("t");
+        let flags = m
+            .add_component(
+                Component::new("EngineState")
+                    .input("rpm", DataType::Float)
+                    .input("throttle", DataType::Float)
+                    .output("b_cranking", DataType::Bool)
+                    .output("b_idle", DataType::Bool)
+                    .output("b_running", DataType::Bool)
+                    .with_behavior(Behavior::Expr(
+                        [
+                            ("b_cranking".to_string(), parse("rpm < 600.0").unwrap()),
+                            (
+                                "b_idle".to_string(),
+                                parse("rpm >= 600.0 and throttle < 0.05").unwrap(),
+                            ),
+                            ("b_running".to_string(), parse("rpm >= 600.0").unwrap()),
+                        ]
+                        .into_iter()
+                        .collect(),
+                    )),
+            )
+            .unwrap();
+        (m, flags)
+    }
+
+    fn ranges() -> BTreeMap<String, (f64, f64)> {
+        let mut r = BTreeMap::new();
+        r.insert("rpm".to_string(), (0.0, 7000.0));
+        r.insert("throttle".to_string(), (0.0, 1.0));
+        r
+    }
+
+    #[test]
+    fn overlap_report_finds_the_pathology() {
+        let (m, flags) = flag_model();
+        let report = flag_overlap_report(&m, flags, &ranges(), 2000, 1).unwrap();
+        // b_idle implies b_running: flags are NOT disjunctive states.
+        assert!(!report.is_disjoint());
+        assert!(report
+            .overlaps
+            .iter()
+            .any(|(a, b, _)| (a == "b_idle" && b == "b_running") || (a == "b_running" && b == "b_idle")));
+        // cranking/running partition the space: nothing uncovered.
+        assert_eq!(report.uncovered, 0);
+        assert!(report.never_active.is_empty());
+    }
+
+    #[test]
+    fn dead_flags_reported() {
+        let mut m = Model::new("t");
+        let flags = m
+            .add_component(
+                Component::new("F")
+                    .input("x", DataType::Float)
+                    .output("b_dead", DataType::Bool)
+                    .with_behavior(Behavior::expr("b_dead", parse("x > 10.0").unwrap())),
+            )
+            .unwrap();
+        let mut r = BTreeMap::new();
+        r.insert("x".to_string(), (0.0, 1.0));
+        let report = flag_overlap_report(&m, flags, &r, 500, 2).unwrap();
+        assert_eq!(report.never_active, vec!["b_dead"]);
+        assert_eq!(report.uncovered, 500);
+    }
+
+    #[test]
+    fn missing_range_is_a_precondition_error() {
+        let (m, flags) = flag_model();
+        assert!(matches!(
+            flag_overlap_report(&m, flags, &BTreeMap::new(), 10, 0),
+            Err(TransformError::Precondition(_))
+        ));
+    }
+
+    fn behavior(m: &mut Model, name: &str, expr: &str) -> ComponentId {
+        m.add_component(
+            Component::new(name)
+                .input("rpm", DataType::Float)
+                .input("throttle", DataType::Float)
+                .output("ti", DataType::Float)
+                .with_behavior(Behavior::expr("ti", parse(expr).unwrap())),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn global_mtd_is_deterministic_despite_overlaps() {
+        let (mut m, flags) = flag_model();
+        let crank = behavior(&mut m, "CrankB", "4.0 + rpm * 0.0 + throttle * 0.0");
+        let idle = behavior(&mut m, "IdleB", "1.0 + rpm * 0.0 + throttle * 0.0");
+        let run = behavior(&mut m, "RunB", "1.0 + throttle * 8.0 + rpm * 0.0");
+        let default = behavior(&mut m, "DefaultB", "0.0 + rpm * 0.0 + throttle * 0.0");
+        // Priority order: cranking, then idle, then running — so the
+        // idle/running overlap resolves to idle.
+        let owner = mtd_from_flag_component(
+            &mut m,
+            flags,
+            &[
+                ("b_cranking".to_string(), crank),
+                ("b_idle".to_string(), idle),
+                ("b_running".to_string(), run),
+            ],
+            ("Default", default),
+            "GlobalEngineModes",
+        )
+        .unwrap();
+        automode_core::levels::validate_fda(&m).unwrap();
+
+        // Idle region (rpm 800, throttle 0): both b_idle and b_running are
+        // true; the MTD deterministically picks idle (ti = 1.0).
+        let run_out = simulate_component(
+            &m,
+            owner,
+            &[
+                ("rpm", stimulus::constant(Value::Float(800.0), 4)),
+                ("throttle", stimulus::constant(Value::Float(0.0), 4)),
+            ],
+            4,
+        )
+        .unwrap();
+        let ti = run_out.trace.signal("ti").unwrap();
+        for t in 0..4 {
+            assert_eq!(ti[t].value().unwrap().as_float().unwrap(), 1.0);
+        }
+    }
+
+    #[test]
+    fn global_mtd_covers_every_sample_with_exactly_one_mode() {
+        // The "correct by construction" claim, checked dynamically: over a
+        // random drive, the output always equals exactly one of the mode
+        // behaviours' outputs.
+        let (mut m, flags) = flag_model();
+        let crank = behavior(&mut m, "CrankB", "4.0 + rpm * 0.0 + throttle * 0.0");
+        let idle = behavior(&mut m, "IdleB", "1.0 + rpm * 0.0 + throttle * 0.0");
+        let run = behavior(&mut m, "RunB", "2.0 + rpm * 0.0 + throttle * 0.0");
+        let default = behavior(&mut m, "DefaultB", "0.0 + rpm * 0.0 + throttle * 0.0");
+        let owner = mtd_from_flag_component(
+            &mut m,
+            flags,
+            &[
+                ("b_cranking".to_string(), crank),
+                ("b_idle".to_string(), idle),
+                ("b_running".to_string(), run),
+            ],
+            ("Default", default),
+            "GlobalEngineModes",
+        )
+        .unwrap();
+        let rpm = stimulus::seeded_random(0.0, 7000.0, 100, 3);
+        let throttle = stimulus::seeded_random(0.0, 1.0, 100, 4);
+        let out = simulate_component(&m, owner, &[("rpm", rpm), ("throttle", throttle)], 100)
+            .unwrap();
+        for t in 0..100 {
+            let v = out.trace.signal("ti").unwrap()[t]
+                .value()
+                .unwrap()
+                .as_float()
+                .unwrap();
+            assert!([0.0, 1.0, 2.0, 4.0].contains(&v), "tick {t}: ti = {v}");
+        }
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let (mut m, flags) = flag_model();
+        let b = behavior(&mut m, "B", "0.0 + rpm * 0.0 + throttle * 0.0");
+        assert!(matches!(
+            mtd_from_flag_component(
+                &mut m,
+                flags,
+                &[("b_ghost".to_string(), b)],
+                ("Default", b),
+                "G"
+            ),
+            Err(TransformError::Precondition(_))
+        ));
+    }
+}

@@ -1,0 +1,43 @@
+//! # automode-transform
+//!
+//! The AutoMoDe **transformation framework** — "besides adequate modeling
+//! means, the core of the AutoMoDe approach is the investigation of and
+//! tool support for model transformations" (paper, Sec. 4). Three kinds of
+//! steps are implemented, mirroring the paper's taxonomy:
+//!
+//! * **Reengineering** (up, [`reengineer`]) — *white-box*: lift complete
+//!   ASCET implementations to FDA models, extracting the implicit modes of
+//!   If-Then-Else cascades into explicit MTDs (the Sec. 5 case study);
+//!   *black-box*: lift communication matrices to partial FAA models.
+//! * **Refactoring** (same level, [`refactor`], [`mode_dataflow`]) —
+//!   replace an MTD by a semantically equivalent, partitionable data-flow
+//!   network with explicit mode ports (Sec. 3.3); introduce coordinating
+//!   functionality for actuator conflicts (Sec. 3.1); flatten hierarchy.
+//! * **Refinement** (down, [`refine`], [`deploy`](mod@deploy)) — choose implementation
+//!   types and encodings for physical signals; cluster DFD blocks by their
+//!   clocks; dissolve SSD hierarchy into a flat CCD; deploy clusters to
+//!   ECUs/tasks and generate the OA (ASCET projects + communication
+//!   matrix, Sec. 3.4).
+//!
+//! Every semantics-preserving transformation is validated in this
+//! workspace by trace equivalence via `automode-sim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deploy;
+pub mod error;
+pub mod global_modes;
+pub mod lower;
+pub mod mode_dataflow;
+pub mod reengineer;
+pub mod refactor;
+pub mod refine;
+
+pub use deploy::{deploy, Deployment, DeploymentSpec};
+pub use error::TransformError;
+pub use global_modes::{flag_overlap_report, mtd_from_flag_component, FlagOverlapReport};
+pub use mode_dataflow::mtd_to_dataflow;
+pub use reengineer::{reengineer_comm_matrix, reengineer_module, ReengineeringReport};
+pub use refactor::introduce_coordinator;
+pub use refine::{auto_refine, cluster_by_clocks, dissolve_ssd};

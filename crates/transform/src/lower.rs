@@ -1,0 +1,549 @@
+//! Lowering: LA clusters → ASCET modules (the code-generation front half).
+//!
+//! Deployment generates "ASCET-SD projects for each ECU" (paper, Sec. 3.4).
+//! This module converts one cluster's behaviour — an expression component
+//! or a DFD of expression/delay blocks — into an imperative ASCET module:
+//! internal channels become local messages, delay blocks become state
+//! messages read at the top and updated at the bottom of the process body,
+//! and the block evaluation order is the DFD's causal schedule.
+
+use std::collections::BTreeMap;
+
+use automode_ascet::model::{AscetType, MessageDecl, MessageKind, Module, Process, Stmt};
+use automode_core::ccd::Cluster;
+use automode_core::model::{Behavior, CompositeKind, Endpoint, Model, Primitive};
+use automode_core::types::DataType;
+use automode_kernel::{causality, Value};
+use automode_lang::Expr;
+
+use crate::error::TransformError;
+
+fn to_ascet_type(ty: &DataType) -> Result<AscetType, TransformError> {
+    match ty {
+        DataType::Bool => Ok(AscetType::Log),
+        DataType::Int => Ok(AscetType::SDisc),
+        DataType::Float | DataType::Physical { .. } => Ok(AscetType::Cont),
+        DataType::Enum(e) => Err(TransformError::Unsupported(format!(
+            "enum type `{}` has no ASCET lowering; refine it to an integer first",
+            e.name
+        ))),
+    }
+}
+
+fn default_init(ty: AscetType) -> Value {
+    ty.default_value()
+}
+
+/// Lowers one cluster into an ASCET module whose single process runs at the
+/// cluster's period (interpreting one base tick as one millisecond).
+///
+/// # Errors
+///
+/// [`TransformError::Unsupported`] for behaviours outside the supported
+/// fragment (MTDs must be transformed to dataflow first; STDs are not
+/// lowered).
+pub fn cluster_to_module(model: &Model, cluster: &Cluster) -> Result<Module, TransformError> {
+    let comp = model.component(cluster.component);
+    let mut module = Module::new(cluster.name.clone());
+
+    // Interface messages are qualified with the cluster name: ASCET
+    // messages are bound project-wide, so two clusters on one ECU must not
+    // collide; the qualified names also match the communication matrix's
+    // `{cluster}_{port}` signal names.
+    let q = |port: &str| format!("{}_{port}", cluster.name);
+    for p in comp.inputs() {
+        module = module.message(MessageDecl::new(
+            q(&p.name),
+            to_ascet_type(&p.ty)?,
+            MessageKind::Receive,
+        ));
+    }
+    for p in comp.outputs() {
+        module = module.message(MessageDecl::new(
+            q(&p.name),
+            to_ascet_type(&p.ty)?,
+            MessageKind::Send,
+        ));
+    }
+
+    let mut body: Vec<Stmt> = Vec::new();
+    match &comp.behavior {
+        Behavior::Expr(defs) => {
+            let input_names: Vec<String> =
+                comp.inputs().map(|p| p.name.clone()).collect();
+            for p in comp.outputs() {
+                let expr = defs.get(&p.name).ok_or_else(|| {
+                    TransformError::Precondition(format!(
+                        "output `{}.{}` has no defining expression",
+                        comp.name, p.name
+                    ))
+                })?;
+                let qualified = expr.substitute(&|ident| {
+                    input_names
+                        .iter()
+                        .any(|n| n == ident)
+                        .then(|| Expr::ident(q(ident)))
+                });
+                body.push(Stmt::assign(q(&p.name), qualified));
+            }
+        }
+        Behavior::Composite(net) if net.kind == CompositeKind::Dfd => {
+            // Message name of the value produced at an endpoint. Boundary
+            // ports use the qualified interface names; internal channels
+            // use cluster-qualified locals.
+            let source_msg = |ep: &Endpoint| -> String {
+                match &ep.instance {
+                    None => q(&ep.port),
+                    Some(inst) => format!("{}__{inst}_{}", cluster.name, ep.port),
+                }
+            };
+            // For each child input port, the message that drives it.
+            let mut drive: BTreeMap<(String, String), String> = BTreeMap::new();
+            for ch in &net.channels {
+                if let Some(ti) = &ch.to.instance {
+                    drive.insert((ti.clone(), ch.to.port.clone()), source_msg(&ch.from));
+                }
+            }
+
+            // Declare one local message per child output.
+            for inst in &net.instances {
+                let child = model.component(inst.component);
+                for p in child.outputs() {
+                    let name = format!("{}__{}_{}", cluster.name, inst.name, p.name);
+                    module = module.message(MessageDecl::new(
+                        name,
+                        to_ascet_type(&p.ty)?,
+                        MessageKind::Local,
+                    ));
+                }
+            }
+
+            // Topological order over instantaneous channels (delay children
+            // read their input at the end of the body).
+            let idx_of: BTreeMap<&str, usize> = net
+                .instances
+                .iter()
+                .enumerate()
+                .map(|(i, inst)| (inst.name.as_str(), i))
+                .collect();
+            let is_delay = |i: usize| {
+                matches!(
+                    model.component(net.instances[i].component).behavior,
+                    Behavior::Primitive(Primitive::Delay { .. })
+                        | Behavior::Primitive(Primitive::UnitDelay { .. })
+                )
+            };
+            let mut edges = Vec::new();
+            for ch in &net.channels {
+                if let (Some(fi), Some(ti)) = (&ch.from.instance, &ch.to.instance) {
+                    let (a, b) = (idx_of[fi.as_str()], idx_of[ti.as_str()]);
+                    if !is_delay(b) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let order = causality::check(net.instances.len(), &edges, |i| {
+                net.instances[i].name.clone()
+            })
+            .map_err(|e| TransformError::Unsupported(format!("cluster not causal: {e}")))?;
+
+            // Delay blocks: read state first.
+            let mut tail: Vec<Stmt> = Vec::new();
+            for (i, inst) in net.instances.iter().enumerate() {
+                if !is_delay(i) {
+                    continue;
+                }
+                let child = model.component(inst.component);
+                let out = child.outputs().next().ok_or_else(|| {
+                    TransformError::Unsupported(format!("delay `{}` has no output", inst.name))
+                })?;
+                let in_port = child.inputs().next().ok_or_else(|| {
+                    TransformError::Unsupported(format!("delay `{}` has no input", inst.name))
+                })?;
+                let state_msg = format!("{}__{}__state", cluster.name, inst.name);
+                let init = match &child.behavior {
+                    Behavior::Primitive(Primitive::Delay { init })
+                    | Behavior::Primitive(Primitive::UnitDelay { init }) => init
+                        .clone()
+                        .unwrap_or_else(|| default_init(to_ascet_type(&out.ty).expect("checked"))),
+                    _ => unreachable!("is_delay checked"),
+                };
+                module = module.message(
+                    MessageDecl::new(
+                        state_msg.clone(),
+                        to_ascet_type(&out.ty)?,
+                        MessageKind::Local,
+                    )
+                    .init(init),
+                );
+                body.push(Stmt::assign(
+                    format!("{}__{}_{}", cluster.name, inst.name, out.name),
+                    Expr::ident(state_msg.clone()),
+                ));
+                let driver = drive
+                    .get(&(inst.name.clone(), in_port.name.clone()))
+                    .cloned()
+                    .ok_or_else(|| {
+                        TransformError::Precondition(format!(
+                            "delay `{}` input is unconnected",
+                            inst.name
+                        ))
+                    })?;
+                tail.push(Stmt::assign(state_msg, Expr::ident(driver)));
+            }
+
+            // Instantaneous blocks in causal order.
+            for &i in &order {
+                if is_delay(i) {
+                    continue;
+                }
+                let inst = &net.instances[i];
+                let child = model.component(inst.component);
+                let driver_of = |port: &str| -> Result<String, TransformError> {
+                    drive
+                        .get(&(inst.name.clone(), port.to_string()))
+                        .cloned()
+                        .ok_or_else(|| {
+                            TransformError::Precondition(format!(
+                                "input `{}.{port}` is unconnected",
+                                inst.name
+                            ))
+                        })
+                };
+                match &child.behavior {
+                    Behavior::Expr(defs) => {
+                        for p in child.outputs() {
+                            let expr = defs.get(&p.name).ok_or_else(|| {
+                                TransformError::Precondition(format!(
+                                    "output `{}.{}` undefined",
+                                    inst.name, p.name
+                                ))
+                            })?;
+                            let substituted = expr.substitute(&|ident| {
+                                drive
+                                    .get(&(inst.name.clone(), ident.to_string()))
+                                    .map(|m| Expr::ident(m.clone()))
+                            });
+                            body.push(Stmt::assign(
+                                format!("{}__{}_{}", cluster.name, inst.name, p.name),
+                                substituted,
+                            ));
+                        }
+                    }
+                    // `when` lowers to the canonical imperative idiom:
+                    // update only while the condition holds (the hold in
+                    // the else branch replaces the model's absence).
+                    Behavior::Primitive(Primitive::When) => {
+                        let mut ins = child.inputs();
+                        let data = ins.next().ok_or_else(|| {
+                            TransformError::Unsupported(format!(
+                                "when `{}` needs a data input",
+                                inst.name
+                            ))
+                        })?;
+                        let cond = ins.next().ok_or_else(|| {
+                            TransformError::Unsupported(format!(
+                                "when `{}` needs a condition input",
+                                inst.name
+                            ))
+                        })?;
+                        let out = child.outputs().next().ok_or_else(|| {
+                            TransformError::Unsupported(format!(
+                                "when `{}` needs an output",
+                                inst.name
+                            ))
+                        })?;
+                        let target = format!("{}__{}_{}", cluster.name, inst.name, out.name);
+                        body.push(Stmt::If {
+                            cond: Expr::ident(driver_of(&cond.name)?),
+                            then_branch: vec![Stmt::assign(
+                                target.clone(),
+                                Expr::ident(driver_of(&data.name)?),
+                            )],
+                            else_branch: vec![Stmt::assign(
+                                target.clone(),
+                                Expr::ident(target),
+                            )],
+                        });
+                    }
+                    // `current` is the identity in an imperative target:
+                    // every message always carries its latest value.
+                    Behavior::Primitive(Primitive::Current { .. }) => {
+                        let input = child.inputs().next().ok_or_else(|| {
+                            TransformError::Unsupported(format!(
+                                "current `{}` needs an input",
+                                inst.name
+                            ))
+                        })?;
+                        let out = child.outputs().next().ok_or_else(|| {
+                            TransformError::Unsupported(format!(
+                                "current `{}` needs an output",
+                                inst.name
+                            ))
+                        })?;
+                        body.push(Stmt::assign(
+                            format!("{}__{}_{}", cluster.name, inst.name, out.name),
+                            Expr::ident(driver_of(&input.name)?),
+                        ));
+                    }
+                    other => {
+                        return Err(TransformError::Unsupported(format!(
+                            "block `{}` has unsupported behaviour {:?} for lowering; \
+                             transform MTDs to dataflow and inline composites first",
+                            inst.name,
+                            std::mem::discriminant(other)
+                        )))
+                    }
+                }
+            }
+
+            // Boundary outputs.
+            for ch in &net.channels {
+                if ch.to.instance.is_none() {
+                    body.push(Stmt::assign(
+                        q(&ch.to.port),
+                        Expr::ident(source_msg(&ch.from)),
+                    ));
+                }
+            }
+            body.extend(tail);
+        }
+        Behavior::Mtd(_) => {
+            return Err(TransformError::Unsupported(format!(
+                "cluster `{}` wraps an MTD; apply mtd_to_dataflow before deployment",
+                cluster.name
+            )))
+        }
+        other => {
+            return Err(TransformError::Unsupported(format!(
+                "cluster `{}` behaviour {:?} cannot be lowered",
+                cluster.name,
+                std::mem::discriminant(other)
+            )))
+        }
+    }
+
+    module = module.process(Process::new(
+        format!("{}_step", cluster.name),
+        cluster.period,
+        body,
+    ));
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_ascet::{AscetInterp, AscetModel, Stimulus};
+    use automode_core::model::{Component, Composite};
+    use automode_lang::parse;
+
+    #[test]
+    fn expr_cluster_lowers_to_assignments() {
+        let mut m = Model::new("t");
+        let c = m
+            .add_component(
+                Component::new("Gain")
+                    .input("u", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("u * 3.0").unwrap())),
+            )
+            .unwrap();
+        let cluster = Cluster::new("gain", c, 10);
+        let module = cluster_to_module(&m, &cluster).unwrap();
+        assert_eq!(module.processes.len(), 1);
+        assert_eq!(module.processes[0].period_ms, 10);
+        assert_eq!(module.processes[0].writes(), vec!["gain_y"]);
+        // The lowered module actually runs.
+        let ascet = AscetModel::new("p").module(module);
+        let mut interp = AscetInterp::new(&ascet).unwrap();
+        let mut stim = Stimulus::new();
+        stim.insert("gain_u".into(), Box::new(|_| Some(Value::Float(2.0))));
+        interp.step_ms(&stim).unwrap();
+        assert_eq!(interp.value("gain_y"), Some(&Value::Float(6.0)));
+    }
+
+    #[test]
+    fn dfd_cluster_lowers_with_locals_and_state() {
+        // acc = delay(acc_next); acc_next = acc + u  (integrator).
+        let mut m = Model::new("t");
+        let add = m
+            .add_component(
+                Component::new("Add")
+                    .input("a", DataType::Float)
+                    .input("b", DataType::Float)
+                    .output("s", DataType::Float)
+                    .with_behavior(Behavior::expr("s", parse("a + b").unwrap())),
+            )
+            .unwrap();
+        let dly = m
+            .add_component(
+                Component::new("Dly")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Primitive(Primitive::Delay {
+                        init: Some(Value::Float(0.0)),
+                    })),
+            )
+            .unwrap();
+        let mut net = Composite::new(CompositeKind::Dfd);
+        net.instantiate("add", add);
+        net.instantiate("dly", dly);
+        net.connect(Endpoint::boundary("u"), Endpoint::child("add", "a"));
+        net.connect(Endpoint::child("dly", "y"), Endpoint::child("add", "b"));
+        net.connect(Endpoint::child("add", "s"), Endpoint::child("dly", "x"));
+        net.connect(Endpoint::child("add", "s"), Endpoint::boundary("acc"));
+        let top = m
+            .add_component(
+                Component::new("Integrator")
+                    .input("u", DataType::Float)
+                    .output("acc", DataType::Float)
+                    .with_behavior(Behavior::Composite(net)),
+            )
+            .unwrap();
+        let cluster = Cluster::new("integ", top, 1);
+        let module = cluster_to_module(&m, &cluster).unwrap();
+        let ascet = AscetModel::new("p").module(module);
+        let mut interp = AscetInterp::new(&ascet).unwrap();
+        let mut stim = Stimulus::new();
+        stim.insert("integ_u".into(), Box::new(|_| Some(Value::Float(1.0))));
+        for _ in 0..4 {
+            interp.step_ms(&stim).unwrap();
+        }
+        // acc = 1, 2, 3, 4 over four activations.
+        assert_eq!(interp.value("integ_acc"), Some(&Value::Float(4.0)));
+    }
+
+    #[test]
+    fn mtd_cluster_rejected_with_guidance() {
+        let mut m = Model::new("t");
+        let a = m
+            .add_component(
+                Component::new("A")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+            )
+            .unwrap();
+        let mut mtd = automode_core::Mtd::new();
+        mtd.add_mode("Only", a);
+        let owner = m
+            .add_component(
+                Component::new("M")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Mtd(mtd)),
+            )
+            .unwrap();
+        let err = cluster_to_module(&m, &Cluster::new("c", owner, 10)).unwrap_err();
+        assert!(matches!(err, TransformError::Unsupported(msg) if msg.contains("mtd_to_dataflow")));
+    }
+
+    #[test]
+    fn enum_ports_rejected() {
+        let mut m = Model::new("t");
+        let e = automode_core::types::EnumType::new("Mode", ["A", "B"]);
+        let c = m
+            .add_component(
+                Component::new("C")
+                    .input("m", DataType::Enum(e))
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("1.0").unwrap())),
+            )
+            .unwrap();
+        assert!(matches!(
+            cluster_to_module(&m, &Cluster::new("c", c, 10)),
+            Err(TransformError::Unsupported(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod primitive_lowering_tests {
+    use super::*;
+    use automode_ascet::{AscetInterp, AscetModel, Stimulus};
+    use automode_core::model::{Component, Composite};
+    use automode_lang::parse;
+
+    /// A cluster containing a `when`-gated path: the lowered module updates
+    /// the gated value only while the condition holds.
+    #[test]
+    fn when_primitive_lowers_to_conditional_hold() {
+        let mut m = Model::new("t");
+        let gate = m
+            .add_component(
+                Component::new("Gate")
+                    .input("data", DataType::Float)
+                    .input("cond", DataType::Bool)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Primitive(Primitive::When)),
+            )
+            .unwrap();
+        let mut net = Composite::new(CompositeKind::Dfd);
+        net.instantiate("g", gate);
+        net.connect(Endpoint::boundary("u"), Endpoint::child("g", "data"));
+        net.connect(Endpoint::boundary("en"), Endpoint::child("g", "cond"));
+        net.connect(Endpoint::child("g", "out"), Endpoint::boundary("y"));
+        let top = m
+            .add_component(
+                Component::new("Gated")
+                    .input("u", DataType::Float)
+                    .input("en", DataType::Bool)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Composite(net)),
+            )
+            .unwrap();
+        let module = cluster_to_module(&m, &Cluster::new("gated", top, 1)).unwrap();
+        let ascet = AscetModel::new("p").module(module);
+        let mut interp = AscetInterp::new(&ascet).unwrap();
+        let mut stim = Stimulus::new();
+        stim.insert(
+            "gated_u".into(),
+            Box::new(|t| Some(Value::Float(t as f64))),
+        );
+        stim.insert(
+            "gated_en".into(),
+            Box::new(|t| Some(Value::Bool(t < 2))),
+        );
+        for _ in 0..5 {
+            interp.step_ms(&stim).unwrap();
+        }
+        // Updated at t=0,1 (value 1.0 at t=1), held afterwards.
+        assert_eq!(interp.value("gated_y"), Some(&Value::Float(1.0)));
+    }
+
+    /// `current` lowers to a plain copy.
+    #[test]
+    fn current_primitive_lowers_to_copy() {
+        let mut m = Model::new("t");
+        let cur = m
+            .add_component(
+                Component::new("Cur")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Primitive(Primitive::Current {
+                        init: Value::Float(0.0),
+                    })),
+            )
+            .unwrap();
+        let mut net = Composite::new(CompositeKind::Dfd);
+        net.instantiate("c", cur);
+        net.connect(Endpoint::boundary("u"), Endpoint::child("c", "x"));
+        net.connect(Endpoint::child("c", "y"), Endpoint::boundary("y"));
+        let top = m
+            .add_component(
+                Component::new("Held")
+                    .input("u", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Composite(net)),
+            )
+            .unwrap();
+        let module = cluster_to_module(&m, &Cluster::new("held", top, 1)).unwrap();
+        let ascet = AscetModel::new("p").module(module);
+        let mut interp = AscetInterp::new(&ascet).unwrap();
+        let mut stim = Stimulus::new();
+        stim.insert("held_u".into(), Box::new(|_| Some(Value::Float(7.5))));
+        interp.step_ms(&stim).unwrap();
+        assert_eq!(interp.value("held_y"), Some(&Value::Float(7.5)));
+    }
+}

@@ -1,0 +1,461 @@
+//! The MTD-to-dataflow transformation.
+//!
+//! "In order to represent high-level MTDs as a network of clusters on the
+//! LA level, the AutoMoDe tool prototype features an algorithm to transform
+//! an MTD into a semantically equivalent, partitionable data-flow model"
+//! (paper, Sec. 3.3). This module implements that algorithm:
+//!
+//! * a **mode selector** sub-network computes the current mode as an
+//!   explicit enum signal: `mode = delay(next_mode, initial)` where
+//!   `next_mode` encodes the MTD's transition relation as a nested
+//!   conditional over the triggers (absent triggers default to "not
+//!   fired", matching MTD semantics);
+//! * every mode's behaviour becomes an ordinary component instance fed by
+//!   all inputs — the "DFDs having explicit mode-ports" of Sec. 4;
+//! * per output, a **mux** selects the active mode's result based on the
+//!   mode signal.
+//!
+//! The result is partitionable: each mode behaviour is a separate
+//! component instance that clustering may place independently.
+//!
+//! ## Equivalence
+//!
+//! For mode behaviours without internal state the transformation is trace
+//! equivalent to the original MTD (verified by simulation in the tests and
+//! by property tests in the workspace). Stateful mode behaviours differ in
+//! general because the dataflow version executes *all* modes every tick,
+//! whereas an MTD freezes inactive modes; the transformation refuses such
+//! inputs.
+
+use automode_core::model::{
+    Behavior, Component, ComponentId, Composite, CompositeKind, Endpoint, Model, Primitive,
+};
+use automode_core::types::{DataType, EnumType};
+use automode_core::CoreError;
+use automode_kernel::Value;
+use automode_lang::Expr;
+
+use crate::error::TransformError;
+
+/// Applies the MTD-to-dataflow algorithm to `owner` (whose behaviour must
+/// be an MTD), adding the generated components to the model and returning
+/// the new, interface-identical dataflow component.
+///
+/// ```
+/// use automode_core::model::{Behavior, Component, Model};
+/// use automode_core::types::DataType;
+/// use automode_core::Mtd;
+/// use automode_lang::parse;
+/// use automode_transform::mode_dataflow::{mtd_to_dataflow, partition_count};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut model = Model::new("demo");
+/// let iface = |name: &str| {
+///     Component::new(name)
+///         .input("x", DataType::Float)
+///         .output("y", DataType::Float)
+/// };
+/// let low = model.add_component(
+///     iface("Low").with_behavior(Behavior::expr("y", parse("x * 0.5")?)),
+/// )?;
+/// let high = model.add_component(
+///     iface("High").with_behavior(Behavior::expr("y", parse("x * 2.0")?)),
+/// )?;
+/// let mut mtd = Mtd::new();
+/// let a = mtd.add_mode("Low", low);
+/// let b = mtd.add_mode("High", high);
+/// mtd.add_transition(a, b, parse("x > 1.0")?, 0);
+/// let owner = model.add_component(iface("Sel").with_behavior(Behavior::Mtd(mtd)))?;
+///
+/// let dataflow = mtd_to_dataflow(&mut model, owner)?;
+/// assert_eq!(partition_count(&model, dataflow)?, 3); // 2 modes + selector
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`TransformError::Precondition`] if `owner` is not an MTD component;
+/// * [`TransformError::Unsupported`] if a mode behaviour is stateful
+///   (contains delays or state machines), where equivalence would be lost;
+/// * meta-model errors while building the result.
+pub fn mtd_to_dataflow(
+    model: &mut Model,
+    owner: ComponentId,
+) -> Result<ComponentId, TransformError> {
+    let comp = model.component(owner).clone();
+    let mtd = match &comp.behavior {
+        Behavior::Mtd(mtd) => mtd.clone(),
+        _ => {
+            return Err(TransformError::Precondition(format!(
+                "component `{}` has no MTD behaviour",
+                comp.name
+            )))
+        }
+    };
+    mtd.validate(model, owner)?;
+    for mode in &mtd.modes {
+        ensure_stateless(model, mode.behavior)?;
+    }
+
+    let input_ports: Vec<_> = comp.inputs().cloned().collect();
+    let output_ports: Vec<_> = comp.outputs().cloned().collect();
+    let mode_enum = EnumType::new(
+        format!("{}Mode", comp.name),
+        mtd.modes.iter().map(|m| m.name.clone()),
+    );
+    let mode_ty = DataType::Enum(mode_enum);
+
+    // --- Mode selector -----------------------------------------------
+    // next_mode = per-mode nested conditional over triggers.
+    let initial_name = mtd.modes[mtd.initial].name.clone();
+    let mut next_expr = Expr::sym(initial_name.clone());
+    for (idx, mode) in mtd.modes.iter().enumerate().rev() {
+        // Innermost: triggers in priority order; fall back to staying.
+        let mut stay = Expr::sym(mode.name.clone());
+        for t in mtd.transitions_from(idx).into_iter().rev() {
+            let fired = Expr::OrElse(Box::new(t.trigger.clone()), Box::new(Expr::lit(false)));
+            stay = Expr::ite(fired, Expr::sym(mtd.modes[t.to].name.clone()), stay);
+        }
+        let is_mode = Expr::bin(
+            automode_kernel::ops::BinOp::Eq,
+            Expr::ident("mode_prev"),
+            Expr::sym(mode.name.clone()),
+        );
+        next_expr = Expr::ite(is_mode, stay, next_expr);
+    }
+    let mut next_comp = Component::new(format!("{}_NextMode", comp.name));
+    for p in &input_ports {
+        next_comp = next_comp.input(p.name.clone(), p.ty.clone());
+    }
+    next_comp = next_comp
+        .input("mode_prev", mode_ty.clone())
+        .output("mode_next", mode_ty.clone())
+        .with_behavior(Behavior::expr("mode_next", next_expr));
+    let next_id = model.add_component(next_comp)?;
+
+    let delay_id = model.add_component(
+        Component::new(format!("{}_ModeDelay", comp.name))
+            .input("x", mode_ty.clone())
+            .output("y", mode_ty.clone())
+            .with_behavior(Behavior::Primitive(Primitive::Delay {
+                init: Some(Value::sym(initial_name)),
+            })),
+    )?;
+
+    let mut selector_net = Composite::new(CompositeKind::Dfd);
+    selector_net.instantiate("next", next_id);
+    selector_net.instantiate("dly", delay_id);
+    for p in &input_ports {
+        selector_net.connect(
+            Endpoint::boundary(p.name.clone()),
+            Endpoint::child("next", p.name.clone()),
+        );
+    }
+    selector_net.connect(Endpoint::child("dly", "y"), Endpoint::child("next", "mode_prev"));
+    selector_net.connect(Endpoint::child("next", "mode_next"), Endpoint::child("dly", "x"));
+    // Immediate switching: the mode that rules this tick is the one
+    // *reached* after applying the transition relation to the current
+    // inputs, i.e. `mode_next`, not the delayed state.
+    selector_net.connect(Endpoint::child("next", "mode_next"), Endpoint::boundary("mode"));
+
+    let mut selector_comp = Component::new(format!("{}_ModeSelector", comp.name));
+    for p in &input_ports {
+        selector_comp = selector_comp.input(p.name.clone(), p.ty.clone());
+    }
+    selector_comp = selector_comp
+        .output("mode", mode_ty.clone())
+        .with_behavior(Behavior::Composite(selector_net));
+    let selector_id = model.add_component(selector_comp)?;
+
+    // --- Output muxes --------------------------------------------------
+    let mut mux_ids = Vec::with_capacity(output_ports.len());
+    for out in &output_ports {
+        let mut expr = Expr::ident(format!("y_{}", mtd.modes.last().expect("nonempty").name));
+        for mode in mtd.modes.iter().rev().skip(1) {
+            let cond = Expr::bin(
+                automode_kernel::ops::BinOp::Eq,
+                Expr::ident("mode"),
+                Expr::sym(mode.name.clone()),
+            );
+            expr = Expr::ite(cond, Expr::ident(format!("y_{}", mode.name)), expr);
+        }
+        let mut mux = Component::new(format!("{}_Mux_{}", comp.name, out.name))
+            .input("mode", mode_ty.clone());
+        for mode in &mtd.modes {
+            mux = mux.input(format!("y_{}", mode.name), out.ty.clone());
+        }
+        mux = mux
+            .output("y", out.ty.clone())
+            .with_behavior(Behavior::expr("y", expr));
+        mux_ids.push(model.add_component(mux)?);
+    }
+
+    // --- Top-level dataflow ---------------------------------------------
+    let mut net = Composite::new(CompositeKind::Dfd);
+    net.instantiate("selector", selector_id);
+    for mode in &mtd.modes {
+        net.instantiate(format!("mode_{}", mode.name), mode.behavior);
+    }
+    for (out, mux_id) in output_ports.iter().zip(&mux_ids) {
+        net.instantiate(format!("mux_{}", out.name), *mux_id);
+    }
+    for p in &input_ports {
+        net.connect(
+            Endpoint::boundary(p.name.clone()),
+            Endpoint::child("selector", p.name.clone()),
+        );
+        for mode in &mtd.modes {
+            net.connect(
+                Endpoint::boundary(p.name.clone()),
+                Endpoint::child(format!("mode_{}", mode.name), p.name.clone()),
+            );
+        }
+    }
+    for out in &output_ports {
+        let mux = format!("mux_{}", out.name);
+        net.connect(
+            Endpoint::child("selector", "mode"),
+            Endpoint::child(mux.clone(), "mode"),
+        );
+        for mode in &mtd.modes {
+            net.connect(
+                Endpoint::child(format!("mode_{}", mode.name), out.name.clone()),
+                Endpoint::child(mux.clone(), format!("y_{}", mode.name)),
+            );
+        }
+        net.connect(Endpoint::child(mux, "y"), Endpoint::boundary(out.name.clone()));
+    }
+
+    let mut result = Component::new(format!("{}_dataflow", comp.name));
+    for p in &comp.ports {
+        result.ports.push(p.clone());
+    }
+    result.behavior = Behavior::Composite(net);
+    let result_id = model.add_component(result)?;
+    model.validate_composite(result_id)?;
+    Ok(result_id)
+}
+
+/// Rejects mode behaviours whose semantics depend on per-mode private
+/// state (the equivalence restriction documented in the module docs).
+fn ensure_stateless(model: &Model, id: ComponentId) -> Result<(), TransformError> {
+    let comp = model.component(id);
+    match &comp.behavior {
+        Behavior::Expr(_) | Behavior::Unspecified => Ok(()),
+        Behavior::Primitive(Primitive::When) => Ok(()),
+        Behavior::Primitive(_) => Err(TransformError::Unsupported(format!(
+            "mode behaviour `{}` is stateful (delay/current)",
+            comp.name
+        ))),
+        Behavior::Std(_) => Err(TransformError::Unsupported(format!(
+            "mode behaviour `{}` is a state machine",
+            comp.name
+        ))),
+        Behavior::Mtd(mtd) => {
+            for mode in &mtd.modes {
+                ensure_stateless(model, mode.behavior)?;
+            }
+            Ok(())
+        }
+        Behavior::Composite(net) => {
+            if net.kind == CompositeKind::Ssd {
+                return Err(TransformError::Unsupported(format!(
+                    "mode behaviour `{}` contains SSD delays",
+                    comp.name
+                )));
+            }
+            for inst in &net.instances {
+                ensure_stateless(model, inst.component)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The number of independently placeable partitions in a generated
+/// dataflow component: the mode behaviours plus the selector (the paper's
+/// "partitionable" property, used by experiment E10).
+pub fn partition_count(model: &Model, dataflow: ComponentId) -> Result<usize, CoreError> {
+    match &model.component(dataflow).behavior {
+        Behavior::Composite(net) => Ok(net
+            .instances
+            .iter()
+            .filter(|i| i.name.starts_with("mode_") || i.name == "selector")
+            .count()),
+        _ => Ok(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::Mtd;
+    use automode_kernel::TraceEquivalence;
+    use automode_lang::parse;
+    use automode_sim::{simulate_component, stimulus};
+
+    /// An MTD mirroring Fig. 8: FuelEnabled / CrankingOverrun.
+    fn throttle_mtd(model: &mut Model) -> ComponentId {
+        let iface = |name: &str| {
+            Component::new(name)
+                .input("rpm", DataType::Float)
+                .input("throttle", DataType::Float)
+                .output("rate", DataType::Float)
+        };
+        let cranking = model
+            .add_component(iface("CrankingBehavior").with_behavior(Behavior::expr(
+                "rate",
+                parse("0.2 + rpm * 0.0 + throttle * 0.0").unwrap(),
+            )))
+            .unwrap();
+        let enabled = model
+            .add_component(iface("FuelEnabledBehavior").with_behavior(Behavior::expr(
+                "rate",
+                parse("clamp(throttle * 2.0 + rpm * 0.0001, 0.0, 2.0)").unwrap(),
+            )))
+            .unwrap();
+        let mut mtd = Mtd::new();
+        let mc = mtd.add_mode("CrankingOverrun", cranking);
+        let mf = mtd.add_mode("FuelEnabled", enabled);
+        mtd.add_transition(mc, mf, parse("rpm > 600.0").unwrap(), 0);
+        mtd.add_transition(mf, mc, parse("rpm < 300.0 or throttle < 0.01").unwrap(), 0);
+        
+        model
+            .add_component(iface("ThrottleRateOfChange").with_behavior(Behavior::Mtd(mtd)))
+            .unwrap()
+    }
+
+    #[test]
+    fn transformation_builds_valid_component_with_same_interface() {
+        let mut m = Model::new("t");
+        let owner = throttle_mtd(&mut m);
+        let df = mtd_to_dataflow(&mut m, owner).unwrap();
+        assert_eq!(
+            m.component(df).signature(),
+            m.component(owner).signature()
+        );
+        automode_core::levels::validate_fda(&m).unwrap();
+        assert_eq!(partition_count(&m, df).unwrap(), 3);
+    }
+
+    #[test]
+    fn traces_are_equivalent_over_a_drive_cycle() {
+        let mut m = Model::new("t");
+        let owner = throttle_mtd(&mut m);
+        let df = mtd_to_dataflow(&mut m, owner).unwrap();
+        let (rpm, throttle) = automode_sim::stimulus::standard_engine_cycle();
+        let ticks = rpm.len();
+        let inputs = [("rpm", rpm), ("throttle", throttle)];
+        let a = simulate_component(&m, owner, &inputs, ticks).unwrap();
+        let b = simulate_component(&m, df, &inputs, ticks).unwrap();
+        let rel = TraceEquivalence::exact().on_signals(["rate"]);
+        assert!(
+            a.trace.equivalent(&b.trace, &rel),
+            "diff: {:?}",
+            a.trace.diff(&b.trace, &rel)
+        );
+    }
+
+    #[test]
+    fn traces_equivalent_under_random_inputs() {
+        let mut m = Model::new("t");
+        let owner = throttle_mtd(&mut m);
+        let df = mtd_to_dataflow(&mut m, owner).unwrap();
+        for seed in 0..5 {
+            let rpm = stimulus::seeded_random(0.0, 7000.0, 120, seed);
+            let thr = stimulus::seeded_random(0.0, 1.0, 120, seed + 1000);
+            let inputs = [("rpm", rpm), ("throttle", thr)];
+            let a = simulate_component(&m, owner, &inputs, 120).unwrap();
+            let b = simulate_component(&m, df, &inputs, 120).unwrap();
+            let rel = TraceEquivalence::exact().on_signals(["rate"]);
+            assert!(
+                a.trace.equivalent(&b.trace, &rel),
+                "seed {seed}: {:?}",
+                a.trace.diff(&b.trace, &rel)
+            );
+        }
+    }
+
+    #[test]
+    fn non_mtd_component_rejected() {
+        let mut m = Model::new("t");
+        let plain = m
+            .add_component(
+                Component::new("Plain")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+            )
+            .unwrap();
+        assert!(matches!(
+            mtd_to_dataflow(&mut m, plain),
+            Err(TransformError::Precondition(_))
+        ));
+    }
+
+    #[test]
+    fn stateful_mode_behaviour_rejected() {
+        let mut m = Model::new("t");
+        let stateful = m
+            .add_component(
+                Component::new("Integrator")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Primitive(Primitive::Delay { init: None })),
+            )
+            .unwrap();
+        let other = m
+            .add_component(
+                Component::new("Pass")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+            )
+            .unwrap();
+        let mut mtd = Mtd::new();
+        let a = mtd.add_mode("A", stateful);
+        let b = mtd.add_mode("B", other);
+        mtd.add_transition(a, b, parse("x > 0.0").unwrap(), 0);
+        let owner = m
+            .add_component(
+                Component::new("Owner")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Mtd(mtd)),
+            )
+            .unwrap();
+        assert!(matches!(
+            mtd_to_dataflow(&mut m, owner),
+            Err(TransformError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn absent_triggers_default_to_staying() {
+        // Drive rpm with absences: the MTD and its dataflow version must
+        // both hold the current mode through absent triggers.
+        let mut m = Model::new("t");
+        let owner = throttle_mtd(&mut m);
+        let df = mtd_to_dataflow(&mut m, owner).unwrap();
+        let rpm = stimulus::sporadic(0.4, 80, 5); // int-valued events
+        // Convert to floats to fit the port type.
+        let rpm: automode_kernel::Stream = rpm
+            .iter()
+            .map(|msg| {
+                msg.clone()
+                    .map(|v| Value::Float(v.as_int().unwrap_or(0) as f64 * 100.0))
+            })
+            .collect();
+        let thr = stimulus::constant(Value::Float(0.5), 80);
+        let inputs = [("rpm", rpm), ("throttle", thr)];
+        let a = simulate_component(&m, owner, &inputs, 80).unwrap();
+        let b = simulate_component(&m, df, &inputs, 80).unwrap();
+        let rel = TraceEquivalence::exact().on_signals(["rate"]);
+        assert!(
+            a.trace.equivalent(&b.trace, &rel),
+            "{:?}",
+            a.trace.diff(&b.trace, &rel)
+        );
+    }
+}

@@ -1,0 +1,466 @@
+//! Refactoring: structural transformations on the same abstraction level.
+//!
+//! "Refactoring is mainly seen as a structural transformation on the same
+//! abstraction level. An example is the integration of an independently
+//! designed control algorithm into an FAA-level functional network. The
+//! algorithm has to be restructured considerably because e.g. other
+//! functions access the same actuator ... Other refactoring steps will
+//! replace an MTD by several DFDs having explicit mode-ports, or change
+//! the structural hierarchy" (paper, Sec. 4).
+//!
+//! * [`introduce_coordinator`] — the paper's FAA countermeasure: resolve an
+//!   actuator conflict by inserting a coordinating functionality.
+//! * [`replace_mtd_by_mode_port_dfds`] — the MTD refactoring, delegating to
+//!   the [`crate::mode_dataflow`] module's algorithm.
+//! * [`flatten_composite`] — dissolve one level of structural hierarchy
+//!   (same-kind composites only, so channel semantics are preserved).
+
+use automode_core::model::{
+    Behavior, Component, ComponentId, Composite, Endpoint, Model,
+};
+use automode_core::rules::conflicting_components;
+use automode_core::types::DataType;
+use automode_lang::Expr;
+
+use crate::error::TransformError;
+use crate::mode_dataflow;
+
+/// Resolves an actuator conflict by adding a coordinator component:
+///
+/// * each conflicting function keeps its output port, but loses the
+///   actuator resource tag (it now *requests* rather than *drives*);
+/// * a new `<Resource>Coordinator` component takes one request input per
+///   function, owns the actuator resource on its single output, and
+///   arbitrates by fixed function priority (first listed wins when its
+///   request is present).
+///
+/// Returns the coordinator's id.
+///
+/// # Errors
+///
+/// [`TransformError::Precondition`] if the resource is not actually
+/// conflicting (fewer than two drivers).
+pub fn introduce_coordinator(
+    model: &mut Model,
+    resource: &str,
+) -> Result<ComponentId, TransformError> {
+    let conflicts = conflicting_components(model);
+    let (_, drivers) = conflicts
+        .into_iter()
+        .find(|(r, _)| r == resource)
+        .ok_or_else(|| {
+            TransformError::Precondition(format!(
+                "resource `{resource}` has no conflict to resolve"
+            ))
+        })?;
+
+    // Gather (component, port, type) of each conflicting driver, then strip
+    // the resource tags.
+    let mut requests = Vec::new();
+    for id in &drivers {
+        let comp = model.component_mut(*id);
+        let comp_name = comp.name.clone();
+        for port in &mut comp.ports {
+            if port.resource.as_deref() == Some(resource) {
+                port.resource = None;
+                requests.push((comp_name.clone(), port.name.clone(), port.ty.clone()));
+            }
+        }
+    }
+
+    // Priority arbitration: first present request wins.
+    let mut expr = Expr::ident(format!("req_{}", requests.len() - 1));
+    for (i, _) in requests.iter().enumerate().rev().skip(1) {
+        expr = Expr::OrElse(Box::new(Expr::ident(format!("req_{i}"))), Box::new(expr));
+    }
+    let out_ty = requests
+        .first()
+        .map(|(_, _, t)| t.clone())
+        .unwrap_or(DataType::Bool);
+    let mut coordinator = Component::new(format!("{resource}Coordinator"));
+    for (i, (func, port, ty)) in requests.iter().enumerate() {
+        let mut p = automode_core::model::Port::new(
+            format!("req_{i}"),
+            automode_core::model::Direction::In,
+            ty.clone(),
+        );
+        p.resource = None;
+        coordinator = coordinator.port(p);
+        let _ = (func, port);
+    }
+    coordinator = coordinator
+        .output("cmd", out_ty)
+        .resource("cmd", resource)
+        .with_behavior(Behavior::expr("cmd", expr));
+    Ok(model.add_component(coordinator)?)
+}
+
+/// Replaces an MTD component by its explicit-mode-port DFD equivalent
+/// (paper: "replace an MTD by several DFDs having explicit mode-ports"),
+/// returning the new component. The original is left in place so callers
+/// can validate equivalence before swapping references.
+///
+/// # Errors
+///
+/// See [`mode_dataflow::mtd_to_dataflow`].
+pub fn replace_mtd_by_mode_port_dfds(
+    model: &mut Model,
+    owner: ComponentId,
+) -> Result<ComponentId, TransformError> {
+    mode_dataflow::mtd_to_dataflow(model, owner)
+}
+
+/// Flattens one level of hierarchy: child instances that are themselves
+/// composites *of the same kind* are inlined into their parent (their
+/// grandchildren become children; boundary channels are spliced).
+///
+/// Returns the number of instances inlined.
+///
+/// # Errors
+///
+/// [`TransformError::Precondition`] if `owner` is not a composite.
+pub fn flatten_composite(model: &mut Model, owner: ComponentId) -> Result<usize, TransformError> {
+    let comp = model.component(owner).clone();
+    let net = match &comp.behavior {
+        Behavior::Composite(net) => net.clone(),
+        _ => {
+            return Err(TransformError::Precondition(format!(
+                "component `{}` is not a composite",
+                comp.name
+            )))
+        }
+    };
+    let mut flat = Composite::new(net.kind);
+    let mut inlined = 0usize;
+
+    // Map (old endpoint) -> new endpoint for splicing.
+    // For an inlined child c: its boundary port p maps through its own
+    // internal channels.
+    struct InlinedChild {
+        prefix: String,
+        inner: Composite,
+    }
+    let mut inlined_children: Vec<(String, InlinedChild)> = Vec::new();
+
+    for inst in &net.instances {
+        let child = model.component(inst.component).clone();
+        match &child.behavior {
+            Behavior::Composite(inner) if inner.kind == net.kind => {
+                let prefix = format!("{}__", inst.name);
+                for gi in &inner.instances {
+                    flat.instantiate(format!("{prefix}{}", gi.name), gi.component);
+                }
+                inlined_children.push((
+                    inst.name.clone(),
+                    InlinedChild {
+                        prefix,
+                        inner: inner.clone(),
+                    },
+                ));
+                inlined += 1;
+            }
+            _ => {
+                flat.instantiate(inst.name.clone(), inst.component);
+            }
+        }
+    }
+
+    let find_inlined = |name: &str| inlined_children.iter().find(|(n, _)| n == name);
+
+    // Inner channels of inlined children that stay fully internal.
+    for (_, ic) in &inlined_children {
+        for ch in &ic.inner.channels {
+            if let (Some(fi), Some(ti)) = (&ch.from.instance, &ch.to.instance) {
+                flat.connect(
+                    Endpoint::child(format!("{}{fi}", ic.prefix), ch.from.port.clone()),
+                    Endpoint::child(format!("{}{ti}", ic.prefix), ch.to.port.clone()),
+                );
+            }
+        }
+    }
+
+    // Parent channels, splicing through inlined boundaries.
+    for ch in &net.channels {
+        // Resolve source: if it is an inlined child's output, find the
+        // internal producer feeding that boundary port.
+        let sources: Vec<Endpoint> = match &ch.from.instance {
+            Some(name) => match find_inlined(name) {
+                Some((_, ic)) => ic
+                    .inner
+                    .channels
+                    .iter()
+                    .filter(|c| c.to.instance.is_none() && c.to.port == ch.from.port)
+                    .filter_map(|c| {
+                        c.from.instance.as_ref().map(|fi| {
+                            Endpoint::child(format!("{}{fi}", ic.prefix), c.from.port.clone())
+                        })
+                    })
+                    .collect(),
+                None => vec![ch.from.clone()],
+            },
+            None => vec![ch.from.clone()],
+        };
+        // Resolve destination(s): if it is an inlined child's input, fan
+        // out to every internal consumer of that boundary port.
+        let destinations: Vec<Endpoint> = match &ch.to.instance {
+            Some(name) => match find_inlined(name) {
+                Some((_, ic)) => ic
+                    .inner
+                    .channels
+                    .iter()
+                    .filter(|c| c.from.instance.is_none() && c.from.port == ch.to.port)
+                    .filter_map(|c| {
+                        c.to.instance.as_ref().map(|ti| {
+                            Endpoint::child(format!("{}{ti}", ic.prefix), c.to.port.clone())
+                        })
+                    })
+                    .collect(),
+                None => vec![ch.to.clone()],
+            },
+            None => vec![ch.to.clone()],
+        };
+        for src in &sources {
+            for dst in &destinations {
+                flat.connect(src.clone(), dst.clone());
+            }
+        }
+    }
+
+    model.component_mut(owner).behavior = Behavior::Composite(flat);
+    model.validate_composite(owner)?;
+    Ok(inlined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::model::CompositeKind;
+    use automode_core::rules::{actuator_conflicts, check_faa_rules};
+    use automode_kernel::{Stream, TraceEquivalence, Value};
+    use automode_lang::parse;
+    use automode_sim::simulate_component;
+
+    fn conflicted_model() -> Model {
+        let mut m = Model::new("body");
+        m.add_component(
+            Component::new("CentralLocking")
+                .input("speed", DataType::Float)
+                .output("lock_cmd", DataType::Bool)
+                .resource("lock_cmd", "DoorLockActuator"),
+        )
+        .unwrap();
+        m.add_component(
+            Component::new("CrashUnlock")
+                .input("crash", DataType::Bool)
+                .output("unlock_cmd", DataType::Bool)
+                .resource("unlock_cmd", "DoorLockActuator"),
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn coordinator_resolves_conflict() {
+        let mut m = conflicted_model();
+        assert_eq!(actuator_conflicts(&m).len(), 1);
+        let coord = introduce_coordinator(&mut m, "DoorLockActuator").unwrap();
+        // Conflict gone: only the coordinator owns the resource now.
+        assert!(actuator_conflicts(&m).is_empty());
+        let c = m.component(coord);
+        assert_eq!(c.name, "DoorLockActuatorCoordinator");
+        assert_eq!(c.inputs().count(), 2);
+        assert_eq!(
+            c.find_port("cmd").unwrap().resource.as_deref(),
+            Some("DoorLockActuator")
+        );
+        // Findings clean (modulo info-level ones).
+        assert!(check_faa_rules(&m)
+            .iter()
+            .all(|f| f.severity != automode_core::rules::Severity::Conflict));
+    }
+
+    #[test]
+    fn coordinator_arbitrates_first_present_request() {
+        let mut m = conflicted_model();
+        let coord = introduce_coordinator(&mut m, "DoorLockActuator").unwrap();
+        let req0 = Stream::from_values([Value::Bool(true), Value::Bool(false)]);
+        let mut req1 = Stream::new();
+        req1.push(automode_kernel::Message::present(false));
+        req1.push(automode_kernel::Message::present(true));
+        let run =
+            simulate_component(&m, coord, &[("req_0", req0), ("req_1", req1)], 2).unwrap();
+        let cmd = run.trace.signal("cmd").unwrap();
+        // req_0 present both ticks -> wins both ticks.
+        assert_eq!(cmd.present_values(), vec![Value::Bool(true), Value::Bool(false)]);
+    }
+
+    #[test]
+    fn no_conflict_means_precondition_error() {
+        let mut m = Model::new("t");
+        m.add_component(
+            Component::new("Solo")
+                .output("cmd", DataType::Bool)
+                .resource("cmd", "A"),
+        )
+        .unwrap();
+        assert!(matches!(
+            introduce_coordinator(&mut m, "A"),
+            Err(TransformError::Precondition(_))
+        ));
+    }
+
+    fn nested_model() -> (Model, ComponentId) {
+        let mut m = Model::new("t");
+        let leaf = m
+            .add_component(
+                Component::new("Inc")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x + 1.0").unwrap())),
+            )
+            .unwrap();
+        let mut inner = Composite::new(CompositeKind::Dfd);
+        inner.instantiate("a", leaf);
+        inner.instantiate("b", leaf);
+        inner.connect(Endpoint::boundary("in"), Endpoint::child("a", "x"));
+        inner.connect(Endpoint::child("a", "y"), Endpoint::child("b", "x"));
+        inner.connect(Endpoint::child("b", "y"), Endpoint::boundary("out"));
+        let mid = m
+            .add_component(
+                Component::new("Mid")
+                    .input("in", DataType::Float)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Composite(inner)),
+            )
+            .unwrap();
+        let mut outer = Composite::new(CompositeKind::Dfd);
+        outer.instantiate("m", mid);
+        outer.instantiate("tail", leaf);
+        outer.connect(Endpoint::boundary("in"), Endpoint::child("m", "in"));
+        outer.connect(Endpoint::child("m", "out"), Endpoint::child("tail", "x"));
+        outer.connect(Endpoint::child("tail", "y"), Endpoint::boundary("out"));
+        let top = m
+            .add_component(
+                Component::new("Top")
+                    .input("in", DataType::Float)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Composite(outer)),
+            )
+            .unwrap();
+        (m, top)
+    }
+
+    #[test]
+    fn flatten_preserves_semantics() {
+        let (mut m, top) = nested_model();
+        let xs = Stream::from_values([Value::Float(0.0), Value::Float(10.0)]);
+        let before = simulate_component(&m, top, &[("in", xs.clone())], 2).unwrap();
+        let inlined = flatten_composite(&mut m, top).unwrap();
+        assert_eq!(inlined, 1);
+        let after = simulate_component(&m, top, &[("in", xs)], 2).unwrap();
+        assert!(before
+            .trace
+            .equivalent(&after.trace, &TraceEquivalence::exact()));
+        // Structure is flat now: three instances at top level.
+        match &m.component(top).behavior {
+            Behavior::Composite(net) => {
+                assert_eq!(net.instances.len(), 3);
+                assert!(net.instances.iter().any(|i| i.name == "m__a"));
+            }
+            _ => panic!("still composite"),
+        }
+    }
+
+    #[test]
+    fn flatten_non_composite_rejected() {
+        let mut m = Model::new("t");
+        let plain = m
+            .add_component(
+                Component::new("P")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+            )
+            .unwrap();
+        assert!(matches!(
+            flatten_composite(&mut m, plain),
+            Err(TransformError::Precondition(_))
+        ));
+    }
+
+    #[test]
+    fn flatten_skips_different_kind_children() {
+        // An SSD child inside a DFD parent must NOT be inlined: its channel
+        // delays would be lost.
+        let mut m = Model::new("t");
+        let leaf = m
+            .add_component(
+                Component::new("Id")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+            )
+            .unwrap();
+        let mut ssd = Composite::new(CompositeKind::Ssd);
+        ssd.instantiate("a", leaf);
+        ssd.connect(Endpoint::boundary("in"), Endpoint::child("a", "x"));
+        ssd.connect(Endpoint::child("a", "y"), Endpoint::boundary("out"));
+        let mid = m
+            .add_component(
+                Component::new("SsdMid")
+                    .input("in", DataType::Float)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Composite(ssd)),
+            )
+            .unwrap();
+        let mut outer = Composite::new(CompositeKind::Dfd);
+        outer.instantiate("m", mid);
+        outer.connect(Endpoint::boundary("in"), Endpoint::child("m", "in"));
+        outer.connect(Endpoint::child("m", "out"), Endpoint::boundary("out"));
+        let top = m
+            .add_component(
+                Component::new("Top")
+                    .input("in", DataType::Float)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Composite(outer)),
+            )
+            .unwrap();
+        let inlined = flatten_composite(&mut m, top).unwrap();
+        assert_eq!(inlined, 0);
+    }
+
+    #[test]
+    fn replace_mtd_delegates_to_mode_dataflow() {
+        let mut m = Model::new("t");
+        let a = m
+            .add_component(
+                Component::new("A")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("0.0 + x * 0.0").unwrap())),
+            )
+            .unwrap();
+        let b = m
+            .add_component(
+                Component::new("B")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+            )
+            .unwrap();
+        let mut mtd = automode_core::Mtd::new();
+        let ma = mtd.add_mode("Off", a);
+        let mb = mtd.add_mode("On", b);
+        mtd.add_transition(ma, mb, parse("x > 1.0").unwrap(), 0);
+        let owner = m
+            .add_component(
+                Component::new("Sw")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Mtd(mtd)),
+            )
+            .unwrap();
+        let df = replace_mtd_by_mode_port_dfds(&mut m, owner).unwrap();
+        assert!(m.component(df).name.contains("dataflow"));
+    }
+}

@@ -1,0 +1,511 @@
+//! Refinement: transformations from higher to lower abstraction levels.
+//!
+//! "Examples for refinement transformations include the transformation of
+//! physical signals to implementation signals (i.e. the choice of encoding
+//! and data type), clustering of DFDs according to their clocks neglecting
+//! their functional coherency and last but not least the mapping of CCDs
+//! to ECUs and tasks" (paper, Sec. 4). The first two live here (the third
+//! is [`deploy`](mod@crate::deploy)):
+//!
+//! * [`auto_refine`] — choose implementation types and encodings for every
+//!   port of the given components, from declared physical ranges;
+//! * [`cluster_by_clocks`] — group the instances of a DFD by their
+//!   execution period into LA clusters, auto-inserting delay operators on
+//!   slow→fast channels so the OSEK well-definedness conditions hold;
+//! * [`dissolve_ssd`] — flatten a top-level SSD into a CCD, turning each
+//!   SSD channel's implicit message delay into an explicit delay operator
+//!   (Sec. 3.3: "some of the topmost SSD hierarchies may be dissolved in
+//!   favor of a flat CCD representation").
+
+use std::collections::BTreeMap;
+
+use automode_core::ccd::{Ccd, CcdChannel, Cluster};
+use automode_core::model::{
+    Behavior, Component, ComponentId, Composite, CompositeKind, Model,
+};
+use automode_core::types::{DataType, Encoding, ImplType, Refinement};
+use automode_core::{CoreError, Endpoint};
+
+use crate::error::TransformError;
+
+/// Report of an automatic type refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinementReport {
+    /// `(component.port, chosen implementation type)` per refined port.
+    pub choices: Vec<(String, ImplType)>,
+    /// The worst quantization error bound across all fixed-point choices.
+    pub max_quantization_error: f64,
+}
+
+/// Chooses an implementation type for one abstract type and range.
+fn choose_impl(ty: &DataType, range: Option<(f64, f64)>) -> (ImplType, Encoding) {
+    match ty {
+        DataType::Bool => (ImplType::Bool, Encoding::identity()),
+        DataType::Enum(e) => (ImplType::Enum(e.clone()), Encoding::identity()),
+        DataType::Int => {
+            let it = match range {
+                Some((lo, hi)) if lo >= i8::MIN as f64 && hi <= i8::MAX as f64 => ImplType::Int8,
+                Some((lo, hi)) if lo >= i16::MIN as f64 && hi <= i16::MAX as f64 => {
+                    ImplType::Int16
+                }
+                _ => ImplType::Int32,
+            };
+            (it, Encoding::identity())
+        }
+        DataType::Float | DataType::Physical { .. } => match range {
+            Some((lo, hi)) => {
+                let max_abs = lo.abs().max(hi.abs()).max(1e-9);
+                // fixed16: raw in [-32768, 32767]; pick the largest frac
+                // that still fits the range.
+                let mut frac = 0u8;
+                while frac < 14 && max_abs * f64::from(1u32 << (frac + 1)) <= 32767.0 {
+                    frac += 1;
+                }
+                (
+                    ImplType::Fixed {
+                        width: 16,
+                        frac_bits: frac,
+                    },
+                    Encoding::scaled(1.0 / f64::from(1u32 << frac)),
+                )
+            }
+            None => (ImplType::Float32, Encoding::identity()),
+        },
+    }
+}
+
+/// Automatically refines every port of the given components: each port gets
+/// an implementation type and encoding chosen from `ranges` (keyed by
+/// `(component, port)`), validated against the abstract type.
+///
+/// # Errors
+///
+/// Propagates [`Refinement::checked`] failures.
+pub fn auto_refine(
+    model: &mut Model,
+    components: &[ComponentId],
+    ranges: &BTreeMap<(String, String), (f64, f64)>,
+) -> Result<RefinementReport, TransformError> {
+    let mut report = RefinementReport {
+        choices: Vec::new(),
+        max_quantization_error: 0.0,
+    };
+    for &cid in components {
+        let comp_name = model.component(cid).name.clone();
+        let ports: Vec<String> = model
+            .component(cid)
+            .ports
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        for port_name in ports {
+            let key = (comp_name.clone(), port_name.clone());
+            let range = ranges.get(&key).copied();
+            let ty = model
+                .component(cid)
+                .find_port(&port_name)
+                .expect("listed above")
+                .ty
+                .clone();
+            let (impl_ty, encoding) = choose_impl(&ty, range);
+            let refinement = Refinement::checked(&ty, impl_ty.clone(), encoding, range)?;
+            report.max_quantization_error = report
+                .max_quantization_error
+                .max(refinement.encoding.max_quantization_error() * matches!(impl_ty, ImplType::Fixed { .. }) as u8 as f64);
+            report
+                .choices
+                .push((format!("{comp_name}.{port_name}"), impl_ty));
+            let comp = model.component_mut(cid);
+            let port = comp
+                .ports
+                .iter_mut()
+                .find(|p| p.name == port_name)
+                .expect("listed above");
+            port.refinement = Some(refinement);
+        }
+    }
+    Ok(report)
+}
+
+/// Groups the child instances of a DFD composite into LA clusters by their
+/// execution period ("clustering of DFDs according to their clocks
+/// neglecting their functional coherency").
+///
+/// `periods` assigns each instance its period in base ticks. Instances
+/// sharing a period form one cluster component (a DFD wrapping them);
+/// channels crossing clusters become CCD channels, with a delay operator
+/// auto-inserted when data flows slow→fast. Channels touching the
+/// composite's own boundary become open cluster ports (driven by the
+/// environment).
+///
+/// Returns the CCD; the cluster components are added to the model.
+///
+/// # Errors
+///
+/// [`TransformError::Precondition`] if `owner` is not a DFD composite or an
+/// instance has no period assigned.
+pub fn cluster_by_clocks(
+    model: &mut Model,
+    owner: ComponentId,
+    periods: &BTreeMap<String, u32>,
+) -> Result<Ccd, TransformError> {
+    let comp = model.component(owner).clone();
+    let net = match &comp.behavior {
+        Behavior::Composite(net) if net.kind == CompositeKind::Dfd => net.clone(),
+        _ => {
+            return Err(TransformError::Precondition(format!(
+                "component `{}` is not a DFD composite",
+                comp.name
+            )))
+        }
+    };
+    for inst in &net.instances {
+        if !periods.contains_key(&inst.name) {
+            return Err(TransformError::Precondition(format!(
+                "instance `{}` has no period assigned",
+                inst.name
+            )));
+        }
+    }
+    // Group instances by period.
+    let mut groups: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for inst in &net.instances {
+        groups.entry(periods[&inst.name]).or_default().push(inst.name.clone());
+    }
+    let group_of = |inst: &str| periods[inst];
+
+    // Pre-resolve the type of every child port referenced by a channel, so
+    // the builder loop below can mutate the model freely.
+    let mut port_types: BTreeMap<(String, String), DataType> = BTreeMap::new();
+    for ch in &net.channels {
+        for ep in [&ch.from, &ch.to] {
+            if let Some(inst_name) = &ep.instance {
+                let inst = net.instance(inst_name).expect("validated");
+                let child = model.component(inst.component);
+                let port = child.find_port(&ep.port).ok_or_else(|| CoreError::UnknownPort {
+                    component: child.name.clone(),
+                    port: ep.port.clone(),
+                })?;
+                port_types.insert((inst_name.clone(), ep.port.clone()), port.ty.clone());
+            }
+        }
+    }
+    let port_type = |inst_name: &str, port: &str| -> DataType {
+        port_types[&(inst_name.to_string(), port.to_string())].clone()
+    };
+
+    // Build one cluster component per group.
+    let mut ccd = Ccd::new();
+    let mut cluster_names: BTreeMap<u32, String> = BTreeMap::new();
+    for (&period, members) in &groups {
+        let cname = format!("{}_cluster_{}t", comp.name, period);
+        let mut inner = Composite::new(CompositeKind::Dfd);
+        for m in members {
+            let inst = net.instance(m).expect("validated");
+            inner.instantiate(m.clone(), inst.component);
+        }
+        let mut cluster_comp = Component::new(cname.clone());
+        // Wire channels; create boundary ports for anything crossing the
+        // cluster boundary.
+        for ch in &net.channels {
+            let from_in = ch
+                .from
+                .instance
+                .as_ref()
+                .map(|i| members.contains(i))
+                .unwrap_or(false);
+            let to_in = ch
+                .to
+                .instance
+                .as_ref()
+                .map(|i| members.contains(i))
+                .unwrap_or(false);
+            match (from_in, to_in) {
+                (true, true) => inner.connect(ch.from.clone(), ch.to.clone()),
+                (true, false) => {
+                    // Export an output port.
+                    let fi = ch.from.instance.as_ref().expect("child");
+                    let pname = format!("{fi}_{}", ch.from.port);
+                    if cluster_comp.find_port(&pname).is_none() {
+                        cluster_comp = cluster_comp.output(pname.clone(), port_type(fi, &ch.from.port));
+                        inner.connect(ch.from.clone(), Endpoint::boundary(pname));
+                    }
+                }
+                (false, true) => {
+                    let ti = ch.to.instance.as_ref().expect("child");
+                    let pname = format!("{ti}_{}", ch.to.port);
+                    if cluster_comp.find_port(&pname).is_none() {
+                        cluster_comp = cluster_comp.input(pname.clone(), port_type(ti, &ch.to.port));
+                        inner.connect(Endpoint::boundary(pname), ch.to.clone());
+                    }
+                }
+                (false, false) => {}
+            }
+        }
+        cluster_comp = cluster_comp.with_behavior(Behavior::Composite(inner));
+        let cid = model.add_component(cluster_comp)?;
+        ccd = ccd.cluster(Cluster::new(cname.clone(), cid, period));
+        cluster_names.insert(period, cname);
+    }
+
+    // CCD channels for cross-cluster flows (delay on slow->fast).
+    for ch in &net.channels {
+        let (Some(fi), Some(ti)) = (&ch.from.instance, &ch.to.instance) else {
+            continue;
+        };
+        let (fp, tp) = (group_of(fi), group_of(ti));
+        if fp == tp {
+            continue;
+        }
+        let mut ccd_ch = CcdChannel::direct(
+            cluster_names[&fp].clone(),
+            format!("{fi}_{}", ch.from.port),
+            cluster_names[&tp].clone(),
+            format!("{ti}_{}", ch.to.port),
+        );
+        if fp > tp {
+            // Slow-rate producer to fast-rate consumer: the OSEK target
+            // requires at least one delay operator (Sec. 3.3).
+            ccd_ch = ccd_ch.with_delays(1);
+        }
+        ccd = ccd.channel(ccd_ch);
+    }
+    ccd.validate_structure(model)?;
+    Ok(ccd)
+}
+
+/// Dissolves a top-level SSD into a flat CCD: every instance becomes a
+/// cluster (period from `periods`), and every SSD channel becomes a CCD
+/// channel with **one explicit delay operator**, preserving the SSD's
+/// channel-delay semantics.
+///
+/// Channels touching the SSD boundary are dropped (driven by/observed from
+/// the environment).
+///
+/// # Errors
+///
+/// [`TransformError::Precondition`] if `owner` is not an SSD composite or
+/// an instance has no period assigned.
+pub fn dissolve_ssd(
+    model: &Model,
+    owner: ComponentId,
+    periods: &BTreeMap<String, u32>,
+) -> Result<Ccd, TransformError> {
+    let comp = model.component(owner);
+    let net = match &comp.behavior {
+        Behavior::Composite(net) if net.kind == CompositeKind::Ssd => net,
+        _ => {
+            return Err(TransformError::Precondition(format!(
+                "component `{}` is not an SSD composite",
+                comp.name
+            )))
+        }
+    };
+    let mut ccd = Ccd::new();
+    for inst in &net.instances {
+        let period = *periods.get(&inst.name).ok_or_else(|| {
+            TransformError::Precondition(format!(
+                "instance `{}` has no period assigned",
+                inst.name
+            ))
+        })?;
+        ccd = ccd.cluster(Cluster::new(inst.name.clone(), inst.component, period));
+    }
+    for ch in &net.channels {
+        let (Some(fi), Some(ti)) = (&ch.from.instance, &ch.to.instance) else {
+            continue;
+        };
+        ccd = ccd.channel(
+            CcdChannel::direct(fi.clone(), ch.from.port.clone(), ti.clone(), ch.to.port.clone())
+                .with_delays(1),
+        );
+    }
+    ccd.validate_structure(model)?;
+    Ok(ccd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::ccd::FixedPriorityDataIntegrityPolicy;
+    use automode_core::types::EnumType;
+    use automode_lang::parse;
+
+    #[test]
+    fn choose_impl_covers_kinds() {
+        assert_eq!(choose_impl(&DataType::Bool, None).0, ImplType::Bool);
+        assert_eq!(
+            choose_impl(&DataType::Int, Some((-100.0, 100.0))).0,
+            ImplType::Int8
+        );
+        assert_eq!(
+            choose_impl(&DataType::Int, Some((-30000.0, 30000.0))).0,
+            ImplType::Int16
+        );
+        assert_eq!(choose_impl(&DataType::Int, None).0, ImplType::Int32);
+        assert_eq!(choose_impl(&DataType::Float, None).0, ImplType::Float32);
+        let e = EnumType::new("E", ["A"]);
+        assert_eq!(
+            choose_impl(&DataType::Enum(e.clone()), None).0,
+            ImplType::Enum(e)
+        );
+        // Physical with a range -> fixed point with max usable precision.
+        let (it, enc) = choose_impl(&DataType::physical("Voltage", "V"), Some((0.0, 16.0)));
+        match it {
+            ImplType::Fixed { width: 16, frac_bits } => {
+                assert!(frac_bits >= 10, "expected fine scale, got q{frac_bits}");
+                // Range must fit.
+                assert!(enc.quantize(16.0) <= 32767);
+            }
+            other => panic!("expected fixed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn auto_refine_sets_refinements() {
+        let mut m = Model::new("t");
+        let c = m
+            .add_component(
+                Component::new("Ctrl")
+                    .input("v", DataType::physical("Voltage", "V"))
+                    .output("ok", DataType::Bool),
+            )
+            .unwrap();
+        let mut ranges = BTreeMap::new();
+        ranges.insert(("Ctrl".to_string(), "v".to_string()), (0.0, 16.0));
+        let report = auto_refine(&mut m, &[c], &ranges).unwrap();
+        assert_eq!(report.choices.len(), 2);
+        assert!(m
+            .component(c)
+            .find_port("v")
+            .unwrap()
+            .refinement
+            .is_some());
+        assert!(report.max_quantization_error > 0.0);
+        assert!(report.max_quantization_error < 0.01);
+    }
+
+    fn rated_dfd(m: &mut Model) -> (ComponentId, BTreeMap<String, u32>) {
+        let fast = m
+            .add_component(
+                Component::new("FastBlock")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x * 2.0").unwrap())),
+            )
+            .unwrap();
+        let slow = m
+            .add_component(
+                Component::new("SlowBlock")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x + 1.0").unwrap())),
+            )
+            .unwrap();
+        let mut net = Composite::new(CompositeKind::Dfd);
+        net.instantiate("f1", fast);
+        net.instantiate("f2", fast);
+        net.instantiate("s1", slow);
+        net.connect(Endpoint::boundary("in"), Endpoint::child("f1", "x"));
+        net.connect(Endpoint::child("f1", "y"), Endpoint::child("f2", "x"));
+        net.connect(Endpoint::child("f2", "y"), Endpoint::child("s1", "x"));
+        net.connect(Endpoint::child("s1", "y"), Endpoint::boundary("out"));
+        let top = m
+            .add_component(
+                Component::new("Ctrl")
+                    .input("in", DataType::Float)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Composite(net)),
+            )
+            .unwrap();
+        let mut periods = BTreeMap::new();
+        periods.insert("f1".to_string(), 10);
+        periods.insert("f2".to_string(), 10);
+        periods.insert("s1".to_string(), 100);
+        (top, periods)
+    }
+
+    #[test]
+    fn cluster_by_clocks_groups_by_period() {
+        let mut m = Model::new("t");
+        let (top, periods) = rated_dfd(&mut m);
+        let ccd = cluster_by_clocks(&mut m, top, &periods).unwrap();
+        assert_eq!(ccd.clusters.len(), 2);
+        let fast = ccd.find_cluster("Ctrl_cluster_10t").unwrap();
+        let slow = ccd.find_cluster("Ctrl_cluster_100t").unwrap();
+        assert_eq!(fast.period, 10);
+        assert_eq!(slow.period, 100);
+        // Exactly one cross-cluster channel: f2 -> s1 (fast->slow, direct).
+        assert_eq!(ccd.channels.len(), 1);
+        assert_eq!(ccd.channels[0].delays, 0);
+        ccd.validate_against(&m, &FixedPriorityDataIntegrityPolicy::new())
+            .unwrap();
+    }
+
+    #[test]
+    fn cluster_by_clocks_inserts_delay_on_slow_to_fast() {
+        let mut m = Model::new("t");
+        let (top, mut periods) = rated_dfd(&mut m);
+        // Reverse the rate assignment so f2 -> s1 becomes slow -> fast.
+        periods.insert("f1".to_string(), 100);
+        periods.insert("f2".to_string(), 100);
+        periods.insert("s1".to_string(), 10);
+        let ccd = cluster_by_clocks(&mut m, top, &periods).unwrap();
+        assert_eq!(ccd.channels.len(), 1);
+        assert_eq!(ccd.channels[0].delays, 1);
+        ccd.validate_against(&m, &FixedPriorityDataIntegrityPolicy::new())
+            .unwrap();
+    }
+
+    #[test]
+    fn cluster_by_clocks_requires_periods() {
+        let mut m = Model::new("t");
+        let (top, mut periods) = rated_dfd(&mut m);
+        periods.remove("s1");
+        assert!(matches!(
+            cluster_by_clocks(&mut m, top, &periods),
+            Err(TransformError::Precondition(_))
+        ));
+    }
+
+    #[test]
+    fn dissolve_ssd_preserves_delays_as_operators() {
+        let mut m = Model::new("t");
+        let a = m
+            .add_component(
+                Component::new("A")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+            )
+            .unwrap();
+        let mut ssd = Composite::new(CompositeKind::Ssd);
+        ssd.instantiate("a1", a);
+        ssd.instantiate("a2", a);
+        ssd.connect(Endpoint::child("a1", "y"), Endpoint::child("a2", "x"));
+        ssd.connect(Endpoint::child("a2", "y"), Endpoint::child("a1", "x"));
+        let top = m
+            .add_component(Component::new("Sys").with_behavior(Behavior::Composite(ssd)))
+            .unwrap();
+        let mut periods = BTreeMap::new();
+        periods.insert("a1".to_string(), 10);
+        periods.insert("a2".to_string(), 20);
+        let ccd = dissolve_ssd(&m, top, &periods).unwrap();
+        assert_eq!(ccd.clusters.len(), 2);
+        assert_eq!(ccd.channels.len(), 2);
+        assert!(ccd.channels.iter().all(|c| c.delays == 1));
+        // Both directions pass the OSEK policy thanks to the delays.
+        ccd.validate_against(&m, &FixedPriorityDataIntegrityPolicy::new())
+            .unwrap();
+    }
+
+    #[test]
+    fn dissolve_requires_ssd() {
+        let mut m = Model::new("t");
+        let (top, periods) = rated_dfd(&mut m);
+        assert!(matches!(
+            dissolve_ssd(&m, top, &periods),
+            Err(TransformError::Precondition(_))
+        ));
+    }
+}

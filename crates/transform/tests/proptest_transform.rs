@@ -1,0 +1,205 @@
+//! Property-based tests of the transformation framework: symbolic
+//! execution agreement with interpretation, and MTD-to-dataflow trace
+//! equivalence over random mode machines.
+
+use std::collections::BTreeMap;
+
+use automode_ascet::model::{AscetModel, AscetType, MessageDecl, MessageKind, Module, Process, Stmt};
+use automode_ascet::{AscetInterp, Stimulus};
+use automode_core::model::{Behavior, Component, Model};
+use automode_core::types::DataType;
+use automode_core::Mtd;
+use automode_kernel::ops::BinOp;
+use automode_kernel::{TraceEquivalence, Value};
+use automode_lang::Expr;
+use automode_sim::{simulate_component, stimulus};
+use automode_transform::mode_dataflow::mtd_to_dataflow;
+use automode_transform::reengineer::{reengineer_module, symbolic_exec};
+use proptest::prelude::*;
+
+/// Random straight-line + conditional statement lists over inputs `a`, `b`
+/// and outputs `o0`, `o1` (every branch assigns both outputs first so the
+/// one-sided-assignment restriction never triggers).
+fn arb_stmts() -> impl Strategy<Value = Vec<Stmt>> {
+    let num = prop_oneof![
+        Just(Expr::ident("a")),
+        Just(Expr::ident("b")),
+        (0i64..10).prop_map(Expr::lit),
+    ];
+    let arith = (num.clone(), num.clone(), prop_oneof![
+        Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Min), Just(BinOp::Max)
+    ])
+        .prop_map(|(x, y, op)| Expr::bin(op, x, y));
+    let assign = (prop_oneof![Just("o0"), Just("o1")], arith.clone())
+        .prop_map(|(t, e)| Stmt::assign(t, e));
+    let init = Just(vec![
+        Stmt::assign("o0", Expr::lit(0i64)),
+        Stmt::assign("o1", Expr::lit(0i64)),
+    ]);
+    let cond = (num, arith.clone(), arith)
+        .prop_map(|(c, t, e)| Stmt::If {
+            cond: Expr::bin(BinOp::Gt, c, Expr::lit(3i64)),
+            then_branch: vec![Stmt::assign("o0", t)],
+            else_branch: vec![Stmt::assign("o0", e)],
+        });
+    (init, prop::collection::vec(prop_oneof![3 => assign, 1 => cond], 0..6))
+        .prop_map(|(mut i, rest)| {
+            i.extend(rest);
+            i
+        })
+}
+
+fn make_process_model(body: Vec<Stmt>) -> AscetModel {
+    AscetModel::new("p").module(
+        Module::new("m")
+            .message(MessageDecl::new("a", AscetType::SDisc, MessageKind::Receive))
+            .message(MessageDecl::new("b", AscetType::SDisc, MessageKind::Receive))
+            .message(MessageDecl::new("o0", AscetType::SDisc, MessageKind::Send))
+            .message(MessageDecl::new("o1", AscetType::SDisc, MessageKind::Send))
+            .process(Process::new("p", 1, body)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Symbolic execution agrees with the ASCET interpreter: evaluating the
+    /// derived output expressions equals running the statements.
+    #[test]
+    fn symbolic_exec_agrees_with_interpreter(
+        body in arb_stmts(),
+        a in -20i64..20,
+        b in -20i64..20
+    ) {
+        let model = make_process_model(body.clone());
+        // Interpreter result after one activation.
+        let mut interp = AscetInterp::new(&model).unwrap();
+        let mut stim = Stimulus::new();
+        stim.insert("a".into(), Box::new(move |_| Some(Value::Int(a))));
+        stim.insert("b".into(), Box::new(move |_| Some(Value::Int(b))));
+        interp.step_ms(&stim).unwrap();
+
+        // Symbolic result evaluated over the same inputs.
+        let mut env = BTreeMap::new();
+        symbolic_exec(&body, &mut env).unwrap();
+        let mut eval_env = automode_lang::Env::new();
+        eval_env.bind_value("a", a).bind_value("b", b);
+        for out in ["o0", "o1"] {
+            let expr = env.get(out).expect("assigned by init");
+            let sym = expr.eval(&eval_env).unwrap().into_value().unwrap();
+            prop_assert_eq!(Some(&sym), interp.value(out), "output {}", out);
+        }
+    }
+
+    /// White-box reengineering of a random stateless process is trace
+    /// equivalent to the ASCET interpretation on the activation grid.
+    #[test]
+    fn reengineering_preserves_traces(body in arb_stmts(), seed in 0u64..1000) {
+        let model = make_process_model(body);
+        let mut fda = Model::new("fda");
+        let report = reengineer_module(&model, "m", &mut fda).unwrap();
+        let (comp, _) = report.components[0];
+
+        let a_stream = stimulus::seeded_random(-20.0, 20.0, 10, seed);
+        let a_vals: Vec<i64> = a_stream
+            .present_values()
+            .iter()
+            .map(|v| v.as_float().unwrap() as i64)
+            .collect();
+        let b_vals: Vec<i64> = stimulus::seeded_random(-20.0, 20.0, 10, seed + 1)
+            .present_values()
+            .iter()
+            .map(|v| v.as_float().unwrap() as i64)
+            .collect();
+
+        let mut interp = AscetInterp::new(&model).unwrap();
+        let av = a_vals.clone();
+        let bv = b_vals.clone();
+        let mut stim = Stimulus::new();
+        stim.insert("a".into(), Box::new(move |t| Some(Value::Int(av[t as usize % av.len()]))));
+        stim.insert("b".into(), Box::new(move |t| Some(Value::Int(bv[t as usize % bv.len()]))));
+        let ascet_trace = interp.run(10, &stim, &["o0", "o1"]).unwrap();
+
+        let inputs: Vec<(&str, automode_kernel::Stream)> = {
+            let comp_ref = fda.component(comp);
+            comp_ref
+                .inputs()
+                .map(|p| {
+                    let vals = if p.name == "a" { &a_vals } else { &b_vals };
+                    let s: automode_kernel::Stream = vals
+                        .iter()
+                        .map(|&v| automode_kernel::Message::present(Value::Int(v)))
+                        .collect();
+                    (if p.name == "a" { "a" } else { "b" }, s)
+                })
+                .collect()
+        };
+        let run = simulate_component(&fda, comp, &inputs, 10).unwrap();
+        for out in ["o0", "o1"] {
+            if run.trace.signal(out).is_none() {
+                continue; // output optimized away (never written)
+            }
+            prop_assert_eq!(
+                run.trace.signal(out).unwrap().present_values(),
+                ascet_trace.signal(out).unwrap().present_values(),
+                "output {}", out
+            );
+        }
+    }
+
+    /// MTD-to-dataflow equivalence over random two-mode machines with
+    /// random thresholds.
+    #[test]
+    fn mtd_to_dataflow_equivalence(
+        ta in -5.0f64..5.0,
+        tb in -5.0f64..5.0,
+        ga in -3.0f64..3.0,
+        gb in -3.0f64..3.0,
+        seed in 0u64..500
+    ) {
+        let mut model = Model::new("t");
+        let mk = |name: &str, gain: f64, model: &mut Model| {
+            model
+                .add_component(
+                    Component::new(name)
+                        .input("x", DataType::Float)
+                        .output("y", DataType::Float)
+                        .with_behavior(Behavior::expr(
+                            "y",
+                            Expr::bin(
+                                BinOp::Mul,
+                                Expr::ident("x"),
+                                Expr::lit(Value::Float(gain)),
+                            ),
+                        )),
+                )
+                .unwrap()
+        };
+        let ma = mk("A", ga, &mut model);
+        let mb = mk("B", gb, &mut model);
+        let mut mtd = Mtd::new();
+        let ia = mtd.add_mode("A", ma);
+        let ib = mtd.add_mode("B", mb);
+        mtd.add_transition(ia, ib, Expr::bin(BinOp::Gt, Expr::ident("x"), Expr::lit(Value::Float(ta))), 0);
+        mtd.add_transition(ib, ia, Expr::bin(BinOp::Lt, Expr::ident("x"), Expr::lit(Value::Float(tb))), 0);
+        let owner = model
+            .add_component(
+                Component::new("Owner")
+                    .input("x", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Mtd(mtd)),
+            )
+            .unwrap();
+        let df = mtd_to_dataflow(&mut model, owner).unwrap();
+
+        let x = stimulus::seeded_random(-6.0, 6.0, 60, seed);
+        let a = simulate_component(&model, owner, &[("x", x.clone())], 60).unwrap();
+        let b = simulate_component(&model, df, &[("x", x)], 60).unwrap();
+        let rel = TraceEquivalence::exact().on_signals(["y"]);
+        prop_assert!(
+            a.trace.equivalent(&b.trace, &rel),
+            "diff: {:?}",
+            a.trace.diff(&b.trace, &rel)
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 6: the engine-operation MTD driven through a full drive cycle.
+//!
+//! Simulates the six-mode MTD (Stop, Cranking, Idle, PartLoad, FullLoad,
+//! Overrun) over the standard synthetic drive cycle and prints the phase
+//! timeline decoded from the injection-time output.
+//!
+//! Run with: `cargo run --example engine_modes`
+
+use automode::core::model::Model;
+use automode::engine::build_engine_modes;
+use automode::kernel::{Message, Stream, Value};
+use automode::sim::simulate_component;
+use automode::sim::stimulus::standard_engine_cycle;
+
+fn classify(ti: f64, throttle: f64) -> &'static str {
+    if ti == 0.0 && throttle < 0.01 {
+        "Stop/Overrun (fuel cut)"
+    } else if ti == 4.0 {
+        "Cranking (rich start mixture)"
+    } else if ti == 1.0 {
+        "Idle"
+    } else if ti > 8.0 {
+        "FullLoad (enrichment)"
+    } else {
+        "PartLoad"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Fig. 6: EngineOperation MTD over a drive cycle ==\n");
+    let mut model = Model::new("engine");
+    let mtd = build_engine_modes(&mut model)?;
+    automode::core::levels::validate_fda(&model)?;
+
+    let (rpm, throttle) = standard_engine_cycle();
+    let ticks = rpm.len();
+    let key: Stream = (0..ticks)
+        .map(|t| Message::present(Value::Bool(t < ticks - 5)))
+        .collect();
+
+    let run = simulate_component(
+        &model,
+        mtd,
+        &[("key_on", key), ("rpm", rpm.clone()), ("throttle", throttle.clone())],
+        ticks,
+    )?;
+
+    println!("{:>5} {:>8} {:>9} {:>7}  mode (decoded)", "tick", "rpm", "throttle", "ti");
+    let mut last = String::new();
+    for t in 0..ticks {
+        let get = |s: &Stream| s[t].value().and_then(|v| v.as_float()).unwrap_or(0.0);
+        let ti = run.trace.signal("ti").unwrap()[t]
+            .value()
+            .and_then(|v| v.as_float())
+            .unwrap_or(f64::NAN);
+        let mode = classify(ti, get(&throttle));
+        if mode != last {
+            println!(
+                "{t:>5} {:>8.0} {:>9.2} {ti:>7.2}  {mode}",
+                get(&rpm),
+                get(&throttle),
+            );
+            last = mode.to_string();
+        }
+    }
+    println!("\nevery phase of the cycle maps to exactly one explicit mode —");
+    println!("the paper's 'global mode transition system, correct by construction'.");
+    Ok(())
+}

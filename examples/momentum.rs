@@ -1,0 +1,54 @@
+//! Fig. 5: the longitudinal momentum controller DFD.
+//!
+//! Builds the PI-plus-feed-forward controller (including the paper's `ADD`
+//! block defined by `ch1+ch2+ch3`), verifies its causality, and simulates a
+//! closed-loop speed-tracking scenario with a simple vehicle model.
+//!
+//! Run with: `cargo run --example momentum`
+
+use automode::core::model::Model;
+use automode::engine::momentum::{build_momentum_controller, MomentumGains};
+use automode::kernel::Message;
+use automode::sim::elaborate;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Fig. 5: LongitudinalMomentumController ==\n");
+    let mut model = Model::new("chassis");
+    let gains = MomentumGains::default();
+    let ctrl = build_momentum_controller(&mut model, gains)?;
+
+    // Structural causality check (the DFD contains an integrator feedback
+    // loop broken by a delay).
+    let pairs = automode::core::causality_struct::check_component(&model, ctrl)?;
+    println!(
+        "causality check: OK — {} instantaneous input->output paths\n",
+        pairs.len()
+    );
+
+    // Closed loop: a crude vehicle integrates the momentum demand.
+    let mut ready = elaborate(&model, ctrl)?.prepare()?;
+    let v_des = 20.0f64;
+    let mut v_act = 0.0f64;
+    println!("closed-loop step response to v_des = {v_des} m/s:");
+    println!("{:>5} {:>10} {:>10}", "tick", "v_act", "m_dem");
+    for t in 0..120 {
+        let out = ready.step_tick(&[
+            Message::present(automode::kernel::Value::Float(v_des)),
+            Message::present(automode::kernel::Value::Float(v_act)),
+        ])?;
+        let m_dem = out
+            .iter()
+            .find(|(n, _)| n == "m_dem")
+            .and_then(|(_, m)| m.value())
+            .and_then(|v| v.as_float())
+            .unwrap_or(0.0);
+        // Plant: dv = m_dem * dt / mass - drag.
+        v_act += m_dem * 0.25 - v_act * 0.01;
+        if t % 10 == 0 {
+            println!("{t:>5} {v_act:>10.3} {m_dem:>10.3}");
+        }
+    }
+    let err = (v_des - v_act).abs();
+    println!("\nfinal tracking error: {err:.3} m/s (integral action at work)");
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! Sec. 5 / Fig. 8: white-box reengineering of the gasoline engine
+//! controller.
+//!
+//! Lifts the flag-based ASCET model to an FDA AutoMoDe model, extracting
+//! the implicit modes of the If-Then-Else cascades into explicit MTDs
+//! (`ThrottleRateOfChange` → `CrankingOverrun` / `FuelEnabled`), and prints
+//! the before/after metrics the case study argues about.
+//!
+//! Run with: `cargo run --example reengineering`
+
+use automode::ascet::{central_flag_module, mode_candidates};
+use automode::core::model::Behavior;
+use automode::engine::{original_engine_model, reengineer_engine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Sec. 5: reengineering the engine controller ==\n");
+
+    let ascet = original_engine_model();
+    ascet.validate()?;
+    println!("original ASCET model: {} modules", ascet.modules.len());
+    let (flag_module, flag_count) = central_flag_module(&ascet).expect("flags exist");
+    println!(
+        "  central flag component: `{flag_module}` emitting {flag_count} flags \
+         (the paper's 'large number of flags representing the global state')",
+    );
+    println!("  If-Then-Else statements: {}", ascet.if_count());
+
+    let candidates = mode_candidates(&ascet);
+    println!("\nimplicit-mode candidates found by white-box analysis:");
+    for c in &candidates {
+        println!(
+            "  {}.{}: flags {:?}, shared outputs {:?}, exhaustive: {}",
+            c.module,
+            c.process,
+            c.flags,
+            c.shared_writes,
+            c.is_exhaustive()
+        );
+    }
+
+    let r = reengineer_engine()?;
+    println!("\nreengineering result:");
+    println!("  MTDs extracted:          {}", r.report.mtds_extracted);
+    println!("  modes made explicit:     {}", r.report.modes_made_explicit);
+    println!(
+        "  if-count:                {} -> {}",
+        r.ifs_before, r.metrics_after.if_count
+    );
+    println!(
+        "  components in FDA model: {}",
+        r.metrics_after.components
+    );
+
+    // Show Fig. 8: the ThrottleRateOfChange MTD.
+    let (throttle_id, _) = r.components["throttle_ctrl_calc_rate"];
+    if let Behavior::Mtd(mtd) = &r.model.component(throttle_id).behavior {
+        println!("\nFig. 8 — ThrottleRateOfChange as an MTD:");
+        for (i, mode) in mtd.modes.iter().enumerate() {
+            let marker = if i == mtd.initial { "*" } else { " " };
+            println!("  {marker} mode {}", mode.name);
+        }
+        for t in &mtd.transitions {
+            println!(
+                "    {} -> {} when {}",
+                mtd.modes[t.from].name, mtd.modes[t.to].name, t.trigger
+            );
+        }
+    }
+
+    // The second Sec. 5 claim: the central flag component does not define
+    // disjunctive states. Quantify that with the overlap analysis.
+    let mut m2 = automode::core::model::Model::new("flags");
+    let flags = {
+        use automode::core::model::{Behavior, Component};
+        use automode::core::types::DataType;
+        use automode::lang::parse;
+        m2.add_component(
+            Component::new("EngineState")
+                .input("rpm", DataType::Float)
+                .input("throttle", DataType::Float)
+                .input("key_on", DataType::Bool)
+                .output("b_cranking", DataType::Bool)
+                .output("b_running", DataType::Bool)
+                .output("b_idle", DataType::Bool)
+                .output("b_overrun", DataType::Bool)
+                .output("b_fullload", DataType::Bool)
+                .with_behavior(Behavior::Expr(
+                    [
+                        ("b_cranking", "key_on and rpm < 600.0"),
+                        ("b_running", "key_on and rpm >= 600.0"),
+                        ("b_idle", "key_on and rpm >= 600.0 and throttle < 0.05"),
+                        ("b_overrun", "key_on and rpm > 1500.0 and throttle < 0.01"),
+                        ("b_fullload", "key_on and rpm >= 600.0 and throttle > 0.9"),
+                    ]
+                    .into_iter()
+                    .map(|(n, e)| (n.to_string(), parse(e).unwrap()))
+                    .collect(),
+                )),
+        )?
+    };
+    let mut ranges = std::collections::BTreeMap::new();
+    ranges.insert("rpm".to_string(), (0.0, 7000.0));
+    ranges.insert("throttle".to_string(), (0.0, 1.0));
+    let report =
+        automode::transform::flag_overlap_report(&m2, flags, &ranges, 5_000, 42)?;
+    println!("\nflag-disjointness analysis of the central flag component");
+    println!("({} samples over the input space):", report.samples);
+    for (a, b, n) in &report.overlaps {
+        println!("  {a} and {b} simultaneously true on {n} samples");
+    }
+    println!(
+        "  -> the flags are NOT disjunctive states ({}); an explicit MTD",
+        if report.is_disjoint() { "disjoint" } else { "overlapping" }
+    );
+    println!("     (Fig. 6) with priority-ordered transitions is correct by");
+    println!("     construction instead.");
+
+    println!("\nvalidation: FDA checks pass, and the reengineered model is");
+    println!("trace-equivalent to the original on the 10 ms activation grid");
+    println!("(see the test suite and EXPERIMENTS.md, experiment E8).");
+    Ok(())
+}

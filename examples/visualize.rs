@@ -1,0 +1,48 @@
+//! Renders every case-study notation to Graphviz DOT files — the graphical
+//! views of Figs. 4–8.
+//!
+//! Run with: `cargo run --example visualize`
+//! Then: `dot -Tsvg target/diagrams/engine_modes.dot > modes.svg`
+
+use std::fs;
+use std::path::Path;
+
+use automode::core::model::{Behavior, Model};
+use automode::core::dot;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = Path::new("target/diagrams");
+    fs::create_dir_all(out_dir)?;
+
+    // The root notations of each built-in model.
+    for (name, _) in automode::cli::MODELS {
+        let (m, id) = automode::cli::build_model(name)?;
+        let text = match &m.component(id).behavior {
+            Behavior::Mtd(_) => dot::mtd_to_dot(&m, id),
+            Behavior::Std(_) => dot::std_to_dot(&m, id),
+            _ => dot::composite_to_dot(&m, id),
+        };
+        let path = out_dir.join(format!("{name}.dot"));
+        fs::write(&path, &text)?;
+        println!("wrote {} ({} bytes)", path.display(), text.len());
+    }
+
+    // The Fig. 7 CCD.
+    let mut m = Model::new("engine_la");
+    let (ccd, _) = automode::engine::build_engine_ccd(&mut m, 10, 100)?;
+    let text = dot::ccd_to_dot(&m, &ccd, "simplified_engine_controller");
+    let path = out_dir.join("engine_ccd.dot");
+    fs::write(&path, &text)?;
+    println!("wrote {} ({} bytes)", path.display(), text.len());
+
+    // Fig. 8: the extracted ThrottleRateOfChange MTD.
+    let r = automode::engine::reengineer_engine()?;
+    let (throttle_id, _) = r.components["throttle_ctrl_calc_rate"];
+    let text = dot::mtd_to_dot(&r.model, throttle_id);
+    let path = out_dir.join("fig8_throttle_mtd.dot");
+    fs::write(&path, &text)?;
+    println!("wrote {} ({} bytes)", path.display(), text.len());
+
+    println!("\nrender with e.g.: dot -Tsvg target/diagrams/engine_modes.dot -o modes.svg");
+    Ok(())
+}

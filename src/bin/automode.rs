@@ -1,0 +1,25 @@
+//! The AutoMoDe tool-prototype CLI.
+//!
+//! ```sh
+//! automode list
+//! automode simulate engine_modes 40
+//! automode dot engine_modes | dot -Tsvg > modes.svg
+//! automode reengineer
+//! automode deploy
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match automode::cli::run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! The AutoMoDe tool-prototype CLI, as a library.
+//!
+//! The paper's contribution is "a tool prototype ... in order to illustrate
+//! and validate the key elements of our approach". This module is that
+//! prototype's command surface over the built-in case-study models: list,
+//! validate, analyze, simulate, render, reengineer, and deploy — each
+//! returning its report as a `String` so the commands are unit-testable;
+//! the `automode` binary only parses arguments and prints.
+
+use std::fmt::Write as _;
+
+use automode_core::ccd::FixedPriorityDataIntegrityPolicy;
+use automode_core::model::{Behavior, ComponentId, Model};
+use automode_core::{dot, levels, rules};
+use automode_kernel::{Message, Stream, Value};
+use automode_sim::{simulate_component, stimulus};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+macro_rules! from_error {
+    ($($ty:ty),* $(,)?) => {
+        $(impl From<$ty> for CliError {
+            fn from(e: $ty) -> Self {
+                CliError(e.to_string())
+            }
+        })*
+    };
+}
+
+from_error!(
+    automode_core::CoreError,
+    automode_kernel::KernelError,
+    automode_sim::SimError,
+    automode_transform::TransformError,
+    automode_ascet::AscetError,
+    automode_platform::PlatformError,
+);
+
+/// The built-in demonstration models.
+pub const MODELS: &[(&str, &str)] = &[
+    ("door_lock", "Fig. 1/4: DoorLockControl (event-triggered, SSD context)"),
+    ("momentum", "Fig. 5: longitudinal momentum controller DFD"),
+    ("engine_modes", "Fig. 6: engine-operation MTD"),
+    ("sequencer", "start sequencer STD"),
+    ("engine", "Sec. 5: reengineered engine controller (FDA)"),
+];
+
+/// Builds a named built-in model; returns the model and its root component.
+///
+/// # Errors
+///
+/// Unknown names and construction failures.
+pub fn build_model(name: &str) -> Result<(Model, ComponentId), CliError> {
+    let mut m = Model::new(name);
+    let id = match name {
+        "door_lock" => automode_engine::build_door_lock(&mut m)?,
+        "momentum" => automode_engine::momentum::build_momentum_controller(
+            &mut m,
+            automode_engine::momentum::MomentumGains::default(),
+        )?,
+        "engine_modes" => automode_engine::build_engine_modes(&mut m)?,
+        "sequencer" => automode_engine::build_start_sequencer(&mut m)?,
+        "engine" => {
+            let r = automode_engine::reengineer_engine()?;
+            return Ok((r.model, r.root));
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown model `{other}`; try `automode list`"
+            )))
+        }
+    };
+    m.set_root(id);
+    Ok((m, id))
+}
+
+/// `automode list` — the model catalogue.
+pub fn cmd_list() -> String {
+    let mut out = String::from("built-in models:\n");
+    for (name, desc) in MODELS {
+        let _ = writeln!(out, "  {name:<14} {desc}");
+    }
+    out
+}
+
+/// `automode validate <model> [faa|fda]`.
+///
+/// # Errors
+///
+/// Unknown model/level; validation findings are part of the report, not
+/// errors.
+pub fn cmd_validate(model_name: &str, level: &str) -> Result<String, CliError> {
+    let (m, _) = build_model(model_name)?;
+    let verdict = match level {
+        "faa" => levels::validate_faa(&m).map_err(|e| e.to_string()),
+        "fda" => levels::validate_fda(&m).map_err(|e| e.to_string()),
+        other => return Err(CliError(format!("unknown level `{other}` (faa|fda)"))),
+    };
+    Ok(match verdict {
+        Ok(()) => format!("{model_name}: {} validation OK\n", level.to_uppercase()),
+        Err(e) => format!("{model_name}: {} validation FAILED: {e}\n", level.to_uppercase()),
+    })
+}
+
+/// `automode rules <model>` — the FAA design-rule findings.
+///
+/// # Errors
+///
+/// Unknown model.
+pub fn cmd_rules(model_name: &str) -> Result<String, CliError> {
+    let (m, _) = build_model(model_name)?;
+    let findings = rules::check_faa_rules(&m);
+    if findings.is_empty() {
+        return Ok(format!("{model_name}: no findings\n"));
+    }
+    let mut out = format!("{model_name}: {} findings\n", findings.len());
+    for f in findings {
+        let _ = writeln!(out, "  {f}");
+    }
+    Ok(out)
+}
+
+/// Default stimulus per input port: drive cycles for engine-ish signals,
+/// constants otherwise.
+fn default_stream(port: &str, ticks: usize) -> Stream {
+    match port {
+        "rpm" => stimulus::ramp(0.0, 4000.0, ticks),
+        "throttle" => stimulus::ramp(0.0, 1.0, ticks),
+        "key_on" => stimulus::constant(Value::Bool(true), ticks),
+        "v_des" => stimulus::constant(Value::Float(20.0), ticks),
+        "v_act" => stimulus::ramp(0.0, 20.0, ticks),
+        "FZG_V" => stimulus::constant(Value::Float(12.0), ticks),
+        "T4S" => {
+            let mut v = vec![Message::Absent; ticks];
+            if ticks > 1 {
+                v[1] = Message::present(Value::sym("Locked"));
+            }
+            if ticks > 5 {
+                v[5] = Message::present(Value::sym("Unlocked"));
+            }
+            v.into_iter().collect()
+        }
+        "CRSH" => Stream::absent(ticks),
+        _ => stimulus::constant(Value::Float(1.0), ticks),
+    }
+}
+
+/// `automode simulate <model> [ticks]` — run with the default stimulus and
+/// print the Fig. 1-style trace table.
+///
+/// # Errors
+///
+/// Unknown model or simulation failure.
+pub fn cmd_simulate(model_name: &str, ticks: usize) -> Result<String, CliError> {
+    let (m, id) = build_model(model_name)?;
+    let inputs: Vec<(String, Stream)> = m
+        .component(id)
+        .inputs()
+        .map(|p| (p.name.clone(), default_stream(&p.name, ticks)))
+        .collect();
+    let borrowed: Vec<(&str, Stream)> = inputs
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.clone()))
+        .collect();
+    let run = simulate_component(&m, id, &borrowed, ticks)?;
+    Ok(format!("{}\n", run.trace))
+}
+
+/// `automode dot <model>` — render the root notation as Graphviz DOT.
+///
+/// # Errors
+///
+/// Unknown model.
+pub fn cmd_dot(model_name: &str) -> Result<String, CliError> {
+    let (m, id) = build_model(model_name)?;
+    Ok(match &m.component(id).behavior {
+        Behavior::Mtd(_) => dot::mtd_to_dot(&m, id),
+        Behavior::Std(_) => dot::std_to_dot(&m, id),
+        _ => dot::composite_to_dot(&m, id),
+    })
+}
+
+/// `automode vcd <model> [ticks]` — simulate and export the trace as a
+/// VCD waveform for GTKWave-style viewers.
+///
+/// # Errors
+///
+/// Unknown model or simulation failure.
+pub fn cmd_vcd(model_name: &str, ticks: usize) -> Result<String, CliError> {
+    let (m, id) = build_model(model_name)?;
+    let inputs: Vec<(String, Stream)> = m
+        .component(id)
+        .inputs()
+        .map(|p| (p.name.clone(), default_stream(&p.name, ticks)))
+        .collect();
+    let borrowed: Vec<(&str, Stream)> = inputs
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.clone()))
+        .collect();
+    let run = simulate_component(&m, id, &borrowed, ticks)?;
+    Ok(automode_kernel::vcd::to_vcd(&run.trace, model_name))
+}
+
+/// `automode export <model>` — serialize a built-in model to `.amdl` text.
+///
+/// # Errors
+///
+/// Unknown model.
+pub fn cmd_export(model_name: &str) -> Result<String, CliError> {
+    let (m, _) = build_model(model_name)?;
+    Ok(automode_core::text::to_text(&m))
+}
+
+/// `automode check <file.amdl> [level]` — parse an external model file and
+/// validate it at the given abstraction level.
+///
+/// # Errors
+///
+/// I/O, parse, or unknown-level errors; validation findings are part of
+/// the report.
+pub fn cmd_check(path: &str, level: &str) -> Result<String, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    let model = automode_core::text::from_text(&src)?;
+    let verdict = match level {
+        "faa" => levels::validate_faa(&model).map_err(|e| e.to_string()),
+        "fda" => levels::validate_fda(&model).map_err(|e| e.to_string()),
+        other => return Err(CliError(format!("unknown level `{other}` (faa|fda)"))),
+    };
+    let metrics = automode_core::metrics::ModelMetrics::measure(&model);
+    let mut out = format!(
+        "{path}: parsed {} components ({} composites, {} MTDs, {} STDs)\n",
+        metrics.components, metrics.composites, metrics.mtds, metrics.stds
+    );
+    match verdict {
+        Ok(()) => {
+            let _ = writeln!(out, "{}: {} validation OK", path, level.to_uppercase());
+        }
+        Err(e) => {
+            let _ = writeln!(out, "{}: {} validation FAILED: {e}", path, level.to_uppercase());
+        }
+    }
+    Ok(out)
+}
+
+/// `automode reengineer` — the Sec. 5 case study end to end.
+///
+/// # Errors
+///
+/// Propagates reengineering failures.
+pub fn cmd_reengineer() -> Result<String, CliError> {
+    let r = automode_engine::reengineer_engine()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "white-box reengineering of the engine controller:");
+    let _ = writeln!(
+        out,
+        "  original: {} If-Then-Else, {} flags",
+        r.ifs_before, r.flags_before
+    );
+    let _ = writeln!(
+        out,
+        "  result:   {} MTDs, {} explicit modes, {} residual ifs, {} components",
+        r.report.mtds_extracted,
+        r.report.modes_made_explicit,
+        r.metrics_after.if_count,
+        r.metrics_after.components
+    );
+    for (name, (_, period)) in &r.components {
+        let _ = writeln!(out, "    {name:<28} @ {period} ms");
+    }
+    Ok(out)
+}
+
+/// `automode deploy` — the Fig. 7 CCD deployment with generated artifacts.
+///
+/// # Errors
+///
+/// Propagates deployment failures.
+pub fn cmd_deploy() -> Result<String, CliError> {
+    let mut m = Model::new("engine_la");
+    let (ccd, _) = automode_engine::build_engine_ccd(&mut m, 10, 100)?;
+    let policy = FixedPriorityDataIntegrityPolicy::new();
+    let mut spec = automode_transform::DeploymentSpec::new(["engine_ecu", "diag_ecu"])
+        .pin("fuel_control", "engine_ecu")
+        .pin("ignition_control", "engine_ecu")
+        .pin("diagnosis_monitoring", "diag_ecu");
+    for (c, w) in automode_engine::ccd::engine_cluster_wcets() {
+        spec = spec.wcet(c, w);
+    }
+    let d = automode_transform::deploy(&m, &ccd, &policy, &spec)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "deployment of the Fig. 7 engine CCD:");
+    for (cluster, (ecu, task)) in &d.assignments {
+        let _ = writeln!(out, "  {cluster:<22} -> {ecu}/{task}");
+    }
+    let _ = writeln!(out, "generated files:");
+    for p in &d.projects {
+        for (path, content) in &p.files {
+            let _ = writeln!(out, "  {path} ({} bytes)", content.len());
+        }
+    }
+    let _ = writeln!(out, "bus signals: {}", d.comm_matrix.signals.len());
+    Ok(out)
+}
+
+/// Top-level dispatch used by the binary. `args` excludes the program name.
+///
+/// # Errors
+///
+/// Returns usage or command errors for the binary to print.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: automode <list|validate|rules|simulate|dot|export|reengineer|deploy> [args]\n\
+                 \n  list                      list built-in models\
+                 \n  validate <model> [level]  check FAA/FDA conditions (default fda)\
+                 \n  rules <model>             FAA design-rule findings\
+                 \n  simulate <model> [ticks]  run with a default stimulus (default 20)\
+                 \n  dot <model>               Graphviz rendering of the root notation\
+                 \n  export <model>            serialize the model as .amdl text\
+                 \n  check <file.amdl> [level] parse + validate an external model file\
+                 \n  vcd <model> [ticks]       simulate and dump a VCD waveform\
+                 \n  reengineer                Sec. 5 case study report\
+                 \n  deploy                    Fig. 7 deployment + OA generation";
+    match args.first().map(String::as_str) {
+        Some("list") => Ok(cmd_list()),
+        Some("validate") => {
+            let model = args.get(1).ok_or_else(|| CliError(usage.into()))?;
+            let level = args.get(2).map(String::as_str).unwrap_or("fda");
+            cmd_validate(model, level)
+        }
+        Some("rules") => {
+            let model = args.get(1).ok_or_else(|| CliError(usage.into()))?;
+            cmd_rules(model)
+        }
+        Some("simulate") => {
+            let model = args.get(1).ok_or_else(|| CliError(usage.into()))?;
+            let ticks = args
+                .get(2)
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| CliError(format!("bad tick count: {e}")))?
+                .unwrap_or(20);
+            cmd_simulate(model, ticks)
+        }
+        Some("dot") => {
+            let model = args.get(1).ok_or_else(|| CliError(usage.into()))?;
+            cmd_dot(model)
+        }
+        Some("export") => {
+            let model = args.get(1).ok_or_else(|| CliError(usage.into()))?;
+            cmd_export(model)
+        }
+        Some("check") => {
+            let path = args.get(1).ok_or_else(|| CliError(usage.into()))?;
+            let level = args.get(2).map(String::as_str).unwrap_or("fda");
+            cmd_check(path, level)
+        }
+        Some("vcd") => {
+            let model = args.get(1).ok_or_else(|| CliError(usage.into()))?;
+            let ticks = args
+                .get(2)
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| CliError(format!("bad tick count: {e}")))?
+                .unwrap_or(20);
+            cmd_vcd(model, ticks)
+        }
+        Some("reengineer") => cmd_reengineer(),
+        Some("deploy") => cmd_deploy(),
+        _ => Err(CliError(usage.into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_names_every_model() {
+        let out = cmd_list();
+        for (name, _) in MODELS {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn all_models_build_and_validate_fda() {
+        for (name, _) in MODELS {
+            let report = cmd_validate(name, "fda").unwrap();
+            assert!(report.contains("OK"), "{name}: {report}");
+        }
+    }
+
+    #[test]
+    fn all_models_simulate() {
+        for (name, _) in MODELS {
+            let out = cmd_simulate(name, 10).unwrap();
+            assert!(out.contains("t+0"), "{name} produced no trace:\n{out}");
+        }
+    }
+
+    #[test]
+    fn dot_renders_each_notation() {
+        assert!(cmd_dot("engine_modes").unwrap().contains("(MTD)"));
+        assert!(cmd_dot("sequencer").unwrap().contains("(STD)"));
+        assert!(cmd_dot("momentum").unwrap().contains("(DFD)"));
+    }
+
+    #[test]
+    fn reengineer_and_deploy_report() {
+        let r = cmd_reengineer().unwrap();
+        assert!(r.contains("3 MTDs"));
+        let d = cmd_deploy().unwrap();
+        assert!(d.contains("engine_ecu/project.amdesc"));
+        assert!(d.contains("fuel_control"));
+    }
+
+    #[test]
+    fn unknown_model_and_usage_errors() {
+        assert!(build_model("nope").is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&["validate".into()]).is_err());
+        assert!(run(&["simulate".into(), "momentum".into(), "abc".into()]).is_err());
+    }
+
+    #[test]
+    fn check_roundtrips_an_exported_file() {
+        let dir = std::env::temp_dir().join("automode_cli_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("momentum.amdl");
+        std::fs::write(&path, cmd_export("momentum").unwrap()).unwrap();
+        let report = cmd_check(path.to_str().unwrap(), "fda").unwrap();
+        assert!(report.contains("validation OK"), "{report}");
+        assert!(cmd_check("/nonexistent/file.amdl", "fda").is_err());
+    }
+
+    #[test]
+    fn vcd_command_produces_valid_header() {
+        let vcd = cmd_vcd("engine_modes", 10).unwrap();
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("ti"));
+    }
+
+    #[test]
+    fn export_produces_parseable_amdl() {
+        for (name, _) in MODELS {
+            let text = cmd_export(name).unwrap();
+            automode_core::text::from_text(&text)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn run_dispatches() {
+        let out = run(&["list".into()]).unwrap();
+        assert!(out.contains("momentum"));
+        let out = run(&["simulate".into(), "door_lock".into(), "8".into()]).unwrap();
+        assert!(out.contains("T1C"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Experiment E3 (Fig. 3): the full abstraction-level pipeline.
+//!
+//! Drives one model through FAA → FDA → LA → TA/OA, validating each level's
+//! membership conditions and checking that every tool-supported transition
+//! preserves the observable behaviour.
+
+use std::collections::BTreeMap;
+
+use automode::core::ccd::FixedPriorityDataIntegrityPolicy;
+use automode::core::levels::{validate_faa, validate_fda, validate_la};
+use automode::core::model::{Behavior, Component, Composite, CompositeKind, Endpoint, Model};
+use automode::core::types::DataType;
+use automode::kernel::{Message, TraceEquivalence, Value};
+use automode::lang::parse;
+use automode::sim::{simulate_component, stimulus};
+use automode::transform::deploy::{deploy, DeploymentSpec};
+use automode::transform::refine::{auto_refine, cluster_by_clocks};
+
+/// Builds a small FAA model: two vehicle functions with unspecified
+/// behaviour around a specified controller.
+fn faa_model() -> (Model, automode::core::model::ComponentId) {
+    let mut m = Model::new("pipeline");
+    let sense = m
+        .add_component(
+            Component::new("SenseSpeed")
+                .input("wheel_pulses", DataType::Float)
+                .output("v", DataType::physical("Speed", "m/s")),
+        )
+        .unwrap();
+    let ctrl = m
+        .add_component(
+            Component::new("CruiseControl")
+                .input("v", DataType::physical("Speed", "m/s"))
+                .input("v_set", DataType::physical("Speed", "m/s"))
+                .output("torque", DataType::Float),
+        )
+        .unwrap();
+    let mut net = Composite::new(CompositeKind::Ssd);
+    net.instantiate("sense", sense);
+    net.instantiate("ctrl", ctrl);
+    net.connect(Endpoint::boundary("wheel_pulses"), Endpoint::child("sense", "wheel_pulses"));
+    net.connect(Endpoint::child("sense", "v"), Endpoint::child("ctrl", "v"));
+    net.connect(Endpoint::boundary("v_set"), Endpoint::child("ctrl", "v_set"));
+    net.connect(Endpoint::child("ctrl", "torque"), Endpoint::boundary("torque"));
+    let root = m
+        .add_component(
+            Component::new("Vehicle")
+                .input("wheel_pulses", DataType::Float)
+                .input("v_set", DataType::physical("Speed", "m/s"))
+                .output("torque", DataType::Float)
+                .with_behavior(Behavior::Composite(net)),
+        )
+        .unwrap();
+    m.set_root(root);
+    (m, root)
+}
+
+#[test]
+fn faa_accepts_unspecified_fda_rejects() {
+    let (m, _) = faa_model();
+    validate_faa(&m).unwrap();
+    assert!(validate_fda(&m).is_err());
+}
+
+#[test]
+fn full_pipeline_faa_to_oa() {
+    // --- FAA ------------------------------------------------------------
+    let (mut m, root) = faa_model();
+    validate_faa(&m).unwrap();
+
+    // --- FAA -> FDA: supply the behaviours ------------------------------
+    let sense = m.find("SenseSpeed").unwrap();
+    m.component_mut(sense).behavior =
+        Behavior::expr("v", parse("wheel_pulses * 0.05").unwrap());
+    let ctrl = m.find("CruiseControl").unwrap();
+    m.component_mut(ctrl).behavior =
+        Behavior::expr("torque", parse("clamp((v_set - v) * 2.0, -50.0, 50.0)").unwrap());
+    validate_fda(&m).unwrap();
+
+    // Behavioural reference at the FDA level. The SSD has three message
+    // delays on the measurement path, so give it three extra ticks (held
+    // inputs) for the comparison window.
+    let mut pulses = stimulus::ramp(0.0, 400.0, 40);
+    let mut v_set = stimulus::constant(Value::Float(15.0), 40);
+    for _ in 0..3 {
+        pulses.push(Message::present(Value::Float(400.0)));
+        v_set.push(Message::present(Value::Float(15.0)));
+    }
+    let fda_run = simulate_component(
+        &m,
+        root,
+        &[("wheel_pulses", pulses.clone()), ("v_set", v_set.clone())],
+        43,
+    )
+    .unwrap();
+
+    // --- FDA -> LA: type refinement + clustering -------------------------
+    let mut ranges = BTreeMap::new();
+    for (comp, port, lo, hi) in [
+        ("SenseSpeed", "wheel_pulses", 0.0, 500.0),
+        ("SenseSpeed", "v", 0.0, 70.0),
+        ("CruiseControl", "v", 0.0, 70.0),
+        ("CruiseControl", "v_set", 0.0, 70.0),
+        ("CruiseControl", "torque", -50.0, 50.0),
+    ] {
+        ranges.insert((comp.to_string(), port.to_string()), (lo, hi));
+    }
+    let report = auto_refine(&mut m, &[sense, ctrl], &ranges).unwrap();
+    assert_eq!(report.choices.len(), 5);
+    assert!(report.max_quantization_error < 0.01);
+
+    // Cluster the (conceptually single-rate) DFD version of the system:
+    // rebuild the root as a DFD so clustering applies, with the sense path
+    // at the fast rate and control at the slow rate.
+    let mut dfd = Composite::new(CompositeKind::Dfd);
+    dfd.instantiate("sense", sense);
+    dfd.instantiate("ctrl", ctrl);
+    dfd.connect(Endpoint::boundary("wheel_pulses"), Endpoint::child("sense", "wheel_pulses"));
+    dfd.connect(Endpoint::child("sense", "v"), Endpoint::child("ctrl", "v"));
+    dfd.connect(Endpoint::boundary("v_set"), Endpoint::child("ctrl", "v_set"));
+    dfd.connect(Endpoint::child("ctrl", "torque"), Endpoint::boundary("torque"));
+    let dfd_root = m
+        .add_component(
+            Component::new("VehicleDfd")
+                .input("wheel_pulses", DataType::Float)
+                .input("v_set", DataType::physical("Speed", "m/s"))
+                .output("torque", DataType::Float)
+                .with_behavior(Behavior::Composite(dfd)),
+        )
+        .unwrap();
+    let mut periods = BTreeMap::new();
+    periods.insert("sense".to_string(), 1u32);
+    periods.insert("ctrl".to_string(), 10u32);
+    let ccd = cluster_by_clocks(&mut m, dfd_root, &periods).unwrap();
+    assert_eq!(ccd.clusters.len(), 2);
+
+    // LA validation needs refined ports on the cluster components too.
+    let cluster_ids: Vec<_> = ccd.clusters.iter().map(|c| c.component).collect();
+    let mut cluster_ranges = BTreeMap::new();
+    for c in &ccd.clusters {
+        for p in m.component(c.component).ports.clone() {
+            cluster_ranges.insert(
+                (m.component(c.component).name.clone(), p.name.clone()),
+                (0.0, 500.0),
+            );
+        }
+    }
+    auto_refine(&mut m, &cluster_ids, &cluster_ranges).unwrap();
+    let policy = FixedPriorityDataIntegrityPolicy::new();
+    validate_la(&m, &ccd, &policy).unwrap();
+
+    // The FDA behaviour still matches: simulate the DFD root (the clusters
+    // only regroup it) against the SSD reference modulo the SSD latency.
+    let dfd_run = simulate_component(
+        &m,
+        dfd_root,
+        &[("wheel_pulses", pulses), ("v_set", v_set)],
+        40,
+    )
+    .unwrap();
+    // The SSD version has 3 delays on the pulse path (in, internal, out)
+    // and 2 on v_set; the DFD has none: dfd(t) == ssd(t + 3). Skip the
+    // first ticks where the shorter v_set path still sees the transient.
+    let rel = TraceEquivalence::exact()
+        .on_signals(["torque"])
+        .with_shift(3)
+        .skipping(5);
+    assert!(
+        dfd_run.trace.equivalent(&fda_run.trace, &rel),
+        "diff: {:?}",
+        dfd_run.trace.diff(&fda_run.trace, &rel)
+    );
+
+    // --- LA -> TA/OA: deployment -----------------------------------------
+    let spec = DeploymentSpec::new(["vehicle_ecu"]);
+    let d = deploy(&m, &ccd, &policy, &spec).unwrap();
+    assert!(d.clusters_unsplit());
+    assert_eq!(d.projects.len(), 1);
+    let manifest = d.projects[0].file("vehicle_ecu/project.amdesc").unwrap();
+    assert!(manifest.contains("VehicleDfd_cluster_1t"));
+    assert!(manifest.contains("VehicleDfd_cluster_10t"));
+}
+
+#[test]
+fn pipeline_rejects_ill_typed_refinement_step() {
+    let (m, _) = faa_model();
+    let sense = m.find("SenseSpeed").unwrap();
+    // A boolean cannot implement a speed signal: auto_refine with a silly
+    // range still chooses a numeric type, but a bad explicit refinement is
+    // rejected by the checked constructor.
+    let err = automode::core::types::Refinement::checked(
+        &DataType::physical("Speed", "m/s"),
+        automode::core::types::ImplType::Bool,
+        automode::core::types::Encoding::identity(),
+        None,
+    )
+    .unwrap_err();
+    assert!(matches!(err, automode::core::CoreError::Refinement(_)));
+    let _ = sense;
+}

@@ -1,0 +1,175 @@
+//! Experiment E8 (Sec. 5 / Fig. 8): the engine-controller case study, end
+//! to end — reengineering, MTD extraction, metric deltas, behaviour
+//! preservation, and the follow-on MTD-to-dataflow refactoring.
+
+use automode::core::metrics::ModelMetrics;
+use automode::core::model::Behavior;
+use automode::engine::{original_engine_model, reengineer_engine};
+use automode::kernel::TraceEquivalence;
+use automode::sim::{simulate_component, stimulus};
+use automode::transform::mode_dataflow::{mtd_to_dataflow, partition_count};
+
+#[test]
+fn implicit_modes_become_explicit_and_control_flow_shrinks() {
+    let r = reengineer_engine().unwrap();
+    // Shape claim of the paper: the MTD notion "is able to capture and
+    // encapsulate implicit operation modes of the original ASCET model".
+    assert_eq!(r.report.mtds_extracted, 3);
+    assert_eq!(r.report.modes_made_explicit, 6);
+    assert!(r.metrics_after.if_count < r.ifs_before);
+    assert!(r.metrics_after.modes >= 6);
+}
+
+#[test]
+fn throttle_rate_of_change_matches_fig8_structure() {
+    let r = reengineer_engine().unwrap();
+    let (id, _) = r.components["throttle_ctrl_calc_rate"];
+    match &r.model.component(id).behavior {
+        Behavior::Mtd(mtd) => {
+            assert_eq!(mtd.modes.len(), 2, "FuelEnabled / CrankingOverrun");
+            assert_eq!(mtd.transitions.len(), 2);
+            // Triggers test the flag combination both ways.
+            let triggers: Vec<String> =
+                mtd.transitions.iter().map(|t| t.trigger.to_string()).collect();
+            assert!(triggers.iter().any(|t| t.contains("b_cranking")));
+            assert!(triggers.iter().any(|t| t.starts_with("(not")));
+        }
+        other => panic!("expected MTD, got {other:?}"),
+    }
+}
+
+#[test]
+fn reengineered_model_equivalent_under_random_scenarios() {
+    let r = reengineer_engine().unwrap();
+    let ascet = original_engine_model();
+    use automode::ascet::{AscetInterp, Stimulus};
+    use automode::kernel::{Message, Stream, Value};
+
+    for seed in 0..3u64 {
+        // Random but slowly varying inputs on the 10 ms grid.
+        let ticks = 30u64;
+        let rpm_vals: Vec<f64> = stimulus::seeded_random(0.0, 6000.0, ticks as usize, seed)
+            .present_values()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .collect();
+        let thr_vals: Vec<f64> = stimulus::seeded_random(0.0, 1.0, ticks as usize, seed + 100)
+            .present_values()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .collect();
+
+        let mut stim = Stimulus::new();
+        stim.insert("key_on".into(), Box::new(|_| Some(Value::Bool(true))));
+        stim.insert("o2".into(), Box::new(|_| Some(Value::Float(1.05))));
+        let rv = rpm_vals.clone();
+        stim.insert(
+            "rpm".into(),
+            Box::new(move |t| Some(Value::Float(rv[((t / 10) as usize).min(rv.len() - 1)]))),
+        );
+        let tv = thr_vals.clone();
+        stim.insert(
+            "throttle".into(),
+            Box::new(move |t| Some(Value::Float(tv[((t / 10) as usize).min(tv.len() - 1)]))),
+        );
+        let mut interp = AscetInterp::new(&ascet).unwrap();
+        let ascet_trace = interp
+            .run(ticks * 10, &stim, &["rate", "ti", "advance", "lam_trim"])
+            .unwrap();
+
+        let rpm: Stream = rpm_vals
+            .iter()
+            .map(|&x| Message::present(Value::Float(x)))
+            .collect();
+        let throttle: Stream = thr_vals
+            .iter()
+            .map(|&x| Message::present(Value::Float(x)))
+            .collect();
+        let key: Stream = (0..ticks).map(|_| Message::present(Value::Bool(true))).collect();
+        let o2: Stream = (0..ticks)
+            .map(|_| Message::present(Value::Float(1.05)))
+            .collect();
+        let run = simulate_component(
+            &r.model,
+            r.root,
+            &[("rpm", rpm), ("throttle", throttle), ("key_on", key), ("o2", o2)],
+            ticks as usize,
+        )
+        .unwrap();
+
+        for sig in ["rate", "ti", "advance", "lam_trim"] {
+            let ascet_vals: Vec<Value> = (0..ticks)
+                .map(|k| {
+                    ascet_trace.signal(sig).unwrap()[(10 * k) as usize]
+                        .value()
+                        .unwrap()
+                        .clone()
+                })
+                .collect();
+            assert_eq!(
+                run.trace.signal(sig).unwrap().present_values(),
+                ascet_vals,
+                "seed {seed}, signal {sig}"
+            );
+        }
+    }
+}
+
+#[test]
+fn extracted_mtd_transforms_to_partitionable_dataflow() {
+    let r = reengineer_engine().unwrap();
+    let mut model = r.model.clone();
+    let (throttle_id, _) = r.components["throttle_ctrl_calc_rate"];
+    let df = mtd_to_dataflow(&mut model, throttle_id).unwrap();
+    assert_eq!(partition_count(&model, df).unwrap(), 3); // 2 modes + selector
+
+    // The dataflow version is trace-equivalent to the extracted MTD.
+    let rpm = stimulus::seeded_random(0.0, 6000.0, 60, 7);
+    let crank = stimulus::seeded_random_bool(0.3, 60, 8);
+    let overrun = stimulus::seeded_random_bool(0.2, 60, 9);
+    let inputs = [
+        ("rpm", rpm),
+        ("b_cranking", crank),
+        ("b_overrun", overrun),
+        (
+            "throttle",
+            stimulus::seeded_random(0.0, 1.0, 60, 10),
+        ),
+    ];
+    // Restrict to the ports the component actually has.
+    let comp_inputs: Vec<(&str, automode::kernel::Stream)> = model
+        .component(throttle_id)
+        .inputs()
+        .map(|p| {
+            let (_, s) = inputs
+                .iter()
+                .find(|(n, _)| *n == p.name)
+                .expect("input covered");
+            (
+                inputs.iter().find(|(n, _)| *n == p.name).unwrap().0,
+                s.clone(),
+            )
+        })
+        .collect();
+    let a = simulate_component(&model, throttle_id, &comp_inputs, 60).unwrap();
+    let b = simulate_component(&model, df, &comp_inputs, 60).unwrap();
+    let rel = TraceEquivalence::exact().on_signals(["rate"]);
+    assert!(
+        a.trace.equivalent(&b.trace, &rel),
+        "{:?}",
+        a.trace.diff(&b.trace, &rel)
+    );
+}
+
+#[test]
+fn metrics_report_the_flag_cleanup_story() {
+    let r = reengineer_engine().unwrap();
+    let before = original_engine_model();
+    // The flag component remains representable, but the explicit global
+    // mode system (Fig. 6) needs zero flags: the reengineered model's modes
+    // carry the same information as the original's five flags.
+    assert_eq!(before.flag_count(), 5);
+    let metrics = ModelMetrics::measure(&r.model);
+    assert!(metrics.modes >= 6);
+    assert!(metrics.implicit_control_score() < before.if_count() * (1 + 3));
+}

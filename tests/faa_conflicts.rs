@@ -1,0 +1,93 @@
+//! Experiment around Sec. 3.1: FAA conflict rules and the
+//! coordinator-insertion refactoring, on the paper's own example — two
+//! vehicle functions accessing the same actuator.
+
+use automode::core::model::{Component, Model};
+use automode::core::rules::{actuator_conflicts, check_faa_rules, Severity};
+use automode::core::types::DataType;
+use automode::kernel::{Message, Stream, Value};
+use automode::sim::simulate_component;
+use automode::transform::refactor::introduce_coordinator;
+
+fn body_model() -> Model {
+    let mut m = Model::new("body");
+    m.add_component(
+        Component::new("CentralLocking")
+            .input("speed", DataType::physical("Speed", "m/s"))
+            .output("lock_cmd", DataType::Bool)
+            .resource("lock_cmd", "DoorLockActuator")
+            .resource("speed", "SpeedSensor"),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new("CrashUnlock")
+            .input("crash", DataType::Bool)
+            .output("unlock_cmd", DataType::Bool)
+            .resource("unlock_cmd", "DoorLockActuator"),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new("SpeedWarning")
+            .input("speed", DataType::physical("Speed", "m/s"))
+            .output("warn", DataType::Bool)
+            .resource("speed", "SpeedSensor"),
+    )
+    .unwrap();
+    m
+}
+
+#[test]
+fn rules_find_the_conflict_and_suggest_the_countermeasure() {
+    let m = body_model();
+    let findings = check_faa_rules(&m);
+    let conflict = findings
+        .iter()
+        .find(|f| f.rule == "actuator-conflict")
+        .expect("conflict reported");
+    assert_eq!(conflict.severity, Severity::Conflict);
+    assert!(conflict
+        .suggestion
+        .as_deref()
+        .unwrap()
+        .contains("coordinating functionality"));
+    // Shared sensors are informational only.
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "shared-sensor" && f.severity == Severity::Info));
+}
+
+#[test]
+fn coordinator_insertion_resolves_and_arbitrates() {
+    let mut m = body_model();
+    let coordinator = introduce_coordinator(&mut m, "DoorLockActuator").unwrap();
+    assert!(actuator_conflicts(&m).is_empty());
+
+    // Crash unlock (req_1) only wins when central locking is silent.
+    let req0: Stream = vec![
+        Message::present(Value::Bool(true)),
+        Message::Absent,
+        Message::Absent,
+    ]
+    .into_iter()
+    .collect();
+    let req1: Stream = vec![
+        Message::present(Value::Bool(false)),
+        Message::present(Value::Bool(false)),
+        Message::Absent,
+    ]
+    .into_iter()
+    .collect();
+    let run = simulate_component(&m, coordinator, &[("req_0", req0), ("req_1", req1)], 3).unwrap();
+    let cmd = run.trace.signal("cmd").unwrap();
+    assert_eq!(cmd[0], Message::present(Value::Bool(true))); // req_0 wins
+    assert_eq!(cmd[1], Message::present(Value::Bool(false))); // req_1 falls through
+    assert!(cmd[2].is_absent()); // nobody requests
+}
+
+#[test]
+fn coordinator_is_idempotent_per_resource() {
+    let mut m = body_model();
+    introduce_coordinator(&mut m, "DoorLockActuator").unwrap();
+    // Second call: no conflict left to resolve.
+    assert!(introduce_coordinator(&mut m, "DoorLockActuator").is_err());
+}

@@ -1,0 +1,49 @@
+//! Model persistence: the `.amdl` format round-trips the full case-study
+//! models, and a reloaded model behaves identically.
+
+use automode::core::text::{from_text, to_text};
+use automode::engine::reengineer_engine;
+use automode::kernel::{Stream, TraceEquivalence, Value};
+use automode::sim::{simulate_component, stimulus};
+
+#[test]
+fn engine_fda_model_roundtrips_exactly() {
+    let r = reengineer_engine().unwrap();
+    let text = to_text(&r.model);
+    let reloaded = from_text(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+    assert_eq!(reloaded, r.model);
+    // Second round trip is byte-identical (canonical form).
+    assert_eq!(to_text(&reloaded), text);
+}
+
+#[test]
+fn reloaded_engine_model_simulates_identically() {
+    let r = reengineer_engine().unwrap();
+    let reloaded = from_text(&to_text(&r.model)).unwrap();
+    let root = reloaded.root().expect("root persisted");
+
+    let ticks = 25usize;
+    let rpm = stimulus::seeded_random(0.0, 6000.0, ticks, 17);
+    let throttle = stimulus::seeded_random(0.0, 1.0, ticks, 18);
+    let key: Stream = stimulus::constant(Value::Bool(true), ticks);
+    let o2: Stream = stimulus::constant(Value::Float(0.95), ticks);
+    let inputs = [
+        ("rpm", rpm),
+        ("throttle", throttle),
+        ("key_on", key),
+        ("o2", o2),
+    ];
+    let a = simulate_component(&r.model, r.root, &inputs, ticks).unwrap();
+    let b = simulate_component(&reloaded, root, &inputs, ticks).unwrap();
+    assert!(a.trace.equivalent(&b.trace, &TraceEquivalence::exact()));
+}
+
+#[test]
+fn door_lock_and_sequencer_roundtrip() {
+    for name in ["door_lock", "sequencer", "engine_modes", "momentum"] {
+        let (m, _) = automode::cli::build_model(name).unwrap();
+        let text = to_text(&m);
+        let reloaded = from_text(&text).unwrap_or_else(|e| panic!("{name}: {e}\n---\n{text}"));
+        assert_eq!(reloaded, m, "{name} did not round-trip");
+    }
+}

@@ -1,0 +1,122 @@
+//! Experiment E7 (Fig. 7 / Sec. 3.3): the CCD well-definedness conditions
+//! correspond to observable platform behaviour.
+//!
+//! The paper's rule: on an OSEK target with data-integrity IPC and
+//! fixed-priority preemptive scheduling, slow→fast cluster communication
+//! requires a delay operator; fast→slow does not. We check both halves:
+//!
+//! * **static** — the rule engine flags exactly the undelayed slow→fast
+//!   channels;
+//! * **dynamic** — on the simulated platform, the delayed implementation is
+//!   deterministic (reads depend only on the period index), while the
+//!   undelayed one is schedule-dependent; and without the ERCOS-style
+//!   copy-in/copy-out mechanism, torn reads actually occur.
+
+use automode::core::ccd::FixedPriorityDataIntegrityPolicy;
+use automode::core::model::Model;
+use automode::engine::ccd::{build_engine_ccd, build_engine_ccd_missing_delay};
+use automode::platform::osek::{
+    IpcRegime, MessageConfig, OsekSim, SimRunnable, SimTask,
+};
+
+fn platform(regime: IpcRegime, delayed: bool) -> OsekSim {
+    let msg = MessageConfig::new("limit", 2);
+    let msg = if delayed { msg.delayed() } else { msg };
+    OsekSim::new(regime)
+        .task(
+            SimTask::new("fast_fuel", 0, 10_000)
+                .runnable(SimRunnable::reader("read_limit", "limit"))
+                .runnable(SimRunnable::compute("calc", 700)),
+        )
+        .unwrap()
+        .task(
+            SimTask::new("slow_diag", 1, 100_000)
+                .runnable(SimRunnable::compute("monitor", 5_000))
+                .runnable(SimRunnable::writer("write_limit", "limit", 2, 9_000)),
+        )
+        .unwrap()
+        .message(msg)
+        .unwrap()
+}
+
+#[test]
+fn static_rule_flags_exactly_the_missing_delay() {
+    let mut m = Model::new("e7");
+    let (good, _) = build_engine_ccd(&mut m, 1, 10).unwrap();
+    let policy = FixedPriorityDataIntegrityPolicy::new();
+    assert!(good.violations(&m, &policy).is_empty());
+
+    let bad = build_engine_ccd_missing_delay(&mut m, 1, 10).unwrap();
+    let violations = bad.violations(&m, &policy);
+    assert_eq!(violations.len(), 1);
+    let text = violations[0].to_string();
+    assert!(text.contains("slow-rate"));
+    assert!(text.contains("delay"));
+}
+
+#[test]
+fn delayed_publication_is_deterministic_per_period() {
+    let out = platform(IpcRegime::CopyInCopyOut, true)
+        .run(1_000_000)
+        .unwrap();
+    assert_eq!(out.torn_reads(), 0);
+    let values = out.observed_values("fast_fuel", "limit");
+    // Deterministic law: every read in slow period k sees the value of
+    // period k-1, regardless of scheduling detail.
+    for (i, v) in values.iter().enumerate() {
+        let t = (i as u64) * 10_000;
+        let expected = (t / 100_000) as i64;
+        assert_eq!(*v, expected, "read {i} at t={t}");
+    }
+}
+
+#[test]
+fn immediate_publication_depends_on_the_schedule() {
+    let out = platform(IpcRegime::CopyInCopyOut, false)
+        .run(1_000_000)
+        .unwrap();
+    let values = out.observed_values("fast_fuel", "limit");
+    // Within one slow period the observed value *changes* when the slow
+    // writer completes: the sampled value is a function of response times,
+    // not only of the period index — the ill-definedness the rule forbids.
+    let mut mid_period_changes = 0;
+    for k in 0..9 {
+        let window = &values[k * 10..(k + 1) * 10];
+        if window.windows(2).any(|w| w[0] != w[1]) {
+            mid_period_changes += 1;
+        }
+    }
+    assert!(
+        mid_period_changes > 0,
+        "expected schedule-dependent sampling without the delay"
+    );
+}
+
+#[test]
+fn direct_shared_memory_produces_torn_reads() {
+    let out = platform(IpcRegime::Direct, false).run(1_000_000).unwrap();
+    assert!(
+        out.torn_reads() > 0,
+        "multi-word message torn under preemption without data integrity"
+    );
+    // The ERCOS-style mechanism eliminates them with the same schedule.
+    let fixed = platform(IpcRegime::CopyInCopyOut, false)
+        .run(1_000_000)
+        .unwrap();
+    assert_eq!(fixed.torn_reads(), 0);
+}
+
+#[test]
+fn rates_and_priorities_hold_under_load() {
+    let out = platform(IpcRegime::CopyInCopyOut, true)
+        .run(2_000_000)
+        .unwrap();
+    assert_eq!(out.deadline_misses(), 0);
+    let fast = &out.stats["fast_fuel"];
+    let slow = &out.stats["slow_diag"];
+    assert_eq!(fast.activations, 200);
+    assert_eq!(slow.activations, 20);
+    // The fast task preempts the slow one, not vice versa.
+    assert!(slow.preemptions > 0);
+    assert_eq!(fast.preemptions, 0);
+}

@@ -1,0 +1,135 @@
+//! Type-refinement accuracy: "transformation of physical signals to
+//! implementation signals (i.e. the choice of encoding and data type)"
+//! (Sec. 4), validated end to end — the fixed-point refinement of a
+//! controller stays within the predicted quantization error of the
+//! floating-point FDA model.
+
+use std::collections::BTreeMap;
+
+use automode::core::model::{Behavior, Component, Model};
+use automode::core::types::{DataType, ImplType};
+use automode::kernel::{Fixed, Message, Stream, TraceEquivalence, Value};
+use automode::lang::parse;
+use automode::sim::{simulate_component, stimulus};
+use automode::transform::refine::auto_refine;
+
+/// Quantizes a float stream through a refinement's encoding (round trip):
+/// the value an implementation-typed channel would actually carry.
+fn quantize_stream(s: &Stream, r: &automode::core::types::Refinement) -> Stream {
+    s.iter()
+        .map(|m| {
+            m.clone().map(|v| {
+                let x = v.as_numeric().expect("numeric stream");
+                Value::Float(r.encoding.decode(r.encoding.quantize(x)))
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn fixed_point_refinement_stays_within_error_bound() {
+    let mut m = Model::new("t");
+    let ctrl = m
+        .add_component(
+            Component::new("Ctrl")
+                .input("v", DataType::physical("Voltage", "V"))
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::expr("y", parse("v * 0.5 + 1.0").unwrap())),
+        )
+        .unwrap();
+    let mut ranges = BTreeMap::new();
+    ranges.insert(("Ctrl".to_string(), "v".to_string()), (0.0, 16.0));
+    ranges.insert(("Ctrl".to_string(), "y".to_string()), (0.0, 10.0));
+    let report = auto_refine(&mut m, &[ctrl], &ranges).unwrap();
+    let input_bound = report.max_quantization_error;
+    assert!(input_bound > 0.0);
+
+    // Reference (floating point) vs refined (inputs quantized through the
+    // chosen encoding).
+    let v = stimulus::seeded_random(0.0, 16.0, 200, 9);
+    let r = m
+        .component(ctrl)
+        .find_port("v")
+        .unwrap()
+        .refinement
+        .clone()
+        .unwrap();
+    let vq = quantize_stream(&v, &r);
+    let float_run = simulate_component(&m, ctrl, &[("v", v)], 200).unwrap();
+    let fixed_run = simulate_component(&m, ctrl, &[("v", vq)], 200).unwrap();
+
+    // Output error <= gain * input quantization error.
+    let rel = TraceEquivalence::exact()
+        .on_signals(["y"])
+        .with_tolerance(0.5 * input_bound + 1e-9);
+    assert!(
+        float_run.trace.equivalent(&fixed_run.trace, &rel),
+        "{:?}",
+        float_run.trace.diff(&fixed_run.trace, &rel)
+    );
+}
+
+#[test]
+fn fixed_values_flow_through_expressions() {
+    // The kernel carries Fixed values natively: the same controller
+    // evaluated on Fixed inputs produces Fixed-compatible numerics.
+    let mut m = Model::new("t");
+    let ctrl = m
+        .add_component(
+            Component::new("Ctrl")
+                .input("v", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::expr("y", parse("v + 1.5").unwrap())),
+        )
+        .unwrap();
+    let input: Stream = (0..4)
+        .map(|i| Message::present(Value::Fixed(Fixed::from_f64(i as f64 * 0.25, 8))))
+        .collect();
+    let run = simulate_component(&m, ctrl, &[("v", input)], 4).unwrap();
+    let ys: Vec<f64> = run
+        .trace
+        .signal("y")
+        .unwrap()
+        .present_values()
+        .iter()
+        .map(|v| v.as_numeric().unwrap())
+        .collect();
+    assert_eq!(ys, vec![1.5, 1.75, 2.0, 2.25]);
+}
+
+#[test]
+fn refinement_report_is_conservative() {
+    // The reported max quantization error upper-bounds the worst observed
+    // round-trip error over a dense sample.
+    let mut m = Model::new("t");
+    let c = m
+        .add_component(
+            Component::new("C")
+                .input("x", DataType::physical("Pressure", "bar"))
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::expr("y", parse("x").unwrap())),
+        )
+        .unwrap();
+    let mut ranges = BTreeMap::new();
+    ranges.insert(("C".to_string(), "x".to_string()), (0.0, 5.0));
+    ranges.insert(("C".to_string(), "y".to_string()), (0.0, 5.0));
+    let report = auto_refine(&mut m, &[c], &ranges).unwrap();
+    let r = m
+        .component(c)
+        .find_port("x")
+        .unwrap()
+        .refinement
+        .clone()
+        .unwrap();
+    assert!(matches!(r.impl_type, ImplType::Fixed { .. }));
+    let mut worst: f64 = 0.0;
+    for i in 0..=1000 {
+        let x = 5.0 * i as f64 / 1000.0;
+        worst = worst.max(r.roundtrip_error(x));
+    }
+    assert!(
+        worst <= report.max_quantization_error + 1e-12,
+        "observed {worst} > reported {}",
+        report.max_quantization_error
+    );
+}
