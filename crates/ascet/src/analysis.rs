@@ -140,7 +140,11 @@ mod tests {
     fn throttle_like() -> AscetModel {
         AscetModel::new("engine").module(
             Module::new("throttle")
-                .message(MessageDecl::new("rpm", AscetType::Cont, MessageKind::Receive))
+                .message(MessageDecl::new(
+                    "rpm",
+                    AscetType::Cont,
+                    MessageKind::Receive,
+                ))
                 .message(MessageDecl::new("rate", AscetType::Cont, MessageKind::Send))
                 .message(MessageDecl::new(
                     "b_cranking",
@@ -239,9 +243,21 @@ mod tests {
         let mut model = throttle_like();
         model = model.module(
             Module::new("engine_state")
-                .message(MessageDecl::new("b_idle", AscetType::Log, MessageKind::Send))
-                .message(MessageDecl::new("b_overrun", AscetType::Log, MessageKind::Send))
-                .message(MessageDecl::new("b_fullload", AscetType::Log, MessageKind::Send)),
+                .message(MessageDecl::new(
+                    "b_idle",
+                    AscetType::Log,
+                    MessageKind::Send,
+                ))
+                .message(MessageDecl::new(
+                    "b_overrun",
+                    AscetType::Log,
+                    MessageKind::Send,
+                ))
+                .message(MessageDecl::new(
+                    "b_fullload",
+                    AscetType::Log,
+                    MessageKind::Send,
+                )),
         );
         let (name, count) = central_flag_module(&model).unwrap();
         assert_eq!(name, "engine_state");

@@ -175,7 +175,11 @@ fn stmt_to_c(stmt: &Stmt, indent: usize, out: &mut String) -> Result<(), AscetEr
 
 fn module_source(module: &Module) -> Result<String, AscetError> {
     let mut out = String::new();
-    let _ = writeln!(out, "/* generated by automode-ascet: module {} */", module.name);
+    let _ = writeln!(
+        out,
+        "/* generated by automode-ascet: module {} */",
+        module.name
+    );
     let _ = writeln!(out, "#include \"automode_rt.h\"");
     out.push('\n');
     for m in &module.messages {
@@ -270,10 +274,7 @@ pub fn generate_project(
 
     // Module sources.
     for module in &model.modules {
-        files.push((
-            format!("{ecu}/{}.c", module.name),
-            module_source(module)?,
-        ));
+        files.push((format!("{ecu}/{}.c", module.name), module_source(module)?));
     }
 
     // Communication components from bus bindings.
@@ -310,11 +311,13 @@ mod tests {
     fn model() -> AscetModel {
         AscetModel::new("engine").module(
             Module::new("throttle")
-                .message(MessageDecl::new("rpm", AscetType::Cont, MessageKind::Receive))
+                .message(MessageDecl::new(
+                    "rpm",
+                    AscetType::Cont,
+                    MessageKind::Receive,
+                ))
                 .message(MessageDecl::new("rate", AscetType::Cont, MessageKind::Send))
-                .message(
-                    MessageDecl::new("b_crank", AscetType::Log, MessageKind::Local).init(true),
-                )
+                .message(MessageDecl::new("b_crank", AscetType::Log, MessageKind::Local).init(true))
                 .process(Process::new(
                     "calc",
                     10,
@@ -337,7 +340,10 @@ mod tests {
 
     #[test]
     fn expr_rendering() {
-        assert_eq!(expr_to_c(&parse("a + b * 2").unwrap()).unwrap(), "(a + (b * 2))");
+        assert_eq!(
+            expr_to_c(&parse("a + b * 2").unwrap()).unwrap(),
+            "(a + (b * 2))"
+        );
         assert_eq!(
             expr_to_c(&parse("if c then 1 else 2").unwrap()).unwrap(),
             "(c ? 1 : 2)"

@@ -142,12 +142,7 @@ impl<'m> AscetInterp<'m> {
     /// # Errors
     ///
     /// Returns the first evaluation error.
-    pub fn run(
-        &mut self,
-        ms: u64,
-        stim: &Stimulus,
-        record: &[&str],
-    ) -> Result<Trace, AscetError> {
+    pub fn run(&mut self, ms: u64, stim: &Stimulus, record: &[&str]) -> Result<Trace, AscetError> {
         let mut trace = Trace::new();
         for name in record {
             trace.declare(*name);
@@ -182,7 +177,11 @@ mod tests {
     fn counter_model() -> AscetModel {
         AscetModel::new("counter").module(
             Module::new("m")
-                .message(MessageDecl::new("count", AscetType::SDisc, MessageKind::Send))
+                .message(MessageDecl::new(
+                    "count",
+                    AscetType::SDisc,
+                    MessageKind::Send,
+                ))
                 .process(Process::new(
                     "inc",
                     10,
@@ -207,7 +206,11 @@ mod tests {
     fn stimulus_drives_receive_messages() {
         let model = AscetModel::new("t").module(
             Module::new("m")
-                .message(MessageDecl::new("inp", AscetType::Cont, MessageKind::Receive))
+                .message(MessageDecl::new(
+                    "inp",
+                    AscetType::Cont,
+                    MessageKind::Receive,
+                ))
                 .message(MessageDecl::new("out", AscetType::Cont, MessageKind::Send))
                 .process(Process::new(
                     "copy",
@@ -217,10 +220,7 @@ mod tests {
         );
         let mut interp = AscetInterp::new(&model).unwrap();
         let mut stim = Stimulus::new();
-        stim.insert(
-            "inp".into(),
-            Box::new(|t| Some(Value::Float(t as f64))),
-        );
+        stim.insert("inp".into(), Box::new(|t| Some(Value::Float(t as f64))));
         let trace = interp.run(4, &stim, &["out"]).unwrap();
         let vals: Vec<f64> = trace
             .signal("out")
@@ -236,7 +236,11 @@ mod tests {
     fn if_branches_execute_exclusively() {
         let model = AscetModel::new("t").module(
             Module::new("m")
-                .message(MessageDecl::new("flag", AscetType::Log, MessageKind::Receive))
+                .message(MessageDecl::new(
+                    "flag",
+                    AscetType::Log,
+                    MessageKind::Receive,
+                ))
                 .message(MessageDecl::new("y", AscetType::SDisc, MessageKind::Send))
                 .process(Process::new(
                     "p",
@@ -250,10 +254,7 @@ mod tests {
         );
         let mut interp = AscetInterp::new(&model).unwrap();
         let mut stim = Stimulus::new();
-        stim.insert(
-            "flag".into(),
-            Box::new(|t| Some(Value::Bool(t % 2 == 0))),
-        );
+        stim.insert("flag".into(), Box::new(|t| Some(Value::Bool(t % 2 == 0))));
         let trace = interp.run(4, &stim, &["y"]).unwrap();
         let vals: Vec<i64> = trace
             .signal("y")

@@ -388,8 +388,9 @@ impl AscetModel {
                                 message: w,
                             })
                         }
-                        Some(d) if d.kind == MessageKind::Receive
-                            && module.find_message(&w).is_some() =>
+                        Some(d)
+                            if d.kind == MessageKind::Receive
+                                && module.find_message(&w).is_some() =>
                         {
                             return Err(AscetError::Config(format!(
                                 "process `{}` writes receive-message `{w}`",
@@ -432,15 +433,13 @@ mod tests {
     fn tiny() -> AscetModel {
         AscetModel::new("engine").module(
             Module::new("throttle")
-                .message(MessageDecl::new("rpm", AscetType::Cont, MessageKind::Receive))
                 .message(MessageDecl::new(
-                    "rate",
+                    "rpm",
                     AscetType::Cont,
-                    MessageKind::Send,
+                    MessageKind::Receive,
                 ))
-                .message(
-                    MessageDecl::new("cranking", AscetType::Log, MessageKind::Send).init(true),
-                )
+                .message(MessageDecl::new("rate", AscetType::Cont, MessageKind::Send))
+                .message(MessageDecl::new("cranking", AscetType::Log, MessageKind::Send).init(true))
                 .process(Process::new(
                     "calc_rate",
                     10,
@@ -471,13 +470,11 @@ mod tests {
 
     #[test]
     fn undeclared_message_rejected() {
-        let m = AscetModel::new("bad").module(
-            Module::new("m").process(Process::new(
-                "p",
-                10,
-                vec![Stmt::assign("ghost", parse("1").unwrap())],
-            )),
-        );
+        let m = AscetModel::new("bad").module(Module::new("m").process(Process::new(
+            "p",
+            10,
+            vec![Stmt::assign("ghost", parse("1").unwrap())],
+        )));
         assert!(matches!(
             m.validate(),
             Err(AscetError::UndeclaredMessage { .. })
@@ -488,7 +485,11 @@ mod tests {
     fn writing_own_receive_message_rejected() {
         let m = AscetModel::new("bad").module(
             Module::new("m")
-                .message(MessageDecl::new("in", AscetType::Cont, MessageKind::Receive))
+                .message(MessageDecl::new(
+                    "in",
+                    AscetType::Cont,
+                    MessageKind::Receive,
+                ))
                 .process(Process::new(
                     "p",
                     10,
@@ -506,19 +507,23 @@ mod tests {
         assert!(matches!(m.validate(), Err(AscetError::DuplicateName(_))));
 
         let m = AscetModel::new("bad")
-            .module(
-                Module::new("a").message(MessageDecl::new("x", AscetType::Cont, MessageKind::Send)),
-            )
-            .module(
-                Module::new("b").message(MessageDecl::new("x", AscetType::Cont, MessageKind::Send)),
-            );
+            .module(Module::new("a").message(MessageDecl::new(
+                "x",
+                AscetType::Cont,
+                MessageKind::Send,
+            )))
+            .module(Module::new("b").message(MessageDecl::new(
+                "x",
+                AscetType::Cont,
+                MessageKind::Send,
+            )));
         assert!(matches!(m.validate(), Err(AscetError::DuplicateName(_))));
     }
 
     #[test]
     fn zero_period_rejected() {
-        let m = AscetModel::new("bad")
-            .module(Module::new("m").process(Process::new("p", 0, vec![])));
+        let m =
+            AscetModel::new("bad").module(Module::new("m").process(Process::new("p", 0, vec![])));
         assert!(matches!(m.validate(), Err(AscetError::Config(_))));
     }
 

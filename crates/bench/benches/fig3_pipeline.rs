@@ -56,7 +56,15 @@ fn bench(c: &mut Criterion) {
         for (cl, w) in engine_cluster_wcets() {
             spec = spec.wcet(cl, w);
         }
-        b.iter(|| deploy(&model, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap())
+        b.iter(|| {
+            deploy(
+                &model,
+                &ccd,
+                &FixedPriorityDataIntegrityPolicy::new(),
+                &spec,
+            )
+            .unwrap()
+        })
     });
 }
 

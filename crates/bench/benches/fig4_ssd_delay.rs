@@ -24,7 +24,11 @@ fn shape_report() {
         .unwrap();
         let out = run.trace.signal("out").unwrap();
         let first = (0..ticks).find(|&t| out[t].is_present());
-        eprintln!("  n = {n:>2}: first output at tick {:?} (expected {})", first, n + 1);
+        eprintln!(
+            "  n = {n:>2}: first output at tick {:?} (expected {})",
+            first,
+            n + 1
+        );
         assert_eq!(first, Some(n + 1));
     }
 }

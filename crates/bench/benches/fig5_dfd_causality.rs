@@ -43,10 +43,10 @@ fn shape_report() {
 fn random_dag(n: usize, seed: u64) -> Vec<(usize, usize)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..2 * n)
-        .filter_map(|_| {
+        .map(|_| {
             let a = rng.gen_range(0..n - 1);
             let b = rng.gen_range(a + 1..n);
-            Some((a, b))
+            (a, b)
         })
         .collect()
 }
@@ -69,12 +69,7 @@ fn bench(c: &mut Criterion) {
         // full elaboration + schedule computation. The structural check on
         // the meta-model avoids elaborating at all.
         group.bench_with_input(BenchmarkId::new("elaborate_and_prepare", n), &n, |b, _| {
-            b.iter(|| {
-                automode_sim::elaborate(&m, top)
-                    .unwrap()
-                    .prepare()
-                    .unwrap()
-            })
+            b.iter(|| automode_sim::elaborate(&m, top).unwrap().prepare().unwrap())
         });
     }
     group.finish();

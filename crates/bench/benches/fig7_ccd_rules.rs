@@ -38,16 +38,14 @@ fn random_ccd(model: &mut Model, n: usize, seed: u64, sabotage: &[usize]) -> Ccd
         comps.push((format!("cl{i}"), period));
     }
     // A chain of channels cl0 -> cl1 -> ... (one writer per input).
-    let mut idx = 0usize;
     for i in 0..n - 1 {
         let (from, fp) = comps[i].clone();
         let (to, tp) = comps[i + 1].clone();
         let mut ch = CcdChannel::direct(from, "y", to, "x");
-        if fp > tp && !sabotage.contains(&idx) {
+        if fp > tp && !sabotage.contains(&i) {
             ch = ch.with_delays(1);
         }
         ccd = ccd.channel(ch);
-        idx += 1;
     }
     ccd
 }
@@ -149,8 +147,16 @@ fn bench(c: &mut Criterion) {
     // regime: the data-integrity mechanism's snapshot/publish overhead vs
     // direct shared memory.
     for (label, regime, delayed) in [
-        ("fig7_osek_sim_1s_copyinout_delayed", IpcRegime::CopyInCopyOut, true),
-        ("fig7_osek_sim_1s_copyinout", IpcRegime::CopyInCopyOut, false),
+        (
+            "fig7_osek_sim_1s_copyinout_delayed",
+            IpcRegime::CopyInCopyOut,
+            true,
+        ),
+        (
+            "fig7_osek_sim_1s_copyinout",
+            IpcRegime::CopyInCopyOut,
+            false,
+        ),
         ("fig7_osek_sim_1s_direct", IpcRegime::Direct, false),
     ] {
         c.bench_function(label, |b| {

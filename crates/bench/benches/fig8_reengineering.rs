@@ -6,7 +6,9 @@
 //! metric drops, behaviour is preserved, and the reengineering cost scales
 //! with model size.
 
-use automode_ascet::model::{AscetModel, AscetType, MessageDecl, MessageKind, Module, Process, Stmt};
+use automode_ascet::model::{
+    AscetModel, AscetType, MessageDecl, MessageKind, Module, Process, Stmt,
+};
 use automode_core::model::Model;
 use automode_engine::reengineer_engine;
 use automode_lang::parse;
@@ -16,7 +18,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn shape_report() {
     let r = reengineer_engine().unwrap();
     eprintln!("\n[E8 report] engine-controller reengineering (Sec. 5):");
-    eprintln!("  original:  {} If-Then-Else, {} flags", r.ifs_before, r.flags_before);
+    eprintln!(
+        "  original:  {} If-Then-Else, {} flags",
+        r.ifs_before, r.flags_before
+    );
     eprintln!(
         "  result:    {} MTDs, {} explicit modes, {} residual ifs",
         r.report.mtds_extracted, r.report.modes_made_explicit, r.metrics_after.if_count
@@ -34,7 +39,11 @@ fn shape_report() {
 fn scaled_module(n: usize) -> AscetModel {
     let mut module = Module::new("scaled")
         .message(MessageDecl::new("u", AscetType::Cont, MessageKind::Receive))
-        .message(MessageDecl::new("flag", AscetType::Log, MessageKind::Receive));
+        .message(MessageDecl::new(
+            "flag",
+            AscetType::Log,
+            MessageKind::Receive,
+        ));
     for i in 0..n {
         module = module
             .message(MessageDecl::new(

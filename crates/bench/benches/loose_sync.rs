@@ -12,7 +12,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn shape_report() {
     eprintln!("\n[E13 report] loose synchronization: required delay depth");
     eprintln!("  (10 ms period, +/-100 ppm drift, resync every 1000 ticks)");
-    for (lo, hi) in [(200u64, 1_000u64), (200, 2_000), (2_000, 8_000), (8_000, 18_000)] {
+    for (lo, hi) in [
+        (200u64, 1_000u64),
+        (200, 2_000),
+        (2_000, 8_000),
+        (8_000, 18_000),
+    ] {
         let cfg = LooseSyncConfig {
             latency_min_us: lo,
             latency_max_us: hi,
@@ -36,9 +41,11 @@ fn bench(c: &mut Criterion) {
     shape_report();
     let mut group = c.benchmark_group("loose_sync");
     for &ticks in &[10_000u64, 100_000, 1_000_000] {
-        group.bench_with_input(BenchmarkId::new("simulate_ticks", ticks), &ticks, |b, &t| {
-            b.iter(|| simulate(&LooseSyncConfig::typical_can(), 2, t, 1).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("simulate_ticks", ticks),
+            &ticks,
+            |b, &t| b.iter(|| simulate(&LooseSyncConfig::typical_can(), 2, t, 1).unwrap()),
+        );
     }
     group.finish();
 }

@@ -24,7 +24,13 @@ fn shape_report() {
     for (cl, w) in engine_cluster_wcets() {
         spec = spec.wcet(cl, w);
     }
-    let d = deploy(&model, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+    let d = deploy(
+        &model,
+        &ccd,
+        &FixedPriorityDataIntegrityPolicy::new(),
+        &spec,
+    )
+    .unwrap();
     eprintln!("\n[E12 report] OA generation for the split engine deployment:");
     eprintln!(
         "  projects: {}, matrix signals: {}, frames: {}",
@@ -33,7 +39,12 @@ fn shape_report() {
         d.comm_matrix.frames.len()
     );
     for p in &d.projects {
-        eprintln!("  {}: {} files, {} bytes", p.ecu, p.files.len(), p.size_bytes());
+        eprintln!(
+            "  {}: {} files, {} bytes",
+            p.ecu,
+            p.files.len(),
+            p.size_bytes()
+        );
     }
     let bus = &d.ta.buses[0];
     let stats = BusSim::new(bus).run(1_000_000).unwrap();
@@ -82,7 +93,13 @@ fn bench(c: &mut Criterion) {
         let (ccd, spec) = chained_ccd(&mut model, n);
         group.bench_with_input(BenchmarkId::new("deploy_clusters", n), &n, |b, _| {
             b.iter(|| {
-                deploy(&model, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap()
+                deploy(
+                    &model,
+                    &ccd,
+                    &FixedPriorityDataIntegrityPolicy::new(),
+                    &spec,
+                )
+                .unwrap()
             })
         });
     }

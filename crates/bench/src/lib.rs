@@ -34,10 +34,7 @@ pub fn random_causal_dfd(n: usize, seed: u64) -> (Model, ComponentId) {
                 .input("a", DataType::Float)
                 .input("b", DataType::Float)
                 .output("y", DataType::Float)
-                .with_behavior(Behavior::expr(
-                    "y",
-                    parse("a * 0.5 + b * 0.5").unwrap(),
-                )),
+                .with_behavior(Behavior::expr("y", parse("a * 0.5 + b * 0.5").unwrap())),
         )
         .unwrap();
     let mut net = Composite::new(CompositeKind::Dfd);

@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use automode_kernel::causality;
 
 use crate::error::CoreError;
-use crate::model::{Behavior, ComponentId, CompositeKind, Direction, Model, Primitive};
+use crate::model::{Behavior, ComponentId, CompositeKind, Model, Primitive};
 
 /// The set of instantaneous input→output port-name pairs of a component.
 pub type IoPairs = BTreeSet<(String, String)>;

@@ -177,10 +177,7 @@ impl Ccd {
                 return Err(CoreError::DuplicateName(c.name.clone()));
             }
             if c.period == 0 {
-                return Err(CoreError::Ccd(format!(
-                    "cluster `{}` has period 0",
-                    c.name
-                )));
+                return Err(CoreError::Ccd(format!("cluster `{}` has period 0", c.name)));
             }
             if c.component.index() >= model.component_count() {
                 return Err(CoreError::UnknownComponent(c.name.clone()));
@@ -246,7 +243,11 @@ impl Ccd {
     /// # Errors
     ///
     /// Returns the first policy violation.
-    pub fn validate_against(&self, model: &Model, policy: &dyn TargetPolicy) -> Result<(), CoreError> {
+    pub fn validate_against(
+        &self,
+        model: &Model,
+        policy: &dyn TargetPolicy,
+    ) -> Result<(), CoreError> {
         self.validate_structure(model)?;
         for ch in &self.channels {
             let from = self.find_cluster(&ch.from_cluster).expect("validated");
@@ -446,10 +447,7 @@ mod tests {
         let ccd = Ccd::new()
             .cluster(Cluster::new("fuel", fast, 10))
             .channel(CcdChannel::direct("ghost", "x", "fuel", "rpm"));
-        assert!(matches!(
-            ccd.validate_structure(&m),
-            Err(CoreError::Ccd(_))
-        ));
+        assert!(matches!(ccd.validate_structure(&m), Err(CoreError::Ccd(_))));
         // Duplicate cluster names.
         let ccd = Ccd::new()
             .cluster(Cluster::new("fuel", fast, 10))

@@ -364,9 +364,7 @@ mod tests {
     #[test]
     fn quotes_are_escaped() {
         let mut m = Model::new("t");
-        let id = m
-            .add_component(Component::new("Weird\"Name"))
-            .unwrap();
+        let id = m.add_component(Component::new("Weird\"Name")).unwrap();
         let dot = composite_to_dot(&m, id);
         assert!(dot.contains("Weird\\\"Name"));
     }

@@ -107,7 +107,10 @@ mod tests {
             component: "DoorLockControl".into(),
             port: "T9".into(),
         };
-        assert_eq!(e.to_string(), "component `DoorLockControl` has no port `T9`");
+        assert_eq!(
+            e.to_string(),
+            "component `DoorLockControl` has no port `T9`"
+        );
     }
 
     #[test]

@@ -88,10 +88,7 @@ fn scope(model: &Model) -> Vec<ComponentId> {
                     _ => {}
                 }
             }
-            model
-                .component_ids()
-                .filter(|c| seen[c.index()])
-                .collect()
+            model.component_ids().filter(|c| seen[c.index()]).collect()
         }
     }
 }
@@ -244,10 +241,7 @@ mod tests {
                 .with_behavior(Behavior::expr("y", parse("x + 1.0").unwrap())),
         )
         .unwrap();
-        assert!(matches!(
-            validate_fda(&m),
-            Err(CoreError::ExprType { .. })
-        ));
+        assert!(matches!(validate_fda(&m), Err(CoreError::ExprType { .. })));
     }
 
     #[test]

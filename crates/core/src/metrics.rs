@@ -147,8 +147,7 @@ mod tests {
                     [
                         (
                             "y".to_string(),
-                            parse("if x > 0.0 then if x > 1.0 then 2.0 else 1.0 else 0.0")
-                                .unwrap(),
+                            parse("if x > 0.0 then if x > 1.0 then 2.0 else 1.0 else 0.0").unwrap(),
                         ),
                         ("flag".to_string(), parse("x > 0.5").unwrap()),
                     ]

@@ -448,21 +448,23 @@ impl Model {
                         CoreError::UnknownComponent(format!("{}.{}", comp.name, inst_name))
                     })?;
                     let cid = inst.component.0;
-                    let port = port_index[&cid].get(ep.port.as_str()).copied().ok_or_else(
-                        || CoreError::UnknownPort {
-                            component: self.components[cid].name.clone(),
-                            port: ep.port.clone(),
-                        },
-                    )?;
+                    let port =
+                        port_index[&cid]
+                            .get(ep.port.as_str())
+                            .copied()
+                            .ok_or_else(|| CoreError::UnknownPort {
+                                component: self.components[cid].name.clone(),
+                                port: ep.port.clone(),
+                            })?;
                     Ok((port, true))
                 }
                 None => {
-                    let port =
-                        comp.find_port(&ep.port)
-                            .ok_or_else(|| CoreError::UnknownPort {
-                                component: comp.name.clone(),
-                                port: ep.port.clone(),
-                            })?;
+                    let port = comp
+                        .find_port(&ep.port)
+                        .ok_or_else(|| CoreError::UnknownPort {
+                            component: comp.name.clone(),
+                            port: ep.port.clone(),
+                        })?;
                     Ok((port, false))
                 }
             }
@@ -490,11 +492,7 @@ impl Model {
             }
             if !written.insert(&ch.to) {
                 return Err(CoreError::MultipleWriters {
-                    instance: ch
-                        .to
-                        .instance
-                        .clone()
-                        .unwrap_or_else(|| "self".to_string()),
+                    instance: ch.to.instance.clone().unwrap_or_else(|| "self".to_string()),
                     port: ch.to.port.clone(),
                 });
             }

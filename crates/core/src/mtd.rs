@@ -278,16 +278,14 @@ mod tests {
                 .output("rate", DataType::Float)
         };
         let a = m
-            .add_component(iface("ModeA").with_behavior(Behavior::expr(
-                "rate",
-                parse("0.2").unwrap(),
-            )))
+            .add_component(
+                iface("ModeA").with_behavior(Behavior::expr("rate", parse("0.2").unwrap())),
+            )
             .unwrap();
         let b = m
-            .add_component(iface("ModeB").with_behavior(Behavior::expr(
-                "rate",
-                parse("rpm * 0.01").unwrap(),
-            )))
+            .add_component(
+                iface("ModeB").with_behavior(Behavior::expr("rate", parse("rpm * 0.01").unwrap())),
+            )
             .unwrap();
         let owner = m.add_component(iface("Throttle")).unwrap();
         (m, owner, a, b)
@@ -302,10 +300,7 @@ mod tests {
         mtd.add_transition(ma, mb, parse("rpm > 800.0").unwrap(), 0);
         mtd.add_transition(mb, ma, parse("rpm < 400.0").unwrap(), 0);
         attach_mtd(&mut m, owner, mtd).unwrap();
-        assert!(matches!(
-            m.component(owner).behavior,
-            Behavior::Mtd(_)
-        ));
+        assert!(matches!(m.component(owner).behavior, Behavior::Mtd(_)));
     }
 
     #[test]

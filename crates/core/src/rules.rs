@@ -167,8 +167,7 @@ pub fn unconnected_inputs(model: &Model) -> Vec<Finding> {
             let child = model.component(inst.component);
             for port in child.ports.iter().filter(|p| p.direction == Direction::In) {
                 let written = net.channels.iter().any(|ch| {
-                    ch.to.instance.as_deref() == Some(inst.name.as_str())
-                        && ch.to.port == port.name
+                    ch.to.instance.as_deref() == Some(inst.name.as_str()) && ch.to.port == port.name
                 });
                 if !written {
                     findings.push(Finding {

@@ -324,7 +324,10 @@ pub fn from_text(src: &str) -> Result<Model, CoreError> {
                     i += 1;
                     continue;
                 }
-                if let Some(rest) = body.strip_prefix("in ").or_else(|| body.strip_prefix("out ")) {
+                if let Some(rest) = body
+                    .strip_prefix("in ")
+                    .or_else(|| body.strip_prefix("out "))
+                {
                     let dir = if body.starts_with("in ") {
                         Direction::In
                     } else {
@@ -341,8 +344,7 @@ pub fn from_text(src: &str) -> Result<Model, CoreError> {
                         None => (tail, None),
                     };
                     let ty = parse_type(ty_part, i)?;
-                    let mut port =
-                        crate::model::Port::new(port_name.trim(), dir, ty);
+                    let mut port = crate::model::Port::new(port_name.trim(), dir, ty);
                     port.resource = resource;
                     comp = comp.port(port);
                 } else if let Some(rest) = body.strip_prefix("expr ") {
@@ -407,8 +409,7 @@ pub fn from_text(src: &str) -> Result<Model, CoreError> {
                             let (iname, cname) = rest
                                 .split_once(':')
                                 .ok_or_else(|| err(i, "inst needs `name: Component`"))?;
-                            instances
-                                .push((iname.trim().to_string(), cname.trim().to_string()));
+                            instances.push((iname.trim().to_string(), cname.trim().to_string()));
                         } else if let Some(rest) = inner.strip_prefix("connect ") {
                             let (from, to) = rest
                                 .split_once("->")
@@ -599,9 +600,7 @@ pub fn from_text(src: &str) -> Result<Model, CoreError> {
             } => {
                 let mut net = Composite::new(kind);
                 for (iname, cname) in instances {
-                    let cid = m
-                        .find(&cname)
-                        .ok_or_else(|| CoreError::UnknownComponent(cname))?;
+                    let cid = m.find(&cname).ok_or(CoreError::UnknownComponent(cname))?;
                     net.instantiate(iname, cid);
                 }
                 for (from, to) in channels {
@@ -617,9 +616,7 @@ pub fn from_text(src: &str) -> Result<Model, CoreError> {
                 let mut mtd = Mtd::new();
                 let mut names = Vec::new();
                 for (mname, cname) in modes {
-                    let cid = m
-                        .find(&cname)
-                        .ok_or_else(|| CoreError::UnknownComponent(cname))?;
+                    let cid = m.find(&cname).ok_or(CoreError::UnknownComponent(cname))?;
                     mtd.add_mode(mname.clone(), cid);
                     names.push(mname);
                 }
@@ -646,7 +643,7 @@ pub fn from_text(src: &str) -> Result<Model, CoreError> {
     if let Some(root_name) = root {
         let id = m
             .find(&root_name)
-            .ok_or_else(|| CoreError::UnknownComponent(root_name))?;
+            .ok_or(CoreError::UnknownComponent(root_name))?;
         m.set_root(id);
     }
     m.validate_structure()?;
@@ -733,12 +730,27 @@ mod tests {
     fn primitives_roundtrip() {
         let mut m = Model::new("t");
         for (name, prim) in [
-            ("D1", Primitive::Delay { init: Some(Value::Float(1.5)) }),
+            (
+                "D1",
+                Primitive::Delay {
+                    init: Some(Value::Float(1.5)),
+                },
+            ),
             ("D2", Primitive::Delay { init: None }),
-            ("D3", Primitive::UnitDelay { init: Some(Value::Int(3)) }),
+            (
+                "D3",
+                Primitive::UnitDelay {
+                    init: Some(Value::Int(3)),
+                },
+            ),
             ("D4", Primitive::UnitDelay { init: None }),
             ("W", Primitive::When),
-            ("C", Primitive::Current { init: Value::sym("Idle") }),
+            (
+                "C",
+                Primitive::Current {
+                    init: Value::sym("Idle"),
+                },
+            ),
         ] {
             m.add_component(
                 Component::new(name)
@@ -856,7 +868,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let src = "# header comment\nmodel t\n\ncomponent X {\n  # port comment\n  in x: float\n}\n";
+        let src =
+            "# header comment\nmodel t\n\ncomponent X {\n  # port comment\n  in x: float\n}\n";
         let m = from_text(src).unwrap();
         assert_eq!(m.component_count(), 1);
     }

@@ -423,13 +423,8 @@ mod tests {
 
     #[test]
     fn checked_refinement_rejects_wrong_kind() {
-        let err = Refinement::checked(
-            &DataType::Bool,
-            ImplType::Int16,
-            Encoding::identity(),
-            None,
-        )
-        .unwrap_err();
+        let err = Refinement::checked(&DataType::Bool, ImplType::Int16, Encoding::identity(), None)
+            .unwrap_err();
         assert!(matches!(err, CoreError::Refinement(_)));
     }
 

@@ -1,6 +1,8 @@
 //! Property-based tests of the type system and CCD rules.
 
-use automode_core::ccd::{Ccd, CcdChannel, Cluster, FixedPriorityDataIntegrityPolicy, TargetPolicy};
+use automode_core::ccd::{
+    Ccd, CcdChannel, Cluster, FixedPriorityDataIntegrityPolicy, TargetPolicy,
+};
 use automode_core::model::{Behavior, Component, Model};
 use automode_core::types::{DataType, Encoding, ImplType, Refinement};
 use automode_lang::parse;
@@ -77,7 +79,7 @@ proptest! {
     fn ccd_chains_validate(n in 2usize..12, periods in prop::collection::vec(1u32..8, 12)) {
         let mut model = Model::new("t");
         let mut ccd = Ccd::new();
-        for i in 0..n {
+        for (i, p) in periods.iter().enumerate().take(n) {
             let id = model
                 .add_component(
                     Component::new(format!("C{i}"))
@@ -87,7 +89,7 @@ proptest! {
                 )
                 .unwrap();
             // Power-of-two periods are always harmonic.
-            ccd = ccd.cluster(Cluster::new(format!("c{i}"), id, 1 << (periods[i] % 4)));
+            ccd = ccd.cluster(Cluster::new(format!("c{i}"), id, 1 << (p % 4)));
         }
         for i in 0..n - 1 {
             let from = ccd.clusters[i].clone();

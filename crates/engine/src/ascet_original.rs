@@ -216,18 +216,32 @@ mod tests {
             Box::new(|t| Some(Value::Float(if t < 50 { 200.0 } else { 2000.0 }))),
         );
         stim.insert("throttle".into(), Box::new(|_| Some(Value::Float(0.3))));
-        let trace = interp
-            .run(100, &stim, &["rate", "ti", "advance"])
-            .unwrap();
+        let trace = interp.run(100, &stim, &["rate", "ti", "advance"]).unwrap();
         // While cranking: rate pinned to 0.2, rich mixture, fixed advance.
-        let rate0 = trace.signal("rate").unwrap()[10].value().unwrap().as_float().unwrap();
+        let rate0 = trace.signal("rate").unwrap()[10]
+            .value()
+            .unwrap()
+            .as_float()
+            .unwrap();
         assert_eq!(rate0, 0.2);
-        let ti0 = trace.signal("ti").unwrap()[10].value().unwrap().as_float().unwrap();
+        let ti0 = trace.signal("ti").unwrap()[10]
+            .value()
+            .unwrap()
+            .as_float()
+            .unwrap();
         assert_eq!(ti0, 4.0);
-        let adv0 = trace.signal("advance").unwrap()[10].value().unwrap().as_float().unwrap();
+        let adv0 = trace.signal("advance").unwrap()[10]
+            .value()
+            .unwrap()
+            .as_float()
+            .unwrap();
         assert_eq!(adv0, 5.0);
         // Once running: detailed computations take over.
-        let rate1 = trace.signal("rate").unwrap()[90].value().unwrap().as_float().unwrap();
+        let rate1 = trace.signal("rate").unwrap()[90]
+            .value()
+            .unwrap()
+            .as_float()
+            .unwrap();
         assert!((rate1 - (0.3 * 2.0 + 2000.0 * 0.0001)).abs() < 1e-9);
     }
 

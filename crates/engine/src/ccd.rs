@@ -113,7 +113,12 @@ fn assemble_ccd(
         .cluster(Cluster::new("ignition_control", ignition, fast))
         .cluster(Cluster::new("diagnosis_monitoring", diagnosis, slow))
         // Fast -> slow: no delay operator required.
-        .channel(CcdChannel::direct("fuel_control", "ti", "diagnosis_monitoring", "ti"))
+        .channel(CcdChannel::direct(
+            "fuel_control",
+            "ti",
+            "diagnosis_monitoring",
+            "ti",
+        ))
         .channel(CcdChannel::direct(
             "ignition_control",
             "advance",
@@ -122,8 +127,13 @@ fn assemble_ccd(
         ))
         // Slow -> fast: one delay operator required by the OSEK target.
         .channel(
-            CcdChannel::direct("diagnosis_monitoring", "ti_limit", "fuel_control", "ti_limit")
-                .with_delays(1),
+            CcdChannel::direct(
+                "diagnosis_monitoring",
+                "ti_limit",
+                "fuel_control",
+                "ti_limit",
+            )
+            .with_delays(1),
         )
 }
 
@@ -142,11 +152,7 @@ pub fn build_engine_ccd_missing_delay(
     let (ccd, _) = build_engine_ccd(model, fast, slow)?;
     let mut bad = Ccd::new();
     for c in &ccd.clusters {
-        bad = bad.cluster(Cluster::new(
-            format!("{}2", c.name),
-            c.component,
-            c.period,
-        ));
+        bad = bad.cluster(Cluster::new(format!("{}2", c.name), c.component, c.period));
     }
     for ch in &ccd.channels {
         let mut ch2 = CcdChannel::direct(

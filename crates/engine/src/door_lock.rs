@@ -13,7 +13,7 @@
 //! * when nothing happens, **no message** is emitted (the `"-"` of Fig. 1).
 
 use automode_core::model::{
-    Behavior, Component, Composite, CompositeKind, ComponentId, Endpoint, Model, Primitive,
+    Behavior, Component, ComponentId, Composite, CompositeKind, Endpoint, Model, Primitive,
 };
 use automode_core::types::{DataType, EnumType};
 use automode_core::CoreError;
@@ -106,15 +106,39 @@ pub fn build_door_lock(model: &mut Model) -> Result<ComponentId, CoreError> {
     net.instantiate("mirror", mirror);
     net.instantiate("mirror_gate", mirror_gate);
     net.instantiate("merge", merge);
-    net.connect(Endpoint::boundary("CRSH"), Endpoint::child("crash_flag", "CRSH"));
-    net.connect(Endpoint::child("unlock_const", "cmd"), Endpoint::child("crash_gate", "data"));
-    net.connect(Endpoint::child("crash_flag", "crash"), Endpoint::child("crash_gate", "cond"));
-    net.connect(Endpoint::boundary("FZG_V"), Endpoint::child("volt_ok", "FZG_V"));
+    net.connect(
+        Endpoint::boundary("CRSH"),
+        Endpoint::child("crash_flag", "CRSH"),
+    );
+    net.connect(
+        Endpoint::child("unlock_const", "cmd"),
+        Endpoint::child("crash_gate", "data"),
+    );
+    net.connect(
+        Endpoint::child("crash_flag", "crash"),
+        Endpoint::child("crash_gate", "cond"),
+    );
+    net.connect(
+        Endpoint::boundary("FZG_V"),
+        Endpoint::child("volt_ok", "FZG_V"),
+    );
     net.connect(Endpoint::boundary("T4S"), Endpoint::child("mirror", "T4S"));
-    net.connect(Endpoint::child("mirror", "cmd"), Endpoint::child("mirror_gate", "data"));
-    net.connect(Endpoint::child("volt_ok", "ok"), Endpoint::child("mirror_gate", "cond"));
-    net.connect(Endpoint::child("crash_gate", "out"), Endpoint::child("merge", "a"));
-    net.connect(Endpoint::child("mirror_gate", "out"), Endpoint::child("merge", "b"));
+    net.connect(
+        Endpoint::child("mirror", "cmd"),
+        Endpoint::child("mirror_gate", "data"),
+    );
+    net.connect(
+        Endpoint::child("volt_ok", "ok"),
+        Endpoint::child("mirror_gate", "cond"),
+    );
+    net.connect(
+        Endpoint::child("crash_gate", "out"),
+        Endpoint::child("merge", "a"),
+    );
+    net.connect(
+        Endpoint::child("mirror_gate", "out"),
+        Endpoint::child("merge", "b"),
+    );
     for out in ["T1C", "T2C", "T3C", "T4C"] {
         net.connect(Endpoint::child("merge", "out"), Endpoint::boundary(out));
     }
@@ -156,14 +180,26 @@ pub fn build_door_lock_system(model: &mut Model) -> Result<ComponentId, CoreErro
     let mut ssd = Composite::new(CompositeKind::Ssd);
     ssd.instantiate("crash_sensor", crash_sensor);
     ssd.instantiate("door_lock", ctrl);
-    ssd.connect(Endpoint::boundary("raw_accel"), Endpoint::child("crash_sensor", "raw_accel"));
+    ssd.connect(
+        Endpoint::boundary("raw_accel"),
+        Endpoint::child("crash_sensor", "raw_accel"),
+    );
     ssd.connect(
         Endpoint::child("crash_sensor", "CRSH"),
         Endpoint::child("door_lock", "CRSH"),
     );
-    ssd.connect(Endpoint::boundary("T4S"), Endpoint::child("door_lock", "T4S"));
-    ssd.connect(Endpoint::boundary("FZG_V"), Endpoint::child("door_lock", "FZG_V"));
-    ssd.connect(Endpoint::child("door_lock", "T1C"), Endpoint::boundary("T1C"));
+    ssd.connect(
+        Endpoint::boundary("T4S"),
+        Endpoint::child("door_lock", "T4S"),
+    );
+    ssd.connect(
+        Endpoint::boundary("FZG_V"),
+        Endpoint::child("door_lock", "FZG_V"),
+    );
+    ssd.connect(
+        Endpoint::child("door_lock", "T1C"),
+        Endpoint::boundary("T1C"),
+    );
 
     let root = model.add_component(
         Component::new("BodyElectronics")
@@ -255,7 +291,9 @@ mod tests {
     fn low_voltage_suppresses_commands() {
         let mut m = Model::new("volt");
         let ctrl = build_door_lock(&mut m).unwrap();
-        let t4s: Stream = vec![Message::present(Value::sym("Locked"))].into_iter().collect();
+        let t4s: Stream = vec![Message::present(Value::sym("Locked"))]
+            .into_iter()
+            .collect();
         let run = simulate_component(
             &m,
             ctrl,

@@ -70,9 +70,7 @@ pub fn build_engine_modes(model: &mut Model) -> Result<ComponentId, CoreError> {
         .expect("six modes");
     mtd.initial = stop;
 
-    let t = |src: usize, dst: usize, expr: &str, prio: u32| {
-        (src, dst, parse(expr).unwrap(), prio)
-    };
+    let t = |src: usize, dst: usize, expr: &str, prio: u32| (src, dst, parse(expr).unwrap(), prio);
     let transitions = [
         // Key-off dominates from everywhere.
         t(cranking, stop, "not key_on", 0),
@@ -163,10 +161,7 @@ mod tests {
         );
         // Overrun fuel cut while rpm still high (end of phase 5, where the
         // throttle finally closes below 1%).
-        assert!(
-            tis[80..105].contains(&0.0),
-            "overrun fuel cut expected"
-        );
+        assert!(tis[80..105].contains(&0.0), "overrun fuel cut expected");
         assert_eq!(*tis.last().unwrap(), 0.0, "stop at key-off");
     }
 
@@ -199,9 +194,7 @@ mod tests {
         let ticks = 10;
         let rpm = constant(Value::Float(3000.0), ticks);
         let throttle: Stream = (0..ticks)
-            .map(|t| {
-                automode_kernel::Message::present(Value::Float(if t < 5 { 0.5 } else { 0.0 }))
-            })
+            .map(|t| automode_kernel::Message::present(Value::Float(if t < 5 { 0.5 } else { 0.0 })))
             .collect();
         let run = simulate_component(
             &m,

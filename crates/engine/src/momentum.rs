@@ -133,12 +133,30 @@ pub fn build_momentum_controller(
     net.connect(Endpoint::boundary("v_des"), Endpoint::child("err", "v_des"));
     net.connect(Endpoint::boundary("v_act"), Endpoint::child("err", "v_act"));
     net.connect(Endpoint::boundary("v_des"), Endpoint::child("ff", "v_des"));
-    net.connect(Endpoint::child("err", "err"), Endpoint::child("p_term", "err"));
-    net.connect(Endpoint::child("err", "err"), Endpoint::child("i_step", "err"));
-    net.connect(Endpoint::child("i_delay", "y"), Endpoint::child("i_step", "i_prev"));
-    net.connect(Endpoint::child("i_step", "i"), Endpoint::child("i_delay", "x"));
-    net.connect(Endpoint::child("p_term", "p"), Endpoint::child("add", "ch1"));
-    net.connect(Endpoint::child("i_step", "i"), Endpoint::child("add", "ch2"));
+    net.connect(
+        Endpoint::child("err", "err"),
+        Endpoint::child("p_term", "err"),
+    );
+    net.connect(
+        Endpoint::child("err", "err"),
+        Endpoint::child("i_step", "err"),
+    );
+    net.connect(
+        Endpoint::child("i_delay", "y"),
+        Endpoint::child("i_step", "i_prev"),
+    );
+    net.connect(
+        Endpoint::child("i_step", "i"),
+        Endpoint::child("i_delay", "x"),
+    );
+    net.connect(
+        Endpoint::child("p_term", "p"),
+        Endpoint::child("add", "ch1"),
+    );
+    net.connect(
+        Endpoint::child("i_step", "i"),
+        Endpoint::child("add", "ch2"),
+    );
     net.connect(Endpoint::child("ff", "ff"), Endpoint::child("add", "ch3"));
     net.connect(Endpoint::child("add", "sum"), Endpoint::child("limit", "u"));
     net.connect(Endpoint::child("limit", "m"), Endpoint::boundary("m_dem"));

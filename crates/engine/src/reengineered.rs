@@ -64,10 +64,7 @@ pub fn reengineer_engine() -> Result<EngineReengineering, TransformError> {
         let r = reengineer_module(&ascet, &module.name, &mut model)?;
         for (i, process) in module.processes.iter().enumerate() {
             let (id, period) = r.components[i];
-            components.insert(
-                format!("{}_{}", module.name, process.name),
-                (id, period),
-            );
+            components.insert(format!("{}_{}", module.name, process.name), (id, period));
         }
         report.components.extend(r.components);
         report.mtds_extracted += r.mtds_extracted;
@@ -109,8 +106,7 @@ pub fn reengineer_engine() -> Result<EngineReengineering, TransformError> {
                 },
                 Direction::Out => {
                     // Expose the controller's actuating signals.
-                    if ["rate", "ti", "advance", "idle_trim", "lam_trim"]
-                        .contains(&p.name.as_str())
+                    if ["rate", "ti", "advance", "idle_trim", "lam_trim"].contains(&p.name.as_str())
                     {
                         boundary_outputs.push((p.name.clone(), p.ty.clone()));
                         net.connect(
@@ -195,10 +191,10 @@ mod tests {
 
         // Scenario: key on, rpm sweep crossing all flag regimes.
         let rpm_at = |k: u64| match k {
-            0..=4 => 200.0,               // cranking
-            5..=9 => 900.0,               // running, idle-ish
-            10..=14 => 3000.0,            // part load
-            _ => 2500.0,                  // closing throttle -> overrun
+            0..=4 => 200.0,    // cranking
+            5..=9 => 900.0,    // running, idle-ish
+            10..=14 => 3000.0, // part load
+            _ => 2500.0,       // closing throttle -> overrun
         };
         let throttle_at = |k: u64| match k {
             0..=4 => 0.0,
@@ -241,7 +237,12 @@ mod tests {
         let run = simulate_component(
             &r.model,
             r.root,
-            &[("rpm", rpm), ("throttle", throttle), ("key_on", key), ("o2", o2)],
+            &[
+                ("rpm", rpm),
+                ("throttle", throttle),
+                ("key_on", key),
+                ("o2", o2),
+            ],
             ticks as usize,
         )
         .unwrap();
@@ -290,8 +291,14 @@ mod tests {
             &r.model,
             idle_id,
             &[
-                ("b_idle", automode_sim::stimulus::constant(Value::Bool(true), ticks)),
-                ("rpm", automode_sim::stimulus::constant(Value::Float(700.0), ticks)),
+                (
+                    "b_idle",
+                    automode_sim::stimulus::constant(Value::Bool(true), ticks),
+                ),
+                (
+                    "rpm",
+                    automode_sim::stimulus::constant(Value::Float(700.0), ticks),
+                ),
             ],
             ticks,
         )

@@ -130,7 +130,10 @@ mod tests {
         rpm: &[f64],
     ) -> (Vec<Option<bool>>, Vec<Option<bool>>) {
         let ticks = key.len();
-        let key: Stream = key.iter().map(|&k| Message::present(Value::Bool(k))).collect();
+        let key: Stream = key
+            .iter()
+            .map(|&k| Message::present(Value::Bool(k)))
+            .collect();
         let rpm: Stream = rpm
             .iter()
             .map(|&r| Message::present(Value::Float(r)))

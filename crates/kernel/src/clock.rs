@@ -30,8 +30,7 @@ use crate::Tick;
 /// assert_eq!(c.period(), 2);
 /// assert!(c.is_subclock_of(&Clock::base()));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum Clock {
     /// The base clock: active at every global tick (`true`).
     #[default]
@@ -66,7 +65,10 @@ impl Clock {
         if n == 1 {
             Clock::Base
         } else {
-            Clock::Every { n, phase: phase % n }
+            Clock::Every {
+                n,
+                phase: phase % n,
+            }
         }
     }
 
@@ -161,7 +163,6 @@ impl Clock {
     }
 }
 
-
 impl fmt::Display for Clock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -206,10 +207,7 @@ mod tests {
     fn every_two_matches_fig2() {
         // Fig. 2: a' is updated every second tick of the base clock.
         let c = Clock::every(2, 0);
-        assert_eq!(
-            c.to_pattern(6),
-            vec![true, false, true, false, true, false]
-        );
+        assert_eq!(c.to_pattern(6), vec![true, false, true, false, true, false]);
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub enum KernelError {
         /// Tick index of the offending row.
         tick: u64,
     },
+    /// An indexed trace row did not match the declared column count.
+    RowArity {
+        /// Number of declared signals.
+        expected: usize,
+        /// Entries found in the offending row.
+        found: usize,
+    },
     /// Division by zero in a lifted arithmetic block.
     DivisionByZero {
         /// The block that divided.
@@ -107,6 +114,10 @@ impl fmt::Display for KernelError {
             } => write!(
                 f,
                 "stimulus row at tick {tick} has {found} entries, expected {expected}"
+            ),
+            KernelError::RowArity { expected, found } => write!(
+                f,
+                "indexed trace row has {found} entries, expected {expected} declared signals"
             ),
             KernelError::DivisionByZero { block } => {
                 write!(f, "division by zero in block `{block}`")

@@ -65,10 +65,10 @@ pub mod trace;
 pub mod value;
 pub mod vcd;
 
-pub use causality::{CausalityError, CausalityReport};
+pub use causality::{CausalityError, CausalityReport, Schedule};
 pub use clock::Clock;
 pub use error::KernelError;
-pub use network::{BlockHandle, Network, NodeId, PortRef};
+pub use network::{BlockHandle, Network, NodeId, PortRef, ReadyNetwork, ReferenceExecutor};
 pub use ops::Block;
 pub use stream::Stream;
 pub use trace::{Trace, TraceEquivalence};

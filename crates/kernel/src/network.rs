@@ -5,10 +5,22 @@
 //! holds one [`Message`]; blocks are evaluated in an order compatible with
 //! their *instantaneous* dependencies (checked by [`causality`]); channels
 //! into delayed inputs carry values across ticks.
+//!
+//! ## Compiled execution
+//!
+//! [`Network::prepare`] compiles the wiring into a flat plan executed by
+//! [`ReadyNetwork`]: all node outputs live in one message arena addressed by
+//! precomputed slot indices, each input port's source and instantaneity are
+//! resolved up front, and per-node input scratch buffers are reused across
+//! ticks — the steady-state tick loop performs no heap allocation. The
+//! causality check also levelizes the schedule, and an opt-in mode
+//! ([`ReadyNetwork::enable_parallel`]) steps wide levels on scoped threads.
+//! The original interpretive loop survives as [`ReferenceExecutor`] for
+//! differential tests and benchmarks.
 
 use std::collections::BTreeMap;
 
-use crate::causality;
+use crate::causality::{self, Schedule};
 use crate::error::KernelError;
 use crate::ops::Block;
 use crate::trace::Trace;
@@ -247,7 +259,11 @@ impl Network {
     /// # Errors
     ///
     /// Fails on duplicate names.
-    pub fn probe_input(&mut self, name: impl Into<String>, input: InputId) -> Result<(), KernelError> {
+    pub fn probe_input(
+        &mut self,
+        name: impl Into<String>,
+        input: InputId,
+    ) -> Result<(), KernelError> {
         let name = name.into();
         if self.probes.iter().any(|(n, _)| *n == name) {
             return Err(KernelError::DuplicateName(name));
@@ -272,13 +288,7 @@ impl Network {
         edges
     }
 
-    /// Runs the causality check and computes an evaluation schedule.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`KernelError::Causality`] if the network has an
-    /// instantaneous loop.
-    pub fn prepare(mut self) -> Result<ReadyNetwork, KernelError> {
+    fn schedule(&self) -> Result<Schedule, KernelError> {
         let edges = self.instantaneous_edges();
         let names: Vec<String> = self
             .nodes
@@ -286,14 +296,94 @@ impl Network {
             .enumerate()
             .map(|(i, n)| format!("{}#{}", n.block.name(), i))
             .collect();
-        let order = causality::check(self.nodes.len(), &edges, |i| names[i].clone())?;
-        for node in &mut self.nodes {
-            node.block.reset();
-            node.outputs.fill(Message::Absent);
+        Ok(causality::check_schedule(self.nodes.len(), &edges, |i| {
+            names[i].clone()
+        })?)
+    }
+
+    /// Runs the causality check and compiles the wiring into a flat
+    /// execution plan (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Causality`] if the network has an
+    /// instantaneous loop.
+    pub fn prepare(self) -> Result<ReadyNetwork, KernelError> {
+        let schedule = self.schedule()?;
+        let n = self.nodes.len();
+
+        // Arena layout: node i's outputs occupy
+        // `out_offset[i]..out_offset[i + 1]`; offsets ascend with the node
+        // index, which is what lets the parallel mode carve disjoint `&mut`
+        // output slices with `split_at_mut`.
+        let mut out_offset = Vec::with_capacity(n + 1);
+        out_offset.push(0usize);
+        for node in &self.nodes {
+            out_offset.push(out_offset.last().unwrap() + node.block.output_arity());
         }
+        // Scratch layout mirrors it for inputs.
+        let mut slot_offset = Vec::with_capacity(n + 1);
+        slot_offset.push(0usize);
+        for node in &self.nodes {
+            slot_offset.push(slot_offset.last().unwrap() + node.block.input_arity());
+        }
+        let total_inputs = *slot_offset.last().unwrap();
+        let total_outputs = *out_offset.last().unwrap();
+
+        // Resolve every input port to a flat slot and cache its
+        // instantaneity in a bitset over flat input indices.
+        let mut slots = Vec::with_capacity(total_inputs);
+        let mut inst_bits = vec![0u64; total_inputs.div_ceil(64)];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for (port, src) in node.sources.iter().enumerate() {
+                let k = slots.len();
+                slots.push(match *src {
+                    Source::Open => Slot::Open,
+                    Source::Node(from, p) => Slot::Arena(out_offset[from.0] + p),
+                    Source::External(e) => Slot::External(e),
+                });
+                if node.block.input_is_instantaneous(port) {
+                    inst_bits[k >> 6] |= 1u64 << (k & 63);
+                }
+            }
+            debug_assert_eq!(slots.len(), slot_offset[i + 1]);
+        }
+
+        let mut probe_names = Vec::with_capacity(self.probes.len());
+        let mut probe_slots = Vec::with_capacity(self.probes.len());
+        for (name, src) in &self.probes {
+            probe_names.push(name.clone());
+            probe_slots.push(match *src {
+                Source::Open => Slot::Open,
+                Source::Node(from, p) => Slot::Arena(out_offset[from.0] + p),
+                Source::External(e) => Slot::External(e),
+            });
+        }
+
+        let mut blocks: Vec<Box<dyn Block + Send>> = Vec::with_capacity(n);
+        for node in self.nodes {
+            let mut block = node.block;
+            block.reset();
+            blocks.push(block);
+        }
+
+        let observed = vec![Message::Absent; probe_slots.len()];
         Ok(ReadyNetwork {
-            net: self,
-            order,
+            name: self.name,
+            blocks,
+            n_inputs: self.input_names.len(),
+            probe_names,
+            probe_slots,
+            slot_offset,
+            slots,
+            inst_bits,
+            out_offset,
+            arena: vec![Message::Absent; total_outputs],
+            scratch: vec![Message::Absent; total_inputs],
+            schedule,
+            observed,
+            parallel_min_width: None,
+            parallel_workers: None,
             tick: 0,
         })
     }
@@ -307,33 +397,104 @@ impl Network {
     /// evaluation errors.
     pub fn run(self, stimulus: &[Vec<Message>]) -> Result<Trace, KernelError> {
         let mut ready = self.prepare()?;
-        let mut trace = Trace::new();
-        for name in ready
-            .net
-            .probes
-            .iter()
-            .map(|(n, _)| n.clone())
-            .collect::<Vec<_>>()
-        {
-            trace.declare(name);
+        ready.run(stimulus)
+    }
+
+    /// Prepares the pre-compilation interpretive executor.
+    ///
+    /// Kept as the semantic reference: differential tests pit it against the
+    /// compiled [`ReadyNetwork`], and the executor benchmarks use it as the
+    /// before/after baseline.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::prepare`].
+    pub fn prepare_reference(mut self) -> Result<ReferenceExecutor, KernelError> {
+        let schedule = self.schedule()?;
+        for node in &mut self.nodes {
+            node.block.reset();
+            node.outputs.fill(Message::Absent);
         }
-        for row in stimulus {
-            let observed = ready.step_tick(row)?;
-            trace.push_row(&observed)?;
-        }
-        Ok(trace)
+        Ok(ReferenceExecutor {
+            net: self,
+            order: schedule.order,
+            tick: 0,
+        })
+    }
+
+    /// Batch-runs the network with the interpretive reference executor.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn run_reference(self, stimulus: &[Vec<Message>]) -> Result<Trace, KernelError> {
+        let mut ready = self.prepare_reference()?;
+        ready.run(stimulus)
     }
 }
 
-/// A causality-checked network with a fixed evaluation schedule.
+/// Resolved message source in the compiled plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// Unconnected: always absent.
+    Open,
+    /// A flat index into the output arena.
+    Arena(usize),
+    /// An index into the external input row.
+    External(usize),
+}
+
+#[inline]
+fn resolve_slot(slot: Slot, arena: &[Message], externals: &[Message]) -> Message {
+    match slot {
+        Slot::Open => Message::Absent,
+        Slot::Arena(a) => arena[a].clone(),
+        Slot::External(e) => externals[e].clone(),
+    }
+}
+
+/// A causality-checked network compiled to a flat execution plan.
+///
+/// Steady-state ticks are allocation-free: outputs live in a single message
+/// arena, inputs are gathered into reused scratch buffers through
+/// precomputed slot indices, and probes resolve to arena slots
+/// ([`ReadyNetwork::step_tick_observed`] returns a borrowed row).
 #[derive(Debug)]
 pub struct ReadyNetwork {
-    net: Network,
-    order: Vec<usize>,
+    name: String,
+    blocks: Vec<Box<dyn Block + Send>>,
+    n_inputs: usize,
+    probe_names: Vec<String>,
+    probe_slots: Vec<Slot>,
+    /// Flat input range of node `i`: `slot_offset[i]..slot_offset[i + 1]`.
+    slot_offset: Vec<usize>,
+    /// Resolved source of each flat input.
+    slots: Vec<Slot>,
+    /// Bit `k` set iff flat input `k` is read instantaneously.
+    inst_bits: Vec<u64>,
+    /// Arena range of node `i`: `out_offset[i]..out_offset[i + 1]`.
+    out_offset: Vec<usize>,
+    /// Every node output of the current tick, flattened.
+    arena: Vec<Message>,
+    /// Reused input gather buffer, laid out like `slots`.
+    scratch: Vec<Message>,
+    schedule: Schedule,
+    /// Reused probe output row.
+    observed: Vec<Message>,
+    /// Minimum level width at which step runs on scoped threads.
+    parallel_min_width: Option<usize>,
+    /// Worker-count override for parallel levels (`None` = available
+    /// parallelism).
+    parallel_workers: Option<usize>,
     tick: Tick,
 }
 
 impl ReadyNetwork {
+    /// The network's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// The current tick (number of completed reactions).
     pub fn tick(&self) -> Tick {
         self.tick
@@ -341,7 +502,296 @@ impl ReadyNetwork {
 
     /// The evaluation schedule (node indices in execution order).
     pub fn schedule(&self) -> &[usize] {
-        &self.order
+        &self.schedule.order
+    }
+
+    /// The topological levels of the schedule: nodes within one level have
+    /// no instantaneous dependencies on each other.
+    pub fn levels(&self) -> &[Vec<usize>] {
+        &self.schedule.levels
+    }
+
+    /// Probed signal names, in declaration order — the column layout of
+    /// [`ReadyNetwork::step_tick_observed`] rows.
+    pub fn probe_names(&self) -> impl Iterator<Item = &str> {
+        self.probe_names.iter().map(String::as_str)
+    }
+
+    /// Enables the parallel step mode: levels at least `min_width` wide are
+    /// evaluated on scoped worker threads. Disabled by default; results are
+    /// identical to sequential execution (within a level no block depends
+    /// instantaneously on another).
+    pub fn enable_parallel(&mut self, min_width: usize) {
+        self.parallel_min_width = Some(min_width.max(2));
+    }
+
+    /// Restores the default sequential step mode.
+    pub fn disable_parallel(&mut self) {
+        self.parallel_min_width = None;
+    }
+
+    /// Overrides the worker count used for parallel levels. `None` (the
+    /// default) sizes the pool from [`std::thread::available_parallelism`];
+    /// `Some(n)` forces `n` workers, which lets tests exercise the scoped
+    /// thread path even on single-core machines.
+    pub fn set_parallel_workers(&mut self, workers: Option<usize>) {
+        self.parallel_workers = workers.map(|n| n.max(1));
+    }
+
+    /// Resets all blocks, the arena, and the tick counter.
+    pub fn reset(&mut self) {
+        for block in &mut self.blocks {
+            block.reset();
+        }
+        self.arena.fill(Message::Absent);
+        self.scratch.fill(Message::Absent);
+        self.tick = 0;
+    }
+
+    #[inline]
+    fn inst(&self, k: usize) -> bool {
+        (self.inst_bits[k >> 6] >> (k & 63)) & 1 == 1
+    }
+
+    /// Gathers node `i`'s phase-1 inputs (instantaneous ports only) into its
+    /// scratch range.
+    fn gather_step_inputs(&mut self, i: usize, externals: &[Message]) {
+        for k in self.slot_offset[i]..self.slot_offset[i + 1] {
+            self.scratch[k] = if self.inst(k) {
+                resolve_slot(self.slots[k], &self.arena, externals)
+            } else {
+                Message::Absent
+            };
+        }
+    }
+
+    /// Executes one global reaction and returns the probed row, borrowed
+    /// from an internal buffer — the allocation-free fast path. Columns
+    /// follow [`ReadyNetwork::probe_names`] order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stimulus arity mismatch or block evaluation errors.
+    pub fn step_tick_observed(&mut self, externals: &[Message]) -> Result<&[Message], KernelError> {
+        if externals.len() != self.n_inputs {
+            return Err(KernelError::StimulusArity {
+                expected: self.n_inputs,
+                found: externals.len(),
+                tick: self.tick,
+            });
+        }
+        let t = self.tick;
+
+        // Phase 1: step level by level. Within a level no block reads
+        // another's output instantaneously, so any order (or parallel
+        // execution) yields the same arena contents.
+        let parallel = self.parallel_min_width;
+        for li in 0..self.schedule.levels.len() {
+            let width = self.schedule.levels[li].len();
+            match parallel {
+                Some(min) if width >= min => {
+                    for ni in 0..width {
+                        let i = self.schedule.levels[li][ni];
+                        self.gather_step_inputs(i, externals);
+                    }
+                    let level = &self.schedule.levels[li];
+                    step_level_parallel(
+                        t,
+                        level,
+                        self.parallel_workers,
+                        LevelViews {
+                            blocks: &mut self.blocks,
+                            arena: &mut self.arena,
+                            scratch: &self.scratch,
+                            slot_offset: &self.slot_offset,
+                            out_offset: &self.out_offset,
+                        },
+                    )?;
+                }
+                _ => {
+                    for ni in 0..width {
+                        let i = self.schedule.levels[li][ni];
+                        self.gather_step_inputs(i, externals);
+                        let inputs = &self.scratch[self.slot_offset[i]..self.slot_offset[i + 1]];
+                        let out = &mut self.arena[self.out_offset[i]..self.out_offset[i + 1]];
+                        self.blocks[i].step_into(t, inputs, out)?;
+                    }
+                }
+            }
+        }
+
+        // Phase 2: commit with final input values.
+        for i in 0..self.blocks.len() {
+            for k in self.slot_offset[i]..self.slot_offset[i + 1] {
+                self.scratch[k] = resolve_slot(self.slots[k], &self.arena, externals);
+            }
+            self.blocks[i].commit(
+                t,
+                &self.scratch[self.slot_offset[i]..self.slot_offset[i + 1]],
+            );
+        }
+
+        // Observe probes into the reused row.
+        for (j, &slot) in self.probe_slots.iter().enumerate() {
+            self.observed[j] = resolve_slot(slot, &self.arena, externals);
+        }
+        self.tick += 1;
+        Ok(&self.observed)
+    }
+
+    /// Executes one global reaction.
+    ///
+    /// `externals` supplies one message per declared network input. Returns
+    /// the probed signals as `(name, message)` rows in declaration order.
+    /// This is the compatibility wrapper around
+    /// [`ReadyNetwork::step_tick_observed`]; it clones the probe names each
+    /// tick.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stimulus arity mismatch or block evaluation errors.
+    pub fn step_tick(
+        &mut self,
+        externals: &[Message],
+    ) -> Result<Vec<(String, Message)>, KernelError> {
+        self.step_tick_observed(externals)?;
+        Ok(self
+            .probe_names
+            .iter()
+            .cloned()
+            .zip(self.observed.iter().cloned())
+            .collect())
+    }
+
+    /// Batch continuation: run further ticks and return their trace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReadyNetwork::step_tick`].
+    pub fn run(&mut self, stimulus: &[Vec<Message>]) -> Result<Trace, KernelError> {
+        let mut trace = Trace::new();
+        for name in &self.probe_names {
+            trace.declare(name.clone());
+        }
+        for row in stimulus {
+            let observed = self.step_tick_observed(row)?;
+            trace.push_row_indexed(observed)?;
+        }
+        Ok(trace)
+    }
+}
+
+/// Per-node disjoint execution views carved for one level.
+struct LevelPart<'a> {
+    block: &'a mut (dyn Block + Send),
+    inputs: &'a [Message],
+    out: &'a mut [Message],
+}
+
+/// Borrowed views of the compiled plan needed to step one level.
+struct LevelViews<'a> {
+    blocks: &'a mut [Box<dyn Block + Send>],
+    arena: &'a mut [Message],
+    scratch: &'a [Message],
+    slot_offset: &'a [usize],
+    out_offset: &'a [usize],
+}
+
+/// Steps one level's blocks on scoped threads.
+///
+/// Node indices within a level ascend, and arena/scratch ranges ascend with
+/// the node index, so repeated `split_at_mut` carves the disjoint `&mut`
+/// views without unsafe code.
+fn step_level_parallel(
+    t: Tick,
+    level: &[usize],
+    workers_override: Option<usize>,
+    views: LevelViews<'_>,
+) -> Result<(), KernelError> {
+    let LevelViews {
+        blocks,
+        arena,
+        scratch,
+        slot_offset,
+        out_offset,
+    } = views;
+    let mut parts: Vec<LevelPart<'_>> = Vec::with_capacity(level.len());
+    let mut blocks_rest = blocks;
+    let mut blocks_base = 0usize;
+    let mut arena_rest = arena;
+    let mut arena_base = 0usize;
+    for &i in level {
+        let tail = std::mem::take(&mut blocks_rest)
+            .split_at_mut(i - blocks_base)
+            .1;
+        let (block, rest) = tail.split_first_mut().expect("level node in range");
+        blocks_rest = rest;
+        blocks_base = i + 1;
+
+        let tail = std::mem::take(&mut arena_rest)
+            .split_at_mut(out_offset[i] - arena_base)
+            .1;
+        let (out, rest) = tail.split_at_mut(out_offset[i + 1] - out_offset[i]);
+        arena_rest = rest;
+        arena_base = out_offset[i + 1];
+
+        parts.push(LevelPart {
+            block: block.as_mut(),
+            inputs: &scratch[slot_offset[i]..slot_offset[i + 1]],
+            out,
+        });
+    }
+
+    let workers = workers_override
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .min(parts.len());
+    if workers <= 1 {
+        for p in parts {
+            p.block.step_into(t, p.inputs, p.out)?;
+        }
+        return Ok(());
+    }
+    let mut chunks: Vec<Vec<LevelPart<'_>>> = (0..workers).map(|_| Vec::new()).collect();
+    for (j, p) in parts.into_iter().enumerate() {
+        chunks[j % workers].push(p);
+    }
+    let mut results: Vec<Result<(), KernelError>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    for p in chunk {
+                        p.block.step_into(t, p.inputs, p.out)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("executor worker panicked"));
+        }
+    });
+    results.into_iter().collect()
+}
+
+/// The pre-compilation interpretive executor, kept as the semantic
+/// reference for differential tests and benchmark baselines.
+///
+/// Each tick allocates fresh input vectors per node and probe rows with
+/// owned names — exactly the seed behaviour the compiled [`ReadyNetwork`]
+/// replaces.
+#[derive(Debug)]
+pub struct ReferenceExecutor {
+    net: Network,
+    order: Vec<usize>,
+    tick: Tick,
+}
+
+impl ReferenceExecutor {
+    /// The current tick (number of completed reactions).
+    pub fn tick(&self) -> Tick {
+        self.tick
     }
 
     /// Resets all blocks and the tick counter.
@@ -361,10 +811,7 @@ impl ReadyNetwork {
         }
     }
 
-    /// Executes one global reaction.
-    ///
-    /// `externals` supplies one message per declared network input. Returns
-    /// the probed signals as `(name, message)` rows in declaration order.
+    /// Executes one global reaction, interpretively.
     ///
     /// # Errors
     ///
@@ -424,7 +871,7 @@ impl ReadyNetwork {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`ReadyNetwork::step_tick`].
+    /// Same conditions as [`ReferenceExecutor::step_tick`].
     pub fn run(&mut self, stimulus: &[Vec<Message>]) -> Result<Trace, KernelError> {
         let mut trace = Trace::new();
         for (name, _) in &self.net.probes {
@@ -442,26 +889,34 @@ impl ReadyNetwork {
 ///
 /// Convenience for tests and examples: each closure produces the message for
 /// its input at each tick.
-pub fn stimulus_from_fns(
-    len: usize,
-    fns: Vec<Box<dyn Fn(Tick) -> Message>>,
-) -> Vec<Vec<Message>> {
+pub fn stimulus_from_fns(len: usize, fns: Vec<Box<dyn Fn(Tick) -> Message>>) -> Vec<Vec<Message>> {
     (0..len as Tick)
         .map(|t| fns.iter().map(|f| f(t)).collect())
+        .collect()
+}
+
+/// Builds one stimulus row per tick in `0..len`, reading each stream at that
+/// tick and padding past-the-end entries with [`Message::Absent`] — the
+/// shared row builder behind [`stimulus_from_streams`] and the simulator
+/// front-ends.
+pub fn rows_padded_with_absence<S>(streams: &[S], len: usize) -> Vec<Vec<Message>>
+where
+    S: std::borrow::Borrow<crate::stream::Stream>,
+{
+    (0..len)
+        .map(|t| {
+            streams
+                .iter()
+                .map(|s| s.borrow().get(t).cloned().unwrap_or(Message::Absent))
+                .collect()
+        })
         .collect()
 }
 
 /// Builds a stimulus from named streams; inputs are matched by order.
 pub fn stimulus_from_streams(streams: &[crate::stream::Stream]) -> Vec<Vec<Message>> {
     let len = streams.iter().map(|s| s.len()).max().unwrap_or(0);
-    (0..len)
-        .map(|t| {
-            streams
-                .iter()
-                .map(|s| s.get(t).cloned().unwrap_or(Message::Absent))
-                .collect()
-        })
-        .collect()
+    rows_padded_with_absence(streams, len)
 }
 
 /// A labelled bundle of traces keyed by signal name — re-export point used by
@@ -674,5 +1129,79 @@ mod tests {
             trace.signal("a").unwrap().present_values(),
             vec![Value::Int(4)]
         );
+    }
+
+    /// A diamond with a delayed feedback edge: exercises levels, delayed
+    /// inputs, open ports, and external probes at once.
+    fn diamond() -> Network {
+        let mut net = Network::new("diamond");
+        let input = net.add_input("x");
+        let double = net.add_block(Lift2::new(BinOp::Add));
+        let neg = net.add_block(Lift2::new(BinOp::Sub));
+        let join = net.add_block(Lift2::new(BinOp::Add));
+        let del = net.add_block(Delay::new(0i64));
+        net.connect_input(input, double.input(0)).unwrap();
+        net.connect_input(input, double.input(1)).unwrap();
+        net.connect_input(input, neg.input(0)).unwrap();
+        net.connect(del.output(0), neg.input(1)).unwrap();
+        net.connect(double.output(0), join.input(0)).unwrap();
+        net.connect(neg.output(0), join.input(1)).unwrap();
+        net.connect(join.output(0), del.input(0)).unwrap();
+        net.probe_input("x", input).unwrap();
+        net.expose_output("y", join.output(0)).unwrap();
+        net
+    }
+
+    #[test]
+    fn compiled_executor_matches_reference_on_diamond() {
+        let stim = stimulus_from_streams(&[Stream::from_values([1i64, 2, 3, 4, 5])]);
+        let compiled = diamond().run(&stim).unwrap();
+        let reference = diamond().run_reference(&stim).unwrap();
+        assert_eq!(compiled, reference);
+    }
+
+    #[test]
+    fn parallel_step_matches_sequential() {
+        let stim = stimulus_from_streams(&[Stream::from_values(0i64..16)]);
+        let mut seq = diamond().prepare().unwrap();
+        let mut par = diamond().prepare().unwrap();
+        par.enable_parallel(2); // force threads on every multi-node level
+        par.set_parallel_workers(Some(2)); // spawn even on single-core machines
+        let t1 = seq.run(&stim).unwrap();
+        let t2 = par.run(&stim).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn step_tick_observed_row_follows_probe_names() {
+        let mut ready = diamond().prepare().unwrap();
+        let names: Vec<String> = ready.probe_names().map(String::from).collect();
+        assert_eq!(names, vec!["x", "y"]);
+        let row = ready.step_tick_observed(&[Message::present(3i64)]).unwrap();
+        assert_eq!(row[0], Message::present(3i64)); // probed input
+        assert_eq!(row[1], Message::present(3i64 * 2 + 3)); // 2x + (x - 0)
+    }
+
+    #[test]
+    fn levels_cover_all_nodes_exactly_once() {
+        let ready = diamond().prepare().unwrap();
+        let mut seen: Vec<usize> = ready.levels().iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..ready.schedule().len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rows_padded_with_absence_pads_short_streams() {
+        let rows = rows_padded_with_absence(
+            &[Stream::from_values([1i64]), Stream::from_values([7i64, 8])],
+            3,
+        );
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows[0],
+            vec![Message::present(1i64), Message::present(7i64)]
+        );
+        assert_eq!(rows[1], vec![Message::Absent, Message::present(8i64)]);
+        assert_eq!(rows[2], vec![Message::Absent, Message::Absent]);
     }
 }

@@ -52,11 +52,46 @@ pub trait Block: fmt::Debug {
     /// Implementations report type errors, overflow, or domain errors.
     fn step(&mut self, t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError>;
 
+    /// Writes this tick's outputs into `out` (length [`Block::output_arity`]).
+    ///
+    /// The compiled executor calls this instead of [`Block::step`] so that
+    /// steady-state ticks allocate nothing. The default delegates to `step`;
+    /// the library blocks override it with in-place implementations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Block::step`].
+    fn step_into(
+        &mut self,
+        t: Tick,
+        inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
+        let produced = self.step(t, inputs)?;
+        debug_assert_eq!(produced.len(), out.len());
+        for (slot, msg) in out.iter_mut().zip(produced) {
+            *slot = msg;
+        }
+        Ok(())
+    }
+
     /// Observes the tick's final input messages (state update hook).
     fn commit(&mut self, _t: Tick, _inputs: &[Message]) {}
 
     /// Resets internal state to the initial configuration.
     fn reset(&mut self) {}
+}
+
+/// Implements [`Block::step`] by delegating to [`Block::step_into`] — for
+/// blocks whose primary implementation is the in-place variant.
+macro_rules! step_via_into {
+    () => {
+        fn step(&mut self, t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
+            let mut out = vec![Message::Absent; self.output_arity()];
+            self.step_into(t, inputs, &mut out)?;
+            Ok(out)
+        }
+    };
 }
 
 // ---------------------------------------------------------------------------
@@ -180,9 +215,13 @@ pub fn apply_binop(ctx: &str, op: BinOp, a: &Value, b: &Value) -> Result<Value, 
             };
             Ok(Bool(r))
         }
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem | BinOp::Min | BinOp::Max => {
-            arith(ctx, op, a, b)
-        }
+        BinOp::Add
+        | BinOp::Sub
+        | BinOp::Mul
+        | BinOp::Div
+        | BinOp::Rem
+        | BinOp::Min
+        | BinOp::Max => arith(ctx, op, a, b),
     }
 }
 
@@ -236,18 +275,25 @@ fn arith(ctx: &str, op: BinOp, a: &Value, b: &Value) -> Result<Value, KernelErro
                     }
                     crate::value::Fixed::from_f64(x.to_f64() / y.to_f64(), x.frac_bits())
                 }
-                BinOp::Rem => crate::value::Fixed::from_f64(
-                    x.to_f64() % y.to_f64(),
-                    x.frac_bits(),
-                ),
+                BinOp::Rem => crate::value::Fixed::from_f64(x.to_f64() % y.to_f64(), x.frac_bits()),
                 BinOp::Min => *x.min(y),
                 BinOp::Max => *x.max(y),
                 _ => unreachable!(),
             };
             Ok(Fixed(r))
         }
-        (Fixed(x), Int(y)) => arith(ctx, op, &Fixed(*x), &Fixed(crate::value::Fixed::from_f64(*y as f64, x.frac_bits()))),
-        (Int(x), Fixed(y)) => arith(ctx, op, &Fixed(crate::value::Fixed::from_f64(*x as f64, y.frac_bits())), &Fixed(*y)),
+        (Fixed(x), Int(y)) => arith(
+            ctx,
+            op,
+            &Fixed(*x),
+            &Fixed(crate::value::Fixed::from_f64(*y as f64, x.frac_bits())),
+        ),
+        (Int(x), Fixed(y)) => arith(
+            ctx,
+            op,
+            &Fixed(crate::value::Fixed::from_f64(*x as f64, y.frac_bits())),
+            &Fixed(*y),
+        ),
         _ => {
             let (x, y) = numeric_pair(ctx, a, b)?;
             let r = match op {
@@ -341,12 +387,19 @@ impl Block for Const {
     fn output_arity(&self) -> usize {
         1
     }
-    fn step(&mut self, t: Tick, _inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
-        Ok(vec![if self.clock.is_active(t) {
+    step_via_into!();
+    fn step_into(
+        &mut self,
+        t: Tick,
+        _inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
+        out[0] = if self.clock.is_active(t) {
             Message::Present(self.value.clone())
         } else {
             Message::Absent
-        }])
+        };
+        Ok(())
     }
 }
 
@@ -379,8 +432,15 @@ impl Block for EveryClockGen {
     fn output_arity(&self) -> usize {
         1
     }
-    fn step(&mut self, t: Tick, _inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
-        Ok(vec![Message::Present(Value::Bool(self.clock.is_active(t)))])
+    step_via_into!();
+    fn step_into(
+        &mut self,
+        t: Tick,
+        _inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
+        out[0] = Message::Present(Value::Bool(self.clock.is_active(t)));
+        Ok(())
     }
 }
 
@@ -410,13 +470,20 @@ impl Block for When {
     fn output_arity(&self) -> usize {
         1
     }
-    fn step(&mut self, _t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
+    step_via_into!();
+    fn step_into(
+        &mut self,
+        _t: Tick,
+        inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
         let pass = inputs[1].value().and_then(Value::as_bool) == Some(true);
-        Ok(vec![if pass {
+        out[0] = if pass {
             inputs[0].clone()
         } else {
             Message::Absent
-        }])
+        };
+        Ok(())
     }
 }
 
@@ -468,12 +535,19 @@ impl Block for Delay {
     fn input_is_instantaneous(&self, _i: usize) -> bool {
         false
     }
-    fn step(&mut self, t: Tick, _inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
-        Ok(vec![if self.clock.is_active(t) {
+    step_via_into!();
+    fn step_into(
+        &mut self,
+        t: Tick,
+        _inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
+        out[0] = if self.clock.is_active(t) {
             self.held.clone().into()
         } else {
             Message::Absent
-        }])
+        };
+        Ok(())
     }
     fn commit(&mut self, t: Tick, inputs: &[Message]) {
         if self.clock.is_active(t) {
@@ -521,8 +595,15 @@ impl Block for UnitDelay {
     fn input_is_instantaneous(&self, _i: usize) -> bool {
         false
     }
-    fn step(&mut self, _t: Tick, _inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
-        Ok(vec![self.held.clone()])
+    step_via_into!();
+    fn step_into(
+        &mut self,
+        _t: Tick,
+        _inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
+        out[0] = self.held.clone();
+        Ok(())
     }
     fn commit(&mut self, _t: Tick, inputs: &[Message]) {
         self.held = inputs[0].clone();
@@ -562,11 +643,18 @@ impl Block for Current {
     fn output_arity(&self) -> usize {
         1
     }
-    fn step(&mut self, _t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
+    step_via_into!();
+    fn step_into(
+        &mut self,
+        _t: Tick,
+        inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
         if let Message::Present(v) = &inputs[0] {
             self.held = v.clone();
         }
-        Ok(vec![Message::Present(self.held.clone())])
+        out[0] = Message::Present(self.held.clone());
+        Ok(())
     }
     fn reset(&mut self) {
         self.held = self.init.clone();
@@ -607,13 +695,18 @@ impl Block for Lift2 {
     fn output_arity(&self) -> usize {
         1
     }
-    fn step(&mut self, _t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
-        match (inputs[0].value(), inputs[1].value()) {
-            (Some(a), Some(b)) => Ok(vec![Message::Present(apply_binop(
-                &self.name, self.op, a, b,
-            )?)]),
-            _ => Ok(vec![Message::Absent]),
-        }
+    step_via_into!();
+    fn step_into(
+        &mut self,
+        _t: Tick,
+        inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
+        out[0] = match (inputs[0].value(), inputs[1].value()) {
+            (Some(a), Some(b)) => Message::Present(apply_binop(&self.name, self.op, a, b)?),
+            _ => Message::Absent,
+        };
+        Ok(())
     }
 }
 
@@ -644,11 +737,18 @@ impl Block for Lift1 {
     fn output_arity(&self) -> usize {
         1
     }
-    fn step(&mut self, _t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
-        match inputs[0].value() {
-            Some(v) => Ok(vec![Message::Present(apply_unop(&self.name, self.op, v)?)]),
-            None => Ok(vec![Message::Absent]),
-        }
+    step_via_into!();
+    fn step_into(
+        &mut self,
+        _t: Tick,
+        inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
+        out[0] = match inputs[0].value() {
+            Some(v) => Message::Present(apply_unop(&self.name, self.op, v)?),
+            None => Message::Absent,
+        };
+        Ok(())
     }
 }
 
@@ -680,7 +780,13 @@ impl Block for AddN {
     fn output_arity(&self) -> usize {
         1
     }
-    fn step(&mut self, _t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
+    step_via_into!();
+    fn step_into(
+        &mut self,
+        _t: Tick,
+        inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
         let mut acc: Option<Value> = None;
         for m in inputs {
             match m.value() {
@@ -690,10 +796,14 @@ impl Block for AddN {
                         Some(a) => apply_binop("add", BinOp::Add, &a, v)?,
                     });
                 }
-                None => return Ok(vec![Message::Absent]),
+                None => {
+                    out[0] = Message::Absent;
+                    return Ok(());
+                }
             }
         }
-        Ok(vec![acc.into()])
+        out[0] = acc.into();
+        Ok(())
     }
 }
 
@@ -719,12 +829,19 @@ impl Block for Select {
     fn output_arity(&self) -> usize {
         1
     }
-    fn step(&mut self, _t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
-        Ok(vec![match inputs[0].value().and_then(Value::as_bool) {
+    step_via_into!();
+    fn step_into(
+        &mut self,
+        _t: Tick,
+        inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
+        out[0] = match inputs[0].value().and_then(Value::as_bool) {
             Some(true) => inputs[1].clone(),
             Some(false) => inputs[2].clone(),
             None => Message::Absent,
-        }])
+        };
+        Ok(())
     }
 }
 
@@ -756,12 +873,19 @@ impl Block for Merge {
     fn output_arity(&self) -> usize {
         1
     }
-    fn step(&mut self, _t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
-        Ok(vec![inputs
+    step_via_into!();
+    fn step_into(
+        &mut self,
+        _t: Tick,
+        inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
+        out[0] = inputs
             .iter()
             .find(|m| m.is_present())
             .cloned()
-            .unwrap_or(Message::Absent)])
+            .unwrap_or(Message::Absent);
+        Ok(())
     }
 }
 
@@ -903,11 +1027,7 @@ mod tests {
     #[test]
     fn when_block_matches_reference_semantics() {
         let mut w = When::new();
-        let out = step1(
-            &mut w,
-            0,
-            &[Message::present(5i64), Message::present(true)],
-        );
+        let out = step1(&mut w, 0, &[Message::present(5i64), Message::present(true)]);
         assert_eq!(out, Message::present(5i64));
         let out = step1(
             &mut w,
@@ -1010,7 +1130,11 @@ mod tests {
         let out = step1(
             &mut m,
             0,
-            &[Message::Absent, Message::present(9i64), Message::present(1i64)],
+            &[
+                Message::Absent,
+                Message::present(9i64),
+                Message::present(1i64),
+            ],
         );
         assert_eq!(out, Message::present(9i64));
     }
@@ -1018,10 +1142,7 @@ mod tests {
     #[test]
     fn purefn_checks_declared_arity() {
         let mut f = PureFn::new("bad", 0, 2, |_, _| Ok(vec![Message::Absent]));
-        assert!(matches!(
-            f.step(0, &[]),
-            Err(KernelError::Block { .. })
-        ));
+        assert!(matches!(f.step(0, &[]), Err(KernelError::Block { .. })));
     }
 
     #[test]

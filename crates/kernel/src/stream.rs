@@ -186,10 +186,12 @@ impl fmt::Display for Stream {
 pub fn when(s: &Stream, c: &Stream) -> Stream {
     let len = s.len().min(c.len());
     (0..len)
-        .map(|t| match (s[t].clone(), c[t].value().and_then(Value::as_bool)) {
-            (m @ Message::Present(_), Some(true)) => m,
-            _ => Message::Absent,
-        })
+        .map(
+            |t| match (s[t].clone(), c[t].value().and_then(Value::as_bool)) {
+                (m @ Message::Present(_), Some(true)) => m,
+                _ => Message::Absent,
+            },
+        )
         .collect()
 }
 

@@ -7,7 +7,7 @@
 //! equivalent* model (Sec. 3.3), which we check as trace equivalence under a
 //! configurable [`TraceEquivalence`] relation.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::error::KernelError;
@@ -15,10 +15,23 @@ use crate::stream::Stream;
 use crate::value::Message;
 
 /// A recorded run: named signals, each with one message per tick.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Storage is columnar: one [`Stream`] per declared signal, in declaration
+/// order, with an interned name → column index map. The hot append path is
+/// [`Trace::push_row_indexed`], which touches no strings at all.
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
-    signals: BTreeMap<String, Stream>,
-    order: Vec<String>,
+    names: Vec<String>,
+    columns: Vec<Stream>,
+    index: HashMap<String, usize>,
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        // Traces compare by content (name/column pairs in declaration
+        // order); the index map is derived state.
+        self.names == other.names && self.columns == other.columns
+    }
 }
 
 impl Trace {
@@ -27,13 +40,23 @@ impl Trace {
         Trace::default()
     }
 
-    /// Declares a signal (so zero-tick runs still list it).
-    pub fn declare(&mut self, name: impl Into<String>) {
+    /// Declares a signal (so zero-tick runs still list it) and returns its
+    /// column index, interning the name on first sight.
+    pub fn declare(&mut self, name: impl Into<String>) -> usize {
         let name = name.into();
-        if !self.signals.contains_key(&name) {
-            self.signals.insert(name.clone(), Stream::new());
-            self.order.push(name);
+        if let Some(&i) = self.index.get(&name) {
+            return i;
         }
+        let i = self.names.len();
+        self.index.insert(name.clone(), i);
+        self.names.push(name);
+        self.columns.push(Stream::new());
+        i
+    }
+
+    /// The column index of a declared signal.
+    pub fn column_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
     }
 
     /// Appends one tick of observations, given as `(signal, message)` pairs.
@@ -43,57 +66,74 @@ impl Trace {
     /// Fails with [`KernelError::DuplicateName`] if a signal appears twice in
     /// the row.
     pub fn push_row(&mut self, row: &[(String, Message)]) -> Result<(), KernelError> {
-        let mut seen = Vec::with_capacity(row.len());
+        // Interned-index duplicate check: one hash lookup per entry instead
+        // of a string scan over all columns.
+        let mut seen: Vec<usize> = Vec::with_capacity(row.len());
         for (name, _) in row {
-            if seen.contains(&name) {
+            let i = self.declare(name.clone());
+            if seen.contains(&i) {
                 return Err(KernelError::DuplicateName(name.clone()));
             }
-            seen.push(name);
+            seen.push(i);
         }
-        for (name, msg) in row {
-            self.declare(name.clone());
-            self.signals
-                .get_mut(name)
-                .expect("declared above")
-                .push(msg.clone());
+        for ((_, msg), &i) in row.iter().zip(&seen) {
+            self.columns[i].push(msg.clone());
+        }
+        Ok(())
+    }
+
+    /// Appends one tick of observations by column index: `row[i]` goes to
+    /// the `i`-th declared signal. This is the zero-string fast path used by
+    /// the compiled executor.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KernelError::RowArity`] if `row` does not have exactly
+    /// one message per declared signal.
+    pub fn push_row_indexed(&mut self, row: &[Message]) -> Result<(), KernelError> {
+        if row.len() != self.columns.len() {
+            return Err(KernelError::RowArity {
+                expected: self.columns.len(),
+                found: row.len(),
+            });
+        }
+        for (col, msg) in self.columns.iter_mut().zip(row) {
+            col.push(msg.clone());
         }
         Ok(())
     }
 
     /// Inserts or replaces a whole signal history.
     pub fn insert(&mut self, name: impl Into<String>, stream: Stream) {
-        let name = name.into();
-        if !self.signals.contains_key(&name) {
-            self.order.push(name.clone());
-        }
-        self.signals.insert(name, stream);
+        let i = self.declare(name);
+        self.columns[i] = stream;
     }
 
     /// The history of one signal.
     pub fn signal(&self, name: &str) -> Option<&Stream> {
-        self.signals.get(name)
+        self.index.get(name).map(|&i| &self.columns[i])
     }
 
     /// Signal names, in declaration order.
     pub fn signal_names(&self) -> impl Iterator<Item = &str> {
-        self.order.iter().map(String::as_str)
+        self.names.iter().map(String::as_str)
     }
 
     /// Number of recorded signals.
     pub fn signal_count(&self) -> usize {
-        self.signals.len()
+        self.columns.len()
     }
 
     /// Number of ticks recorded (length of the longest signal).
     pub fn tick_count(&self) -> usize {
-        self.signals.values().map(Stream::len).max().unwrap_or(0)
+        self.columns.iter().map(Stream::len).max().unwrap_or(0)
     }
 
     /// Restricts the trace to the named signals (missing names are skipped).
     pub fn project(&self, names: &[&str]) -> Trace {
         let mut t = Trace::new();
         for &n in names {
-            if let Some(s) = self.signals.get(n) {
+            if let Some(s) = self.signal(n) {
                 t.insert(n, s.clone());
             }
         }
@@ -102,16 +142,13 @@ impl Trace {
 
     /// Renames a signal, returning whether it existed.
     pub fn rename(&mut self, from: &str, to: impl Into<String>) -> bool {
-        if let Some(s) = self.signals.remove(from) {
-            let to = to.into();
-            if let Some(slot) = self.order.iter_mut().find(|n| *n == from) {
-                *slot = to.clone();
-            }
-            self.signals.insert(to, s);
-            true
-        } else {
-            false
-        }
+        let Some(i) = self.index.remove(from) else {
+            return false;
+        };
+        let to = to.into();
+        self.names[i] = to.clone();
+        self.index.insert(to, i);
+        true
     }
 
     /// Compares against another trace under an equivalence relation,
@@ -176,21 +213,14 @@ impl Trace {
     pub fn to_table(&self) -> String {
         let mut out = String::new();
         let ticks = self.tick_count();
-        let name_w = self
-            .order
-            .iter()
-            .map(String::len)
-            .max()
-            .unwrap_or(1)
-            .max(6);
+        let name_w = self.names.iter().map(String::len).max().unwrap_or(1).max(6);
         out.push_str(&format!("{:name_w$} |", "signal"));
         for t in 0..ticks {
             out.push_str(&format!(" t+{t:<4}"));
         }
         out.push('\n');
-        for name in &self.order {
+        for (name, s) in self.names.iter().zip(&self.columns) {
             out.push_str(&format!("{name:name_w$} |"));
-            let s = &self.signals[name];
             for t in 0..ticks {
                 let cell = s
                     .get(t)
@@ -369,9 +399,9 @@ mod tests {
         let a = trace_of("s", vec![Message::present(Value::Float(1.0))]);
         let b = trace_of(
             "s",
-            vec![Message::present(Value::Fixed(crate::value::Fixed::from_f64(
-                1.002, 8,
-            )))],
+            vec![Message::present(Value::Fixed(
+                crate::value::Fixed::from_f64(1.002, 8),
+            ))],
         );
         assert!(!a.equivalent(&b, &TraceEquivalence::exact()));
         assert!(a.equivalent(&b, &TraceEquivalence::exact().with_tolerance(0.01)));

@@ -406,7 +406,10 @@ mod tests {
         assert_eq!(Value::sym("Locked").as_sym(), Some("Locked"));
         assert_eq!(Value::Int(3).as_float(), None);
         assert_eq!(Value::Int(3).as_numeric(), Some(3.0));
-        assert_eq!(Value::Fixed(Fixed::from_f64(1.5, 4)).as_numeric(), Some(1.5));
+        assert_eq!(
+            Value::Fixed(Fixed::from_f64(1.5, 4)).as_numeric(),
+            Some(1.5)
+        );
     }
 
     #[test]

@@ -71,10 +71,7 @@ fn emit_value(out: &mut String, kind: VarKind, msg: &Message, id: &str) {
             }
         },
         VarKind::Text => {
-            let s = msg
-                .value()
-                .and_then(Value::as_sym)
-                .unwrap_or("");
+            let s = msg.value().and_then(Value::as_sym).unwrap_or("");
             let _ = writeln!(out, "s{s} {id}");
         }
     }

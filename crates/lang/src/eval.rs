@@ -179,10 +179,7 @@ mod tests {
 
     #[test]
     fn strictness_propagates_absence() {
-        let e = env(&[
-            ("a", Message::present(1i64)),
-            ("b", Message::Absent),
-        ]);
+        let e = env(&[("a", Message::present(1i64)), ("b", Message::Absent)]);
         assert!(eval("a + b", &e).is_absent());
         assert!(eval("-b", &e).is_absent());
         assert!(eval("min(a, b)", &e).is_absent());

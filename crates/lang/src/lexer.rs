@@ -233,7 +233,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
                     let d = bytes[j] as char;
                     if d.is_ascii_digit() {
                         j += 1;
-                    } else if d == '.' && !saw_dot && bytes.get(j + 1).map(|b| (*b as char).is_ascii_digit()) == Some(true)
+                    } else if d == '.'
+                        && !saw_dot
+                        && bytes.get(j + 1).map(|b| (*b as char).is_ascii_digit()) == Some(true)
                     {
                         saw_dot = true;
                         j += 1;

@@ -126,9 +126,7 @@ impl FromIterator<(String, Type)> for TypeEnv {
 pub fn check(expr: &Expr, env: &TypeEnv) -> Result<Type, LangError> {
     match expr {
         Expr::Lit(v) => Ok(Type::of_value(v)),
-        Expr::Ident(n) => env
-            .lookup(n)
-            .ok_or_else(|| LangError::Unbound(n.clone())),
+        Expr::Ident(n) => env.lookup(n).ok_or_else(|| LangError::Unbound(n.clone())),
         Expr::Present(e) => {
             check(e, env)?;
             Ok(Type::Bool)
@@ -165,9 +163,8 @@ pub fn check(expr: &Expr, env: &TypeEnv) -> Result<Type, LangError> {
                     Ok(Type::Bool)
                 }
                 BinOp::Eq | BinOp::Ne => {
-                    ta.join(tb).ok_or_else(|| {
-                        LangError::Type(format!("cannot compare {ta} with {tb}"))
-                    })?;
+                    ta.join(tb)
+                        .ok_or_else(|| LangError::Type(format!("cannot compare {ta} with {tb}")))?;
                     Ok(Type::Bool)
                 }
                 BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
@@ -193,9 +190,8 @@ pub fn check(expr: &Expr, env: &TypeEnv) -> Result<Type, LangError> {
             }
             let tt = check(t, env)?;
             let te = check(e, env)?;
-            tt.join(te).ok_or_else(|| {
-                LangError::Type(format!("`if` branches disagree: {tt} vs {te}"))
-            })
+            tt.join(te)
+                .ok_or_else(|| LangError::Type(format!("`if` branches disagree: {tt} vs {te}")))
         }
         Expr::OrElse(a, b) => {
             let ta = check(a, env)?;
@@ -267,10 +263,7 @@ mod tests {
     use crate::parser::parse;
 
     fn env(pairs: &[(&str, Type)]) -> TypeEnv {
-        pairs
-            .iter()
-            .map(|(n, t)| (n.to_string(), *t))
-            .collect()
+        pairs.iter().map(|(n, t)| (n.to_string(), *t)).collect()
     }
 
     #[test]
@@ -356,10 +349,7 @@ mod tests {
     fn any_is_permissive() {
         let env = env(&[("x", Type::Any)]);
         assert_eq!(check(&parse("x + 1").unwrap(), &env).unwrap(), Type::Int);
-        assert_eq!(
-            check(&parse("not x").unwrap(), &env).unwrap(),
-            Type::Bool
-        );
+        assert_eq!(check(&parse("not x").unwrap(), &env).unwrap(), Type::Bool);
     }
 
     #[test]

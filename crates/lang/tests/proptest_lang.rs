@@ -50,7 +50,9 @@ fn env(x: f64, y: f64, z: Option<f64>) -> Env {
 
 fn tenv() -> TypeEnv {
     let mut t = TypeEnv::new();
-    t.bind("x", Type::Float).bind("y", Type::Float).bind("z", Type::Float);
+    t.bind("x", Type::Float)
+        .bind("y", Type::Float)
+        .bind("z", Type::Float);
     t
 }
 

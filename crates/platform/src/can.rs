@@ -114,7 +114,9 @@ impl CanBusConfig {
 
     /// Transmission time of a frame on this bus, in microseconds (≥ 1).
     pub fn tx_time_us(&self, frame: &CanFrame) -> Us {
-        (frame.wire_bits() * 1_000_000).div_ceil(self.bitrate).max(1)
+        (frame.wire_bits() * 1_000_000)
+            .div_ceil(self.bitrate)
+            .max(1)
     }
 
     /// Static bus load: sum over frames of tx_time/period.

@@ -148,7 +148,11 @@ impl CommMatrix {
     /// # Errors
     ///
     /// Propagates frame-validation errors.
-    pub fn to_bus(&self, name: &str, bitrate: u64) -> Result<crate::can::CanBusConfig, PlatformError> {
+    pub fn to_bus(
+        &self,
+        name: &str,
+        bitrate: u64,
+    ) -> Result<crate::can::CanBusConfig, PlatformError> {
         let mut bus = crate::can::CanBusConfig::new(name, bitrate)?;
         for f in &self.frames {
             let payload_bits: u32 = self
@@ -239,7 +243,11 @@ pub fn synthetic_body_matrix(modules: usize, signals_per_module: usize, seed: u6
     }
     // Command signals from central to random module subsets.
     for c in 0..(modules * 2).max(2) {
-        let frame = if c % 2 == 0 { "body_cmd_a" } else { "body_cmd_b" };
+        let frame = if c % 2 == 0 {
+            "body_cmd_a"
+        } else {
+            "body_cmd_b"
+        };
         let mut receivers = Vec::new();
         for name in &module_names {
             if next(3) == 0 {

@@ -144,9 +144,8 @@ pub fn simulate(
             }
             None => (0.0, k),
         };
-        let consumption = base
-            + config.consumer_offset_us as f64
-            + (local_k + delay_depth as u64) as f64 * tc;
+        let consumption =
+            base + config.consumer_offset_us as f64 + (local_k + delay_depth as u64) as f64 * tc;
         let slack = (consumption - arrival) as i64;
         worst_slack = worst_slack.min(slack);
         if slack < 0 {

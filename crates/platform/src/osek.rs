@@ -78,7 +78,12 @@ impl SimRunnable {
     /// A runnable that writes every word of `msg` (value = activation
     /// counter), with `gap_us` of computation between the word writes —
     /// the window in which a torn read can occur under direct access.
-    pub fn writer(name: impl Into<String>, msg: impl Into<String>, words: usize, gap_us: Us) -> Self {
+    pub fn writer(
+        name: impl Into<String>,
+        msg: impl Into<String>,
+        words: usize,
+        gap_us: Us,
+    ) -> Self {
         let msg = msg.into();
         let mut actions = Vec::new();
         for w in 0..words {
@@ -498,57 +503,60 @@ impl OsekSim {
                 now += left;
                 // Fall through to the program-counter advance below.
             } else {
-            let dur = action.duration();
-            match &action {
-                Action::Compute { .. } => unreachable!("handled above"),
-                Action::WriteWord { msg, word } => {
-                    let value = act_counter[task_idx];
-                    let cfg = msg_cfg(msg);
-                    match (self.regime, cfg.map(|c| c.publication)) {
-                        (IpcRegime::Direct, Some(Publication::Immediate)) | (IpcRegime::Direct, None) => {
-                            if let Some(words) = global.get_mut(msg.as_str()) {
+                let dur = action.duration();
+                match &action {
+                    Action::Compute { .. } => unreachable!("handled above"),
+                    Action::WriteWord { msg, word } => {
+                        let value = act_counter[task_idx];
+                        let cfg = msg_cfg(msg);
+                        match (self.regime, cfg.map(|c| c.publication)) {
+                            (IpcRegime::Direct, Some(Publication::Immediate))
+                            | (IpcRegime::Direct, None) => {
+                                if let Some(words) = global.get_mut(msg.as_str()) {
+                                    if *word < words.len() {
+                                        words[*word] = value;
+                                    }
+                                }
+                            }
+                            (IpcRegime::Direct, Some(Publication::NextPeriodBoundary)) => {
+                                let words = staged.entry(msg.clone()).or_insert_with(|| {
+                                    global.get(msg.as_str()).cloned().unwrap_or_default()
+                                });
                                 if *word < words.len() {
                                     words[*word] = value;
                                 }
                             }
-                        }
-                        (IpcRegime::Direct, Some(Publication::NextPeriodBoundary)) => {
-                            let words = staged
-                                .entry(msg.clone())
-                                .or_insert_with(|| global.get(msg.as_str()).cloned().unwrap_or_default());
-                            if *word < words.len() {
-                                words[*word] = value;
+                            (IpcRegime::CopyInCopyOut, _) => {
+                                ready[ji]
+                                    .pending
+                                    .entry(msg.clone())
+                                    .or_default()
+                                    .push((*word, value));
                             }
                         }
-                        (IpcRegime::CopyInCopyOut, _) => {
-                            ready[ji]
-                                .pending
-                                .entry(msg.clone())
-                                .or_default()
-                                .push((*word, value));
-                        }
+                    }
+                    Action::ReadMsg { msg } => {
+                        let words = match self.regime {
+                            IpcRegime::Direct => {
+                                global.get(msg.as_str()).cloned().unwrap_or_default()
+                            }
+                            IpcRegime::CopyInCopyOut => ready[ji]
+                                .snapshot
+                                .get(msg.as_str())
+                                .cloned()
+                                .unwrap_or_default(),
+                        };
+                        let torn = words.windows(2).any(|w| w[0] != w[1]);
+                        outcome.reads.push(ReadObs {
+                            time_us: now + dur,
+                            task: task.name.clone(),
+                            msg: msg.clone(),
+                            words,
+                            torn,
+                        });
                     }
                 }
-                Action::ReadMsg { msg } => {
-                    let words = match self.regime {
-                        IpcRegime::Direct => global.get(msg.as_str()).cloned().unwrap_or_default(),
-                        IpcRegime::CopyInCopyOut => ready[ji]
-                            .snapshot
-                            .get(msg.as_str())
-                            .cloned()
-                            .unwrap_or_default(),
-                    };
-                    let torn = words.windows(2).any(|w| w[0] != w[1]);
-                    outcome.reads.push(ReadObs {
-                        time_us: now + dur,
-                        task: task.name.clone(),
-                        msg: msg.clone(),
-                        words,
-                        torn,
-                    });
-                }
-            }
-            now += dur;
+                now += dur;
             }
 
             // Advance the program counter.
@@ -563,15 +571,14 @@ impl OsekSim {
                 running = None;
                 for (msg, writes) in &job.pending {
                     let cfg = msg_cfg(msg);
-                    let target = if cfg.map(|c| c.publication)
-                        == Some(Publication::NextPeriodBoundary)
-                    {
-                        staged
-                            .entry(msg.clone())
-                            .or_insert_with(|| global.get(msg.as_str()).cloned().unwrap_or_default())
-                    } else {
-                        global.entry(msg.clone()).or_default()
-                    };
+                    let target =
+                        if cfg.map(|c| c.publication) == Some(Publication::NextPeriodBoundary) {
+                            staged.entry(msg.clone()).or_insert_with(|| {
+                                global.get(msg.as_str()).cloned().unwrap_or_default()
+                            })
+                        } else {
+                            global.entry(msg.clone()).or_default()
+                        };
                     for &(w, v) in writes {
                         if w < target.len() {
                             target[w] = v;
@@ -606,10 +613,7 @@ mod tests {
         let msg = MessageConfig::new("M", 2);
         let msg = if delayed { msg.delayed() } else { msg };
         OsekSim::new(regime)
-            .task(
-                SimTask::new("fast_reader", 0, 10_000)
-                    .runnable(SimRunnable::reader("read", "M")),
-            )
+            .task(SimTask::new("fast_reader", 0, 10_000).runnable(SimRunnable::reader("read", "M")))
             .unwrap()
             .task(
                 SimTask::new("slow_writer", 1, 100_000)
@@ -678,17 +682,12 @@ mod tests {
     #[test]
     fn priorities_preempt() {
         let sim = OsekSim::new(IpcRegime::CopyInCopyOut)
-            .task(
-                SimTask::new("hi", 0, 10_000).runnable(SimRunnable::compute("c", 1_000)),
-            )
+            .task(SimTask::new("hi", 0, 10_000).runnable(SimRunnable::compute("c", 1_000)))
             .unwrap()
-            .task(
-                SimTask::new("lo", 1, 50_000).runnable(SimRunnable::compute(
-                    "c",
-                    // 30 one-ms segments: plenty of preemption points.
-                    1_000,
-                )),
-            )
+            .task(SimTask::new("lo", 1, 50_000).runnable(SimRunnable::compute(
+                "c", // 30 one-ms segments: plenty of preemption points.
+                1_000,
+            )))
             .unwrap();
         let out = sim.run(200_000).unwrap();
         assert_eq!(out.deadline_misses(), 0);
@@ -721,10 +720,7 @@ mod tests {
         let sim = OsekSim::new(IpcRegime::Direct)
             .task(SimTask::new("t", 0, 1_000).runnable(SimRunnable::compute("c", 2_000)))
             .unwrap();
-        assert!(matches!(
-            sim.run(10_000),
-            Err(PlatformError::Infeasible(_))
-        ));
+        assert!(matches!(sim.run(10_000), Err(PlatformError::Infeasible(_))));
     }
 
     #[test]
@@ -737,10 +733,7 @@ mod tests {
             .unwrap();
         assert!(sim.clone().task(SimTask::new("a", 1, 1_000)).is_err());
         assert!(sim.clone().task(SimTask::new("b", 0, 1_000)).is_err());
-        assert!(sim
-            .clone()
-            .message(MessageConfig::new("m", 0))
-            .is_err());
+        assert!(sim.clone().message(MessageConfig::new("m", 0)).is_err());
         let sim = sim.message(MessageConfig::new("m", 1)).unwrap();
         assert!(sim.message(MessageConfig::new("m", 2)).is_err());
     }

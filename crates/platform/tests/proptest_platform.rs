@@ -105,14 +105,9 @@ proptest! {
         dlcs in prop::collection::vec(0u8..9, 8)
     ) {
         let mut bus = CanBusConfig::new("b", 500_000).unwrap();
-        for i in 0..n_frames {
+        for (i, &dlc) in dlcs.iter().enumerate().take(n_frames) {
             bus = bus
-                .frame(CanFrame::new(
-                    0x100 + i as u32,
-                    format!("f{i}"),
-                    dlcs[i],
-                    20_000,
-                ))
+                .frame(CanFrame::new(0x100 + i as u32, format!("f{i}"), dlc, 20_000))
                 .unwrap();
         }
         prop_assume!(bus.load() <= 0.9);

@@ -55,11 +55,23 @@ impl Block for ClusterBlock {
         self.outputs
     }
     fn step(&mut self, t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
+        let mut out = vec![Message::Absent; self.outputs];
+        self.step_into(t, inputs, &mut out)?;
+        Ok(out)
+    }
+    fn step_into(
+        &mut self,
+        t: Tick,
+        inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
         if !self.clock.is_active(t) {
-            return Ok(vec![Message::Absent; self.outputs]);
+            out.fill(Message::Absent);
+            return Ok(());
         }
-        let observed = self.inner.step_tick(inputs)?;
-        Ok(observed.into_iter().map(|(_, m)| m).collect())
+        let observed = self.inner.step_tick_observed(inputs)?;
+        out.clone_from_slice(observed);
+        Ok(())
     }
     fn reset(&mut self) {
         self.inner.reset();
@@ -129,9 +141,9 @@ pub fn elaborate_ccd(model: &Model, ccd: &Ccd) -> Result<Network, SimError> {
         let seed = match from_ty {
             automode_core::types::DataType::Bool => automode_kernel::Value::Bool(false),
             automode_core::types::DataType::Int => automode_kernel::Value::Int(0),
-            automode_core::types::DataType::Enum(e) => automode_kernel::Value::sym(
-                e.literals.first().cloned().unwrap_or_default(),
-            ),
+            automode_core::types::DataType::Enum(e) => {
+                automode_kernel::Value::sym(e.literals.first().cloned().unwrap_or_default())
+            }
             _ => automode_kernel::Value::Float(0.0),
         };
         let hold = net.add_block(Current::new(seed));
@@ -290,9 +302,7 @@ mod tests {
 
     /// Local copy of the Fig. 7 builder to avoid a dev-dependency cycle
     /// with `automode-engine`.
-    fn automode_engine_build(
-        m: &mut Model,
-    ) -> (Ccd, ()) {
+    fn automode_engine_build(m: &mut Model) -> (Ccd, ()) {
         let fuel = m
             .add_component(
                 Component::new("FuelControl")
@@ -333,7 +343,12 @@ mod tests {
             .cluster(Cluster::new("fuel_control", fuel, 1))
             .cluster(Cluster::new("ignition_control", ignition, 1))
             .cluster(Cluster::new("diagnosis_monitoring", diagnosis, 10))
-            .channel(CcdChannel::direct("fuel_control", "ti", "diagnosis_monitoring", "ti"))
+            .channel(CcdChannel::direct(
+                "fuel_control",
+                "ti",
+                "diagnosis_monitoring",
+                "ti",
+            ))
             .channel(CcdChannel::direct(
                 "ignition_control",
                 "advance",

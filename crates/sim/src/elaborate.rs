@@ -21,7 +21,9 @@ struct Iface {
 }
 
 fn identity(name: String) -> PureFn {
-    PureFn::new(name, 1, 1, |_, inputs: &[Message]| Ok(vec![inputs[0].clone()]))
+    PureFn::new(name, 1, 1, |_, inputs: &[Message]| {
+        Ok(vec![inputs[0].clone()])
+    })
 }
 
 fn absent_stub(name: String) -> PureFn {
@@ -89,8 +91,11 @@ fn build_instance(
                     level: "FDA",
                     message: format!("output `{path}.{name}` has no defining expression"),
                 })?;
-                let blk =
-                    ExprBlock::with_inputs(format!("{path}.{name}"), input_names.clone(), expr.clone());
+                let blk = ExprBlock::with_inputs(
+                    format!("{path}.{name}"),
+                    input_names.clone(),
+                    expr.clone(),
+                );
                 let h = net.add_block(blk);
                 for (i, inp) in input_names.iter().enumerate() {
                     net.connect(in_handles[inp].output(0), h.input(i))?;
@@ -104,7 +109,9 @@ fn build_instance(
                     net.add_block(ops::Delay::on_clock(init.clone(), Clock::base()))
                 }
                 Primitive::UnitDelay { init } => net.add_block(ops::UnitDelay::new(
-                    init.clone().map(Message::Present).unwrap_or(Message::Absent),
+                    init.clone()
+                        .map(Message::Present)
+                        .unwrap_or(Message::Absent),
                 )),
                 Primitive::When => net.add_block(ops::When::new()),
                 Primitive::Current { init } => net.add_block(ops::Current::new(init.clone())),
@@ -132,12 +139,23 @@ fn build_instance(
                     trigger_list.push((t.to, t.trigger.clone()));
                 }
             }
+            let out_cols: Vec<Vec<Option<usize>>> = subnets
+                .iter()
+                .map(|sub| {
+                    let probes: Vec<&str> = sub.probe_names().collect();
+                    output_names
+                        .iter()
+                        .map(|n| probes.iter().position(|p| p == n))
+                        .collect()
+                })
+                .collect();
             let h = net.add_block(MtdBlock {
                 name: format!("mtd:{path}"),
                 input_names: input_names.clone(),
                 output_names: output_names.clone(),
                 mode_names,
                 subnets,
+                out_cols,
                 triggers,
                 initial: mtd.initial,
                 current: mtd.initial,
@@ -217,6 +235,9 @@ struct MtdBlock {
     output_names: Vec<String>,
     mode_names: Vec<String>,
     subnets: Vec<automode_kernel::network::ReadyNetwork>,
+    /// Per mode: the probe column of each declared output in the subnet's
+    /// observed row (`None` -> output is absent in that mode).
+    out_cols: Vec<Vec<Option<usize>>>,
     /// Per mode: (target, trigger) in priority order.
     triggers: Vec<Vec<(usize, Expr)>>,
     initial: usize,
@@ -278,13 +299,10 @@ impl Block for MtdBlock {
                 break;
             }
         }
-        let observed = self.subnets[self.current].step_tick(inputs)?;
-        let by_name: BTreeMap<&str, &Message> =
-            observed.iter().map(|(n, m)| (n.as_str(), m)).collect();
-        let outputs: Vec<Message> = self
-            .output_names
+        let observed = self.subnets[self.current].step_tick_observed(inputs)?;
+        let outputs: Vec<Message> = self.out_cols[self.current]
             .iter()
-            .map(|n| (*by_name.get(n.as_str()).unwrap_or(&&Message::Absent)).clone())
+            .map(|col| col.map_or(Message::Absent, |j| observed[j].clone()))
             .collect();
         Ok(outputs)
     }
@@ -411,10 +429,8 @@ mod tests {
         let mut m = Model::new("t");
         let id = leaf(&mut m, "Twice", "x * 2.0");
         let net = elaborate(&m, id).unwrap();
-        let stim = stimulus_from_streams(&[Stream::from_values([
-            Value::Float(1.0),
-            Value::Float(2.5),
-        ])]);
+        let stim =
+            stimulus_from_streams(&[Stream::from_values([Value::Float(1.0), Value::Float(2.5)])]);
         let trace = net.run(&stim).unwrap();
         assert_eq!(
             trace.signal("y").unwrap().present_values(),
@@ -537,10 +553,8 @@ mod tests {
             )
             .unwrap();
         let net = elaborate(&m, owner).unwrap();
-        let stim = stimulus_from_streams(&[Stream::from_values([
-            Value::Float(1.0),
-            Value::Float(1.0),
-        ])]);
+        let stim =
+            stimulus_from_streams(&[Stream::from_values([Value::Float(1.0), Value::Float(1.0)])]);
         let trace = net.run(&stim).unwrap();
         let ys: Vec<f64> = trace
             .signal("y")
@@ -658,10 +672,7 @@ mod tests {
             .add_component(Component::new("Loop").with_behavior(Behavior::Composite(net)))
             .unwrap();
         let knet = elaborate(&m, top).unwrap();
-        assert!(matches!(
-            knet.prepare(),
-            Err(KernelError::Causality(_))
-        ));
+        assert!(matches!(knet.prepare(), Err(KernelError::Causality(_))));
     }
 
     #[test]
@@ -678,10 +689,8 @@ mod tests {
             )
             .unwrap();
         let net = elaborate(&m, d).unwrap();
-        let stim = stimulus_from_streams(&[Stream::from_values([
-            Value::Float(1.0),
-            Value::Float(2.0),
-        ])]);
+        let stim =
+            stimulus_from_streams(&[Stream::from_values([Value::Float(1.0), Value::Float(2.0)])]);
         let trace = net.run(&stim).unwrap();
         assert_eq!(
             trace.signal("y").unwrap().present_values(),

@@ -68,14 +68,7 @@ pub fn simulate_component(
         ordered.push(stream);
     }
     let net = elaborate(model, component)?;
-    let stim: Vec<Vec<Message>> = (0..ticks)
-        .map(|t| {
-            ordered
-                .iter()
-                .map(|s| s.get(t).cloned().unwrap_or(Message::Absent))
-                .collect()
-        })
-        .collect();
+    let stim = automode_kernel::network::rows_padded_with_absence(&ordered, ticks);
     let mut trace = net.run(&stim)?;
     for (name, stream) in inputs {
         let clipped: Stream = (0..ticks)
@@ -151,9 +144,13 @@ mod tests {
     #[test]
     fn short_streams_pad_with_absence() {
         let (m, id) = model();
-        let run =
-            simulate_component(&m, id, &[("u", stimulus::constant(Value::Float(1.0), 2))], 4)
-                .unwrap();
+        let run = simulate_component(
+            &m,
+            id,
+            &[("u", stimulus::constant(Value::Float(1.0), 2))],
+            4,
+        )
+        .unwrap();
         let y = run.trace.signal("y").unwrap();
         assert!(y[0].is_present() && y[1].is_present());
         assert!(y[2].is_absent() && y[3].is_absent());

@@ -22,7 +22,11 @@ pub fn constant(v: impl Into<Value>, len: usize) -> Stream {
 pub fn ramp(from: f64, to: f64, len: usize) -> Stream {
     (0..len)
         .map(|t| {
-            let frac = if len <= 1 { 0.0 } else { t as f64 / (len - 1) as f64 };
+            let frac = if len <= 1 {
+                0.0
+            } else {
+                t as f64 / (len - 1) as f64
+            };
             Message::present(Value::Float(from + (to - from) * frac))
         })
         .collect()

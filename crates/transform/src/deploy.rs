@@ -129,8 +129,8 @@ pub fn deploy(
     let mut load: BTreeMap<&str, f64> = spec.ecus.iter().map(|e| (e.as_str(), 0.0)).collect();
     let mut ecu_of: BTreeMap<String, String> = BTreeMap::new();
     for cluster in &ccd.clusters {
-        let util = spec.wcet_of(&cluster.name) as f64
-            / (cluster.period as u64 * spec.tick_us) as f64;
+        let util =
+            spec.wcet_of(&cluster.name) as f64 / (cluster.period as u64 * spec.tick_us) as f64;
         let ecu = match spec.pinned.get(&cluster.name) {
             Some(e) => {
                 if !spec.ecus.contains(e) {
@@ -192,10 +192,7 @@ pub fn deploy(
                     cluster.name.clone(),
                     spec.wcet_of(&cluster.name),
                 ));
-                assignments.insert(
-                    cluster.name.clone(),
-                    (ecu_name.clone(), task_name.clone()),
-                );
+                assignments.insert(cluster.name.clone(), (ecu_name.clone(), task_name.clone()));
             }
             ecu = ecu.with_task(task)?;
         }
@@ -422,11 +419,8 @@ mod tests {
             spec = spec.wcet(format!("c{i}"), 6_000);
         }
         let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
-        let ecus: std::collections::BTreeSet<&str> = d
-            .assignments
-            .values()
-            .map(|(e, _)| e.as_str())
-            .collect();
+        let ecus: std::collections::BTreeSet<&str> =
+            d.assignments.values().map(|(e, _)| e.as_str()).collect();
         assert_eq!(ecus.len(), 4, "each heavy cluster gets its own ECU");
     }
 

@@ -103,7 +103,8 @@ pub fn flag_overlap_report(
     let inputs: Vec<_> = comp.inputs().cloned().collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut overlap_counts: BTreeMap<(String, String), usize> = BTreeMap::new();
-    let mut active_counts: BTreeMap<&str, usize> = exprs.iter().map(|(n, _)| (n.as_str(), 0)).collect();
+    let mut active_counts: BTreeMap<&str, usize> =
+        exprs.iter().map(|(n, _)| (n.as_str(), 0)).collect();
     let mut uncovered = 0usize;
 
     for _ in 0..samples {
@@ -194,7 +195,10 @@ pub fn mtd_from_flag_component(
     let default_idx = mtd.add_mode(default_mode.0, default_mode.1);
     let mut mode_idx = Vec::new();
     for (flag, behavior) in mode_behaviors {
-        mode_idx.push((flag.clone(), mtd.add_mode(format!("Mode_{flag}"), *behavior)));
+        mode_idx.push((
+            flag.clone(),
+            mtd.add_mode(format!("Mode_{flag}"), *behavior),
+        ));
     }
     mtd.initial = default_idx;
 
@@ -217,12 +221,7 @@ pub fn mtd_from_flag_component(
             }
         }
         if from != default_idx {
-            mtd.add_transition(
-                from,
-                default_idx,
-                none_true.clone(),
-                mode_idx.len() as u32,
-            );
+            mtd.add_transition(from, default_idx, none_true.clone(), mode_idx.len() as u32);
         }
     }
 
@@ -291,7 +290,8 @@ mod tests {
         assert!(report
             .overlaps
             .iter()
-            .any(|(a, b, _)| (a == "b_idle" && b == "b_running") || (a == "b_running" && b == "b_idle")));
+            .any(|(a, b, _)| (a == "b_idle" && b == "b_running")
+                || (a == "b_running" && b == "b_idle")));
         // cranking/running partition the space: nothing uncovered.
         assert_eq!(report.uncovered, 0);
         assert!(report.never_active.is_empty());
@@ -400,8 +400,8 @@ mod tests {
         .unwrap();
         let rpm = stimulus::seeded_random(0.0, 7000.0, 100, 3);
         let throttle = stimulus::seeded_random(0.0, 1.0, 100, 4);
-        let out = simulate_component(&m, owner, &[("rpm", rpm), ("throttle", throttle)], 100)
-            .unwrap();
+        let out =
+            simulate_component(&m, owner, &[("rpm", rpm), ("throttle", throttle)], 100).unwrap();
         for t in 0..100 {
             let v = out.trace.signal("ti").unwrap()[t]
                 .value()

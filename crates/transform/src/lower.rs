@@ -69,8 +69,7 @@ pub fn cluster_to_module(model: &Model, cluster: &Cluster) -> Result<Module, Tra
     let mut body: Vec<Stmt> = Vec::new();
     match &comp.behavior {
         Behavior::Expr(defs) => {
-            let input_names: Vec<String> =
-                comp.inputs().map(|p| p.name.clone()).collect();
+            let input_names: Vec<String> = comp.inputs().map(|p| p.name.clone()).collect();
             for p in comp.outputs() {
                 let expr = defs.get(&p.name).ok_or_else(|| {
                     TransformError::Precondition(format!(
@@ -260,10 +259,7 @@ pub fn cluster_to_module(model: &Model, cluster: &Cluster) -> Result<Module, Tra
                                 target.clone(),
                                 Expr::ident(driver_of(&data.name)?),
                             )],
-                            else_branch: vec![Stmt::assign(
-                                target.clone(),
-                                Expr::ident(target),
-                            )],
+                            else_branch: vec![Stmt::assign(target.clone(), Expr::ident(target))],
                         });
                     }
                     // `current` is the identity in an imperative target:
@@ -463,7 +459,6 @@ mod primitive_lowering_tests {
     use super::*;
     use automode_ascet::{AscetInterp, AscetModel, Stimulus};
     use automode_core::model::{Component, Composite};
-    use automode_lang::parse;
 
     /// A cluster containing a `when`-gated path: the lowered module updates
     /// the gated value only while the condition holds.
@@ -497,14 +492,8 @@ mod primitive_lowering_tests {
         let ascet = AscetModel::new("p").module(module);
         let mut interp = AscetInterp::new(&ascet).unwrap();
         let mut stim = Stimulus::new();
-        stim.insert(
-            "gated_u".into(),
-            Box::new(|t| Some(Value::Float(t as f64))),
-        );
-        stim.insert(
-            "gated_en".into(),
-            Box::new(|t| Some(Value::Bool(t < 2))),
-        );
+        stim.insert("gated_u".into(), Box::new(|t| Some(Value::Float(t as f64))));
+        stim.insert("gated_en".into(), Box::new(|t| Some(Value::Bool(t < 2))));
         for _ in 0..5 {
             interp.step_ms(&stim).unwrap();
         }

@@ -152,12 +152,21 @@ pub fn mtd_to_dataflow(
             Endpoint::child("next", p.name.clone()),
         );
     }
-    selector_net.connect(Endpoint::child("dly", "y"), Endpoint::child("next", "mode_prev"));
-    selector_net.connect(Endpoint::child("next", "mode_next"), Endpoint::child("dly", "x"));
+    selector_net.connect(
+        Endpoint::child("dly", "y"),
+        Endpoint::child("next", "mode_prev"),
+    );
+    selector_net.connect(
+        Endpoint::child("next", "mode_next"),
+        Endpoint::child("dly", "x"),
+    );
     // Immediate switching: the mode that rules this tick is the one
     // *reached* after applying the transition relation to the current
     // inputs, i.e. `mode_next`, not the delayed state.
-    selector_net.connect(Endpoint::child("next", "mode_next"), Endpoint::boundary("mode"));
+    selector_net.connect(
+        Endpoint::child("next", "mode_next"),
+        Endpoint::boundary("mode"),
+    );
 
     let mut selector_comp = Component::new(format!("{}_ModeSelector", comp.name));
     for p in &input_ports {
@@ -224,7 +233,10 @@ pub fn mtd_to_dataflow(
                 Endpoint::child(mux.clone(), format!("y_{}", mode.name)),
             );
         }
-        net.connect(Endpoint::child(mux, "y"), Endpoint::boundary(out.name.clone()));
+        net.connect(
+            Endpoint::child(mux, "y"),
+            Endpoint::boundary(out.name.clone()),
+        );
     }
 
     let mut result = Component::new(format!("{}_dataflow", comp.name));
@@ -320,7 +332,7 @@ mod tests {
         let mf = mtd.add_mode("FuelEnabled", enabled);
         mtd.add_transition(mc, mf, parse("rpm > 600.0").unwrap(), 0);
         mtd.add_transition(mf, mc, parse("rpm < 300.0 or throttle < 0.01").unwrap(), 0);
-        
+
         model
             .add_component(iface("ThrottleRateOfChange").with_behavior(Behavior::Mtd(mtd)))
             .unwrap()
@@ -331,10 +343,7 @@ mod tests {
         let mut m = Model::new("t");
         let owner = throttle_mtd(&mut m);
         let df = mtd_to_dataflow(&mut m, owner).unwrap();
-        assert_eq!(
-            m.component(df).signature(),
-            m.component(owner).signature()
-        );
+        assert_eq!(m.component(df).signature(), m.component(owner).signature());
         automode_core::levels::validate_fda(&m).unwrap();
         assert_eq!(partition_count(&m, df).unwrap(), 3);
     }
@@ -439,7 +448,7 @@ mod tests {
         let owner = throttle_mtd(&mut m);
         let df = mtd_to_dataflow(&mut m, owner).unwrap();
         let rpm = stimulus::sporadic(0.4, 80, 5); // int-valued events
-        // Convert to floats to fit the port type.
+                                                  // Convert to floats to fit the port type.
         let rpm: automode_kernel::Stream = rpm
             .iter()
             .map(|msg| {

@@ -127,10 +127,7 @@ fn process_interface(process: &Process) -> ProcessInterface {
         .filter(|w| reads.contains(w))
         .cloned()
         .collect();
-    let inputs = reads
-        .into_iter()
-        .filter(|r| !writes.contains(r))
-        .collect();
+    let inputs = reads.into_iter().filter(|r| !writes.contains(r)).collect();
     ProcessInterface {
         inputs,
         outputs: writes,
@@ -152,9 +149,7 @@ fn message_type(model: &AscetModel, name: &str) -> Result<DataType, TransformErr
     model
         .find_message(name)
         .map(|d| ascet_to_datatype(d.ty))
-        .ok_or_else(|| {
-            TransformError::Precondition(format!("message `{name}` is not declared"))
-        })
+        .ok_or_else(|| TransformError::Precondition(format!("message `{name}` is not declared")))
 }
 
 /// Reengineers one process into an FDA component (without MTD extraction):
@@ -206,10 +201,16 @@ fn process_to_component(
         let mut net = Composite::new(CompositeKind::Dfd);
         net.instantiate("core", core_id);
         for i in &iface.inputs {
-            net.connect(Endpoint::boundary(i.clone()), Endpoint::child("core", i.clone()));
+            net.connect(
+                Endpoint::boundary(i.clone()),
+                Endpoint::child("core", i.clone()),
+            );
         }
         for o in &iface.outputs {
-            net.connect(Endpoint::child("core", o.clone()), Endpoint::boundary(o.clone()));
+            net.connect(
+                Endpoint::child("core", o.clone()),
+                Endpoint::boundary(o.clone()),
+            );
         }
         outer = outer.with_behavior(Behavior::Composite(net));
         return Ok(model.add_component(outer)?);
@@ -244,11 +245,17 @@ fn process_to_component(
     let mut outer = Component::new(base_name);
     for i in &iface.inputs {
         outer = outer.input(i.clone(), message_type(ascet, i)?);
-        net.connect(Endpoint::boundary(i.clone()), Endpoint::child("core", i.clone()));
+        net.connect(
+            Endpoint::boundary(i.clone()),
+            Endpoint::child("core", i.clone()),
+        );
     }
     for o in &iface.outputs {
         outer = outer.output(o.clone(), message_type(ascet, o)?);
-        net.connect(Endpoint::child("core", o.clone()), Endpoint::boundary(o.clone()));
+        net.connect(
+            Endpoint::child("core", o.clone()),
+            Endpoint::boundary(o.clone()),
+        );
     }
     outer = outer.with_behavior(Behavior::Composite(net));
     Ok(model.add_component(outer)?)
@@ -284,9 +291,7 @@ fn candidate_to_mtd(
         let mut defs = BTreeMap::new();
         for o in &iface.outputs {
             let expr = env.get(o).cloned().ok_or_else(|| {
-                TransformError::Unsupported(format!(
-                    "branch `{mode_name}` does not define `{o}`"
-                ))
+                TransformError::Unsupported(format!("branch `{mode_name}` does not define `{o}`"))
             })?;
             comp = comp.output(o.clone(), message_type(ascet, o)?);
             defs.insert(o.clone(), expr);
@@ -343,9 +348,7 @@ pub fn reengineer_module(
         .modules
         .iter()
         .find(|m| m.name == module_name)
-        .ok_or_else(|| {
-            TransformError::Precondition(format!("module `{module_name}` not found"))
-        })?;
+        .ok_or_else(|| TransformError::Precondition(format!("module `{module_name}` not found")))?;
     let candidates = mode_candidates(ascet);
     let mut report = ReengineeringReport {
         components: Vec::new(),
@@ -469,7 +472,11 @@ mod tests {
     fn throttle_model() -> AscetModel {
         AscetModel::new("engine").module(
             Module::new("throttle")
-                .message(MessageDecl::new("rpm", AscetType::Cont, MessageKind::Receive))
+                .message(MessageDecl::new(
+                    "rpm",
+                    AscetType::Cont,
+                    MessageKind::Receive,
+                ))
                 .message(MessageDecl::new(
                     "b_cranking",
                     AscetType::Log,
@@ -589,17 +596,14 @@ mod tests {
             .collect();
 
         // Reengineered model: one tick per activation.
-        let rpm: Stream = (0..10).map(|k| Message::present(Value::Float(rpm_profile(k)))).collect();
+        let rpm: Stream = (0..10)
+            .map(|k| Message::present(Value::Float(rpm_profile(k))))
+            .collect();
         let crank: Stream = (0..10)
             .map(|k| Message::present(Value::Bool(cranking_profile(k))))
             .collect();
-        let run = simulate_component(
-            &model,
-            comp,
-            &[("rpm", rpm), ("b_cranking", crank)],
-            10,
-        )
-        .unwrap();
+        let run =
+            simulate_component(&model, comp, &[("rpm", rpm), ("b_cranking", crank)], 10).unwrap();
         let model_rates = run.trace.signal("rate").unwrap().present_values();
         assert_eq!(ascet_rates, model_rates);
     }
@@ -608,8 +612,16 @@ mod tests {
     fn stateful_process_gets_delay_feedback() {
         let ascet = AscetModel::new("acc").module(
             Module::new("m")
-                .message(MessageDecl::new("inc", AscetType::SDisc, MessageKind::Receive))
-                .message(MessageDecl::new("total", AscetType::SDisc, MessageKind::Send))
+                .message(MessageDecl::new(
+                    "inc",
+                    AscetType::SDisc,
+                    MessageKind::Receive,
+                ))
+                .message(MessageDecl::new(
+                    "total",
+                    AscetType::SDisc,
+                    MessageKind::Send,
+                ))
                 .process(Process::new(
                     "accumulate",
                     10,

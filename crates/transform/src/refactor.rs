@@ -15,9 +15,7 @@
 //! * [`flatten_composite`] — dissolve one level of structural hierarchy
 //!   (same-kind composites only, so channel semantics are preserved).
 
-use automode_core::model::{
-    Behavior, Component, ComponentId, Composite, Endpoint, Model,
-};
+use automode_core::model::{Behavior, Component, ComponentId, Composite, Endpoint, Model};
 use automode_core::rules::conflicting_components;
 use automode_core::types::DataType;
 use automode_lang::Expr;
@@ -287,11 +285,13 @@ mod tests {
         let mut req1 = Stream::new();
         req1.push(automode_kernel::Message::present(false));
         req1.push(automode_kernel::Message::present(true));
-        let run =
-            simulate_component(&m, coord, &[("req_0", req0), ("req_1", req1)], 2).unwrap();
+        let run = simulate_component(&m, coord, &[("req_0", req0), ("req_1", req1)], 2).unwrap();
         let cmd = run.trace.signal("cmd").unwrap();
         // req_0 present both ticks -> wins both ticks.
-        assert_eq!(cmd.present_values(), vec![Value::Bool(true), Value::Bool(false)]);
+        assert_eq!(
+            cmd.present_values(),
+            vec![Value::Bool(true), Value::Bool(false)]
+        );
     }
 
     #[test]

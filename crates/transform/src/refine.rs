@@ -20,9 +20,7 @@
 use std::collections::BTreeMap;
 
 use automode_core::ccd::{Ccd, CcdChannel, Cluster};
-use automode_core::model::{
-    Behavior, Component, ComponentId, Composite, CompositeKind, Model,
-};
+use automode_core::model::{Behavior, Component, ComponentId, Composite, CompositeKind, Model};
 use automode_core::types::{DataType, Encoding, ImplType, Refinement};
 use automode_core::{CoreError, Endpoint};
 
@@ -45,9 +43,7 @@ fn choose_impl(ty: &DataType, range: Option<(f64, f64)>) -> (ImplType, Encoding)
         DataType::Int => {
             let it = match range {
                 Some((lo, hi)) if lo >= i8::MIN as f64 && hi <= i8::MAX as f64 => ImplType::Int8,
-                Some((lo, hi)) if lo >= i16::MIN as f64 && hi <= i16::MAX as f64 => {
-                    ImplType::Int16
-                }
+                Some((lo, hi)) if lo >= i16::MIN as f64 && hi <= i16::MAX as f64 => ImplType::Int16,
                 _ => ImplType::Int32,
             };
             (it, Encoding::identity())
@@ -109,9 +105,10 @@ pub fn auto_refine(
                 .clone();
             let (impl_ty, encoding) = choose_impl(&ty, range);
             let refinement = Refinement::checked(&ty, impl_ty.clone(), encoding, range)?;
-            report.max_quantization_error = report
-                .max_quantization_error
-                .max(refinement.encoding.max_quantization_error() * matches!(impl_ty, ImplType::Fixed { .. }) as u8 as f64);
+            report.max_quantization_error = report.max_quantization_error.max(
+                refinement.encoding.max_quantization_error()
+                    * matches!(impl_ty, ImplType::Fixed { .. }) as u8 as f64,
+            );
             report
                 .choices
                 .push((format!("{comp_name}.{port_name}"), impl_ty));
@@ -170,7 +167,10 @@ pub fn cluster_by_clocks(
     // Group instances by period.
     let mut groups: BTreeMap<u32, Vec<String>> = BTreeMap::new();
     for inst in &net.instances {
-        groups.entry(periods[&inst.name]).or_default().push(inst.name.clone());
+        groups
+            .entry(periods[&inst.name])
+            .or_default()
+            .push(inst.name.clone());
     }
     let group_of = |inst: &str| periods[inst];
 
@@ -182,10 +182,12 @@ pub fn cluster_by_clocks(
             if let Some(inst_name) = &ep.instance {
                 let inst = net.instance(inst_name).expect("validated");
                 let child = model.component(inst.component);
-                let port = child.find_port(&ep.port).ok_or_else(|| CoreError::UnknownPort {
-                    component: child.name.clone(),
-                    port: ep.port.clone(),
-                })?;
+                let port = child
+                    .find_port(&ep.port)
+                    .ok_or_else(|| CoreError::UnknownPort {
+                        component: child.name.clone(),
+                        port: ep.port.clone(),
+                    })?;
                 port_types.insert((inst_name.clone(), ep.port.clone()), port.ty.clone());
             }
         }
@@ -227,7 +229,8 @@ pub fn cluster_by_clocks(
                     let fi = ch.from.instance.as_ref().expect("child");
                     let pname = format!("{fi}_{}", ch.from.port);
                     if cluster_comp.find_port(&pname).is_none() {
-                        cluster_comp = cluster_comp.output(pname.clone(), port_type(fi, &ch.from.port));
+                        cluster_comp =
+                            cluster_comp.output(pname.clone(), port_type(fi, &ch.from.port));
                         inner.connect(ch.from.clone(), Endpoint::boundary(pname));
                     }
                 }
@@ -235,7 +238,8 @@ pub fn cluster_by_clocks(
                     let ti = ch.to.instance.as_ref().expect("child");
                     let pname = format!("{ti}_{}", ch.to.port);
                     if cluster_comp.find_port(&pname).is_none() {
-                        cluster_comp = cluster_comp.input(pname.clone(), port_type(ti, &ch.to.port));
+                        cluster_comp =
+                            cluster_comp.input(pname.clone(), port_type(ti, &ch.to.port));
                         inner.connect(Endpoint::boundary(pname), ch.to.clone());
                     }
                 }
@@ -304,10 +308,7 @@ pub fn dissolve_ssd(
     let mut ccd = Ccd::new();
     for inst in &net.instances {
         let period = *periods.get(&inst.name).ok_or_else(|| {
-            TransformError::Precondition(format!(
-                "instance `{}` has no period assigned",
-                inst.name
-            ))
+            TransformError::Precondition(format!("instance `{}` has no period assigned", inst.name))
         })?;
         ccd = ccd.cluster(Cluster::new(inst.name.clone(), inst.component, period));
     }
@@ -316,8 +317,13 @@ pub fn dissolve_ssd(
             continue;
         };
         ccd = ccd.channel(
-            CcdChannel::direct(fi.clone(), ch.from.port.clone(), ti.clone(), ch.to.port.clone())
-                .with_delays(1),
+            CcdChannel::direct(
+                fi.clone(),
+                ch.from.port.clone(),
+                ti.clone(),
+                ch.to.port.clone(),
+            )
+            .with_delays(1),
         );
     }
     ccd.validate_structure(model)?;
@@ -352,7 +358,10 @@ mod tests {
         // Physical with a range -> fixed point with max usable precision.
         let (it, enc) = choose_impl(&DataType::physical("Voltage", "V"), Some((0.0, 16.0)));
         match it {
-            ImplType::Fixed { width: 16, frac_bits } => {
+            ImplType::Fixed {
+                width: 16,
+                frac_bits,
+            } => {
                 assert!(frac_bits >= 10, "expected fine scale, got q{frac_bits}");
                 // Range must fit.
                 assert!(enc.quantize(16.0) <= 32767);
@@ -375,12 +384,7 @@ mod tests {
         ranges.insert(("Ctrl".to_string(), "v".to_string()), (0.0, 16.0));
         let report = auto_refine(&mut m, &[c], &ranges).unwrap();
         assert_eq!(report.choices.len(), 2);
-        assert!(m
-            .component(c)
-            .find_port("v")
-            .unwrap()
-            .refinement
-            .is_some());
+        assert!(m.component(c).find_port("v").unwrap().refinement.is_some());
         assert!(report.max_quantization_error > 0.0);
         assert!(report.max_quantization_error < 0.01);
     }

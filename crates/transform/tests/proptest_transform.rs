@@ -4,7 +4,9 @@
 
 use std::collections::BTreeMap;
 
-use automode_ascet::model::{AscetModel, AscetType, MessageDecl, MessageKind, Module, Process, Stmt};
+use automode_ascet::model::{
+    AscetModel, AscetType, MessageDecl, MessageKind, Module, Process, Stmt,
+};
 use automode_ascet::{AscetInterp, Stimulus};
 use automode_core::model::{Behavior, Component, Model};
 use automode_core::types::DataType;
@@ -26,23 +28,33 @@ fn arb_stmts() -> impl Strategy<Value = Vec<Stmt>> {
         Just(Expr::ident("b")),
         (0i64..10).prop_map(Expr::lit),
     ];
-    let arith = (num.clone(), num.clone(), prop_oneof![
-        Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Min), Just(BinOp::Max)
-    ])
+    let arith = (
+        num.clone(),
+        num.clone(),
+        prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Min),
+            Just(BinOp::Max)
+        ],
+    )
         .prop_map(|(x, y, op)| Expr::bin(op, x, y));
-    let assign = (prop_oneof![Just("o0"), Just("o1")], arith.clone())
-        .prop_map(|(t, e)| Stmt::assign(t, e));
+    let assign =
+        (prop_oneof![Just("o0"), Just("o1")], arith.clone()).prop_map(|(t, e)| Stmt::assign(t, e));
     let init = Just(vec![
         Stmt::assign("o0", Expr::lit(0i64)),
         Stmt::assign("o1", Expr::lit(0i64)),
     ]);
-    let cond = (num, arith.clone(), arith)
-        .prop_map(|(c, t, e)| Stmt::If {
-            cond: Expr::bin(BinOp::Gt, c, Expr::lit(3i64)),
-            then_branch: vec![Stmt::assign("o0", t)],
-            else_branch: vec![Stmt::assign("o0", e)],
-        });
-    (init, prop::collection::vec(prop_oneof![3 => assign, 1 => cond], 0..6))
+    let cond = (num, arith.clone(), arith).prop_map(|(c, t, e)| Stmt::If {
+        cond: Expr::bin(BinOp::Gt, c, Expr::lit(3i64)),
+        then_branch: vec![Stmt::assign("o0", t)],
+        else_branch: vec![Stmt::assign("o0", e)],
+    });
+    (
+        init,
+        prop::collection::vec(prop_oneof![3 => assign, 1 => cond], 0..6),
+    )
         .prop_map(|(mut i, rest)| {
             i.extend(rest);
             i
@@ -52,8 +64,16 @@ fn arb_stmts() -> impl Strategy<Value = Vec<Stmt>> {
 fn make_process_model(body: Vec<Stmt>) -> AscetModel {
     AscetModel::new("p").module(
         Module::new("m")
-            .message(MessageDecl::new("a", AscetType::SDisc, MessageKind::Receive))
-            .message(MessageDecl::new("b", AscetType::SDisc, MessageKind::Receive))
+            .message(MessageDecl::new(
+                "a",
+                AscetType::SDisc,
+                MessageKind::Receive,
+            ))
+            .message(MessageDecl::new(
+                "b",
+                AscetType::SDisc,
+                MessageKind::Receive,
+            ))
             .message(MessageDecl::new("o0", AscetType::SDisc, MessageKind::Send))
             .message(MessageDecl::new("o1", AscetType::SDisc, MessageKind::Send))
             .process(Process::new("p", 1, body)),

@@ -9,7 +9,9 @@
 
 use automode::core::ccd::FixedPriorityDataIntegrityPolicy;
 use automode::core::model::Model;
-use automode::engine::ccd::{build_engine_ccd, build_engine_ccd_missing_delay, engine_cluster_wcets};
+use automode::engine::ccd::{
+    build_engine_ccd, build_engine_ccd_missing_delay, engine_cluster_wcets,
+};
 use automode::platform::osek::{IpcRegime, OsekSim, SimRunnable, SimTask};
 use automode::transform::deploy::{deploy, DeploymentSpec};
 
@@ -56,10 +58,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\ncommunication matrix:");
     for f in &d.comm_matrix.frames {
-        println!("  frame {} (id 0x{:x}, {} ms) from {}", f.name, f.can_id, f.period_ms, f.sender);
+        println!(
+            "  frame {} (id 0x{:x}, {} ms) from {}",
+            f.name, f.can_id, f.period_ms, f.sender
+        );
     }
     for s in &d.comm_matrix.signals {
-        println!("  signal {:<28} {:>2} bit -> {:?}", s.name, s.length_bits, s.receivers);
+        println!(
+            "  signal {:<28} {:>2} bit -> {:?}",
+            s.name, s.length_bits, s.receivers
+        );
     }
     println!("\ngenerated ASCET projects:");
     for p in &d.projects {

@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ticks,
     )?;
 
-    println!("{}", run.trace.project(&["in:T4S", "in:CRSH", "in:FZG_V", "T1C", "T4C"]));
+    println!(
+        "{}",
+        run.trace
+            .project(&["in:T4S", "in:CRSH", "in:FZG_V", "T1C", "T4C"])
+    );
     println!("observations:");
     println!("  * t1: lock event mirrored to all doors (T1C..T4C = Lock)");
     println!("  * t6: crash event forces Unlock, event-triggered via presence");

@@ -41,11 +41,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = simulate_component(
         &model,
         mtd,
-        &[("key_on", key), ("rpm", rpm.clone()), ("throttle", throttle.clone())],
+        &[
+            ("key_on", key),
+            ("rpm", rpm.clone()),
+            ("throttle", throttle.clone()),
+        ],
         ticks,
     )?;
 
-    println!("{:>5} {:>8} {:>9} {:>7}  mode (decoded)", "tick", "rpm", "throttle", "ti");
+    println!(
+        "{:>5} {:>8} {:>9} {:>7}  mode (decoded)",
+        "tick", "rpm", "throttle", "ti"
+    );
     let mut last = String::new();
     for t in 0..ticks {
         let get = |s: &Stream| s[t].value().and_then(|v| v.as_float()).unwrap_or(0.0);

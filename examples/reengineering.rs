@@ -41,15 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = reengineer_engine()?;
     println!("\nreengineering result:");
     println!("  MTDs extracted:          {}", r.report.mtds_extracted);
-    println!("  modes made explicit:     {}", r.report.modes_made_explicit);
+    println!(
+        "  modes made explicit:     {}",
+        r.report.modes_made_explicit
+    );
     println!(
         "  if-count:                {} -> {}",
         r.ifs_before, r.metrics_after.if_count
     );
-    println!(
-        "  components in FDA model: {}",
-        r.metrics_after.components
-    );
+    println!("  components in FDA model: {}", r.metrics_after.components);
 
     // Show Fig. 8: the ThrottleRateOfChange MTD.
     let (throttle_id, _) = r.components["throttle_ctrl_calc_rate"];
@@ -101,8 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ranges = std::collections::BTreeMap::new();
     ranges.insert("rpm".to_string(), (0.0, 7000.0));
     ranges.insert("throttle".to_string(), (0.0, 1.0));
-    let report =
-        automode::transform::flag_overlap_report(&m2, flags, &ranges, 5_000, 42)?;
+    let report = automode::transform::flag_overlap_report(&m2, flags, &ranges, 5_000, 42)?;
     println!("\nflag-disjointness analysis of the central flag component");
     println!("({} samples over the input space):", report.samples);
     for (a, b, n) in &report.overlaps {
@@ -110,7 +109,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "  -> the flags are NOT disjunctive states ({}); an explicit MTD",
-        if report.is_disjoint() { "disjoint" } else { "overlapping" }
+        if report.is_disjoint() {
+            "disjoint"
+        } else {
+            "overlapping"
+        }
     );
     println!("     (Fig. 6) with priority-ordered transitions is correct by");
     println!("     construction instead.");

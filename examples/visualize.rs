@@ -7,8 +7,8 @@
 use std::fs;
 use std::path::Path;
 
-use automode::core::model::{Behavior, Model};
 use automode::core::dot;
+use automode::core::model::{Behavior, Model};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_dir = Path::new("target/diagrams");

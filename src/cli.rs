@@ -48,7 +48,10 @@ from_error!(
 
 /// The built-in demonstration models.
 pub const MODELS: &[(&str, &str)] = &[
-    ("door_lock", "Fig. 1/4: DoorLockControl (event-triggered, SSD context)"),
+    (
+        "door_lock",
+        "Fig. 1/4: DoorLockControl (event-triggered, SSD context)",
+    ),
     ("momentum", "Fig. 5: longitudinal momentum controller DFD"),
     ("engine_modes", "Fig. 6: engine-operation MTD"),
     ("sequencer", "start sequencer STD"),
@@ -108,7 +111,10 @@ pub fn cmd_validate(model_name: &str, level: &str) -> Result<String, CliError> {
     };
     Ok(match verdict {
         Ok(()) => format!("{model_name}: {} validation OK\n", level.to_uppercase()),
-        Err(e) => format!("{model_name}: {} validation FAILED: {e}\n", level.to_uppercase()),
+        Err(e) => format!(
+            "{model_name}: {} validation FAILED: {e}\n",
+            level.to_uppercase()
+        ),
     })
 }
 
@@ -247,7 +253,12 @@ pub fn cmd_check(path: &str, level: &str) -> Result<String, CliError> {
             let _ = writeln!(out, "{}: {} validation OK", path, level.to_uppercase());
         }
         Err(e) => {
-            let _ = writeln!(out, "{}: {} validation FAILED: {e}", path, level.to_uppercase());
+            let _ = writeln!(
+                out,
+                "{}: {} validation FAILED: {e}",
+                path,
+                level.to_uppercase()
+            );
         }
     }
     Ok(out)
@@ -319,7 +330,8 @@ pub fn cmd_deploy() -> Result<String, CliError> {
 ///
 /// Returns usage or command errors for the binary to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let usage = "usage: automode <list|validate|rules|simulate|dot|export|reengineer|deploy> [args]\n\
+    let usage =
+        "usage: automode <list|validate|rules|simulate|dot|export|reengineer|deploy> [args]\n\
                  \n  list                      list built-in models\
                  \n  validate <model> [level]  check FAA/FDA conditions (default fda)\
                  \n  rules <model>             FAA design-rule findings\
@@ -454,8 +466,7 @@ mod tests {
     fn export_produces_parseable_amdl() {
         for (name, _) in MODELS {
             let text = cmd_export(name).unwrap();
-            automode_core::text::from_text(&text)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            automode_core::text::from_text(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 

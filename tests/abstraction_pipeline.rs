@@ -38,10 +38,19 @@ fn faa_model() -> (Model, automode::core::model::ComponentId) {
     let mut net = Composite::new(CompositeKind::Ssd);
     net.instantiate("sense", sense);
     net.instantiate("ctrl", ctrl);
-    net.connect(Endpoint::boundary("wheel_pulses"), Endpoint::child("sense", "wheel_pulses"));
+    net.connect(
+        Endpoint::boundary("wheel_pulses"),
+        Endpoint::child("sense", "wheel_pulses"),
+    );
     net.connect(Endpoint::child("sense", "v"), Endpoint::child("ctrl", "v"));
-    net.connect(Endpoint::boundary("v_set"), Endpoint::child("ctrl", "v_set"));
-    net.connect(Endpoint::child("ctrl", "torque"), Endpoint::boundary("torque"));
+    net.connect(
+        Endpoint::boundary("v_set"),
+        Endpoint::child("ctrl", "v_set"),
+    );
+    net.connect(
+        Endpoint::child("ctrl", "torque"),
+        Endpoint::boundary("torque"),
+    );
     let root = m
         .add_component(
             Component::new("Vehicle")
@@ -70,11 +79,12 @@ fn full_pipeline_faa_to_oa() {
 
     // --- FAA -> FDA: supply the behaviours ------------------------------
     let sense = m.find("SenseSpeed").unwrap();
-    m.component_mut(sense).behavior =
-        Behavior::expr("v", parse("wheel_pulses * 0.05").unwrap());
+    m.component_mut(sense).behavior = Behavior::expr("v", parse("wheel_pulses * 0.05").unwrap());
     let ctrl = m.find("CruiseControl").unwrap();
-    m.component_mut(ctrl).behavior =
-        Behavior::expr("torque", parse("clamp((v_set - v) * 2.0, -50.0, 50.0)").unwrap());
+    m.component_mut(ctrl).behavior = Behavior::expr(
+        "torque",
+        parse("clamp((v_set - v) * 2.0, -50.0, 50.0)").unwrap(),
+    );
     validate_fda(&m).unwrap();
 
     // Behavioural reference at the FDA level. The SSD has three message
@@ -115,10 +125,19 @@ fn full_pipeline_faa_to_oa() {
     let mut dfd = Composite::new(CompositeKind::Dfd);
     dfd.instantiate("sense", sense);
     dfd.instantiate("ctrl", ctrl);
-    dfd.connect(Endpoint::boundary("wheel_pulses"), Endpoint::child("sense", "wheel_pulses"));
+    dfd.connect(
+        Endpoint::boundary("wheel_pulses"),
+        Endpoint::child("sense", "wheel_pulses"),
+    );
     dfd.connect(Endpoint::child("sense", "v"), Endpoint::child("ctrl", "v"));
-    dfd.connect(Endpoint::boundary("v_set"), Endpoint::child("ctrl", "v_set"));
-    dfd.connect(Endpoint::child("ctrl", "torque"), Endpoint::boundary("torque"));
+    dfd.connect(
+        Endpoint::boundary("v_set"),
+        Endpoint::child("ctrl", "v_set"),
+    );
+    dfd.connect(
+        Endpoint::child("ctrl", "torque"),
+        Endpoint::boundary("torque"),
+    );
     let dfd_root = m
         .add_component(
             Component::new("VehicleDfd")

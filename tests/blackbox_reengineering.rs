@@ -25,8 +25,10 @@ fn structure_preserved_across_sizes() {
         };
         for (from, to) in matrix.dependencies() {
             assert!(
-                net.channels.iter().any(|ch| ch.from.instance.as_deref() == Some(from.as_str())
-                    && ch.to.instance.as_deref() == Some(to.as_str())),
+                net.channels
+                    .iter()
+                    .any(|ch| ch.from.instance.as_deref() == Some(from.as_str())
+                        && ch.to.instance.as_deref() == Some(to.as_str())),
                 "{from} -> {to} missing at {modules} modules"
             );
         }

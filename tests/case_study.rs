@@ -29,8 +29,11 @@ fn throttle_rate_of_change_matches_fig8_structure() {
             assert_eq!(mtd.modes.len(), 2, "FuelEnabled / CrankingOverrun");
             assert_eq!(mtd.transitions.len(), 2);
             // Triggers test the flag combination both ways.
-            let triggers: Vec<String> =
-                mtd.transitions.iter().map(|t| t.trigger.to_string()).collect();
+            let triggers: Vec<String> = mtd
+                .transitions
+                .iter()
+                .map(|t| t.trigger.to_string())
+                .collect();
             assert!(triggers.iter().any(|t| t.contains("b_cranking")));
             assert!(triggers.iter().any(|t| t.starts_with("(not")));
         }
@@ -85,14 +88,21 @@ fn reengineered_model_equivalent_under_random_scenarios() {
             .iter()
             .map(|&x| Message::present(Value::Float(x)))
             .collect();
-        let key: Stream = (0..ticks).map(|_| Message::present(Value::Bool(true))).collect();
+        let key: Stream = (0..ticks)
+            .map(|_| Message::present(Value::Bool(true)))
+            .collect();
         let o2: Stream = (0..ticks)
             .map(|_| Message::present(Value::Float(1.05)))
             .collect();
         let run = simulate_component(
             &r.model,
             r.root,
-            &[("rpm", rpm), ("throttle", throttle), ("key_on", key), ("o2", o2)],
+            &[
+                ("rpm", rpm),
+                ("throttle", throttle),
+                ("key_on", key),
+                ("o2", o2),
+            ],
             ticks as usize,
         )
         .unwrap();
@@ -131,10 +141,7 @@ fn extracted_mtd_transforms_to_partitionable_dataflow() {
         ("rpm", rpm),
         ("b_cranking", crank),
         ("b_overrun", overrun),
-        (
-            "throttle",
-            stimulus::seeded_random(0.0, 1.0, 60, 10),
-        ),
+        ("throttle", stimulus::seeded_random(0.0, 1.0, 60, 10)),
     ];
     // Restrict to the ports the component actually has.
     let comp_inputs: Vec<(&str, automode::kernel::Stream)> = model

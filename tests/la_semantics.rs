@@ -189,7 +189,12 @@ fn clustered_engine_model_executes_on_the_ccd_simulator() {
         }
     };
     let stim: Vec<Vec<Message>> = (0..ticks)
-        .map(|_| names.iter().map(|n| Message::Present(value_for(n))).collect())
+        .map(|_| {
+            names
+                .iter()
+                .map(|n| Message::Present(value_for(n)))
+                .collect()
+        })
         .collect();
     let ccd_trace = net.run(&stim).unwrap();
 
@@ -198,10 +203,22 @@ fn clustered_engine_model_executes_on_the_ccd_simulator() {
         &r.model,
         r.root,
         &[
-            ("rpm", automode::sim::stimulus::constant(Value::Float(2000.0), ticks)),
-            ("throttle", automode::sim::stimulus::constant(Value::Float(0.4), ticks)),
-            ("key_on", automode::sim::stimulus::constant(Value::Bool(true), ticks)),
-            ("o2", automode::sim::stimulus::constant(Value::Float(0.95), ticks)),
+            (
+                "rpm",
+                automode::sim::stimulus::constant(Value::Float(2000.0), ticks),
+            ),
+            (
+                "throttle",
+                automode::sim::stimulus::constant(Value::Float(0.4), ticks),
+            ),
+            (
+                "key_on",
+                automode::sim::stimulus::constant(Value::Bool(true), ticks),
+            ),
+            (
+                "o2",
+                automode::sim::stimulus::constant(Value::Float(0.95), ticks),
+            ),
         ],
         ticks,
     )

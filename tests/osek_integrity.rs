@@ -15,9 +15,7 @@
 use automode::core::ccd::FixedPriorityDataIntegrityPolicy;
 use automode::core::model::Model;
 use automode::engine::ccd::{build_engine_ccd, build_engine_ccd_missing_delay};
-use automode::platform::osek::{
-    IpcRegime, MessageConfig, OsekSim, SimRunnable, SimTask,
-};
+use automode::platform::osek::{IpcRegime, MessageConfig, OsekSim, SimRunnable, SimTask};
 
 fn platform(regime: IpcRegime, delayed: bool) -> OsekSim {
     let msg = MessageConfig::new("limit", 2);
