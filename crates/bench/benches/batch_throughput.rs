@@ -1,0 +1,193 @@
+//! Multi-scenario simulation throughput: how fast can K variants of a
+//! drive scenario be swept?
+//!
+//! Three strategies over a mode-rich controller (40 operating modes, each
+//! mode a 40-block random causal DFD — compilation elaborates every mode's
+//! network, a run steps only the modes its scenario actually reaches), K
+//! lane-scaled ramp scenarios each:
+//!
+//! * `fresh` — the repeated single-run loop: one `CompiledSim::new`
+//!   (elaborate + causality + prepare) *per scenario*, then `run`;
+//! * `reuse` — one `CompiledSim`, K sequential `run` calls (amortizes
+//!   compilation, still one lane per pass);
+//! * `batch` — one `CompiledSim`, one `run_batch` over all K lanes
+//!   (amortizes compilation *and* steps every lane per plan pass).
+//!
+//! Writes `BENCH_batch.json` at the repository root with scenarios/second
+//! per strategy and the pairwise speedups for K in {1, 8, 32, 128}
+//! (acceptance gate: batch >= 4x fresh at K = 32, with reuse and lane
+//! batching each contributing).
+//!
+//! Env knobs: `AUTOMODE_BENCH_QUICK=1` shrinks the workload for CI;
+//! `AUTOMODE_BENCH_ENFORCE=1` exits nonzero if batch < 2x fresh at K = 32.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use automode_bench::moded_controller;
+use automode_core::model::{ComponentId, Model};
+use automode_kernel::Stream;
+use automode_sim::{stimulus, BatchScenario, CompiledSim};
+
+fn workload() -> (Model, ComponentId) {
+    moded_controller(40, 40, 7)
+}
+
+/// K lane-scaled ramp scenarios: lane `l` ramps the boundary input to a
+/// lane-specific peak, so each variant explores its own operating region
+/// (a handful of the controller's modes) while compilation covers all of
+/// them.
+fn scenarios(k: usize, ticks: usize) -> Vec<Vec<(&'static str, Stream)>> {
+    (0..k)
+        .map(|l| {
+            let top = 3.0 + l as f64 * 0.1;
+            vec![("in", stimulus::ramp(0.0, top, ticks))]
+        })
+        .collect()
+}
+
+/// Scenarios/second of the repeated single-run loop (compile per scenario).
+fn measure_fresh(
+    m: &Model,
+    id: ComponentId,
+    inputs: &[Vec<(&'static str, Stream)>],
+    ticks: usize,
+) -> f64 {
+    let start = Instant::now();
+    for lane in inputs {
+        let mut sim = CompiledSim::new(m, id).unwrap();
+        black_box(sim.run(lane, ticks).unwrap());
+    }
+    inputs.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Scenarios/second of one reused handle stepping lanes sequentially.
+fn measure_reuse(
+    m: &Model,
+    id: ComponentId,
+    inputs: &[Vec<(&'static str, Stream)>],
+    ticks: usize,
+) -> f64 {
+    let mut sim = CompiledSim::new(m, id).unwrap();
+    let start = Instant::now();
+    for lane in inputs {
+        black_box(sim.run(lane, ticks).unwrap());
+    }
+    inputs.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Scenarios/second of one lane-major `run_batch` over all lanes.
+fn measure_batch(
+    m: &Model,
+    id: ComponentId,
+    inputs: &[Vec<(&'static str, Stream)>],
+    ticks: usize,
+) -> f64 {
+    let sim = CompiledSim::new(m, id).unwrap();
+    let specs: Vec<BatchScenario<'_>> = inputs
+        .iter()
+        .map(|lane| BatchScenario {
+            inputs: lane,
+            ticks,
+        })
+        .collect();
+    let start = Instant::now();
+    black_box(sim.run_batch(&specs).unwrap());
+    inputs.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+struct KResult {
+    k: usize,
+    fresh: f64,
+    reuse: f64,
+    batch: f64,
+}
+
+fn main() {
+    let quick = std::env::var("AUTOMODE_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (ticks, rounds, ks): (usize, usize, &[usize]) = if quick {
+        (60, 2, &[1, 8, 32])
+    } else {
+        (200, 3, &[1, 8, 32, 128])
+    };
+
+    let (m, id) = workload();
+    // Correctness cross-check before timing anything: the batch must agree
+    // with sequential runs on the exact scenarios being measured.
+    {
+        let inputs = scenarios(4, ticks);
+        let specs: Vec<BatchScenario<'_>> = inputs
+            .iter()
+            .map(|lane| BatchScenario {
+                inputs: lane,
+                ticks,
+            })
+            .collect();
+        let mut sim = CompiledSim::new(&m, id).unwrap();
+        let batch = sim.run_batch(&specs).unwrap();
+        for (lane, inp) in inputs.iter().enumerate() {
+            assert_eq!(batch[lane], sim.run(inp, ticks).unwrap(), "lane {lane}");
+        }
+    }
+
+    let mut results: Vec<KResult> = Vec::new();
+    for &k in ks {
+        let inputs = scenarios(k, ticks);
+        // Best of `rounds` interleaved rounds per strategy, so a scheduler
+        // hiccup cannot skew one side.
+        let (mut fresh, mut reuse, mut batch) = (0.0f64, 0.0f64, 0.0f64);
+        for _ in 0..rounds {
+            fresh = fresh.max(measure_fresh(&m, id, &inputs, ticks));
+            reuse = reuse.max(measure_reuse(&m, id, &inputs, ticks));
+            batch = batch.max(measure_batch(&m, id, &inputs, ticks));
+        }
+        println!(
+            "batch_throughput/K={k:<4} fresh: {fresh:>9.1}/s   reuse: {reuse:>9.1}/s   batch: {batch:>9.1}/s   batch/fresh: {:.2}x",
+            batch / fresh
+        );
+        results.push(KResult {
+            k,
+            fresh,
+            reuse,
+            batch,
+        });
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"batch_throughput\",\n  \"unit\": \"scenarios_per_second\",\n",
+    );
+    json.push_str(&format!(
+        "  \"ticks_per_scenario\": {ticks},\n  \"quick\": {quick},\n  \"k\": {{\n"
+    ));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"fresh\": {:.1}, \"reuse\": {:.1}, \"batch\": {:.1}, \"speedup_reuse_vs_fresh\": {:.2}, \"speedup_batch_vs_reuse\": {:.2}, \"speedup_batch_vs_fresh\": {:.2} }}{}\n",
+            r.k,
+            r.fresh,
+            r.reuse,
+            r.batch,
+            r.reuse / r.fresh,
+            r.batch / r.reuse,
+            r.batch / r.fresh,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    std::fs::write(path, &json).expect("write BENCH_batch.json");
+    println!("wrote {path}");
+
+    if std::env::var("AUTOMODE_BENCH_ENFORCE").is_ok_and(|v| v == "1") {
+        let gate = results
+            .iter()
+            .find(|r| r.k == 32)
+            .map(|r| r.batch / r.fresh)
+            .unwrap_or(0.0);
+        if gate < 2.0 {
+            eprintln!("FAIL: batch speedup at K=32 is {gate:.2}x (< 2x gate)");
+            std::process::exit(1);
+        }
+        println!("gate: batch speedup at K=32 is {gate:.2}x (>= 2x)");
+    }
+}

@@ -146,10 +146,13 @@ fn run_shape(name: &'static str, builder: fn() -> Network, ticks: usize) -> Shap
 }
 
 fn main() {
+    // `AUTOMODE_BENCH_QUICK=1` shrinks the workload for CI smoke runs.
+    let quick = std::env::var("AUTOMODE_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let ticks = if quick { 4_000 } else { 20_000 };
     let results = [
-        run_shape("deep", || build_deep(256), 20_000),
-        run_shape("wide", || build_wide(256), 20_000),
-        run_shape("multirate", || build_multirate(48), 20_000),
+        run_shape("deep", || build_deep(256), ticks),
+        run_shape("wide", || build_wide(256), ticks),
+        run_shape("multirate", || build_multirate(48), ticks),
     ];
 
     let mut json = String::from("{\n  \"bench\": \"executor_throughput\",\n  \"unit\": \"ticks_per_second\",\n  \"shapes\": {\n");

@@ -89,6 +89,33 @@ fn bench(c: &mut Criterion) {
             .unwrap()
         })
     });
+    // Ablations of the same run: a reused `CompiledSim` (no per-run
+    // elaborate/prepare) and a 16-lane batch of target-speed variants.
+    c.bench_function("fig5_momentum_1000_ticks_compiled", |b| {
+        let mut sim = automode_sim::CompiledSim::new(&m, id).unwrap();
+        let inputs = [("v_des", v.clone()), ("v_act", v.clone())];
+        b.iter(|| sim.run(&inputs, 1_000).unwrap())
+    });
+    c.bench_function("fig5_momentum_1000_ticks_batch16", |b| {
+        let sim = automode_sim::CompiledSim::new(&m, id).unwrap();
+        let lanes: Vec<Vec<(&str, automode_kernel::Stream)>> = (0..16)
+            .map(|l| {
+                let top = 15.0 + l as f64 * 2.0;
+                vec![
+                    ("v_des", automode_sim::stimulus::ramp(0.0, top, 1_000)),
+                    ("v_act", automode_sim::stimulus::ramp(0.0, top * 0.8, 1_000)),
+                ]
+            })
+            .collect();
+        let specs: Vec<automode_sim::BatchScenario<'_>> = lanes
+            .iter()
+            .map(|inp| automode_sim::BatchScenario {
+                inputs: inp,
+                ticks: 1_000,
+            })
+            .collect();
+        b.iter(|| sim.run_batch(&specs).unwrap())
+    });
 }
 
 fn fast_config() -> Criterion {

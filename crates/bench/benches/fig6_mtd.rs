@@ -10,8 +10,8 @@ use automode_core::types::DataType;
 use automode_engine::build_engine_modes;
 use automode_kernel::{Message, Stream, Value};
 use automode_lang::parse;
-use automode_sim::simulate_component;
 use automode_sim::stimulus::standard_engine_cycle;
+use automode_sim::{simulate_component, BatchScenario, CompiledSim};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn cycle_inputs() -> (Stream, Stream, Stream, usize) {
@@ -71,6 +71,53 @@ fn bench(c: &mut Criterion) {
             )
             .unwrap()
         })
+    });
+
+    // Batched drive-cycle sweep: 16 throttle-scaled variants of the cycle
+    // through the same MTD — the repeated single-run loop vs one reusable
+    // `CompiledSim` stepping lanes sequentially vs one lane-major batch.
+    let scaled_throttle = |factor: f64| -> Stream {
+        throttle
+            .iter()
+            .map(|m| match m.value().and_then(Value::as_float) {
+                Some(x) => Message::present(Value::Float((x * factor).min(1.0))),
+                None => Message::Absent,
+            })
+            .collect()
+    };
+    let sweep: Vec<Vec<(&str, Stream)>> = (0..16)
+        .map(|l| {
+            vec![
+                ("key_on", key.clone()),
+                ("rpm", rpm.clone()),
+                ("throttle", scaled_throttle(0.55 + 0.03 * l as f64)),
+            ]
+        })
+        .collect();
+    c.bench_function("fig6_cycle_sweep16_fresh", |b| {
+        b.iter(|| {
+            sweep
+                .iter()
+                .map(|inp| simulate_component(&m, mtd, inp, ticks).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    c.bench_function("fig6_cycle_sweep16_compiled_sequential", |b| {
+        let mut sim = CompiledSim::new(&m, mtd).unwrap();
+        b.iter(|| {
+            sweep
+                .iter()
+                .map(|inp| sim.run(inp, ticks).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    c.bench_function("fig6_cycle_sweep16_batch", |b| {
+        let sim = CompiledSim::new(&m, mtd).unwrap();
+        let specs: Vec<BatchScenario<'_>> = sweep
+            .iter()
+            .map(|inp| BatchScenario { inputs: inp, ticks })
+            .collect();
+        b.iter(|| sim.run_batch(&specs).unwrap())
     });
 
     // Baseline: the same behaviour as one flat conditional expression (the

@@ -6,7 +6,7 @@
 //! (1–2 periods for typical CAN parameters), provided the consumer
 //! resynchronizes; the required depth grows with the latency envelope.
 
-use automode_platform::loose_sync::{required_depth, simulate, LooseSyncConfig};
+use automode_platform::loose_sync::{required_depth, simulate, simulate_depths, LooseSyncConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn shape_report() {
@@ -45,6 +45,30 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("simulate_ticks", ticks),
             &ticks,
             |b, &t| b.iter(|| simulate(&LooseSyncConfig::typical_can(), 2, t, 1).unwrap()),
+        );
+    }
+    // Ablation: the envelope sweep (depths 0..=8) as one lane-major pass
+    // over shared latency draws vs. nine sequential simulations.
+    let depths: Vec<u32> = (0..=8).collect();
+    for &ticks in &[10_000u64, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("depth_sweep_lanes", ticks),
+            &ticks,
+            |b, &t| {
+                b.iter(|| simulate_depths(&LooseSyncConfig::typical_can(), &depths, t, 1).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("depth_sweep_sequential", ticks),
+            &ticks,
+            |b, &t| {
+                b.iter(|| {
+                    depths
+                        .iter()
+                        .map(|&d| simulate(&LooseSyncConfig::typical_can(), d, t, 1).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            },
         );
     }
     group.finish();

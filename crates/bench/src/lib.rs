@@ -18,25 +18,17 @@ use automode_lang::{parse, Expr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Builds a random DFD of `n` expression blocks with forward edges only
-/// (guaranteed causal), rooted in a single boundary input/output.
-///
-/// # Panics
-///
-/// Panics if `n == 0`.
-pub fn random_causal_dfd(n: usize, seed: u64) -> (Model, ComponentId) {
+/// Adds to `model` a composite DFD component named `name` with boundary
+/// ports `in`/`out`: `n` instances of the averaging component `block`
+/// wired with forward edges only (guaranteed causal).
+fn add_random_dfd(
+    model: &mut Model,
+    name: impl Into<String>,
+    block: ComponentId,
+    n: usize,
+    rng: &mut StdRng,
+) -> ComponentId {
     assert!(n > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut model = Model::new("random_dfd");
-    let block = model
-        .add_component(
-            Component::new("B")
-                .input("a", DataType::Float)
-                .input("b", DataType::Float)
-                .output("y", DataType::Float)
-                .with_behavior(Behavior::expr("y", parse("a * 0.5 + b * 0.5").unwrap())),
-        )
-        .unwrap();
     let mut net = Composite::new(CompositeKind::Dfd);
     for i in 0..n {
         net.instantiate(format!("n{i}"), block);
@@ -62,16 +54,100 @@ pub fn random_causal_dfd(n: usize, seed: u64) -> (Model, ComponentId) {
         Endpoint::child(format!("n{}", n - 1), "y"),
         Endpoint::boundary("out"),
     );
-    let top = model
+    model
         .add_component(
-            Component::new("Top")
+            Component::new(name)
                 .input("in", DataType::Float)
                 .output("out", DataType::Float)
                 .with_behavior(Behavior::Composite(net)),
         )
-        .unwrap();
+        .unwrap()
+}
+
+/// The shared averaging leaf block the random DFD generators instantiate.
+fn averaging_block(model: &mut Model) -> ComponentId {
+    model
+        .add_component(
+            Component::new("B")
+                .input("a", DataType::Float)
+                .input("b", DataType::Float)
+                .output("y", DataType::Float)
+                .with_behavior(Behavior::expr("y", parse("a * 0.5 + b * 0.5").unwrap())),
+        )
+        .unwrap()
+}
+
+/// Builds a random DFD of `n` expression blocks with forward edges only
+/// (guaranteed causal), rooted in a single boundary input/output.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_causal_dfd(n: usize, seed: u64) -> (Model, ComponentId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = Model::new("random_dfd");
+    let block = averaging_block(&mut model);
+    let top = add_random_dfd(&mut model, "Top", block, n, &mut rng);
     model.set_root(top);
     (model, top)
+}
+
+/// Builds a mode-rich controller: an MTD with `modes` operating modes, each
+/// mode's behaviour a random causal DFD of `blocks_per_mode` expression
+/// blocks. Mode `i` hands over to `i + 1` (ring) once the input exceeds a
+/// mode-specific threshold, so a swept input genuinely migrates through the
+/// mode ring.
+///
+/// Compiling this model elaborates *every* mode's network while a run steps
+/// only the active one — the calibration-sweep shape where compiled-plan
+/// reuse pays off.
+///
+/// # Panics
+///
+/// Panics if `modes < 2` or `blocks_per_mode == 0`.
+pub fn moded_controller(modes: usize, blocks_per_mode: usize, seed: u64) -> (Model, ComponentId) {
+    assert!(modes >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = Model::new("moded_controller");
+    let block = averaging_block(&mut model);
+    let mut mtd = Mtd::new();
+    for i in 0..modes {
+        let behavior = add_random_dfd(
+            &mut model,
+            format!("Mode{i}"),
+            block,
+            blocks_per_mode,
+            &mut rng,
+        );
+        mtd.add_mode(format!("M{i}"), behavior);
+    }
+    for i in 0..modes {
+        // Thresholds climb steeply with the mode index, so a drive cycle
+        // walks the ring only as far as its peak value reaches — every mode
+        // is compiled, but each scenario executes just its own operating
+        // region.
+        let threshold = 2.0 + i as f64 * 2.0;
+        mtd.add_transition(
+            i,
+            (i + 1) % modes,
+            Expr::bin(
+                automode_kernel::ops::BinOp::Gt,
+                Expr::ident("in"),
+                Expr::lit(Value::Float(threshold)),
+            ),
+            0,
+        );
+    }
+    let owner = model
+        .add_component(
+            Component::new("Controller")
+                .input("in", DataType::Float)
+                .output("out", DataType::Float)
+                .with_behavior(Behavior::Mtd(mtd)),
+        )
+        .unwrap();
+    model.set_root(owner);
+    (model, owner)
 }
 
 /// Like [`random_causal_dfd`] but closes one instantaneous back edge,

@@ -17,6 +17,16 @@
 //! ([`ReadyNetwork::enable_parallel`]) steps wide levels on scoped threads.
 //! The original interpretive loop survives as [`ReferenceExecutor`] for
 //! differential tests and benchmarks.
+//!
+//! ## Batched execution
+//!
+//! [`ReadyNetwork::run_batch`] runs `K` independent scenarios through one
+//! compiled plan at once: every arena cell widens to `K` contiguous lanes
+//! (structure-of-arrays), block state is replicated per lane via
+//! [`Block::clone_block`], and one pass over the schedule steps all lanes.
+//! In parallel mode the scoped-thread machinery chunks `(node, lane)` work
+//! items — lanes are independent, so batches parallelize even when the
+//! network itself is narrow.
 
 use std::collections::BTreeMap;
 
@@ -87,7 +97,7 @@ enum Source {
 }
 
 struct Node {
-    block: Box<dyn Block + Send>,
+    block: Box<dyn Block + Send + Sync>,
     sources: Vec<Source>,
     /// Outputs computed this tick.
     outputs: Vec<Message>,
@@ -154,7 +164,7 @@ impl Network {
     }
 
     /// Adds a block, returning a handle to its ports.
-    pub fn add_block(&mut self, block: impl Block + Send + 'static) -> BlockHandle {
+    pub fn add_block(&mut self, block: impl Block + Send + Sync + 'static) -> BlockHandle {
         let sources = vec![Source::Open; block.input_arity()];
         let outputs = vec![Message::Absent; block.output_arity()];
         self.nodes.push(Node {
@@ -360,17 +370,21 @@ impl Network {
             });
         }
 
-        let mut blocks: Vec<Box<dyn Block + Send>> = Vec::with_capacity(n);
+        let mut blocks: Vec<Box<dyn Block + Send + Sync>> = Vec::with_capacity(n);
         for node in self.nodes {
             let mut block = node.block;
             block.reset();
             blocks.push(block);
         }
+        let commit_nodes: Vec<usize> = (0..blocks.len())
+            .filter(|&i| blocks[i].needs_commit())
+            .collect();
 
         let observed = vec![Message::Absent; probe_slots.len()];
         Ok(ReadyNetwork {
             name: self.name,
             blocks,
+            commit_nodes,
             n_inputs: self.input_names.len(),
             probe_names,
             probe_slots,
@@ -453,6 +467,33 @@ fn resolve_slot(slot: Slot, arena: &[Message], externals: &[Message]) -> Message
     }
 }
 
+/// [`Slot`] widened to the lane-major batch arena, where each single-run
+/// arena cell becomes `K` lanes.
+#[derive(Debug, Clone, Copy)]
+enum BatchSlot {
+    /// Unconnected: always absent.
+    Open,
+    /// Lane `l` of the producing cell lives at `base + l * stride`, where
+    /// `stride` is the producing node's output arity.
+    Arena { base: usize, stride: usize },
+    /// An index into the lane's own external input row.
+    External(usize),
+}
+
+#[inline]
+fn resolve_batch_slot(
+    slot: BatchSlot,
+    lane: usize,
+    arena: &[Message],
+    externals: &[Message],
+) -> Message {
+    match slot {
+        BatchSlot::Open => Message::Absent,
+        BatchSlot::Arena { base, stride } => arena[base + lane * stride].clone(),
+        BatchSlot::External(e) => externals[e].clone(),
+    }
+}
+
 /// A causality-checked network compiled to a flat execution plan.
 ///
 /// Steady-state ticks are allocation-free: outputs live in a single message
@@ -462,7 +503,11 @@ fn resolve_slot(slot: Slot, arena: &[Message], externals: &[Message]) -> Message
 #[derive(Debug)]
 pub struct ReadyNetwork {
     name: String,
-    blocks: Vec<Box<dyn Block + Send>>,
+    blocks: Vec<Box<dyn Block + Send + Sync>>,
+    /// Nodes whose blocks need the phase-2 commit pass
+    /// ([`Block::needs_commit`]); commit-free nodes skip the input
+    /// re-gather entirely.
+    commit_nodes: Vec<usize>,
     n_inputs: usize,
     probe_names: Vec<String>,
     probe_slots: Vec<Slot>,
@@ -620,8 +665,10 @@ impl ReadyNetwork {
             }
         }
 
-        // Phase 2: commit with final input values.
-        for i in 0..self.blocks.len() {
+        // Phase 2: commit with final input values — only for nodes whose
+        // blocks actually observe them.
+        for ci in 0..self.commit_nodes.len() {
+            let i = self.commit_nodes[ci];
             for k in self.slot_offset[i]..self.slot_offset[i + 1] {
                 self.scratch[k] = resolve_slot(self.slots[k], &self.arena, externals);
             }
@@ -679,69 +726,304 @@ impl ReadyNetwork {
         }
         Ok(trace)
     }
+
+    /// Widens the compiled single-lane slots to lane-major [`BatchSlot`]s
+    /// for a batch of `k` lanes.
+    fn batch_slots(&self, k: usize) -> (Vec<BatchSlot>, Vec<BatchSlot>) {
+        let total = *self.out_offset.last().unwrap();
+        let mut base = vec![0usize; total];
+        let mut stride = vec![0usize; total];
+        for i in 0..self.blocks.len() {
+            let (lo, hi) = (self.out_offset[i], self.out_offset[i + 1]);
+            for (p, a) in (lo..hi).enumerate() {
+                base[a] = lo * k + p;
+                stride[a] = hi - lo;
+            }
+        }
+        let widen = |slot: &Slot| match *slot {
+            Slot::Open => BatchSlot::Open,
+            Slot::Arena(a) => BatchSlot::Arena {
+                base: base[a],
+                stride: stride[a],
+            },
+            Slot::External(e) => BatchSlot::External(e),
+        };
+        (
+            self.slots.iter().map(widen).collect(),
+            self.probe_slots.iter().map(widen).collect(),
+        )
+    }
+
+    /// Runs `stimuli.len()` independent scenarios ("lanes") through one
+    /// compiled plan and returns one trace per lane, each identical to
+    /// running its stimulus alone on a freshly reset copy of this network.
+    ///
+    /// The plan (slots, schedule, instantaneity bitset) is shared by every
+    /// lane; block state is replicated per lane via [`Block::clone_block`]
+    /// and reset, so `self`'s own incremental state is untouched. Messages
+    /// live in a *lane-major* arena: the cell for output `p` of node `i`
+    /// widens to `K` lanes stored contiguously at
+    /// `out_offset[i] * K + l * arity_i + p`, so one pass over the schedule
+    /// steps all lanes of a node back to back on warm plan state.
+    ///
+    /// Lanes may have different lengths: lane `l` is stepped only while
+    /// `t < stimuli[l].len()`, and its trace has exactly `stimuli[l].len()`
+    /// rows. When parallel mode is on ([`ReadyNetwork::enable_parallel`]),
+    /// the work items of a level are `(node, lane)` pairs, so even a
+    /// one-node-wide level fans out across workers once there are enough
+    /// lanes — batches are embarrassingly parallel across lanes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stimulus arity mismatches or block evaluation errors.
+    pub fn run_batch(&self, stimuli: &[Vec<Vec<Message>>]) -> Result<Vec<Trace>, KernelError> {
+        // Cache blocking: each lane replicates block state, so very wide
+        // sequential batches outgrow the cache and slow down per lane.
+        // Bounding the working set costs nothing semantically — lanes are
+        // independent. Parallel mode keeps the full width so levels have
+        // enough `(node, lane)` work items to fan out.
+        const LANE_CHUNK: usize = 16;
+        if self.parallel_min_width.is_none() && stimuli.len() > LANE_CHUNK {
+            let mut traces = Vec::with_capacity(stimuli.len());
+            for chunk in stimuli.chunks(LANE_CHUNK) {
+                traces.extend(self.run_batch(chunk)?);
+            }
+            return Ok(traces);
+        }
+        let k = stimuli.len();
+        let mut traces: Vec<Trace> = (0..k)
+            .map(|_| {
+                let mut trace = Trace::new();
+                for name in &self.probe_names {
+                    trace.declare(name.clone());
+                }
+                trace
+            })
+            .collect();
+        for lane in stimuli {
+            for (t, row) in lane.iter().enumerate() {
+                if row.len() != self.n_inputs {
+                    return Err(KernelError::StimulusArity {
+                        expected: self.n_inputs,
+                        found: row.len(),
+                        tick: t as Tick,
+                    });
+                }
+            }
+        }
+        let lens: Vec<usize> = stimuli.iter().map(Vec::len).collect();
+        let max_ticks = lens.iter().copied().max().unwrap_or(0);
+        if k == 0 || max_ticks == 0 {
+            return Ok(traces);
+        }
+
+        // Per-lane block state, node-major with lanes contiguous: lane `l`
+        // of node `i` lives at `i * k + l`, ascending in `(i, l)` exactly
+        // like the lane-major arena ranges — which is what lets the
+        // parallel carve reuse the single-run `split_at_mut` scheme.
+        let n = self.blocks.len();
+        let mut lane_blocks: Vec<Box<dyn Block + Send + Sync>> = Vec::with_capacity(n * k);
+        for block in &self.blocks {
+            for _ in 0..k {
+                let mut replica = block.clone_block();
+                replica.reset();
+                lane_blocks.push(replica);
+            }
+        }
+
+        let (slots, probe_slots) = self.batch_slots(k);
+        let total_outputs = *self.out_offset.last().unwrap();
+        let total_inputs = *self.slot_offset.last().unwrap();
+        let mut arena = vec![Message::Absent; total_outputs * k];
+        let mut scratch = vec![Message::Absent; total_inputs * k];
+        let mut observed = vec![Message::Absent; self.probe_slots.len()];
+        let mut specs: Vec<PartSpec> = Vec::new();
+
+        // `t` is the simulation tick: it indexes every lane's stimulus rows
+        // and gates lane activity, not one iterable.
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..max_ticks {
+            let tick = t as Tick;
+
+            // Phase 1: step level by level; within a level every active
+            // lane of every node is an independent work item.
+            for level in &self.schedule.levels {
+                specs.clear();
+                for &i in level {
+                    let ia = self.slot_offset[i + 1] - self.slot_offset[i];
+                    let oa = self.out_offset[i + 1] - self.out_offset[i];
+                    for (l, &len) in lens.iter().enumerate() {
+                        if t >= len {
+                            continue;
+                        }
+                        let row = &stimuli[l][t];
+                        let in_start = self.slot_offset[i] * k + l * ia;
+                        let out_start = self.out_offset[i] * k + l * oa;
+                        for p in 0..ia {
+                            let flat = self.slot_offset[i] + p;
+                            scratch[in_start + p] = if self.inst(flat) {
+                                resolve_batch_slot(slots[flat], l, &arena, row)
+                            } else {
+                                Message::Absent
+                            };
+                        }
+                        specs.push(PartSpec {
+                            block: i * k + l,
+                            inputs: in_start..in_start + ia,
+                            out: out_start..out_start + oa,
+                        });
+                    }
+                }
+                match self.parallel_min_width {
+                    Some(min) if specs.len() >= min => {
+                        let parts = carve_parts(&specs, &mut lane_blocks, &mut arena, &scratch);
+                        run_parts(tick, parts, self.parallel_workers)?;
+                    }
+                    _ => {
+                        for spec in &specs {
+                            let inputs = &scratch[spec.inputs.clone()];
+                            let out = &mut arena[spec.out.clone()];
+                            lane_blocks[spec.block].step_into(tick, inputs, out)?;
+                        }
+                    }
+                }
+            }
+
+            // Phase 2: commit with final input values — only for nodes
+            // whose blocks actually observe them.
+            for &i in &self.commit_nodes {
+                let ia = self.slot_offset[i + 1] - self.slot_offset[i];
+                for (l, &len) in lens.iter().enumerate() {
+                    if t >= len {
+                        continue;
+                    }
+                    let row = &stimuli[l][t];
+                    let in_start = self.slot_offset[i] * k + l * ia;
+                    for p in 0..ia {
+                        let flat = self.slot_offset[i] + p;
+                        scratch[in_start + p] = resolve_batch_slot(slots[flat], l, &arena, row);
+                    }
+                    lane_blocks[i * k + l].commit(tick, &scratch[in_start..in_start + ia]);
+                }
+            }
+
+            // Observe each active lane's probes.
+            for (l, &len) in lens.iter().enumerate() {
+                if t >= len {
+                    continue;
+                }
+                let row = &stimuli[l][t];
+                for (j, &slot) in probe_slots.iter().enumerate() {
+                    observed[j] = resolve_batch_slot(slot, l, &arena, row);
+                }
+                traces[l].push_row_indexed(&observed)?;
+            }
+        }
+        Ok(traces)
+    }
 }
 
-/// Per-node disjoint execution views carved for one level.
+impl Clone for ReadyNetwork {
+    /// Deep copy, including current block state and tick position, via
+    /// [`Block::clone_block`] — the same mechanism
+    /// [`ReadyNetwork::run_batch`] uses to replicate per-lane state.
+    fn clone(&self) -> Self {
+        ReadyNetwork {
+            name: self.name.clone(),
+            blocks: self.blocks.iter().map(|b| b.clone_block()).collect(),
+            n_inputs: self.n_inputs,
+            probe_names: self.probe_names.clone(),
+            probe_slots: self.probe_slots.clone(),
+            slot_offset: self.slot_offset.clone(),
+            slots: self.slots.clone(),
+            inst_bits: self.inst_bits.clone(),
+            commit_nodes: self.commit_nodes.clone(),
+            out_offset: self.out_offset.clone(),
+            arena: self.arena.clone(),
+            scratch: self.scratch.clone(),
+            schedule: self.schedule.clone(),
+            observed: self.observed.clone(),
+            parallel_min_width: self.parallel_min_width,
+            parallel_workers: self.parallel_workers,
+            tick: self.tick,
+        }
+    }
+}
+
+/// A `(block index, scratch range, arena range)` work item — the common
+/// currency of the parallel step paths. In single-run mode one spec is one
+/// level node; in batch mode it is one `(node, lane)` pair.
+struct PartSpec {
+    block: usize,
+    inputs: std::ops::Range<usize>,
+    out: std::ops::Range<usize>,
+}
+
+/// Disjoint execution views carved for one work item.
 struct LevelPart<'a> {
-    block: &'a mut (dyn Block + Send),
+    block: &'a mut (dyn Block + Send + Sync),
     inputs: &'a [Message],
     out: &'a mut [Message],
 }
 
 /// Borrowed views of the compiled plan needed to step one level.
 struct LevelViews<'a> {
-    blocks: &'a mut [Box<dyn Block + Send>],
+    blocks: &'a mut [Box<dyn Block + Send + Sync>],
     arena: &'a mut [Message],
     scratch: &'a [Message],
     slot_offset: &'a [usize],
     out_offset: &'a [usize],
 }
 
-/// Steps one level's blocks on scoped threads.
+/// Carves the disjoint per-part `&mut` views named by `specs`.
 ///
-/// Node indices within a level ascend, and arena/scratch ranges ascend with
-/// the node index, so repeated `split_at_mut` carves the disjoint `&mut`
+/// Specs must ascend in both block index and arena range. They do by
+/// construction: node indices ascend within a level and arena offsets
+/// ascend with the node index; in batch mode, lane sub-ranges additionally
+/// ascend within each node. That lets repeated `split_at_mut` carve the
 /// views without unsafe code.
-fn step_level_parallel(
-    t: Tick,
-    level: &[usize],
-    workers_override: Option<usize>,
-    views: LevelViews<'_>,
-) -> Result<(), KernelError> {
-    let LevelViews {
-        blocks,
-        arena,
-        scratch,
-        slot_offset,
-        out_offset,
-    } = views;
-    let mut parts: Vec<LevelPart<'_>> = Vec::with_capacity(level.len());
+fn carve_parts<'a>(
+    specs: &[PartSpec],
+    blocks: &'a mut [Box<dyn Block + Send + Sync>],
+    arena: &'a mut [Message],
+    scratch: &'a [Message],
+) -> Vec<LevelPart<'a>> {
+    let mut parts = Vec::with_capacity(specs.len());
     let mut blocks_rest = blocks;
     let mut blocks_base = 0usize;
     let mut arena_rest = arena;
     let mut arena_base = 0usize;
-    for &i in level {
+    for spec in specs {
         let tail = std::mem::take(&mut blocks_rest)
-            .split_at_mut(i - blocks_base)
+            .split_at_mut(spec.block - blocks_base)
             .1;
-        let (block, rest) = tail.split_first_mut().expect("level node in range");
+        let (block, rest) = tail.split_first_mut().expect("part block in range");
         blocks_rest = rest;
-        blocks_base = i + 1;
+        blocks_base = spec.block + 1;
 
         let tail = std::mem::take(&mut arena_rest)
-            .split_at_mut(out_offset[i] - arena_base)
+            .split_at_mut(spec.out.start - arena_base)
             .1;
-        let (out, rest) = tail.split_at_mut(out_offset[i + 1] - out_offset[i]);
+        let (out, rest) = tail.split_at_mut(spec.out.len());
         arena_rest = rest;
-        arena_base = out_offset[i + 1];
+        arena_base = spec.out.end;
 
         parts.push(LevelPart {
             block: block.as_mut(),
-            inputs: &scratch[slot_offset[i]..slot_offset[i + 1]],
+            inputs: &scratch[spec.inputs.clone()],
             out,
         });
     }
+    parts
+}
 
+/// Steps carved parts, round-robined into per-worker chunks on scoped
+/// threads (or inline when one worker suffices).
+fn run_parts(
+    t: Tick,
+    parts: Vec<LevelPart<'_>>,
+    workers_override: Option<usize>,
+) -> Result<(), KernelError> {
     let workers = workers_override
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         .min(parts.len());
@@ -773,6 +1055,33 @@ fn step_level_parallel(
         }
     });
     results.into_iter().collect()
+}
+
+/// Steps one level's blocks on scoped threads (single-run mode: one part
+/// per level node).
+fn step_level_parallel(
+    t: Tick,
+    level: &[usize],
+    workers_override: Option<usize>,
+    views: LevelViews<'_>,
+) -> Result<(), KernelError> {
+    let LevelViews {
+        blocks,
+        arena,
+        scratch,
+        slot_offset,
+        out_offset,
+    } = views;
+    let specs: Vec<PartSpec> = level
+        .iter()
+        .map(|&i| PartSpec {
+            block: i,
+            inputs: slot_offset[i]..slot_offset[i + 1],
+            out: out_offset[i]..out_offset[i + 1],
+        })
+        .collect();
+    let parts = carve_parts(&specs, blocks, arena, scratch);
+    run_parts(t, parts, workers_override)
 }
 
 /// The pre-compilation interpretive executor, kept as the semantic
@@ -1188,6 +1497,98 @@ mod tests {
         let mut seen: Vec<usize> = ready.levels().iter().flatten().copied().collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..ready.schedule().len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs() {
+        let stims: Vec<Vec<Vec<Message>>> = (0..5)
+            .map(|l| {
+                stimulus_from_streams(&[Stream::from_values(
+                    (0i64..8).map(|v| v * (l as i64 + 1)).collect::<Vec<_>>(),
+                )])
+            })
+            .collect();
+        let ready = diamond().prepare().unwrap();
+        let batch = ready.run_batch(&stims).unwrap();
+        for (lane, stim) in stims.iter().enumerate() {
+            let mut fresh = diamond().prepare().unwrap();
+            let expect = fresh.run(stim).unwrap();
+            assert_eq!(batch[lane], expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn run_batch_supports_heterogeneous_lane_lengths() {
+        let stims: Vec<Vec<Vec<Message>>> = vec![
+            stimulus_from_streams(&[Stream::from_values([1i64, 2, 3, 4, 5, 6, 7])]),
+            stimulus_from_streams(&[Stream::from_values([9i64])]),
+            Vec::new(), // zero-tick lane
+            stimulus_from_streams(&[Stream::from_values([4i64, 4, 4])]),
+        ];
+        let ready = diamond().prepare().unwrap();
+        let batch = ready.run_batch(&stims).unwrap();
+        for (lane, stim) in stims.iter().enumerate() {
+            assert_eq!(batch[lane].tick_count(), stim.len(), "lane {lane}");
+            let expect = diamond().prepare().unwrap().run(stim).unwrap();
+            assert_eq!(batch[lane], expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn run_batch_parallel_matches_sequential_lanes() {
+        let stims: Vec<Vec<Vec<Message>>> = (0..4)
+            .map(|l| {
+                stimulus_from_streams(&[Stream::from_values(
+                    (0i64..12).map(|v| v + l as i64).collect::<Vec<_>>(),
+                )])
+            })
+            .collect();
+        let seq = diamond().prepare().unwrap();
+        let mut par = diamond().prepare().unwrap();
+        par.enable_parallel(2);
+        par.set_parallel_workers(Some(2));
+        assert_eq!(
+            par.run_batch(&stims).unwrap(),
+            seq.run_batch(&stims).unwrap()
+        );
+    }
+
+    #[test]
+    fn run_batch_ignores_and_preserves_incremental_state() {
+        // Lanes start from the initial state even when `self` has been
+        // stepped, and running a batch does not disturb `self`'s state.
+        let stim = stimulus_from_streams(&[Stream::from_values([1i64, 2, 3, 4])]);
+        let mut dirty = diamond().prepare().unwrap();
+        dirty.step_tick_observed(&[Message::present(7i64)]).unwrap();
+        let before_tick = dirty.tick();
+        let batch = dirty.run_batch(std::slice::from_ref(&stim)).unwrap();
+        assert_eq!(dirty.tick(), before_tick);
+        let expect = diamond().prepare().unwrap().run(&stim).unwrap();
+        assert_eq!(batch[0], expect);
+    }
+
+    #[test]
+    fn run_batch_checks_stimulus_arity_per_lane() {
+        let ready = diamond().prepare().unwrap();
+        let bad = vec![vec![vec![Message::present(1i64)]], vec![vec![]]];
+        assert!(matches!(
+            ready.run_batch(&bad),
+            Err(KernelError::StimulusArity { .. })
+        ));
+    }
+
+    #[test]
+    fn cloned_ready_network_carries_block_state() {
+        let stim = stimulus_from_streams(&[Stream::from_values([1i64, 1, 1, 1])]);
+        let mut a = diamond().prepare().unwrap();
+        // Advance two ticks, clone, then both must continue identically.
+        for row in &stim[..2] {
+            a.step_tick_observed(row).unwrap();
+        }
+        let mut b = a.clone();
+        let ra = a.run(&stim[2..]).unwrap();
+        let rb = b.run(&stim[2..]).unwrap();
+        assert_eq!(ra, rb);
     }
 
     #[test]

@@ -89,6 +89,18 @@ impl Stream {
         self.messages.get(t)
     }
 
+    /// A copy clipped (or padded with absence) to exactly `len` ticks.
+    ///
+    /// One bulk slice clone plus a resize — the per-tick `get`/`clone` loop
+    /// this replaces showed up in simulator echo-stream profiles.
+    pub fn clipped(&self, len: usize) -> Stream {
+        let take = self.messages.len().min(len);
+        let mut messages = Vec::with_capacity(len);
+        messages.extend_from_slice(&self.messages[..take]);
+        messages.resize(len, Message::Absent);
+        Stream { messages }
+    }
+
     /// Iterates over messages tick by tick.
     pub fn iter(&self) -> std::slice::Iter<'_, Message> {
         self.messages.iter()

@@ -11,9 +11,15 @@
 //!
 //! One VCD time unit is one tick of the global base clock; values are
 //! emitted only on change, per VCD semantics.
+//!
+//! [`write_vcd`] streams the dump into any [`io::Write`] holding only one
+//! tick's change block in memory — the right entry point for exporting long
+//! traces from the CLI. [`to_vcd`] renders the same bytes into a `String`.
 
 use std::fmt::Write as _;
+use std::io;
 
+use crate::stream::Stream;
 use crate::trace::Trace;
 use crate::value::{Message, Value};
 
@@ -24,8 +30,7 @@ enum VarKind {
     Text,
 }
 
-fn kind_of(trace: &Trace, signal: &str) -> VarKind {
-    let stream = trace.signal(signal).expect("caller iterated names");
+fn kind_of(stream: &Stream) -> VarKind {
     for m in stream {
         if let Message::Present(v) = m {
             return match v {
@@ -77,51 +82,75 @@ fn emit_value(out: &mut String, kind: VarKind, msg: &Message, id: &str) {
     }
 }
 
-/// Renders the trace as VCD text under the given module scope name.
-pub fn to_vcd(trace: &Trace, scope: &str) -> String {
-    let names: Vec<String> = trace.signal_names().map(String::from).collect();
-    let mut out = String::new();
-    let _ = writeln!(out, "$comment automode trace export $end");
-    let _ = writeln!(out, "$timescale 1 ms $end");
-    let _ = writeln!(out, "$scope module {scope} $end");
-    let kinds: Vec<VarKind> = names.iter().map(|n| kind_of(trace, n)).collect();
-    for (i, (name, kind)) in names.iter().zip(&kinds).enumerate() {
-        let id = id_code(i);
+static ABSENT: Message = Message::Absent;
+
+/// Streams the trace as VCD text into `out` under the given module scope
+/// name.
+///
+/// Only one tick's change block is buffered at a time, so exporting a long
+/// trace never materializes the whole dump. [`to_vcd`] produces exactly
+/// these bytes as a `String`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_vcd<W: io::Write>(trace: &Trace, scope: &str, out: &mut W) -> io::Result<()> {
+    let names: Vec<&str> = trace.signal_names().collect();
+    // Resolve each signal's column and id once, outside the tick loop.
+    let streams: Vec<&Stream> = names
+        .iter()
+        .map(|n| trace.signal(n).expect("name came from the trace"))
+        .collect();
+    let kinds: Vec<VarKind> = streams.iter().map(|s| kind_of(s)).collect();
+    let ids: Vec<String> = (0..names.len()).map(id_code).collect();
+
+    writeln!(out, "$comment automode trace export $end")?;
+    writeln!(out, "$timescale 1 ms $end")?;
+    writeln!(out, "$scope module {scope} $end")?;
+    for ((name, kind), id) in names.iter().zip(&kinds).zip(&ids) {
         // VCD identifiers may not contain spaces; replace for safety.
         let clean: String = name
             .chars()
             .map(|c| if c.is_whitespace() { '_' } else { c })
             .collect();
-        let _ = match kind {
-            VarKind::Wire => writeln!(out, "$var wire 1 {id} {clean} $end"),
-            VarKind::Real => writeln!(out, "$var real 64 {id} {clean} $end"),
-            VarKind::Text => writeln!(out, "$var string 1 {id} {clean} $end"),
-        };
+        match kind {
+            VarKind::Wire => writeln!(out, "$var wire 1 {id} {clean} $end")?,
+            VarKind::Real => writeln!(out, "$var real 64 {id} {clean} $end")?,
+            VarKind::Text => writeln!(out, "$var string 1 {id} {clean} $end")?,
+        }
     }
-    let _ = writeln!(out, "$upscope $end");
-    let _ = writeln!(out, "$enddefinitions $end");
+    writeln!(out, "$upscope $end")?;
+    writeln!(out, "$enddefinitions $end")?;
 
     let ticks = trace.tick_count();
-    let mut last: Vec<Option<Message>> = vec![None; names.len()];
+    let mut last: Vec<Option<&Message>> = vec![None; names.len()];
+    let mut changes = String::new();
     for t in 0..ticks {
-        let mut changes = String::new();
-        for (i, name) in names.iter().enumerate() {
-            let msg = trace
-                .signal(name)
-                .and_then(|s| s.get(t).cloned())
-                .unwrap_or(Message::Absent);
-            if last[i].as_ref() != Some(&msg) {
-                emit_value(&mut changes, kinds[i], &msg, &id_code(i));
+        changes.clear();
+        for (i, stream) in streams.iter().enumerate() {
+            let msg = stream.get(t).unwrap_or(&ABSENT);
+            if last[i] != Some(msg) {
+                emit_value(&mut changes, kinds[i], msg, &ids[i]);
                 last[i] = Some(msg);
             }
         }
         if !changes.is_empty() || t == 0 {
-            let _ = writeln!(out, "#{t}");
-            out.push_str(&changes);
+            writeln!(out, "#{t}")?;
+            out.write_all(changes.as_bytes())?;
         }
     }
-    let _ = writeln!(out, "#{ticks}");
-    out
+    writeln!(out, "#{ticks}")?;
+    Ok(())
+}
+
+/// Renders the trace as VCD text under the given module scope name.
+///
+/// Byte-identical to [`write_vcd`]; prefer the streaming variant when the
+/// output goes to a file or pipe.
+pub fn to_vcd(trace: &Trace, scope: &str) -> String {
+    let mut buf = Vec::new();
+    write_vcd(trace, scope, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("vcd output is ASCII")
 }
 
 #[cfg(test)]
@@ -203,5 +232,43 @@ mod tests {
         let vcd = to_vcd(&Trace::new(), "empty");
         assert!(vcd.contains("$enddefinitions $end"));
         assert!(vcd.trim_end().ends_with("#0"));
+    }
+
+    #[test]
+    fn write_vcd_matches_rendered_string() {
+        let tr = trace();
+        let rendered = to_vcd(&tr, "run");
+        let mut streamed = Vec::new();
+        write_vcd(&tr, "run", &mut streamed).unwrap();
+        assert_eq!(rendered.as_bytes(), streamed.as_slice());
+
+        // Also on an empty trace and a single-signal trace with ragged
+        // columns (shorter stream than tick_count).
+        let empty_rendered = to_vcd(&Trace::new(), "e");
+        let mut empty_streamed = Vec::new();
+        write_vcd(&Trace::new(), "e", &mut empty_streamed).unwrap();
+        assert_eq!(empty_rendered.as_bytes(), empty_streamed.as_slice());
+
+        let mut ragged = Trace::new();
+        ragged.insert("a", Stream::from_values([1.0f64, 2.0, 3.0]));
+        ragged.insert("b", Stream::from_values([true]));
+        let r = to_vcd(&ragged, "r");
+        let mut w = Vec::new();
+        write_vcd(&ragged, "r", &mut w).unwrap();
+        assert_eq!(r.as_bytes(), w.as_slice());
+    }
+
+    #[test]
+    fn streaming_writer_propagates_io_errors() {
+        struct Failing;
+        impl io::Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(write_vcd(&trace(), "run", &mut Failing).is_err());
     }
 }

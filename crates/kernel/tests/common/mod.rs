@@ -1,0 +1,222 @@
+//! Shared random-network generators for the executor test suites.
+//!
+//! Generated networks are acyclic on instantaneous edges (delayed feedback
+//! allowed), type-sound by construction (float data paths, Boolean
+//! conditions only from clock generators) and avoid operators that could
+//! produce `NaN`, so every run succeeds and traces compare exactly.
+
+#![allow(dead_code)] // not every suite uses every helper
+
+use automode_kernel::network::{BlockHandle, InputId, Network, PortRef};
+use automode_kernel::ops::{
+    AddN, BinOp, Const, Current, Delay, EveryClockGen, Lift1, Lift2, Merge, Select, UnOp,
+    UnitDelay, When,
+};
+use automode_kernel::{Message, Value};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Everything needed to rebuild the same network any number of times.
+#[derive(Debug, Clone, Copy)]
+pub struct Spec {
+    pub seed: u64,
+    pub n_nodes: usize,
+    pub n_inputs: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Const(f64),
+    Every(u32, u32),
+    Lift(BinOp),
+    Neg,
+    When,
+    Select,
+    Merge(usize),
+    AddN(usize),
+    Current(f64),
+    Delay(f64),
+    UnitDelay(Option<f64>),
+}
+
+impl Kind {
+    fn random(rng: &mut StdRng) -> Kind {
+        match rng.gen_range(0u32..11) {
+            0 => Kind::Const(rng.gen_range(-8.0..8.0)),
+            1 => Kind::Every(rng.gen_range(1u32..5), rng.gen_range(0u32..3)),
+            2 => Kind::Lift(BinOp::Add),
+            3 => Kind::Lift(if rng.gen_bool(0.5) {
+                BinOp::Min
+            } else {
+                BinOp::Max
+            }),
+            4 => Kind::Neg,
+            5 => Kind::When,
+            6 => Kind::Select,
+            7 => Kind::Merge(rng.gen_range(2usize..4)),
+            8 => Kind::AddN(rng.gen_range(2usize..4)),
+            9 => Kind::Current(rng.gen_range(-4.0..4.0)),
+            _ => {
+                if rng.gen_bool(0.5) {
+                    Kind::Delay(rng.gen_range(-4.0..4.0))
+                } else {
+                    Kind::UnitDelay(if rng.gen_bool(0.5) {
+                        Some(rng.gen_range(-4.0..4.0))
+                    } else {
+                        None
+                    })
+                }
+            }
+        }
+    }
+
+    fn produces_bool(&self) -> bool {
+        matches!(self, Kind::Every(..))
+    }
+}
+
+/// Wires `port` to a float-producing source: one of `vals` (node handles),
+/// an external input, or left open.
+fn wire_val(
+    net: &mut Network,
+    rng: &mut StdRng,
+    port: PortRef,
+    vals: &[BlockHandle],
+    inputs: &[InputId],
+) {
+    let c = rng.gen_range(0..vals.len() + inputs.len() + 1);
+    if c < vals.len() {
+        net.connect(vals[c].output(0), port).unwrap();
+    } else if c < vals.len() + inputs.len() {
+        net.connect_input(inputs[c - vals.len()], port).unwrap();
+    } // else: open
+}
+
+/// Wires `port` to a Boolean source (a clock generator) or leaves it open.
+fn wire_bool(net: &mut Network, rng: &mut StdRng, port: PortRef, bools: &[BlockHandle]) {
+    if bools.is_empty() || rng.gen_bool(0.2) {
+        return; // open: condition reads absent
+    }
+    let c = rng.gen_range(0..bools.len());
+    net.connect(bools[c].output(0), port).unwrap();
+}
+
+/// Deterministically builds the network described by `spec`. Instantaneous
+/// value inputs only come from strictly earlier nodes (so the network is
+/// causal by construction); delayed inputs may come from any node, giving
+/// feedback loops through `Delay`/`UnitDelay`.
+pub fn build(spec: Spec) -> Network {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut net = Network::new("generated");
+    let inputs: Vec<InputId> = (0..spec.n_inputs)
+        .map(|i| net.add_input(format!("in{i}")))
+        .collect();
+
+    let kinds: Vec<Kind> = (0..spec.n_nodes).map(|_| Kind::random(&mut rng)).collect();
+    let handles: Vec<BlockHandle> = kinds
+        .iter()
+        .map(|k| match k {
+            Kind::Const(v) => net.add_block(Const::new(*v)),
+            Kind::Every(n, p) => net.add_block(EveryClockGen::new(*n, *p)),
+            Kind::Lift(op) => net.add_block(Lift2::new(*op)),
+            Kind::Neg => net.add_block(Lift1::new(UnOp::Neg)),
+            Kind::When => net.add_block(When::new()),
+            Kind::Select => net.add_block(Select::new()),
+            Kind::Merge(n) => net.add_block(Merge::new(*n)),
+            Kind::AddN(n) => net.add_block(AddN::new(*n)),
+            Kind::Current(v) => net.add_block(Current::new(*v)),
+            Kind::Delay(v) => net.add_block(Delay::new(*v)),
+            Kind::UnitDelay(v) => net.add_block(UnitDelay::new(
+                v.map(|x| Message::present(Value::Float(x)))
+                    .unwrap_or(Message::Absent),
+            )),
+        })
+        .collect();
+
+    let bools: Vec<BlockHandle> = handles
+        .iter()
+        .zip(&kinds)
+        .filter(|(_, k)| k.produces_bool())
+        .map(|(h, _)| *h)
+        .collect();
+    let all_vals: Vec<BlockHandle> = handles
+        .iter()
+        .zip(&kinds)
+        .filter(|(_, k)| !k.produces_bool())
+        .map(|(h, _)| *h)
+        .collect();
+
+    for (i, kind) in kinds.iter().enumerate() {
+        let h = handles[i];
+        // Float sources available to instantaneous ports of node i: value
+        // producers with a strictly smaller node index.
+        let earlier: Vec<BlockHandle> = all_vals
+            .iter()
+            .copied()
+            .filter(|v| v.id.index() < i)
+            .collect();
+        match kind {
+            Kind::Const(_) | Kind::Every(..) => {}
+            Kind::Neg | Kind::Current(_) => {
+                wire_val(&mut net, &mut rng, h.input(0), &earlier, &inputs);
+            }
+            Kind::Lift(_) => {
+                wire_val(&mut net, &mut rng, h.input(0), &earlier, &inputs);
+                wire_val(&mut net, &mut rng, h.input(1), &earlier, &inputs);
+            }
+            Kind::When => {
+                wire_val(&mut net, &mut rng, h.input(0), &earlier, &inputs);
+                wire_bool(&mut net, &mut rng, h.input(1), &bools);
+            }
+            Kind::Select => {
+                wire_bool(&mut net, &mut rng, h.input(0), &bools);
+                wire_val(&mut net, &mut rng, h.input(1), &earlier, &inputs);
+                wire_val(&mut net, &mut rng, h.input(2), &earlier, &inputs);
+            }
+            Kind::Merge(n) | Kind::AddN(n) => {
+                for p in 0..*n {
+                    wire_val(&mut net, &mut rng, h.input(p), &earlier, &inputs);
+                }
+            }
+            // Delayed data inputs may read any value node — feedback included.
+            Kind::Delay(_) | Kind::UnitDelay(_) => {
+                wire_val(&mut net, &mut rng, h.input(0), &all_vals, &inputs);
+            }
+        }
+    }
+
+    // Probe a handful of value nodes plus every external input, so the
+    // compared traces actually observe the network.
+    for (j, h) in all_vals.iter().enumerate().take(6) {
+        net.expose_output(format!("p{j}"), h.output(0)).unwrap();
+    }
+    for (j, inp) in inputs.iter().enumerate() {
+        net.probe_input(format!("pi{j}"), *inp).unwrap();
+    }
+    net
+}
+
+/// Deterministic stimulus varied by `salt` (distinct salts give distinct
+/// streams for the same spec — the per-lane scenarios of a batch): present
+/// floats with a 25% absence rate.
+pub fn stimulus_salted(spec: Spec, ticks: usize, salt: u64) -> Vec<Vec<Message>> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15 ^ salt);
+    (0..ticks)
+        .map(|_| {
+            (0..spec.n_inputs)
+                .map(|_| {
+                    if rng.gen_bool(0.25) {
+                        Message::Absent
+                    } else {
+                        Message::present(Value::Float(rng.gen_range(-100.0..100.0)))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Deterministic stimulus: present floats with a 25% absence rate.
+pub fn stimulus(spec: Spec, ticks: usize) -> Vec<Vec<Message>> {
+    stimulus_salted(spec, ticks, 0)
+}

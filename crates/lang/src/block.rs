@@ -6,12 +6,14 @@
 //! (paper, Sec. 3.2), and the way "adequate block libraries for
 //! discrete-time computations" are populated.
 
+use std::sync::Arc;
+
 use automode_kernel::ops::Block;
 use automode_kernel::{KernelError, Message, Tick};
 
 use crate::ast::Expr;
 use crate::error::LangError;
-use crate::eval::Env;
+use crate::eval::SliceScope;
 use crate::parser::parse;
 
 /// A stateless block whose single output is computed by a base-language
@@ -35,9 +37,12 @@ use crate::parser::parse;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ExprBlock {
-    name: String,
-    inputs: Vec<String>,
-    expr: Expr,
+    // Every field is shared and immutable: cloning an `ExprBlock` (per-lane
+    // replication in batched execution, `ReadyNetwork::clone`) is three
+    // refcount bumps — no string or expression copies.
+    name: Arc<str>,
+    inputs: Arc<[String]>,
+    expr: Arc<Expr>,
 }
 
 impl ExprBlock {
@@ -46,9 +51,9 @@ impl ExprBlock {
     pub fn new(name: impl Into<String>, expr: Expr) -> Self {
         let inputs = expr.free_idents();
         ExprBlock {
-            name: name.into(),
-            inputs,
-            expr,
+            name: name.into().into(),
+            inputs: inputs.into(),
+            expr: Arc::new(expr),
         }
     }
 
@@ -60,9 +65,9 @@ impl ExprBlock {
         expr: Expr,
     ) -> Self {
         ExprBlock {
-            name: name.into(),
+            name: name.into().into(),
             inputs: inputs.into_iter().map(Into::into).collect(),
-            expr,
+            expr: Arc::new(expr),
         }
     }
 
@@ -99,16 +104,33 @@ impl Block for ExprBlock {
         1
     }
 
-    fn step(&mut self, _t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
-        let mut env = Env::new();
-        for (name, msg) in self.inputs.iter().zip(inputs) {
-            env.bind(name.clone(), msg.clone());
-        }
-        let out = self.expr.eval(&env).map_err(|e| KernelError::Block {
-            block: self.name.clone(),
+    fn step(&mut self, t: Tick, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
+        let mut out = vec![Message::Absent; 1];
+        self.step_into(t, inputs, &mut out)?;
+        Ok(out)
+    }
+
+    fn step_into(
+        &mut self,
+        _t: Tick,
+        inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
+        // Evaluate straight over the input slice — no map, no allocation.
+        let scope = SliceScope::new(&self.inputs, inputs);
+        out[0] = self.expr.eval_in(&scope).map_err(|e| KernelError::Block {
+            block: self.name.to_string(),
             message: e.to_string(),
         })?;
-        Ok(vec![out])
+        Ok(())
+    }
+
+    fn needs_commit(&self) -> bool {
+        false
+    }
+
+    fn clone_block(&self) -> Box<dyn Block + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 

@@ -43,6 +43,48 @@ impl Env {
     }
 }
 
+/// Identifier resolution during evaluation.
+///
+/// [`Env`] is the general map-backed scope; [`SliceScope`] resolves over
+/// two parallel slices without building a map — the zero-allocation path
+/// blocks use on every tick.
+pub trait Scope {
+    /// Resolves an identifier to its message, if bound.
+    fn get(&self, name: &str) -> Option<&Message>;
+}
+
+impl Scope for Env {
+    fn get(&self, name: &str) -> Option<&Message> {
+        self.lookup(name)
+    }
+}
+
+/// A scope over parallel name/message slices. Lookup is a linear scan —
+/// faster than any map for the handful of ports a block has, and free to
+/// construct.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceScope<'a> {
+    names: &'a [String],
+    msgs: &'a [Message],
+}
+
+impl<'a> SliceScope<'a> {
+    /// Pairs `names[i]` with `msgs[i]`; surplus elements on either side are
+    /// simply unbound.
+    pub fn new(names: &'a [String], msgs: &'a [Message]) -> Self {
+        SliceScope { names, msgs }
+    }
+}
+
+impl Scope for SliceScope<'_> {
+    fn get(&self, name: &str) -> Option<&Message> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .and_then(|i| self.msgs.get(i))
+    }
+}
+
 impl FromIterator<(String, Message)> for Env {
     fn from_iter<I: IntoIterator<Item = (String, Message)>>(iter: I) -> Self {
         Env {
@@ -59,44 +101,54 @@ impl Expr {
     /// Returns [`LangError::Unbound`] for identifiers missing from `env`,
     /// and dynamic type/arithmetic errors from the kernel.
     pub fn eval(&self, env: &Env) -> Result<Message, LangError> {
+        self.eval_in(env)
+    }
+
+    /// Evaluates the expression under any [`Scope`] — monomorphized per
+    /// scope type, so slice-backed scopes pay no dispatch or allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Expr::eval`].
+    pub fn eval_in<S: Scope>(&self, scope: &S) -> Result<Message, LangError> {
         match self {
             Expr::Lit(v) => Ok(Message::Present(v.clone())),
-            Expr::Ident(n) => env
-                .lookup(n)
+            Expr::Ident(n) => scope
+                .get(n)
                 .cloned()
                 .ok_or_else(|| LangError::Unbound(n.clone())),
             Expr::Present(e) => {
-                let m = e.eval(env)?;
+                let m = e.eval_in(scope)?;
                 Ok(Message::present(m.is_present()))
             }
             Expr::OrElse(a, b) => {
-                let ma = a.eval(env)?;
+                let ma = a.eval_in(scope)?;
                 if ma.is_present() {
                     Ok(ma)
                 } else {
-                    b.eval(env)
+                    b.eval_in(scope)
                 }
             }
             Expr::Unary(op, e) => {
-                let m = e.eval(env)?;
+                let m = e.eval_in(scope)?;
                 match m.value() {
                     Some(v) => Ok(Message::Present(apply_unop("expr", *op, v)?)),
                     None => Ok(Message::Absent),
                 }
             }
             Expr::Binary(op, a, b) => {
-                let ma = a.eval(env)?;
-                let mb = b.eval(env)?;
+                let ma = a.eval_in(scope)?;
+                let mb = b.eval_in(scope)?;
                 match (ma.value(), mb.value()) {
                     (Some(x), Some(y)) => Ok(Message::Present(apply_binop("expr", *op, x, y)?)),
                     _ => Ok(Message::Absent),
                 }
             }
             Expr::If(c, t, e) => {
-                let mc = c.eval(env)?;
+                let mc = c.eval_in(scope)?;
                 match mc.value() {
-                    Some(Value::Bool(true)) => t.eval(env),
-                    Some(Value::Bool(false)) => e.eval(env),
+                    Some(Value::Bool(true)) => t.eval_in(scope),
+                    Some(Value::Bool(false)) => e.eval_in(scope),
                     Some(v) => Err(LangError::Type(format!(
                         "`if` condition evaluated to {} `{v}`",
                         v.type_name()
@@ -107,7 +159,7 @@ impl Expr {
             Expr::Call(name, args) => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
-                    match a.eval(env)?.into_value() {
+                    match a.eval_in(scope)?.into_value() {
                         Some(v) => vals.push(v),
                         None => return Ok(Message::Absent),
                     }

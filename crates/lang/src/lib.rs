@@ -50,6 +50,6 @@ pub mod ty;
 pub use ast::Expr;
 pub use block::ExprBlock;
 pub use error::LangError;
-pub use eval::Env;
+pub use eval::{Env, Scope, SliceScope};
 pub use parser::parse;
 pub use ty::{check, Type, TypeEnv};

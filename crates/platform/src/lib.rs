@@ -35,6 +35,6 @@ pub mod ta;
 pub use can::{BusSim, CanBusConfig, CanFrame};
 pub use comm_matrix::{CommMatrix, FrameDef, SignalDef};
 pub use error::PlatformError;
-pub use loose_sync::{LooseSyncConfig, LooseSyncOutcome};
+pub use loose_sync::{required_depth, simulate_depths, LooseSyncConfig, LooseSyncOutcome};
 pub use osek::{IpcRegime, OsekSim, SimOutcome};
 pub use ta::{Ecu, Runnable, Task, TechnicalArchitecture};

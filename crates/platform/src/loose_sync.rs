@@ -159,9 +159,75 @@ pub fn simulate(
     })
 }
 
+/// Simulates every depth in `depths` over the same horizon and seed in a
+/// single pass, returning one outcome per depth in input order.
+///
+/// The latency drawn for a tick is a property of the bus, not of the delay
+/// depth, so all depths share the per-tick draw; each depth then only
+/// shifts the consumption instant. This lane-major sweep therefore costs
+/// one RNG stream and one pass over the horizon instead of
+/// `depths.len()` full simulations, while producing outcomes identical to
+/// calling [`simulate`] once per depth (same seed, same draws).
+///
+/// # Errors
+///
+/// Returns configuration errors.
+pub fn simulate_depths(
+    config: &LooseSyncConfig,
+    depths: &[u32],
+    horizon_ticks: u64,
+    seed: u64,
+) -> Result<Vec<LooseSyncOutcome>, PlatformError> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tp = config.local_period(config.producer_drift_ppm);
+    let tc = config.local_period(config.consumer_drift_ppm);
+
+    let mut misses = vec![0u64; depths.len()];
+    let mut worst = vec![i64::MAX; depths.len()];
+    for k in 0..horizon_ticks {
+        let completion = (k + 1) as f64 * tp;
+        let latency = if config.latency_max_us == config.latency_min_us {
+            config.latency_min_us
+        } else {
+            rng.gen_range(config.latency_min_us..=config.latency_max_us)
+        };
+        let arrival = completion + latency as f64;
+        let (base, local_k) = match k.checked_div(config.resync_interval_ticks) {
+            Some(r) => {
+                let anchor = r * config.resync_interval_ticks;
+                (anchor as f64 * tp, k - anchor)
+            }
+            None => (0.0, k),
+        };
+        // Same association order as `simulate`, so each lane's floats are
+        // bitwise-identical to a standalone run at that depth.
+        let pre = base + config.consumer_offset_us as f64;
+        for (lane, &d) in depths.iter().enumerate() {
+            let consumption = pre + (local_k + d as u64) as f64 * tc;
+            let slack = (consumption - arrival) as i64;
+            worst[lane] = worst[lane].min(slack);
+            if slack < 0 {
+                misses[lane] += 1;
+            }
+        }
+    }
+    Ok(depths
+        .iter()
+        .enumerate()
+        .map(|(lane, _)| LooseSyncOutcome {
+            ticks: horizon_ticks,
+            misses: misses[lane],
+            worst_slack_us: if horizon_ticks == 0 { 0 } else { worst[lane] },
+        })
+        .collect())
+}
+
 /// The minimal delay depth (searched in `0..=max_depth`) preserving the
 /// clocked semantics over the horizon, or `None` if even `max_depth` does
 /// not suffice.
+///
+/// All candidate depths are evaluated in one [`simulate_depths`] pass.
 ///
 /// # Errors
 ///
@@ -172,12 +238,12 @@ pub fn required_depth(
     horizon_ticks: u64,
     seed: u64,
 ) -> Result<Option<u32>, PlatformError> {
-    for d in 0..=max_depth {
-        if simulate(config, d, horizon_ticks, seed)?.semantics_preserved() {
-            return Ok(Some(d));
-        }
-    }
-    Ok(None)
+    let depths: Vec<u32> = (0..=max_depth).collect();
+    let outcomes = simulate_depths(config, &depths, horizon_ticks, seed)?;
+    Ok(outcomes
+        .iter()
+        .position(LooseSyncOutcome::semantics_preserved)
+        .map(|i| depths[i]))
 }
 
 #[cfg(test)]
@@ -277,6 +343,76 @@ mod tests {
         let a = simulate(&cfg, 1, 10_000, 7).unwrap();
         let b = simulate(&cfg, 1, 10_000, 7).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn depth_sweep_matches_individual_simulations() {
+        // One lane-major pass over shared latency draws must reproduce the
+        // standalone runs exactly — including worst slack, which exercises
+        // the float association order.
+        let configs = [
+            LooseSyncConfig::typical_can(),
+            LooseSyncConfig {
+                producer_drift_ppm: 500,
+                consumer_drift_ppm: -500,
+                resync_interval_ticks: 0,
+                consumer_offset_us: 750,
+                ..LooseSyncConfig::typical_can()
+            },
+            LooseSyncConfig {
+                latency_min_us: 300,
+                latency_max_us: 300, // deterministic-latency branch
+                ..LooseSyncConfig::typical_can()
+            },
+        ];
+        let depths = [0u32, 1, 2, 5, 3]; // unordered + sparse on purpose
+        for (i, cfg) in configs.iter().enumerate() {
+            let swept = simulate_depths(cfg, &depths, 20_000, 40 + i as u64).unwrap();
+            for (lane, &d) in depths.iter().enumerate() {
+                let single = simulate(cfg, d, 20_000, 40 + i as u64).unwrap();
+                assert_eq!(swept[lane], single, "config {i}, depth {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_sweep_edge_cases() {
+        let cfg = LooseSyncConfig::typical_can();
+        assert!(simulate_depths(&cfg, &[], 1_000, 9).unwrap().is_empty());
+        let zero_horizon = simulate_depths(&cfg, &[0, 3], 0, 9).unwrap();
+        for (lane, &d) in [0u32, 3].iter().enumerate() {
+            assert_eq!(zero_horizon[lane], simulate(&cfg, d, 0, 9).unwrap());
+        }
+        let bad = LooseSyncConfig {
+            period_us: 0,
+            ..LooseSyncConfig::typical_can()
+        };
+        assert!(simulate_depths(&bad, &[1], 10, 0).is_err());
+    }
+
+    #[test]
+    fn required_depth_matches_linear_search() {
+        // `required_depth` now rides the sweep; pin it to the definitional
+        // per-depth linear scan.
+        let configs = [
+            LooseSyncConfig::typical_can(),
+            LooseSyncConfig {
+                latency_min_us: 8_000,
+                latency_max_us: 18_000,
+                ..LooseSyncConfig::typical_can()
+            },
+        ];
+        for cfg in &configs {
+            let swept = required_depth(cfg, 8, 10_000, 11).unwrap();
+            let mut linear = None;
+            for d in 0..=8 {
+                if simulate(cfg, d, 10_000, 11).unwrap().semantics_preserved() {
+                    linear = Some(d);
+                    break;
+                }
+            }
+            assert_eq!(swept, linear);
+        }
     }
 
     #[test]

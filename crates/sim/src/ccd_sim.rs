@@ -27,6 +27,7 @@ use crate::error::SimError;
 
 /// A cluster as a rate-gated block: the wrapped component network steps
 /// only at the cluster clock's active ticks.
+#[derive(Clone)]
 struct ClusterBlock {
     name: String,
     clock: Clock,
@@ -73,8 +74,14 @@ impl Block for ClusterBlock {
         out.clone_from_slice(observed);
         Ok(())
     }
+    fn needs_commit(&self) -> bool {
+        false
+    }
     fn reset(&mut self) {
         self.inner.reset();
+    }
+    fn clone_block(&self) -> Box<dyn Block + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 

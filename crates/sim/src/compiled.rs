@@ -1,0 +1,301 @@
+//! A reusable compiled simulation handle.
+//!
+//! Every [`simulate_component`](crate::simulate_component) call elaborates
+//! the model, runs the causality check, and compiles the execution plan —
+//! then throws all three away. The paper's methodology leans on *repeated*
+//! simulation of one model against many stimuli (drive-cycle sweeps,
+//! flag-space sampling, differential test suites), so [`CompiledSim`] does
+//! that work exactly once and amortizes it across every subsequent
+//! [`CompiledSim::run`] / [`CompiledSim::run_batch`] call — the same shape
+//! as batched inference amortizing weights across a request batch.
+
+use std::collections::HashMap;
+
+use automode_core::model::{ComponentId, Model};
+use automode_kernel::network::rows_padded_with_absence;
+use automode_kernel::Stream;
+
+use crate::elaborate::elaborate;
+use crate::error::SimError;
+use crate::simulate::SimRun;
+
+/// One lane of a batched simulation: named input streams plus a tick count.
+///
+/// Streams shorter than `ticks` are padded with absence, exactly like
+/// [`simulate_component`](crate::simulate_component).
+#[derive(Debug, Clone)]
+pub struct BatchScenario<'a> {
+    /// Named input streams driving this lane.
+    pub inputs: &'a [(&'a str, Stream)],
+    /// Number of ticks to execute for this lane.
+    pub ticks: usize,
+}
+
+/// A component compiled for repeated simulation.
+///
+/// [`CompiledSim::new`] elaborates the component, runs the causality check,
+/// and compiles the plan exactly once. [`CompiledSim::run`] then replays
+/// scenarios from the initial state with none of that per-call cost, and
+/// [`CompiledSim::run_batch`] runs many scenarios per schedule pass through
+/// the kernel's lane-major batch executor
+/// ([`ReadyNetwork::run_batch`](automode_kernel::ReadyNetwork::run_batch)).
+#[derive(Debug, Clone)]
+pub struct CompiledSim {
+    ready: automode_kernel::ReadyNetwork,
+    /// Declared input names, in port order.
+    input_names: Vec<String>,
+    /// Input name -> port index; the single-pass stimulus validator.
+    input_index: HashMap<String, usize>,
+}
+
+impl CompiledSim {
+    /// Elaborates and compiles `component` for repeated simulation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on elaboration or causality errors.
+    pub fn new(model: &Model, component: ComponentId) -> Result<CompiledSim, SimError> {
+        let comp = model.component(component);
+        let input_names: Vec<String> = comp.inputs().map(|p| p.name.clone()).collect();
+        let input_index = input_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let ready = elaborate(model, component)?.prepare()?;
+        Ok(CompiledSim {
+            ready,
+            input_names,
+            input_index,
+        })
+    }
+
+    /// Compiles the model's root component.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no root is set, plus the conditions of [`CompiledSim::new`].
+    pub fn new_root(model: &Model) -> Result<CompiledSim, SimError> {
+        let root = model
+            .root()
+            .ok_or_else(|| SimError::Unsupported("model has no root component".to_string()))?;
+        CompiledSim::new(model, root)
+    }
+
+    /// The compiled component's input port names, in port order.
+    pub fn input_names(&self) -> impl Iterator<Item = &str> {
+        self.input_names.iter().map(String::as_str)
+    }
+
+    /// Enables lane/level-parallel stepping (see
+    /// [`ReadyNetwork::enable_parallel`](automode_kernel::ReadyNetwork::enable_parallel)).
+    pub fn enable_parallel(&mut self, min_width: usize) {
+        self.ready.enable_parallel(min_width);
+    }
+
+    /// Restores sequential stepping.
+    pub fn disable_parallel(&mut self) {
+        self.ready.disable_parallel();
+    }
+
+    /// Overrides the parallel worker count (see
+    /// [`ReadyNetwork::set_parallel_workers`](automode_kernel::ReadyNetwork::set_parallel_workers)).
+    pub fn set_parallel_workers(&mut self, workers: Option<usize>) {
+        self.ready.set_parallel_workers(workers);
+    }
+
+    /// Resets the compiled network to its initial state.
+    ///
+    /// [`CompiledSim::run`] already starts every run from the initial state;
+    /// this only matters after direct incremental stepping through
+    /// [`CompiledSim::ready_mut`].
+    pub fn reset(&mut self) {
+        self.ready.reset();
+    }
+
+    /// The underlying compiled network, for incremental stepping.
+    pub fn ready_mut(&mut self) -> &mut automode_kernel::ReadyNetwork {
+        &mut self.ready
+    }
+
+    /// Resolves named streams to port order in one pass over `inputs`.
+    ///
+    /// Rejects names matching no input port ([`SimError::UnknownInput`]),
+    /// names driven twice ([`SimError::DuplicateInput`]), and undriven ports
+    /// ([`SimError::MissingInput`]).
+    fn ordered<'a>(&self, inputs: &'a [(&str, Stream)]) -> Result<Vec<&'a Stream>, SimError> {
+        let mut by_port: Vec<Option<&'a Stream>> = vec![None; self.input_names.len()];
+        for (name, stream) in inputs {
+            let i = *self
+                .input_index
+                .get(*name)
+                .ok_or_else(|| SimError::UnknownInput((*name).to_string()))?;
+            if by_port[i].is_some() {
+                return Err(SimError::DuplicateInput((*name).to_string()));
+            }
+            by_port[i] = Some(stream);
+        }
+        by_port
+            .iter()
+            .zip(&self.input_names)
+            .map(|(s, n)| s.ok_or_else(|| SimError::MissingInput(n.clone())))
+            .collect()
+    }
+
+    /// Attaches the `in:` echo streams recorded by every simulator run.
+    fn echo_inputs(trace: &mut automode_kernel::Trace, inputs: &[(&str, Stream)], ticks: usize) {
+        for (name, stream) in inputs {
+            trace.insert(format!("in:{name}"), stream.clipped(ticks));
+        }
+    }
+
+    /// Runs one scenario from the initial state.
+    ///
+    /// Semantically identical to
+    /// [`simulate_component`](crate::simulate_component) on the same
+    /// component, without the per-call elaboration and causality cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stimulus naming errors or execution errors.
+    pub fn run(&mut self, inputs: &[(&str, Stream)], ticks: usize) -> Result<SimRun, SimError> {
+        let ordered = self.ordered(inputs)?;
+        let stim = rows_padded_with_absence(&ordered, ticks);
+        self.ready.reset();
+        let mut trace = self.ready.run(&stim)?;
+        Self::echo_inputs(&mut trace, inputs, ticks);
+        Ok(SimRun { trace, ticks })
+    }
+
+    /// Runs every scenario as one lane of a batched execution, returning one
+    /// [`SimRun`] per scenario — trace-identical to calling
+    /// [`CompiledSim::run`] per scenario, but stepping all lanes in one pass
+    /// over the compiled plan.
+    ///
+    /// Lane state is replicated internally, so this takes `&self` and leaves
+    /// any incremental stepping state untouched.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stimulus naming errors or execution errors.
+    pub fn run_batch(&self, scenarios: &[BatchScenario<'_>]) -> Result<Vec<SimRun>, SimError> {
+        let mut stimuli = Vec::with_capacity(scenarios.len());
+        for sc in scenarios {
+            let ordered = self.ordered(sc.inputs)?;
+            stimuli.push(rows_padded_with_absence(&ordered, sc.ticks));
+        }
+        let traces = self.ready.run_batch(&stimuli)?;
+        Ok(traces
+            .into_iter()
+            .zip(scenarios)
+            .map(|(mut trace, sc)| {
+                Self::echo_inputs(&mut trace, sc.inputs, sc.ticks);
+                SimRun {
+                    trace,
+                    ticks: sc.ticks,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::simulate_component;
+    use crate::stimulus;
+    use automode_core::model::{Behavior, Component};
+    use automode_core::types::DataType;
+    use automode_kernel::Value;
+    use automode_lang::parse;
+
+    fn gain_model() -> (Model, ComponentId) {
+        let mut m = Model::new("t");
+        let id = m
+            .add_component(
+                Component::new("Gain")
+                    .input("u", DataType::Float)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::expr("y", parse("u * 3.0").unwrap())),
+            )
+            .unwrap();
+        m.set_root(id);
+        (m, id)
+    }
+
+    #[test]
+    fn reused_handle_matches_fresh_simulation() {
+        let (m, id) = gain_model();
+        let mut sim = CompiledSim::new(&m, id).unwrap();
+        for seed in 0..4u64 {
+            let s = stimulus::seeded_random(-1.0, 1.0, 16, seed);
+            let reused = sim.run(&[("u", s.clone())], 16).unwrap();
+            let fresh = simulate_component(&m, id, &[("u", s)], 16).unwrap();
+            assert_eq!(reused, fresh, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_per_scenario_runs() {
+        let (m, id) = gain_model();
+        let mut sim = CompiledSim::new(&m, id).unwrap();
+        let streams: Vec<Stream> = (0..5u64)
+            .map(|seed| stimulus::seeded_random(-2.0, 2.0, 12, seed))
+            .collect();
+        let inputs: Vec<[(&str, Stream); 1]> = streams.iter().map(|s| [("u", s.clone())]).collect();
+        let scenarios: Vec<BatchScenario<'_>> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, inp)| BatchScenario {
+                inputs: inp.as_slice(),
+                ticks: 8 + i, // heterogeneous lengths
+            })
+            .collect();
+        let batch = sim.run_batch(&scenarios).unwrap();
+        for (i, sc) in scenarios.iter().enumerate() {
+            let single = sim.run(sc.inputs, sc.ticks).unwrap();
+            assert_eq!(batch[i], single, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn unknown_stimulus_name_is_rejected() {
+        let (m, id) = gain_model();
+        let mut sim = CompiledSim::new(&m, id).unwrap();
+        let err = sim
+            .run(
+                &[
+                    ("u", stimulus::constant(Value::Float(1.0), 2)),
+                    ("typo", stimulus::constant(Value::Float(1.0), 2)),
+                ],
+                2,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownInput(n) if n == "typo"));
+    }
+
+    #[test]
+    fn duplicate_stimulus_name_is_rejected() {
+        let (m, id) = gain_model();
+        let mut sim = CompiledSim::new(&m, id).unwrap();
+        let err = sim
+            .run(
+                &[
+                    ("u", stimulus::constant(Value::Float(1.0), 2)),
+                    ("u", stimulus::constant(Value::Float(2.0), 2)),
+                ],
+                2,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::DuplicateInput(n) if n == "u"));
+    }
+
+    #[test]
+    fn new_root_requires_a_root() {
+        let m = Model::new("empty");
+        assert!(matches!(
+            CompiledSim::new_root(&m),
+            Err(SimError::Unsupported(_))
+        ));
+    }
+}

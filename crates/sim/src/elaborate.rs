@@ -7,7 +7,7 @@ use automode_core::CoreError;
 use automode_kernel::network::{Network, PortRef};
 use automode_kernel::ops::{self, Block, PureFn};
 use automode_kernel::{Clock, KernelError, Message, Tick, Value};
-use automode_lang::{Env, Expr, ExprBlock};
+use automode_lang::{Env, Expr, ExprBlock, SliceScope};
 
 use crate::error::SimError;
 
@@ -130,7 +130,7 @@ fn build_instance(
             let mut mode_names = Vec::with_capacity(mtd.modes.len());
             for mode in &mtd.modes {
                 let sub = elaborate(model, mode.behavior)?;
-                subnets.push(sub.prepare()?);
+                subnets.push(std::sync::Arc::new(sub.prepare()?));
                 mode_names.push(mode.name.clone());
             }
             let mut triggers: Vec<Vec<(usize, Expr)>> = vec![Vec::new(); mtd.modes.len()];
@@ -150,13 +150,14 @@ fn build_instance(
                 })
                 .collect();
             let h = net.add_block(MtdBlock {
-                name: format!("mtd:{path}"),
-                input_names: input_names.clone(),
-                output_names: output_names.clone(),
-                mode_names,
+                name: format!("mtd:{path}").into(),
+                input_names: input_names.clone().into(),
+                output_names: output_names.clone().into(),
+                mode_names: mode_names.into(),
+                pristine: subnets.clone(),
                 subnets,
-                out_cols,
-                triggers,
+                out_cols: out_cols.into(),
+                triggers: triggers.into(),
                 initial: mtd.initial,
                 current: mtd.initial,
             });
@@ -170,10 +171,10 @@ fn build_instance(
         Behavior::Std(fsm) => {
             fsm.validate(model, cid)?;
             let h = net.add_block(StdBlock {
-                name: format!("std:{path}"),
-                input_names: input_names.clone(),
-                output_names: output_names.clone(),
-                machine: fsm.clone(),
+                name: format!("std:{path}").into(),
+                input_names: input_names.clone().into(),
+                output_names: output_names.clone().into(),
+                machine: std::sync::Arc::new(fsm.clone()),
                 state: fsm.initial,
                 vars: fsm.vars.iter().cloned().collect(),
             });
@@ -229,17 +230,31 @@ fn build_instance(
 /// The MTD interpreter block: one elaborated sub-network per mode; only the
 /// active mode steps; transitions are evaluated over the current inputs and
 /// take effect at the next tick (see `automode_core::mtd` docs).
+///
+/// Mode subnetworks are held copy-on-write: cloning an `MtdBlock` (per-lane
+/// replication in batched execution) and [`Block::reset`] are O(modes)
+/// reference bumps, and each clone deep-copies only the modes it actually
+/// steps — a lane sweeping one operating region never pays for the others.
+#[derive(Clone)]
 struct MtdBlock {
-    name: String,
-    input_names: Vec<String>,
-    output_names: Vec<String>,
-    mode_names: Vec<String>,
-    subnets: Vec<automode_kernel::network::ReadyNetwork>,
+    // All descriptor fields are shared and immutable after elaboration, so
+    // replicating an `MtdBlock` is a handful of refcount bumps; only
+    // `current` and the copy-on-write `subnets` carry per-replica state.
+    name: std::sync::Arc<str>,
+    input_names: std::sync::Arc<[String]>,
+    output_names: std::sync::Arc<[String]>,
+    mode_names: std::sync::Arc<[String]>,
+    /// Working per-mode subnetworks; materialized from `pristine` on first
+    /// step of a mode.
+    subnets: Vec<std::sync::Arc<automode_kernel::network::ReadyNetwork>>,
+    /// Never-stepped per-mode subnetworks in their initial state; `reset`
+    /// restores these by reference.
+    pristine: Vec<std::sync::Arc<automode_kernel::network::ReadyNetwork>>,
     /// Per mode: the probe column of each declared output in the subnet's
     /// observed row (`None` -> output is absent in that mode).
-    out_cols: Vec<Vec<Option<usize>>>,
+    out_cols: std::sync::Arc<[Vec<Option<usize>>]>,
     /// Per mode: (target, trigger) in priority order.
-    triggers: Vec<Vec<(usize, Expr)>>,
+    triggers: std::sync::Arc<[Vec<(usize, Expr)>]>,
     initial: usize,
     current: usize,
 }
@@ -278,17 +293,12 @@ impl Block for MtdBlock {
         // switching): the mode that produces this tick's outputs is the one
         // reached after the triggers fired — exactly the branch-selection
         // semantics of the If-Then-Else cascades MTDs make explicit.
-        let env: Env = self
-            .input_names
-            .iter()
-            .zip(inputs)
-            .map(|(n, m)| (n.clone(), m.clone()))
-            .collect();
+        let scope = SliceScope::new(&self.input_names, inputs);
         for (target, trigger) in &self.triggers[self.current] {
             let fired = trigger
-                .eval(&env)
+                .eval_in(&scope)
                 .map_err(|e| KernelError::Block {
-                    block: self.name.clone(),
+                    block: self.name.to_string(),
                     message: e.to_string(),
                 })?
                 .value()
@@ -299,29 +309,37 @@ impl Block for MtdBlock {
                 break;
             }
         }
-        let observed = self.subnets[self.current].step_tick_observed(inputs)?;
+        let observed =
+            std::sync::Arc::make_mut(&mut self.subnets[self.current]).step_tick_observed(inputs)?;
         let outputs: Vec<Message> = self.out_cols[self.current]
             .iter()
             .map(|col| col.map_or(Message::Absent, |j| observed[j].clone()))
             .collect();
         Ok(outputs)
     }
+    fn needs_commit(&self) -> bool {
+        false
+    }
     fn reset(&mut self) {
         self.current = self.initial;
-        for s in &mut self.subnets {
-            s.reset();
-        }
+        self.subnets.clone_from(&self.pristine);
+    }
+    fn clone_block(&self) -> Box<dyn Block + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 
 /// The STD interpreter block: a flat extended state machine with local
 /// variables; the highest-priority enabled transition fires, executing its
 /// actions against the pre-state environment.
+#[derive(Clone)]
 struct StdBlock {
-    name: String,
-    input_names: Vec<String>,
-    output_names: Vec<String>,
-    machine: automode_core::std_machine::StdMachine,
+    // Shared descriptors (see `MtdBlock`): only `state` and `vars` are
+    // per-replica.
+    name: std::sync::Arc<str>,
+    input_names: std::sync::Arc<[String]>,
+    output_names: std::sync::Arc<[String]>,
+    machine: std::sync::Arc<automode_core::std_machine::StdMachine>,
     state: usize,
     vars: BTreeMap<String, Value>,
 }
@@ -397,9 +415,15 @@ impl Block for StdBlock {
         }
         Ok(outputs)
     }
+    fn needs_commit(&self) -> bool {
+        false
+    }
     fn reset(&mut self) {
         self.state = self.machine.initial;
         self.vars = self.machine.vars.iter().cloned().collect();
+    }
+    fn clone_block(&self) -> Box<dyn Block + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 

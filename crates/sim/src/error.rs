@@ -19,6 +19,11 @@ pub enum SimError {
     Lang(LangError),
     /// The stimulus did not cover a declared input.
     MissingInput(String),
+    /// The stimulus drives a name that matches no declared input — almost
+    /// always a typo that would otherwise silently hide a wiring bug.
+    UnknownInput(String),
+    /// The stimulus drives the same input twice.
+    DuplicateInput(String),
     /// Elaboration hit an unsupported construct.
     Unsupported(String),
 }
@@ -30,6 +35,10 @@ impl fmt::Display for SimError {
             SimError::Kernel(e) => write!(f, "{e}"),
             SimError::Lang(e) => write!(f, "{e}"),
             SimError::MissingInput(n) => write!(f, "stimulus does not drive input `{n}`"),
+            SimError::UnknownInput(n) => {
+                write!(f, "stimulus drives `{n}`, which matches no input port")
+            }
+            SimError::DuplicateInput(n) => write!(f, "stimulus drives input `{n}` more than once"),
             SimError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }

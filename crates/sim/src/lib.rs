@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod ccd_sim;
+pub mod compiled;
 pub mod elaborate;
 pub mod error;
 pub mod simulate;
 pub mod stimulus;
 
 pub use ccd_sim::elaborate_ccd;
+pub use compiled::{BatchScenario, CompiledSim};
 pub use elaborate::elaborate;
 pub use error::SimError;
 pub use simulate::{simulate, simulate_component, SimRun};

@@ -1,9 +1,9 @@
 //! High-level simulation API.
 
 use automode_core::model::{ComponentId, Model};
-use automode_kernel::{Message, Stream, Trace};
+use automode_kernel::{Stream, Trace};
 
-use crate::elaborate::elaborate;
+use crate::compiled::CompiledSim;
 use crate::error::SimError;
 
 /// The result of one simulation run.
@@ -19,8 +19,14 @@ pub struct SimRun {
 /// Simulates a component against named input streams for `ticks` ticks,
 /// recording all outputs and the driven inputs.
 ///
-/// Inputs not covered by `inputs` are an error — partial stimuli hide
-/// wiring bugs. Streams shorter than `ticks` are padded with absence.
+/// Inputs not covered by `inputs` are an error, and so are stimulus names
+/// matching no input port or driving a port twice — partial and misspelled
+/// stimuli hide wiring bugs. Streams shorter than `ticks` are padded with
+/// absence.
+///
+/// This is the one-shot convenience over [`CompiledSim`]; when simulating
+/// the same component repeatedly, build a [`CompiledSim`] once and call
+/// [`CompiledSim::run`] or [`CompiledSim::run_batch`] instead.
 ///
 /// ```
 /// use automode_core::model::{Behavior, Component, Model};
@@ -57,26 +63,7 @@ pub fn simulate_component(
     inputs: &[(&str, Stream)],
     ticks: usize,
 ) -> Result<SimRun, SimError> {
-    let comp = model.component(component);
-    let mut ordered: Vec<&Stream> = Vec::new();
-    for p in comp.inputs() {
-        let stream = inputs
-            .iter()
-            .find(|(n, _)| *n == p.name)
-            .map(|(_, s)| s)
-            .ok_or_else(|| SimError::MissingInput(p.name.clone()))?;
-        ordered.push(stream);
-    }
-    let net = elaborate(model, component)?;
-    let stim = automode_kernel::network::rows_padded_with_absence(&ordered, ticks);
-    let mut trace = net.run(&stim)?;
-    for (name, stream) in inputs {
-        let clipped: Stream = (0..ticks)
-            .map(|t| stream.get(t).cloned().unwrap_or(Message::Absent))
-            .collect();
-        trace.insert(format!("in:{name}"), clipped);
-    }
-    Ok(SimRun { trace, ticks })
+    CompiledSim::new(model, component)?.run(inputs, ticks)
 }
 
 /// Simulates the model's root component.
@@ -102,7 +89,7 @@ mod tests {
     use crate::stimulus;
     use automode_core::model::{Behavior, Component};
     use automode_core::types::DataType;
-    use automode_kernel::{TraceEquivalence, Value};
+    use automode_kernel::{Message, TraceEquivalence, Value};
     use automode_lang::parse;
 
     fn model() -> (Model, ComponentId) {
@@ -139,6 +126,41 @@ mod tests {
             simulate_component(&m, id, &[], 3),
             Err(SimError::MissingInput(n)) if n == "u"
         ));
+    }
+
+    #[test]
+    fn unknown_stimulus_name_is_an_error() {
+        // A typo'd name used to be silently ignored (so the real input was
+        // reported missing at best, or — with all ports driven — the typo'd
+        // stream was dropped without a sound).
+        let (m, id) = model();
+        let err = simulate_component(
+            &m,
+            id,
+            &[
+                ("u", stimulus::constant(Value::Float(1.0), 3)),
+                ("throtle", stimulus::constant(Value::Float(9.0), 3)),
+            ],
+            3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::UnknownInput(n) if n == "throtle"));
+    }
+
+    #[test]
+    fn duplicate_stimulus_name_is_an_error() {
+        let (m, id) = model();
+        let err = simulate_component(
+            &m,
+            id,
+            &[
+                ("u", stimulus::constant(Value::Float(1.0), 3)),
+                ("u", stimulus::constant(Value::Float(2.0), 3)),
+            ],
+            3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::DuplicateInput(n) if n == "u"));
     }
 
     #[test]

@@ -8,16 +8,23 @@
 //! automode deploy
 //! ```
 
+use std::io::Write;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match automode::cli::run(&args) {
-        Ok(report) => {
-            print!("{report}");
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    match automode::cli::run_to(&args, &mut out) {
+        Ok(()) => {
+            if let Err(e) = out.flush() {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
+            let _ = out.flush();
             eprintln!("{e}");
             ExitCode::FAILURE
         }

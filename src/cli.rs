@@ -196,13 +196,18 @@ pub fn cmd_dot(model_name: &str) -> Result<String, CliError> {
     })
 }
 
-/// `automode vcd <model> [ticks]` — simulate and export the trace as a
-/// VCD waveform for GTKWave-style viewers.
+/// `automode vcd <model> [ticks]` — simulate and stream the trace as a VCD
+/// waveform for GTKWave-style viewers into `out`, without materializing the
+/// whole dump.
 ///
 /// # Errors
 ///
-/// Unknown model or simulation failure.
-pub fn cmd_vcd(model_name: &str, ticks: usize) -> Result<String, CliError> {
+/// Unknown model, simulation failure, or an I/O error on `out`.
+pub fn cmd_vcd_to<W: std::io::Write>(
+    model_name: &str,
+    ticks: usize,
+    out: &mut W,
+) -> Result<(), CliError> {
     let (m, id) = build_model(model_name)?;
     let inputs: Vec<(String, Stream)> = m
         .component(id)
@@ -214,7 +219,20 @@ pub fn cmd_vcd(model_name: &str, ticks: usize) -> Result<String, CliError> {
         .map(|(n, s)| (n.as_str(), s.clone()))
         .collect();
     let run = simulate_component(&m, id, &borrowed, ticks)?;
-    Ok(automode_kernel::vcd::to_vcd(&run.trace, model_name))
+    automode_kernel::vcd::write_vcd(&run.trace, model_name, out)
+        .map_err(|e| CliError(format!("vcd write failed: {e}")))
+}
+
+/// `automode vcd` rendered into a `String` — the buffered convenience over
+/// [`cmd_vcd_to`].
+///
+/// # Errors
+///
+/// Unknown model or simulation failure.
+pub fn cmd_vcd(model_name: &str, ticks: usize) -> Result<String, CliError> {
+    let mut buf = Vec::new();
+    cmd_vcd_to(model_name, ticks, &mut buf)?;
+    Ok(String::from_utf8(buf).expect("vcd output is ASCII"))
 }
 
 /// `automode export <model>` — serialize a built-in model to `.amdl` text.
@@ -390,6 +408,31 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("deploy") => cmd_deploy(),
         _ => Err(CliError(usage.into())),
     }
+}
+
+/// Top-level dispatch that streams output into `out` — the binary's entry
+/// point. `vcd` streams its waveform tick by tick ([`cmd_vcd_to`]); every
+/// other command builds its report via [`run`] and writes it out.
+///
+/// # Errors
+///
+/// Same conditions as [`run`], plus I/O errors on `out`.
+pub fn run_to<W: std::io::Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    if args.first().map(String::as_str) == Some("vcd") {
+        let model = args
+            .get(1)
+            .ok_or_else(|| CliError("usage: automode vcd <model> [ticks]".into()))?;
+        let ticks = args
+            .get(2)
+            .map(|s| s.parse::<usize>())
+            .transpose()
+            .map_err(|e| CliError(format!("bad tick count: {e}")))?
+            .unwrap_or(20);
+        return cmd_vcd_to(model, ticks, out);
+    }
+    let report = run(args)?;
+    out.write_all(report.as_bytes())
+        .map_err(|e| CliError(format!("write failed: {e}")))
 }
 
 #[cfg(test)]
