@@ -11,6 +11,7 @@
 
 use std::fmt;
 
+use crate::error::KernelError;
 use crate::Tick;
 
 /// A statically analyzable abstract clock.
@@ -59,7 +60,8 @@ impl Clock {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`; a clock must tick eventually.
+    /// Panics if `n == 0`; a clock must tick eventually. Use
+    /// [`Clock::try_every`] when the period comes from external model data.
     pub fn every(n: u32, phase: u32) -> Self {
         assert!(n > 0, "clock period must be positive");
         if n == 1 {
@@ -69,6 +71,22 @@ impl Clock {
                 n,
                 phase: phase % n,
             }
+        }
+    }
+
+    /// Fallible form of [`Clock::every`] for periods coming from model data
+    /// rather than code: a zero period is reported as
+    /// [`KernelError::InvalidClock`] instead of panicking, so loaders and
+    /// elaboration can surface bad models as ordinary errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidClock`] when `n == 0`.
+    pub fn try_every(n: u32, phase: u32) -> Result<Self, KernelError> {
+        if n == 0 {
+            Err(KernelError::InvalidClock { n })
+        } else {
+            Ok(Clock::every(n, phase))
         }
     }
 
@@ -220,6 +238,16 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_panics() {
         let _ = Clock::every(0, 0);
+    }
+
+    #[test]
+    fn try_every_reports_zero_period_as_error() {
+        assert_eq!(
+            Clock::try_every(0, 3),
+            Err(KernelError::InvalidClock { n: 0 })
+        );
+        assert_eq!(Clock::try_every(1, 0), Ok(Clock::Base));
+        assert_eq!(Clock::try_every(4, 6), Ok(Clock::Every { n: 4, phase: 2 }));
     }
 
     #[test]

@@ -82,6 +82,11 @@ pub enum KernelError {
         /// A human-readable message.
         message: String,
     },
+    /// A clock constructor received an invalid period.
+    InvalidClock {
+        /// The offending downsampling factor (must be `>= 1`).
+        n: u32,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -123,6 +128,9 @@ impl fmt::Display for KernelError {
                 write!(f, "division by zero in block `{block}`")
             }
             KernelError::Block { block, message } => write!(f, "block `{block}`: {message}"),
+            KernelError::InvalidClock { n } => {
+                write!(f, "invalid clock: period must be positive, got {n}")
+            }
         }
     }
 }

@@ -69,7 +69,7 @@ pub use causality::{CausalityError, CausalityReport, Schedule};
 pub use clock::Clock;
 pub use error::KernelError;
 pub use network::{BlockHandle, Network, NodeId, PortRef, ReadyNetwork, ReferenceExecutor};
-pub use ops::Block;
+pub use ops::{Block, ClockBehavior};
 pub use stream::Stream;
 pub use trace::{Trace, TraceEquivalence};
 pub use value::{Fixed, Message, Value};

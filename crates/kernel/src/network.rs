@@ -27,15 +27,30 @@
 //! In parallel mode the scoped-thread machinery chunks `(node, lane)` work
 //! items — lanes are independent, so batches parallelize even when the
 //! network itself is narrow.
+//!
+//! ## Clock-gated execution
+//!
+//! Multi-rate networks declare static clock structure through
+//! [`ClockBehavior`](crate::ops::ClockBehavior). [`Network::prepare`]
+//! compiles it into a [`GatedPlan`]: the hyperperiod (lcm of all declared
+//! periods), a per-phase activity mask per node, and per-phase level/commit
+//! lists with provably inert nodes removed. The executors then skip inert
+//! nodes entirely — no input gather, no virtual step, no commit — while a
+//! per-phase clear list keeps their arena slots absent, so observable
+//! semantics are tick-identical to the ungated schedule. A 100-period
+//! subsystem in a base-rate network costs its share of work on 1 tick in
+//! 100 instead of every tick.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::causality::{self, Schedule};
+use crate::clock::lcm;
 use crate::error::KernelError;
-use crate::ops::Block;
+use crate::ops::{Block, ClockBehavior};
 use crate::trace::Trace;
 use crate::value::Message;
-use crate::Tick;
+use crate::{Clock, Tick};
 
 /// Index of a node (block instance) within a network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -370,21 +385,24 @@ impl Network {
             });
         }
 
+        let commit_nodes: Vec<usize> = (0..n)
+            .filter(|&i| self.nodes[i].block.needs_commit())
+            .collect();
+        let gated = compile_gated_plan(&self.nodes, &schedule, &commit_nodes).map(Arc::new);
+
         let mut blocks: Vec<Box<dyn Block + Send + Sync>> = Vec::with_capacity(n);
         for node in self.nodes {
             let mut block = node.block;
             block.reset();
             blocks.push(block);
         }
-        let commit_nodes: Vec<usize> = (0..blocks.len())
-            .filter(|&i| blocks[i].needs_commit())
-            .collect();
 
         let observed = vec![Message::Absent; probe_slots.len()];
         Ok(ReadyNetwork {
             name: self.name,
             blocks,
             commit_nodes,
+            gated,
             n_inputs: self.input_names.len(),
             probe_names,
             probe_slots,
@@ -494,12 +512,282 @@ fn resolve_batch_slot(
     }
 }
 
+/// Upper bound on the hyperperiod a gated plan may cover; larger lcms of
+/// declared periods fall back to the ungated schedule.
+const MAX_HYPERPERIOD: u64 = 4096;
+/// Upper bound on `hyperperiod * node_count`, bounding plan memory.
+const MAX_PLAN_CELLS: u64 = 1 << 20;
+
+/// The compiled clock-gating plan: per-phase schedules over one hyperperiod.
+///
+/// Phase `p` describes ticks `t >= settle` with
+/// `(t - settle) % hyperperiod == p`. Ticks before `settle` — where clocks
+/// with unnormalized phase offsets may still be settling — run the full
+/// ungated schedule.
+#[derive(Debug)]
+struct GatedPlan {
+    /// Least common multiple of every declared clock period.
+    hyperperiod: u64,
+    /// First tick from which every declared clock is strictly periodic,
+    /// rounded up to a hyperperiod multiple.
+    settle: Tick,
+    /// `phase_levels[p]`: the levelized schedule with inert nodes removed
+    /// and emptied levels dropped.
+    phase_levels: Vec<Vec<Vec<usize>>>,
+    /// `phase_commits[p]`: the commit pass with inert nodes removed.
+    phase_commits: Vec<Vec<usize>>,
+    /// Nodes that go inert at phase `p` after being active at the previous
+    /// phase: their arena outputs are cleared to absent once, and the skip
+    /// keeps them absent until they reactivate.
+    phase_clears: Vec<Vec<usize>>,
+    /// Nodes inert at phase 0, cleared once when gating first engages.
+    entry_clears: Vec<usize>,
+}
+
+impl GatedPlan {
+    /// The phase of tick `t`, or `None` while clocks are still settling.
+    #[inline]
+    fn phase_of(&self, t: Tick) -> Option<usize> {
+        (t >= self.settle).then(|| ((t - self.settle) % self.hyperperiod) as usize)
+    }
+
+    /// The arena-clear list for tick `t` at phase `p`.
+    #[inline]
+    fn clears(&self, t: Tick, p: usize) -> &[usize] {
+        if t == self.settle {
+            &self.entry_clears
+        } else {
+            &self.phase_clears[p]
+        }
+    }
+}
+
+/// ANDs the presence pattern of `src` into `pat` (open sources zero it,
+/// externals are unknowable and stay `true`).
+fn and_presence(pat: &mut [bool], src: Source, active: &[Vec<bool>]) {
+    match src {
+        Source::Open => pat.fill(false),
+        Source::External(_) => {}
+        Source::Node(j, _) => {
+            for (b, a) in pat.iter_mut().zip(&active[j.0]) {
+                *b &= *a;
+            }
+        }
+    }
+}
+
+/// ORs the presence pattern of `src` into `acc`.
+fn or_presence(acc: &mut [bool], src: Source, active: &[Vec<bool>]) {
+    match src {
+        Source::Open => {}
+        Source::External(_) => acc.fill(true),
+        Source::Node(j, _) => {
+            for (b, a) in acc.iter_mut().zip(&active[j.0]) {
+                *b |= *a;
+            }
+        }
+    }
+}
+
+/// Compiles the network's declared clock structure into a [`GatedPlan`].
+///
+/// Returns `None` when gating cannot help: no declared clocks, a
+/// hyperperiod of one, the size caps exceeded, or no node ever provably
+/// inert.
+fn compile_gated_plan(
+    nodes: &[Node],
+    schedule: &Schedule,
+    commit_nodes: &[usize],
+) -> Option<GatedPlan> {
+    let n = nodes.len();
+    if n == 0 {
+        return None;
+    }
+    // Demote any behavior whose side conditions do not hold here. The
+    // presence reasoning below assumes the listed ports are read
+    // instantaneously, and skipping a node assumes it observes nothing in
+    // the commit phase (Declared blocks excepted — their contract covers
+    // commit explicitly).
+    let behaviors: Vec<ClockBehavior> = nodes
+        .iter()
+        .map(|node| {
+            let block = &node.block;
+            let b = block.clock_behavior();
+            let sound = match &b {
+                ClockBehavior::Opaque | ClockBehavior::Declared(_) => true,
+                ClockBehavior::BoolGate(_) => block.output_arity() == 1,
+                ClockBehavior::StrictEach(ports) | ClockBehavior::StrictAll(ports) => {
+                    !block.needs_commit()
+                        && ports
+                            .iter()
+                            .all(|&p| p < block.input_arity() && block.input_is_instantaneous(p))
+                }
+                ClockBehavior::Sampler { cond } => {
+                    !block.needs_commit()
+                        && *cond < block.input_arity()
+                        && (0..block.input_arity()).all(|p| block.input_is_instantaneous(p))
+                }
+                ClockBehavior::Passthrough => {
+                    !block.needs_commit()
+                        && block.input_arity() >= 1
+                        && block.output_arity() == 1
+                        && block.input_is_instantaneous(0)
+                }
+            };
+            if sound {
+                b
+            } else {
+                ClockBehavior::Opaque
+            }
+        })
+        .collect();
+
+    let mut h: u64 = 1;
+    let mut max_phase: u64 = 0;
+    for b in &behaviors {
+        if let ClockBehavior::Declared(c) | ClockBehavior::BoolGate(c) = b {
+            h = lcm(h, c.period());
+            max_phase = max_phase.max(c.max_phase());
+            if h > MAX_HYPERPERIOD {
+                return None;
+            }
+        }
+    }
+    if h <= 1 || h.saturating_mul(n as u64) > MAX_PLAN_CELLS {
+        return None;
+    }
+    // Clocks with unnormalized phase offsets (constructible through the pub
+    // `Every` fields) are only *eventually* periodic; gating engages at the
+    // first hyperperiod boundary past every offset.
+    let settle: Tick = max_phase.div_ceil(h) * h;
+    let hh = h as usize;
+    let pattern = |c: &Clock| -> Vec<bool> { (0..h).map(|p| c.is_active(settle + p)).collect() };
+
+    // `active[i][p]` is an upper bound on node `i`'s output presence at
+    // phase `p`, with the invariant that `false` implies *provably absent*
+    // at every gated tick of that phase. `skip[i]` marks nodes proven inert
+    // on their inactive phases: outputs absent, no state change, no error.
+    // Computed in schedule order so instantaneous sources resolve first.
+    let mut active: Vec<Vec<bool>> = vec![vec![true; hh]; n];
+    let mut skip = vec![false; n];
+    let mut gate: Vec<Option<Vec<bool>>> = vec![None; n];
+    for &i in &schedule.order {
+        match &behaviors[i] {
+            ClockBehavior::Opaque => {}
+            ClockBehavior::Declared(c) => {
+                active[i] = pattern(c);
+                skip[i] = true;
+            }
+            ClockBehavior::BoolGate(c) => {
+                // Output always present; the *value* pattern gates any
+                // sampler it feeds. Not skippable itself.
+                gate[i] = Some(pattern(c));
+            }
+            ClockBehavior::StrictEach(ports) => {
+                let mut pat = vec![true; hh];
+                for &p in ports {
+                    and_presence(&mut pat, nodes[i].sources[p], &active);
+                }
+                active[i] = pat;
+                skip[i] = true;
+            }
+            ClockBehavior::StrictAll(ports) => {
+                if ports.is_empty() {
+                    // No message inputs read: a constant expression, always
+                    // live.
+                    continue;
+                }
+                let mut any = vec![false; hh];
+                for &p in ports {
+                    or_presence(&mut any, nodes[i].sources[p], &active);
+                }
+                active[i] = any;
+                skip[i] = true;
+            }
+            ClockBehavior::Sampler { cond } => {
+                let mut pat = vec![true; hh];
+                for &src in &nodes[i].sources {
+                    and_presence(&mut pat, src, &active);
+                }
+                if let Source::Node(j, 0) = nodes[i].sources[*cond] {
+                    if let Some(g) = &gate[j.0] {
+                        for (b, x) in pat.iter_mut().zip(g) {
+                            *b &= *x;
+                        }
+                    }
+                }
+                active[i] = pat;
+                skip[i] = true;
+            }
+            ClockBehavior::Passthrough => {
+                match nodes[i].sources[0] {
+                    Source::Open => active[i] = vec![false; hh],
+                    Source::External(_) => {}
+                    Source::Node(j, p) => {
+                        active[i] = active[j.0].clone();
+                        if p == 0 {
+                            gate[i] = gate[j.0].clone();
+                        }
+                    }
+                }
+                skip[i] = true;
+            }
+        }
+    }
+
+    let inert = |i: usize, p: usize| skip[i] && !active[i][p];
+    if !(0..n).any(|i| (0..hh).any(|p| inert(i, p))) {
+        return None;
+    }
+
+    let mut phase_levels = Vec::with_capacity(hh);
+    let mut phase_commits = Vec::with_capacity(hh);
+    let mut phase_clears = Vec::with_capacity(hh);
+    for p in 0..hh {
+        let levels: Vec<Vec<usize>> = schedule
+            .levels
+            .iter()
+            .map(|lvl| {
+                lvl.iter()
+                    .copied()
+                    .filter(|&i| !inert(i, p))
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|lvl| !lvl.is_empty())
+            .collect();
+        phase_levels.push(levels);
+        phase_commits.push(
+            commit_nodes
+                .iter()
+                .copied()
+                .filter(|&i| !inert(i, p))
+                .collect(),
+        );
+        let prev = (p + hh - 1) % hh;
+        phase_clears.push((0..n).filter(|&i| inert(i, p) && !inert(i, prev)).collect());
+    }
+    let entry_clears = (0..n).filter(|&i| inert(i, 0)).collect();
+    Some(GatedPlan {
+        hyperperiod: h,
+        settle,
+        phase_levels,
+        phase_commits,
+        phase_clears,
+        entry_clears,
+    })
+}
+
 /// A causality-checked network compiled to a flat execution plan.
 ///
 /// Steady-state ticks are allocation-free: outputs live in a single message
 /// arena, inputs are gathered into reused scratch buffers through
 /// precomputed slot indices, and probes resolve to arena slots
 /// ([`ReadyNetwork::step_tick_observed`] returns a borrowed row).
+///
+/// When the network's blocks declare static clock structure
+/// ([`crate::ops::ClockBehavior`]), [`Network::prepare`] additionally
+/// compiles a [`GatedPlan`] and ticks skip provably inert nodes — see the
+/// module docs.
 #[derive(Debug)]
 pub struct ReadyNetwork {
     name: String,
@@ -508,6 +796,9 @@ pub struct ReadyNetwork {
     /// ([`Block::needs_commit`]); commit-free nodes skip the input
     /// re-gather entirely.
     commit_nodes: Vec<usize>,
+    /// Clock-gated per-phase schedules, when the declared clock structure
+    /// admits skipping (`None` = run the full schedule every tick).
+    gated: Option<Arc<GatedPlan>>,
     n_inputs: usize,
     probe_names: Vec<String>,
     probe_slots: Vec<Slot>,
@@ -583,6 +874,20 @@ impl ReadyNetwork {
         self.parallel_workers = workers.map(|n| n.max(1));
     }
 
+    /// Disables clock gating: every tick runs the full schedule. Gating is
+    /// semantically transparent, so this exists for benchmarks and
+    /// differential tests that need the ungated executor.
+    pub fn disable_clock_gating(&mut self) {
+        self.gated = None;
+    }
+
+    /// The hyperperiod of the compiled clock-gating plan, or `None` when
+    /// the network exposes no usable static clock structure (or gating has
+    /// been disabled).
+    pub fn gated_hyperperiod(&self) -> Option<u64> {
+        self.gated.as_ref().map(|g| g.hyperperiod)
+    }
+
     /// Resets all blocks, the arena, and the tick counter.
     pub fn reset(&mut self) {
         for block in &mut self.blocks {
@@ -626,20 +931,44 @@ impl ReadyNetwork {
             });
         }
         let t = self.tick;
+        let gated = self.gated.clone();
+        let plan = gated.as_deref().and_then(|g| g.phase_of(t).map(|p| (g, p)));
+
+        // Clear the outputs of nodes that just went inert; the skip then
+        // keeps them absent until they reactivate.
+        if let Some((g, p)) = plan {
+            for &i in g.clears(t, p) {
+                self.arena[self.out_offset[i]..self.out_offset[i + 1]].fill(Message::Absent);
+            }
+        }
 
         // Phase 1: step level by level. Within a level no block reads
         // another's output instantaneously, so any order (or parallel
-        // execution) yields the same arena contents.
+        // execution) yields the same arena contents. With a gated plan the
+        // per-phase levels replace the full schedule.
         let parallel = self.parallel_min_width;
-        for li in 0..self.schedule.levels.len() {
-            let width = self.schedule.levels[li].len();
+        let n_levels = match plan {
+            Some((g, p)) => g.phase_levels[p].len(),
+            None => self.schedule.levels.len(),
+        };
+        for li in 0..n_levels {
+            let width = match plan {
+                Some((g, p)) => g.phase_levels[p][li].len(),
+                None => self.schedule.levels[li].len(),
+            };
             match parallel {
                 Some(min) if width >= min => {
                     for ni in 0..width {
-                        let i = self.schedule.levels[li][ni];
+                        let i = match plan {
+                            Some((g, p)) => g.phase_levels[p][li][ni],
+                            None => self.schedule.levels[li][ni],
+                        };
                         self.gather_step_inputs(i, externals);
                     }
-                    let level = &self.schedule.levels[li];
+                    let level: &[usize] = match plan {
+                        Some((g, p)) => &g.phase_levels[p][li],
+                        None => &self.schedule.levels[li],
+                    };
                     step_level_parallel(
                         t,
                         level,
@@ -655,7 +984,10 @@ impl ReadyNetwork {
                 }
                 _ => {
                     for ni in 0..width {
-                        let i = self.schedule.levels[li][ni];
+                        let i = match plan {
+                            Some((g, p)) => g.phase_levels[p][li][ni],
+                            None => self.schedule.levels[li][ni],
+                        };
                         self.gather_step_inputs(i, externals);
                         let inputs = &self.scratch[self.slot_offset[i]..self.slot_offset[i + 1]];
                         let out = &mut self.arena[self.out_offset[i]..self.out_offset[i + 1]];
@@ -666,9 +998,16 @@ impl ReadyNetwork {
         }
 
         // Phase 2: commit with final input values — only for nodes whose
-        // blocks actually observe them.
-        for ci in 0..self.commit_nodes.len() {
-            let i = self.commit_nodes[ci];
+        // blocks actually observe them, minus any inert this phase.
+        let n_commits = match plan {
+            Some((g, p)) => g.phase_commits[p].len(),
+            None => self.commit_nodes.len(),
+        };
+        for ci in 0..n_commits {
+            let i = match plan {
+                Some((g, p)) => g.phase_commits[p][ci],
+                None => self.commit_nodes[ci],
+            };
             for k in self.slot_offset[i]..self.slot_offset[i + 1] {
                 self.scratch[k] = resolve_slot(self.slots[k], &self.arena, externals);
             }
@@ -844,10 +1183,25 @@ impl ReadyNetwork {
         #[allow(clippy::needless_range_loop)]
         for t in 0..max_ticks {
             let tick = t as Tick;
+            let plan = self
+                .gated
+                .as_deref()
+                .and_then(|g| g.phase_of(tick).map(|p| (g, p)));
+
+            // Clear all lanes of nodes that just went inert.
+            if let Some((g, p)) = plan {
+                for &i in g.clears(tick, p) {
+                    arena[self.out_offset[i] * k..self.out_offset[i + 1] * k].fill(Message::Absent);
+                }
+            }
 
             // Phase 1: step level by level; within a level every active
             // lane of every node is an independent work item.
-            for level in &self.schedule.levels {
+            let levels: &[Vec<usize>] = match plan {
+                Some((g, p)) => &g.phase_levels[p],
+                None => &self.schedule.levels,
+            };
+            for level in levels {
                 specs.clear();
                 for &i in level {
                     let ia = self.slot_offset[i + 1] - self.slot_offset[i];
@@ -890,8 +1244,13 @@ impl ReadyNetwork {
             }
 
             // Phase 2: commit with final input values — only for nodes
-            // whose blocks actually observe them.
-            for &i in &self.commit_nodes {
+            // whose blocks actually observe them, minus any inert this
+            // phase.
+            let commits: &[usize] = match plan {
+                Some((g, p)) => &g.phase_commits[p],
+                None => &self.commit_nodes,
+            };
+            for &i in commits {
                 let ia = self.slot_offset[i + 1] - self.slot_offset[i];
                 for (l, &len) in lens.iter().enumerate() {
                     if t >= len {
@@ -938,6 +1297,7 @@ impl Clone for ReadyNetwork {
             slots: self.slots.clone(),
             inst_bits: self.inst_bits.clone(),
             commit_nodes: self.commit_nodes.clone(),
+            gated: self.gated.clone(),
             out_offset: self.out_offset.clone(),
             arena: self.arena.clone(),
             scratch: self.scratch.clone(),
@@ -1235,7 +1595,7 @@ pub type SignalMap = BTreeMap<String, crate::stream::Stream>;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::{AddN, BinOp, Const, Delay, EveryClockGen, Lift2, UnitDelay, When};
+    use crate::ops::{AddN, BinOp, Const, Current, Delay, EveryClockGen, Lift2, UnitDelay, When};
     use crate::stream::{self, Stream};
     use crate::value::Value;
 
@@ -1589,6 +1949,116 @@ mod tests {
         let ra = a.run(&stim[2..]).unwrap();
         let rb = b.run(&stim[2..]).unwrap();
         assert_eq!(ra, rb);
+    }
+
+    /// A mixed-rate fixture: a base-rate accumulator plus a `period`-rate
+    /// sampled subsystem (clock gen → when → scale → slow delay → current)
+    /// whose strict nodes are inert on all but one phase in `period`.
+    fn multirate(period: u32, phase: u32) -> Network {
+        let mut net = Network::new("multirate");
+        let input = net.add_input("u");
+        let acc = net.add_block(Lift2::new(BinOp::Add));
+        let del = net.add_block(Delay::new(0i64));
+        net.connect_input(input, acc.input(0)).unwrap();
+        net.connect(del.output(0), acc.input(1)).unwrap();
+        net.connect(acc.output(0), del.input(0)).unwrap();
+        net.expose_output("acc", acc.output(0)).unwrap();
+
+        let clk = net.add_block(EveryClockGen::new(period, phase));
+        let when = net.add_block(When::new());
+        net.connect_input(input, when.input(0)).unwrap();
+        net.connect(clk.output(0), when.input(1)).unwrap();
+        let gain = net.add_block(Const::on_clock(3i64, Clock::every(period, phase)));
+        let scale = net.add_block(Lift2::new(BinOp::Mul));
+        net.connect(when.output(0), scale.input(0)).unwrap();
+        net.connect(gain.output(0), scale.input(1)).unwrap();
+        let slow_del = net.add_block(Delay::on_clock(
+            Some(Value::Int(0)),
+            Clock::every(period, phase),
+        ));
+        net.connect(scale.output(0), slow_del.input(0)).unwrap();
+        let hold = net.add_block(Current::new(0i64));
+        net.connect(slow_del.output(0), hold.input(0)).unwrap();
+        net.expose_output("slow", slow_del.output(0)).unwrap();
+        net.expose_output("held", hold.output(0)).unwrap();
+        net
+    }
+
+    #[test]
+    fn clock_gating_compiles_for_multirate_networks() {
+        let ready = multirate(4, 0).prepare().unwrap();
+        assert_eq!(ready.gated_hyperperiod(), Some(4));
+        // The all-base-rate diamond admits no gating.
+        assert_eq!(diamond().prepare().unwrap().gated_hyperperiod(), None);
+    }
+
+    #[test]
+    fn gated_run_matches_reference_and_ungated() {
+        let stim = stimulus_from_streams(&[Stream::from_values((0i64..41).collect::<Vec<_>>())]);
+        for phase in [0u32, 1, 3] {
+            let mut gated = multirate(4, phase).prepare().unwrap();
+            assert!(gated.gated_hyperperiod().is_some());
+            let mut ungated = multirate(4, phase).prepare().unwrap();
+            ungated.disable_clock_gating();
+            let reference = multirate(4, phase).run_reference(&stim).unwrap();
+            assert_eq!(gated.run(&stim).unwrap(), reference, "phase {phase}");
+            assert_eq!(ungated.run(&stim).unwrap(), reference, "phase {phase}");
+        }
+    }
+
+    #[test]
+    fn gating_respects_unnormalized_phase_offsets() {
+        // `Every { n: 4, phase: 6 }` built through the pub fields is only
+        // eventually periodic; gating must not engage before the offset
+        // settles, and the entry clear must drop stale pre-settle values.
+        let build = || {
+            let mut net = Network::new("unnorm");
+            let c = net.add_block(Const::on_clock(2i64, Clock::Every { n: 4, phase: 6 }));
+            let dbl = net.add_block(Lift2::new(BinOp::Add));
+            net.connect(c.output(0), dbl.input(0)).unwrap();
+            net.connect(c.output(0), dbl.input(1)).unwrap();
+            net.expose_output("y", dbl.output(0)).unwrap();
+            net
+        };
+        let stim: Vec<Vec<Message>> = (0..20).map(|_| Vec::new()).collect();
+        let gated = build().run(&stim).unwrap();
+        let reference = build().run_reference(&stim).unwrap();
+        assert_eq!(gated, reference);
+        let y = gated.signal("y").unwrap();
+        assert_eq!(y[6], Message::present(4i64));
+        assert_eq!(y[10], Message::present(4i64));
+        assert!((0..6).all(|t| y[t].is_absent()));
+        assert!(y[7].is_absent() && y[8].is_absent() && y[9].is_absent());
+    }
+
+    #[test]
+    fn gated_parallel_and_batch_match_ungated() {
+        let stims: Vec<Vec<Vec<Message>>> = (0..3)
+            .map(|l| {
+                stimulus_from_streams(&[Stream::from_values(
+                    (0i64..17).map(|v| v * (l as i64 + 1)).collect::<Vec<_>>(),
+                )])
+            })
+            .collect();
+        let gated = multirate(6, 2).prepare().unwrap();
+        let mut par = multirate(6, 2).prepare().unwrap();
+        par.enable_parallel(2);
+        par.set_parallel_workers(Some(2));
+        let mut ungated = multirate(6, 2).prepare().unwrap();
+        ungated.disable_clock_gating();
+        let expect = ungated.run_batch(&stims).unwrap();
+        assert_eq!(gated.run_batch(&stims).unwrap(), expect);
+        assert_eq!(par.run_batch(&stims).unwrap(), expect);
+    }
+
+    #[test]
+    fn gated_reset_replays_identically() {
+        let stim = stimulus_from_streams(&[Stream::from_values((0i64..13).collect::<Vec<_>>())]);
+        let mut ready = multirate(3, 1).prepare().unwrap();
+        let t1 = ready.run(&stim).unwrap();
+        ready.reset();
+        let t2 = ready.run(&stim).unwrap();
+        assert_eq!(t1, t2);
     }
 
     #[test]

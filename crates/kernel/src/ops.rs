@@ -18,6 +18,62 @@ use crate::error::KernelError;
 use crate::value::{Message, Value};
 use crate::{Clock, Tick};
 
+/// Static clock structure a block exposes to the plan compiler.
+///
+/// [`Network::prepare`](crate::network::Network::prepare) uses these
+/// declarations to build clock-gated execution plans: per hyperperiod phase
+/// it derives which nodes are provably inert and skips them — step, commit
+/// and slot resolution — entirely. Every variant is a *contract*; a block
+/// must only claim one whose conditions it meets, because the executor will
+/// not call the block at ticks the contract marks inert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClockBehavior {
+    /// No static information; the node runs at every tick (the default).
+    Opaque,
+    /// The block is driven by a statically known clock: at every *inactive*
+    /// tick of the clock it is inert — all outputs absent, no state change
+    /// in either [`Block::step`] or [`Block::commit`], and no error.
+    Declared(Clock),
+    /// The single output is an always-present Boolean carrying `true`
+    /// exactly at the clock's active ticks (an `every(n, true)` generator).
+    /// The node itself is never skipped, but a [`ClockBehavior::Sampler`]
+    /// whose condition port it feeds inherits the clock.
+    BoolGate(Clock),
+    /// Strict element-wise operator: whenever **any** of the listed input
+    /// ports carries an absent message, the block is inert — all outputs
+    /// absent, no state change, and *no possibility of error* (the operator
+    /// is never applied to a partially absent tuple). Listed ports must be
+    /// read instantaneously and the block must be commit-free.
+    StrictEach(Vec<usize>),
+    /// Jointly strict operator: the block is inert — absent outputs, no
+    /// state change, no error — whenever **all** of the listed input ports
+    /// are absent simultaneously. This is the sound contract for expression
+    /// trees whose inner operators may fire (and fail) while only a subset
+    /// of inputs is absent. Listed ports must be read instantaneously and
+    /// the block must be commit-free.
+    StrictAll(Vec<usize>),
+    /// `when`-style sampling: [`ClockBehavior::StrictEach`] over all inputs,
+    /// and additionally gated by the Boolean condition port — when that port
+    /// is fed by a [`ClockBehavior::BoolGate`], the node is also inert at
+    /// every tick the gate carries `false`.
+    Sampler {
+        /// The condition input port index.
+        cond: usize,
+    },
+    /// The single output reproduces instantaneous input 0 exactly (an
+    /// identity wire): presence, value, and any Boolean gate stream flow
+    /// through unchanged. The block must be stateless and commit-free.
+    Passthrough,
+}
+
+impl ClockBehavior {
+    /// [`ClockBehavior::StrictEach`] over every port of an `arity`-input
+    /// block — the common case for lifted operators.
+    pub fn strict_each(arity: usize) -> Self {
+        ClockBehavior::StrictEach((0..arity).collect())
+    }
+}
+
 /// An executable block: the atomic unit of behaviour in a network.
 ///
 /// Execution happens in two phases per global tick:
@@ -86,6 +142,15 @@ pub trait Block: fmt::Debug {
     /// safe); blocks whose `commit` is a no-op override this to `false`.
     fn needs_commit(&self) -> bool {
         true
+    }
+
+    /// The block's static clock structure (see [`ClockBehavior`]).
+    ///
+    /// Defaults to [`ClockBehavior::Opaque`] (always safe). Blocks that
+    /// override this promise the corresponding contract; the compiled
+    /// executor skips them at ticks the contract proves inert.
+    fn clock_behavior(&self) -> ClockBehavior {
+        ClockBehavior::Opaque
     }
 
     /// Resets internal state to the initial configuration.
@@ -426,6 +491,9 @@ impl Block for Const {
     step_via_into!();
     clone_block_via_clone!();
     commit_free!();
+    fn clock_behavior(&self) -> ClockBehavior {
+        ClockBehavior::Declared(self.clock.clone())
+    }
     fn step_into(
         &mut self,
         t: Tick,
@@ -473,6 +541,9 @@ impl Block for EveryClockGen {
     step_via_into!();
     clone_block_via_clone!();
     commit_free!();
+    fn clock_behavior(&self) -> ClockBehavior {
+        ClockBehavior::BoolGate(self.clock.clone())
+    }
     fn step_into(
         &mut self,
         t: Tick,
@@ -513,6 +584,9 @@ impl Block for When {
     step_via_into!();
     clone_block_via_clone!();
     commit_free!();
+    fn clock_behavior(&self) -> ClockBehavior {
+        ClockBehavior::Sampler { cond: 1 }
+    }
     fn step_into(
         &mut self,
         _t: Tick,
@@ -579,6 +653,11 @@ impl Block for Delay {
     }
     step_via_into!();
     clone_block_via_clone!();
+    fn clock_behavior(&self) -> ClockBehavior {
+        // At inactive ticks both `step` and `commit` are no-ops, so the
+        // executor may skip the node (including its commit) entirely.
+        ClockBehavior::Declared(self.clock.clone())
+    }
     fn step_into(
         &mut self,
         t: Tick,
@@ -744,6 +823,9 @@ impl Block for Lift2 {
     step_via_into!();
     clone_block_via_clone!();
     commit_free!();
+    fn clock_behavior(&self) -> ClockBehavior {
+        ClockBehavior::strict_each(2)
+    }
     fn step_into(
         &mut self,
         _t: Tick,
@@ -788,6 +870,9 @@ impl Block for Lift1 {
     step_via_into!();
     clone_block_via_clone!();
     commit_free!();
+    fn clock_behavior(&self) -> ClockBehavior {
+        ClockBehavior::strict_each(1)
+    }
     fn step_into(
         &mut self,
         _t: Tick,
@@ -833,6 +918,9 @@ impl Block for AddN {
     step_via_into!();
     clone_block_via_clone!();
     commit_free!();
+    fn clock_behavior(&self) -> ClockBehavior {
+        ClockBehavior::strict_each(self.arity)
+    }
     fn step_into(
         &mut self,
         _t: Tick,
@@ -941,6 +1029,53 @@ impl Block for Merge {
             .find(|m| m.is_present())
             .cloned()
             .unwrap_or(Message::Absent);
+        Ok(())
+    }
+}
+
+/// An identity wire: forwards input 0 unchanged, presence and all.
+///
+/// Elaboration inserts these at component port boundaries. Unlike an opaque
+/// closure, `Identity` declares [`ClockBehavior::Passthrough`], so static
+/// clock information — declared clocks, Boolean gate streams — flows through
+/// component boundaries and keeps downstream nodes gateable.
+#[derive(Debug, Clone)]
+pub struct Identity {
+    name: std::sync::Arc<str>,
+}
+
+impl Identity {
+    /// An identity wire with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Identity {
+            name: name.into().into(),
+        }
+    }
+}
+
+impl Block for Identity {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_arity(&self) -> usize {
+        1
+    }
+    fn output_arity(&self) -> usize {
+        1
+    }
+    step_via_into!();
+    clone_block_via_clone!();
+    commit_free!();
+    fn clock_behavior(&self) -> ClockBehavior {
+        ClockBehavior::Passthrough
+    }
+    fn step_into(
+        &mut self,
+        _t: Tick,
+        inputs: &[Message],
+        out: &mut [Message],
+    ) -> Result<(), KernelError> {
+        out[0] = inputs[0].clone();
         Ok(())
     }
 }
@@ -1223,5 +1358,48 @@ mod tests {
         let mut g = EveryClockGen::new(2, 0);
         assert_eq!(step1(&mut g, 0, &[]), Message::present(true));
         assert_eq!(step1(&mut g, 1, &[]), Message::present(false));
+    }
+
+    #[test]
+    fn identity_forwards_presence_and_values() {
+        let mut id = Identity::new("wire");
+        assert_eq!(
+            step1(&mut id, 0, &[Message::present(3i64)]),
+            Message::present(3i64)
+        );
+        assert!(step1(&mut id, 1, &[Message::Absent]).is_absent());
+        assert_eq!(id.clock_behavior(), ClockBehavior::Passthrough);
+    }
+
+    #[test]
+    fn clock_behaviors_reflect_block_contracts() {
+        let c = Clock::every(4, 1);
+        assert_eq!(
+            Const::on_clock(1i64, c.clone()).clock_behavior(),
+            ClockBehavior::Declared(c.clone())
+        );
+        assert_eq!(
+            Delay::on_clock(None, c.clone()).clock_behavior(),
+            ClockBehavior::Declared(c.clone())
+        );
+        assert_eq!(
+            EveryClockGen::new(4, 1).clock_behavior(),
+            ClockBehavior::BoolGate(c)
+        );
+        assert_eq!(
+            When::new().clock_behavior(),
+            ClockBehavior::Sampler { cond: 1 }
+        );
+        assert_eq!(
+            Lift2::new(BinOp::Add).clock_behavior(),
+            ClockBehavior::StrictEach(vec![0, 1])
+        );
+        assert_eq!(AddN::new(3).clock_behavior(), ClockBehavior::strict_each(3));
+        // Stateful up-samplers and closures stay opaque.
+        assert_eq!(Current::new(0i64).clock_behavior(), ClockBehavior::Opaque);
+        assert_eq!(
+            UnitDelay::new(Message::Absent).clock_behavior(),
+            ClockBehavior::Opaque
+        );
     }
 }

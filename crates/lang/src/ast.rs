@@ -89,6 +89,23 @@ impl Expr {
         }
     }
 
+    /// Whether the expression is *absence-strict*: built only from
+    /// constructs that yield absent whenever any of their operands is
+    /// absent (literals, identifiers, unary/binary operators, builtin
+    /// calls). `present(x)`, `x ? d` and `if` observe absence explicitly
+    /// and break strictness. Strictness is what lets the bytecode VM and
+    /// the clock-gated scheduler treat an all-absent input row as an
+    /// immediate absent result.
+    pub fn is_absence_strict(&self) -> bool {
+        match self {
+            Expr::Lit(_) | Expr::Ident(_) => true,
+            Expr::Unary(_, e) => e.is_absence_strict(),
+            Expr::Binary(_, a, b) => a.is_absence_strict() && b.is_absence_strict(),
+            Expr::Call(_, args) => args.iter().all(Expr::is_absence_strict),
+            Expr::If(..) | Expr::Present(_) | Expr::OrElse(..) => false,
+        }
+    }
+
     /// Structural size (number of AST nodes) — used as a complexity metric
     /// by the reengineering case study.
     pub fn size(&self) -> usize {
@@ -197,6 +214,22 @@ mod tests {
         assert_eq!(e.if_count(), 2);
         assert_eq!(e.if_depth(), 2);
         assert_eq!(e.size(), 7);
+    }
+
+    #[test]
+    fn absence_strictness_classifies_operators() {
+        let strict = Expr::bin(
+            BinOp::Add,
+            Expr::un(UnOp::Neg, Expr::ident("a")),
+            Expr::Call("min".into(), vec![Expr::ident("b"), Expr::lit(1i64)]),
+        );
+        assert!(strict.is_absence_strict());
+        assert!(!Expr::Present(Box::new(Expr::ident("a"))).is_absence_strict());
+        assert!(
+            !Expr::OrElse(Box::new(Expr::ident("a")), Box::new(Expr::lit(0i64)))
+                .is_absence_strict()
+        );
+        assert!(!Expr::ite(Expr::ident("c"), Expr::lit(1i64), Expr::lit(2i64)).is_absence_strict());
     }
 
     #[test]

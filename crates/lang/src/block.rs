@@ -8,12 +8,12 @@
 
 use std::sync::Arc;
 
-use automode_kernel::ops::Block;
+use automode_kernel::ops::{Block, ClockBehavior};
 use automode_kernel::{KernelError, Message, Tick};
 
 use crate::ast::Expr;
+use crate::bytecode::{Program, Scratch};
 use crate::error::LangError;
-use crate::eval::SliceScope;
 use crate::parser::parse;
 
 /// A stateless block whose single output is computed by a base-language
@@ -37,24 +37,34 @@ use crate::parser::parse;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ExprBlock {
-    // Every field is shared and immutable: cloning an `ExprBlock` (per-lane
-    // replication in batched execution, `ReadyNetwork::clone`) is three
-    // refcount bumps — no string or expression copies.
+    // Shared, immutable fields: cloning an `ExprBlock` (per-lane replication
+    // in batched execution, `ReadyNetwork::clone`) is a few refcount bumps —
+    // no string, expression or bytecode copies. `scratch` is the only
+    // per-instance state: reusable VM registers, empty until first use.
     name: Arc<str>,
     inputs: Arc<[String]>,
     expr: Arc<Expr>,
+    program: Arc<Program>,
+    scratch: Scratch,
 }
 
 impl ExprBlock {
+    fn build(name: Arc<str>, inputs: Arc<[String]>, expr: Arc<Expr>) -> Self {
+        let program = Arc::new(Program::compile(&expr, &inputs));
+        ExprBlock {
+            name,
+            inputs,
+            expr,
+            program,
+            scratch: Scratch::new(),
+        }
+    }
+
     /// Wraps an already-built expression; input ports are the expression's
     /// free identifiers in first-occurrence order.
     pub fn new(name: impl Into<String>, expr: Expr) -> Self {
         let inputs = expr.free_idents();
-        ExprBlock {
-            name: name.into().into(),
-            inputs: inputs.into(),
-            expr: Arc::new(expr),
-        }
+        ExprBlock::build(name.into().into(), inputs.into(), Arc::new(expr))
     }
 
     /// Wraps an expression with an explicit input-port order (ports not
@@ -64,11 +74,11 @@ impl ExprBlock {
         inputs: impl IntoIterator<Item = impl Into<String>>,
         expr: Expr,
     ) -> Self {
-        ExprBlock {
-            name: name.into().into(),
-            inputs: inputs.into_iter().map(Into::into).collect(),
-            expr: Arc::new(expr),
-        }
+        ExprBlock::build(
+            name.into().into(),
+            inputs.into_iter().map(Into::into).collect(),
+            Arc::new(expr),
+        )
     }
 
     /// Parses the expression source and wraps it.
@@ -88,6 +98,11 @@ impl ExprBlock {
     /// The input port names, in order.
     pub fn inputs(&self) -> &[String] {
         &self.inputs
+    }
+
+    /// The compiled bytecode program executing the expression.
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 }
 
@@ -116,17 +131,34 @@ impl Block for ExprBlock {
         inputs: &[Message],
         out: &mut [Message],
     ) -> Result<(), KernelError> {
-        // Evaluate straight over the input slice — no map, no allocation.
-        let scope = SliceScope::new(&self.inputs, inputs);
-        out[0] = self.expr.eval_in(&scope).map_err(|e| KernelError::Block {
-            block: self.name.to_string(),
-            message: e.to_string(),
-        })?;
+        // Run the compiled bytecode over the input slice — ports are
+        // pre-resolved to slot indices, registers are reused, and strict
+        // expressions take value-mode or all-absent fast paths.
+        out[0] = self
+            .program
+            .eval(inputs, &mut self.scratch)
+            .map_err(|e| KernelError::Block {
+                block: self.name.to_string(),
+                message: e.to_string(),
+            })?;
         Ok(())
     }
 
     fn needs_commit(&self) -> bool {
         false
+    }
+
+    fn clock_behavior(&self) -> ClockBehavior {
+        // A strict program's output is provably absent (with no possible
+        // error) whenever all its strict ports are absent — exactly the
+        // `StrictAll` contract the clock-gated scheduler needs. Non-strict
+        // programs (observing absence via `present`/`?`/`if`) stay opaque.
+        match self.program.strict_ports() {
+            Some(ports) if !ports.is_empty() => {
+                ClockBehavior::StrictAll(ports.iter().map(|&p| p as usize).collect())
+            }
+            _ => ClockBehavior::Opaque,
+        }
     }
 
     fn clone_block(&self) -> Box<dyn Block + Send + Sync> {

@@ -6,8 +6,6 @@
 //! absence explicitly — this is how AutoMoDe models event-triggered
 //! behaviour over the time-synchronous base (paper, Sec. 2).
 
-use std::collections::BTreeMap;
-
 use automode_kernel::ops::{apply_binop, apply_unop, BinOp};
 use automode_kernel::{Message, Value};
 
@@ -15,9 +13,15 @@ use crate::ast::Expr;
 use crate::error::LangError;
 
 /// An evaluation environment: identifier → message.
+///
+/// Stored as a vector of `(name, message)` pairs sorted by name: lookups
+/// are a binary search, bulk construction ([`Env::from_pairs`]) is one sort,
+/// and iteration is cache-friendly — cheaper than a tree map for the
+/// handful of bindings expressions typically close over.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Env {
-    bindings: BTreeMap<String, Message>,
+    /// Sorted by name; names are unique.
+    bindings: Vec<(String, Message)>,
 }
 
 impl Env {
@@ -26,9 +30,35 @@ impl Env {
         Env::default()
     }
 
+    /// Builds an environment from `(name, message)` pairs in one pass: a
+    /// single sort plus a dedup that keeps the **last** binding per name —
+    /// the same result as repeated [`Env::bind`] calls in iteration order.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (String, Message)>) -> Self {
+        let mut bindings: Vec<(String, Message)> = pairs.into_iter().collect();
+        // Stable sort: duplicates stay in insertion order, so the last
+        // element of each equal-name run is the latest binding.
+        bindings.sort_by(|a, b| a.0.cmp(&b.0));
+        bindings.dedup_by(|later, kept| {
+            if later.0 == kept.0 {
+                std::mem::swap(kept, later);
+                true
+            } else {
+                false
+            }
+        });
+        Env { bindings }
+    }
+
     /// Binds an identifier to a message (replacing any previous binding).
     pub fn bind(&mut self, name: impl Into<String>, msg: Message) -> &mut Self {
-        self.bindings.insert(name.into(), msg);
+        let name = name.into();
+        match self
+            .bindings
+            .binary_search_by(|(n, _)| n.as_str().cmp(&name))
+        {
+            Ok(i) => self.bindings[i].1 = msg,
+            Err(i) => self.bindings.insert(i, (name, msg)),
+        }
         self
     }
 
@@ -39,7 +69,10 @@ impl Env {
 
     /// Looks up an identifier.
     pub fn lookup(&self, name: &str) -> Option<&Message> {
-        self.bindings.get(name)
+        self.bindings
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.bindings[i].1)
     }
 }
 
@@ -87,9 +120,7 @@ impl Scope for SliceScope<'_> {
 
 impl FromIterator<(String, Message)> for Env {
     fn from_iter<I: IntoIterator<Item = (String, Message)>>(iter: I) -> Self {
-        Env {
-            bindings: iter.into_iter().collect(),
-        }
+        Env::from_pairs(iter)
     }
 }
 
@@ -170,7 +201,7 @@ impl Expr {
     }
 }
 
-fn eval_builtin(name: &str, args: &[Value]) -> Result<Value, LangError> {
+pub(crate) fn eval_builtin(name: &str, args: &[Value]) -> Result<Value, LangError> {
     let need = |n: usize| -> Result<(), LangError> {
         if args.len() == n {
             Ok(())
@@ -218,6 +249,24 @@ mod tests {
             .iter()
             .map(|(n, m)| (n.to_string(), m.clone()))
             .collect()
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_keeps_last_binding() {
+        let e = Env::from_pairs([
+            ("b".to_string(), Message::present(1i64)),
+            ("a".to_string(), Message::present(2i64)),
+            ("b".to_string(), Message::present(3i64)),
+        ]);
+        let mut incremental = Env::new();
+        incremental
+            .bind_value("b", 1i64)
+            .bind_value("a", 2i64)
+            .bind_value("b", 3i64);
+        assert_eq!(e, incremental);
+        assert_eq!(e.lookup("b"), Some(&Message::present(3i64)));
+        assert_eq!(e.lookup("a"), Some(&Message::present(2i64)));
+        assert_eq!(e.lookup("c"), None);
     }
 
     #[test]

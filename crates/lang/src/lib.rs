@@ -41,6 +41,7 @@
 
 pub mod ast;
 pub mod block;
+pub mod bytecode;
 pub mod error;
 pub mod eval;
 pub mod lexer;
@@ -49,6 +50,7 @@ pub mod ty;
 
 pub use ast::Expr;
 pub use block::ExprBlock;
+pub use bytecode::{Program, Scratch};
 pub use error::LangError;
 pub use eval::{Env, Scope, SliceScope};
 pub use parser::parse;

@@ -105,7 +105,9 @@ pub fn elaborate_ccd(model: &Model, ccd: &Ccd) -> Result<Network, SimError> {
         let inner = elaborate(model, cluster.component)?.prepare()?;
         let block = ClusterBlock {
             name: cluster.name.clone(),
-            clock: Clock::every(cluster.period, cluster.phase),
+            // `try_every` surfaces a zero period as a `SimError` instead of
+            // panicking inside the kernel on first use.
+            clock: Clock::try_every(cluster.period, cluster.phase)?,
             inner,
             inputs: comp.inputs().count(),
             outputs: comp.outputs().count(),
@@ -131,7 +133,7 @@ pub fn elaborate_ccd(model: &Model, ccd: &Ccd) -> Result<Network, SimError> {
     for ch in &ccd.channels {
         let from = cluster_index(&ch.from_cluster);
         let to = cluster_index(&ch.to_cluster);
-        let writer_clock = Clock::every(ccd.clusters[from].period, ccd.clusters[from].phase);
+        let writer_clock = Clock::try_every(ccd.clusters[from].period, ccd.clusters[from].phase)?;
         let mut src = handles[from].output(port_index(from, &ch.from_port, Direction::Out));
         for _ in 0..ch.delays {
             let d = net.add_block(Delay::on_clock(None, writer_clock.clone()));

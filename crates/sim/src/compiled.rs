@@ -98,6 +98,21 @@ impl CompiledSim {
         self.ready.disable_parallel();
     }
 
+    /// Disables clock-gated scheduling, falling back to the full per-tick
+    /// schedule (see
+    /// [`ReadyNetwork::disable_clock_gating`](automode_kernel::ReadyNetwork::disable_clock_gating)).
+    /// Useful for differential testing and perf comparisons.
+    pub fn disable_clock_gating(&mut self) {
+        self.ready.disable_clock_gating();
+    }
+
+    /// The hyperperiod of the compiled clock-gated plan, if one applies
+    /// (see
+    /// [`ReadyNetwork::gated_hyperperiod`](automode_kernel::ReadyNetwork::gated_hyperperiod)).
+    pub fn gated_hyperperiod(&self) -> Option<u64> {
+        self.ready.gated_hyperperiod()
+    }
+
     /// Overrides the parallel worker count (see
     /// [`ReadyNetwork::set_parallel_workers`](automode_kernel::ReadyNetwork::set_parallel_workers)).
     pub fn set_parallel_workers(&mut self, workers: Option<usize>) {

@@ -7,7 +7,7 @@ use automode_core::CoreError;
 use automode_kernel::network::{Network, PortRef};
 use automode_kernel::ops::{self, Block, PureFn};
 use automode_kernel::{Clock, KernelError, Message, Tick, Value};
-use automode_lang::{Env, Expr, ExprBlock, SliceScope};
+use automode_lang::{Env, ExprBlock, Program, Scratch};
 
 use crate::error::SimError;
 
@@ -20,11 +20,10 @@ struct Iface {
     outputs: BTreeMap<String, PortRef>,
 }
 
-fn identity(name: String) -> PureFn {
-    PureFn::new(name, 1, 1, |_, inputs: &[Message]| {
-        Ok(vec![inputs[0].clone()])
-    })
-}
+// Port-boundary wires use `ops::Identity` rather than an opaque closure:
+// `Identity` declares `ClockBehavior::Passthrough`, so static clock
+// information survives component boundaries and downstream nodes stay
+// eligible for clock-gated scheduling.
 
 fn absent_stub(name: String) -> PureFn {
     PureFn::new(name, 0, 1, |_, _: &[Message]| Ok(vec![Message::Absent]))
@@ -69,7 +68,7 @@ fn build_instance(
     // internal fan-out point.
     let mut in_handles = BTreeMap::new();
     for name in &input_names {
-        let h = net.add_block(identity(format!("in:{path}.{name}")));
+        let h = net.add_block(ops::Identity::new(format!("in:{path}.{name}")));
         in_handles.insert(name.clone(), h);
     }
     let inputs: BTreeMap<String, PortRef> = in_handles
@@ -133,10 +132,13 @@ fn build_instance(
                 subnets.push(std::sync::Arc::new(sub.prepare()?));
                 mode_names.push(mode.name.clone());
             }
-            let mut triggers: Vec<Vec<(usize, Expr)>> = vec![Vec::new(); mtd.modes.len()];
+            // Transition triggers are compiled to bytecode once, at
+            // elaboration — evaluation per tick is then a register-machine
+            // run with ports pre-resolved to input slots.
+            let mut triggers: Vec<Vec<(usize, Program)>> = vec![Vec::new(); mtd.modes.len()];
             for (mode_idx, trigger_list) in triggers.iter_mut().enumerate() {
                 for t in mtd.transitions_from(mode_idx) {
-                    trigger_list.push((t.to, t.trigger.clone()));
+                    trigger_list.push((t.to, Program::compile(&t.trigger, &input_names)));
                 }
             }
             let out_cols: Vec<Vec<Option<usize>>> = subnets
@@ -158,6 +160,7 @@ fn build_instance(
                 subnets,
                 out_cols: out_cols.into(),
                 triggers: triggers.into(),
+                scratch: Scratch::new(),
                 initial: mtd.initial,
                 current: mtd.initial,
             });
@@ -253,8 +256,10 @@ struct MtdBlock {
     /// Per mode: the probe column of each declared output in the subnet's
     /// observed row (`None` -> output is absent in that mode).
     out_cols: std::sync::Arc<[Vec<Option<usize>>]>,
-    /// Per mode: (target, trigger) in priority order.
-    triggers: std::sync::Arc<[Vec<(usize, Expr)>]>,
+    /// Per mode: (target, compiled trigger) in priority order.
+    triggers: std::sync::Arc<[Vec<(usize, Program)>]>,
+    /// Reusable trigger-VM registers (per-replica, contents transient).
+    scratch: Scratch,
     initial: usize,
     current: usize,
 }
@@ -293,10 +298,10 @@ impl Block for MtdBlock {
         // switching): the mode that produces this tick's outputs is the one
         // reached after the triggers fired — exactly the branch-selection
         // semantics of the If-Then-Else cascades MTDs make explicit.
-        let scope = SliceScope::new(&self.input_names, inputs);
-        for (target, trigger) in &self.triggers[self.current] {
+        let triggers = std::sync::Arc::clone(&self.triggers);
+        for (target, trigger) in &triggers[self.current] {
             let fired = trigger
-                .eval_in(&scope)
+                .eval(inputs, &mut self.scratch)
                 .map_err(|e| KernelError::Block {
                     block: self.name.to_string(),
                     message: e.to_string(),
