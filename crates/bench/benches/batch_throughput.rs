@@ -86,10 +86,7 @@ fn measure_batch(
     let sim = CompiledSim::new(m, id).unwrap();
     let specs: Vec<BatchScenario<'_>> = inputs
         .iter()
-        .map(|lane| BatchScenario {
-            inputs: lane,
-            ticks,
-        })
+        .map(|lane| BatchScenario::new(lane, ticks))
         .collect();
     let start = Instant::now();
     black_box(sim.run_batch(&specs).unwrap());
@@ -118,10 +115,7 @@ fn main() {
         let inputs = scenarios(4, ticks);
         let specs: Vec<BatchScenario<'_>> = inputs
             .iter()
-            .map(|lane| BatchScenario {
-                inputs: lane,
-                ticks,
-            })
+            .map(|lane| BatchScenario::new(lane, ticks))
             .collect();
         let mut sim = CompiledSim::new(&m, id).unwrap();
         let batch = sim.run_batch(&specs).unwrap();

@@ -109,10 +109,7 @@ fn bench(c: &mut Criterion) {
             .collect();
         let specs: Vec<automode_sim::BatchScenario<'_>> = lanes
             .iter()
-            .map(|inp| automode_sim::BatchScenario {
-                inputs: inp,
-                ticks: 1_000,
-            })
+            .map(|inp| automode_sim::BatchScenario::new(inp, 1_000))
             .collect();
         b.iter(|| sim.run_batch(&specs).unwrap())
     });

@@ -115,7 +115,7 @@ fn bench(c: &mut Criterion) {
         let sim = CompiledSim::new(&m, mtd).unwrap();
         let specs: Vec<BatchScenario<'_>> = sweep
             .iter()
-            .map(|inp| BatchScenario { inputs: inp, ticks })
+            .map(|inp| BatchScenario::new(inp, ticks))
             .collect();
         b.iter(|| sim.run_batch(&specs).unwrap())
     });

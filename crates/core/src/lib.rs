@@ -72,7 +72,7 @@ pub mod types;
 pub use ccd::{Ccd, CcdChannel, Cluster, FixedPriorityDataIntegrityPolicy, TargetPolicy};
 pub use error::CoreError;
 pub use levels::AbstractionLevel;
-pub use metrics::ModelMetrics;
+pub use metrics::{ModelMetrics, RobustnessMetrics};
 pub use model::{
     Behavior, Channel, Component, ComponentId, Composite, CompositeKind, Direction, Endpoint,
     Instance, Model, Port, Primitive,

@@ -106,6 +106,55 @@ impl ModelMetrics {
     }
 }
 
+/// Aggregate robustness metrics of one fault-injection experiment,
+/// distilled from a kernel [`RobustnessReport`]
+/// (see [`automode_kernel::ContractMonitor`]).
+///
+/// The case-study experiments report **detection latency**: how many ticks
+/// elapse between the first tick a fault is active (`fault_tick`, known to
+/// the experiment, not the monitor) and the first contract violation the
+/// monitor observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobustnessMetrics {
+    /// Ticks checked.
+    pub ticks: usize,
+    /// Presence-contract violations observed.
+    pub violations: usize,
+    /// First violation tick, if any.
+    pub first_violation_tick: Option<u64>,
+    /// First tick the injected fault was active, if the experiment knows it.
+    pub fault_tick: Option<u64>,
+}
+
+impl RobustnessMetrics {
+    /// Distills a monitor report; `fault_tick` is the experiment's ground
+    /// truth for when the injected fault first fires (`None` for nominal
+    /// runs).
+    pub fn from_report(
+        report: &automode_kernel::RobustnessReport,
+        fault_tick: Option<u64>,
+    ) -> RobustnessMetrics {
+        RobustnessMetrics {
+            ticks: report.ticks,
+            violations: report.violations.len(),
+            first_violation_tick: report.first_violation_tick(),
+            fault_tick,
+        }
+    }
+
+    /// Ticks between fault activation and first detected violation
+    /// (`Some(0)` = detected on the fault's first active tick). `None` when
+    /// the fault tick is unknown, nothing was detected, or the violation
+    /// precedes the declared fault tick (a monitor false positive the
+    /// experiment should investigate, not report as a latency).
+    pub fn detection_latency(&self) -> Option<u64> {
+        match (self.fault_tick, self.first_violation_tick) {
+            (Some(f), Some(v)) if v >= f => Some(v - f),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for ModelMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "components:        {}", self.components)?;
@@ -212,5 +261,55 @@ mod tests {
         assert_eq!(metrics.channels, 1);
         let text = metrics.to_string();
         assert!(text.contains("mtds/modes/trans:  1/2/1"));
+    }
+
+    #[test]
+    fn robustness_metrics_compute_detection_latency() {
+        use automode_kernel::{PresenceViolation, RobustnessReport};
+
+        let report = RobustnessReport {
+            ticks: 20,
+            contracts_checked: 2,
+            violations: vec![
+                PresenceViolation {
+                    signal: "ti".to_string(),
+                    tick: 7,
+                    expected_present: true,
+                    observed_present: false,
+                },
+                PresenceViolation {
+                    signal: "ti".to_string(),
+                    tick: 11,
+                    expected_present: true,
+                    observed_present: false,
+                },
+            ],
+            missing_signals: vec![],
+        };
+        let m = RobustnessMetrics::from_report(&report, Some(5));
+        assert_eq!(m.ticks, 20);
+        assert_eq!(m.violations, 2);
+        assert_eq!(m.first_violation_tick, Some(7));
+        assert_eq!(m.detection_latency(), Some(2));
+
+        // Unknown fault tick or a clean run yield no latency.
+        assert_eq!(
+            RobustnessMetrics::from_report(&report, None).detection_latency(),
+            None
+        );
+        let clean = RobustnessReport {
+            ticks: 20,
+            contracts_checked: 2,
+            violations: vec![],
+            missing_signals: vec![],
+        };
+        let mc = RobustnessMetrics::from_report(&clean, Some(5));
+        assert_eq!(mc.detection_latency(), None);
+        assert_eq!(mc.first_violation_tick, None);
+
+        // A violation before the declared fault tick is a false positive,
+        // not a (negative) latency.
+        let m2 = RobustnessMetrics::from_report(&report, Some(9));
+        assert_eq!(m2.detection_latency(), None);
     }
 }

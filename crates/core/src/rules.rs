@@ -11,6 +11,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use automode_kernel::RobustnessReport;
+
 use crate::model::{Behavior, ComponentId, Direction, Model};
 
 /// Severity of a rule finding.
@@ -105,6 +107,66 @@ pub fn actuator_conflicts(model: &Model) -> Vec<Finding> {
             components: users.iter().map(|s| s.to_string()).collect(),
         })
         .collect()
+}
+
+/// Rule `clock-contract-violation` / `signal-missing`: lifts a runtime
+/// [`RobustnessReport`] (produced by the kernel's `ContractMonitor` over a
+/// fault-injected simulation) into FAA findings, so robustness results flow
+/// through the same review pipeline as the static conflict rules.
+///
+/// One `Conflict` finding is emitted per violated signal, anchored at its
+/// *first* violation tick (later violations of the same signal are summary
+/// detail, not separate findings); contracted signals absent from the trace
+/// become `Warning`s.
+pub fn robustness_findings(component: &str, report: &RobustnessReport) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for v in &report.violations {
+        *seen.entry(v.signal.as_str()).or_insert(0) += 1;
+    }
+    let mut first_done = std::collections::BTreeSet::new();
+    for v in &report.violations {
+        if !first_done.insert(v.signal.as_str()) {
+            continue; // already reported via its first violation
+        }
+        let total = seen[v.signal.as_str()];
+        findings.push(Finding {
+            rule: "clock-contract-violation",
+            severity: Severity::Conflict,
+            message: format!(
+                "`{component}`: signal `{}` violates its clock contract first at tick {} \
+                 ({total} violation(s) in {} tick(s): expected {}, observed {})",
+                v.signal,
+                v.tick,
+                report.ticks,
+                if v.expected_present {
+                    "present"
+                } else {
+                    "absent"
+                },
+                if v.observed_present {
+                    "present"
+                } else {
+                    "absent"
+                },
+            ),
+            suggestion: Some(
+                "inspect the injected fault path or relax the channel's declared clock".to_string(),
+            ),
+            components: vec![component.to_string()],
+        });
+    }
+    for s in &report.missing_signals {
+        findings.push(Finding {
+            rule: "signal-missing",
+            severity: Severity::Warning,
+            message: format!("`{component}`: contracted signal `{s}` is absent from the trace"),
+            suggestion: Some("check probe wiring or the contract's signal name".to_string()),
+            components: vec![component.to_string()],
+        });
+    }
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.message.cmp(&b.message)));
+    findings
 }
 
 /// Rule `shared-sensor`: several functions read the same sensor resource —
@@ -317,5 +379,65 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].1.len(), 2);
         assert_eq!(c[0].0, "DoorLockActuator");
+    }
+
+    #[test]
+    fn robustness_report_lifts_to_findings() {
+        use automode_kernel::{PresenceViolation, RobustnessReport};
+
+        let report = RobustnessReport {
+            ticks: 12,
+            contracts_checked: 3,
+            violations: vec![
+                PresenceViolation {
+                    signal: "ti".to_string(),
+                    tick: 4,
+                    expected_present: true,
+                    observed_present: false,
+                },
+                PresenceViolation {
+                    signal: "ti".to_string(),
+                    tick: 8,
+                    expected_present: true,
+                    observed_present: false,
+                },
+                PresenceViolation {
+                    signal: "gate".to_string(),
+                    tick: 6,
+                    expected_present: false,
+                    observed_present: true,
+                },
+            ],
+            missing_signals: vec!["spark".to_string()],
+        };
+        let findings = robustness_findings("EngineController", &report);
+        // One Conflict per violated signal + one Warning per missing signal.
+        assert_eq!(findings.len(), 3);
+        assert!(findings[..2]
+            .iter()
+            .all(|f| f.rule == "clock-contract-violation"
+                && f.severity == Severity::Conflict
+                && f.components == ["EngineController"]));
+        let ti = findings
+            .iter()
+            .find(|f| f.message.contains("`ti`"))
+            .unwrap();
+        assert!(ti.message.contains("first at tick 4"), "{}", ti.message);
+        assert!(ti.message.contains("2 violation(s)"), "{}", ti.message);
+        let missing = &findings[2];
+        assert_eq!(missing.rule, "signal-missing");
+        assert_eq!(missing.severity, Severity::Warning);
+        assert!(missing.message.contains("`spark`"));
+
+        assert!(robustness_findings(
+            "EngineController",
+            &RobustnessReport {
+                ticks: 12,
+                contracts_checked: 3,
+                violations: vec![],
+                missing_signals: vec![],
+            }
+        )
+        .is_empty());
     }
 }

@@ -1,0 +1,305 @@
+//! Fault-injection scenarios for the reengineered engine controller.
+//!
+//! The robustness experiment (EXPERIMENTS.md, E17) drives the reengineered
+//! gasoline-engine model of [`reengineer_engine`](crate::reengineer_engine)
+//! through deterministic sensor faults and checks the delivered output
+//! streams against their clock contracts with the kernel's
+//! [`ContractMonitor`]. Each scenario is a named, seeded
+//! [`FaultSpec`]-shaped recipe, so every run — local, CI, or benchmark —
+//! injects byte-identical fault streams.
+//!
+//! The nominal stimulus is the case study's 20-tick drive profile (the same
+//! rpm/throttle sweep the trace-equivalence tests replay): cranking →
+//! idle → part load → overrun.
+
+use automode_core::model::Model;
+use automode_core::ComponentId;
+use automode_kernel::{Clock, ContractMonitor, FaultKind, Message, Stream, Value};
+use automode_sim::{CompiledSim, SimError};
+use automode_transform::TransformError;
+
+use crate::reengineer_engine;
+
+/// The engine model's observed output signals, in declaration order.
+pub const ENGINE_OUTPUTS: [&str; 5] = ["rate", "ti", "advance", "idle_trim", "lam_trim"];
+
+/// One named fault-injection scenario against the engine controller.
+#[derive(Debug, Clone)]
+pub struct EngineFaultScenario {
+    /// Scenario name, e.g. `rpm-dropout`.
+    pub name: &'static str,
+    /// The input or output signal the fault intercepts.
+    pub signal: &'static str,
+    /// The injected fault.
+    pub kind: FaultKind,
+    /// First tick at which the fault perturbs a delivery, when that is
+    /// statically known (`None` for seeded jitter).
+    pub fault_tick: Option<u64>,
+    /// Whether the fault can change message *presence* (and is therefore
+    /// detectable by the presence-contract monitor alone). Value-only
+    /// faults need differential comparison against the nominal trace.
+    pub presence_fault: bool,
+}
+
+/// The deterministic scenario suite of the robustness experiment:
+///
+/// * `rpm-dropout` — the crank-speed sensor misses every 5th frame
+///   (`Drop { every: 5, phase: 3 }`);
+/// * `throttle-stuck-wot` — the throttle position sensor freezes at
+///   wide-open throttle (`StuckAt(0.95)`);
+/// * `o2-lag` — the lambda probe's line buffers two frames (`Delay(2)`);
+/// * `ti-jitter` — the injection-time channel holds messages back with
+///   seeded probability (`Jitter`);
+/// * `lam-trim-inverted` — the lambda trim is sign-flipped
+///   (`Corrupt(scale(-1))`).
+pub fn engine_fault_scenarios() -> Vec<EngineFaultScenario> {
+    use automode_kernel::Corruptor;
+    vec![
+        EngineFaultScenario {
+            name: "rpm-dropout",
+            signal: "rpm",
+            kind: FaultKind::drop_every(5, 3),
+            fault_tick: Some(3),
+            presence_fault: true,
+        },
+        EngineFaultScenario {
+            name: "throttle-stuck-wot",
+            signal: "throttle",
+            kind: FaultKind::StuckAt(Value::Float(0.95)),
+            fault_tick: Some(0),
+            presence_fault: false,
+        },
+        EngineFaultScenario {
+            name: "o2-lag",
+            signal: "o2",
+            kind: FaultKind::Delay(2),
+            fault_tick: Some(0),
+            presence_fault: false,
+        },
+        EngineFaultScenario {
+            name: "ti-jitter",
+            signal: "ti",
+            kind: FaultKind::Jitter {
+                seed: 0xE17,
+                hold: 0.35,
+            },
+            fault_tick: None,
+            presence_fault: true,
+        },
+        EngineFaultScenario {
+            name: "lam-trim-inverted",
+            signal: "lam_trim",
+            kind: FaultKind::Corrupt(Corruptor::scale(-1.0)),
+            fault_tick: Some(0),
+            presence_fault: false,
+        },
+    ]
+}
+
+/// The nominal drive profile: key on, rpm sweeping cranking → idle → part
+/// load → overrun (the trace-equivalence scenario of the case study, with
+/// an oscillating lambda probe). All four sensors publish every tick.
+pub fn nominal_engine_inputs(ticks: u64) -> Vec<(&'static str, Stream)> {
+    let rpm_at = |k: u64| match k {
+        0..=4 => 200.0,    // cranking
+        5..=9 => 900.0,    // running, idle-ish
+        10..=14 => 3000.0, // part load
+        _ => 2500.0,       // closing throttle -> overrun
+    };
+    let throttle_at = |k: u64| match k {
+        0..=4 => 0.0,
+        5..=9 => 0.02,
+        10..=14 => 0.95, // full load
+        _ => 0.0,        // overrun
+    };
+    let rpm: Stream = (0..ticks)
+        .map(|k| Message::present(Value::Float(rpm_at(k))))
+        .collect();
+    let throttle: Stream = (0..ticks)
+        .map(|k| Message::present(Value::Float(throttle_at(k))))
+        .collect();
+    let key_on: Stream = (0..ticks)
+        .map(|_| Message::present(Value::Bool(true)))
+        .collect();
+    // The lambda probe drifts lean over the profile; a constant (or
+    // periodic) stream would make latency faults (Delay) invisible by
+    // construction.
+    let o2: Stream = (0..ticks)
+        .map(|k| Message::present(Value::Float(0.85 + 0.005 * k as f64)))
+        .collect();
+    vec![
+        ("rpm", rpm),
+        ("throttle", throttle),
+        ("key_on", key_on),
+        ("o2", o2),
+    ]
+}
+
+/// The engine controller's presence contracts: under the nominal stimulus
+/// every output publishes every tick, so each output signal gets an exact
+/// base-clock contract. Combined with the network's inferred contracts by
+/// the caller when clocked elaborations are in play.
+pub fn engine_contract_monitor() -> ContractMonitor {
+    let mut m = ContractMonitor::new();
+    for sig in ENGINE_OUTPUTS {
+        m = m.expect_exact(sig, Clock::Base);
+    }
+    m
+}
+
+/// Compiles the reengineered engine controller for fault experiments.
+///
+/// # Errors
+///
+/// Propagates reengineering and compilation errors.
+pub fn compiled_engine() -> Result<(Model, ComponentId, CompiledSim), EngineFaultError> {
+    let r = reengineer_engine()?;
+    let sim = CompiledSim::new(&r.model, r.root)?;
+    Ok((r.model, r.root, sim))
+}
+
+/// Errors of the fault-experiment setup.
+#[derive(Debug)]
+pub enum EngineFaultError {
+    /// Reengineering the ASCET model failed.
+    Transform(TransformError),
+    /// Compiling or running the simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for EngineFaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineFaultError::Transform(e) => write!(f, "reengineering failed: {e}"),
+            EngineFaultError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineFaultError {}
+
+impl From<TransformError> for EngineFaultError {
+    fn from(e: TransformError) -> Self {
+        EngineFaultError::Transform(e)
+    }
+}
+
+impl From<SimError> for EngineFaultError {
+    fn from(e: SimError) -> Self {
+        EngineFaultError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::metrics::RobustnessMetrics;
+    use automode_core::rules::{robustness_findings, Severity};
+
+    const TICKS: usize = 20;
+
+    #[test]
+    fn nominal_profile_satisfies_all_contracts() {
+        let (_, _, mut sim) = compiled_engine().unwrap();
+        let inputs = nominal_engine_inputs(TICKS as u64);
+        let monitor = engine_contract_monitor();
+        let (_, report) = sim.run_monitored(&inputs, TICKS, &monitor).unwrap();
+        assert!(
+            report.is_clean(),
+            "nominal run violated contracts: {report}"
+        );
+        assert_eq!(report.contracts_checked, ENGINE_OUTPUTS.len());
+    }
+
+    #[test]
+    fn rpm_dropout_is_detected_at_the_first_dropped_frame() {
+        let (_, _, mut sim) = compiled_engine().unwrap();
+        let sc = &engine_fault_scenarios()[0];
+        assert_eq!(sc.name, "rpm-dropout");
+        sim.set_faults(&[(sc.signal, sc.kind.clone())]).unwrap();
+        let inputs = nominal_engine_inputs(TICKS as u64);
+        let monitor = engine_contract_monitor();
+        let (_, report) = sim.run_monitored(&inputs, TICKS, &monitor).unwrap();
+
+        // rpm frames vanish at t = 3, 8, 13, 18; every output consumes rpm
+        // (directly or via the flag computation), so the monitor flags the
+        // very first dropped frame.
+        assert_eq!(report.first_violation_tick(), Some(3));
+        let m = RobustnessMetrics::from_report(&report, sc.fault_tick);
+        assert_eq!(m.detection_latency(), Some(0));
+
+        // And it surfaces as a Conflict through the FAA rule pipeline.
+        let findings = robustness_findings("engine", &report);
+        assert!(!findings.is_empty());
+        assert!(findings
+            .iter()
+            .all(|f| f.severity == Severity::Conflict || f.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn value_faults_stay_presence_clean_but_diverge_from_nominal() {
+        let (_, _, mut sim) = compiled_engine().unwrap();
+        let inputs = nominal_engine_inputs(TICKS as u64);
+        let nominal = sim.run(&inputs, TICKS).unwrap();
+        let monitor = engine_contract_monitor();
+
+        for sc in engine_fault_scenarios()
+            .iter()
+            .filter(|sc| !sc.presence_fault)
+        {
+            sim.set_faults(&[(sc.signal, sc.kind.clone())]).unwrap();
+            let (run, report) = sim.run_monitored(&inputs, TICKS, &monitor).unwrap();
+            assert!(
+                report.is_clean(),
+                "{}: value fault tripped a presence contract: {report}",
+                sc.name
+            );
+            assert_ne!(run.trace, nominal.trace, "{}: no divergence", sc.name);
+            sim.clear_faults();
+        }
+    }
+
+    #[test]
+    fn seeded_jitter_is_reproducible_and_detected() {
+        let (_, _, mut sim) = compiled_engine().unwrap();
+        let sc = engine_fault_scenarios()
+            .into_iter()
+            .find(|s| s.name == "ti-jitter")
+            .unwrap();
+        sim.set_faults(&[(sc.signal, sc.kind.clone())]).unwrap();
+        let inputs = nominal_engine_inputs(TICKS as u64);
+        let monitor = engine_contract_monitor();
+        let (run_a, report_a) = sim.run_monitored(&inputs, TICKS, &monitor).unwrap();
+        let (run_b, report_b) = sim.run_monitored(&inputs, TICKS, &monitor).unwrap();
+        assert_eq!(run_a, run_b, "seeded jitter must replay identically");
+        assert_eq!(report_a, report_b);
+        assert!(
+            !report_a.is_clean(),
+            "jitter with hold=0.35 over 20 ticks should trip the ti contract"
+        );
+        assert!(report_a.violations.iter().all(|v| v.signal == "ti"));
+    }
+
+    #[test]
+    fn scenario_suite_runs_as_one_batch() {
+        use automode_sim::BatchScenario;
+
+        let (_, _, sim) = compiled_engine().unwrap();
+        let inputs = nominal_engine_inputs(TICKS as u64);
+        let scenarios: Vec<EngineFaultScenario> = engine_fault_scenarios();
+        let lanes: Vec<BatchScenario<'_>> = scenarios
+            .iter()
+            .map(|sc| BatchScenario::new(&inputs, TICKS).with_fault(sc.signal, sc.kind.clone()))
+            .collect();
+        let runs = sim.run_batch(&lanes).unwrap();
+        assert_eq!(runs.len(), scenarios.len());
+
+        // Lane results equal the sequential faulted runs.
+        let mut seq = sim.clone();
+        for (sc, batched) in scenarios.iter().zip(&runs) {
+            seq.set_faults(&[(sc.signal, sc.kind.clone())]).unwrap();
+            let single = seq.run(&inputs, TICKS).unwrap();
+            assert_eq!(*batched, single, "{}", sc.name);
+        }
+    }
+}

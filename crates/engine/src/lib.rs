@@ -27,6 +27,7 @@
 pub mod ascet_original;
 pub mod ccd;
 pub mod door_lock;
+pub mod faults;
 pub mod modes;
 pub mod momentum;
 pub mod reengineered;
@@ -35,6 +36,10 @@ pub mod sequencer;
 pub use ascet_original::original_engine_model;
 pub use ccd::build_engine_ccd;
 pub use door_lock::{build_door_lock, build_door_lock_system};
+pub use faults::{
+    compiled_engine, engine_contract_monitor, engine_fault_scenarios, nominal_engine_inputs,
+    EngineFaultError, EngineFaultScenario, ENGINE_OUTPUTS,
+};
 pub use modes::build_engine_modes;
 pub use momentum::build_momentum_controller;
 pub use reengineered::reengineer_engine;

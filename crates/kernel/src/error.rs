@@ -87,6 +87,26 @@ pub enum KernelError {
         /// The offending downsampling factor (must be `>= 1`).
         n: u32,
     },
+    /// A fault spec named a channel the network does not have (or names
+    /// it ambiguously).
+    UnknownFaultTarget {
+        /// A description of the unresolved target.
+        target: String,
+    },
+    /// A fault spec carried invalid parameters (zero drop period,
+    /// out-of-range jitter probability, …).
+    InvalidFault {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A batched run received per-lane fault plans whose count does not
+    /// match the number of stimulus lanes.
+    FaultLaneArity {
+        /// Number of stimulus lanes.
+        lanes: usize,
+        /// Number of per-lane fault plans provided.
+        plans: usize,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -131,6 +151,14 @@ impl fmt::Display for KernelError {
             KernelError::InvalidClock { n } => {
                 write!(f, "invalid clock: period must be positive, got {n}")
             }
+            KernelError::UnknownFaultTarget { target } => {
+                write!(f, "fault target {target} does not resolve to a channel")
+            }
+            KernelError::InvalidFault { reason } => write!(f, "invalid fault: {reason}"),
+            KernelError::FaultLaneArity { lanes, plans } => write!(
+                f,
+                "batched run has {lanes} stimulus lane(s) but {plans} fault plan(s)"
+            ),
         }
     }
 }

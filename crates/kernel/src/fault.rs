@@ -1,0 +1,877 @@
+//! Deterministic fault injection and runtime contract monitoring.
+//!
+//! AutoMoDe's FAA level exists to catch degraded behaviour early, yet an
+//! executor that only ever sees nominal stimuli cannot exercise it. This
+//! module makes *faults* first-class: a [`FaultSpec`] names a channel (an
+//! external input, a node output, a probed signal, or a named block port)
+//! and a [`FaultKind`] describing how delivered messages are perturbed. The
+//! executors compile specs into a per-slot plan and apply it **between a
+//! node's commit of an output and its delivery to readers** — downstream
+//! blocks, the commit re-gather, and probes all observe the faulted value,
+//! exactly as if the physical channel had misbehaved.
+//!
+//! Because absence is a first-class observation in the message semantics
+//! (a dropped tick is `-`, not an error), every fault kind stays inside
+//! the model: no executor path needs out-of-band error handling.
+//!
+//! ## Fault kinds and clock gating
+//!
+//! [`FaultKind::Drop`] is *presence-reducing and value-preserving*, so it
+//! composes with the clock-gated hyperperiod plan: a gated plan's activity
+//! masks are upper bounds on presence, and a drop only pushes observations
+//! further below the bound. Its `every`/`phase` arithmetic is the same
+//! `every(n, phase)` algebra as [`Clock`], so drop plans align tick-exactly
+//! with gated phases. All other kinds either rewrite values (which can
+//! invalidate the boolean gate patterns the plan was proven against) or
+//! carry cross-tick state that must advance on every tick
+//! ([`FaultKind::Delay`], [`FaultKind::Jitter`]); installing any of them
+//! makes the executor fall back to the ungated schedule for the run —
+//! semantics are identical either way, as the differential suites check.
+//!
+//! ## Contract monitoring
+//!
+//! A [`ContractMonitor`] holds per-signal presence contracts
+//! ([`ChannelContract`]: an `every(n, phase)` clock, exact or upper-bound)
+//! and checks a delivered [`Trace`] against them, producing a
+//! [`RobustnessReport`] with the exact first-violation tick per channel.
+//! Executors infer contracts from the same [`ClockBehavior`] declarations
+//! that drive gating (see `ReadyNetwork::inferred_contracts`).
+//!
+//! [`ClockBehavior`]: crate::ops::ClockBehavior
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::Clock;
+use crate::error::KernelError;
+use crate::network::PortRef;
+use crate::trace::Trace;
+use crate::value::{Message, Value};
+use crate::Tick;
+
+/// A named, deterministic value transform used by [`FaultKind::Corrupt`].
+///
+/// The closure is shared behind an [`Arc`], so corruptors clone cheaply
+/// into batch lanes; the name is what `Debug` output and reports show.
+#[derive(Clone)]
+pub struct Corruptor {
+    name: Arc<str>,
+    f: Arc<dyn Fn(&Value) -> Value + Send + Sync>,
+}
+
+impl Corruptor {
+    /// Wraps `f` under a display `name`.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Value) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        Corruptor {
+            name: name.into().into(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// The corruptor's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Applies the transform to one value.
+    pub fn apply(&self, v: &Value) -> Value {
+        (self.f)(v)
+    }
+
+    /// Multiplies numeric values by `factor` (sensor gain error); other
+    /// value kinds pass through unchanged.
+    pub fn scale(factor: f64) -> Self {
+        Corruptor::new(format!("scale({factor})"), move |v| match v {
+            Value::Float(x) => Value::Float(x * factor),
+            Value::Int(i) => Value::Int(((*i as f64) * factor).round() as i64),
+            other => other.clone(),
+        })
+    }
+
+    /// Adds `delta` to numeric values (sensor offset error); other value
+    /// kinds pass through unchanged.
+    pub fn offset(delta: f64) -> Self {
+        Corruptor::new(format!("offset({delta})"), move |v| match v {
+            Value::Float(x) => Value::Float(x + delta),
+            Value::Int(i) => Value::Int(*i + delta.round() as i64),
+            other => other.clone(),
+        })
+    }
+}
+
+impl fmt::Debug for Corruptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Corruptor").field(&self.name).finish()
+    }
+}
+
+/// How a faulted channel perturbs the messages delivered over it.
+#[derive(Debug, Clone)]
+pub enum FaultKind {
+    /// Deterministically drops (turns absent) the message at every tick `t`
+    /// with `t >= phase && (t - phase) % every == 0` — the same
+    /// `every(n, phase)` arithmetic as [`Clock`], so drop schedules align
+    /// with gated hyperperiod phases. `every` must be at least 1;
+    /// `Drop { every: 1, phase: 0 }` severs the channel completely.
+    Drop {
+        /// Drop period in ticks (`>= 1`).
+        every: u64,
+        /// First dropped tick.
+        phase: u64,
+    },
+    /// Replaces the value of every *present* message with a constant —
+    /// a stuck sensor. Absent ticks stay absent, so presence is unchanged.
+    StuckAt(Value),
+    /// Delays every message by `k` ticks through an absent-initialized
+    /// ring: presence and values both shift. `Delay(0)` is the identity.
+    Delay(usize),
+    /// Seeded random jitter: each present message enters a FIFO queue, and
+    /// at every tick the head is released with probability `1 - hold`
+    /// (held with probability `hold`, which must be in `[0, 1)`).
+    /// Values are delivered in order, late but uncorrupted — exactly one
+    /// release per tick at most, like a flaky periodic bus. Replays are
+    /// deterministic: the stream of hold/release decisions depends only on
+    /// `seed`.
+    Jitter {
+        /// Seed of the per-fault random generator.
+        seed: u64,
+        /// Per-tick probability of holding the queue head (`0 <= hold < 1`).
+        hold: f64,
+    },
+    /// Applies a deterministic [`Corruptor`] to every present value;
+    /// presence is unchanged.
+    Corrupt(Corruptor),
+}
+
+impl FaultKind {
+    /// Convenience constructor for [`FaultKind::Drop`].
+    pub fn drop_every(every: u64, phase: u64) -> Self {
+        FaultKind::Drop { every, phase }
+    }
+
+    /// Whether this kind composes with clock-gated scheduling (see the
+    /// module docs): only [`FaultKind::Drop`] is presence-reducing *and*
+    /// value-preserving *and* stateless.
+    pub fn is_gating_safe(&self) -> bool {
+        matches!(self, FaultKind::Drop { .. })
+    }
+
+    fn validate(&self) -> Result<(), KernelError> {
+        match self {
+            FaultKind::Drop { every: 0, .. } => Err(KernelError::InvalidFault {
+                reason: "drop period must be at least 1".to_string(),
+            }),
+            FaultKind::Jitter { hold, .. } if !(0.0..1.0).contains(hold) => {
+                Err(KernelError::InvalidFault {
+                    reason: format!("jitter hold probability must be in [0, 1), got {hold}"),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The channel a fault attaches to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A network input, by declaration index: the stimulus row is perturbed
+    /// before any block reads it.
+    External(usize),
+    /// A node output port: perturbed after the node steps, before any
+    /// reader (same-tick consumers, the commit re-gather, probes) sees it.
+    Output(PortRef),
+    /// A probed signal, by name; resolves to the producing output (or the
+    /// probed external input).
+    Signal(String),
+    /// An output port of a block found by display name — elaborated
+    /// networks name their port-boundary blocks (`in:{path}.{port}` etc.),
+    /// so internal channels deep in a component hierarchy are addressable
+    /// without holding kernel port references.
+    Block {
+        /// The block's display name (must be unique in the network).
+        name: String,
+        /// The output port index on that block.
+        port: usize,
+    },
+}
+
+/// One injected fault: a target channel plus the perturbation applied to it.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// The channel to perturb.
+    pub target: FaultTarget,
+    /// The perturbation.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// Creates a spec from parts.
+    pub fn new(target: FaultTarget, kind: FaultKind) -> Self {
+        FaultSpec { target, kind }
+    }
+
+    /// Faults a probed signal by name.
+    pub fn on_signal(name: impl Into<String>, kind: FaultKind) -> Self {
+        FaultSpec::new(FaultTarget::Signal(name.into()), kind)
+    }
+
+    /// Faults a network input by declaration index.
+    pub fn on_input(index: usize, kind: FaultKind) -> Self {
+        FaultSpec::new(FaultTarget::External(index), kind)
+    }
+
+    /// Faults a node output port.
+    pub fn on_output(port: PortRef, kind: FaultKind) -> Self {
+        FaultSpec::new(FaultTarget::Output(port), kind)
+    }
+
+    /// Faults an output of a block addressed by display name.
+    pub fn on_block(name: impl Into<String>, port: usize, kind: FaultKind) -> Self {
+        FaultSpec::new(
+            FaultTarget::Block {
+                name: name.into(),
+                port,
+            },
+            kind,
+        )
+    }
+}
+
+/// Per-site runtime state of one fault; applied in place to each delivered
+/// message.
+#[derive(Debug, Clone)]
+pub(crate) enum FaultState {
+    /// Stateless tick-arithmetic drop.
+    Drop {
+        /// Drop period.
+        every: u64,
+        /// First dropped tick.
+        phase: u64,
+    },
+    /// Stateless value replacement.
+    StuckAt(Value),
+    /// `k`-tick ring of in-flight messages.
+    Delay {
+        /// Ring buffer holding exactly `k` in-flight messages.
+        buf: VecDeque<Message>,
+        /// The delay in ticks (for reset).
+        k: usize,
+    },
+    /// Seeded hold/release queue.
+    Jitter {
+        /// Values accepted but not yet delivered, in order.
+        queue: VecDeque<Value>,
+        /// The per-fault generator.
+        rng: StdRng,
+        /// Seed (for reset).
+        seed: u64,
+        /// Hold probability.
+        hold: f64,
+    },
+    /// Stateless value transform.
+    Corrupt(Corruptor),
+}
+
+impl FaultState {
+    pub(crate) fn new(kind: &FaultKind) -> Result<Self, KernelError> {
+        kind.validate()?;
+        Ok(match kind {
+            FaultKind::Drop { every, phase } => FaultState::Drop {
+                every: *every,
+                phase: *phase,
+            },
+            FaultKind::StuckAt(v) => FaultState::StuckAt(v.clone()),
+            FaultKind::Delay(k) => FaultState::Delay {
+                buf: std::iter::repeat_with(|| Message::Absent)
+                    .take(*k)
+                    .collect(),
+                k: *k,
+            },
+            FaultKind::Jitter { seed, hold } => FaultState::Jitter {
+                queue: VecDeque::new(),
+                rng: StdRng::seed_from_u64(*seed),
+                seed: *seed,
+                hold: *hold,
+            },
+            FaultKind::Corrupt(c) => FaultState::Corrupt(c.clone()),
+        })
+    }
+
+    /// Restores the initial state (drains queues, reseeds generators).
+    pub(crate) fn reset(&mut self) {
+        match self {
+            FaultState::Drop { .. } | FaultState::StuckAt(_) | FaultState::Corrupt(_) => {}
+            FaultState::Delay { buf, k } => {
+                buf.clear();
+                buf.extend(std::iter::repeat_with(|| Message::Absent).take(*k));
+            }
+            FaultState::Jitter {
+                queue, rng, seed, ..
+            } => {
+                queue.clear();
+                *rng = StdRng::seed_from_u64(*seed);
+            }
+        }
+    }
+
+    /// Perturbs the message delivered at tick `t` in place. Must be called
+    /// exactly once per tick per site — stateful kinds advance here.
+    pub(crate) fn apply(&mut self, t: Tick, m: &mut Message) {
+        match self {
+            FaultState::Drop { every, phase } => {
+                if t >= *phase && (t - *phase).is_multiple_of(*every) {
+                    *m = Message::Absent;
+                }
+            }
+            FaultState::StuckAt(v) => {
+                if m.is_present() {
+                    *m = Message::Present(v.clone());
+                }
+            }
+            FaultState::Delay { buf, .. } => {
+                buf.push_back(std::mem::replace(m, Message::Absent));
+                *m = buf.pop_front().expect("delay ring is never empty");
+            }
+            FaultState::Jitter {
+                queue, rng, hold, ..
+            } => {
+                if let Message::Present(v) = std::mem::replace(m, Message::Absent) {
+                    queue.push_back(v);
+                }
+                if !queue.is_empty() && !rng.gen_bool(*hold) {
+                    *m = Message::Present(queue.pop_front().expect("checked non-empty"));
+                }
+            }
+            FaultState::Corrupt(c) => {
+                if let Message::Present(v) = m {
+                    *v = c.apply(v);
+                }
+            }
+        }
+    }
+}
+
+/// A fault site resolved against a compiled network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultSite {
+    /// Index into the external input row.
+    External(usize),
+    /// Output `port` of node `node`.
+    Node {
+        /// The node index.
+        node: usize,
+        /// The output port on that node.
+        port: usize,
+    },
+}
+
+/// A compiled per-slot fault plan: resolved sites with their runtime state,
+/// grouped for O(1) lookup on the executor hot paths.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultPlan {
+    /// Faults on external inputs: `(input index, state)`.
+    pub(crate) ext: Vec<(usize, FaultState)>,
+    /// `node_faults[i]`: faults on node `i`'s outputs as `(port, state)`.
+    pub(crate) node_faults: Vec<Vec<(usize, FaultState)>>,
+    /// Whether every installed kind composes with clock gating (see
+    /// [`FaultKind::is_gating_safe`]); when false, executors run ungated.
+    pub(crate) gating_safe: bool,
+}
+
+impl FaultPlan {
+    /// Builds a plan over `n_nodes` nodes from resolved `(site, kind)`
+    /// pairs, validating every kind.
+    pub(crate) fn build(
+        n_nodes: usize,
+        sites: Vec<(FaultSite, FaultKind)>,
+    ) -> Result<FaultPlan, KernelError> {
+        let mut ext = Vec::new();
+        let mut node_faults = vec![Vec::new(); n_nodes];
+        let mut gating_safe = true;
+        for (site, kind) in sites {
+            gating_safe &= kind.is_gating_safe();
+            let state = FaultState::new(&kind)?;
+            match site {
+                FaultSite::External(e) => ext.push((e, state)),
+                FaultSite::Node { node, port } => node_faults[node].push((port, state)),
+            }
+        }
+        Ok(FaultPlan {
+            ext,
+            node_faults,
+            gating_safe,
+        })
+    }
+
+    /// Whether the plan contains no faults at all.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.ext.is_empty() && self.node_faults.iter().all(Vec::is_empty)
+    }
+
+    /// Restores every fault site to its initial state.
+    pub(crate) fn reset(&mut self) {
+        for (_, st) in &mut self.ext {
+            st.reset();
+        }
+        for site in &mut self.node_faults {
+            for (_, st) in site {
+                st.reset();
+            }
+        }
+    }
+}
+
+/// A presence contract on one delivered signal: when its `every(n, phase)`
+/// clock is active, and whether activity is exact or an upper bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelContract {
+    /// The probed signal the contract constrains.
+    pub signal: String,
+    /// The clock the signal is checked against.
+    pub clock: Clock,
+    /// `true`: the signal must be present exactly at the clock's active
+    /// ticks. `false` (subclock): the signal may only be present at active
+    /// ticks, but may also be absent there.
+    pub exact: bool,
+    /// First tick the contract applies from (earlier ticks are ignored —
+    /// useful for settle prefixes and warm-up transients).
+    pub from: Tick,
+}
+
+/// One presence violation found by a [`ContractMonitor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PresenceViolation {
+    /// The violated signal.
+    pub signal: String,
+    /// The tick at which presence deviated from the contract.
+    pub tick: Tick,
+    /// What the contract expected at that tick.
+    pub expected_present: bool,
+    /// What the trace delivered.
+    pub observed_present: bool,
+}
+
+impl fmt::Display for PresenceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let word = |p: bool| if p { "present" } else { "absent" };
+        write!(
+            f,
+            "signal `{}` at tick {}: expected {}, observed {}",
+            self.signal,
+            self.tick,
+            word(self.expected_present),
+            word(self.observed_present)
+        )
+    }
+}
+
+/// A runtime checker of [`ChannelContract`]s over delivered traces.
+#[derive(Debug, Clone, Default)]
+pub struct ContractMonitor {
+    contracts: Vec<ChannelContract>,
+}
+
+impl ContractMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        ContractMonitor::default()
+    }
+
+    /// Adds a contract.
+    pub fn push(&mut self, contract: ChannelContract) {
+        self.contracts.push(contract);
+    }
+
+    /// Adds an exact contract: `signal` must be present *iff* `clock` is
+    /// active. Builder-style.
+    pub fn expect_exact(mut self, signal: impl Into<String>, clock: Clock) -> Self {
+        self.push(ChannelContract {
+            signal: signal.into(),
+            clock,
+            exact: true,
+            from: 0,
+        });
+        self
+    }
+
+    /// Adds a subclock contract: `signal` may only be present when `clock`
+    /// is active. Builder-style.
+    pub fn expect_subclock(mut self, signal: impl Into<String>, clock: Clock) -> Self {
+        self.push(ChannelContract {
+            signal: signal.into(),
+            clock,
+            exact: false,
+            from: 0,
+        });
+        self
+    }
+
+    /// Delays the start of the most recently added contract to `from`.
+    /// Builder-style; no-op on an empty monitor.
+    pub fn starting_at(mut self, from: Tick) -> Self {
+        if let Some(c) = self.contracts.last_mut() {
+            c.from = from;
+        }
+        self
+    }
+
+    /// The installed contracts.
+    pub fn contracts(&self) -> &[ChannelContract] {
+        &self.contracts
+    }
+
+    /// Number of installed contracts.
+    pub fn len(&self) -> usize {
+        self.contracts.len()
+    }
+
+    /// Whether the monitor holds no contracts.
+    pub fn is_empty(&self) -> bool {
+        self.contracts.is_empty()
+    }
+
+    /// Checks every contract against `trace`, reporting each tick where a
+    /// signal's presence deviates (in ascending tick order per signal).
+    /// Contracted signals missing from the trace are reported separately —
+    /// a missing channel is itself a robustness finding, not a pass.
+    pub fn check(&self, trace: &Trace) -> RobustnessReport {
+        let ticks = trace.tick_count();
+        let mut violations = Vec::new();
+        let mut missing_signals = Vec::new();
+        for c in &self.contracts {
+            let Some(s) = trace.signal(&c.signal) else {
+                missing_signals.push(c.signal.clone());
+                continue;
+            };
+            for t in c.from..ticks as Tick {
+                let observed = s.get(t as usize).map(Message::is_present).unwrap_or(false);
+                let expected = c.clock.is_active(t);
+                let violated = if c.exact {
+                    observed != expected
+                } else {
+                    observed && !expected
+                };
+                if violated {
+                    violations.push(PresenceViolation {
+                        signal: c.signal.clone(),
+                        tick: t,
+                        expected_present: expected,
+                        observed_present: observed,
+                    });
+                }
+            }
+        }
+        violations.sort_by(|a, b| (a.tick, &a.signal).cmp(&(b.tick, &b.signal)));
+        RobustnessReport {
+            ticks,
+            contracts_checked: self.contracts.len(),
+            violations,
+            missing_signals,
+        }
+    }
+}
+
+/// The structured result of checking a trace against a
+/// [`ContractMonitor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessReport {
+    /// Ticks covered by the checked trace.
+    pub ticks: usize,
+    /// Number of contracts evaluated.
+    pub contracts_checked: usize,
+    /// All presence violations, ordered by `(tick, signal)`.
+    pub violations: Vec<PresenceViolation>,
+    /// Contracted signals absent from the trace entirely.
+    pub missing_signals: Vec<String>,
+}
+
+impl RobustnessReport {
+    /// `true` when no violation was found and no contracted signal was
+    /// missing.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.missing_signals.is_empty()
+    }
+
+    /// The earliest violation, if any (ties broken by signal name).
+    pub fn first_violation(&self) -> Option<&PresenceViolation> {
+        self.violations.first()
+    }
+
+    /// The tick of the earliest violation, if any.
+    pub fn first_violation_tick(&self) -> Option<Tick> {
+        self.violations.first().map(|v| v.tick)
+    }
+
+    /// The violations on one signal, in tick order.
+    pub fn violations_on<'a>(
+        &'a self,
+        signal: &'a str,
+    ) -> impl Iterator<Item = &'a PresenceViolation> + 'a {
+        self.violations.iter().filter(move |v| v.signal == signal)
+    }
+}
+
+impl fmt::Display for RobustnessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "robustness: {} contract(s) over {} tick(s)",
+            self.contracts_checked, self.ticks
+        )?;
+        if self.is_clean() {
+            return write!(f, " — clean");
+        }
+        if let Some(first) = self.first_violation() {
+            write!(
+                f,
+                " — {} violation(s), first: {}",
+                self.violations.len(),
+                first
+            )?;
+        }
+        if !self.missing_signals.is_empty() {
+            write!(
+                f,
+                " — missing signal(s): {}",
+                self.missing_signals.join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::Stream;
+
+    fn msg(v: i64) -> Message {
+        Message::present(v)
+    }
+
+    #[test]
+    fn drop_fault_is_periodic_from_phase() {
+        let mut st = FaultState::new(&FaultKind::drop_every(3, 2)).unwrap();
+        let mut delivered = Vec::new();
+        for t in 0..9u64 {
+            let mut m = msg(t as i64);
+            st.apply(t, &mut m);
+            delivered.push(m.is_present());
+        }
+        // Dropped at t = 2, 5, 8.
+        assert_eq!(
+            delivered,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn stuck_at_preserves_presence() {
+        let mut st = FaultState::new(&FaultKind::StuckAt(Value::Int(9))).unwrap();
+        let mut m = msg(1);
+        st.apply(0, &mut m);
+        assert_eq!(m, msg(9));
+        let mut a = Message::Absent;
+        st.apply(1, &mut a);
+        assert!(a.is_absent());
+    }
+
+    #[test]
+    fn delay_shifts_presence_and_values() {
+        let mut st = FaultState::new(&FaultKind::Delay(2)).unwrap();
+        let mut out = Vec::new();
+        for t in 0..5u64 {
+            let mut m = msg(t as i64);
+            st.apply(t, &mut m);
+            out.push(m);
+        }
+        assert!(out[0].is_absent() && out[1].is_absent());
+        assert_eq!(&out[2..], &[msg(0), msg(1), msg(2)]);
+        // Delay(0) is the identity.
+        let mut id = FaultState::new(&FaultKind::Delay(0)).unwrap();
+        let mut m = msg(7);
+        id.apply(0, &mut m);
+        assert_eq!(m, msg(7));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_order_preserving() {
+        let kind = FaultKind::Jitter {
+            seed: 11,
+            hold: 0.5,
+        };
+        let run = |st: &mut FaultState| -> (Vec<Message>, Vec<i64>) {
+            let mut out = Vec::new();
+            let mut released = Vec::new();
+            for t in 0..40u64 {
+                let mut m = if t < 20 {
+                    msg(t as i64)
+                } else {
+                    Message::Absent
+                };
+                st.apply(t, &mut m);
+                if let Message::Present(Value::Int(i)) = &m {
+                    released.push(*i);
+                }
+                out.push(m);
+            }
+            (out, released)
+        };
+        let mut a = FaultState::new(&kind).unwrap();
+        let mut b = FaultState::new(&kind).unwrap();
+        let (out_a, rel_a) = run(&mut a);
+        let (out_b, rel_b) = run(&mut b);
+        assert_eq!(out_a, out_b, "same seed, same delivery");
+        assert_eq!(rel_a, rel_b);
+        // Values come out in input order, no duplication or invention.
+        assert!(rel_a.windows(2).all(|w| w[0] < w[1]));
+        assert!(rel_a.iter().all(|&i| (0..20).contains(&i)));
+        // Reset replays identically.
+        a.reset();
+        assert_eq!(run(&mut a).0, out_b);
+    }
+
+    #[test]
+    fn corrupt_scales_in_place() {
+        let mut st = FaultState::new(&FaultKind::Corrupt(Corruptor::scale(2.0))).unwrap();
+        let mut m = Message::present(Value::Float(1.5));
+        st.apply(0, &mut m);
+        assert_eq!(m, Message::present(Value::Float(3.0)));
+        let mut i = msg(3);
+        st.apply(1, &mut i);
+        assert_eq!(i, msg(6));
+    }
+
+    #[test]
+    fn invalid_faults_are_rejected() {
+        assert!(matches!(
+            FaultState::new(&FaultKind::drop_every(0, 0)),
+            Err(KernelError::InvalidFault { .. })
+        ));
+        assert!(matches!(
+            FaultState::new(&FaultKind::Jitter { seed: 1, hold: 1.0 }),
+            Err(KernelError::InvalidFault { .. })
+        ));
+        assert!(matches!(
+            FaultState::new(&FaultKind::Jitter {
+                seed: 1,
+                hold: -0.1
+            }),
+            Err(KernelError::InvalidFault { .. })
+        ));
+    }
+
+    #[test]
+    fn only_drop_is_gating_safe() {
+        assert!(FaultKind::drop_every(2, 0).is_gating_safe());
+        for kind in [
+            FaultKind::StuckAt(Value::Int(0)),
+            FaultKind::Delay(1),
+            FaultKind::Jitter { seed: 0, hold: 0.2 },
+            FaultKind::Corrupt(Corruptor::offset(1.0)),
+        ] {
+            assert!(!kind.is_gating_safe(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn monitor_reports_exact_first_violation_tick() {
+        // Hand-built scenario: a base-rate signal with a hole at tick 4
+        // and a 3-periodic signal that fires off-phase at tick 5.
+        let mut trace = Trace::new();
+        trace.insert(
+            "base",
+            (0..8)
+                .map(|t| if t == 4 { Message::Absent } else { msg(t) })
+                .collect(),
+        );
+        trace.insert(
+            "slow",
+            (0..8)
+                .map(|t| {
+                    if t % 3 == 0 || t == 5 {
+                        msg(t)
+                    } else {
+                        Message::Absent
+                    }
+                })
+                .collect(),
+        );
+        let monitor = ContractMonitor::new()
+            .expect_exact("base", Clock::base())
+            .expect_subclock("slow", Clock::every(3, 0));
+        let report = monitor.check(&trace);
+        assert!(!report.is_clean());
+        assert_eq!(report.first_violation_tick(), Some(4));
+        let first = report.first_violation().unwrap();
+        assert_eq!(first.signal, "base");
+        assert!(first.expected_present && !first.observed_present);
+        let slow: Vec<_> = report.violations_on("slow").collect();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].tick, 5);
+        assert!(!slow[0].expected_present && slow[0].observed_present);
+        assert_eq!(report.violations.len(), 2);
+    }
+
+    #[test]
+    fn monitor_clean_run_and_missing_signal() {
+        let mut trace = Trace::new();
+        trace.insert("x", Stream::from_values([1i64, 2, 3]));
+        let monitor = ContractMonitor::new()
+            .expect_exact("x", Clock::base())
+            .expect_exact("ghost", Clock::base());
+        let report = monitor.check(&trace);
+        assert_eq!(report.missing_signals, vec!["ghost".to_string()]);
+        assert!(report.violations.is_empty());
+        assert!(!report.is_clean());
+        let ok = ContractMonitor::new().expect_exact("x", Clock::base());
+        assert!(ok.check(&trace).is_clean());
+        assert!(ok.check(&trace).to_string().contains("clean"));
+    }
+
+    #[test]
+    fn starting_at_skips_warmup_ticks() {
+        let mut trace = Trace::new();
+        trace.insert(
+            "x",
+            [Message::Absent, Message::Absent, msg(2), msg(3)]
+                .into_iter()
+                .collect(),
+        );
+        let strict = ContractMonitor::new().expect_exact("x", Clock::base());
+        assert_eq!(strict.check(&trace).first_violation_tick(), Some(0));
+        let lenient = ContractMonitor::new()
+            .expect_exact("x", Clock::base())
+            .starting_at(2);
+        assert!(lenient.check(&trace).is_clean());
+    }
+
+    #[test]
+    fn fault_plan_groups_sites_and_tracks_gating_safety() {
+        let sites = vec![
+            (FaultSite::External(0), FaultKind::drop_every(2, 0)),
+            (
+                FaultSite::Node { node: 1, port: 0 },
+                FaultKind::drop_every(4, 1),
+            ),
+        ];
+        let plan = FaultPlan::build(3, sites).unwrap();
+        assert!(plan.gating_safe);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.ext.len(), 1);
+        assert_eq!(plan.node_faults[1].len(), 1);
+        assert!(plan.node_faults[0].is_empty() && plan.node_faults[2].is_empty());
+
+        let stateful =
+            FaultPlan::build(1, vec![(FaultSite::External(0), FaultKind::Delay(3))]).unwrap();
+        assert!(!stateful.gating_safe);
+        assert!(FaultPlan::build(0, Vec::new()).unwrap().is_empty());
+    }
+}

@@ -58,6 +58,7 @@
 pub mod causality;
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod network;
 pub mod ops;
 pub mod stream;
@@ -68,6 +69,10 @@ pub mod vcd;
 pub use causality::{CausalityError, CausalityReport, Schedule};
 pub use clock::Clock;
 pub use error::KernelError;
+pub use fault::{
+    ChannelContract, ContractMonitor, Corruptor, FaultKind, FaultSpec, FaultTarget,
+    PresenceViolation, RobustnessReport,
+};
 pub use network::{BlockHandle, Network, NodeId, PortRef, ReadyNetwork, ReferenceExecutor};
 pub use ops::{Block, ClockBehavior};
 pub use stream::Stream;

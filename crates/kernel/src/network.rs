@@ -47,6 +47,9 @@ use std::sync::Arc;
 use crate::causality::{self, Schedule};
 use crate::clock::lcm;
 use crate::error::KernelError;
+use crate::fault::{
+    ChannelContract, ContractMonitor, FaultPlan, FaultSite, FaultSpec, FaultTarget,
+};
 use crate::ops::{Block, ClockBehavior};
 use crate::trace::Trace;
 use crate::value::Message;
@@ -416,6 +419,9 @@ impl Network {
             observed,
             parallel_min_width: None,
             parallel_workers: None,
+            fault_specs: Vec::new(),
+            faults: None,
+            ext_scratch: Vec::new(),
             tick: 0,
         })
     }
@@ -450,6 +456,7 @@ impl Network {
         Ok(ReferenceExecutor {
             net: self,
             order: schedule.order,
+            faults: None,
             tick: 0,
         })
     }
@@ -822,6 +829,13 @@ pub struct ReadyNetwork {
     /// Worker-count override for parallel levels (`None` = available
     /// parallelism).
     parallel_workers: Option<usize>,
+    /// Installed fault specs — the source of truth from which per-run
+    /// plans are compiled (batch lanes recompile with fresh state).
+    fault_specs: Vec<FaultSpec>,
+    /// Compiled fault plan for the incremental path (`None` = nominal).
+    faults: Option<FaultPlan>,
+    /// Reused row for faulted external inputs.
+    ext_scratch: Vec<Message>,
     tick: Tick,
 }
 
@@ -888,13 +902,159 @@ impl ReadyNetwork {
         self.gated.as_ref().map(|g| g.hyperperiod)
     }
 
-    /// Resets all blocks, the arena, and the tick counter.
+    /// Installs (replacing any previous set) fault specs intercepting
+    /// channel values between commit and delivery: every reader of a
+    /// faulted channel — same-tick instantaneous consumers, the phase-2
+    /// commit re-gather, and probes — observes the perturbed message.
+    ///
+    /// Fault state (delay rings, jitter generators) starts fresh here and
+    /// on every [`ReadyNetwork::reset`]. When any installed kind is not
+    /// gating-safe (see [`crate::fault::FaultKind::is_gating_safe`]), ticks
+    /// run the full ungated schedule — observable semantics are unchanged,
+    /// only the skip optimization is bypassed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownFaultTarget`] for targets that don't
+    /// resolve to a channel and [`KernelError::InvalidFault`] for invalid
+    /// fault parameters.
+    pub fn set_faults(&mut self, specs: &[FaultSpec]) -> Result<(), KernelError> {
+        let plan = self.compile_fault_plan(specs)?;
+        self.fault_specs = specs.to_vec();
+        self.faults = if plan.is_empty() { None } else { Some(plan) };
+        Ok(())
+    }
+
+    /// Removes all installed faults; subsequent ticks run nominally.
+    pub fn clear_faults(&mut self) {
+        self.fault_specs.clear();
+        self.faults = None;
+    }
+
+    /// The installed fault specs, in installation order.
+    pub fn fault_specs(&self) -> &[FaultSpec] {
+        &self.fault_specs
+    }
+
+    /// The arena-owning node and port of flat output index `a`.
+    fn arena_owner(&self, a: usize) -> (usize, usize) {
+        let i = self.out_offset.partition_point(|&o| o <= a) - 1;
+        (i, a - self.out_offset[i])
+    }
+
+    fn resolve_fault_site(&self, target: &FaultTarget) -> Result<FaultSite, KernelError> {
+        let unknown = || KernelError::UnknownFaultTarget {
+            target: format!("{target:?}"),
+        };
+        match target {
+            FaultTarget::External(e) => {
+                if *e < self.n_inputs {
+                    Ok(FaultSite::External(*e))
+                } else {
+                    Err(unknown())
+                }
+            }
+            FaultTarget::Output(p) => {
+                let i = p.node.index();
+                if i < self.blocks.len() && p.port < self.out_offset[i + 1] - self.out_offset[i] {
+                    Ok(FaultSite::Node {
+                        node: i,
+                        port: p.port,
+                    })
+                } else {
+                    Err(unknown())
+                }
+            }
+            FaultTarget::Signal(name) => {
+                let j = self
+                    .probe_names
+                    .iter()
+                    .position(|n| n == name)
+                    .ok_or_else(unknown)?;
+                match self.probe_slots[j] {
+                    Slot::Arena(a) => {
+                        let (node, port) = self.arena_owner(a);
+                        Ok(FaultSite::Node { node, port })
+                    }
+                    Slot::External(e) => Ok(FaultSite::External(e)),
+                    Slot::Open => Err(unknown()),
+                }
+            }
+            FaultTarget::Block { name, port } => {
+                let mut found = None;
+                for (i, b) in self.blocks.iter().enumerate() {
+                    if b.name() == name {
+                        if found.is_some() {
+                            return Err(KernelError::UnknownFaultTarget {
+                                target: format!("block `{name}` (ambiguous: multiple instances)"),
+                            });
+                        }
+                        found = Some(i);
+                    }
+                }
+                let node = found.ok_or_else(unknown)?;
+                if *port < self.out_offset[node + 1] - self.out_offset[node] {
+                    Ok(FaultSite::Node { node, port: *port })
+                } else {
+                    Err(unknown())
+                }
+            }
+        }
+    }
+
+    fn compile_fault_plan(&self, specs: &[FaultSpec]) -> Result<FaultPlan, KernelError> {
+        let mut sites = Vec::with_capacity(specs.len());
+        for spec in specs {
+            sites.push((self.resolve_fault_site(&spec.target)?, spec.kind.clone()));
+        }
+        FaultPlan::build(self.blocks.len(), sites)
+    }
+
+    /// Builds a [`ContractMonitor`] over the probed signals from the
+    /// blocks' declared clock structure — the same [`ClockBehavior`]
+    /// contracts that drive clock gating. A probe fed by a
+    /// [`ClockBehavior::Declared`] block gets a *subclock* contract on the
+    /// declared clock (the block is provably inert off-clock but may also
+    /// withhold messages on-clock); one fed by a [`ClockBehavior::BoolGate`]
+    /// generator gets an *exact* base-clock contract (gates emit a Boolean
+    /// at every tick). Other behaviours and probed external inputs yield no
+    /// contract.
+    pub fn inferred_contracts(&self) -> ContractMonitor {
+        let mut monitor = ContractMonitor::new();
+        for (j, &slot) in self.probe_slots.iter().enumerate() {
+            let Slot::Arena(a) = slot else { continue };
+            let (i, _) = self.arena_owner(a);
+            match self.blocks[i].clock_behavior() {
+                ClockBehavior::Declared(clock) => monitor.push(ChannelContract {
+                    signal: self.probe_names[j].clone(),
+                    clock,
+                    exact: false,
+                    from: 0,
+                }),
+                ClockBehavior::BoolGate(_) => monitor.push(ChannelContract {
+                    signal: self.probe_names[j].clone(),
+                    clock: Clock::base(),
+                    exact: true,
+                    from: 0,
+                }),
+                _ => {}
+            }
+        }
+        monitor
+    }
+
+    /// Resets all blocks, the arena, the tick counter, and the state of any
+    /// installed faults (delay rings drain, jitter generators reseed) — a
+    /// reset-and-replay reproduces the faulted trace exactly.
     pub fn reset(&mut self) {
         for block in &mut self.blocks {
             block.reset();
         }
         self.arena.fill(Message::Absent);
         self.scratch.fill(Message::Absent);
+        if let Some(fp) = &mut self.faults {
+            fp.reset();
+        }
         self.tick = 0;
     }
 
@@ -931,7 +1091,32 @@ impl ReadyNetwork {
             });
         }
         let t = self.tick;
-        let gated = self.gated.clone();
+
+        // Faulted external inputs are staged into a reused owned row so the
+        // whole tick (gathers, commit re-gather, probes) reads the
+        // perturbed values.
+        let mut ext_owned: Option<Vec<Message>> = None;
+        if self.faults.as_ref().is_some_and(|f| !f.ext.is_empty()) {
+            let mut row = std::mem::take(&mut self.ext_scratch);
+            row.clear();
+            row.extend_from_slice(externals);
+            let fp = self.faults.as_mut().expect("non-empty ext faults checked");
+            for (e, st) in &mut fp.ext {
+                st.apply(t, &mut row[*e]);
+            }
+            ext_owned = Some(row);
+        }
+        let externals: &[Message] = ext_owned.as_deref().unwrap_or(externals);
+
+        // Non-gating-safe faults (anything but `Drop`) run the full
+        // schedule: value-rewriting faults can invalidate the gate patterns
+        // the plan was proven against, and stateful faults must advance at
+        // every tick. Semantics are identical either way.
+        let gated = if self.faults.as_ref().is_some_and(|f| !f.gating_safe) {
+            None
+        } else {
+            self.gated.clone()
+        };
         let plan = gated.as_deref().and_then(|g| g.phase_of(t).map(|p| (g, p)));
 
         // Clear the outputs of nodes that just went inert; the skip then
@@ -981,6 +1166,16 @@ impl ReadyNetwork {
                             out_offset: &self.out_offset,
                         },
                     )?;
+                    // Faults land right after the level commits its
+                    // outputs, so every later reader sees the perturbed
+                    // channel — same interception point as sequential mode.
+                    if let Some(fp) = &mut self.faults {
+                        for &i in level {
+                            for (port, st) in &mut fp.node_faults[i] {
+                                st.apply(t, &mut self.arena[self.out_offset[i] + *port]);
+                            }
+                        }
+                    }
                 }
                 _ => {
                     for ni in 0..width {
@@ -992,6 +1187,11 @@ impl ReadyNetwork {
                         let inputs = &self.scratch[self.slot_offset[i]..self.slot_offset[i + 1]];
                         let out = &mut self.arena[self.out_offset[i]..self.out_offset[i + 1]];
                         self.blocks[i].step_into(t, inputs, out)?;
+                        if let Some(fp) = &mut self.faults {
+                            for (port, st) in &mut fp.node_faults[i] {
+                                st.apply(t, &mut self.arena[self.out_offset[i] + *port]);
+                            }
+                        }
                     }
                 }
             }
@@ -1022,6 +1222,9 @@ impl ReadyNetwork {
             self.observed[j] = resolve_slot(slot, &self.arena, externals);
         }
         self.tick += 1;
+        if let Some(row) = ext_owned {
+            self.ext_scratch = row;
+        }
         Ok(&self.observed)
     }
 
@@ -1116,6 +1319,37 @@ impl ReadyNetwork {
     ///
     /// Fails on stimulus arity mismatches or block evaluation errors.
     pub fn run_batch(&self, stimuli: &[Vec<Vec<Message>>]) -> Result<Vec<Trace>, KernelError> {
+        self.run_batch_with_faults(stimuli, &[])
+    }
+
+    /// [`ReadyNetwork::run_batch`] with per-lane fault injection.
+    ///
+    /// `lane_faults` is either empty (no per-lane faults) or holds one spec
+    /// list per stimulus lane. Lane `l` runs under the network's installed
+    /// specs ([`ReadyNetwork::set_faults`]) *plus* `lane_faults[l]`, each
+    /// lane with fresh fault state — exactly the semantics of `K`
+    /// sequential runs on freshly reset faulted copies. When any lane's
+    /// faults are not gating-safe, the whole batch runs ungated (lanes
+    /// share one schedule pass per tick).
+    ///
+    /// # Errors
+    ///
+    /// In addition to the [`ReadyNetwork::run_batch`] conditions, fails
+    /// with [`KernelError::FaultLaneArity`] when `lane_faults` is non-empty
+    /// but does not match the lane count, and with the
+    /// [`ReadyNetwork::set_faults`] conditions on unresolvable or invalid
+    /// specs.
+    pub fn run_batch_with_faults(
+        &self,
+        stimuli: &[Vec<Vec<Message>>],
+        lane_faults: &[Vec<FaultSpec>],
+    ) -> Result<Vec<Trace>, KernelError> {
+        if !lane_faults.is_empty() && lane_faults.len() != stimuli.len() {
+            return Err(KernelError::FaultLaneArity {
+                lanes: stimuli.len(),
+                plans: lane_faults.len(),
+            });
+        }
         // Cache blocking: each lane replicates block state, so very wide
         // sequential batches outgrow the cache and slow down per lane.
         // Bounding the working set costs nothing semantically — lanes are
@@ -1124,8 +1358,13 @@ impl ReadyNetwork {
         const LANE_CHUNK: usize = 16;
         if self.parallel_min_width.is_none() && stimuli.len() > LANE_CHUNK {
             let mut traces = Vec::with_capacity(stimuli.len());
-            for chunk in stimuli.chunks(LANE_CHUNK) {
-                traces.extend(self.run_batch(chunk)?);
+            for (ci, chunk) in stimuli.chunks(LANE_CHUNK).enumerate() {
+                let faults_chunk: &[Vec<FaultSpec>] = if lane_faults.is_empty() {
+                    &[]
+                } else {
+                    &lane_faults[ci * LANE_CHUNK..ci * LANE_CHUNK + chunk.len()]
+                };
+                traces.extend(self.run_batch_with_faults(chunk, faults_chunk)?);
             }
             return Ok(traces);
         }
@@ -1156,6 +1395,36 @@ impl ReadyNetwork {
             return Ok(traces);
         }
 
+        // Per-lane fault plans, each compiled with fresh state so a lane
+        // behaves exactly like a sequential run on a freshly reset faulted
+        // copy. `None` when nothing is faulted — the nominal path pays no
+        // per-tick cost.
+        let mut lane_plans: Option<Vec<FaultPlan>> =
+            if !self.fault_specs.is_empty() || lane_faults.iter().any(|f| !f.is_empty()) {
+                let mut plans = Vec::with_capacity(k);
+                for l in 0..k {
+                    let mut specs = self.fault_specs.clone();
+                    if let Some(extra) = lane_faults.get(l) {
+                        specs.extend(extra.iter().cloned());
+                    }
+                    plans.push(self.compile_fault_plan(&specs)?);
+                }
+                Some(plans)
+            } else {
+                None
+            };
+        let gating_on = lane_plans
+            .as_ref()
+            .is_none_or(|ps| ps.iter().all(|p| p.gating_safe));
+        let any_ext_faults = lane_plans
+            .as_ref()
+            .is_some_and(|ps| ps.iter().any(|p| !p.ext.is_empty()));
+        let mut ext_rows: Vec<Vec<Message>> = if any_ext_faults {
+            vec![vec![Message::Absent; self.n_inputs]; k]
+        } else {
+            Vec::new()
+        };
+
         // Per-lane block state, node-major with lanes contiguous: lane `l`
         // of node `i` lives at `i * k + l`, ascending in `(i, l)` exactly
         // like the lane-major arena ranges — which is what lets the
@@ -1183,10 +1452,28 @@ impl ReadyNetwork {
         #[allow(clippy::needless_range_loop)]
         for t in 0..max_ticks {
             let tick = t as Tick;
-            let plan = self
-                .gated
-                .as_deref()
-                .and_then(|g| g.phase_of(tick).map(|p| (g, p)));
+            let plan = if gating_on {
+                self.gated
+                    .as_deref()
+                    .and_then(|g| g.phase_of(tick).map(|p| (g, p)))
+            } else {
+                None
+            };
+
+            // Stage each active lane's faulted external row for the tick.
+            if any_ext_faults {
+                let plans = lane_plans.as_mut().expect("ext faults imply lane plans");
+                for (l, &len) in lens.iter().enumerate() {
+                    if t >= len {
+                        continue;
+                    }
+                    ext_rows[l].clear();
+                    ext_rows[l].extend_from_slice(&stimuli[l][t]);
+                    for (e, st) in &mut plans[l].ext {
+                        st.apply(tick, &mut ext_rows[l][*e]);
+                    }
+                }
+            }
 
             // Clear all lanes of nodes that just went inert.
             if let Some((g, p)) = plan {
@@ -1210,7 +1497,11 @@ impl ReadyNetwork {
                         if t >= len {
                             continue;
                         }
-                        let row = &stimuli[l][t];
+                        let row: &[Message] = if any_ext_faults {
+                            &ext_rows[l]
+                        } else {
+                            &stimuli[l][t]
+                        };
                         let in_start = self.slot_offset[i] * k + l * ia;
                         let out_start = self.out_offset[i] * k + l * oa;
                         for p in 0..ia {
@@ -1232,12 +1523,26 @@ impl ReadyNetwork {
                     Some(min) if specs.len() >= min => {
                         let parts = carve_parts(&specs, &mut lane_blocks, &mut arena, &scratch);
                         run_parts(tick, parts, self.parallel_workers)?;
+                        if let Some(plans) = &mut lane_plans {
+                            for spec in &specs {
+                                let (i, l) = (spec.block / k, spec.block % k);
+                                for (port, st) in &mut plans[l].node_faults[i] {
+                                    st.apply(tick, &mut arena[spec.out.start + *port]);
+                                }
+                            }
+                        }
                     }
                     _ => {
                         for spec in &specs {
                             let inputs = &scratch[spec.inputs.clone()];
                             let out = &mut arena[spec.out.clone()];
                             lane_blocks[spec.block].step_into(tick, inputs, out)?;
+                            if let Some(plans) = &mut lane_plans {
+                                let (i, l) = (spec.block / k, spec.block % k);
+                                for (port, st) in &mut plans[l].node_faults[i] {
+                                    st.apply(tick, &mut arena[spec.out.start + *port]);
+                                }
+                            }
                         }
                     }
                 }
@@ -1256,7 +1561,11 @@ impl ReadyNetwork {
                     if t >= len {
                         continue;
                     }
-                    let row = &stimuli[l][t];
+                    let row: &[Message] = if any_ext_faults {
+                        &ext_rows[l]
+                    } else {
+                        &stimuli[l][t]
+                    };
                     let in_start = self.slot_offset[i] * k + l * ia;
                     for p in 0..ia {
                         let flat = self.slot_offset[i] + p;
@@ -1271,7 +1580,11 @@ impl ReadyNetwork {
                 if t >= len {
                     continue;
                 }
-                let row = &stimuli[l][t];
+                let row: &[Message] = if any_ext_faults {
+                    &ext_rows[l]
+                } else {
+                    &stimuli[l][t]
+                };
                 for (j, &slot) in probe_slots.iter().enumerate() {
                     observed[j] = resolve_batch_slot(slot, l, &arena, row);
                 }
@@ -1305,6 +1618,9 @@ impl Clone for ReadyNetwork {
             observed: self.observed.clone(),
             parallel_min_width: self.parallel_min_width,
             parallel_workers: self.parallel_workers,
+            fault_specs: self.fault_specs.clone(),
+            faults: self.faults.clone(),
+            ext_scratch: self.ext_scratch.clone(),
             tick: self.tick,
         }
     }
@@ -1454,6 +1770,9 @@ fn step_level_parallel(
 pub struct ReferenceExecutor {
     net: Network,
     order: Vec<usize>,
+    /// Compiled fault plan (`None` = nominal) — the oracle against which
+    /// the compiled executors' fault injection is differentially tested.
+    faults: Option<FaultPlan>,
     tick: Tick,
 }
 
@@ -1463,13 +1782,96 @@ impl ReferenceExecutor {
         self.tick
     }
 
-    /// Resets all blocks and the tick counter.
+    /// Resets all blocks, the tick counter, and any installed fault state.
     pub fn reset(&mut self) {
         for node in &mut self.net.nodes {
             node.block.reset();
             node.outputs.fill(Message::Absent);
         }
+        if let Some(fp) = &mut self.faults {
+            fp.reset();
+        }
         self.tick = 0;
+    }
+
+    /// Installs (replacing any previous set) fault specs — the interpretive
+    /// counterpart of [`ReadyNetwork::set_faults`], with identical
+    /// interception semantics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReadyNetwork::set_faults`].
+    pub fn set_faults(&mut self, specs: &[FaultSpec]) -> Result<(), KernelError> {
+        let mut sites = Vec::with_capacity(specs.len());
+        for spec in specs {
+            sites.push((self.resolve_fault_site(&spec.target)?, spec.kind.clone()));
+        }
+        let plan = FaultPlan::build(self.net.nodes.len(), sites)?;
+        self.faults = if plan.is_empty() { None } else { Some(plan) };
+        Ok(())
+    }
+
+    /// Removes all installed faults.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    fn resolve_fault_site(&self, target: &FaultTarget) -> Result<FaultSite, KernelError> {
+        let unknown = || KernelError::UnknownFaultTarget {
+            target: format!("{target:?}"),
+        };
+        match target {
+            FaultTarget::External(e) => {
+                if *e < self.net.input_names.len() {
+                    Ok(FaultSite::External(*e))
+                } else {
+                    Err(unknown())
+                }
+            }
+            FaultTarget::Output(p) => {
+                let i = p.node.index();
+                if i < self.net.nodes.len() && p.port < self.net.nodes[i].outputs.len() {
+                    Ok(FaultSite::Node {
+                        node: i,
+                        port: p.port,
+                    })
+                } else {
+                    Err(unknown())
+                }
+            }
+            FaultTarget::Signal(name) => {
+                let (_, src) = self
+                    .net
+                    .probes
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .ok_or_else(unknown)?;
+                match *src {
+                    Source::Node(n, p) => Ok(FaultSite::Node { node: n.0, port: p }),
+                    Source::External(e) => Ok(FaultSite::External(e)),
+                    Source::Open => Err(unknown()),
+                }
+            }
+            FaultTarget::Block { name, port } => {
+                let mut found = None;
+                for (i, node) in self.net.nodes.iter().enumerate() {
+                    if node.block.name() == name {
+                        if found.is_some() {
+                            return Err(KernelError::UnknownFaultTarget {
+                                target: format!("block `{name}` (ambiguous: multiple instances)"),
+                            });
+                        }
+                        found = Some(i);
+                    }
+                }
+                let node = found.ok_or_else(unknown)?;
+                if *port < self.net.nodes[node].outputs.len() {
+                    Ok(FaultSite::Node { node, port: *port })
+                } else {
+                    Err(unknown())
+                }
+            }
+        }
     }
 
     fn resolve(&self, src: Source, externals: &[Message]) -> Message {
@@ -1497,6 +1899,19 @@ impl ReferenceExecutor {
             });
         }
         let t = self.tick;
+        // Faulted external inputs are staged once so the whole tick reads
+        // the perturbed values.
+        let mut ext_owned: Option<Vec<Message>> = None;
+        if let Some(fp) = &mut self.faults {
+            if !fp.ext.is_empty() {
+                let mut row = externals.to_vec();
+                for (e, st) in &mut fp.ext {
+                    st.apply(t, &mut row[*e]);
+                }
+                ext_owned = Some(row);
+            }
+        }
+        let externals: &[Message] = ext_owned.as_deref().unwrap_or(externals);
         // Phase 1: step in schedule order.
         for idx in 0..self.order.len() {
             let i = self.order[idx];
@@ -1515,6 +1930,13 @@ impl ReferenceExecutor {
             let out = self.net.nodes[i].block.step(t, &inputs)?;
             debug_assert_eq!(out.len(), self.net.nodes[i].outputs.len());
             self.net.nodes[i].outputs = out;
+            // Faults intercept between this node's commit of its outputs
+            // and their delivery to any reader.
+            if let Some(fp) = &mut self.faults {
+                for (port, st) in &mut fp.node_faults[i] {
+                    st.apply(t, &mut self.net.nodes[i].outputs[*port]);
+                }
+            }
         }
         // Phase 2: commit with final input values.
         for i in 0..self.net.nodes.len() {
@@ -1595,6 +2017,7 @@ pub type SignalMap = BTreeMap<String, crate::stream::Stream>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Corruptor, FaultKind};
     use crate::ops::{AddN, BinOp, Const, Current, Delay, EveryClockGen, Lift2, UnitDelay, When};
     use crate::stream::{self, Stream};
     use crate::value::Value;
@@ -1935,6 +2358,389 @@ mod tests {
             ready.run_batch(&bad),
             Err(KernelError::StimulusArity { .. })
         ));
+    }
+
+    #[test]
+    fn run_batch_empty_scenario_list_returns_cleanly() {
+        let ready = diamond().prepare().unwrap();
+        assert_eq!(ready.run_batch(&[]).unwrap(), Vec::<Trace>::new());
+        assert_eq!(
+            ready.run_batch_with_faults(&[], &[]).unwrap(),
+            Vec::<Trace>::new()
+        );
+    }
+
+    #[test]
+    fn run_batch_zero_tick_lanes_return_cleanly_with_faults() {
+        let ready = diamond().prepare().unwrap();
+        let stims: Vec<Vec<Vec<Message>>> = vec![Vec::new(), Vec::new()];
+        let faults = vec![
+            vec![FaultSpec::on_signal("y", FaultKind::drop_every(1, 0))],
+            Vec::new(),
+        ];
+        let traces = ready.run_batch_with_faults(&stims, &faults).unwrap();
+        assert_eq!(traces.len(), 2);
+        for trace in &traces {
+            assert_eq!(trace.tick_count(), 0);
+            assert_eq!(trace.signal_count(), 2); // signals still declared
+        }
+    }
+
+    #[test]
+    fn run_batch_fault_plan_longer_than_stimulus_returns_cleanly() {
+        // A 10-tick delay ring against a 3-tick stimulus: most in-flight
+        // messages never come out, which must not trip any bound.
+        let stim = stimulus_from_streams(&[Stream::from_values([1i64, 2, 3])]);
+        let faults = vec![vec![FaultSpec::on_signal("y", FaultKind::Delay(10))]];
+        let ready = diamond().prepare().unwrap();
+        let batch = ready
+            .run_batch_with_faults(std::slice::from_ref(&stim), &faults)
+            .unwrap();
+        assert_eq!(batch[0].tick_count(), 3);
+        // Everything on `y` is still in flight.
+        assert!(batch[0].signal("y").unwrap().iter().all(Message::is_absent));
+        // Phase far beyond the stimulus: the drop never fires.
+        let late = vec![vec![FaultSpec::on_signal(
+            "y",
+            FaultKind::drop_every(2, 100),
+        )]];
+        let nominal = diamond().prepare().unwrap().run(&stim).unwrap();
+        let batch = ready
+            .run_batch_with_faults(std::slice::from_ref(&stim), &late)
+            .unwrap();
+        assert_eq!(batch[0], nominal);
+    }
+
+    #[test]
+    fn run_batch_with_faults_checks_lane_arity() {
+        let ready = diamond().prepare().unwrap();
+        let stims = vec![stimulus_from_streams(&[Stream::from_values([1i64, 2])])];
+        let two_plans = vec![Vec::new(), Vec::new()];
+        assert_eq!(
+            ready.run_batch_with_faults(&stims, &two_plans),
+            Err(KernelError::FaultLaneArity { lanes: 1, plans: 2 })
+        );
+        // Empty stimuli with a non-empty plan list is also a mismatch.
+        assert_eq!(
+            ready.run_batch_with_faults(&[], &two_plans),
+            Err(KernelError::FaultLaneArity { lanes: 0, plans: 2 })
+        );
+    }
+
+    #[test]
+    fn fault_targets_are_validated() {
+        let mut ready = diamond().prepare().unwrap();
+        for bad in [
+            FaultSpec::on_signal("ghost", FaultKind::drop_every(1, 0)),
+            FaultSpec::on_input(9, FaultKind::drop_every(1, 0)),
+            FaultSpec::on_block("NoSuchBlock", 0, FaultKind::drop_every(1, 0)),
+        ] {
+            assert!(matches!(
+                ready.set_faults(std::slice::from_ref(&bad)),
+                Err(KernelError::UnknownFaultTarget { .. })
+            ));
+        }
+        // Ambiguous block names are rejected rather than silently picking
+        // one: the diamond has two `lift(+)` instances.
+        assert!(matches!(
+            ready.set_faults(&[FaultSpec::on_block(
+                "lift(+)",
+                0,
+                FaultKind::drop_every(1, 0)
+            )]),
+            Err(KernelError::UnknownFaultTarget { .. })
+        ));
+        // A unique block name resolves (there is exactly one `lift(-)`).
+        assert!(ready
+            .set_faults(&[FaultSpec::on_block(
+                "lift(-)",
+                0,
+                FaultKind::drop_every(2, 0)
+            )])
+            .is_ok());
+        ready.clear_faults();
+        // Invalid fault parameters surface through the same API.
+        assert!(matches!(
+            ready.set_faults(&[FaultSpec::on_signal("y", FaultKind::drop_every(0, 0))]),
+            Err(KernelError::InvalidFault { .. })
+        ));
+        // A failed install leaves the network nominal.
+        assert!(ready.fault_specs().is_empty());
+    }
+
+    /// Tentpole acceptance: a hand-built drop scenario whose exact
+    /// first-violation tick the monitor must report.
+    #[test]
+    fn monitor_reports_exact_first_violation_on_executed_drop() {
+        let stim = stimulus_from_streams(&[Stream::from_values((1i64..=9).collect::<Vec<_>>())]);
+        let monitor = ContractMonitor::new().expect_exact("y", Clock::base());
+
+        // Nominal run: `y` is present at every tick — clean.
+        let nominal = diamond().run(&stim).unwrap();
+        assert!(monitor.check(&nominal).is_clean());
+
+        // Drop every 3rd delivery of `y` starting at tick 2.
+        let mut faulted = diamond().prepare().unwrap();
+        faulted
+            .set_faults(&[FaultSpec::on_signal("y", FaultKind::drop_every(3, 2))])
+            .unwrap();
+        let trace = faulted.run(&stim).unwrap();
+        let report = monitor.check(&trace);
+        assert_eq!(report.first_violation_tick(), Some(2));
+        let ticks: Vec<Tick> = report.violations_on("y").map(|v| v.tick).collect();
+        assert_eq!(ticks, vec![2, 5, 8]);
+        // The drop changes presence exactly on its schedule. (Values at
+        // later ticks may legitimately differ from nominal: the diamond's
+        // feedback delay stores the faulted `y`, as every reader must.)
+        let y = trace.signal("y").unwrap();
+        for t in 0..9 {
+            assert_eq!(y[t].is_absent(), t % 3 == 2, "tick {t}");
+        }
+        // The interpretive oracle delivers the identical faulted trace.
+        let mut reference = diamond().prepare_reference().unwrap();
+        reference
+            .set_faults(&[FaultSpec::on_signal("y", FaultKind::drop_every(3, 2))])
+            .unwrap();
+        assert_eq!(trace, reference.run(&stim).unwrap());
+    }
+
+    #[test]
+    fn every_fault_kind_is_executor_invariant_on_diamond() {
+        let stim = stimulus_from_streams(&[Stream::from_values((0i64..24).collect::<Vec<_>>())]);
+        let cases: Vec<(&str, Vec<FaultSpec>)> = vec![
+            (
+                "drop-signal",
+                vec![FaultSpec::on_signal("y", FaultKind::drop_every(2, 1))],
+            ),
+            (
+                "drop-input",
+                vec![FaultSpec::on_input(0, FaultKind::drop_every(3, 0))],
+            ),
+            (
+                "stuck",
+                vec![FaultSpec::on_signal(
+                    "y",
+                    FaultKind::StuckAt(Value::Int(42)),
+                )],
+            ),
+            (
+                "delay",
+                vec![FaultSpec::on_signal("y", FaultKind::Delay(2))],
+            ),
+            (
+                "jitter",
+                vec![FaultSpec::on_input(
+                    0,
+                    FaultKind::Jitter { seed: 7, hold: 0.4 },
+                )],
+            ),
+            (
+                "corrupt",
+                vec![FaultSpec::on_signal(
+                    "y",
+                    FaultKind::Corrupt(Corruptor::scale(2.0)),
+                )],
+            ),
+            (
+                "mixed",
+                vec![
+                    FaultSpec::on_input(0, FaultKind::Delay(1)),
+                    FaultSpec::on_signal("y", FaultKind::drop_every(4, 2)),
+                ],
+            ),
+        ];
+        for (label, specs) in &cases {
+            let mut ready = diamond().prepare().unwrap();
+            ready.set_faults(specs).unwrap();
+            let mut reference = diamond().prepare_reference().unwrap();
+            reference.set_faults(specs).unwrap();
+            let compiled = ready.run(&stim).unwrap();
+            let interpreted = reference.run(&stim).unwrap();
+            assert_eq!(compiled, interpreted, "{label}");
+
+            // Faulted traces genuinely differ from nominal (the fault bites).
+            let nominal = diamond().prepare().unwrap().run(&stim).unwrap();
+            assert_ne!(compiled, nominal, "{label}");
+
+            // Reset replays the faulted trace exactly (stateful kinds rewind).
+            ready.reset();
+            assert_eq!(ready.run(&stim).unwrap(), compiled, "{label} replay");
+
+            // Parallel stepping takes the same interception point.
+            let mut par = diamond().prepare().unwrap();
+            par.set_faults(specs).unwrap();
+            par.enable_parallel(2);
+            par.set_parallel_workers(Some(2));
+            assert_eq!(par.run(&stim).unwrap(), compiled, "{label} parallel");
+        }
+    }
+
+    #[test]
+    fn faults_bypass_gating_only_when_unsafe() {
+        let stim = stimulus_from_streams(&[Stream::from_values((0i64..25).collect::<Vec<_>>())]);
+        // Drop faults are gating-safe: the plan stays engaged and traces
+        // still match the reference.
+        for specs in [
+            vec![FaultSpec::on_signal("slow", FaultKind::drop_every(2, 0))],
+            vec![FaultSpec::on_input(0, FaultKind::Delay(3))],
+            vec![FaultSpec::on_signal(
+                "held",
+                FaultKind::StuckAt(Value::Int(5)),
+            )],
+            vec![FaultSpec::on_signal(
+                "acc",
+                FaultKind::Jitter { seed: 3, hold: 0.5 },
+            )],
+        ] {
+            let mut ready = multirate(4, 1).prepare().unwrap();
+            ready.set_faults(&specs).unwrap();
+            let mut reference = multirate(4, 1).prepare_reference().unwrap();
+            reference.set_faults(&specs).unwrap();
+            assert_eq!(ready.run(&stim).unwrap(), reference.run(&stim).unwrap());
+        }
+    }
+
+    #[test]
+    fn clear_faults_restores_nominal_behavior() {
+        let stim = stimulus_from_streams(&[Stream::from_values([1i64, 2, 3, 4])]);
+        let nominal = diamond().prepare().unwrap().run(&stim).unwrap();
+        let mut ready = diamond().prepare().unwrap();
+        ready
+            .set_faults(&[FaultSpec::on_signal("y", FaultKind::drop_every(1, 0))])
+            .unwrap();
+        assert_ne!(ready.run(&stim).unwrap(), nominal);
+        ready.clear_faults();
+        ready.reset();
+        assert_eq!(ready.run(&stim).unwrap(), nominal);
+    }
+
+    #[test]
+    fn cloned_network_carries_fault_state() {
+        let stim = stimulus_from_streams(&[Stream::from_values((0i64..10).collect::<Vec<_>>())]);
+        let mut a = diamond().prepare().unwrap();
+        a.set_faults(&[FaultSpec::on_signal("y", FaultKind::Delay(2))])
+            .unwrap();
+        for row in &stim[..3] {
+            a.step_tick_observed(row).unwrap();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.run(&stim[3..]).unwrap(), b.run(&stim[3..]).unwrap());
+    }
+
+    #[test]
+    fn batch_lane_faults_match_sequential_faulted_runs() {
+        let stims: Vec<Vec<Vec<Message>>> = (0..20)
+            .map(|l| {
+                stimulus_from_streams(&[Stream::from_values(
+                    (0i64..6).map(|v| v + l as i64).collect::<Vec<_>>(),
+                )])
+            })
+            .collect();
+        // Heterogeneous per-lane faults, cycling through every kind; lanes
+        // beyond the chunk boundary exercise the LANE_CHUNK recursion's
+        // fault-slice bookkeeping.
+        let lane_faults: Vec<Vec<FaultSpec>> = (0..20)
+            .map(|l| match l % 5 {
+                0 => vec![FaultSpec::on_signal(
+                    "y",
+                    FaultKind::drop_every(2, l as u64 % 3),
+                )],
+                1 => vec![FaultSpec::on_input(0, FaultKind::Delay(1 + l % 3))],
+                2 => vec![FaultSpec::on_signal(
+                    "y",
+                    FaultKind::Jitter {
+                        seed: l as u64,
+                        hold: 0.3,
+                    },
+                )],
+                3 => Vec::new(), // nominal lane inside a faulted batch
+                _ => vec![FaultSpec::on_signal(
+                    "y",
+                    FaultKind::StuckAt(Value::Int(-1)),
+                )],
+            })
+            .collect();
+        let ready = diamond().prepare().unwrap();
+        let batch = ready.run_batch_with_faults(&stims, &lane_faults).unwrap();
+        for (lane, (stim, specs)) in stims.iter().zip(&lane_faults).enumerate() {
+            let mut solo = diamond().prepare().unwrap();
+            solo.set_faults(specs).unwrap();
+            assert_eq!(batch[lane], solo.run(stim).unwrap(), "lane {lane}");
+        }
+
+        // Parallel batch mode applies faults at the same point.
+        let mut par = diamond().prepare().unwrap();
+        par.enable_parallel(2);
+        par.set_parallel_workers(Some(2));
+        let par_batch = par.run_batch_with_faults(&stims, &lane_faults).unwrap();
+        assert_eq!(par_batch, batch);
+    }
+
+    #[test]
+    fn batch_combines_installed_and_lane_faults() {
+        // The network-wide spec applies to every lane; the lane spec stacks
+        // on top — matching a sequential run with both installed.
+        let stims: Vec<Vec<Vec<Message>>> = (0..2)
+            .map(|l| {
+                stimulus_from_streams(&[Stream::from_values(
+                    (1i64..8).map(|v| v * (l + 1) as i64).collect::<Vec<_>>(),
+                )])
+            })
+            .collect();
+        let shared = FaultSpec::on_input(0, FaultKind::drop_every(3, 1));
+        let lane_only = FaultSpec::on_signal("y", FaultKind::Delay(1));
+        let mut ready = diamond().prepare().unwrap();
+        ready.set_faults(std::slice::from_ref(&shared)).unwrap();
+        let lane_faults = vec![Vec::new(), vec![lane_only.clone()]];
+        let batch = ready.run_batch_with_faults(&stims, &lane_faults).unwrap();
+
+        let mut lane0 = diamond().prepare().unwrap();
+        lane0.set_faults(std::slice::from_ref(&shared)).unwrap();
+        assert_eq!(batch[0], lane0.run(&stims[0]).unwrap());
+        let mut lane1 = diamond().prepare().unwrap();
+        lane1.set_faults(&[shared, lane_only]).unwrap();
+        assert_eq!(batch[1], lane1.run(&stims[1]).unwrap());
+    }
+
+    #[test]
+    fn inferred_contracts_catch_timing_faults() {
+        // A network with genuine static clock structure on its probes: a
+        // gate (always-present Boolean) and a declared every(2) constant.
+        let build = || {
+            let mut net = Network::new("contracts");
+            let clk = net.add_block(EveryClockGen::new(2, 0));
+            let c = net.add_block(Const::on_clock(7i64, Clock::every(2, 0)));
+            net.expose_output("gate", clk.output(0)).unwrap();
+            net.expose_output("c", c.output(0)).unwrap();
+            net
+        };
+        let ready = build().prepare().unwrap();
+        let monitor = ready.inferred_contracts();
+        assert_eq!(monitor.len(), 2);
+        let stim: Vec<Vec<Message>> = (0..8).map(|_| Vec::new()).collect();
+
+        // Nominal execution satisfies the inferred contracts.
+        let nominal = build().run(&stim).unwrap();
+        assert!(monitor.check(&nominal).is_clean());
+
+        // Delaying the declared signal by one tick pushes its messages onto
+        // inactive ticks — caught by the subclock contract at tick 1.
+        let mut faulted = build().prepare().unwrap();
+        faulted
+            .set_faults(&[FaultSpec::on_signal("c", FaultKind::Delay(1))])
+            .unwrap();
+        let report = monitor.check(&faulted.run(&stim).unwrap());
+        assert_eq!(report.first_violation_tick(), Some(1));
+        assert_eq!(report.first_violation().unwrap().signal, "c");
+
+        // Dropping the gate violates its exact base-clock contract.
+        let mut gate_fault = build().prepare().unwrap();
+        gate_fault
+            .set_faults(&[FaultSpec::on_signal("gate", FaultKind::drop_every(4, 3))])
+            .unwrap();
+        let report = monitor.check(&gate_fault.run(&stim).unwrap());
+        assert_eq!(report.first_violation_tick(), Some(3));
+        assert_eq!(report.first_violation().unwrap().signal, "gate");
     }
 
     #[test]

@@ -129,6 +129,26 @@ impl Trace {
         self.columns.iter().map(Stream::len).max().unwrap_or(0)
     }
 
+    /// Serializes the trace to a stable, line-oriented text form for golden
+    /// snapshot files: a versioned header, then each signal in declaration
+    /// order with one `  {tick} {message}` line per tick (absence prints as
+    /// `-`). The format is deterministic — identical traces produce
+    /// byte-identical text — so snapshot tests can compare with `==`.
+    pub fn to_canonical_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "automode-trace v1");
+        let _ = writeln!(out, "ticks {}", self.tick_count());
+        let _ = writeln!(out, "signals {}", self.signal_count());
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            let _ = writeln!(out, "signal {name}");
+            for (t, m) in col.iter().enumerate() {
+                let _ = writeln!(out, "  {t} {m}");
+            }
+        }
+        out
+    }
+
     /// Restricts the trace to the named signals (missing names are skipped).
     pub fn project(&self, names: &[&str]) -> Trace {
         let mut t = Trace::new();

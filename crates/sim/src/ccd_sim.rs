@@ -19,7 +19,7 @@
 use automode_core::ccd::Ccd;
 use automode_core::model::{Direction, Model};
 use automode_kernel::network::{Network, ReadyNetwork};
-use automode_kernel::ops::{Block, Current, Delay};
+use automode_kernel::ops::{Block, ClockBehavior, Current, Delay};
 use automode_kernel::{Clock, KernelError, Message, Tick};
 
 use crate::elaborate::elaborate;
@@ -76,6 +76,13 @@ impl Block for ClusterBlock {
     }
     fn needs_commit(&self) -> bool {
         false
+    }
+    fn clock_behavior(&self) -> ClockBehavior {
+        // Outputs are a subclock of the cluster clock: absent between active
+        // ticks, and possibly absent at active ticks too (the inner network
+        // decides). This feeds both the gated scheduler and the inferred
+        // presence contracts of `ContractMonitor`.
+        ClockBehavior::Declared(self.clock.clone())
     }
     fn reset(&mut self) {
         self.inner.reset();
@@ -241,6 +248,40 @@ mod tests {
         let y = trace.signal("slow.y").unwrap();
         assert!(y.conforms_to_clock(&Clock::every(3, 0)));
         assert_eq!(y.present_count(), 4); // t = 0, 3, 6, 9
+    }
+
+    #[test]
+    fn cluster_clock_is_declared_for_contract_inference() {
+        use automode_kernel::{FaultKind, FaultSpec};
+
+        let mut m = Model::new("t");
+        let c = counter_component(&mut m, "C");
+        let ccd = Ccd::new().cluster(Cluster::new("slow", c, 3));
+        let mut ready = elaborate_ccd(&m, &ccd).unwrap().prepare().unwrap();
+
+        // The declared cluster clock surfaces as an inferred subclock
+        // contract on `slow.y`.
+        let monitor = ready.inferred_contracts();
+        assert!(monitor
+            .contracts()
+            .iter()
+            .any(|c| c.signal == "slow.y" && c.clock == Clock::every(3, 0)));
+
+        let stim: Vec<Vec<Message>> = (0..9)
+            .map(|t| vec![Message::present(Value::Float(t as f64))])
+            .collect();
+        let nominal = ready.run(&stim).unwrap();
+        assert!(monitor.check(&nominal).is_clean());
+
+        // Delaying the cluster output by one tick moves every publication
+        // off the cluster clock — the monitor flags the first shifted tick.
+        ready
+            .set_faults(&[FaultSpec::on_signal("slow.y", FaultKind::Delay(1))])
+            .unwrap();
+        ready.reset();
+        let faulted = ready.run(&stim).unwrap();
+        let report = monitor.check(&faulted);
+        assert_eq!(report.first_violation_tick(), Some(1));
     }
 
     #[test]

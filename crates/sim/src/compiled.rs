@@ -13,13 +13,14 @@ use std::collections::HashMap;
 
 use automode_core::model::{ComponentId, Model};
 use automode_kernel::network::rows_padded_with_absence;
-use automode_kernel::Stream;
+use automode_kernel::{ContractMonitor, FaultKind, FaultSpec, RobustnessReport, Stream};
 
 use crate::elaborate::elaborate;
 use crate::error::SimError;
 use crate::simulate::SimRun;
 
-/// One lane of a batched simulation: named input streams plus a tick count.
+/// One lane of a batched simulation: named input streams plus a tick count,
+/// optionally with lane-local fault injection.
 ///
 /// Streams shorter than `ticks` are padded with absence, exactly like
 /// [`simulate_component`](crate::simulate_component).
@@ -29,6 +30,29 @@ pub struct BatchScenario<'a> {
     pub inputs: &'a [(&'a str, Stream)],
     /// Number of ticks to execute for this lane.
     pub ticks: usize,
+    /// Faults injected in this lane only, on top of any faults installed on
+    /// the [`CompiledSim`] itself. Each entry names an input port or an
+    /// output signal of the compiled component (resolution as in
+    /// [`CompiledSim::set_faults`]).
+    pub faults: Vec<(String, FaultKind)>,
+}
+
+impl<'a> BatchScenario<'a> {
+    /// A nominal (fault-free) scenario.
+    pub fn new(inputs: &'a [(&'a str, Stream)], ticks: usize) -> Self {
+        BatchScenario {
+            inputs,
+            ticks,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a lane-local fault on a named input or output signal.
+    /// Builder-style.
+    pub fn with_fault(mut self, signal: impl Into<String>, kind: FaultKind) -> Self {
+        self.faults.push((signal.into(), kind));
+        self
+    }
 }
 
 /// A component compiled for repeated simulation.
@@ -133,6 +157,81 @@ impl CompiledSim {
         &mut self.ready
     }
 
+    /// Resolves a user-facing signal name to a kernel fault spec.
+    ///
+    /// Names matching an input port fault that port's stimulus as delivered;
+    /// any other name is resolved by the kernel against the component's
+    /// observed output signals, so typos surface as
+    /// [`KernelError::UnknownFaultTarget`](automode_kernel::KernelError::UnknownFaultTarget).
+    fn fault_spec(&self, name: &str, kind: FaultKind) -> FaultSpec {
+        match self.input_index.get(name) {
+            Some(&i) => FaultSpec::on_input(i, kind),
+            None => FaultSpec::on_signal(name, kind),
+        }
+    }
+
+    /// Installs a deterministic fault plan on the compiled network.
+    ///
+    /// Each entry names either an input port (the fault intercepts that
+    /// port's stimulus) or an output signal of the component (the fault
+    /// intercepts the channel feeding that signal's probe, so every
+    /// downstream reader inside the network observes the faulted stream).
+    /// The plan stays installed across [`CompiledSim::run`] calls and seeds
+    /// every lane of [`CompiledSim::run_batch`]; per-lane fault state is
+    /// reset at the start of every run.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a name resolves to neither an input nor an observed signal,
+    /// or if a fault kind is malformed (e.g. `Drop { every: 0, .. }`).
+    pub fn set_faults(&mut self, faults: &[(&str, FaultKind)]) -> Result<(), SimError> {
+        let specs: Vec<FaultSpec> = faults
+            .iter()
+            .map(|(name, kind)| self.fault_spec(name, kind.clone()))
+            .collect();
+        self.ready.set_faults(&specs)?;
+        Ok(())
+    }
+
+    /// Builder form of [`CompiledSim::set_faults`].
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledSim::set_faults`].
+    pub fn with_faults(mut self, faults: &[(&str, FaultKind)]) -> Result<CompiledSim, SimError> {
+        self.set_faults(faults)?;
+        Ok(self)
+    }
+
+    /// Removes any installed fault plan, restoring nominal behavior.
+    pub fn clear_faults(&mut self) {
+        self.ready.clear_faults();
+    }
+
+    /// Presence contracts inferred from the compiled network's declared
+    /// clocks, ready for [`ContractMonitor::check`] /
+    /// [`CompiledSim::run_monitored`].
+    pub fn monitor(&self) -> ContractMonitor {
+        self.ready.inferred_contracts()
+    }
+
+    /// Runs one scenario and checks the resulting trace against `monitor`,
+    /// returning both the run and its [`RobustnessReport`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on stimulus naming errors or execution errors.
+    pub fn run_monitored(
+        &mut self,
+        inputs: &[(&str, Stream)],
+        ticks: usize,
+        monitor: &ContractMonitor,
+    ) -> Result<(SimRun, RobustnessReport), SimError> {
+        let run = self.run(inputs, ticks)?;
+        let report = monitor.check(&run.trace);
+        Ok((run, report))
+    }
+
     /// Resolves named streams to port order in one pass over `inputs`.
     ///
     /// Rejects names matching no input port ([`SimError::UnknownInput`]),
@@ -199,7 +298,20 @@ impl CompiledSim {
             let ordered = self.ordered(sc.inputs)?;
             stimuli.push(rows_padded_with_absence(&ordered, sc.ticks));
         }
-        let traces = self.ready.run_batch(&stimuli)?;
+        let traces = if scenarios.iter().any(|sc| !sc.faults.is_empty()) {
+            let lane_faults: Vec<Vec<FaultSpec>> = scenarios
+                .iter()
+                .map(|sc| {
+                    sc.faults
+                        .iter()
+                        .map(|(name, kind)| self.fault_spec(name, kind.clone()))
+                        .collect()
+                })
+                .collect();
+            self.ready.run_batch_with_faults(&stimuli, &lane_faults)?
+        } else {
+            self.ready.run_batch(&stimuli)?
+        };
         Ok(traces
             .into_iter()
             .zip(scenarios)
@@ -221,7 +333,7 @@ mod tests {
     use crate::stimulus;
     use automode_core::model::{Behavior, Component};
     use automode_core::types::DataType;
-    use automode_kernel::Value;
+    use automode_kernel::{Corruptor, Value};
     use automode_lang::parse;
 
     fn gain_model() -> (Model, ComponentId) {
@@ -261,10 +373,7 @@ mod tests {
         let scenarios: Vec<BatchScenario<'_>> = inputs
             .iter()
             .enumerate()
-            .map(|(i, inp)| BatchScenario {
-                inputs: inp.as_slice(),
-                ticks: 8 + i, // heterogeneous lengths
-            })
+            .map(|(i, inp)| BatchScenario::new(inp.as_slice(), 8 + i)) // heterogeneous lengths
             .collect();
         let batch = sim.run_batch(&scenarios).unwrap();
         for (i, sc) in scenarios.iter().enumerate() {
@@ -312,5 +421,116 @@ mod tests {
             CompiledSim::new_root(&m),
             Err(SimError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn installed_faults_alter_output_and_clear_restores_nominal() {
+        let (m, id) = gain_model();
+        let mut sim = CompiledSim::new(&m, id).unwrap();
+        let u = stimulus::seeded_random(-1.0, 1.0, 8, 7);
+        let nominal = sim.run(&[("u", u.clone())], 8).unwrap();
+
+        // Dropping every other delivery of the output signal `y`.
+        sim.set_faults(&[("y", FaultKind::drop_every(2, 1))])
+            .unwrap();
+        let faulted = sim.run(&[("u", u.clone())], 8).unwrap();
+        let y = faulted.trace.signal("y").unwrap();
+        for t in 0..8 {
+            assert_eq!(y[t].is_absent(), t % 2 == 1, "tick {t}");
+        }
+        assert_ne!(faulted, nominal);
+
+        sim.clear_faults();
+        assert_eq!(sim.run(&[("u", u)], 8).unwrap(), nominal);
+    }
+
+    #[test]
+    fn input_faults_intercept_the_delivered_stimulus() {
+        let (m, id) = gain_model();
+        let mut sim = CompiledSim::new(&m, id)
+            .unwrap()
+            .with_faults(&[("u", FaultKind::StuckAt(Value::Float(2.0)))])
+            .unwrap();
+        let u = stimulus::seeded_random(-1.0, 1.0, 6, 3);
+        let run = sim.run(&[("u", u)], 6).unwrap();
+        let y = run.trace.signal("y").unwrap();
+        for t in 0..6 {
+            assert_eq!(y[t].value(), Some(&Value::Float(6.0)), "tick {t}");
+        }
+    }
+
+    #[test]
+    fn unknown_fault_target_is_rejected() {
+        let (m, id) = gain_model();
+        let mut sim = CompiledSim::new(&m, id).unwrap();
+        let err = sim
+            .set_faults(&[("ghost", FaultKind::Delay(1))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Kernel(automode_kernel::KernelError::UnknownFaultTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_scenario_faults_match_sequential_faulted_runs() {
+        let (m, id) = gain_model();
+        let mut sim = CompiledSim::new(&m, id).unwrap();
+        let streams: Vec<Stream> = (0..6u64)
+            .map(|seed| stimulus::seeded_random(-2.0, 2.0, 10, seed))
+            .collect();
+        let inputs: Vec<[(&str, Stream); 1]> = streams.iter().map(|s| [("u", s.clone())]).collect();
+        let kinds: Vec<Option<FaultKind>> = vec![
+            None,
+            Some(FaultKind::drop_every(3, 0)),
+            Some(FaultKind::Delay(2)),
+            Some(FaultKind::StuckAt(Value::Float(0.5))),
+            Some(FaultKind::Jitter {
+                seed: 11,
+                hold: 0.4,
+            }),
+            Some(FaultKind::Corrupt(Corruptor::scale(-1.0))),
+        ];
+        let scenarios: Vec<BatchScenario<'_>> = inputs
+            .iter()
+            .zip(&kinds)
+            .enumerate()
+            .map(|(i, (inp, kind))| {
+                let sc = BatchScenario::new(inp.as_slice(), 7 + i);
+                match kind {
+                    Some(k) => sc.with_fault("y", k.clone()),
+                    None => sc,
+                }
+            })
+            .collect();
+        let batch = sim.run_batch(&scenarios).unwrap();
+        for (i, (sc, kind)) in scenarios.iter().zip(&kinds).enumerate() {
+            match kind {
+                Some(k) => sim.set_faults(&[("y", k.clone())]).unwrap(),
+                None => sim.clear_faults(),
+            }
+            let single = sim.run(sc.inputs, sc.ticks).unwrap();
+            assert_eq!(batch[i], single, "lane {i}");
+        }
+        sim.clear_faults();
+    }
+
+    #[test]
+    fn run_monitored_reports_the_first_violation_tick() {
+        let (m, id) = gain_model();
+        let mut sim = CompiledSim::new(&m, id).unwrap();
+        // `y` is combinational on the base clock; state that as a contract.
+        let monitor = sim
+            .monitor()
+            .expect_exact("y", automode_kernel::Clock::Base);
+        let u = stimulus::constant(Value::Float(1.0), 6);
+        let (_, clean) = sim.run_monitored(&[("u", u.clone())], 6, &monitor).unwrap();
+        assert!(clean.is_clean());
+
+        sim.set_faults(&[("y", FaultKind::drop_every(4, 2))])
+            .unwrap();
+        let (_, report) = sim.run_monitored(&[("u", u)], 6, &monitor).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.first_violation_tick(), Some(2));
     }
 }

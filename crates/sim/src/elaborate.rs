@@ -1,4 +1,26 @@
 //! Elaboration: meta-model → executable kernel network.
+//!
+//! ## Stable block naming — the internal fault-injection surface
+//!
+//! Every block created during elaboration carries a deterministic name
+//! derived from the component instance path, so tools (in particular
+//! [`FaultTarget::Block`](automode_kernel::FaultTarget::Block)) can address
+//! *internal* channels of an elaborated model without knowing arena indices:
+//!
+//! * `in:{path}.{port}` — the pass-through block fanning out input `port`
+//!   of the instance at `path`; faulting its output port 0 intercepts
+//!   everything that instance reads on that port.
+//! * `{path}.{output}` — the expression block defining output `output` of a
+//!   `Behavior::Expr` component.
+//! * `stub:{path}.{port}` — the all-absent stub standing in for an
+//!   unspecified output (legal at FAA).
+//! * `mtd:{path}` / `std:{path}` — mode- and state-machine interpreter
+//!   blocks.
+//!
+//! Composite instance paths join with `/` (`Root/child/grandchild`), so the
+//! names are unique per instance; primitive blocks (`Delay`, `When`, ...)
+//! keep their generic operator names and should be addressed through the
+//! `in:` boundary of their owning instance instead.
 
 use std::collections::BTreeMap;
 
@@ -503,6 +525,54 @@ mod tests {
                 assert_eq!(out[2], Message::present(Value::Float(7.0)));
             }
         }
+    }
+
+    #[test]
+    fn stable_block_names_address_internal_channels_for_faults() {
+        use automode_kernel::{FaultKind, FaultSpec, Value};
+
+        // Composite `Top` with one instance `a` of `Twice`; the stable
+        // `in:` boundary name lets a fault intercept what `a` reads on `x`
+        // without touching the external stimulus name space.
+        let mut m = Model::new("t");
+        let l = leaf(&mut m, "Twice", "x * 2.0");
+        let mut comp = Composite::new(CompositeKind::Dfd);
+        comp.instantiate("a", l);
+        comp.connect(Endpoint::boundary("in"), Endpoint::child("a", "x"));
+        comp.connect(Endpoint::child("a", "y"), Endpoint::boundary("out"));
+        let top = m
+            .add_component(
+                Component::new("Top")
+                    .input("in", DataType::Float)
+                    .output("out", DataType::Float)
+                    .with_behavior(Behavior::Composite(comp)),
+            )
+            .unwrap();
+
+        let mut ready = elaborate(&m, top).unwrap().prepare().unwrap();
+        ready
+            .set_faults(&[FaultSpec::on_block(
+                "in:Top/a.x",
+                0,
+                FaultKind::StuckAt(Value::Float(10.0)),
+            )])
+            .unwrap();
+        let stim =
+            stimulus_from_streams(&[Stream::from_values([Value::Float(1.0), Value::Float(2.0)])]);
+        let trace = ready.run(&stim).unwrap();
+        assert_eq!(
+            trace.signal("out").unwrap().present_values(),
+            vec![Value::Float(20.0), Value::Float(20.0)]
+        );
+
+        // Typos in internal names are rejected at install time.
+        let err = ready
+            .set_faults(&[FaultSpec::on_block("in:Top/b.x", 0, FaultKind::Delay(1))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            automode_kernel::KernelError::UnknownFaultTarget { .. }
+        ));
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub mod error;
 pub mod simulate;
 pub mod stimulus;
 
+pub use automode_kernel::{
+    ChannelContract, ContractMonitor, Corruptor, FaultKind, FaultSpec, FaultTarget,
+    PresenceViolation, RobustnessReport,
+};
 pub use ccd_sim::elaborate_ccd;
 pub use compiled::{BatchScenario, CompiledSim};
 pub use elaborate::elaborate;

@@ -94,10 +94,7 @@ fn check_batch(
     }
     let specs: Vec<BatchScenario<'_>> = scenarios
         .iter()
-        .map(|s| BatchScenario {
-            inputs: &s.inputs,
-            ticks: s.ticks,
-        })
+        .map(|s| BatchScenario::new(&s.inputs, s.ticks))
         .collect();
     let batch = sim.run_batch(&specs).unwrap();
     prop_assert_eq!(batch.len(), scenarios.len());

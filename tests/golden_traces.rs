@@ -1,0 +1,105 @@
+//! Golden-trace snapshot harness.
+//!
+//! Canonical simulation traces of the paper's figure models (Fig. 5
+//! momentum controller, Fig. 6 engine modes) and the reengineered engine
+//! controller are committed under `tests/golden/` in the kernel's
+//! line-oriented canonical text format
+//! ([`Trace::to_canonical_text`](automode::kernel::Trace::to_canonical_text)).
+//! The tests compare byte-exactly, so *any* semantic drift in elaboration,
+//! scheduling, clock gating, or the executors shows up as a readable text
+//! diff.
+//!
+//! To bless new behaviour after an intentional change:
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test --test golden_traces
+//! git diff tests/golden/   # review the drift before committing
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use automode::core::model::Model;
+use automode::engine::momentum::MomentumGains;
+use automode::engine::{
+    build_engine_modes, build_momentum_controller, nominal_engine_inputs, reengineer_engine,
+};
+use automode::kernel::{Stream, Value};
+use automode::sim::{stimulus, CompiledSim};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Byte-exact comparison against the committed snapshot, or regeneration
+/// when `GOLDEN_REGEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run GOLDEN_REGEN=1 cargo test --test golden_traces",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        actual,
+        "trace drifted from {}; if intentional, regenerate with GOLDEN_REGEN=1 and review the diff",
+        path.display()
+    );
+}
+
+#[test]
+fn fig5_momentum_controller_trace_is_stable() {
+    let mut m = Model::new("fig5");
+    let id = build_momentum_controller(&mut m, MomentumGains::default()).unwrap();
+    let mut sim = CompiledSim::new(&m, id).unwrap();
+    let inputs = [
+        ("v_des", stimulus::ramp(0.0, 20.0, 32)),
+        ("v_act", stimulus::ramp(0.0, 16.0, 32)),
+    ];
+    let run = sim.run(&inputs, 32).unwrap();
+    assert_golden("fig5_momentum.txt", &run.trace.to_canonical_text());
+}
+
+#[test]
+fn fig6_engine_modes_trace_is_stable() {
+    let mut m = Model::new("fig6");
+    let id = build_engine_modes(&mut m).unwrap();
+    let mut sim = CompiledSim::new(&m, id).unwrap();
+    // Key-off start, cranking, idle, part load, overrun: crosses every mode.
+    let floats = |vals: &[f64]| -> Stream {
+        vals.iter()
+            .map(|&v| automode::kernel::Message::present(Value::Float(v)))
+            .collect()
+    };
+    let rpm = floats(&[
+        0.0, 0.0, 150.0, 250.0, 400.0, 900.0, 950.0, 1000.0, 2500.0, 3000.0, 3500.0, 4000.0,
+        3000.0, 2500.0, 1200.0, 900.0,
+    ]);
+    let throttle = floats(&[
+        0.0, 0.0, 0.0, 0.0, 0.0, 0.02, 0.02, 0.05, 0.6, 0.9, 0.95, 0.95, 0.0, 0.0, 0.0, 0.02,
+    ]);
+    let key_on: Stream = (0..16)
+        .map(|t| automode::kernel::Message::present(Value::Bool(t >= 1)))
+        .collect();
+    let inputs = [("key_on", key_on), ("rpm", rpm), ("throttle", throttle)];
+    let run = sim.run(&inputs, 16).unwrap();
+    assert_golden("fig6_modes.txt", &run.trace.to_canonical_text());
+}
+
+#[test]
+fn reengineered_engine_trace_is_stable() {
+    let r = reengineer_engine().unwrap();
+    let mut sim = CompiledSim::new(&r.model, r.root).unwrap();
+    let inputs = nominal_engine_inputs(20);
+    let run = sim.run(&inputs, 20).unwrap();
+    assert_golden("reengineered_engine.txt", &run.trace.to_canonical_text());
+}
