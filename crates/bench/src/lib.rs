@@ -150,6 +150,51 @@ pub fn moded_controller(modes: usize, blocks_per_mode: usize, seed: u64) -> (Mod
     (model, owner)
 }
 
+/// Builds a kernel-level network of `n` stateless float operator blocks —
+/// `Lift2` arithmetic/min/max and three-input `AddN` fan-ins wired forward
+/// from a single boundary input. Every node exposes a lane kernel, and on
+/// all-float stimuli the columns stay uniformly `f64`, so this is the
+/// shape where batched execution collapses into the kernel's tight
+/// bit-column loops.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn stateless_ops_network(n: usize, seed: u64) -> automode_kernel::Network {
+    use automode_kernel::network::PortRef;
+    use automode_kernel::ops::{AddN, BinOp, Lift2};
+    use automode_kernel::Network;
+
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new("stateless_ops");
+    let input = net.add_input("in");
+    let mut outs: Vec<PortRef> = Vec::with_capacity(n);
+    for i in 0..n {
+        let pick = rng.gen_range(0..6u32);
+        let (handle, arity) = match pick {
+            0 => (net.add_block(Lift2::new(BinOp::Add)), 2),
+            1 => (net.add_block(Lift2::new(BinOp::Sub)), 2),
+            2 => (net.add_block(Lift2::new(BinOp::Mul)), 2),
+            3 => (net.add_block(Lift2::new(BinOp::Min)), 2),
+            4 => (net.add_block(Lift2::new(BinOp::Max)), 2),
+            _ => (net.add_block(AddN::new(3)), 3),
+        };
+        // Forward wiring: operands come from earlier blocks or the input.
+        for p in 0..arity {
+            if i == 0 || rng.gen_bool(0.2) {
+                net.connect_input(input, handle.input(p)).unwrap();
+            } else {
+                let j = rng.gen_range(0..i);
+                net.connect(outs[j], handle.input(p)).unwrap();
+            }
+        }
+        outs.push(handle.output(0));
+    }
+    net.expose_output("out", outs[n - 1]).unwrap();
+    net
+}
+
 /// Like [`random_causal_dfd`] but closes one instantaneous back edge,
 /// producing a causality violation.
 pub fn random_looped_dfd(n: usize, seed: u64) -> (Model, ComponentId) {

@@ -59,6 +59,7 @@ pub mod causality;
 pub mod clock;
 pub mod error;
 pub mod fault;
+pub mod lanes;
 pub mod network;
 pub mod ops;
 pub mod stream;
@@ -73,6 +74,7 @@ pub use fault::{
     ChannelContract, ContractMonitor, Corruptor, FaultKind, FaultSpec, FaultTarget,
     PresenceViolation, RobustnessReport,
 };
+pub use lanes::{LaneKernel, LaneSlice, LaneSliceMut, LaneStore};
 pub use network::{BlockHandle, Network, NodeId, PortRef, ReadyNetwork, ReferenceExecutor};
 pub use ops::{Block, ClockBehavior};
 pub use stream::Stream;

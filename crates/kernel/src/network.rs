@@ -50,6 +50,7 @@ use crate::error::KernelError;
 use crate::fault::{
     ChannelContract, ContractMonitor, FaultPlan, FaultSite, FaultSpec, FaultTarget,
 };
+use crate::lanes::{LaneKernel, LaneSlice, LaneStore};
 use crate::ops::{Block, ClockBehavior};
 use crate::trace::Trace;
 use crate::value::Message;
@@ -422,6 +423,7 @@ impl Network {
             fault_specs: Vec::new(),
             faults: None,
             ext_scratch: Vec::new(),
+            vectorize_batch: true,
             tick: 0,
         })
     }
@@ -836,6 +838,10 @@ pub struct ReadyNetwork {
     faults: Option<FaultPlan>,
     /// Reused row for faulted external inputs.
     ext_scratch: Vec<Message>,
+    /// Whether sequential batches run on the typed-column vectorized path
+    /// (see [`crate::lanes`]); `false` opts back into the per-lane
+    /// `Message` path.
+    vectorize_batch: bool,
     tick: Tick,
 }
 
@@ -893,6 +899,16 @@ impl ReadyNetwork {
     /// differential tests that need the ungated executor.
     pub fn disable_clock_gating(&mut self) {
         self.gated = None;
+    }
+
+    /// Enables or disables the typed-column vectorized batch path (enabled
+    /// by default; see [`crate::lanes`]). Sequential batches with
+    /// vectorization off — and all parallel-mode batches — run the
+    /// per-lane `Message` path instead. Semantics are identical either
+    /// way, bit-exactly; this exists for benchmarks and differential tests
+    /// that pit the two executors against each other.
+    pub fn set_batch_vectorization(&mut self, on: bool) {
+        self.vectorize_batch = on;
     }
 
     /// The hyperperiod of the compiled clock-gating plan, or `None` when
@@ -1350,6 +1366,24 @@ impl ReadyNetwork {
                 plans: lane_faults.len(),
             });
         }
+        // Sequential batches take the typed-column vectorized path unless
+        // opted out; parallel mode keeps the `Message`-lane path, whose
+        // `(node, lane)` work items are what the workers fan out over.
+        if self.vectorize_batch && self.parallel_min_width.is_none() {
+            self.run_batch_typed(stimuli, lane_faults)
+        } else {
+            self.run_batch_messages(stimuli, lane_faults)
+        }
+    }
+
+    /// The per-lane `Message` batch path: used in parallel mode and when
+    /// vectorization is disabled, and kept as the differential oracle for
+    /// the typed path.
+    fn run_batch_messages(
+        &self,
+        stimuli: &[Vec<Vec<Message>>],
+        lane_faults: &[Vec<FaultSpec>],
+    ) -> Result<Vec<Trace>, KernelError> {
         // Cache blocking: each lane replicates block state, so very wide
         // sequential batches outgrow the cache and slow down per lane.
         // Bounding the working set costs nothing semantically — lanes are
@@ -1364,7 +1398,7 @@ impl ReadyNetwork {
                 } else {
                     &lane_faults[ci * LANE_CHUNK..ci * LANE_CHUNK + chunk.len()]
                 };
-                traces.extend(self.run_batch_with_faults(chunk, faults_chunk)?);
+                traces.extend(self.run_batch_messages(chunk, faults_chunk)?);
             }
             return Ok(traces);
         }
@@ -1593,6 +1627,329 @@ impl ReadyNetwork {
         }
         Ok(traces)
     }
+
+    /// The typed-column vectorized batch path (see [`crate::lanes`]).
+    ///
+    /// Messages live in a lane-contiguous typed arena — cell `a` (the
+    /// single-run flat arena index) holds its K lanes at `a * K + l` as
+    /// tag/bit columns — so input gather is a zero-copy column borrow
+    /// instead of a per-(node, lane) `Message` clone. Nodes are classified
+    /// once per batch: single-output blocks exposing a
+    /// [`Block::lane_kernel`] step all K lanes per call over the columns;
+    /// the rest fall back to per-lane replicas that decode from and encode
+    /// back into the columns. Traces are bit-identical to the `Message`
+    /// path (and to K sequential runs), faults and gating included.
+    fn run_batch_typed(
+        &self,
+        stimuli: &[Vec<Vec<Message>>],
+        lane_faults: &[Vec<FaultSpec>],
+    ) -> Result<Vec<Trace>, KernelError> {
+        let k = stimuli.len();
+        let mut traces: Vec<Trace> = (0..k)
+            .map(|_| {
+                let mut trace = Trace::new();
+                for name in &self.probe_names {
+                    trace.declare(name.clone());
+                }
+                trace
+            })
+            .collect();
+        for lane in stimuli {
+            for (t, row) in lane.iter().enumerate() {
+                if row.len() != self.n_inputs {
+                    return Err(KernelError::StimulusArity {
+                        expected: self.n_inputs,
+                        found: row.len(),
+                        tick: t as Tick,
+                    });
+                }
+            }
+        }
+        let lens: Vec<usize> = stimuli.iter().map(Vec::len).collect();
+        let max_ticks = lens.iter().copied().max().unwrap_or(0);
+        if k == 0 || max_ticks == 0 {
+            return Ok(traces);
+        }
+
+        // Per-lane fault plans with fresh state, exactly as in the
+        // `Message` path.
+        let mut lane_plans: Option<Vec<FaultPlan>> =
+            if !self.fault_specs.is_empty() || lane_faults.iter().any(|f| !f.is_empty()) {
+                let mut plans = Vec::with_capacity(k);
+                for l in 0..k {
+                    let mut specs = self.fault_specs.clone();
+                    if let Some(extra) = lane_faults.get(l) {
+                        specs.extend(extra.iter().cloned());
+                    }
+                    plans.push(self.compile_fault_plan(&specs)?);
+                }
+                Some(plans)
+            } else {
+                None
+            };
+        let gating_on = lane_plans
+            .as_ref()
+            .is_none_or(|ps| ps.iter().all(|p| p.gating_safe));
+        let any_ext_faults = lane_plans
+            .as_ref()
+            .is_some_and(|ps| ps.iter().any(|p| !p.ext.is_empty()));
+        let mut ext_rows: Vec<Vec<Message>> = if any_ext_faults {
+            vec![vec![Message::Absent; self.n_inputs]; k]
+        } else {
+            Vec::new()
+        };
+
+        // Classify nodes once per batch: vectorizable nodes get one lane
+        // kernel (starting from reset state, per the `lane_kernel`
+        // contract); the rest get K per-lane replicas.
+        let n = self.blocks.len();
+        let mut kernels: Vec<Option<Box<dyn LaneKernel>>> = (0..n)
+            .map(|i| {
+                if self.out_offset[i + 1] - self.out_offset[i] == 1 {
+                    self.blocks[i].lane_kernel(k)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut fallback: Vec<Vec<Box<dyn Block + Send + Sync>>> = (0..n)
+            .map(|i| {
+                if kernels[i].is_some() {
+                    Vec::new()
+                } else {
+                    (0..k)
+                        .map(|_| {
+                            let mut replica = self.blocks[i].clone_block();
+                            replica.reset();
+                            replica
+                        })
+                        .collect()
+                }
+            })
+            .collect();
+
+        let total_outputs = *self.out_offset.last().unwrap();
+        let mut arena = LaneStore::new(total_outputs, k);
+        // External inputs as typed columns, restaged every tick.
+        let mut ext = LaneStore::new(self.n_inputs, k);
+        // Shared all-absent cell for open and non-instantaneous ports.
+        let absent = LaneStore::new(1, k);
+        // Vectorized nodes step into this scratch cell, then the columns
+        // are written back to the arena contiguously — keeping the input
+        // borrows and the output writes on disjoint storage.
+        let mut out_buf = LaneStore::new(1, k);
+        let mut active = vec![false; k];
+        let mut observed = vec![Message::Absent; self.probe_slots.len()];
+        let max_ia = (0..n)
+            .map(|i| self.slot_offset[i + 1] - self.slot_offset[i])
+            .max()
+            .unwrap_or(0);
+        let max_oa = (0..n)
+            .map(|i| self.out_offset[i + 1] - self.out_offset[i])
+            .max()
+            .unwrap_or(0);
+        let mut in_msgs = vec![Message::Absent; max_ia];
+        let mut out_msgs = vec![Message::Absent; max_oa.max(1)];
+
+        // Decodes one input port lane for the fallback/replay paths.
+        let read_lane = |slot: Slot, l: usize, arena: &LaneStore, ext: &LaneStore| match slot {
+            Slot::Open => Message::Absent,
+            Slot::Arena(a) => arena.decode(a, l),
+            Slot::External(e) => ext.decode(e, l),
+        };
+
+        // `t` indexes every lane's stimulus rows and gates lane activity.
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..max_ticks {
+            let tick = t as Tick;
+            for (l, &len) in lens.iter().enumerate() {
+                active[l] = t < len;
+            }
+            let plan = if gating_on {
+                self.gated
+                    .as_deref()
+                    .and_then(|g| g.phase_of(tick).map(|p| (g, p)))
+            } else {
+                None
+            };
+
+            // Stage each active lane's faulted external row for the tick.
+            if any_ext_faults {
+                let plans = lane_plans.as_mut().expect("ext faults imply lane plans");
+                for (l, &is_active) in active.iter().enumerate() {
+                    if !is_active {
+                        continue;
+                    }
+                    ext_rows[l].clear();
+                    ext_rows[l].extend_from_slice(&stimuli[l][t]);
+                    for (e, st) in &mut plans[l].ext {
+                        st.apply(tick, &mut ext_rows[l][*e]);
+                    }
+                }
+            }
+
+            // Encode the tick's external rows into typed columns; inactive
+            // lanes read as absent.
+            for e in 0..self.n_inputs {
+                for (l, &is_active) in active.iter().enumerate() {
+                    if is_active {
+                        let row: &[Message] = if any_ext_faults {
+                            &ext_rows[l]
+                        } else {
+                            &stimuli[l][t]
+                        };
+                        ext.set(e, l, &row[e]);
+                    } else {
+                        ext.set(e, l, &Message::Absent);
+                    }
+                }
+            }
+
+            // Clear all lanes of nodes that just went inert: a contiguous
+            // tag fill.
+            if let Some((g, p)) = plan {
+                for &i in g.clears(tick, p) {
+                    arena.clear_cells(self.out_offset[i]..self.out_offset[i + 1]);
+                }
+            }
+
+            // Phase 1: step level by level. A vectorized node steps all
+            // K lanes in one kernel call over borrowed input columns; a
+            // fallback node decodes per lane into `Message` scratch.
+            let levels: &[Vec<usize>] = match plan {
+                Some((g, p)) => &g.phase_levels[p],
+                None => &self.schedule.levels,
+            };
+            for level in levels {
+                for &i in level {
+                    let ia = self.slot_offset[i + 1] - self.slot_offset[i];
+                    if let Some(kern) = kernels[i].as_mut() {
+                        let port_slices: Vec<LaneSlice<'_>> = (0..ia)
+                            .map(|p| {
+                                let flat = self.slot_offset[i] + p;
+                                if !self.inst(flat) {
+                                    return absent.slice(0);
+                                }
+                                match self.slots[flat] {
+                                    Slot::Open => absent.slice(0),
+                                    Slot::Arena(a) => arena.slice(a),
+                                    Slot::External(e) => ext.slice(e),
+                                }
+                            })
+                            .collect();
+                        let mut out = out_buf.slice_mut(0);
+                        if let Err(err) = kern.step_lanes(tick, &port_slices, &mut out, &active) {
+                            // Replay the node's lanes sequentially on a
+                            // fresh replica so the surfaced error is the
+                            // first failing lane's, exactly as in per-lane
+                            // execution (erroring kernels are stateless by
+                            // contract, so replay cannot diverge).
+                            let mut replica = self.blocks[i].clone_block();
+                            replica.reset();
+                            for (l, &is_active) in active.iter().enumerate() {
+                                if !is_active {
+                                    continue;
+                                }
+                                for p in 0..ia {
+                                    let flat = self.slot_offset[i] + p;
+                                    in_msgs[p] = if self.inst(flat) {
+                                        read_lane(self.slots[flat], l, &arena, &ext)
+                                    } else {
+                                        Message::Absent
+                                    };
+                                }
+                                replica.step_into(tick, &in_msgs[..ia], &mut out_msgs[..1])?;
+                            }
+                            return Err(err);
+                        }
+                        drop(port_slices);
+                        arena.write_cell(self.out_offset[i], &out_buf);
+                    } else {
+                        let oa = self.out_offset[i + 1] - self.out_offset[i];
+                        for (l, &is_active) in active.iter().enumerate() {
+                            if !is_active {
+                                continue;
+                            }
+                            for p in 0..ia {
+                                let flat = self.slot_offset[i] + p;
+                                in_msgs[p] = if self.inst(flat) {
+                                    read_lane(self.slots[flat], l, &arena, &ext)
+                                } else {
+                                    Message::Absent
+                                };
+                            }
+                            fallback[i][l].step_into(tick, &in_msgs[..ia], &mut out_msgs[..oa])?;
+                            for (p, m) in out_msgs[..oa].iter().enumerate() {
+                                arena.set(self.out_offset[i] + p, l, m);
+                            }
+                        }
+                    }
+                    // Faults land right after the node's outputs commit,
+                    // decoded through the columns per faulted (port, lane).
+                    if let Some(plans) = &mut lane_plans {
+                        for (l, &is_active) in active.iter().enumerate() {
+                            if !is_active {
+                                continue;
+                            }
+                            for (port, st) in &mut plans[l].node_faults[i] {
+                                let cell = self.out_offset[i] + *port;
+                                let mut m = arena.decode(cell, l);
+                                st.apply(tick, &mut m);
+                                arena.set(cell, l, &m);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Phase 2: commit with final input values. Vectorized nodes
+            // gather all ports as column borrows; fallback nodes decode
+            // per lane.
+            let commits: &[usize] = match plan {
+                Some((g, p)) => &g.phase_commits[p],
+                None => &self.commit_nodes,
+            };
+            for &i in commits {
+                let ia = self.slot_offset[i + 1] - self.slot_offset[i];
+                if let Some(kern) = kernels[i].as_mut() {
+                    let port_slices: Vec<LaneSlice<'_>> = (0..ia)
+                        .map(|p| {
+                            let flat = self.slot_offset[i] + p;
+                            match self.slots[flat] {
+                                Slot::Open => absent.slice(0),
+                                Slot::Arena(a) => arena.slice(a),
+                                Slot::External(e) => ext.slice(e),
+                            }
+                        })
+                        .collect();
+                    kern.commit_lanes(tick, &port_slices, &active);
+                } else {
+                    for (l, &is_active) in active.iter().enumerate() {
+                        if !is_active {
+                            continue;
+                        }
+                        for p in 0..ia {
+                            let flat = self.slot_offset[i] + p;
+                            in_msgs[p] = read_lane(self.slots[flat], l, &arena, &ext);
+                        }
+                        fallback[i][l].commit(tick, &in_msgs[..ia]);
+                    }
+                }
+            }
+
+            // Observe each active lane's probes, decoded from the columns.
+            for (l, &is_active) in active.iter().enumerate() {
+                if !is_active {
+                    continue;
+                }
+                for (j, &slot) in self.probe_slots.iter().enumerate() {
+                    observed[j] = read_lane(slot, l, &arena, &ext);
+                }
+                traces[l].push_row_indexed(&observed)?;
+            }
+        }
+        Ok(traces)
+    }
 }
 
 impl Clone for ReadyNetwork {
@@ -1621,6 +1978,7 @@ impl Clone for ReadyNetwork {
             fault_specs: self.fault_specs.clone(),
             faults: self.faults.clone(),
             ext_scratch: self.ext_scratch.clone(),
+            vectorize_batch: self.vectorize_batch,
             tick: self.tick,
         }
     }

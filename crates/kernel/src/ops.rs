@@ -15,6 +15,10 @@
 use std::fmt;
 
 use crate::error::KernelError;
+use crate::lanes::{
+    AddNLanes, ConstLanes, CopyLanes, CurrentLanes, DelayLanes, EveryLanes, LaneKernel, Lift1Lanes,
+    Lift2Lanes, MergeLanes, SelectLanes, UnitDelayLanes, WhenLanes,
+};
 use crate::value::{Message, Value};
 use crate::{Clock, Tick};
 
@@ -162,6 +166,19 @@ pub trait Block: fmt::Debug {
     /// through this hook, so each lane owns independent state. Blocks that
     /// derive [`Clone`] can return `Box::new(self.clone())`.
     fn clone_block(&self) -> Box<dyn Block + Send + Sync>;
+
+    /// An optional lane-batched kernel stepping all `k` scenario lanes in
+    /// one call over typed columns (see [`crate::lanes`]).
+    ///
+    /// The returned kernel must start from the block's **freshly reset**
+    /// state and replicate the per-lane `step_into`/`commit` semantics
+    /// exactly — see the [`LaneKernel`] contract. Only single-output
+    /// blocks may be vectorized; the batch executor ignores kernels on
+    /// multi-output blocks. Defaults to `None` (the executor falls back to
+    /// per-lane replicas via [`Block::clone_block`]).
+    fn lane_kernel(&self, _k: usize) -> Option<Box<dyn LaneKernel>> {
+        None
+    }
 }
 
 /// Implements [`Block::step`] by delegating to [`Block::step_into`] — for
@@ -507,6 +524,9 @@ impl Block for Const {
         };
         Ok(())
     }
+    fn lane_kernel(&self, _k: usize) -> Option<Box<dyn LaneKernel>> {
+        Some(Box::new(ConstLanes::new(&self.value, self.clock.clone())))
+    }
 }
 
 /// Generates the Boolean stream of `every(n, true)`: always present,
@@ -552,6 +572,9 @@ impl Block for EveryClockGen {
     ) -> Result<(), KernelError> {
         out[0] = Message::Present(Value::Bool(self.clock.is_active(t)));
         Ok(())
+    }
+    fn lane_kernel(&self, _k: usize) -> Option<Box<dyn LaneKernel>> {
+        Some(Box::new(EveryLanes::new(self.clock.clone())))
     }
 }
 
@@ -600,6 +623,9 @@ impl Block for When {
             Message::Absent
         };
         Ok(())
+    }
+    fn lane_kernel(&self, _k: usize) -> Option<Box<dyn LaneKernel>> {
+        Some(Box::new(WhenLanes))
     }
 }
 
@@ -682,6 +708,13 @@ impl Block for Delay {
         self.held = self.seeded.clone();
         let _ = &self.init;
     }
+    fn lane_kernel(&self, k: usize) -> Option<Box<dyn LaneKernel>> {
+        Some(Box::new(DelayLanes::new(
+            self.seeded.as_ref(),
+            self.clock.clone(),
+            k,
+        )))
+    }
 }
 
 /// A strict one-tick delay on the global base clock: `out(t) = in(t-1)`,
@@ -734,6 +767,9 @@ impl Block for UnitDelay {
     fn reset(&mut self) {
         self.held = self.init.clone();
     }
+    fn lane_kernel(&self, k: usize) -> Option<Box<dyn LaneKernel>> {
+        Some(Box::new(UnitDelayLanes::new(&self.init, k)))
+    }
 }
 
 /// Up-samples onto the base clock by holding the most recent present value
@@ -783,6 +819,9 @@ impl Block for Current {
     }
     fn reset(&mut self) {
         self.held = self.init.clone();
+    }
+    fn lane_kernel(&self, k: usize) -> Option<Box<dyn LaneKernel>> {
+        Some(Box::new(CurrentLanes::new(&self.init, k)))
     }
 }
 
@@ -838,6 +877,9 @@ impl Block for Lift2 {
         };
         Ok(())
     }
+    fn lane_kernel(&self, _k: usize) -> Option<Box<dyn LaneKernel>> {
+        Some(Box::new(Lift2Lanes::new(self.name.clone(), self.op)))
+    }
 }
 
 /// A unary operator lifted pointwise over messages.
@@ -884,6 +926,9 @@ impl Block for Lift1 {
             None => Message::Absent,
         };
         Ok(())
+    }
+    fn lane_kernel(&self, _k: usize) -> Option<Box<dyn LaneKernel>> {
+        Some(Box::new(Lift1Lanes::new(self.name.clone(), self.op)))
     }
 }
 
@@ -945,6 +990,9 @@ impl Block for AddN {
         out[0] = acc.into();
         Ok(())
     }
+    fn lane_kernel(&self, _k: usize) -> Option<Box<dyn LaneKernel>> {
+        Some(Box::new(AddNLanes))
+    }
 }
 
 /// Deterministic selection: inputs `[cond, then, else]`, output is `then`
@@ -984,6 +1032,9 @@ impl Block for Select {
             None => Message::Absent,
         };
         Ok(())
+    }
+    fn lane_kernel(&self, _k: usize) -> Option<Box<dyn LaneKernel>> {
+        Some(Box::new(SelectLanes))
     }
 }
 
@@ -1031,6 +1082,9 @@ impl Block for Merge {
             .unwrap_or(Message::Absent);
         Ok(())
     }
+    fn lane_kernel(&self, _k: usize) -> Option<Box<dyn LaneKernel>> {
+        Some(Box::new(MergeLanes))
+    }
 }
 
 /// An identity wire: forwards input 0 unchanged, presence and all.
@@ -1077,6 +1131,9 @@ impl Block for Identity {
     ) -> Result<(), KernelError> {
         out[0] = inputs[0].clone();
         Ok(())
+    }
+    fn lane_kernel(&self, _k: usize) -> Option<Box<dyn LaneKernel>> {
+        Some(Box::new(CopyLanes))
     }
 }
 

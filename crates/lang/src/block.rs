@@ -9,10 +9,10 @@
 use std::sync::Arc;
 
 use automode_kernel::ops::{Block, ClockBehavior};
-use automode_kernel::{KernelError, Message, Tick};
+use automode_kernel::{KernelError, LaneKernel, Message, Tick};
 
 use crate::ast::Expr;
-use crate::bytecode::{Program, Scratch};
+use crate::bytecode::{LaneEval, Program, Scratch};
 use crate::error::LangError;
 use crate::parser::parse;
 
@@ -163,6 +163,15 @@ impl Block for ExprBlock {
 
     fn clone_block(&self) -> Box<dyn Block + Send + Sync> {
         Box::new(self.clone())
+    }
+
+    fn lane_kernel(&self, k: usize) -> Option<Box<dyn LaneKernel>> {
+        // Straight-line programs (operators, `present`, literals) get the
+        // column interpreter stepping all K lanes per instruction;
+        // programs with control flow (`if`, `?`, builtin calls) fall back
+        // to per-lane replicas.
+        let eval = LaneEval::new(Arc::clone(&self.program), Arc::clone(&self.name), k)?;
+        Some(Box::new(eval))
     }
 }
 

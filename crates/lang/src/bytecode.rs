@@ -21,8 +21,14 @@
 //! differential property suite asserts full `Result` equality against the
 //! AST interpreter.
 
+use std::sync::Arc;
+
+use automode_kernel::lanes::{
+    binop_lanes, copy_lanes, encode_value, unop_lanes, LaneKernel, LaneSlice, LaneSliceMut,
+    LaneStore, TAG_ABSENT, TAG_BOOL, TAG_OTHER,
+};
 use automode_kernel::ops::{apply_binop, apply_unop, BinOp, UnOp};
-use automode_kernel::{Message, Value};
+use automode_kernel::{KernelError, Message, Tick, Value};
 
 use crate::ast::Expr;
 use crate::error::LangError;
@@ -381,6 +387,172 @@ impl Program {
             Value::Bool(false),
         )))
     }
+
+    /// `true` when the program is pure straight-line register code —
+    /// operators, `present`, literals and port reads, with no jumps and no
+    /// compile-time-known failures. Exactly these programs qualify for the
+    /// lane-batched column interpreter ([`LaneEval`]): with no control
+    /// flow, every lane executes every instruction, so instruction-major
+    /// column execution is observationally identical to per-lane
+    /// evaluation.
+    fn is_straight_line(&self) -> bool {
+        self.code.iter().all(|i| {
+            matches!(
+                i,
+                Instr::Input { .. }
+                    | Instr::Const { .. }
+                    | Instr::Unary { .. }
+                    | Instr::Binary { .. }
+                    | Instr::Present { .. }
+            )
+        })
+    }
+}
+
+/// Lane-batched interpreter for straight-line programs: each instruction
+/// runs across all K lanes of typed columns before the next dispatches,
+/// so per-tick cost is `instructions × dispatch + K × work` instead of
+/// `K × (instructions × dispatch + work)` — and uniform-`f64` operator
+/// columns collapse into the kernel's tight bit-column loops
+/// ([`binop_lanes`]/[`unop_lanes`]).
+///
+/// Registers are K-lane columns; an operator computes into a spare column
+/// which is then swapped with the destination register (the compiler's
+/// stack discipline makes `dst == lhs` the norm, and the swap sidesteps
+/// that aliasing in O(1)). The interpreter holds no cross-tick state —
+/// columns are fully recomputed from instruction 0 each call — so it
+/// satisfies the [`LaneKernel`] statelessness contract for fallible
+/// kernels.
+#[derive(Debug)]
+pub struct LaneEval {
+    program: Arc<Program>,
+    name: Arc<str>,
+    regs: Vec<LaneStore>,
+    tmp: LaneStore,
+}
+
+impl LaneEval {
+    /// Builds a lane interpreter for `program`, or `None` when the program
+    /// has control flow (`if`, `?`, builtin calls compile to jumps) or
+    /// embedded compile-time failures and must run per lane.
+    pub fn new(program: Arc<Program>, name: Arc<str>, k: usize) -> Option<LaneEval> {
+        if !program.is_straight_line() {
+            return None;
+        }
+        let regs = (0..program.num_regs.max(1))
+            .map(|_| LaneStore::new(1, k))
+            .collect();
+        Some(LaneEval {
+            program,
+            name,
+            regs,
+            tmp: LaneStore::new(1, k),
+        })
+    }
+
+    fn wrap(&self, e: KernelError) -> KernelError {
+        // Matches the per-lane wrapping in `ExprBlock::step_into`:
+        // `LangError::Kernel` displays as the inner kernel error.
+        KernelError::Block {
+            block: self.name.to_string(),
+            message: LangError::from(e).to_string(),
+        }
+    }
+}
+
+impl LaneKernel for LaneEval {
+    fn step_lanes(
+        &mut self,
+        _t: Tick,
+        inputs: &[LaneSlice<'_>],
+        out: &mut LaneSliceMut<'_>,
+        active: &[bool],
+    ) -> Result<(), KernelError> {
+        for instr in &self.program.code {
+            match instr {
+                Instr::Input { dst, port } => {
+                    let Some(src) = inputs.get(*port as usize) else {
+                        return Err(KernelError::Block {
+                            block: self.name.to_string(),
+                            message: LangError::Unbound(
+                                self.program.port_names[*port as usize].clone(),
+                            )
+                            .to_string(),
+                        });
+                    };
+                    let mut d = self.regs[*dst as usize].slice_mut(0);
+                    copy_lanes(&mut d, src, active);
+                }
+                Instr::Const { dst, idx } => {
+                    // Encode the constant once, then broadcast the columns.
+                    let mut tag = 0u8;
+                    let mut bits = 0u64;
+                    let mut other = Message::Absent;
+                    encode_value(
+                        &self.program.consts[*idx as usize],
+                        &mut tag,
+                        &mut bits,
+                        &mut other,
+                    );
+                    let d = self.regs[*dst as usize].slice_mut(0);
+                    d.tags.fill(tag);
+                    d.bits.fill(bits);
+                    if tag == TAG_OTHER {
+                        for o in d.other.iter_mut() {
+                            *o = other.clone();
+                        }
+                    }
+                }
+                Instr::Unary { dst, op, src, ctx } => {
+                    let a = self.regs[*src as usize].slice(0);
+                    let mut d = self.tmp.slice_mut(0);
+                    if let Err(e) = unop_lanes(ctx, *op, &a, &mut d, active) {
+                        return Err(self.wrap(e));
+                    }
+                    std::mem::swap(&mut self.tmp, &mut self.regs[*dst as usize]);
+                }
+                Instr::Binary {
+                    dst,
+                    op,
+                    lhs,
+                    rhs,
+                    ctx,
+                } => {
+                    let a = self.regs[*lhs as usize].slice(0);
+                    let b = self.regs[*rhs as usize].slice(0);
+                    let mut d = self.tmp.slice_mut(0);
+                    if let Err(e) = binop_lanes(ctx, *op, &a, &b, &mut d, active) {
+                        return Err(self.wrap(e));
+                    }
+                    std::mem::swap(&mut self.tmp, &mut self.regs[*dst as usize]);
+                }
+                Instr::Present { dst, src } => {
+                    let s = self.regs[*src as usize].slice(0);
+                    let d = self.tmp.slice_mut(0);
+                    for ((dt, db), &st) in d.tags.iter_mut().zip(d.bits.iter_mut()).zip(s.tags) {
+                        *dt = TAG_BOOL;
+                        *db = u64::from(st != TAG_ABSENT);
+                    }
+                    std::mem::swap(&mut self.tmp, &mut self.regs[*dst as usize]);
+                }
+                // Unreachable: `LaneEval::new` rejects programs containing
+                // control flow or embedded failures.
+                Instr::SetAbsent { .. }
+                | Instr::Jump { .. }
+                | Instr::JumpIfAbsent { .. }
+                | Instr::JumpIfPresent { .. }
+                | Instr::Branch { .. }
+                | Instr::Fail { .. } => {
+                    return Err(KernelError::Block {
+                        block: self.name.to_string(),
+                        message: "internal: control flow in lane-batched program".into(),
+                    });
+                }
+            }
+        }
+        copy_lanes(out, &self.regs[0].slice(0), active);
+        Ok(())
+    }
 }
 
 struct Compiler<'a> {
@@ -696,6 +868,8 @@ fn fold(e: &Expr) -> (Expr, bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use automode_kernel::lanes::encode;
+
     use crate::eval::Env;
     use crate::parser::parse;
 
@@ -845,6 +1019,129 @@ mod tests {
             p.eval(&[], &mut s),
             Err(LangError::UnknownFunction("mystery".to_string()))
         );
+    }
+
+    /// Runs `src` through the lane interpreter over `rows` (one row per
+    /// lane) and asserts each lane's column result equals the per-lane
+    /// `Program::eval` on the same row, bit for bit.
+    fn assert_lanes_match(src: &str, rows: &[Vec<Message>]) {
+        let expr = parse(src).unwrap();
+        let names: Vec<String> = expr.free_idents();
+        let program = Arc::new(Program::compile(&expr, &names));
+        let k = rows.len();
+        let mut lanes =
+            LaneEval::new(Arc::clone(&program), Arc::from(src), k).expect("straight-line");
+
+        // Stage the rows as input columns.
+        let n_ports = names.len();
+        let mut cols = LaneStore::new(n_ports.max(1), k);
+        for (l, row) in rows.iter().enumerate() {
+            for (p, m) in row.iter().enumerate().take(n_ports) {
+                cols.set(p, l, m);
+            }
+        }
+        let port_slices: Vec<LaneSlice<'_>> = (0..n_ports).map(|p| cols.slice(p)).collect();
+        let mut out = LaneStore::new(1, k);
+        let active = vec![true; k];
+        let lane_result = {
+            let mut o = out.slice_mut(0);
+            lanes.step_lanes(0, &port_slices, &mut o, &active)
+        };
+
+        let mut scratch = Scratch::new();
+        let per_lane: Vec<Result<Message, LangError>> = rows
+            .iter()
+            .map(|row| program.eval(row, &mut scratch))
+            .collect();
+        let expect_err = per_lane.iter().any(Result::is_err);
+        assert_eq!(
+            lane_result.is_err(),
+            expect_err,
+            "{src}: error presence diverged"
+        );
+        if expect_err {
+            // An error aborts the whole column call with garbage outputs —
+            // the batch executor replays per lane to attribute it, so
+            // there is nothing further to compare here.
+            return;
+        }
+        for (l, res) in per_lane.iter().enumerate() {
+            let m = res.as_ref().unwrap();
+            let got = out.decode(0, l);
+            // Compare through encoded bits so NaN payloads count as equal
+            // when bit-identical.
+            let (mut tg, mut te) = ((0u8, 0u64), (0u8, 0u64));
+            let mut o = Message::Absent;
+            encode(&got, &mut tg.0, &mut tg.1, &mut o);
+            encode(m, &mut te.0, &mut te.1, &mut o);
+            assert_eq!(tg, te, "{src}: lane {l} diverged: {got:?} vs {m:?}");
+        }
+    }
+
+    #[test]
+    fn lane_interpreter_matches_per_lane_eval() {
+        let rows: Vec<Vec<Message>> = vec![
+            vec![Message::present(1.5f64), Message::present(2.5f64)],
+            vec![Message::Absent, Message::present(4.0f64)],
+            vec![Message::present(-3.0f64), Message::Absent],
+            vec![Message::Absent, Message::Absent],
+            vec![Message::present(7i64), Message::present(2i64)],
+        ];
+        for src in [
+            "a + b",
+            "a * b - a",
+            "-a + abs(b)",
+            "a < b",
+            "a == b",
+            "present(a) and present(b)",
+            "a + 1.0",
+            "min(a, b)",
+        ] {
+            assert_lanes_match(src, &rows);
+        }
+    }
+
+    #[test]
+    fn lane_interpreter_matches_on_boolean_columns() {
+        let rows: Vec<Vec<Message>> = vec![
+            vec![Message::present(true), Message::present(false)],
+            vec![Message::present(false), Message::present(false)],
+            vec![Message::Absent, Message::present(true)],
+            vec![Message::Absent, Message::Absent],
+        ];
+        for src in ["a and b", "a or b", "not a", "present(a) and present(b)"] {
+            assert_lanes_match(src, &rows);
+        }
+    }
+
+    #[test]
+    fn lane_interpreter_preserves_nan_payload_bits() {
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        let rows = vec![
+            vec![Message::present(nan), Message::present(1.0f64)],
+            vec![Message::present(-0.0f64), Message::present(nan)],
+        ];
+        assert_lanes_match("a + 0.0", &rows);
+        assert_lanes_match("min(a, b)", &rows);
+    }
+
+    #[test]
+    fn lane_interpreter_surfaces_division_errors() {
+        let rows = vec![
+            vec![Message::present(4i64), Message::present(2i64)],
+            vec![Message::present(1i64), Message::present(0i64)],
+        ];
+        assert_lanes_match("a / b", &rows);
+    }
+
+    #[test]
+    fn control_flow_programs_are_rejected() {
+        for src in ["if c then 1 else 2", "x ? 0", "clamp(x, 0, 9)"] {
+            let expr = parse(src).unwrap();
+            let names = expr.free_idents();
+            let p = Arc::new(Program::compile(&expr, &names));
+            assert!(LaneEval::new(p, Arc::from(src), 4).is_none(), "{src}");
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod ty;
 
 pub use ast::Expr;
 pub use block::ExprBlock;
-pub use bytecode::{Program, Scratch};
+pub use bytecode::{LaneEval, Program, Scratch};
 pub use error::LangError;
 pub use eval::{Env, Scope, SliceScope};
 pub use parser::parse;

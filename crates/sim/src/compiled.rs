@@ -130,6 +130,15 @@ impl CompiledSim {
         self.ready.disable_clock_gating();
     }
 
+    /// Toggles the typed-column vectorized batch path (see
+    /// [`ReadyNetwork::set_batch_vectorization`](automode_kernel::ReadyNetwork::set_batch_vectorization)).
+    /// On by default; turning it off forces the per-lane `Message` path —
+    /// the traces are bit-identical either way, so this only matters for
+    /// differential testing and perf comparisons.
+    pub fn set_batch_vectorization(&mut self, on: bool) {
+        self.ready.set_batch_vectorization(on);
+    }
+
     /// The hyperperiod of the compiled clock-gated plan, if one applies
     /// (see
     /// [`ReadyNetwork::gated_hyperperiod`](automode_kernel::ReadyNetwork::gated_hyperperiod)).
