@@ -122,6 +122,90 @@ impl Clock {
         }
     }
 
+    /// Overflow-checked [`Clock::period`]: deeply nested `and`/`or`
+    /// combinations can push the structural period (an lcm of lcms) past
+    /// `u64`, which [`Clock::period`] only catches as a debug-build panic.
+    /// Plan compilation uses this form so pathological clocks surface as
+    /// [`KernelError::ClockOverflow`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ClockOverflow`] when the lcm exceeds `u64`.
+    pub fn checked_period(&self) -> Result<u64, KernelError> {
+        match self {
+            Clock::Base => Ok(1),
+            Clock::Every { n, .. } => Ok(*n as u64),
+            Clock::And(a, b) | Clock::Or(a, b) => {
+                checked_lcm(a.checked_period()?, b.checked_period()?)
+            }
+        }
+    }
+
+    /// The earliest tick `>= t` at which the clock *may* be active, or
+    /// `None` when no such tick is representable in the tick range.
+    ///
+    /// Exact for [`Clock::Base`] and [`Clock::Every`] (closed form). For
+    /// `and`/`or` compositions the bounded search below is guaranteed never
+    /// to overshoot a truly active tick — the result is a sound *lower
+    /// bound*: the clock is provably inactive on every tick in
+    /// `[t, result)`, and callers must treat activity at `result` itself as
+    /// "may be active". All advancement is overflow-checked; `None` means
+    /// the next active tick (if any) lies beyond `u64`, which callers treat
+    /// as "never fires again".
+    pub fn next_active_from(&self, t: Tick) -> Option<Tick> {
+        match self {
+            Clock::Base => Some(t),
+            Clock::Every { .. } => self.lower_bound_active(t),
+            _ => {
+                // Alternate between the structural lower bound and the
+                // exact `is_active` test: each failed test advances past a
+                // provably inactive tick, so the bound only tightens. The
+                // iteration cap keeps pathological mixes (e.g. near-disjoint
+                // phases) cheap; bailing out early returns a still-sound
+                // lower bound.
+                let mut cand = t;
+                for _ in 0..64 {
+                    cand = self.lower_bound_active(cand)?;
+                    if self.is_active(cand) {
+                        return Some(cand);
+                    }
+                    cand = cand.checked_add(1)?;
+                }
+                Some(cand)
+            }
+        }
+    }
+
+    /// A tick `u >= t` such that the clock is provably inactive on every
+    /// tick in `[t, u)`. Structural recursion: `and` takes the max of its
+    /// operands' bounds, `or` the min.
+    fn lower_bound_active(&self, t: Tick) -> Option<Tick> {
+        match self {
+            Clock::Base => Some(t),
+            Clock::Every { n, phase } => {
+                let (n, phase) = (*n as Tick, *phase as Tick);
+                if t <= phase {
+                    return Some(phase);
+                }
+                let rem = (t - phase) % n;
+                if rem == 0 {
+                    Some(t)
+                } else {
+                    t.checked_add(n - rem)
+                }
+            }
+            Clock::And(a, b) => {
+                let ta = a.lower_bound_active(t)?;
+                let tb = b.lower_bound_active(t)?;
+                Some(ta.max(tb))
+            }
+            Clock::Or(a, b) => match (a.lower_bound_active(t), b.lower_bound_active(t)) {
+                (Some(ta), Some(tb)) => Some(ta.min(tb)),
+                (one, other) => one.or(other),
+            },
+        }
+    }
+
     /// The largest phase offset occurring in the expression; the activity
     /// pattern is strictly periodic for ticks `>= max_phase()`.
     pub fn max_phase(&self) -> u64 {
@@ -161,6 +245,17 @@ impl Clock {
     /// delay-based rate transitions of Sec. 3.3.
     pub fn is_harmonic_with(&self, other: &Clock) -> bool {
         self.is_subclock_of(other) || other.is_subclock_of(self)
+    }
+
+    /// `true` if this clock is provably active at *every* tick (structural
+    /// check; conservative for `or` combinations of partial clocks).
+    pub fn is_always_active(&self) -> bool {
+        match self {
+            Clock::Base => true,
+            Clock::Every { n, phase } => *n == 1 && *phase == 0,
+            Clock::And(a, b) => a.is_always_active() && b.is_always_active(),
+            Clock::Or(a, b) => a.is_always_active() || b.is_always_active(),
+        }
     }
 
     /// `true` if this clock is never active within the decision horizon
@@ -208,6 +303,21 @@ pub fn lcm(a: u64, b: u64) -> u64 {
     } else {
         a / gcd(a, b) * b
     }
+}
+
+/// Overflow-checked [`lcm`], used wherever the operands come from model
+/// data (hyperperiod folds, nested clock periods) rather than trusted code.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ClockOverflow`] when the lcm exceeds `u64`.
+pub fn checked_lcm(a: u64, b: u64) -> Result<u64, KernelError> {
+    if a == 0 || b == 0 {
+        return Ok(0);
+    }
+    (a / gcd(a, b))
+        .checked_mul(b)
+        .ok_or(KernelError::ClockOverflow { context: "lcm" })
 }
 
 #[cfg(test)]
@@ -306,5 +416,75 @@ mod tests {
         assert_eq!(lcm(4, 6), 12);
         assert_eq!(lcm(1, 9), 9);
         assert_eq!(lcm(0, 9), 0);
+    }
+
+    #[test]
+    fn checked_lcm_reports_overflow() {
+        assert_eq!(checked_lcm(4, 6), Ok(12));
+        assert_eq!(checked_lcm(0, 9), Ok(0));
+        // u64::MAX is odd, so lcm(u64::MAX, 2) = u64::MAX * 2 overflows.
+        assert_eq!(
+            checked_lcm(u64::MAX, 2),
+            Err(KernelError::ClockOverflow { context: "lcm" })
+        );
+    }
+
+    #[test]
+    fn checked_period_matches_period_and_catches_overflow() {
+        let c = Clock::every(6, 1).and(Clock::every(10, 3));
+        assert_eq!(c.checked_period(), Ok(c.period()));
+        // Nested Every periods near u32::MAX overflow the lcm fold.
+        let a = Clock::Every {
+            n: u32::MAX,
+            phase: 0,
+        };
+        let b = Clock::Every {
+            n: u32::MAX - 1,
+            phase: 0,
+        };
+        let c2 = Clock::And(Box::new(a), Box::new(b));
+        let d = Clock::Every {
+            n: u32::MAX - 3,
+            phase: 0,
+        };
+        let deep = Clock::And(Box::new(c2), Box::new(d));
+        assert!(deep.checked_period().is_err());
+    }
+
+    #[test]
+    fn next_active_from_closed_form() {
+        let c = Clock::every(10, 3);
+        assert_eq!(c.next_active_from(0), Some(3));
+        assert_eq!(c.next_active_from(3), Some(3));
+        assert_eq!(c.next_active_from(4), Some(13));
+        assert_eq!(c.next_active_from(13), Some(13));
+        assert_eq!(Clock::base().next_active_from(7), Some(7));
+        // Advancement past u64::MAX is reported as "never": u64::MAX is
+        // odd, so the next even tick does not exist.
+        assert_eq!(Clock::every(2, 0).next_active_from(u64::MAX), None);
+    }
+
+    #[test]
+    fn next_active_from_never_overshoots() {
+        // Soundness invariant: every tick in [t, next) is inactive.
+        let clocks = [
+            Clock::every(6, 2).and(Clock::every(4, 0)),
+            Clock::every(3, 1).or(Clock::every(5, 0)),
+            Clock::every(2, 0).and(Clock::every(2, 1)), // never active
+            Clock::every(7, 5).or(Clock::every(2, 1).and(Clock::every(6, 3))),
+        ];
+        for c in &clocks {
+            for t in 0..200u64 {
+                if let Some(next) = c.next_active_from(t) {
+                    assert!(next >= t);
+                    for u in t..next.min(t + 500) {
+                        assert!(!c.is_active(u), "{c} claimed inactive at {u} wrongly");
+                    }
+                } else {
+                    // None is only allowed on overflow, unreachable here.
+                    panic!("{c} returned None in small range");
+                }
+            }
+        }
     }
 }

@@ -87,6 +87,12 @@ pub enum KernelError {
         /// The offending downsampling factor (must be `>= 1`).
         n: u32,
     },
+    /// Clock arithmetic (period lcm, next-tick advancement) overflowed
+    /// `u64`; the payload names the operation.
+    ClockOverflow {
+        /// The overflowing operation.
+        context: &'static str,
+    },
     /// A fault spec named a channel the network does not have (or names
     /// it ambiguously).
     UnknownFaultTarget {
@@ -150,6 +156,9 @@ impl fmt::Display for KernelError {
             KernelError::Block { block, message } => write!(f, "block `{block}`: {message}"),
             KernelError::InvalidClock { n } => {
                 write!(f, "invalid clock: period must be positive, got {n}")
+            }
+            KernelError::ClockOverflow { context } => {
+                write!(f, "clock arithmetic overflow in {context}")
             }
             KernelError::UnknownFaultTarget { target } => {
                 write!(f, "fault target {target} does not resolve to a channel")

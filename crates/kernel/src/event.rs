@@ -1,0 +1,1024 @@
+//! Discrete-event scheduling: compiling clock structure into firing events.
+//!
+//! The gated hyperperiod plan (PR 4) removed provably-inert nodes from each
+//! phase's schedule, but the executor still *visited* every tick and walked
+//! a per-phase list. This module turns the same static clock analysis into
+//! an event-driven [`Engine`] with two backends:
+//!
+//! * **Wheel** — the per-phase schedules over one hyperperiod, now annotated
+//!   with which phases are *quiet* (no node steps, commits, or clears), so
+//!   the run loops fast-forward silent stretches in O(1) per tick instead of
+//!   walking an empty phase list.
+//! * **Heap** — for networks whose clock lcm exceeds the plan caps (which
+//!   previously lost gating wholesale): each skippable node carries a
+//!   symbolic *activity clock*, and a calendar of `(next_tick, node)` events
+//!   in binary heaps produces the activation set for exactly the ticks where
+//!   something fires. Silent gaps between events are skipped outright.
+//!
+//! Both backends feed the executors one [`Activation`] per working tick —
+//! level lists, commit list, and arena-clear list — so the levelized
+//! schedule, typed lane columns, fault plans, and commit machinery are
+//! shared unchanged across the incremental, batch-`Message`, and
+//! batch-typed stepping loops.
+//!
+//! ## Soundness
+//!
+//! Activity is always an *upper bound*: a node may be listed as firing on a
+//! tick where its clock contract makes it inert. That is safe because the
+//! [`ClockBehavior`](crate::ops::ClockBehavior) contracts guarantee inert
+//! nodes are self-absent — stepping one produces absent outputs and no
+//! state change, exactly what the dense executor does every tick. What is
+//! *never* allowed is the converse: skipping a node on a tick where it
+//! could act. The heap's [`Clock::next_active_from`] lower bound and the
+//! wheel's presence patterns both maintain that invariant.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::causality::Schedule;
+use crate::clock::checked_lcm;
+use crate::ops::ClockBehavior;
+use crate::{Clock, Tick};
+
+/// Upper bound on the hyperperiod a wheel plan may cover; larger lcms of
+/// declared periods fall through to the heap backend.
+pub(crate) const MAX_HYPERPERIOD: u64 = 4096;
+/// Upper bound on `hyperperiod * node_count`, bounding wheel plan memory.
+pub(crate) const MAX_PLAN_CELLS: u64 = 1 << 20;
+
+/// A compiled input-port source, distilled from the network wiring for the
+/// clock analysis (mirrors the private `Source` of [`crate::network`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SrcRef {
+    /// Unconnected: always absent.
+    Open,
+    /// Wired to a named external input: presence unknowable, assume always.
+    External,
+    /// Wired to output `port` of node `node`.
+    Node {
+        /// Producing node index.
+        node: usize,
+        /// Producing output port.
+        port: usize,
+    },
+}
+
+/// Per-node facts the engine compiler needs, distilled by
+/// [`crate::network::Network::prepare`] (which also applies the behavior
+/// soundness demotions before handing them over).
+#[derive(Debug)]
+pub(crate) struct NodeMeta {
+    /// The node's (already demoted) clock behavior contract.
+    pub behavior: ClockBehavior,
+    /// Resolved source of each input port.
+    pub sources: Vec<SrcRef>,
+}
+
+/// Why no hyperperiod wheel was compiled for a network.
+///
+/// Reported through [`PlanInfo`] instead of a silent `None`, so callers can
+/// see *which* cap or structural property rejected the plan — and whether
+/// the heap backend picked the network up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlanRejection {
+    /// The network has no nodes.
+    EmptyNetwork,
+    /// No block declares a non-trivial clock (hyperperiod of one).
+    NoDeclaredClocks,
+    /// The lcm of declared periods exceeds the wheel cap.
+    HyperperiodCap {
+        /// The running lcm when the cap was exceeded.
+        hyperperiod: u64,
+        /// The cap it exceeded.
+        cap: u64,
+    },
+    /// `hyperperiod * node_count` exceeds the wheel memory cap.
+    PlanCells {
+        /// The cell count that exceeded the cap.
+        cells: u64,
+        /// The cap it exceeded.
+        cap: u64,
+    },
+    /// Clock period arithmetic overflowed `u64`.
+    ClockOverflow,
+    /// Clocks are declared but no node is ever provably inert.
+    NoInertNodes,
+}
+
+impl fmt::Display for PlanRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanRejection::EmptyNetwork => write!(f, "network has no nodes"),
+            PlanRejection::NoDeclaredClocks => write!(f, "no non-trivial declared clocks"),
+            PlanRejection::HyperperiodCap { hyperperiod, cap } => {
+                write!(f, "hyperperiod {hyperperiod} exceeds wheel cap {cap}")
+            }
+            PlanRejection::PlanCells { cells, cap } => {
+                write!(f, "plan size {cells} cells exceeds cap {cap}")
+            }
+            PlanRejection::ClockOverflow => write!(f, "clock period arithmetic overflowed"),
+            PlanRejection::NoInertNodes => write!(f, "no node is ever provably inert"),
+        }
+    }
+}
+
+/// Which backend the compiled engine runs ticks on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Full schedule every tick (no usable clock structure, or gating
+    /// disabled).
+    Dense,
+    /// Per-phase wheel over the hyperperiod with quiet-phase fast-forward.
+    Wheel,
+    /// Calendar heap of per-node firing events (hyperperiod over the wheel
+    /// caps).
+    Heap,
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::Dense => write!(f, "dense"),
+            EngineKind::Wheel => write!(f, "wheel"),
+            EngineKind::Heap => write!(f, "heap"),
+        }
+    }
+}
+
+/// How a prepared network will execute ticks, including why the wheel was
+/// rejected when it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanInfo {
+    /// The engine backend in effect.
+    pub kind: EngineKind,
+    /// The wheel's hyperperiod, when one was compiled.
+    pub hyperperiod: Option<u64>,
+    /// Why no wheel was compiled (`None` when one was). Set even when the
+    /// heap backend covers the network — it explains *why* the heap is in
+    /// use.
+    pub wheel_rejection: Option<PlanRejection>,
+}
+
+impl fmt::Display for PlanInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "engine={}", self.kind)?;
+        if let Some(h) = self.hyperperiod {
+            write!(f, " hyperperiod={h}")?;
+        }
+        if let Some(r) = &self.wheel_rejection {
+            write!(f, " wheel-rejected: {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One working tick's activation sets, borrowed from whichever backend
+/// produced them. The executors consume this and nothing else — the
+/// schedule walk is identical across backends.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Activation<'a> {
+    /// Level lists with inert nodes removed (ascending node indices within
+    /// each level, as the parallel carve requires).
+    pub levels: &'a [Vec<usize>],
+    /// Commit-pass nodes, ascending.
+    pub commits: &'a [usize],
+    /// Nodes whose arena outputs must be cleared to absent this tick
+    /// (they just went inert).
+    pub clears: &'a [usize],
+}
+
+/// The compiled clock engine of a prepared network.
+#[derive(Debug, Clone)]
+pub(crate) enum Engine {
+    /// Run the full schedule every tick.
+    Dense,
+    /// Hyperperiod wheel (shared so cheap per-tick clones stay cheap).
+    Wheel(Arc<WheelPlan>),
+    /// Calendar heap over symbolic activity clocks.
+    Heap(Arc<HeapPlan>),
+}
+
+impl Engine {
+    /// The backend discriminant for [`PlanInfo`].
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            Engine::Dense => EngineKind::Dense,
+            Engine::Wheel(_) => EngineKind::Wheel,
+            Engine::Heap(_) => EngineKind::Heap,
+        }
+    }
+}
+
+/// The hyperperiod wheel: per-phase schedules plus quiet-phase annotation.
+///
+/// Phase `p` describes ticks `t >= settle` with
+/// `(t - settle) % hyperperiod == p`. Ticks before `settle` — where clocks
+/// with unnormalized phase offsets may still be settling — run the full
+/// ungated schedule.
+#[derive(Debug)]
+pub(crate) struct WheelPlan {
+    /// Least common multiple of every declared clock period.
+    pub hyperperiod: u64,
+    /// First tick from which every declared clock is strictly periodic,
+    /// rounded up to a hyperperiod multiple.
+    pub settle: Tick,
+    /// `phase_levels[p]`: the levelized schedule with inert nodes removed
+    /// and emptied levels dropped.
+    pub phase_levels: Vec<Vec<Vec<usize>>>,
+    /// `phase_commits[p]`: the commit pass with inert nodes removed.
+    pub phase_commits: Vec<Vec<usize>>,
+    /// Nodes that go inert at phase `p` after being active at the previous
+    /// phase: their arena outputs are cleared to absent once, and the skip
+    /// keeps them absent until they reactivate.
+    pub phase_clears: Vec<Vec<usize>>,
+    /// Nodes inert at phase 0, cleared once when gating first engages.
+    pub entry_clears: Vec<usize>,
+    /// `quiet[p]`: phase `p` does no work at all — no steps, commits, or
+    /// clears — so ticks landing on it can be skipped without touching the
+    /// schedule.
+    pub quiet: Vec<bool>,
+    /// `quiet_run[p]`: number of consecutive quiet phases starting at `p`
+    /// (circular), `u64::MAX` when every phase is quiet. Makes the quiet
+    /// horizon an O(1) lookup instead of a per-tick scan.
+    pub quiet_run: Vec<u64>,
+    /// Whether the entry tick (`t == settle`, phase 0 with entry clears)
+    /// is quiet.
+    pub entry_quiet: bool,
+    /// Any phase at all is quiet (fast-out for dense wheels).
+    pub any_quiet: bool,
+}
+
+impl WheelPlan {
+    /// The phase of tick `t`, or `None` while clocks are still settling.
+    #[inline]
+    pub fn phase_of(&self, t: Tick) -> Option<usize> {
+        (t >= self.settle).then(|| ((t - self.settle) % self.hyperperiod) as usize)
+    }
+
+    /// The arena-clear list for tick `t` at phase `p`.
+    #[inline]
+    pub fn clears(&self, t: Tick, p: usize) -> &[usize] {
+        if t == self.settle {
+            &self.entry_clears
+        } else {
+            &self.phase_clears[p]
+        }
+    }
+
+    /// The exclusive end of the quiet stretch starting at tick `t`, capped
+    /// at `limit`. Returns `t` itself when tick `t` does work (including
+    /// all pre-settle ticks, which run the full schedule). O(1): one run
+    /// table lookup instead of a tick-by-tick scan.
+    pub fn quiet_until(&self, t: Tick, limit: Tick) -> Tick {
+        if !self.any_quiet || t < self.settle || t >= limit {
+            return t;
+        }
+        let p = ((t - self.settle) % self.hyperperiod) as usize;
+        // The entry tick swaps `phase_clears[0]` for `entry_clears`, so its
+        // quietness differs from the steady-state phase 0; every later tick
+        // of the stretch is steady-state and the run table applies.
+        let first_quiet = if t == self.settle {
+            self.entry_quiet
+        } else {
+            self.quiet[p]
+        };
+        if !first_quiet {
+            return t;
+        }
+        let next_p = if p as u64 + 1 == self.hyperperiod {
+            0
+        } else {
+            p + 1
+        };
+        let end = t.saturating_add(1).saturating_add(self.quiet_run[next_p]);
+        end.min(limit)
+    }
+}
+
+/// Symbolic per-node activity derived from the clock contracts.
+#[derive(Debug, Clone)]
+enum Act {
+    /// May be active at every tick (or not skippable at all).
+    Always,
+    /// Provably never active.
+    Never,
+    /// Active at most on the clock's active ticks.
+    On(Clock),
+}
+
+/// Cap on the structural size of a derived activity clock; larger
+/// expressions degrade to [`Act::Always`] (sound — the node just stops
+/// being skippable) rather than growing without bound along deep chains.
+const MAX_ACT_CLOCK_SIZE: usize = 64;
+
+fn clock_size(c: &Clock) -> usize {
+    match c {
+        Clock::Base | Clock::Every { .. } => 1,
+        Clock::And(a, b) | Clock::Or(a, b) => 1 + clock_size(a) + clock_size(b),
+    }
+}
+
+impl Act {
+    /// Activity bound from a clock, normalizing the trivial ends: an
+    /// always-active clock (e.g. `Clock::Base` on base-rate arithmetic)
+    /// must become [`Act::Always`], or every base-rate node would count as
+    /// "event-driven with period 1" and churn through the calendar heap on
+    /// every single tick.
+    fn on(c: &Clock) -> Act {
+        if c.is_never_active() {
+            Act::Never
+        } else if c.is_always_active() {
+            Act::Always
+        } else {
+            Act::On(c.clone())
+        }
+    }
+
+    fn and(self, other: Act) -> Act {
+        match (self, other) {
+            (Act::Never, _) | (_, Act::Never) => Act::Never,
+            (Act::Always, x) | (x, Act::Always) => x,
+            (Act::On(a), Act::On(b)) => {
+                if a == b {
+                    Act::On(a)
+                } else if clock_size(&a) + clock_size(&b) >= MAX_ACT_CLOCK_SIZE {
+                    // Refusing to grow the expression is sound for `and`:
+                    // keeping just one operand widens the activity bound.
+                    Act::On(a)
+                } else {
+                    Act::On(a.and(b))
+                }
+            }
+        }
+    }
+
+    fn or(self, other: Act) -> Act {
+        match (self, other) {
+            (Act::Always, _) | (_, Act::Always) => Act::Always,
+            (Act::Never, x) | (x, Act::Never) => x,
+            (Act::On(a), Act::On(b)) => {
+                if a == b {
+                    Act::On(a)
+                } else if clock_size(&a) + clock_size(&b) >= MAX_ACT_CLOCK_SIZE {
+                    // For `or` neither operand alone is an upper bound;
+                    // widen all the way to Always.
+                    Act::Always
+                } else {
+                    Act::On(a.or(b))
+                }
+            }
+        }
+    }
+}
+
+/// The calendar-heap plan: symbolic activity clocks for networks whose
+/// hyperperiod exceeds the wheel caps.
+#[derive(Debug)]
+pub(crate) struct HeapPlan {
+    /// `clock_of[i]`: the activity clock of skippable node `i`
+    /// (`None` = not event-driven: either always active or never active).
+    pub clock_of: Vec<Option<Clock>>,
+    /// `never[i]`: node `i` is skippable and provably never active.
+    pub never: Vec<bool>,
+    /// Level index of node `i` in the full levelized schedule.
+    pub level_of: Vec<usize>,
+    /// `needs_commit[i]` per node.
+    pub needs_commit: Vec<bool>,
+    /// Always-active nodes bucketed by level (ascending within each).
+    pub base_levels: Vec<Vec<usize>>,
+    /// [`HeapPlan::base_levels`] with emptied levels dropped: the
+    /// activation served directly on event-free ticks, so the executor
+    /// never walks levels holding only event-driven nodes.
+    pub base_levels_compact: Vec<Vec<usize>>,
+    /// Always-active commit nodes, ascending.
+    pub base_commits: Vec<usize>,
+    /// Whether any node is always active (then no tick is ever quiet).
+    pub any_base: bool,
+}
+
+/// The runtime cursor over a [`HeapPlan`]: pending firing and clear events
+/// plus the reused activation buffers for the current tick.
+///
+/// The cursor is positional — valid for one specific next tick. Executors
+/// call [`HeapState::prepare`] per working tick and
+/// [`HeapState::quiet_until`] to fast-forward gaps; any out-of-sequence
+/// tick (mode switches, dense fault ticks in between) triggers a
+/// conservative O(n) rebuild.
+#[derive(Debug, Clone)]
+pub(crate) struct HeapState {
+    /// The tick the heaps are positioned at (`primed` guards first use).
+    next_t: Tick,
+    primed: bool,
+    /// Pending `(tick, node)` firing events, min-ordered.
+    fires: BinaryHeap<Reverse<(Tick, usize)>>,
+    /// Pending `(tick, node)` arena-clear events, min-ordered.
+    clears: BinaryHeap<Reverse<(Tick, usize)>>,
+    /// Reused per-tick activation buffers. `levels` is kept equal to the
+    /// plan's base levels between event ticks; `touched` remembers which
+    /// levels the last event tick amended so only those are restored.
+    levels: Vec<Vec<usize>>,
+    commits: Vec<usize>,
+    clear_list: Vec<usize>,
+    fired: Vec<usize>,
+    touched: Vec<usize>,
+    /// The last prepared tick had no events at all: serve the plan's base
+    /// activation directly instead of the rebuilt buffers.
+    use_base: bool,
+}
+
+impl HeapState {
+    pub fn new(plan: &HeapPlan) -> Self {
+        HeapState {
+            next_t: 0,
+            primed: false,
+            fires: BinaryHeap::new(),
+            clears: BinaryHeap::new(),
+            levels: plan.base_levels.clone(),
+            commits: Vec::new(),
+            clear_list: Vec::new(),
+            fired: Vec::new(),
+            touched: Vec::new(),
+            use_base: false,
+        }
+    }
+
+    /// Repositions the calendar at tick `t` from scratch. Conservative:
+    /// every event-driven node not firing at `t` gets a clear event, so
+    /// stale arena values from whatever ran before (dense fault ticks, a
+    /// different engine mode) are flushed.
+    fn rebuild(&mut self, plan: &HeapPlan, t: Tick) {
+        self.fires.clear();
+        self.clears.clear();
+        for &li in &self.touched {
+            self.levels[li].clear();
+            self.levels[li].extend_from_slice(&plan.base_levels[li]);
+        }
+        self.touched.clear();
+        for (i, c) in plan.clock_of.iter().enumerate() {
+            if plan.never[i] {
+                self.clears.push(Reverse((t, i)));
+                continue;
+            }
+            let Some(c) = c else { continue };
+            match c.next_active_from(t) {
+                Some(next) => {
+                    self.fires.push(Reverse((next, i)));
+                    if next > t {
+                        self.clears.push(Reverse((t, i)));
+                    }
+                }
+                // Never fires again in representable time; keep it absent.
+                None => self.clears.push(Reverse((t, i))),
+            }
+        }
+        self.next_t = t;
+        self.primed = true;
+    }
+
+    /// Positions the calendar at tick `t` and materializes its activation
+    /// sets into the reused buffers (readable via [`HeapState::activation`]
+    /// until the next call).
+    pub fn prepare(&mut self, plan: &HeapPlan, t: Tick) {
+        if !self.primed || self.next_t != t {
+            self.rebuild(plan, t);
+        }
+
+        self.clear_list.clear();
+        while let Some(&Reverse((ct, i))) = self.clears.peek() {
+            if ct > t {
+                break;
+            }
+            self.clears.pop();
+            self.clear_list.push(i);
+        }
+
+        self.fired.clear();
+        while let Some(&Reverse((ft, i))) = self.fires.peek() {
+            if ft > t {
+                break;
+            }
+            self.fires.pop();
+            self.fired.push(i);
+        }
+
+        self.next_t = t + 1;
+        if self.fired.is_empty() && self.clear_list.is_empty() {
+            // Nothing fires or clears at `t`: the activation is exactly
+            // the base sets, no buffer rebuild needed. On sparse networks
+            // this is the overwhelmingly common working tick.
+            self.use_base = true;
+            return;
+        }
+        self.use_base = false;
+        self.clear_list.sort_unstable();
+        self.fired.sort_unstable();
+
+        // Restore the levels the previous event tick amended, then splice
+        // the freshly fired nodes in. The parallel carve needs ascending
+        // node indices per level; base and fired are each sorted but
+        // interleave, so only amended levels are re-sorted.
+        for &li in &self.touched {
+            self.levels[li].clear();
+            self.levels[li].extend_from_slice(&plan.base_levels[li]);
+        }
+        self.touched.clear();
+        for &i in &self.fired {
+            let li = plan.level_of[i];
+            self.levels[li].push(i);
+            self.touched.push(li);
+        }
+        for &li in &self.touched {
+            self.levels[li].sort_unstable();
+        }
+
+        // Commits: merge the sorted base list with the sorted fired list.
+        self.commits.clear();
+        let mut fired_commits = self
+            .fired
+            .iter()
+            .copied()
+            .filter(|&i| plan.needs_commit[i])
+            .peekable();
+        for &b in &plan.base_commits {
+            while let Some(&fc) = fired_commits.peek() {
+                if fc < b {
+                    self.commits.push(fc);
+                    fired_commits.next();
+                } else {
+                    break;
+                }
+            }
+            self.commits.push(b);
+        }
+        self.commits.extend(fired_commits);
+
+        // Reschedule everything that fired; a gap before the next firing
+        // schedules one clear so the skipped stretch reads absent.
+        for &i in &self.fired {
+            let c = plan.clock_of[i]
+                .as_ref()
+                .expect("fired nodes carry a clock");
+            let after = t + 1;
+            match c.next_active_from(after) {
+                Some(next) => {
+                    self.fires.push(Reverse((next, i)));
+                    if next > after {
+                        self.clears.push(Reverse((after, i)));
+                    }
+                }
+                None => self.clears.push(Reverse((after, i))),
+            }
+        }
+    }
+
+    /// The activation sets materialized by the last [`HeapState::prepare`].
+    pub fn activation<'a>(&'a self, plan: &'a HeapPlan) -> Activation<'a> {
+        if self.use_base {
+            Activation {
+                levels: &plan.base_levels_compact,
+                commits: &plan.base_commits,
+                clears: &[],
+            }
+        } else {
+            Activation {
+                levels: &self.levels,
+                commits: &self.commits,
+                clears: &self.clear_list,
+            }
+        }
+    }
+
+    /// The exclusive end of the event-free stretch starting at tick `t`,
+    /// capped at `limit`; positions the cursor there. Returns `t` when
+    /// tick `t` has pending events (or the plan has always-active nodes,
+    /// in which case no tick is quiet).
+    pub fn quiet_until(&mut self, plan: &HeapPlan, t: Tick, limit: Tick) -> Tick {
+        if plan.any_base {
+            return t;
+        }
+        if !self.primed || self.next_t != t {
+            self.rebuild(plan, t);
+        }
+        let next_event = [
+            self.fires.peek().map(|&Reverse((ft, _))| ft),
+            self.clears.peek().map(|&Reverse((ct, _))| ct),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+        .unwrap_or(Tick::MAX);
+        let end = next_event.max(t).min(limit);
+        self.next_t = end;
+        end
+    }
+}
+
+/// Compiles the distilled clock facts into an [`Engine`], reporting why
+/// the wheel was rejected when it was.
+pub(crate) fn compile(
+    meta: &[NodeMeta],
+    schedule: &Schedule,
+    commit_nodes: &[usize],
+) -> (Engine, Option<PlanRejection>) {
+    let n = meta.len();
+    if n == 0 {
+        return (Engine::Dense, Some(PlanRejection::EmptyNetwork));
+    }
+
+    // Fold the hyperperiod with overflow-checked arithmetic.
+    let mut h: u64 = 1;
+    let mut max_phase: u64 = 0;
+    let mut rejection: Option<PlanRejection> = None;
+    for m in meta {
+        if let ClockBehavior::Declared(c) | ClockBehavior::BoolGate(c) = &m.behavior {
+            let p = match c.checked_period() {
+                Ok(p) => p,
+                Err(_) => {
+                    rejection = Some(PlanRejection::ClockOverflow);
+                    break;
+                }
+            };
+            h = match checked_lcm(h, p) {
+                Ok(v) => v,
+                Err(_) => {
+                    rejection = Some(PlanRejection::ClockOverflow);
+                    break;
+                }
+            };
+            if h > MAX_HYPERPERIOD {
+                rejection = Some(PlanRejection::HyperperiodCap {
+                    hyperperiod: h,
+                    cap: MAX_HYPERPERIOD,
+                });
+                break;
+            }
+            max_phase = max_phase.max(c.max_phase());
+        }
+    }
+    if rejection.is_none() {
+        if h <= 1 {
+            rejection = Some(PlanRejection::NoDeclaredClocks);
+        } else {
+            let cells = h.saturating_mul(n as u64);
+            if cells > MAX_PLAN_CELLS {
+                rejection = Some(PlanRejection::PlanCells {
+                    cells,
+                    cap: MAX_PLAN_CELLS,
+                });
+            }
+        }
+    }
+
+    match rejection {
+        None => match compile_wheel(meta, schedule, commit_nodes, h, max_phase) {
+            Some(wheel) => (Engine::Wheel(Arc::new(wheel)), None),
+            None => (Engine::Dense, Some(PlanRejection::NoInertNodes)),
+        },
+        // Size-cap rejections are exactly the networks the heap backend is
+        // for; structural rejections (no clocks at all) stay dense.
+        Some(
+            r @ (PlanRejection::HyperperiodCap { .. }
+            | PlanRejection::PlanCells { .. }
+            | PlanRejection::ClockOverflow),
+        ) => match compile_heap(meta, schedule, commit_nodes) {
+            Some(heap) => (Engine::Heap(Arc::new(heap)), Some(r)),
+            None => (Engine::Dense, Some(r)),
+        },
+        Some(r) => (Engine::Dense, Some(r)),
+    }
+}
+
+/// ANDs the presence pattern of `src` into `pat` (open sources zero it,
+/// externals are unknowable and stay `true`).
+fn and_presence(pat: &mut [bool], src: SrcRef, active: &[Vec<bool>]) {
+    match src {
+        SrcRef::Open => pat.fill(false),
+        SrcRef::External => {}
+        SrcRef::Node { node, .. } => {
+            for (b, a) in pat.iter_mut().zip(&active[node]) {
+                *b &= *a;
+            }
+        }
+    }
+}
+
+/// ORs the presence pattern of `src` into `acc`.
+fn or_presence(acc: &mut [bool], src: SrcRef, active: &[Vec<bool>]) {
+    match src {
+        SrcRef::Open => {}
+        SrcRef::External => acc.fill(true),
+        SrcRef::Node { node, .. } => {
+            for (b, a) in acc.iter_mut().zip(&active[node]) {
+                *b |= *a;
+            }
+        }
+    }
+}
+
+/// Compiles the per-phase wheel (the PR 4 gated plan, plus quiet-phase
+/// annotation). Returns `None` when no node is ever provably inert.
+fn compile_wheel(
+    meta: &[NodeMeta],
+    schedule: &Schedule,
+    commit_nodes: &[usize],
+    h: u64,
+    max_phase: u64,
+) -> Option<WheelPlan> {
+    let n = meta.len();
+    // Clocks with unnormalized phase offsets (constructible through the pub
+    // `Every` fields) are only *eventually* periodic; gating engages at the
+    // first hyperperiod boundary past every offset.
+    let settle: Tick = max_phase.div_ceil(h) * h;
+    let hh = h as usize;
+    let pattern = |c: &Clock| -> Vec<bool> { (0..h).map(|p| c.is_active(settle + p)).collect() };
+
+    // `active[i][p]` is an upper bound on node `i`'s output presence at
+    // phase `p`, with the invariant that `false` implies *provably absent*
+    // at every gated tick of that phase. `skip[i]` marks nodes proven inert
+    // on their inactive phases: outputs absent, no state change, no error.
+    // Computed in schedule order so instantaneous sources resolve first.
+    let mut active: Vec<Vec<bool>> = vec![vec![true; hh]; n];
+    let mut skip = vec![false; n];
+    let mut gate: Vec<Option<Vec<bool>>> = vec![None; n];
+    for &i in &schedule.order {
+        match &meta[i].behavior {
+            ClockBehavior::Opaque => {}
+            ClockBehavior::Declared(c) => {
+                active[i] = pattern(c);
+                skip[i] = true;
+            }
+            ClockBehavior::BoolGate(c) => {
+                // Output always present; the *value* pattern gates any
+                // sampler it feeds. Not skippable itself.
+                gate[i] = Some(pattern(c));
+            }
+            ClockBehavior::StrictEach(ports) => {
+                let mut pat = vec![true; hh];
+                for &p in ports {
+                    and_presence(&mut pat, meta[i].sources[p], &active);
+                }
+                active[i] = pat;
+                skip[i] = true;
+            }
+            ClockBehavior::StrictAll(ports) => {
+                if ports.is_empty() {
+                    // No message inputs read: a constant expression, always
+                    // live.
+                    continue;
+                }
+                let mut any = vec![false; hh];
+                for &p in ports {
+                    or_presence(&mut any, meta[i].sources[p], &active);
+                }
+                active[i] = any;
+                skip[i] = true;
+            }
+            ClockBehavior::Sampler { cond } => {
+                let mut pat = vec![true; hh];
+                for &src in &meta[i].sources {
+                    and_presence(&mut pat, src, &active);
+                }
+                if let SrcRef::Node { node, port: 0 } = meta[i].sources[*cond] {
+                    if let Some(g) = &gate[node] {
+                        for (b, x) in pat.iter_mut().zip(g) {
+                            *b &= *x;
+                        }
+                    }
+                }
+                active[i] = pat;
+                skip[i] = true;
+            }
+            ClockBehavior::Passthrough => {
+                match meta[i].sources[0] {
+                    SrcRef::Open => active[i] = vec![false; hh],
+                    SrcRef::External => {}
+                    SrcRef::Node { node, port } => {
+                        active[i] = active[node].clone();
+                        if port == 0 {
+                            gate[i] = gate[node].clone();
+                        }
+                    }
+                }
+                skip[i] = true;
+            }
+        }
+    }
+
+    let inert = |i: usize, p: usize| skip[i] && !active[i][p];
+    if !(0..n).any(|i| (0..hh).any(|p| inert(i, p))) {
+        return None;
+    }
+
+    let mut phase_levels = Vec::with_capacity(hh);
+    let mut phase_commits: Vec<Vec<usize>> = Vec::with_capacity(hh);
+    let mut phase_clears: Vec<Vec<usize>> = Vec::with_capacity(hh);
+    for p in 0..hh {
+        let levels: Vec<Vec<usize>> = schedule
+            .levels
+            .iter()
+            .map(|lvl| {
+                lvl.iter()
+                    .copied()
+                    .filter(|&i| !inert(i, p))
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|lvl| !lvl.is_empty())
+            .collect();
+        phase_levels.push(levels);
+        phase_commits.push(
+            commit_nodes
+                .iter()
+                .copied()
+                .filter(|&i| !inert(i, p))
+                .collect(),
+        );
+        let prev = (p + hh - 1) % hh;
+        phase_clears.push((0..n).filter(|&i| inert(i, p) && !inert(i, prev)).collect());
+    }
+    let entry_clears: Vec<usize> = (0..n).filter(|&i| inert(i, 0)).collect();
+    let quiet: Vec<bool> = (0..hh)
+        .map(|p| {
+            phase_levels[p].is_empty() && phase_commits[p].is_empty() && phase_clears[p].is_empty()
+        })
+        .collect();
+    let entry_quiet =
+        phase_levels[0].is_empty() && phase_commits[0].is_empty() && entry_clears.is_empty();
+    let any_quiet = entry_quiet || quiet.iter().any(|&q| q);
+    // Circular run lengths of consecutive quiet phases: walk backwards from
+    // a non-quiet anchor so each entry extends its successor's run.
+    let mut quiet_run = vec![0u64; hh];
+    match quiet.iter().position(|&q| !q) {
+        None => quiet_run.fill(u64::MAX),
+        Some(anchor) => {
+            let mut p = (anchor + hh - 1) % hh;
+            while p != anchor {
+                if quiet[p] {
+                    quiet_run[p] = quiet_run[(p + 1) % hh] + 1;
+                }
+                p = (p + hh - 1) % hh;
+            }
+        }
+    }
+    Some(WheelPlan {
+        hyperperiod: h,
+        settle,
+        phase_levels,
+        phase_commits,
+        phase_clears,
+        entry_clears,
+        quiet,
+        quiet_run,
+        entry_quiet,
+        any_quiet,
+    })
+}
+
+/// Derives symbolic activity clocks and compiles the calendar-heap plan.
+/// Returns `None` when no node ends up event-driven (nothing to gain).
+fn compile_heap(
+    meta: &[NodeMeta],
+    schedule: &Schedule,
+    commit_nodes: &[usize],
+) -> Option<HeapPlan> {
+    let n = meta.len();
+
+    // The symbolic mirror of the wheel's per-phase presence patterns: the
+    // same derivation rules over [`Act`] instead of bool vectors, so it
+    // works for unbounded hyperperiods. `false ⇒ provably absent` becomes
+    // `inactive(act, t) ⇒ provably absent at t`.
+    let src_act = |src: SrcRef, act: &[Act]| -> Act {
+        match src {
+            SrcRef::Open => Act::Never,
+            SrcRef::External => Act::Always,
+            SrcRef::Node { node, .. } => act[node].clone(),
+        }
+    };
+    let mut act: Vec<Act> = vec![Act::Always; n];
+    let mut skip = vec![false; n];
+    let mut gate: Vec<Option<Clock>> = vec![None; n];
+    for &i in &schedule.order {
+        match &meta[i].behavior {
+            ClockBehavior::Opaque => {}
+            ClockBehavior::Declared(c) => {
+                act[i] = Act::on(c);
+                skip[i] = true;
+            }
+            ClockBehavior::BoolGate(c) => {
+                gate[i] = Some(c.clone());
+            }
+            ClockBehavior::StrictEach(ports) => {
+                let mut a = Act::Always;
+                for &p in ports {
+                    a = a.and(src_act(meta[i].sources[p], &act));
+                }
+                act[i] = a;
+                skip[i] = true;
+            }
+            ClockBehavior::StrictAll(ports) => {
+                if ports.is_empty() {
+                    continue;
+                }
+                let mut a = Act::Never;
+                for &p in ports {
+                    a = a.or(src_act(meta[i].sources[p], &act));
+                }
+                act[i] = a;
+                skip[i] = true;
+            }
+            ClockBehavior::Sampler { cond } => {
+                let mut a = Act::Always;
+                for &src in &meta[i].sources {
+                    a = a.and(src_act(src, &act));
+                }
+                if let SrcRef::Node { node, port: 0 } = meta[i].sources[*cond] {
+                    if let Some(g) = &gate[node] {
+                        a = a.and(Act::on(g));
+                    }
+                }
+                act[i] = a;
+                skip[i] = true;
+            }
+            ClockBehavior::Passthrough => {
+                match meta[i].sources[0] {
+                    SrcRef::Open => act[i] = Act::Never,
+                    SrcRef::External => {}
+                    SrcRef::Node { node, port } => {
+                        act[i] = act[node].clone();
+                        if port == 0 {
+                            gate[i] = gate[node].clone();
+                        }
+                    }
+                }
+                skip[i] = true;
+            }
+        }
+    }
+
+    let mut clock_of: Vec<Option<Clock>> = vec![None; n];
+    let mut never = vec![false; n];
+    let mut event_driven = 0usize;
+    for i in 0..n {
+        if !skip[i] {
+            continue;
+        }
+        match &act[i] {
+            Act::Always => {}
+            Act::Never => {
+                never[i] = true;
+                event_driven += 1;
+            }
+            Act::On(c) => {
+                if c.is_never_active() {
+                    never[i] = true;
+                } else {
+                    clock_of[i] = Some(c.clone());
+                }
+                event_driven += 1;
+            }
+        }
+    }
+    if event_driven == 0 {
+        return None;
+    }
+
+    let mut level_of = vec![0usize; n];
+    for (li, level) in schedule.levels.iter().enumerate() {
+        for &i in level {
+            level_of[i] = li;
+        }
+    }
+    let is_base = |i: usize| !never[i] && clock_of[i].is_none();
+    let base_levels: Vec<Vec<usize>> = schedule
+        .levels
+        .iter()
+        .map(|lvl| lvl.iter().copied().filter(|&i| is_base(i)).collect())
+        .collect();
+    let base_commits: Vec<usize> = commit_nodes
+        .iter()
+        .copied()
+        .filter(|&i| is_base(i))
+        .collect();
+    let base_levels_compact: Vec<Vec<usize>> = base_levels
+        .iter()
+        .filter(|l| !l.is_empty())
+        .cloned()
+        .collect();
+    let any_base = !base_levels_compact.is_empty();
+    let mut needs_commit = vec![false; n];
+    for &i in commit_nodes {
+        needs_commit[i] = true;
+    }
+    Some(HeapPlan {
+        clock_of,
+        never,
+        level_of,
+        needs_commit,
+        base_levels,
+        base_levels_compact,
+        base_commits,
+        any_base,
+    })
+}

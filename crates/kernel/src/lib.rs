@@ -58,6 +58,7 @@
 pub mod causality;
 pub mod clock;
 pub mod error;
+pub mod event;
 pub mod fault;
 pub mod lanes;
 pub mod network;
@@ -68,8 +69,9 @@ pub mod value;
 pub mod vcd;
 
 pub use causality::{CausalityError, CausalityReport, Schedule};
-pub use clock::Clock;
+pub use clock::{checked_lcm, Clock};
 pub use error::KernelError;
+pub use event::{EngineKind, PlanInfo, PlanRejection};
 pub use fault::{
     ChannelContract, ContractMonitor, Corruptor, FaultKind, FaultSpec, FaultTarget,
     PresenceViolation, RobustnessReport,

@@ -28,25 +28,28 @@
 //! items — lanes are independent, so batches parallelize even when the
 //! network itself is narrow.
 //!
-//! ## Clock-gated execution
+//! ## Discrete-event clock execution
 //!
 //! Multi-rate networks declare static clock structure through
 //! [`ClockBehavior`](crate::ops::ClockBehavior). [`Network::prepare`]
-//! compiles it into a [`GatedPlan`]: the hyperperiod (lcm of all declared
-//! periods), a per-phase activity mask per node, and per-phase level/commit
-//! lists with provably inert nodes removed. The executors then skip inert
-//! nodes entirely — no input gather, no virtual step, no commit — while a
-//! per-phase clear list keeps their arena slots absent, so observable
-//! semantics are tick-identical to the ungated schedule. A 100-period
-//! subsystem in a base-rate network costs its share of work on 1 tick in
-//! 100 instead of every tick.
+//! compiles it into an event [`Engine`] (see [`crate::event`]): either a
+//! hyperperiod *wheel* — per-phase level/commit lists with provably inert
+//! nodes removed, plus quiet-phase annotation — or, when the clock lcm
+//! exceeds the wheel caps, a calendar *heap* of per-node firing events.
+//! Every stepping loop (incremental, batch-`Message`, batch-typed) consumes
+//! one [`Activation`] per working tick from the engine and fast-forwards
+//! provably silent stretches in O(1) per tick, so a 1/1000-rate subsystem
+//! costs ~1/1000th of the work instead of a per-tick phase-list walk.
+//! Observable semantics are tick-identical to the dense schedule;
+//! [`ReadyNetwork::plan_info`] reports which backend is in effect and why.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use crate::causality::{self, Schedule};
-use crate::clock::lcm;
 use crate::error::KernelError;
+use crate::event::{
+    self, Activation, Engine, HeapState, NodeMeta, PlanInfo, PlanRejection, SrcRef,
+};
 use crate::fault::{
     ChannelContract, ContractMonitor, FaultPlan, FaultSite, FaultSpec, FaultTarget,
 };
@@ -392,7 +395,58 @@ impl Network {
         let commit_nodes: Vec<usize> = (0..n)
             .filter(|&i| self.nodes[i].block.needs_commit())
             .collect();
-        let gated = compile_gated_plan(&self.nodes, &schedule, &commit_nodes).map(Arc::new);
+
+        // Distill the clock facts for the event-engine compiler, demoting
+        // any behavior whose side conditions do not hold here. The presence
+        // reasoning assumes the listed ports are read instantaneously, and
+        // skipping a node assumes it observes nothing in the commit phase
+        // (Declared blocks excepted — their contract covers commit
+        // explicitly).
+        let metas: Vec<NodeMeta> = self
+            .nodes
+            .iter()
+            .map(|node| {
+                let block = &node.block;
+                let b = block.clock_behavior();
+                let sound = match &b {
+                    ClockBehavior::Opaque | ClockBehavior::Declared(_) => true,
+                    ClockBehavior::BoolGate(_) => block.output_arity() == 1,
+                    ClockBehavior::StrictEach(ports) | ClockBehavior::StrictAll(ports) => {
+                        !block.needs_commit()
+                            && ports.iter().all(|&p| {
+                                p < block.input_arity() && block.input_is_instantaneous(p)
+                            })
+                    }
+                    ClockBehavior::Sampler { cond } => {
+                        !block.needs_commit()
+                            && *cond < block.input_arity()
+                            && (0..block.input_arity()).all(|p| block.input_is_instantaneous(p))
+                    }
+                    ClockBehavior::Passthrough => {
+                        !block.needs_commit()
+                            && block.input_arity() >= 1
+                            && block.output_arity() == 1
+                            && block.input_is_instantaneous(0)
+                    }
+                };
+                NodeMeta {
+                    behavior: if sound { b } else { ClockBehavior::Opaque },
+                    sources: node
+                        .sources
+                        .iter()
+                        .map(|src| match *src {
+                            Source::Open => SrcRef::Open,
+                            Source::External(_) => SrcRef::External,
+                            Source::Node(from, p) => SrcRef::Node {
+                                node: from.0,
+                                port: p,
+                            },
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let (engine, wheel_rejection) = event::compile(&metas, &schedule, &commit_nodes);
 
         let mut blocks: Vec<Box<dyn Block + Send + Sync>> = Vec::with_capacity(n);
         for node in self.nodes {
@@ -402,14 +456,27 @@ impl Network {
         }
 
         let observed = vec![Message::Absent; probe_slots.len()];
+        // Probe columns fed by external inputs — the only ones that can
+        // change on a quiet tick (the arena is untouched).
+        let ext_probe_cols: Vec<(usize, usize)> = probe_slots
+            .iter()
+            .enumerate()
+            .filter_map(|(j, s)| match s {
+                Slot::External(e) => Some((j, *e)),
+                _ => None,
+            })
+            .collect();
         Ok(ReadyNetwork {
             name: self.name,
             blocks,
             commit_nodes,
-            gated,
+            engine,
+            wheel_rejection,
+            heap_state: None,
             n_inputs: self.input_names.len(),
             probe_names,
             probe_slots,
+            ext_probe_cols,
             slot_offset,
             slots,
             inst_bits,
@@ -521,269 +588,84 @@ fn resolve_batch_slot(
     }
 }
 
-/// Upper bound on the hyperperiod a gated plan may cover; larger lcms of
-/// declared periods fall back to the ungated schedule.
-const MAX_HYPERPERIOD: u64 = 4096;
-/// Upper bound on `hyperperiod * node_count`, bounding plan memory.
-const MAX_PLAN_CELLS: u64 = 1 << 20;
-
-/// The compiled clock-gating plan: per-phase schedules over one hyperperiod.
-///
-/// Phase `p` describes ticks `t >= settle` with
-/// `(t - settle) % hyperperiod == p`. Ticks before `settle` — where clocks
-/// with unnormalized phase offsets may still be settling — run the full
-/// ungated schedule.
-#[derive(Debug)]
-struct GatedPlan {
-    /// Least common multiple of every declared clock period.
-    hyperperiod: u64,
-    /// First tick from which every declared clock is strictly periodic,
-    /// rounded up to a hyperperiod multiple.
-    settle: Tick,
-    /// `phase_levels[p]`: the levelized schedule with inert nodes removed
-    /// and emptied levels dropped.
-    phase_levels: Vec<Vec<Vec<usize>>>,
-    /// `phase_commits[p]`: the commit pass with inert nodes removed.
-    phase_commits: Vec<Vec<usize>>,
-    /// Nodes that go inert at phase `p` after being active at the previous
-    /// phase: their arena outputs are cleared to absent once, and the skip
-    /// keeps them absent until they reactivate.
-    phase_clears: Vec<Vec<usize>>,
-    /// Nodes inert at phase 0, cleared once when gating first engages.
-    entry_clears: Vec<usize>,
-}
-
-impl GatedPlan {
-    /// The phase of tick `t`, or `None` while clocks are still settling.
-    #[inline]
-    fn phase_of(&self, t: Tick) -> Option<usize> {
-        (t >= self.settle).then(|| ((t - self.settle) % self.hyperperiod) as usize)
-    }
-
-    /// The arena-clear list for tick `t` at phase `p`.
-    #[inline]
-    fn clears(&self, t: Tick, p: usize) -> &[usize] {
-        if t == self.settle {
-            &self.entry_clears
+/// Gathers one node's instantaneous inputs into its scratch range.
+/// Non-instantaneous ports read `Absent` during phase 1; they are
+/// re-gathered with final values in the commit pass. A free function (not a
+/// method) so callers can keep disjoint `&mut` borrows of sibling fields.
+#[inline]
+fn gather_inputs(
+    scratch: &mut [Message],
+    slots: &[Slot],
+    inst_bits: &[u64],
+    range: std::ops::Range<usize>,
+    arena: &[Message],
+    externals: &[Message],
+) {
+    for k in range {
+        let inst = (inst_bits[k >> 6] >> (k & 63)) & 1 == 1;
+        scratch[k] = if inst {
+            resolve_slot(slots[k], arena, externals)
         } else {
-            &self.phase_clears[p]
+            Message::Absent
+        };
+    }
+}
+
+/// Resolves the tick's activation set from the compiled engine. The heap
+/// backend's cursor lives in `heap` (created on first use) so both the
+/// incremental path (`self.heap_state`, taken out for the tick) and batch
+/// runs (a local cursor) share one implementation.
+fn activation_for<'a>(
+    engine: &'a Engine,
+    schedule: &'a Schedule,
+    commit_nodes: &'a [usize],
+    heap: &'a mut Option<Box<HeapState>>,
+    t: Tick,
+) -> Activation<'a> {
+    match engine {
+        Engine::Dense => Activation {
+            levels: &schedule.levels,
+            commits: commit_nodes,
+            clears: &[],
+        },
+        Engine::Wheel(g) => match g.phase_of(t) {
+            None => Activation {
+                levels: &schedule.levels,
+                commits: commit_nodes,
+                clears: &[],
+            },
+            Some(p) => Activation {
+                levels: &g.phase_levels[p],
+                commits: &g.phase_commits[p],
+                clears: g.clears(t, p),
+            },
+        },
+        Engine::Heap(h) => {
+            let st = heap.get_or_insert_with(|| Box::new(HeapState::new(h)));
+            st.prepare(h, t);
+            st.activation(h)
         }
     }
 }
 
-/// ANDs the presence pattern of `src` into `pat` (open sources zero it,
-/// externals are unknowable and stay `true`).
-fn and_presence(pat: &mut [bool], src: Source, active: &[Vec<bool>]) {
-    match src {
-        Source::Open => pat.fill(false),
-        Source::External(_) => {}
-        Source::Node(j, _) => {
-            for (b, a) in pat.iter_mut().zip(&active[j.0]) {
-                *b &= *a;
-            }
+/// First tick in `[t, limit)` that might fire anything, i.e. the exclusive
+/// end of the provably silent stretch starting at `t` (equal to `t` when
+/// the tick itself may be active). The caller may fast-forward `[t, end)`
+/// at O(1) per tick.
+fn quiet_until_for(
+    engine: &Engine,
+    heap: &mut Option<Box<HeapState>>,
+    t: Tick,
+    limit: Tick,
+) -> Tick {
+    match engine {
+        Engine::Dense => t,
+        Engine::Wheel(g) => g.quiet_until(t, limit),
+        Engine::Heap(h) => {
+            let st = heap.get_or_insert_with(|| Box::new(HeapState::new(h)));
+            st.quiet_until(h, t, limit)
         }
     }
-}
-
-/// ORs the presence pattern of `src` into `acc`.
-fn or_presence(acc: &mut [bool], src: Source, active: &[Vec<bool>]) {
-    match src {
-        Source::Open => {}
-        Source::External(_) => acc.fill(true),
-        Source::Node(j, _) => {
-            for (b, a) in acc.iter_mut().zip(&active[j.0]) {
-                *b |= *a;
-            }
-        }
-    }
-}
-
-/// Compiles the network's declared clock structure into a [`GatedPlan`].
-///
-/// Returns `None` when gating cannot help: no declared clocks, a
-/// hyperperiod of one, the size caps exceeded, or no node ever provably
-/// inert.
-fn compile_gated_plan(
-    nodes: &[Node],
-    schedule: &Schedule,
-    commit_nodes: &[usize],
-) -> Option<GatedPlan> {
-    let n = nodes.len();
-    if n == 0 {
-        return None;
-    }
-    // Demote any behavior whose side conditions do not hold here. The
-    // presence reasoning below assumes the listed ports are read
-    // instantaneously, and skipping a node assumes it observes nothing in
-    // the commit phase (Declared blocks excepted — their contract covers
-    // commit explicitly).
-    let behaviors: Vec<ClockBehavior> = nodes
-        .iter()
-        .map(|node| {
-            let block = &node.block;
-            let b = block.clock_behavior();
-            let sound = match &b {
-                ClockBehavior::Opaque | ClockBehavior::Declared(_) => true,
-                ClockBehavior::BoolGate(_) => block.output_arity() == 1,
-                ClockBehavior::StrictEach(ports) | ClockBehavior::StrictAll(ports) => {
-                    !block.needs_commit()
-                        && ports
-                            .iter()
-                            .all(|&p| p < block.input_arity() && block.input_is_instantaneous(p))
-                }
-                ClockBehavior::Sampler { cond } => {
-                    !block.needs_commit()
-                        && *cond < block.input_arity()
-                        && (0..block.input_arity()).all(|p| block.input_is_instantaneous(p))
-                }
-                ClockBehavior::Passthrough => {
-                    !block.needs_commit()
-                        && block.input_arity() >= 1
-                        && block.output_arity() == 1
-                        && block.input_is_instantaneous(0)
-                }
-            };
-            if sound {
-                b
-            } else {
-                ClockBehavior::Opaque
-            }
-        })
-        .collect();
-
-    let mut h: u64 = 1;
-    let mut max_phase: u64 = 0;
-    for b in &behaviors {
-        if let ClockBehavior::Declared(c) | ClockBehavior::BoolGate(c) = b {
-            h = lcm(h, c.period());
-            max_phase = max_phase.max(c.max_phase());
-            if h > MAX_HYPERPERIOD {
-                return None;
-            }
-        }
-    }
-    if h <= 1 || h.saturating_mul(n as u64) > MAX_PLAN_CELLS {
-        return None;
-    }
-    // Clocks with unnormalized phase offsets (constructible through the pub
-    // `Every` fields) are only *eventually* periodic; gating engages at the
-    // first hyperperiod boundary past every offset.
-    let settle: Tick = max_phase.div_ceil(h) * h;
-    let hh = h as usize;
-    let pattern = |c: &Clock| -> Vec<bool> { (0..h).map(|p| c.is_active(settle + p)).collect() };
-
-    // `active[i][p]` is an upper bound on node `i`'s output presence at
-    // phase `p`, with the invariant that `false` implies *provably absent*
-    // at every gated tick of that phase. `skip[i]` marks nodes proven inert
-    // on their inactive phases: outputs absent, no state change, no error.
-    // Computed in schedule order so instantaneous sources resolve first.
-    let mut active: Vec<Vec<bool>> = vec![vec![true; hh]; n];
-    let mut skip = vec![false; n];
-    let mut gate: Vec<Option<Vec<bool>>> = vec![None; n];
-    for &i in &schedule.order {
-        match &behaviors[i] {
-            ClockBehavior::Opaque => {}
-            ClockBehavior::Declared(c) => {
-                active[i] = pattern(c);
-                skip[i] = true;
-            }
-            ClockBehavior::BoolGate(c) => {
-                // Output always present; the *value* pattern gates any
-                // sampler it feeds. Not skippable itself.
-                gate[i] = Some(pattern(c));
-            }
-            ClockBehavior::StrictEach(ports) => {
-                let mut pat = vec![true; hh];
-                for &p in ports {
-                    and_presence(&mut pat, nodes[i].sources[p], &active);
-                }
-                active[i] = pat;
-                skip[i] = true;
-            }
-            ClockBehavior::StrictAll(ports) => {
-                if ports.is_empty() {
-                    // No message inputs read: a constant expression, always
-                    // live.
-                    continue;
-                }
-                let mut any = vec![false; hh];
-                for &p in ports {
-                    or_presence(&mut any, nodes[i].sources[p], &active);
-                }
-                active[i] = any;
-                skip[i] = true;
-            }
-            ClockBehavior::Sampler { cond } => {
-                let mut pat = vec![true; hh];
-                for &src in &nodes[i].sources {
-                    and_presence(&mut pat, src, &active);
-                }
-                if let Source::Node(j, 0) = nodes[i].sources[*cond] {
-                    if let Some(g) = &gate[j.0] {
-                        for (b, x) in pat.iter_mut().zip(g) {
-                            *b &= *x;
-                        }
-                    }
-                }
-                active[i] = pat;
-                skip[i] = true;
-            }
-            ClockBehavior::Passthrough => {
-                match nodes[i].sources[0] {
-                    Source::Open => active[i] = vec![false; hh],
-                    Source::External(_) => {}
-                    Source::Node(j, p) => {
-                        active[i] = active[j.0].clone();
-                        if p == 0 {
-                            gate[i] = gate[j.0].clone();
-                        }
-                    }
-                }
-                skip[i] = true;
-            }
-        }
-    }
-
-    let inert = |i: usize, p: usize| skip[i] && !active[i][p];
-    if !(0..n).any(|i| (0..hh).any(|p| inert(i, p))) {
-        return None;
-    }
-
-    let mut phase_levels = Vec::with_capacity(hh);
-    let mut phase_commits = Vec::with_capacity(hh);
-    let mut phase_clears = Vec::with_capacity(hh);
-    for p in 0..hh {
-        let levels: Vec<Vec<usize>> = schedule
-            .levels
-            .iter()
-            .map(|lvl| {
-                lvl.iter()
-                    .copied()
-                    .filter(|&i| !inert(i, p))
-                    .collect::<Vec<usize>>()
-            })
-            .filter(|lvl| !lvl.is_empty())
-            .collect();
-        phase_levels.push(levels);
-        phase_commits.push(
-            commit_nodes
-                .iter()
-                .copied()
-                .filter(|&i| !inert(i, p))
-                .collect(),
-        );
-        let prev = (p + hh - 1) % hh;
-        phase_clears.push((0..n).filter(|&i| inert(i, p) && !inert(i, prev)).collect());
-    }
-    let entry_clears = (0..n).filter(|&i| inert(i, 0)).collect();
-    Some(GatedPlan {
-        hyperperiod: h,
-        settle,
-        phase_levels,
-        phase_commits,
-        phase_clears,
-        entry_clears,
-    })
 }
 
 /// A causality-checked network compiled to a flat execution plan.
@@ -795,8 +677,8 @@ fn compile_gated_plan(
 ///
 /// When the network's blocks declare static clock structure
 /// ([`crate::ops::ClockBehavior`]), [`Network::prepare`] additionally
-/// compiles a [`GatedPlan`] and ticks skip provably inert nodes — see the
-/// module docs.
+/// compiles an event [`Engine`] and ticks skip provably inert nodes — and
+/// provably silent ticks entirely — see the module docs.
 #[derive(Debug)]
 pub struct ReadyNetwork {
     name: String,
@@ -805,12 +687,20 @@ pub struct ReadyNetwork {
     /// ([`Block::needs_commit`]); commit-free nodes skip the input
     /// re-gather entirely.
     commit_nodes: Vec<usize>,
-    /// Clock-gated per-phase schedules, when the declared clock structure
-    /// admits skipping (`None` = run the full schedule every tick).
-    gated: Option<Arc<GatedPlan>>,
+    /// The compiled clock engine (see [`crate::event`]); `Engine::Dense`
+    /// runs the full schedule every tick.
+    engine: Engine,
+    /// Why no hyperperiod wheel was compiled, when one wasn't.
+    wheel_rejection: Option<PlanRejection>,
+    /// The heap backend's positional cursor for the incremental path
+    /// (lazily created; batch runs use their own local cursors).
+    heap_state: Option<Box<HeapState>>,
     n_inputs: usize,
     probe_names: Vec<String>,
     probe_slots: Vec<Slot>,
+    /// `(column, input)` pairs of probes fed by external inputs — the only
+    /// probe columns that vary across a quiet stretch.
+    ext_probe_cols: Vec<(usize, usize)>,
     /// Flat input range of node `i`: `slot_offset[i]..slot_offset[i + 1]`.
     slot_offset: Vec<usize>,
     /// Resolved source of each flat input.
@@ -898,7 +788,8 @@ impl ReadyNetwork {
     /// semantically transparent, so this exists for benchmarks and
     /// differential tests that need the ungated executor.
     pub fn disable_clock_gating(&mut self) {
-        self.gated = None;
+        self.engine = Engine::Dense;
+        self.heap_state = None;
     }
 
     /// Enables or disables the typed-column vectorized batch path (enabled
@@ -911,11 +802,31 @@ impl ReadyNetwork {
         self.vectorize_batch = on;
     }
 
-    /// The hyperperiod of the compiled clock-gating plan, or `None` when
-    /// the network exposes no usable static clock structure (or gating has
-    /// been disabled).
+    /// The hyperperiod of the compiled clock-gating wheel, or `None` when
+    /// the network exposes no usable static clock structure, runs on the
+    /// heap backend, or gating has been disabled.
     pub fn gated_hyperperiod(&self) -> Option<u64> {
-        self.gated.as_ref().map(|g| g.hyperperiod)
+        match &self.engine {
+            Engine::Wheel(g) => Some(g.hyperperiod),
+            _ => None,
+        }
+    }
+
+    /// How this network will execute ticks: the engine backend in effect,
+    /// the wheel hyperperiod when one was compiled, and — when the wheel
+    /// was rejected — the reason ([`PlanRejection`]) instead of a silent
+    /// fallback.
+    pub fn plan_info(&self) -> PlanInfo {
+        PlanInfo {
+            kind: self.engine.kind(),
+            hyperperiod: self.gated_hyperperiod(),
+            wheel_rejection: self.wheel_rejection,
+        }
+    }
+
+    /// Number of compiled nodes.
+    pub fn node_count(&self) -> usize {
+        self.blocks.len()
     }
 
     /// Installs (replacing any previous set) fault specs intercepting
@@ -1071,24 +982,13 @@ impl ReadyNetwork {
         if let Some(fp) = &mut self.faults {
             fp.reset();
         }
+        self.heap_state = None;
         self.tick = 0;
     }
 
     #[inline]
     fn inst(&self, k: usize) -> bool {
         (self.inst_bits[k >> 6] >> (k & 63)) & 1 == 1
-    }
-
-    /// Gathers node `i`'s phase-1 inputs (instantaneous ports only) into its
-    /// scratch range.
-    fn gather_step_inputs(&mut self, i: usize, externals: &[Message]) {
-        for k in self.slot_offset[i]..self.slot_offset[i + 1] {
-            self.scratch[k] = if self.inst(k) {
-                resolve_slot(self.slots[k], &self.arena, externals)
-            } else {
-                Message::Absent
-            };
-        }
     }
 
     /// Executes one global reaction and returns the probed row, borrowed
@@ -1128,48 +1028,40 @@ impl ReadyNetwork {
         // schedule: value-rewriting faults can invalidate the gate patterns
         // the plan was proven against, and stateful faults must advance at
         // every tick. Semantics are identical either way.
-        let gated = if self.faults.as_ref().is_some_and(|f| !f.gating_safe) {
-            None
+        let engine = if self.faults.as_ref().is_some_and(|f| !f.gating_safe) {
+            Engine::Dense
         } else {
-            self.gated.clone()
+            self.engine.clone()
         };
-        let plan = gated.as_deref().and_then(|g| g.phase_of(t).map(|p| (g, p)));
+        // The heap cursor moves out of `self` for the tick so its buffers
+        // can be borrowed while stepping mutates disjoint fields; a `?`
+        // early-out simply drops it, and the next tick rebuilds.
+        let mut heap = self.heap_state.take();
+        let act = activation_for(&engine, &self.schedule, &self.commit_nodes, &mut heap, t);
 
         // Clear the outputs of nodes that just went inert; the skip then
         // keeps them absent until they reactivate.
-        if let Some((g, p)) = plan {
-            for &i in g.clears(t, p) {
-                self.arena[self.out_offset[i]..self.out_offset[i + 1]].fill(Message::Absent);
-            }
+        for &i in act.clears {
+            self.arena[self.out_offset[i]..self.out_offset[i + 1]].fill(Message::Absent);
         }
 
         // Phase 1: step level by level. Within a level no block reads
         // another's output instantaneously, so any order (or parallel
-        // execution) yields the same arena contents. With a gated plan the
-        // per-phase levels replace the full schedule.
+        // execution) yields the same arena contents.
         let parallel = self.parallel_min_width;
-        let n_levels = match plan {
-            Some((g, p)) => g.phase_levels[p].len(),
-            None => self.schedule.levels.len(),
-        };
-        for li in 0..n_levels {
-            let width = match plan {
-                Some((g, p)) => g.phase_levels[p][li].len(),
-                None => self.schedule.levels[li].len(),
-            };
+        for level in act.levels {
             match parallel {
-                Some(min) if width >= min => {
-                    for ni in 0..width {
-                        let i = match plan {
-                            Some((g, p)) => g.phase_levels[p][li][ni],
-                            None => self.schedule.levels[li][ni],
-                        };
-                        self.gather_step_inputs(i, externals);
+                Some(min) if level.len() >= min => {
+                    for &i in level {
+                        gather_inputs(
+                            &mut self.scratch,
+                            &self.slots,
+                            &self.inst_bits,
+                            self.slot_offset[i]..self.slot_offset[i + 1],
+                            &self.arena,
+                            externals,
+                        );
                     }
-                    let level: &[usize] = match plan {
-                        Some((g, p)) => &g.phase_levels[p][li],
-                        None => &self.schedule.levels[li],
-                    };
                     step_level_parallel(
                         t,
                         level,
@@ -1194,12 +1086,15 @@ impl ReadyNetwork {
                     }
                 }
                 _ => {
-                    for ni in 0..width {
-                        let i = match plan {
-                            Some((g, p)) => g.phase_levels[p][li][ni],
-                            None => self.schedule.levels[li][ni],
-                        };
-                        self.gather_step_inputs(i, externals);
+                    for &i in level {
+                        gather_inputs(
+                            &mut self.scratch,
+                            &self.slots,
+                            &self.inst_bits,
+                            self.slot_offset[i]..self.slot_offset[i + 1],
+                            &self.arena,
+                            externals,
+                        );
                         let inputs = &self.scratch[self.slot_offset[i]..self.slot_offset[i + 1]];
                         let out = &mut self.arena[self.out_offset[i]..self.out_offset[i + 1]];
                         self.blocks[i].step_into(t, inputs, out)?;
@@ -1214,16 +1109,8 @@ impl ReadyNetwork {
         }
 
         // Phase 2: commit with final input values — only for nodes whose
-        // blocks actually observe them, minus any inert this phase.
-        let n_commits = match plan {
-            Some((g, p)) => g.phase_commits[p].len(),
-            None => self.commit_nodes.len(),
-        };
-        for ci in 0..n_commits {
-            let i = match plan {
-                Some((g, p)) => g.phase_commits[p][ci],
-                None => self.commit_nodes[ci],
-            };
+        // blocks actually observe them, minus any inert this tick.
+        for &i in act.commits {
             for k in self.slot_offset[i]..self.slot_offset[i + 1] {
                 self.scratch[k] = resolve_slot(self.slots[k], &self.arena, externals);
             }
@@ -1238,6 +1125,7 @@ impl ReadyNetwork {
             self.observed[j] = resolve_slot(slot, &self.arena, externals);
         }
         self.tick += 1;
+        self.heap_state = heap;
         if let Some(row) = ext_owned {
             self.ext_scratch = row;
         }
@@ -1278,11 +1166,90 @@ impl ReadyNetwork {
         for name in &self.probe_names {
             trace.declare(name.clone());
         }
-        for row in stimulus {
-            let observed = self.step_tick_observed(row)?;
+        let mut i = 0;
+        while i < stimulus.len() {
+            // Fast-forward provably silent stretches: no node fires, so the
+            // arena (and every arena-resolved probe) is constant and the
+            // rows can be emitted in bulk without touching any block.
+            // Faults (even gating-safe drops) need their per-tick state
+            // advanced, so a faulted run steps every tick.
+            if self.faults.is_none() {
+                let limit = self.tick + (stimulus.len() - i) as Tick;
+                let end = self.quiet_horizon(limit);
+                if end > self.tick {
+                    let skip = (end - self.tick) as usize;
+                    self.push_quiet_rows(&mut trace, &stimulus[i..i + skip])?;
+                    i += skip;
+                    continue;
+                }
+            }
+            let observed = self.step_tick_observed(&stimulus[i])?;
             trace.push_row_indexed(observed)?;
+            i += 1;
         }
         Ok(trace)
+    }
+
+    /// Exclusive end of the provably silent stretch starting at the current
+    /// tick, clamped to `limit`; equals the current tick when it may fire.
+    fn quiet_horizon(&mut self, limit: Tick) -> Tick {
+        let t = self.tick;
+        match &self.engine {
+            Engine::Dense => t,
+            Engine::Wheel(g) => g.quiet_until(t, limit),
+            Engine::Heap(h) => {
+                let st = self
+                    .heap_state
+                    .get_or_insert_with(|| Box::new(HeapState::new(h)));
+                st.quiet_until(h, t, limit)
+            }
+        }
+    }
+
+    /// Emits one trace row per stimulus row for a silent stretch without
+    /// stepping any block: arena-resolved probe columns are constant, only
+    /// externally-fed probes vary per tick. Arity errors are reported at
+    /// the exact offending tick, with all earlier rows already emitted.
+    fn push_quiet_rows(
+        &mut self,
+        trace: &mut Trace,
+        rows: &[Vec<Message>],
+    ) -> Result<(), KernelError> {
+        for (j, &slot) in self.probe_slots.iter().enumerate() {
+            self.observed[j] = match slot {
+                // Placeholder; patched per row below.
+                Slot::External(_) => Message::Absent,
+                s => resolve_slot(s, &self.arena, &[]),
+            };
+        }
+        let mut ok = 0usize;
+        let mut bad: Option<KernelError> = None;
+        for (j, row) in rows.iter().enumerate() {
+            if row.len() != self.n_inputs {
+                bad = Some(KernelError::StimulusArity {
+                    expected: self.n_inputs,
+                    found: row.len(),
+                    tick: self.tick + j as Tick,
+                });
+                break;
+            }
+            ok += 1;
+        }
+        if self.ext_probe_cols.is_empty() {
+            trace.push_row_repeat_indexed(&self.observed, ok)?;
+        } else {
+            for row in &rows[..ok] {
+                for &(col, e) in &self.ext_probe_cols {
+                    self.observed[col] = row[e].clone();
+                }
+                trace.push_row_indexed(&self.observed)?;
+            }
+        }
+        self.tick += ok as Tick;
+        match bad {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Widens the compiled single-lane slots to lane-major [`BatchSlot`]s
@@ -1481,18 +1448,62 @@ impl ReadyNetwork {
         let mut observed = vec![Message::Absent; self.probe_slots.len()];
         let mut specs: Vec<PartSpec> = Vec::new();
 
+        let engine = if gating_on {
+            self.engine.clone()
+        } else {
+            Engine::Dense
+        };
+        let mut heap_cursor: Option<Box<HeapState>> = None;
+
         // `t` is the simulation tick: it indexes every lane's stimulus rows
         // and gates lane activity, not one iterable.
-        #[allow(clippy::needless_range_loop)]
-        for t in 0..max_ticks {
+        let mut t = 0usize;
+        while t < max_ticks {
             let tick = t as Tick;
-            let plan = if gating_on {
-                self.gated
-                    .as_deref()
-                    .and_then(|g| g.phase_of(tick).map(|p| (g, p)))
-            } else {
-                None
-            };
+
+            // Fast-forward provably silent stretches: the arena is frozen,
+            // so every active lane's rows repeat except externally-fed
+            // probe columns. Any fault plan disables the skip — fault state
+            // must advance per tick.
+            if lane_plans.is_none() {
+                let end =
+                    quiet_until_for(&engine, &mut heap_cursor, tick, max_ticks as Tick) as usize;
+                if end > t {
+                    for (l, &len) in lens.iter().enumerate() {
+                        let upto = len.min(end);
+                        if upto <= t {
+                            continue;
+                        }
+                        for (j, &slot) in probe_slots.iter().enumerate() {
+                            observed[j] = match slot {
+                                // Placeholder; patched per row below.
+                                BatchSlot::External(_) => Message::Absent,
+                                s => resolve_batch_slot(s, l, &arena, &[]),
+                            };
+                        }
+                        if self.ext_probe_cols.is_empty() {
+                            traces[l].push_row_repeat_indexed(&observed, upto - t)?;
+                        } else {
+                            for row in &stimuli[l][t..upto] {
+                                for &(col, e) in &self.ext_probe_cols {
+                                    observed[col] = row[e].clone();
+                                }
+                                traces[l].push_row_indexed(&observed)?;
+                            }
+                        }
+                    }
+                    t = end;
+                    continue;
+                }
+            }
+
+            let act = activation_for(
+                &engine,
+                &self.schedule,
+                &self.commit_nodes,
+                &mut heap_cursor,
+                tick,
+            );
 
             // Stage each active lane's faulted external row for the tick.
             if any_ext_faults {
@@ -1510,19 +1521,13 @@ impl ReadyNetwork {
             }
 
             // Clear all lanes of nodes that just went inert.
-            if let Some((g, p)) = plan {
-                for &i in g.clears(tick, p) {
-                    arena[self.out_offset[i] * k..self.out_offset[i + 1] * k].fill(Message::Absent);
-                }
+            for &i in act.clears {
+                arena[self.out_offset[i] * k..self.out_offset[i + 1] * k].fill(Message::Absent);
             }
 
             // Phase 1: step level by level; within a level every active
             // lane of every node is an independent work item.
-            let levels: &[Vec<usize>] = match plan {
-                Some((g, p)) => &g.phase_levels[p],
-                None => &self.schedule.levels,
-            };
-            for level in levels {
+            for level in act.levels {
                 specs.clear();
                 for &i in level {
                     let ia = self.slot_offset[i + 1] - self.slot_offset[i];
@@ -1585,11 +1590,7 @@ impl ReadyNetwork {
             // Phase 2: commit with final input values — only for nodes
             // whose blocks actually observe them, minus any inert this
             // phase.
-            let commits: &[usize] = match plan {
-                Some((g, p)) => &g.phase_commits[p],
-                None => &self.commit_nodes,
-            };
-            for &i in commits {
+            for &i in act.commits {
                 let ia = self.slot_offset[i + 1] - self.slot_offset[i];
                 for (l, &len) in lens.iter().enumerate() {
                     if t >= len {
@@ -1624,6 +1625,7 @@ impl ReadyNetwork {
                 }
                 traces[l].push_row_indexed(&observed)?;
             }
+            t += 1;
         }
         Ok(traces)
     }
@@ -1758,20 +1760,66 @@ impl ReadyNetwork {
             Slot::External(e) => ext.decode(e, l),
         };
 
+        let engine = if gating_on {
+            self.engine.clone()
+        } else {
+            Engine::Dense
+        };
+        let mut heap_cursor: Option<Box<HeapState>> = None;
+
         // `t` indexes every lane's stimulus rows and gates lane activity.
-        #[allow(clippy::needless_range_loop)]
-        for t in 0..max_ticks {
+        let mut t = 0usize;
+        while t < max_ticks {
             let tick = t as Tick;
             for (l, &len) in lens.iter().enumerate() {
                 active[l] = t < len;
             }
-            let plan = if gating_on {
-                self.gated
-                    .as_deref()
-                    .and_then(|g| g.phase_of(tick).map(|p| (g, p)))
-            } else {
-                None
-            };
+
+            // Fast-forward provably silent stretches. The typed arena is
+            // frozen, so each lane's rows repeat except externally-fed
+            // probe columns, which read straight from the stimulus (the
+            // `LaneStore` roundtrip is bit-exact). Fault plans disable the
+            // skip — fault state must advance per tick.
+            if lane_plans.is_none() {
+                let end =
+                    quiet_until_for(&engine, &mut heap_cursor, tick, max_ticks as Tick) as usize;
+                if end > t {
+                    for (l, &len) in lens.iter().enumerate() {
+                        let upto = len.min(end);
+                        if upto <= t {
+                            continue;
+                        }
+                        for (j, &slot) in self.probe_slots.iter().enumerate() {
+                            observed[j] = match slot {
+                                // Placeholder; patched per row below.
+                                Slot::External(_) => Message::Absent,
+                                Slot::Arena(a) => arena.decode(a, l),
+                                Slot::Open => Message::Absent,
+                            };
+                        }
+                        if self.ext_probe_cols.is_empty() {
+                            traces[l].push_row_repeat_indexed(&observed, upto - t)?;
+                        } else {
+                            for row in &stimuli[l][t..upto] {
+                                for &(col, e) in &self.ext_probe_cols {
+                                    observed[col] = row[e].clone();
+                                }
+                                traces[l].push_row_indexed(&observed)?;
+                            }
+                        }
+                    }
+                    t = end;
+                    continue;
+                }
+            }
+
+            let act = activation_for(
+                &engine,
+                &self.schedule,
+                &self.commit_nodes,
+                &mut heap_cursor,
+                tick,
+            );
 
             // Stage each active lane's faulted external row for the tick.
             if any_ext_faults {
@@ -1807,20 +1855,14 @@ impl ReadyNetwork {
 
             // Clear all lanes of nodes that just went inert: a contiguous
             // tag fill.
-            if let Some((g, p)) = plan {
-                for &i in g.clears(tick, p) {
-                    arena.clear_cells(self.out_offset[i]..self.out_offset[i + 1]);
-                }
+            for &i in act.clears {
+                arena.clear_cells(self.out_offset[i]..self.out_offset[i + 1]);
             }
 
             // Phase 1: step level by level. A vectorized node steps all
             // K lanes in one kernel call over borrowed input columns; a
             // fallback node decodes per lane into `Message` scratch.
-            let levels: &[Vec<usize>] = match plan {
-                Some((g, p)) => &g.phase_levels[p],
-                None => &self.schedule.levels,
-            };
-            for level in levels {
+            for level in act.levels {
                 for &i in level {
                     let ia = self.slot_offset[i + 1] - self.slot_offset[i];
                     if let Some(kern) = kernels[i].as_mut() {
@@ -1850,9 +1892,9 @@ impl ReadyNetwork {
                                 if !is_active {
                                     continue;
                                 }
-                                for p in 0..ia {
+                                for (p, m) in in_msgs[..ia].iter_mut().enumerate() {
                                     let flat = self.slot_offset[i] + p;
-                                    in_msgs[p] = if self.inst(flat) {
+                                    *m = if self.inst(flat) {
                                         read_lane(self.slots[flat], l, &arena, &ext)
                                     } else {
                                         Message::Absent
@@ -1870,9 +1912,9 @@ impl ReadyNetwork {
                             if !is_active {
                                 continue;
                             }
-                            for p in 0..ia {
+                            for (p, m) in in_msgs[..ia].iter_mut().enumerate() {
                                 let flat = self.slot_offset[i] + p;
-                                in_msgs[p] = if self.inst(flat) {
+                                *m = if self.inst(flat) {
                                     read_lane(self.slots[flat], l, &arena, &ext)
                                 } else {
                                     Message::Absent
@@ -1905,11 +1947,7 @@ impl ReadyNetwork {
             // Phase 2: commit with final input values. Vectorized nodes
             // gather all ports as column borrows; fallback nodes decode
             // per lane.
-            let commits: &[usize] = match plan {
-                Some((g, p)) => &g.phase_commits[p],
-                None => &self.commit_nodes,
-            };
-            for &i in commits {
+            for &i in act.commits {
                 let ia = self.slot_offset[i + 1] - self.slot_offset[i];
                 if let Some(kern) = kernels[i].as_mut() {
                     let port_slices: Vec<LaneSlice<'_>> = (0..ia)
@@ -1928,9 +1966,9 @@ impl ReadyNetwork {
                         if !is_active {
                             continue;
                         }
-                        for p in 0..ia {
+                        for (p, m) in in_msgs[..ia].iter_mut().enumerate() {
                             let flat = self.slot_offset[i] + p;
-                            in_msgs[p] = read_lane(self.slots[flat], l, &arena, &ext);
+                            *m = read_lane(self.slots[flat], l, &arena, &ext);
                         }
                         fallback[i][l].commit(tick, &in_msgs[..ia]);
                     }
@@ -1947,6 +1985,7 @@ impl ReadyNetwork {
                 }
                 traces[l].push_row_indexed(&observed)?;
             }
+            t += 1;
         }
         Ok(traces)
     }
@@ -1967,7 +2006,10 @@ impl Clone for ReadyNetwork {
             slots: self.slots.clone(),
             inst_bits: self.inst_bits.clone(),
             commit_nodes: self.commit_nodes.clone(),
-            gated: self.gated.clone(),
+            engine: self.engine.clone(),
+            wheel_rejection: self.wheel_rejection,
+            heap_state: self.heap_state.clone(),
+            ext_probe_cols: self.ext_probe_cols.clone(),
             out_offset: self.out_offset.clone(),
             arena: self.arena.clone(),
             scratch: self.scratch.clone(),

@@ -84,6 +84,13 @@ impl Stream {
         self.messages.push(m);
     }
 
+    /// Appends `n` copies of one message — the bulk path for provably
+    /// silent stretches, one `resize` instead of `n` pushes.
+    pub fn extend_constant(&mut self, m: &Message, n: usize) {
+        let len = self.messages.len();
+        self.messages.resize(len + n, m.clone());
+    }
+
     /// The message at tick `t`, or `None` past the end.
     pub fn get(&self, t: usize) -> Option<&Message> {
         self.messages.get(t)

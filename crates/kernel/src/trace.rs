@@ -103,6 +103,31 @@ impl Trace {
         Ok(())
     }
 
+    /// Appends `count` identical ticks of observations by column index —
+    /// the bulk path the discrete-event engine uses to emit a provably
+    /// silent stretch in one call per column instead of one per tick.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KernelError::RowArity`] if `row` does not have exactly
+    /// one message per declared signal.
+    pub fn push_row_repeat_indexed(
+        &mut self,
+        row: &[Message],
+        count: usize,
+    ) -> Result<(), KernelError> {
+        if row.len() != self.columns.len() {
+            return Err(KernelError::RowArity {
+                expected: self.columns.len(),
+                found: row.len(),
+            });
+        }
+        for (col, msg) in self.columns.iter_mut().zip(row) {
+            col.extend_constant(msg, count);
+        }
+        Ok(())
+    }
+
     /// Inserts or replaces a whole signal history.
     pub fn insert(&mut self, name: impl Into<String>, stream: Stream) {
         let i = self.declare(name);

@@ -11,9 +11,11 @@
 
 use std::collections::HashMap;
 
+use std::fmt;
+
 use automode_core::model::{ComponentId, Model};
 use automode_kernel::network::rows_padded_with_absence;
-use automode_kernel::{ContractMonitor, FaultKind, FaultSpec, RobustnessReport, Stream};
+use automode_kernel::{ContractMonitor, FaultKind, FaultSpec, PlanInfo, RobustnessReport, Stream};
 
 use crate::elaborate::elaborate;
 use crate::error::SimError;
@@ -52,6 +54,29 @@ impl<'a> BatchScenario<'a> {
     pub fn with_fault(mut self, signal: impl Into<String>, kind: FaultKind) -> Self {
         self.faults.push((signal.into(), kind));
         self
+    }
+}
+
+/// Compile-time facts about a [`CompiledSim`]: sizes plus how the kernel
+/// will execute its ticks ([`PlanInfo`] — engine backend, wheel
+/// hyperperiod, and the rejection reason when no wheel was compiled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Number of compiled kernel nodes.
+    pub nodes: usize,
+    /// Number of declared input ports.
+    pub inputs: usize,
+    /// The compiled clock-engine plan.
+    pub plan: PlanInfo,
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} node(s), {} input(s), {}",
+            self.nodes, self.inputs, self.plan
+        )
     }
 }
 
@@ -144,6 +169,23 @@ impl CompiledSim {
     /// [`ReadyNetwork::gated_hyperperiod`](automode_kernel::ReadyNetwork::gated_hyperperiod)).
     pub fn gated_hyperperiod(&self) -> Option<u64> {
         self.ready.gated_hyperperiod()
+    }
+
+    /// How the kernel will execute this component's ticks (see
+    /// [`ReadyNetwork::plan_info`](automode_kernel::ReadyNetwork::plan_info)):
+    /// the engine backend, the wheel hyperperiod when one was compiled, and
+    /// the rejection reason when one wasn't.
+    pub fn plan_info(&self) -> PlanInfo {
+        self.ready.plan_info()
+    }
+
+    /// Compile-time sizes and plan facts, for logs and perf triage.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            nodes: self.ready.node_count(),
+            inputs: self.input_names.len(),
+            plan: self.ready.plan_info(),
+        }
     }
 
     /// Overrides the parallel worker count (see
@@ -389,6 +431,22 @@ mod tests {
             let single = sim.run(sc.inputs, sc.ticks).unwrap();
             assert_eq!(batch[i], single, "lane {i}");
         }
+    }
+
+    #[test]
+    fn stats_report_sizes_and_plan() {
+        let (m, id) = gain_model();
+        let sim = CompiledSim::new(&m, id).unwrap();
+        let stats = sim.stats();
+        assert!(stats.nodes >= 1);
+        assert_eq!(stats.inputs, 1);
+        // A purely combinational component has no declared clocks, so the
+        // engine is dense and the rejection says why.
+        assert_eq!(stats.plan.kind, automode_kernel::EngineKind::Dense);
+        assert!(stats.plan.wheel_rejection.is_some());
+        assert_eq!(stats.plan, sim.plan_info());
+        let text = stats.to_string();
+        assert!(text.contains("node") && text.contains("input"), "{text}");
     }
 
     #[test]

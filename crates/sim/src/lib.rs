@@ -42,7 +42,7 @@ pub use automode_kernel::{
     PresenceViolation, RobustnessReport,
 };
 pub use ccd_sim::elaborate_ccd;
-pub use compiled::{BatchScenario, CompiledSim};
+pub use compiled::{BatchScenario, CompiledSim, SimStats};
 pub use elaborate::elaborate;
 pub use error::SimError;
 pub use simulate::{simulate, simulate_component, SimRun};
