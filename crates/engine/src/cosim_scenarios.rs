@@ -1,0 +1,197 @@
+//! Platform co-simulation scenarios over the Fig. 7 engine deployment.
+//!
+//! The CLI `cosim` verb, the golden-trace snapshots, and the
+//! `platform_cosim` bench all exercise the same subject: the simplified
+//! engine-controller CCD of Fig. 7, split across two ECUs exactly like
+//! [`crate::ccd`]'s deployment example (`fuel_control` and
+//! `ignition_control` on `engine_ecu`, `diagnosis_monitoring` on
+//! `diag_ecu`, cluster WCETs from [`engine_cluster_wcets`]). This module
+//! holds that shared setup plus the named platform-fault scenarios, so all
+//! three consumers stay in lock-step.
+
+use automode_core::ccd::Ccd;
+use automode_core::model::Model;
+use automode_core::CoreError;
+use automode_kernel::Trace;
+use automode_platform::cosim::PlatformFault;
+use automode_sim::stimulus;
+use automode_transform::DeploymentSpec;
+
+use crate::ccd::{build_engine_ccd, engine_cluster_wcets};
+
+/// A named platform-fault configuration for the engine deployment.
+#[derive(Debug, Clone)]
+pub struct PlatformScenario {
+    /// CLI/snapshot name (`nominal`, `lost-frame`, `bus-load`).
+    pub name: &'static str,
+    /// One-line description for reports.
+    pub summary: &'static str,
+    /// The faults to inject (empty for the nominal run).
+    pub faults: Vec<PlatformFault>,
+}
+
+/// The Fig. 7 engine CCD split across two ECUs: fast clusters pinned to
+/// `engine_ecu`, diagnosis to `diag_ecu`, periods 10/100 base ticks
+/// (10 ms / 100 ms at the default 1 ms tick), WCETs from
+/// [`engine_cluster_wcets`].
+///
+/// # Errors
+///
+/// Propagates meta-model construction errors.
+pub fn engine_cosim_parts() -> Result<(Model, Ccd, DeploymentSpec), CoreError> {
+    let mut m = Model::new("engine_la");
+    let (ccd, _) = build_engine_ccd(&mut m, 10, 100)?;
+    let mut spec = DeploymentSpec::new(["engine_ecu", "diag_ecu"])
+        .pin("fuel_control", "engine_ecu")
+        .pin("ignition_control", "engine_ecu")
+        .pin("diagnosis_monitoring", "diag_ecu");
+    for (c, w) in engine_cluster_wcets() {
+        spec = spec.wcet(c, w);
+    }
+    Ok((m, ccd, spec))
+}
+
+/// A deterministic drive profile on the CCD's external inputs
+/// (`{cluster}.{port}` columns): rpm ramping through the diagnosis derate
+/// threshold, throttle opening to full. The ramp is chosen so
+/// `diagnosis_monitoring` actually flips `ti_limit` 20 → 6 mid-run and the
+/// slow→fast feedback channel carries live data.
+pub fn engine_ccd_stimulus(ticks: u64) -> Trace {
+    let n = ticks as usize;
+    let rpm = stimulus::ramp(800.0, 7000.0, n);
+    // Pedal to the floor within the first 40 % of the run, then held: the
+    // diagnosis cluster only samples every 100 ticks, so the threshold must
+    // be comfortably crossed by its later activations.
+    let full = (n * 2 / 5).max(1);
+    let throttle: automode_kernel::Stream = (0..n)
+        .map(|k| {
+            automode_kernel::Message::present(automode_kernel::Value::Float(
+                (k as f64 / full as f64).min(1.0),
+            ))
+        })
+        .collect();
+    let mut t = Trace::new();
+    t.insert("fuel_control.rpm", rpm.clone());
+    t.insert("ignition_control.rpm", rpm);
+    t.insert("fuel_control.throttle", throttle);
+    t
+}
+
+/// The named platform-fault scenarios over the engine deployment.
+///
+/// * `nominal` — no faults; the fault-free refinement baseline.
+/// * `lost-frame` — frame dropout: every 4th instance of the fast
+///   `engine_ecu` frame (starting at instance 2) is lost on the wire, so
+///   the diagnosis cluster sees holes in `ti`/`advance`.
+/// * `bus-load` — a babbling high-priority node (CAN id 0x10, 8 bytes,
+///   every 300 µs) occupies ~89 % of the 500 kbit/s bus: real frames are
+///   delayed (jitter) but still meet their envelopes.
+pub fn engine_platform_scenarios() -> Vec<PlatformScenario> {
+    vec![
+        PlatformScenario {
+            name: "nominal",
+            summary: "fault-free platform (refinement baseline)",
+            faults: Vec::new(),
+        },
+        PlatformScenario {
+            name: "lost-frame",
+            summary: "every 4th f_engine_ecu_10tick instance lost (from instance 2)",
+            faults: vec![PlatformFault::LostFrame {
+                frame: "f_engine_ecu_10tick".into(),
+                every: 4,
+                phase: 2,
+            }],
+        },
+        PlatformScenario {
+            name: "bus-load",
+            summary: "babbling idiot: 8-byte id-0x10 frame every 300 us (~89 % load)",
+            faults: vec![PlatformFault::BusLoad {
+                id: 0x10,
+                dlc: 8,
+                period_us: 300,
+                offset_us: 50,
+            }],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::ccd::FixedPriorityDataIntegrityPolicy;
+    use automode_platform::cosim::CosimConfig;
+    use automode_transform::cosim::CosimHarness;
+    use automode_transform::deploy;
+
+    fn run_scenario(name: &str, ticks: u64) -> automode_transform::cosim::CosimReport {
+        let (m, ccd, spec) = engine_cosim_parts().unwrap();
+        let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+        let scenario = engine_platform_scenarios()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
+        let config = CosimConfig {
+            faults: scenario.faults,
+            ..CosimConfig::default()
+        };
+        let harness = CosimHarness::new(&m, &ccd, &d, &spec, config).unwrap();
+        harness.run(&engine_ccd_stimulus(ticks), ticks).unwrap()
+    }
+
+    #[test]
+    fn nominal_engine_deployment_preserves_envelope() {
+        let report = run_scenario("nominal", 240);
+        assert!(!report.single_ecu);
+        assert!(
+            report.semantics_preserved(),
+            "{:?}",
+            report.outcome.channels
+        );
+        assert!(report.robustness.is_clean(), "{:?}", report.robustness);
+        assert_eq!(report.outcome.deadline_misses(), 0);
+        // The derate threshold is actually crossed: ti_limit takes both
+        // values over the run.
+        let ti_limit = report
+            .outcome
+            .trace
+            .signal("diagnosis_monitoring.ti_limit")
+            .unwrap();
+        let values: std::collections::BTreeSet<String> = ti_limit
+            .iter()
+            .filter(|m| m.is_present())
+            .map(|m| format!("{m}"))
+            .collect();
+        assert!(values.len() >= 2, "derate never fired: {values:?}");
+    }
+
+    #[test]
+    fn lost_frame_scenario_is_detected() {
+        let report = run_scenario("lost-frame", 240);
+        assert!(!report.robustness.is_clean());
+        assert!(report.metrics.detection_latency().is_some());
+        let lost: u64 = report.outcome.frames.iter().map(|f| f.lost).sum();
+        assert!(lost > 0);
+    }
+
+    #[test]
+    fn bus_load_scenario_jitters_but_delivers() {
+        let nominal = run_scenario("nominal", 240);
+        let loaded = run_scenario("bus-load", 240);
+        assert!(
+            loaded.semantics_preserved(),
+            "{:?}",
+            loaded.outcome.channels
+        );
+        assert!(loaded.robustness.is_clean());
+        assert!(loaded.outcome.bus_load() > nominal.outcome.bus_load() + 0.5);
+        let worst = |r: &automode_transform::cosim::CosimReport| {
+            r.outcome
+                .channels
+                .iter()
+                .map(|c| c.envelope.worst_slack_us)
+                .min()
+                .unwrap()
+        };
+        assert!(worst(&loaded) < worst(&nominal), "no added jitter");
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod ascet_original;
 pub mod ccd;
+pub mod cosim_scenarios;
 pub mod door_lock;
 pub mod faults;
 pub mod modes;
@@ -35,6 +36,9 @@ pub mod sequencer;
 
 pub use ascet_original::original_engine_model;
 pub use ccd::build_engine_ccd;
+pub use cosim_scenarios::{
+    engine_ccd_stimulus, engine_cosim_parts, engine_platform_scenarios, PlatformScenario,
+};
 pub use door_lock::{build_door_lock, build_door_lock_system};
 pub use faults::{
     compiled_engine, engine_contract_monitor, engine_fault_scenarios, nominal_engine_inputs,

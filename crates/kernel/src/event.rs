@@ -32,7 +32,6 @@
 //! could act. The heap's [`Clock::next_active_from`] lower bound and the
 //! wheel's presence patterns both maintain that invariant.
 
-use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::Arc;
@@ -172,6 +171,102 @@ impl fmt::Display for PlanInfo {
             write!(f, " wheel-rejected: {r}")?;
         }
         Ok(())
+    }
+}
+
+/// A deterministic discrete-event calendar: a min-heap of `(time, event)`
+/// entries with FIFO ordering among same-time entries.
+///
+/// This is the shared substrate under every calendar in the workspace: the
+/// [`Engine::Heap`] network cursor keeps its firing and clear events here,
+/// and the platform crate drives its OSEK task releases, CAN frame
+/// queuings, and co-simulation alarms off the same type. Determinism is
+/// structural — ties on `time` resolve by insertion order (a monotone
+/// sequence number), never by heap internals — so any simulation built on
+/// it replays bit-identically.
+#[derive(Debug, Clone, Default)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<CalEntry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CalEntry<E> {
+    time: Tick,
+    seq: u64,
+    ev: E,
+}
+
+// Ordering is by (time, seq) only — `E` never participates, so no bounds
+// leak onto the event payload. `BinaryHeap` is a max-heap; reverse the
+// comparison to pop the earliest entry first.
+impl<E> PartialEq for CalEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for CalEntry<E> {}
+impl<E> PartialOrd for CalEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for CalEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> Calendar<E> {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `ev` to fire at `time`. Entries scheduled for the same
+    /// time pop in the order they were scheduled.
+    pub fn schedule(&mut self, time: Tick, ev: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(CalEntry { time, seq, ev });
+    }
+
+    /// The earliest pending fire time, if any.
+    pub fn next_time(&self) -> Option<Tick> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest entry.
+    pub fn pop(&mut self) -> Option<(Tick, E)> {
+        self.heap.pop().map(|e| (e.time, e.ev))
+    }
+
+    /// Pops the earliest entry if it is due at or before `time`.
+    pub fn pop_due(&mut self, time: Tick) -> Option<(Tick, E)> {
+        if self.next_time()? <= time {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending entries (the sequence counter keeps advancing, so
+    /// FIFO ties stay well-defined across a clear).
+    pub fn clear(&mut self) {
+        self.heap.clear();
     }
 }
 
@@ -409,13 +504,13 @@ pub(crate) struct HeapPlan {
 /// conservative O(n) rebuild.
 #[derive(Debug, Clone)]
 pub(crate) struct HeapState {
-    /// The tick the heaps are positioned at (`primed` guards first use).
+    /// The tick the calendars are positioned at (`primed` guards first use).
     next_t: Tick,
     primed: bool,
-    /// Pending `(tick, node)` firing events, min-ordered.
-    fires: BinaryHeap<Reverse<(Tick, usize)>>,
-    /// Pending `(tick, node)` arena-clear events, min-ordered.
-    clears: BinaryHeap<Reverse<(Tick, usize)>>,
+    /// Pending node firing events, min-ordered by tick.
+    fires: Calendar<usize>,
+    /// Pending node arena-clear events, min-ordered by tick.
+    clears: Calendar<usize>,
     /// Reused per-tick activation buffers. `levels` is kept equal to the
     /// plan's base levels between event ticks; `touched` remembers which
     /// levels the last event tick amended so only those are restored.
@@ -434,8 +529,8 @@ impl HeapState {
         HeapState {
             next_t: 0,
             primed: false,
-            fires: BinaryHeap::new(),
-            clears: BinaryHeap::new(),
+            fires: Calendar::new(),
+            clears: Calendar::new(),
             levels: plan.base_levels.clone(),
             commits: Vec::new(),
             clear_list: Vec::new(),
@@ -459,19 +554,19 @@ impl HeapState {
         self.touched.clear();
         for (i, c) in plan.clock_of.iter().enumerate() {
             if plan.never[i] {
-                self.clears.push(Reverse((t, i)));
+                self.clears.schedule(t, i);
                 continue;
             }
             let Some(c) = c else { continue };
             match c.next_active_from(t) {
                 Some(next) => {
-                    self.fires.push(Reverse((next, i)));
+                    self.fires.schedule(next, i);
                     if next > t {
-                        self.clears.push(Reverse((t, i)));
+                        self.clears.schedule(t, i);
                     }
                 }
                 // Never fires again in representable time; keep it absent.
-                None => self.clears.push(Reverse((t, i))),
+                None => self.clears.schedule(t, i),
             }
         }
         self.next_t = t;
@@ -487,20 +582,12 @@ impl HeapState {
         }
 
         self.clear_list.clear();
-        while let Some(&Reverse((ct, i))) = self.clears.peek() {
-            if ct > t {
-                break;
-            }
-            self.clears.pop();
+        while let Some((_, i)) = self.clears.pop_due(t) {
             self.clear_list.push(i);
         }
 
         self.fired.clear();
-        while let Some(&Reverse((ft, i))) = self.fires.peek() {
-            if ft > t {
-                break;
-            }
-            self.fires.pop();
+        while let Some((_, i)) = self.fires.pop_due(t) {
             self.fired.push(i);
         }
 
@@ -564,12 +651,12 @@ impl HeapState {
             let after = t + 1;
             match c.next_active_from(after) {
                 Some(next) => {
-                    self.fires.push(Reverse((next, i)));
+                    self.fires.schedule(next, i);
                     if next > after {
-                        self.clears.push(Reverse((after, i)));
+                        self.clears.schedule(after, i);
                     }
                 }
-                None => self.clears.push(Reverse((after, i))),
+                None => self.clears.schedule(after, i),
             }
         }
     }
@@ -602,14 +689,11 @@ impl HeapState {
         if !self.primed || self.next_t != t {
             self.rebuild(plan, t);
         }
-        let next_event = [
-            self.fires.peek().map(|&Reverse((ft, _))| ft),
-            self.clears.peek().map(|&Reverse((ct, _))| ct),
-        ]
-        .into_iter()
-        .flatten()
-        .min()
-        .unwrap_or(Tick::MAX);
+        let next_event = [self.fires.next_time(), self.clears.next_time()]
+            .into_iter()
+            .flatten()
+            .min()
+            .unwrap_or(Tick::MAX);
         let end = next_event.max(t).min(limit);
         self.next_t = end;
         end

@@ -71,7 +71,7 @@ pub mod vcd;
 pub use causality::{CausalityError, CausalityReport, Schedule};
 pub use clock::{checked_lcm, Clock};
 pub use error::KernelError;
-pub use event::{EngineKind, PlanInfo, PlanRejection};
+pub use event::{Calendar, EngineKind, PlanInfo, PlanRejection};
 pub use fault::{
     ChannelContract, ContractMonitor, Corruptor, FaultKind, FaultSpec, FaultTarget,
     PresenceViolation, RobustnessReport,

@@ -9,6 +9,8 @@
 
 use std::collections::BTreeMap;
 
+use automode_kernel::Calendar;
+
 use crate::error::PlatformError;
 
 /// Time in microseconds.
@@ -179,17 +181,19 @@ impl<'a> BusSim<'a> {
             .iter()
             .map(|f| (f.name.clone(), FrameStats::default()))
             .collect();
-        // Pending instances: (queue_time, frame index).
-        let mut next_queue: Vec<Us> = frames.iter().map(|f| f.offset_us).collect();
+        // The queuing alarm calendar — the shared `kernel::event` calendar
+        // type; pending instances are (queue_time, frame index).
+        let mut queuings: Calendar<usize> = Calendar::new();
+        for (i, f) in frames.iter().enumerate() {
+            queuings.schedule(f.offset_us, i);
+        }
         let mut pending: Vec<(Us, usize)> = Vec::new();
         let mut now: Us = 0;
         while now < horizon_us {
-            for (i, f) in frames.iter().enumerate() {
-                while next_queue[i] <= now {
-                    pending.push((next_queue[i], i));
-                    stats.get_mut(&f.name).expect("known").queued += 1;
-                    next_queue[i] += f.period_us;
-                }
+            while let Some((qt, i)) = queuings.pop_due(now) {
+                pending.push((qt, i));
+                stats.get_mut(&frames[i].name).expect("known").queued += 1;
+                queuings.schedule(qt + frames[i].period_us, i);
             }
             // Arbitration: lowest id among pending whose queue time has come.
             let winner = pending
@@ -199,7 +203,7 @@ impl<'a> BusSim<'a> {
                 .map(|(idx, _)| idx);
             match winner {
                 None => {
-                    now = *next_queue.iter().min().expect("frames exist");
+                    now = queuings.next_time().expect("frames exist");
                 }
                 Some(idx) => {
                     let (qt, fi) = pending.remove(idx);

@@ -20,6 +20,8 @@ pub enum PlatformError {
     Config(String),
     /// The simulation horizon or load is infeasible.
     Infeasible(String),
+    /// A functional cluster body failed while co-simulating.
+    Functional(String),
 }
 
 impl fmt::Display for PlatformError {
@@ -29,6 +31,7 @@ impl fmt::Display for PlatformError {
             PlatformError::Unknown { kind, name } => write!(f, "unknown {kind} `{name}`"),
             PlatformError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             PlatformError::Infeasible(msg) => write!(f, "infeasible: {msg}"),
+            PlatformError::Functional(msg) => write!(f, "functional step failed: {msg}"),
         }
     }
 }

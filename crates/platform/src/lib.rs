@@ -21,12 +21,18 @@
 //! * [`comm_matrix`] — communication matrices (signals→frames→ECUs), the
 //!   input artifact of "black-box" reengineering (Sec. 4), plus a synthetic
 //!   body-electronics generator.
+//! * [`cosim`] — the timing-accurate platform co-simulator: deployed
+//!   clusters run as OSEK task runnables, cross-ECU channel writes travel
+//!   as CAN frames, and platform faults (lost/delayed/corrupted frames,
+//!   task overruns, babbling-idiot load) perturb the execution — all on one
+//!   deterministic event calendar.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod can;
 pub mod comm_matrix;
+pub mod cosim;
 pub mod error;
 pub mod loose_sync;
 pub mod osek;
@@ -34,7 +40,12 @@ pub mod ta;
 
 pub use can::{BusSim, CanBusConfig, CanFrame};
 pub use comm_matrix::{CommMatrix, FrameDef, SignalDef};
+pub use cosim::{
+    ChannelReport, ChannelSpec, ClusterStep, CoSim, CosimConfig, CosimOutcome, CosimTaskStats,
+    EcuSpec, FrameReport, FrameSpec, InputSource, LinkKind, PlatformFault, RunnableSpec,
+    TaskReport, TaskSpec,
+};
 pub use error::PlatformError;
 pub use loose_sync::{required_depth, simulate_depths, LooseSyncConfig, LooseSyncOutcome};
-pub use osek::{IpcRegime, OsekSim, SimOutcome};
+pub use osek::{IpcRegime, OsekSim, Publication, SimOutcome};
 pub use ta::{Ecu, Runnable, Task, TechnicalArchitecture};

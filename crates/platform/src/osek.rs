@@ -21,6 +21,8 @@
 
 use std::collections::BTreeMap;
 
+use automode_kernel::Calendar;
+
 use crate::error::PlatformError;
 
 /// Time in microseconds.
@@ -406,19 +408,22 @@ impl OsekSim {
         let mut ready: Vec<Job> = Vec::new();
         let mut now: Us = 0;
         let mut running: Option<usize> = None; // index into ready
-        let mut next_release: Vec<Us> = self.tasks.iter().map(|t| t.offset_us).collect();
+                                               // The release alarm calendar — the same `kernel::event` calendar
+                                               // type the heap engine and the platform co-simulator run on.
+        let mut releases: Calendar<usize> = Calendar::new();
+        for (ti, t) in self.tasks.iter().enumerate() {
+            releases.schedule(t.offset_us, ti);
+        }
 
         while now < horizon_us {
             // Publish staged messages whose writer crossed a period boundary.
             // (Boundaries coincide with releases; handled on release below.)
 
-            // Collect releases due now.
+            // Collect releases due now; each pop re-arms the periodic alarm.
             let mut due: Vec<(usize, Us)> = Vec::new();
-            for (ti, t) in self.tasks.iter().enumerate() {
-                while next_release[ti] <= now {
-                    due.push((ti, next_release[ti]));
-                    next_release[ti] += t.period_us;
-                }
+            while let Some((rel, ti)) = releases.pop_due(now) {
+                due.push((ti, rel));
+                releases.schedule(rel + self.tasks[ti].period_us, ti);
             }
             // Pass 1: a writer's period boundary publishes its staged
             // delayed messages — before any same-instant copy-in snapshot.
@@ -469,7 +474,7 @@ impl OsekSim {
                 .map(|(i, _)| i);
             let Some(ji) = pick else {
                 // Idle until the next release.
-                now = *next_release.iter().min().expect("tasks exist");
+                now = releases.next_time().expect("tasks exist");
                 continue;
             };
             // Preemption accounting.
@@ -491,7 +496,7 @@ impl OsekSim {
             ready[ji].started = true;
             if let Action::Compute { .. } = &action {
                 let left = ready[ji].remaining.unwrap_or_else(|| action.duration());
-                let next_rel = *next_release.iter().min().expect("tasks exist");
+                let next_rel = releases.next_time().expect("tasks exist");
                 if next_rel > now && now + left > next_rel {
                     // Run up to the release instant, then let the
                     // rescheduling at the top of the loop decide.

@@ -1,0 +1,482 @@
+//! Bridging deployments into the platform co-simulator.
+//!
+//! `automode-platform`'s [`CoSim`] is generic over the functional bodies it
+//! schedules; this module closes the loop for real AutoMoDe deployments:
+//! it maps a validated `(Model, Ccd, Deployment)` triple onto the
+//! co-simulation specification (clusters → runnables, CCD channels →
+//! local stores or CAN frames, TA tasks → OSEK tasks), elaborates each
+//! cluster's component into a prepared kernel network as its body, and
+//! wraps the run with the two checks the LA/TA refinement owes the
+//! developer:
+//!
+//! 1. **LA differential** — the same stimulus is run through the LA
+//!    reference semantics ([`automode_sim::elaborate_ccd`]); for
+//!    single-ECU deployments the TA trace must match the LA trace
+//!    *bit-for-bit* (fault-free), for multi-ECU deployments each cross-ECU
+//!    channel is checked against its loose-synchronization envelope.
+//! 2. **Robustness contracts** — every cross-ECU channel's delivery
+//!    stream (`bus:` columns of [`CosimOutcome::deliveries`]) carries an
+//!    exact presence contract on the writer clock; platform faults that
+//!    lose or starve deliveries surface as [`RobustnessReport`]
+//!    violations, distilled into detection-latency metrics
+//!    ([`RobustnessMetrics`]).
+
+use std::collections::BTreeMap;
+
+use automode_core::ccd::Ccd;
+use automode_core::metrics::RobustnessMetrics;
+use automode_core::model::{Direction, Model};
+use automode_kernel::{
+    ChannelContract, Clock, ContractMonitor, KernelError, Message, PlanInfo, RobustnessReport,
+    Tick, Trace, TraceEquivalence, Value,
+};
+use automode_platform::cosim::{
+    ChannelSpec, ClusterStep, CoSim, CosimConfig, CosimOutcome, EcuSpec, FrameSpec, InputSource,
+    LinkKind, PlatformFault, RunnableSpec, TaskSpec,
+};
+use automode_platform::Publication;
+use automode_sim::{elaborate, elaborate_ccd};
+
+use crate::deploy::{Deployment, DeploymentSpec};
+use crate::error::TransformError;
+
+/// A cluster body backed by the cluster's elaborated component network —
+/// the *same* network the LA `ClusterBlock` steps, so fault-free
+/// trajectories coincide by construction.
+struct NetBody {
+    net: automode_kernel::ReadyNetwork,
+}
+
+impl ClusterStep for NetBody {
+    fn step(&mut self, _k: u64, inputs: &[Message]) -> Result<Vec<Message>, KernelError> {
+        Ok(self.net.step_tick_observed(inputs)?.to_vec())
+    }
+}
+
+/// A deployment bound to the platform co-simulator, ready to run.
+#[derive(Debug)]
+pub struct CosimHarness<'a> {
+    model: &'a Model,
+    ccd: &'a Ccd,
+    cosim: CoSim,
+    contracts: Vec<ChannelContract>,
+    /// Earliest tick any configured platform fault can first fire
+    /// (ground truth for detection latency; `None` without faults).
+    fault_tick: Option<Tick>,
+    single_ecu: bool,
+}
+
+/// One co-simulation run with its differential and robustness verdicts.
+#[derive(Debug, Clone)]
+pub struct CosimReport {
+    /// The raw platform outcome (traces, task/frame/channel statistics).
+    pub outcome: CosimOutcome,
+    /// The LA reference trace of the same stimulus.
+    pub la_trace: Trace,
+    /// First TA-vs-LA divergence on the cluster output columns.
+    /// `None` = bit-for-bit equal. Only expected to be `None` for
+    /// single-ECU, fault-free deployments; cross-ECU deployments diverge
+    /// by design (frame latency) and are judged by the envelope instead.
+    pub la_divergence: Option<String>,
+    /// `true` when every cluster landed on one ECU (bit-for-bit applies).
+    pub single_ecu: bool,
+    /// Delivery-contract check over the `bus:` streams.
+    pub robustness: RobustnessReport,
+    /// Distilled robustness metrics (first violation, detection latency).
+    pub metrics: RobustnessMetrics,
+}
+
+impl CosimReport {
+    /// The refinement verdict: single-ECU deployments must match LA
+    /// bit-for-bit; multi-ECU deployments must hold every envelope.
+    pub fn semantics_preserved(&self) -> bool {
+        if self.single_ecu {
+            self.la_divergence.is_none()
+        } else {
+            self.outcome.envelope_preserved()
+        }
+    }
+}
+
+impl<'a> CosimHarness<'a> {
+    /// Binds a deployment to the co-simulator.
+    ///
+    /// `config.tick_us` and `config.bitrate` are overridden from the
+    /// deployment spec so the three artifacts cannot disagree.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the deployment references phases that cannot be realized
+    /// by task offsets (clusters of differing phase in one task), or when
+    /// the derived specification is invalid.
+    pub fn new(
+        model: &'a Model,
+        ccd: &'a Ccd,
+        deployment: &Deployment,
+        spec: &DeploymentSpec,
+        mut config: CosimConfig,
+    ) -> Result<Self, TransformError> {
+        config.tick_us = spec.tick_us;
+        config.bitrate = spec.bitrate;
+
+        let cluster_idx: BTreeMap<&str, usize> = ccd
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.as_str(), i))
+            .collect();
+        let ecu_of: BTreeMap<&str, &str> = deployment
+            .assignments
+            .iter()
+            .map(|(c, (e, _))| (c.as_str(), e.as_str()))
+            .collect();
+        let wcet_of: BTreeMap<&str, u64> = deployment
+            .ta
+            .ecus
+            .iter()
+            .flat_map(|e| e.tasks.iter())
+            .flat_map(|t| t.runnables.iter())
+            .map(|r| (r.name.as_str(), r.wcet_us))
+            .collect();
+
+        // --- Runnables (one per cluster, CCD order) ---------------------
+        let mut runnables = Vec::with_capacity(ccd.clusters.len());
+        for cluster in &ccd.clusters {
+            let comp = model.component(cluster.component);
+            let inputs = comp
+                .inputs()
+                .map(|port| {
+                    match ccd
+                        .channels
+                        .iter()
+                        .position(|ch| ch.to_cluster == cluster.name && ch.to_port == port.name)
+                    {
+                        Some(chi) => InputSource::Channel(chi),
+                        None => InputSource::External(format!("{}.{}", cluster.name, port.name)),
+                    }
+                })
+                .collect();
+            runnables.push(RunnableSpec {
+                cluster: cluster.name.clone(),
+                wcet_us: wcet_of.get(cluster.name.as_str()).copied().unwrap_or(100),
+                period_ticks: cluster.period as u64,
+                phase_ticks: cluster.phase as u64,
+                inputs,
+                outputs: comp.outputs().map(|p| p.name.clone()).collect(),
+            });
+        }
+
+        // --- ECUs and tasks from the TA ---------------------------------
+        let mut ecus = Vec::new();
+        for ecu in &deployment.ta.ecus {
+            let mut tasks = Vec::new();
+            for task in &ecu.tasks {
+                let idxs: Vec<usize> = task
+                    .runnables
+                    .iter()
+                    .map(|r| cluster_idx[r.name.as_str()])
+                    .collect();
+                // A task releases all its runnables together: their phases
+                // must agree so one offset serves every cluster.
+                let phases: Vec<u64> = idxs.iter().map(|&i| runnables[i].phase_ticks).collect();
+                let phase = phases.first().copied().unwrap_or(0);
+                if phases.iter().any(|&p| p != phase) {
+                    return Err(TransformError::Unsupported(format!(
+                        "task `{}` hosts clusters with differing phases",
+                        task.name
+                    )));
+                }
+                tasks.push(TaskSpec {
+                    name: task.name.clone(),
+                    priority: task.priority,
+                    period_us: task.period_us,
+                    offset_us: phase * spec.tick_us,
+                    runnables: idxs,
+                });
+            }
+            if !tasks.is_empty() {
+                ecus.push(EcuSpec {
+                    name: ecu.name.clone(),
+                    tasks,
+                });
+            }
+        }
+
+        // --- Frames from the deployment bus ------------------------------
+        let bus = deployment.ta.buses.first();
+        let frames: Vec<FrameSpec> = bus
+            .map(|b| {
+                b.frames
+                    .iter()
+                    .map(|f| FrameSpec {
+                        name: f.name.clone(),
+                        id: f.id,
+                        tx_us: b.tx_time_us(f),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let frame_idx: BTreeMap<&str, usize> = frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), i))
+            .collect();
+
+        // --- Channels -----------------------------------------------------
+        let port_pos = |cluster: usize, port: &str, dir: Direction| {
+            model
+                .component(ccd.clusters[cluster].component)
+                .ports
+                .iter()
+                .filter(|p| p.direction == dir)
+                .position(|p| p.name == port)
+                .ok_or_else(|| {
+                    TransformError::Precondition(format!(
+                        "port `{port}` missing on cluster `{}`",
+                        ccd.clusters[cluster].name
+                    ))
+                })
+        };
+        let mut channels = Vec::with_capacity(ccd.channels.len());
+        let mut contracts = Vec::new();
+        for ch in &ccd.channels {
+            let from = cluster_idx[ch.from_cluster.as_str()];
+            let to = cluster_idx[ch.to_cluster.as_str()];
+            let from_comp = model.component(ccd.clusters[from].component);
+            let seed = match &from_comp
+                .find_port(&ch.from_port)
+                .ok_or_else(|| {
+                    TransformError::Precondition(format!(
+                        "port `{}` missing on cluster `{}`",
+                        ch.from_port, ch.from_cluster
+                    ))
+                })?
+                .ty
+            {
+                automode_core::types::DataType::Bool => Value::Bool(false),
+                automode_core::types::DataType::Int => Value::Int(0),
+                automode_core::types::DataType::Enum(e) => {
+                    Value::sym(e.literals.first().cloned().unwrap_or_default())
+                }
+                _ => Value::Float(0.0),
+            };
+            let signal = format!(
+                "{}.{}->{}.{}",
+                ch.from_cluster, ch.from_port, ch.to_cluster, ch.to_port
+            );
+            let cross = ecu_of.get(ch.from_cluster.as_str()) != ecu_of.get(ch.to_cluster.as_str());
+            let link = if cross {
+                let from_ecu = ecu_of[ch.from_cluster.as_str()];
+                let frame_name = format!("f_{}_{}tick", from_ecu, ccd.clusters[from].period);
+                let fi = frame_idx.get(frame_name.as_str()).copied().ok_or_else(|| {
+                    TransformError::Precondition(format!(
+                        "deployment bus lacks frame `{frame_name}` for channel `{signal}`"
+                    ))
+                })?;
+                LinkKind::Frame(fi)
+            } else {
+                LinkKind::Local
+            };
+            if cross {
+                // Exact presence contract on the delivery stream: one
+                // delivery at every writer boundary once the delay stages
+                // have filled.
+                let w = &ccd.clusters[from];
+                let stages = if ch.delays > 0 {
+                    ch.delays
+                } else if config.publication == Publication::NextPeriodBoundary {
+                    1
+                } else {
+                    0
+                };
+                let first = w.phase as u64 + stages as u64 * w.period as u64;
+                contracts.push(ChannelContract {
+                    signal: format!("bus:{signal}"),
+                    clock: Clock::every(w.period, (first % w.period as u64) as u32),
+                    exact: true,
+                    from: first,
+                });
+            }
+            channels.push(ChannelSpec {
+                signal,
+                writer: from,
+                writer_port: port_pos(from, &ch.from_port, Direction::Out)?,
+                reader: to,
+                reader_port: port_pos(to, &ch.to_port, Direction::In)?,
+                delays: ch.delays,
+                link,
+                seed,
+            });
+        }
+
+        let fault_tick = first_fault_tick(&config, &ccd_writer_schedule(ccd, &channels), &ecus);
+        let single_ecu = deployment.comm_matrix.frames.is_empty();
+        let cosim = CoSim::new(config, ecus, runnables, channels, frames)?;
+        Ok(CosimHarness {
+            model,
+            ccd,
+            cosim,
+            contracts,
+            fault_tick,
+            single_ecu,
+        })
+    }
+
+    /// The underlying co-simulator specification.
+    pub fn cosim(&self) -> &CoSim {
+        &self.cosim
+    }
+
+    /// The delivery contracts installed for cross-ECU channels.
+    pub fn contracts(&self) -> &[ChannelContract] {
+        &self.contracts
+    }
+
+    /// `true` when the whole CCD landed on one ECU.
+    pub fn single_ecu(&self) -> bool {
+        self.single_ecu
+    }
+
+    /// Per-cluster execution plans (the `--explain-plan` payload): each
+    /// cluster body is elaborated exactly as [`CosimHarness::run`] does and
+    /// its prepared kernel plan is returned — engine backend, gated
+    /// hyperperiod, and the [`automode_kernel::PlanRejection`] reason
+    /// whenever the wheel fast path fell off.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration and preparation errors.
+    pub fn explain_plans(&self) -> Result<Vec<(String, PlanInfo)>, TransformError> {
+        let mut plans = Vec::with_capacity(self.ccd.clusters.len());
+        for cluster in &self.ccd.clusters {
+            let net = elaborate(self.model, cluster.component)?
+                .prepare()
+                .map_err(automode_sim::SimError::from)?;
+            plans.push((cluster.name.clone(), net.plan_info()));
+        }
+        Ok(plans)
+    }
+
+    /// Runs the co-simulation and both checks for `ticks` base ticks.
+    ///
+    /// Bodies are elaborated fresh on every call, so repeated runs replay
+    /// deterministically from the same initial state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration, platform, and kernel errors.
+    pub fn run(&self, stimulus: &Trace, ticks: u64) -> Result<CosimReport, TransformError> {
+        let mut bodies: Vec<Box<dyn ClusterStep>> = Vec::with_capacity(self.ccd.clusters.len());
+        for cluster in &self.ccd.clusters {
+            let net = elaborate(self.model, cluster.component)?
+                .prepare()
+                .map_err(automode_sim::SimError::from)?;
+            bodies.push(Box::new(NetBody { net }));
+        }
+        let outcome = self.cosim.run(&mut bodies, stimulus, ticks)?;
+
+        // LA reference run over the same stimulus.
+        let la_net = elaborate_ccd(self.model, self.ccd)?;
+        let names: Vec<String> = la_net.input_names().map(str::to_owned).collect();
+        let rows: Vec<Vec<Message>> = (0..ticks as usize)
+            .map(|t| {
+                names
+                    .iter()
+                    .map(|n| {
+                        stimulus
+                            .signal(n)
+                            .and_then(|s| s.get(t))
+                            .cloned()
+                            .unwrap_or(Message::Absent)
+                    })
+                    .collect()
+            })
+            .collect();
+        let la_trace = la_net.run(&rows).map_err(automode_sim::SimError::from)?;
+
+        let outputs: Vec<String> = outcome.trace.signal_names().map(str::to_owned).collect();
+        let equiv = TraceEquivalence::exact().on_signals(outputs);
+        let la_divergence = outcome.trace.diff(&la_trace, &equiv).map(|d| d.to_string());
+
+        let mut monitor = ContractMonitor::new();
+        for c in &self.contracts {
+            monitor.push(c.clone());
+        }
+        let robustness = monitor.check(&outcome.deliveries);
+        let metrics = RobustnessMetrics::from_report(&robustness, self.fault_tick);
+
+        Ok(CosimReport {
+            outcome,
+            la_trace,
+            la_divergence,
+            single_ecu: self.single_ecu,
+            robustness,
+            metrics,
+        })
+    }
+}
+
+/// (writer period, writer phase, carrying frame index) per cross channel —
+/// the schedule needed to locate a frame fault's first strike in time.
+fn ccd_writer_schedule(ccd: &Ccd, channels: &[ChannelSpec]) -> Vec<(u64, u64, usize)> {
+    channels
+        .iter()
+        .filter_map(|ch| match ch.link {
+            LinkKind::Frame(fi) => {
+                let w = &ccd.clusters[ch.writer];
+                Some((w.period as u64, w.phase as u64, fi))
+            }
+            LinkKind::Local => None,
+        })
+        .collect()
+}
+
+/// Estimates the earliest base tick any configured fault first fires.
+///
+/// Frame faults strike instance `phase % every`; frame instances track the
+/// writer boundary schedule with one instance *per channel* sharing the
+/// frame (same-task writers complete at distinct microsecond instants, so
+/// their payloads never coalesce), so instance `n` belongs to boundary
+/// `n / channels_on_frame`. Task overruns strike the matching activation's
+/// release; corruption and bus load are active from their start.
+fn first_fault_tick(
+    config: &CosimConfig,
+    frame_writers: &[(u64, u64, usize)],
+    ecus: &[EcuSpec],
+) -> Option<Tick> {
+    let mut per_frame: BTreeMap<usize, u64> = BTreeMap::new();
+    for &(_, _, fi) in frame_writers {
+        *per_frame.entry(fi).or_insert(0) += 1;
+    }
+    let mut first: Option<Tick> = None;
+    let mut consider = |t: Tick| first = Some(first.map_or(t, |f| f.min(t)));
+    for f in &config.faults {
+        match f {
+            PlatformFault::LostFrame { every, phase, .. }
+            | PlatformFault::DelayedFrame { every, phase, .. } => {
+                let n0 = phase % every;
+                for &(period, wphase, fi) in frame_writers {
+                    let lanes = per_frame.get(&fi).copied().unwrap_or(1).max(1);
+                    consider(wphase + (n0 / lanes) * period);
+                }
+            }
+            PlatformFault::CorruptChannel { .. } => consider(0),
+            PlatformFault::TaskOverrun {
+                ecu,
+                task,
+                every,
+                phase,
+                ..
+            } => {
+                let n0 = phase % every;
+                for e in ecus.iter().filter(|e| &e.name == ecu) {
+                    for t in e.tasks.iter().filter(|t| &t.name == task) {
+                        consider((t.offset_us + n0 * t.period_us) / config.tick_us);
+                    }
+                }
+            }
+            PlatformFault::BusLoad { offset_us, .. } => consider(offset_us / config.tick_us),
+        }
+    }
+    first
+}

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cosim;
 pub mod deploy;
 pub mod error;
 pub mod global_modes;
@@ -34,6 +35,7 @@ pub mod reengineer;
 pub mod refactor;
 pub mod refine;
 
+pub use cosim::{CosimHarness, CosimReport};
 pub use deploy::{deploy, Deployment, DeploymentSpec};
 pub use error::TransformError;
 pub use global_modes::{flag_overlap_report, mtd_from_flag_component, FlagOverlapReport};

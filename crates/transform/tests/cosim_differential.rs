@@ -1,0 +1,303 @@
+//! Differential tests: the timing-accurate platform co-simulation against
+//! the LA reference semantics.
+//!
+//! * Fault-free single-ECU deployments must match the LA trace
+//!   **bit-for-bit**, across preemption on/off, both inter-task
+//!   communication regimes, and randomized harmonic rates/delays.
+//! * `NextPeriodBoundary` publication behaves as one extra delay operator:
+//!   the co-simulated trace equals the LA trace of the CCD with every
+//!   direct channel upgraded to one delay.
+//! * Runs replay deterministically under seeded bus faults.
+
+use automode_core::ccd::{Ccd, CcdChannel, Cluster, FixedPriorityDataIntegrityPolicy};
+use automode_core::model::{Behavior, Component, Model};
+use automode_core::types::DataType;
+use automode_kernel::{Message, Stream, Trace, TraceEquivalence, Value};
+use automode_lang::parse;
+use automode_platform::cosim::{CosimConfig, PlatformFault};
+use automode_platform::{IpcRegime, Publication};
+use automode_transform::cosim::CosimHarness;
+use automode_transform::{deploy, DeploymentSpec};
+use proptest::prelude::*;
+
+/// Chain model: src(x)->y, mid(y)->z, sink(z)->w, all Int arithmetic.
+fn chain_model() -> Model {
+    let mut m = Model::new("chain");
+    m.add_component(
+        Component::new("Src")
+            .input("x", DataType::Int)
+            .output("y", DataType::Int)
+            .with_behavior(Behavior::expr("y", parse("x * 2").unwrap())),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new("Mid")
+            .input("y", DataType::Int)
+            .output("z", DataType::Int)
+            .with_behavior(Behavior::expr("z", parse("y + 1").unwrap())),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new("Sink")
+            .input("z", DataType::Int)
+            .output("w", DataType::Int)
+            .with_behavior(Behavior::expr("w", parse("z * 3").unwrap())),
+    )
+    .unwrap();
+    m
+}
+
+/// A 3-cluster chain CCD. Channel delays are bumped to satisfy the OSEK
+/// policy (slow-to-fast needs at least one delay).
+fn chain_ccd(m: &Model, periods: [u32; 3], delays: [u32; 2]) -> Ccd {
+    let src = m.find("Src").unwrap();
+    let mid = m.find("Mid").unwrap();
+    let sink = m.find("Sink").unwrap();
+    let d01 = if periods[0] > periods[1] {
+        delays[0].max(1)
+    } else {
+        delays[0]
+    };
+    let d12 = if periods[1] > periods[2] {
+        delays[1].max(1)
+    } else {
+        delays[1]
+    };
+    Ccd::new()
+        .cluster(Cluster::new("src", src, periods[0]))
+        .cluster(Cluster::new("mid", mid, periods[1]))
+        .cluster(Cluster::new("sink", sink, periods[2]))
+        .channel(CcdChannel::direct("src", "y", "mid", "y").with_delays(d01))
+        .channel(CcdChannel::direct("mid", "z", "sink", "z").with_delays(d12))
+}
+
+fn ramp_stimulus(ticks: u64) -> Trace {
+    let mut t = Trace::new();
+    let s: Stream = (0..ticks)
+        .map(|k| Message::present(Value::Int(k as i64)))
+        .collect();
+    t.insert("src.x", s);
+    t
+}
+
+fn run_single_ecu(
+    periods: [u32; 3],
+    delays: [u32; 2],
+    preemption: bool,
+    regime: IpcRegime,
+    ticks: u64,
+) -> (bool, Option<String>) {
+    let m = chain_model();
+    let ccd = chain_ccd(&m, periods, delays);
+    let spec = DeploymentSpec::new(["ecu0"]);
+    let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+    let config = CosimConfig {
+        preemption,
+        regime,
+        ..CosimConfig::default()
+    };
+    let harness = CosimHarness::new(&m, &ccd, &d, &spec, config).unwrap();
+    let report = harness.run(&ramp_stimulus(ticks), ticks).unwrap();
+    assert!(report.single_ecu);
+    assert!(report.robustness.is_clean(), "no bus, no contracts");
+    (report.semantics_preserved(), report.la_divergence)
+}
+
+proptest! {
+    /// Fault-free single-ECU deployments are bit-for-bit LA-equal for any
+    /// harmonic rate assignment, channel delay count, scheduling mode, and
+    /// communication regime.
+    #[test]
+    fn single_ecu_cosim_is_bit_for_bit_la_equal(
+        p0 in prop_oneof![Just(1u32), Just(2), Just(4)],
+        p1 in prop_oneof![Just(1u32), Just(2), Just(4)],
+        p2 in prop_oneof![Just(1u32), Just(2), Just(4)],
+        d0 in 0u32..3,
+        d1 in 0u32..3,
+        preemption in any::<bool>(),
+        cico in any::<bool>(),
+    ) {
+        let regime = if cico { IpcRegime::CopyInCopyOut } else { IpcRegime::Direct };
+        let (ok, diff) = run_single_ecu([p0, p1, p2], [d0, d1], preemption, regime, 24);
+        prop_assert!(ok, "diverged: {diff:?}");
+    }
+}
+
+#[test]
+fn next_period_boundary_equals_one_extra_delay() {
+    // Publication at the next period boundary = one staged boundary per
+    // direct channel: the TA trace must equal the LA semantics of the CCD
+    // with `delays = 1` on every direct channel.
+    let m = chain_model();
+    let ccd = chain_ccd(&m, [1, 2, 4], [0, 0]);
+    let spec = DeploymentSpec::new(["ecu0"]);
+    let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+    let config = CosimConfig {
+        publication: Publication::NextPeriodBoundary,
+        ..CosimConfig::default()
+    };
+    let harness = CosimHarness::new(&m, &ccd, &d, &spec, config).unwrap();
+    let ticks = 24;
+    let stim = ramp_stimulus(ticks);
+    let report = harness.run(&stim, ticks).unwrap();
+    // Direct channels now lag one writer period: the plain LA diff is
+    // expected to fire...
+    assert!(report.la_divergence.is_some());
+    // ...but the effective-delay CCD matches bit-for-bit.
+    let shifted = chain_ccd(&m, [1, 2, 4], [1, 1]);
+    let net = automode_sim::elaborate_ccd(&m, &shifted).unwrap();
+    let names: Vec<String> = net.input_names().map(str::to_owned).collect();
+    let rows: Vec<Vec<Message>> = (0..ticks as usize)
+        .map(|t| {
+            names
+                .iter()
+                .map(|n| {
+                    stim.signal(n)
+                        .and_then(|s| s.get(t))
+                        .cloned()
+                        .unwrap_or(Message::Absent)
+                })
+                .collect()
+        })
+        .collect();
+    let la = net.run(&rows).unwrap();
+    let outputs: Vec<String> = report
+        .outcome
+        .trace
+        .signal_names()
+        .map(str::to_owned)
+        .collect();
+    let equiv = TraceEquivalence::exact().on_signals(outputs);
+    assert!(
+        report.outcome.trace.diff(&la, &equiv).is_none(),
+        "NextPeriodBoundary must equal the one-extra-delay LA semantics"
+    );
+}
+
+fn two_ecu_harness_parts() -> (Model, Ccd, DeploymentSpec) {
+    let m = chain_model();
+    let ccd = chain_ccd(&m, [2, 2, 4], [0, 0]);
+    let spec = DeploymentSpec::new(["ecu0", "ecu1"])
+        .pin("src", "ecu0")
+        .pin("mid", "ecu0")
+        .pin("sink", "ecu1");
+    (m, ccd, spec)
+}
+
+#[test]
+fn two_ecu_fault_free_holds_envelope() {
+    let (m, ccd, spec) = two_ecu_harness_parts();
+    let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+    let harness = CosimHarness::new(&m, &ccd, &d, &spec, CosimConfig::default()).unwrap();
+    let report = harness.run(&ramp_stimulus(32), 32).unwrap();
+    assert!(!report.single_ecu);
+    assert!(
+        report.outcome.envelope_preserved(),
+        "{:?}",
+        report.outcome.channels
+    );
+    assert!(report.semantics_preserved());
+    assert!(report.robustness.is_clean(), "{:?}", report.robustness);
+    // Worst slack stays within one writer period of the bound.
+    for ch in &report.outcome.channels {
+        assert!(ch.envelope.worst_slack_us > 0, "{ch:?}");
+    }
+}
+
+#[test]
+fn lost_frame_detected_with_finite_latency() {
+    let (m, ccd, spec) = two_ecu_harness_parts();
+    let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+    let config = CosimConfig {
+        faults: vec![PlatformFault::LostFrame {
+            frame: "f_ecu0_2tick".into(),
+            every: 4,
+            phase: 2,
+        }],
+        ..CosimConfig::default()
+    };
+    let harness = CosimHarness::new(&m, &ccd, &d, &spec, config).unwrap();
+    let report = harness.run(&ramp_stimulus(32), 32).unwrap();
+    assert!(!report.robustness.is_clean());
+    assert!(report.metrics.first_violation_tick.is_some());
+    let latency = report
+        .metrics
+        .detection_latency()
+        .expect("finite detection latency");
+    // The monitor sees the hole at the lost instance's visibility tick.
+    assert!(latency <= 32);
+    assert!(!report.outcome.envelope_preserved());
+    assert_eq!(
+        report.outcome.envelope_misses(),
+        report.outcome.frames.iter().map(|f| f.lost).sum::<u64>()
+    );
+}
+
+#[test]
+fn seeded_bus_faults_replay_deterministically() {
+    let (m, ccd, spec) = two_ecu_harness_parts();
+    let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+    let config = CosimConfig {
+        faults: vec![
+            PlatformFault::LostFrame {
+                frame: "f_ecu0_2tick".into(),
+                every: 5,
+                phase: 1,
+            },
+            PlatformFault::DelayedFrame {
+                frame: "f_ecu0_2tick".into(),
+                extra_us: 700,
+                every: 3,
+                phase: 0,
+            },
+            PlatformFault::BusLoad {
+                id: 0x20,
+                dlc: 8,
+                period_us: 900,
+                offset_us: 100,
+            },
+        ],
+        ..CosimConfig::default()
+    };
+    let harness = CosimHarness::new(&m, &ccd, &d, &spec, config).unwrap();
+    let a = harness.run(&ramp_stimulus(40), 40).unwrap();
+    let b = harness.run(&ramp_stimulus(40), 40).unwrap();
+    assert_eq!(
+        a.outcome.trace.to_canonical_text(),
+        b.outcome.trace.to_canonical_text()
+    );
+    assert_eq!(
+        a.outcome.deliveries.to_canonical_text(),
+        b.outcome.deliveries.to_canonical_text()
+    );
+    assert_eq!(a.outcome.tasks, b.outcome.tasks);
+    assert_eq!(a.outcome.frames, b.outcome.frames);
+    assert_eq!(a.outcome.channels, b.outcome.channels);
+    assert_eq!(a.robustness, b.robustness);
+}
+
+proptest! {
+    /// The differential also holds under heavy compute: wcets near the
+    /// period force real preemption without changing the data trajectory.
+    #[test]
+    fn preemption_pressure_preserves_la_equality(
+        wcet_src in 100u64..500,
+        wcet_sink in 500u64..1300,
+    ) {
+        let m = chain_model();
+        let ccd = chain_ccd(&m, [1, 1, 4], [0, 0]);
+        let spec = DeploymentSpec::new(["ecu0"])
+            .wcet("src", wcet_src)
+            .wcet("mid", 50)
+            .wcet("sink", wcet_sink);
+        let d = deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec).unwrap();
+        let harness =
+            CosimHarness::new(&m, &ccd, &d, &spec, CosimConfig::default()).unwrap();
+        let report = harness.run(&ramp_stimulus(24), 24).unwrap();
+        prop_assert!(
+            report.la_divergence.is_none(),
+            "diverged: {:?}",
+            report.la_divergence
+        );
+    }
+}

@@ -161,13 +161,20 @@ fn default_stream(port: &str, ticks: usize) -> Stream {
     }
 }
 
-/// `automode simulate <model> [ticks]` — run with the default stimulus and
-/// print the Fig. 1-style trace table.
+/// `automode simulate <model> [ticks] [--explain-plan]` — run with the
+/// default stimulus and print the Fig. 1-style trace table. With
+/// `--explain-plan`, the compiled network's execution plan (engine
+/// backend, gated hyperperiod, and the wheel-rejection reason when the
+/// calendar fast path fell off) is printed first.
 ///
 /// # Errors
 ///
 /// Unknown model or simulation failure.
-pub fn cmd_simulate(model_name: &str, ticks: usize) -> Result<String, CliError> {
+pub fn cmd_simulate(
+    model_name: &str,
+    ticks: usize,
+    explain_plan: bool,
+) -> Result<String, CliError> {
     let (m, id) = build_model(model_name)?;
     let inputs: Vec<(String, Stream)> = m
         .component(id)
@@ -178,8 +185,14 @@ pub fn cmd_simulate(model_name: &str, ticks: usize) -> Result<String, CliError> 
         .iter()
         .map(|(n, s)| (n.as_str(), s.clone()))
         .collect();
+    let mut out = String::new();
+    if explain_plan {
+        let net = automode_sim::elaborate(&m, id)?.prepare()?;
+        let _ = writeln!(out, "execution plan: {}", net.plan_info());
+    }
     let run = simulate_component(&m, id, &borrowed, ticks)?;
-    Ok(format!("{}\n", run.trace))
+    let _ = writeln!(out, "{}", run.trace);
+    Ok(out)
 }
 
 /// `automode dot <model>` — render the root notation as Graphviz DOT.
@@ -342,6 +355,168 @@ pub fn cmd_deploy() -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `automode cosim [scenario] [ticks] [--explain-plan]` — timing-accurate
+/// platform co-simulation of the Fig. 7 engine deployment (two ECUs,
+/// OSEK fixed-priority tasks, CAN frame arbitration) under a named
+/// platform-fault scenario, differential-checked against the LA reference
+/// semantics and the cross-ECU delivery contracts.
+///
+/// # Errors
+///
+/// Unknown scenario, or deployment/co-simulation failures.
+pub fn cmd_cosim(scenario_name: &str, ticks: u64, explain_plan: bool) -> Result<String, CliError> {
+    let scenarios = automode_engine::engine_platform_scenarios();
+    let scenario = scenarios
+        .iter()
+        .find(|s| s.name == scenario_name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+            CliError(format!(
+                "unknown scenario `{scenario_name}` (try {})",
+                names.join("|")
+            ))
+        })?;
+    let (m, ccd, spec) = automode_engine::engine_cosim_parts()?;
+    let policy = FixedPriorityDataIntegrityPolicy::new();
+    let d = automode_transform::deploy(&m, &ccd, &policy, &spec)?;
+    let config = automode_platform::cosim::CosimConfig {
+        faults: scenario.faults.clone(),
+        ..Default::default()
+    };
+    let harness = automode_transform::cosim::CosimHarness::new(&m, &ccd, &d, &spec, config)?;
+    let report = harness.run(&automode_engine::engine_ccd_stimulus(ticks), ticks)?;
+
+    let o = &report.outcome;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "platform co-simulation of the Fig. 7 engine deployment"
+    );
+    let _ = writeln!(out, "  scenario: {} — {}", scenario.name, scenario.summary);
+    let _ = writeln!(
+        out,
+        "  horizon:  {} ticks ({} us), bus load {:.1}%",
+        o.ticks,
+        o.horizon_us,
+        o.bus_load() * 100.0
+    );
+    if explain_plan {
+        let _ = writeln!(out, "execution plans (per cluster body):");
+        for (cluster, plan) in harness.explain_plans()? {
+            let _ = writeln!(out, "  {cluster:<24} {plan}");
+        }
+    }
+    let _ = writeln!(out, "tasks:");
+    for t in &o.tasks {
+        let s = &t.stats;
+        let name = format!("{}/{}", t.ecu, t.task);
+        let _ = writeln!(
+            out,
+            "  {name:<26} act {:>3}  done {:>3}  skip {:>2}  deadline-miss {:>2}  preempt {:>2}  max-resp {:>5} us",
+            s.activations, s.completions, s.skipped, s.deadline_misses, s.preemptions,
+            s.max_response_us
+        );
+    }
+    if !o.frames.is_empty() {
+        let _ = writeln!(out, "frames:");
+        for f in &o.frames {
+            let avg = f.total_latency_us.checked_div(f.delivered).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {:<26} queued {:>4}  sent {:>4}  delivered {:>4}  lost {:>3}  latency avg {:>4} us  max {:>4} us",
+                f.frame, f.queued, f.sent, f.delivered, f.lost, avg, f.max_latency_us
+            );
+        }
+    }
+    if !o.channels.is_empty() {
+        let _ = writeln!(out, "cross-ECU channels (loose-sync envelope):");
+        for c in &o.channels {
+            let _ = writeln!(
+                out,
+                "  {:<48} via {:<22} pubs {:>3}  late/lost {:>3}  worst slack {:>6} us",
+                c.signal, c.frame, c.envelope.ticks, c.envelope.misses, c.envelope.worst_slack_us
+            );
+        }
+    }
+    let _ = writeln!(out, "refinement verdict:");
+    if report.single_ecu {
+        let verdict = if report.la_divergence.is_none() {
+            "EQUAL".to_string()
+        } else {
+            format!(
+                "DIVERGED\n{}",
+                report.la_divergence.as_deref().unwrap_or("")
+            )
+        };
+        let _ = writeln!(out, "  single-ECU deployment: LA bit-for-bit {verdict}");
+    } else {
+        let verdict = if o.envelope_preserved() {
+            "envelope PRESERVED".to_string()
+        } else {
+            format!(
+                "envelope VIOLATED ({} late/lost publications)",
+                o.envelope_misses()
+            )
+        };
+        let _ = writeln!(out, "  multi-ECU deployment: {verdict}");
+    }
+    let r = &report.robustness;
+    if r.is_clean() {
+        let _ = writeln!(
+            out,
+            "robustness: clean ({} delivery contracts over {} ticks)",
+            r.contracts_checked, r.ticks
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "robustness: {} violations over {} delivery contracts",
+            r.violations.len(),
+            r.contracts_checked
+        );
+        for v in r.violations.iter().take(5) {
+            let _ = writeln!(out, "  {v}");
+        }
+        if r.violations.len() > 5 {
+            let _ = writeln!(out, "  ... {} more", r.violations.len() - 5);
+        }
+        if let Some(first) = report.metrics.first_violation_tick {
+            match (
+                report.metrics.fault_tick,
+                report.metrics.detection_latency(),
+            ) {
+                (Some(f), Some(l)) => {
+                    let _ = writeln!(
+                        out,
+                        "  first violation at tick {first}; fault active from tick {f}: detection latency {l} ticks"
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "  first violation at tick {first}");
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a verb's arguments into positional values and the
+/// `--explain-plan` flag; any other `--flag` is rejected.
+fn split_flags(args: &[String]) -> Result<(Vec<&String>, bool), CliError> {
+    let mut explain = false;
+    let mut pos = Vec::new();
+    for a in args {
+        if a == "--explain-plan" {
+            explain = true;
+        } else if a.starts_with("--") {
+            return Err(CliError(format!("unknown flag `{a}`")));
+        } else {
+            pos.push(a);
+        }
+    }
+    Ok((pos, explain))
+}
+
 /// Top-level dispatch used by the binary. `args` excludes the program name.
 ///
 /// # Errors
@@ -349,17 +524,22 @@ pub fn cmd_deploy() -> Result<String, CliError> {
 /// Returns usage or command errors for the binary to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage =
-        "usage: automode <list|validate|rules|simulate|dot|export|reengineer|deploy> [args]\n\
+        "usage: automode <list|validate|rules|simulate|dot|export|reengineer|deploy|cosim> [args]\n\
                  \n  list                      list built-in models\
                  \n  validate <model> [level]  check FAA/FDA conditions (default fda)\
                  \n  rules <model>             FAA design-rule findings\
                  \n  simulate <model> [ticks]  run with a default stimulus (default 20)\
+                 \n                            [--explain-plan] print the execution plan\
                  \n  dot <model>               Graphviz rendering of the root notation\
                  \n  export <model>            serialize the model as .amdl text\
                  \n  check <file.amdl> [level] parse + validate an external model file\
                  \n  vcd <model> [ticks]       simulate and dump a VCD waveform\
                  \n  reengineer                Sec. 5 case study report\
-                 \n  deploy                    Fig. 7 deployment + OA generation";
+                 \n  deploy                    Fig. 7 deployment + OA generation\
+                 \n  cosim [scenario] [ticks]  timing-accurate OSEK/CAN co-simulation of the\
+                 \n                            Fig. 7 deployment with LA differential + robustness\
+                 \n                            checks; scenarios: nominal|lost-frame|bus-load\
+                 \n                            (default nominal, 240 ticks) [--explain-plan]";
     match args.first().map(String::as_str) {
         Some("list") => Ok(cmd_list()),
         Some("validate") => {
@@ -372,14 +552,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             cmd_rules(model)
         }
         Some("simulate") => {
-            let model = args.get(1).ok_or_else(|| CliError(usage.into()))?;
-            let ticks = args
-                .get(2)
+            let (pos, explain) = split_flags(&args[1..])?;
+            let model = pos.first().ok_or_else(|| CliError(usage.into()))?;
+            let ticks = pos
+                .get(1)
                 .map(|s| s.parse::<usize>())
                 .transpose()
                 .map_err(|e| CliError(format!("bad tick count: {e}")))?
                 .unwrap_or(20);
-            cmd_simulate(model, ticks)
+            cmd_simulate(model, ticks, explain)
         }
         Some("dot") => {
             let model = args.get(1).ok_or_else(|| CliError(usage.into()))?;
@@ -406,6 +587,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         Some("reengineer") => cmd_reengineer(),
         Some("deploy") => cmd_deploy(),
+        Some("cosim") => {
+            let (pos, explain) = split_flags(&args[1..])?;
+            let scenario = pos.first().map(|s| s.as_str()).unwrap_or("nominal");
+            let ticks = pos
+                .get(1)
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| CliError(format!("bad tick count: {e}")))?
+                .unwrap_or(240);
+            cmd_cosim(scenario, ticks, explain)
+        }
         _ => Err(CliError(usage.into())),
     }
 }
@@ -458,9 +650,49 @@ mod tests {
     #[test]
     fn all_models_simulate() {
         for (name, _) in MODELS {
-            let out = cmd_simulate(name, 10).unwrap();
+            let out = cmd_simulate(name, 10, false).unwrap();
             assert!(out.contains("t+0"), "{name} produced no trace:\n{out}");
         }
+    }
+
+    #[test]
+    fn explain_plan_prints_plan_and_rejects_unknown_flags() {
+        let out = cmd_simulate("momentum", 8, true).unwrap();
+        assert!(out.contains("execution plan:"), "{out}");
+        let out = run(&[
+            "simulate".into(),
+            "momentum".into(),
+            "8".into(),
+            "--explain-plan".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("execution plan:"));
+        assert!(run(&["simulate".into(), "momentum".into(), "--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn cosim_nominal_preserves_envelope() {
+        let out = cmd_cosim("nominal", 120, false).unwrap();
+        assert!(out.contains("envelope PRESERVED"), "{out}");
+        assert!(out.contains("robustness: clean"), "{out}");
+        assert!(cmd_cosim("nope", 10, false).is_err());
+    }
+
+    #[test]
+    fn cosim_lost_frame_reports_detection_latency() {
+        let out = cmd_cosim("lost-frame", 240, true).unwrap();
+        assert!(out.contains("execution plans (per cluster body):"), "{out}");
+        assert!(out.contains("envelope VIOLATED"), "{out}");
+        assert!(out.contains("detection latency"), "{out}");
+    }
+
+    #[test]
+    fn cosim_dispatches_with_defaults() {
+        let out = run(&["cosim".into()]).unwrap();
+        assert!(out.contains("scenario: nominal"), "{out}");
+        let out = run(&["cosim".into(), "bus-load".into(), "120".into()]).unwrap();
+        assert!(out.contains("babbling"), "{out}");
+        assert!(run(&["cosim".into(), "nominal".into(), "abc".into()]).is_err());
     }
 
     #[test]

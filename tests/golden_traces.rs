@@ -103,3 +103,99 @@ fn reengineered_engine_trace_is_stable() {
     let run = sim.run(&inputs, 20).unwrap();
     assert_golden("reengineered_engine.txt", &run.trace.to_canonical_text());
 }
+
+/// A full platform co-simulation snapshot of the Fig. 7 engine deployment
+/// under a named fault scenario: cluster output trace, cross-ECU delivery
+/// streams, and the deterministic platform statistics. Any drift in the
+/// OSEK scheduling, CAN arbitration, fault injection, or envelope
+/// accounting shows up as a readable text diff.
+fn engine_cosim_snapshot(scenario_name: &str) -> String {
+    use std::fmt::Write as _;
+
+    use automode::core::ccd::FixedPriorityDataIntegrityPolicy;
+    use automode::engine::{engine_ccd_stimulus, engine_cosim_parts, engine_platform_scenarios};
+    use automode::platform::cosim::CosimConfig;
+    use automode::transform::cosim::CosimHarness;
+
+    let (m, ccd, spec) = engine_cosim_parts().unwrap();
+    let d = automode::transform::deploy(&m, &ccd, &FixedPriorityDataIntegrityPolicy::new(), &spec)
+        .unwrap();
+    let scenario = engine_platform_scenarios()
+        .into_iter()
+        .find(|s| s.name == scenario_name)
+        .unwrap();
+    let config = CosimConfig {
+        faults: scenario.faults,
+        ..CosimConfig::default()
+    };
+    let harness = CosimHarness::new(&m, &ccd, &d, &spec, config).unwrap();
+    let ticks = 240;
+    let report = harness.run(&engine_ccd_stimulus(ticks), ticks).unwrap();
+
+    let o = &report.outcome;
+    let mut s = String::new();
+    writeln!(s, "== cluster outputs (logical activation ticks) ==").unwrap();
+    s.push_str(&o.trace.to_canonical_text());
+    writeln!(s, "== cross-ECU deliveries (visibility ticks) ==").unwrap();
+    s.push_str(&o.deliveries.to_canonical_text());
+    writeln!(s, "== platform statistics ==").unwrap();
+    for t in &o.tasks {
+        let st = &t.stats;
+        writeln!(
+            s,
+            "task {}/{}: act={} done={} skip={} miss={} preempt={} max_resp_us={}",
+            t.ecu,
+            t.task,
+            st.activations,
+            st.completions,
+            st.skipped,
+            st.deadline_misses,
+            st.preemptions,
+            st.max_response_us
+        )
+        .unwrap();
+    }
+    for f in &o.frames {
+        writeln!(
+            s,
+            "frame {}: queued={} sent={} delivered={} lost={} max_latency_us={} total_latency_us={}",
+            f.frame, f.queued, f.sent, f.delivered, f.lost, f.max_latency_us, f.total_latency_us
+        )
+        .unwrap();
+    }
+    for c in &o.channels {
+        writeln!(
+            s,
+            "channel {} via {}: pubs={} misses={} worst_slack_us={}",
+            c.signal, c.frame, c.envelope.ticks, c.envelope.misses, c.envelope.worst_slack_us
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "bus_busy_us={} envelope_preserved={}",
+        o.bus_busy_us,
+        o.envelope_preserved()
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "robustness: violations={} first={:?} fault_tick={:?} detection_latency={:?}",
+        report.robustness.violations.len(),
+        report.metrics.first_violation_tick,
+        report.metrics.fault_tick,
+        report.metrics.detection_latency()
+    )
+    .unwrap();
+    s
+}
+
+#[test]
+fn cosim_lost_frame_dropout_trace_is_stable() {
+    assert_golden("cosim_lost_frame.txt", &engine_cosim_snapshot("lost-frame"));
+}
+
+#[test]
+fn cosim_bus_load_jitter_trace_is_stable() {
+    assert_golden("cosim_bus_load.txt", &engine_cosim_snapshot("bus-load"));
+}
