@@ -1,0 +1,285 @@
+//! Minimal JSON writing and content hashing.
+//!
+//! The sweep service (ROADMAP item 4) speaks JSON over HTTP, and the
+//! workspace is offline — no serde. This module provides the two
+//! primitives the service layers on:
+//!
+//! * [`JsonWriter`] — an append-only JSON emitter over a `String`. The
+//!   caller drives structure (`begin_object`/`field`/`end_object` ...);
+//!   the writer handles comma placement and string escaping. No
+//!   intermediate DOM is built, so encoding a result is one pass over the
+//!   data into one growing buffer.
+//! * [`fnv1a_64`] — the FNV-1a 64-bit content hash used to key the
+//!   compiled-model cache: repeat submissions of byte-identical model
+//!   text hash to the same key and skip elaborate/causality/prepare
+//!   entirely.
+
+use std::fmt::Write as _;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with FNV-1a (64-bit).
+///
+/// Deterministic across runs and platforms — cache keys derived from it
+/// are stable identifiers that can be logged, compared across processes,
+/// and returned to clients.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Escapes `s` into `out` as a JSON string body (no surrounding quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serializes one `f64` the way JSON requires: finite numbers print
+/// round-trippably, non-finite values (which JSON cannot represent) print
+/// as `null`.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is Rust's shortest round-trip float form and always
+        // contains a `.` or exponent, so readers parse it back as f64.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An append-only JSON emitter.
+///
+/// The writer tracks, per nesting level, whether a comma is due before
+/// the next element, so callers just emit fields and values in order:
+///
+/// ```
+/// use automode_core::json::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.field("name").string("fig5");
+/// w.field("lanes").number(32.0);
+/// w.field("tags").begin_array();
+/// w.string("a");
+/// w.string("b");
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"fig5","lanes":32,"tags":["a","b"]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Per-open-container flag: has this container already emitted an
+    /// element (so the next one needs a leading comma)?
+    has_elem: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer with an empty buffer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// A fresh writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> JsonWriter {
+        JsonWriter {
+            out: String::with_capacity(cap),
+            has_elem: Vec::new(),
+        }
+    }
+
+    fn comma(&mut self) {
+        if let Some(h) = self.has_elem.last_mut() {
+            if *h {
+                self.out.push(',');
+            }
+            *h = true;
+        }
+    }
+
+    /// Starts an object value (`{`).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.comma();
+        self.out.push('{');
+        self.has_elem.push(false);
+        self
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) -> &mut Self {
+        self.has_elem.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Starts an array value (`[`).
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.comma();
+        self.out.push('[');
+        self.has_elem.push(false);
+        self
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) -> &mut Self {
+        self.has_elem.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Emits an object key; the next emitted value becomes its value.
+    pub fn field(&mut self, name: &str) -> &mut Self {
+        self.comma();
+        self.out.push('"');
+        escape_into(&mut self.out, name);
+        self.out.push_str("\":");
+        // The value after a key must not get its own comma.
+        if let Some(h) = self.has_elem.last_mut() {
+            *h = false;
+        }
+        self
+    }
+
+    /// Emits a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.comma();
+        self.out.push('"');
+        escape_into(&mut self.out, s);
+        self.out.push('"');
+        self
+    }
+
+    /// Emits a numeric value. Integral floats print without a fraction
+    /// (`32` not `32.0`); non-finite values print as `null`.
+    pub fn number(&mut self, v: f64) -> &mut Self {
+        self.comma();
+        if v.is_finite() && v.fract() == 0.0 && v.abs() < 9.0e15 {
+            let _ = write!(self.out, "{}", v as i64);
+        } else {
+            push_f64(&mut self.out, v);
+        }
+        self
+    }
+
+    /// Emits an unsigned integer value exactly (no f64 rounding).
+    pub fn uint(&mut self, v: u64) -> &mut Self {
+        self.comma();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Emits a boolean value.
+    pub fn boolean(&mut self, v: bool) -> &mut Self {
+        self.comma();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Emits a `null` value.
+    pub fn null(&mut self) -> &mut Self {
+        self.comma();
+        self.out.push_str("null");
+        self
+    }
+
+    /// Emits pre-rendered JSON verbatim as one value. The caller vouches
+    /// that `json` is well-formed.
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.comma();
+        self.out.push_str(json);
+        self
+    }
+
+    /// Consumes the writer, returning the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// The buffer so far (for incremental streaming writers).
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv_distinguishes_nearby_texts() {
+        let a = fnv1a_64(b"model t\ncomponent X {}\n");
+        let b = fnv1a_64(b"model t\ncomponent Y {}\n");
+        assert_ne!(a, b);
+        // Deterministic across calls.
+        assert_eq!(a, fnv1a_64(b"model t\ncomponent X {}\n"));
+    }
+
+    #[test]
+    fn writer_nests_and_escapes() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field("s").string("a\"b\\c\nd\u{1}");
+        w.field("n").number(1.5);
+        w.field("i").number(-3.0);
+        w.field("u").uint(u64::MAX);
+        w.field("t").boolean(true);
+        w.field("z").null();
+        w.field("a").begin_array();
+        w.number(1.0);
+        w.begin_object();
+        w.field("k").string("v");
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\",\"n\":1.5,\"i\":-3,\
+             \"u\":18446744073709551615,\"t\":true,\"z\":null,\"a\":[1,{\"k\":\"v\"}]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.number(f64::NAN);
+        w.number(f64::INFINITY);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null]");
+    }
+
+    #[test]
+    fn raw_splices_prerendered_json() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field("inner").raw("{\"x\":1}");
+        w.field("after").number(2.0);
+        w.end_object();
+        assert_eq!(w.finish(), "{\"inner\":{\"x\":1},\"after\":2}");
+    }
+}

@@ -60,6 +60,7 @@ pub mod causality_struct;
 pub mod ccd;
 pub mod dot;
 pub mod error;
+pub mod json;
 pub mod levels;
 pub mod metrics;
 pub mod model;
@@ -71,8 +72,9 @@ pub mod types;
 
 pub use ccd::{Ccd, CcdChannel, Cluster, FixedPriorityDataIntegrityPolicy, TargetPolicy};
 pub use error::CoreError;
+pub use json::{fnv1a_64, JsonWriter};
 pub use levels::AbstractionLevel;
-pub use metrics::{ModelMetrics, RobustnessMetrics};
+pub use metrics::{LatencyHistogram, ModelMetrics, RobustnessMetrics};
 pub use model::{
     Behavior, Channel, Component, ComponentId, Composite, CompositeKind, Direction, Endpoint,
     Instance, Model, Port, Primitive,

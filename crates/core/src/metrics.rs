@@ -155,6 +155,132 @@ impl RobustnessMetrics {
     }
 }
 
+/// Number of buckets in a [`LatencyHistogram`]: one per power-of-two
+/// magnitude of a `u64` sample, so any sample maps to a bucket with two
+/// instructions and no allocation.
+const LATENCY_BUCKETS: usize = 64;
+
+/// A fixed-bucket concurrent latency histogram.
+///
+/// The record path is allocation-free and lock-free: a sample's bucket is
+/// its bit length (`64 - leading_zeros`), i.e. geometric buckets with a
+/// 2x resolution, and each bucket is a relaxed atomic counter. That is
+/// exactly the shape a server hot path needs — many threads recording,
+/// rare readers computing quantiles — and 2x resolution is plenty for the
+/// p50/p99 tail reporting the sweep service and its bench do (latency
+/// regressions worth acting on are multiplicative).
+///
+/// Quantiles are estimated by walking the cumulative counts to the target
+/// rank and interpolating linearly inside the hit bucket.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [std::sync::atomic::AtomicU64; LATENCY_BUCKETS],
+    count: std::sync::atomic::AtomicU64,
+    sum: std::sync::atomic::AtomicU64,
+    max: std::sync::atomic::AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| std::sync::atomic::AtomicU64::new(0)),
+            count: std::sync::atomic::AtomicU64::new(0),
+            sum: std::sync::atomic::AtomicU64::new(0),
+            max: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index of a sample: 0 for 0, else its bit length (1..=64)
+    /// minus one.
+    fn bucket(sample: u64) -> usize {
+        (64 - sample.leading_zeros() as usize).saturating_sub(1)
+    }
+
+    /// Records one sample (any unit; the service records microseconds).
+    /// Lock-free, allocation-free.
+    pub fn record(&self, sample: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.buckets[Self::bucket(sample)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(sample, Relaxed);
+        self.max.fetch_max(sample, Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum.load(std::sync::atomic::Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`), e.g. `0.5` for p50,
+    /// `0.99` for p99. Returns 0 when empty. The estimate interpolates
+    /// within the hit bucket and is clamped to the observed maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target sample.
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Bucket i spans [2^i, 2^(i+1)) (bucket 0 spans [0, 2)).
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est as u64).min(self.max());
+            }
+            seen += c;
+        }
+        self.max()
+    }
+
+    /// Resets every counter to zero. Not atomic with respect to
+    /// concurrent recorders — callers quiesce writers first (the service
+    /// only resets between bench rounds).
+    pub fn reset(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
 impl std::fmt::Display for ModelMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "components:        {}", self.components)?;
@@ -261,6 +387,57 @@ mod tests {
         assert_eq!(metrics.channels, 1);
         let text = metrics.to_string();
         assert!(text.contains("mtds/modes/trans:  1/2/1"));
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_bracket_the_data() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // 2x-resolution buckets: estimates land within one bucket of truth.
+        assert!((256..=1000).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= p50 && p99 <= 1000, "p99 = {p99}");
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.1) <= h.quantile(0.9));
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn latency_histogram_handles_extremes() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // The top bucket saturates: the p100 estimate must land in it
+        // (anywhere above the second-to-last bucket boundary).
+        assert!(h.quantile(1.0) > h.quantile(0.0));
+        assert_eq!(h.quantile(0.0).min(1), h.quantile(0.0));
+
+        // Concurrent recording is the service's steady state.
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let h = h.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    h.record(t * 1000 + i);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 1000);
     }
 
     #[test]

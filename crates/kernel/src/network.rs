@@ -735,6 +735,14 @@ pub struct ReadyNetwork {
     tick: Tick,
 }
 
+// Batch handles cross thread pools: the sweep service shares one prepared
+// network across work-stealing workers (`run_batch` takes `&self`) and
+// ships clones to oracle threads. Keep that a compile-time guarantee.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ReadyNetwork>();
+};
+
 impl ReadyNetwork {
     /// The network's display name.
     pub fn name(&self) -> &str {

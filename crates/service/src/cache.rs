@@ -1,0 +1,293 @@
+//! The sharded, LRU-evicting compiled-model cache.
+//!
+//! Keyed by the FNV-1a content hash of the submitted model text plus the
+//! component selector. A hit hands back an `Arc<CompiledSim>` — the
+//! elaborate/causality/prepare pipeline ran exactly once for that text,
+//! and every concurrent sweep of the same model shares the one compiled
+//! artifact (`run_batch` takes `&self`). Shards keep lock hold times
+//! short under concurrent callers: a compile of one model only blocks
+//! keys that land on the same shard.
+//!
+//! Hash collisions are handled, not assumed away: each entry stores the
+//! exact source text and a hit verifies it byte-for-byte (a mismatch is
+//! treated as a miss that replaces the entry). Eviction is LRU by a
+//! per-shard use stamp, scanned linearly — capacities are small (tens of
+//! compiled models per shard), so a scan beats maintaining an intrusive
+//! list.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use automode_core::json::fnv1a_64;
+use automode_core::text::from_text;
+use automode_sim::{CompiledSim, SimError};
+
+/// One cached compiled model.
+struct Entry {
+    /// The exact source text this entry was compiled from (collision
+    /// guard).
+    text: String,
+    /// The component selector the entry was compiled for.
+    component: Option<String>,
+    sim: Arc<CompiledSim>,
+    /// Shard-local LRU stamp: larger = more recently used.
+    used: u64,
+}
+
+struct Shard {
+    entries: HashMap<u64, Entry>,
+    clock: u64,
+}
+
+/// Counters snapshot returned by [`ModelCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live compiled model.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries displaced by LRU eviction.
+    pub evictions: u64,
+    /// Live entries across all shards.
+    pub entries: usize,
+    /// Maximum entries across all shards.
+    pub capacity: usize,
+}
+
+/// A sharded, LRU-evicting cache of compiled models.
+pub struct ModelCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Max entries per shard.
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ModelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "ModelCache {{ shards: {}, entries: {}/{}, hits: {}, misses: {} }}",
+            self.shards.len(),
+            s.entries,
+            s.capacity,
+            s.hits,
+            s.misses
+        )
+    }
+}
+
+impl ModelCache {
+    /// A cache of `shards` shards holding at most `capacity` compiled
+    /// models in total (rounded up to a multiple of the shard count; both
+    /// are clamped to at least 1).
+    pub fn new(shards: usize, capacity: usize) -> ModelCache {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
+        ModelCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache key of a `(model text, component)` submission.
+    pub fn key(text: &str, component: Option<&str>) -> u64 {
+        let mut h = fnv1a_64(text.as_bytes());
+        if let Some(c) = component {
+            // Extend the hash over the selector with a separator that
+            // cannot occur in either part's byte stream semantics.
+            h ^= fnv1a_64(c.as_bytes()).rotate_left(1);
+        }
+        h
+    }
+
+    /// Looks up (or compiles and inserts) the model given by `text`,
+    /// returning the shared handle, its cache key, and whether this was a
+    /// hit.
+    ///
+    /// Compilation happens under the owning shard's lock, which is what
+    /// guarantees one compile per text under a thundering herd of
+    /// identical submissions — the losers of the race block briefly and
+    /// then hit.
+    ///
+    /// # Errors
+    ///
+    /// Model parse errors and elaboration/causality/prepare failures.
+    pub fn get_or_compile(
+        &self,
+        text: &str,
+        component: Option<&str>,
+    ) -> Result<(Arc<CompiledSim>, u64, bool), SimError> {
+        let key = Self::key(text, component);
+        let shard_idx = (key % self.shards.len() as u64) as usize;
+        let mut shard = self.shards[shard_idx].lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let clock = shard.clock;
+        if let Some(e) = shard.entries.get_mut(&key) {
+            if e.text == text && e.component.as_deref() == component {
+                e.used = clock;
+                let sim = e.sim.clone();
+                self.hits.fetch_add(1, Relaxed);
+                return Ok((sim, key, true));
+            }
+            // FNV collision (or a stale entry from one): recompile below
+            // and replace.
+        }
+        self.misses.fetch_add(1, Relaxed);
+        let sim = Arc::new(compile(text, component)?);
+        if shard.entries.len() >= self.per_shard && !shard.entries.contains_key(&key) {
+            // Evict the least-recently-used entry of this shard.
+            if let Some(&lru) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(k, _)| k)
+            {
+                shard.entries.remove(&lru);
+                self.evictions.fetch_add(1, Relaxed);
+            }
+        }
+        shard.entries.insert(
+            key,
+            Entry {
+                text: text.to_string(),
+                component: component.map(str::to_string),
+                sim: sim.clone(),
+                used: clock,
+            },
+        );
+        Ok((sim, key, false))
+    }
+
+    /// Drops every cached entry (counters are preserved).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache shard poisoned").entries.clear();
+        }
+    }
+
+    /// A consistent-enough snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+                .sum(),
+            capacity: self.per_shard * self.shards.len(),
+        }
+    }
+}
+
+/// Parses `.amdl` text and compiles the selected (or root) component.
+fn compile(text: &str, component: Option<&str>) -> Result<CompiledSim, SimError> {
+    let model = from_text(text).map_err(SimError::Core)?;
+    match component {
+        Some(name) => {
+            let id = model
+                .find(name)
+                .ok_or_else(|| SimError::Unsupported(format!("unknown component `{name}`")))?;
+            CompiledSim::new(&model, id)
+        }
+        None => CompiledSim::new_root(&model),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gain_text(gain: f64) -> String {
+        format!(
+            "model t\n\ncomponent Gain {{\n  in u: float\n  out y: float\n  expr y = (u * {gain:?})\n}}\n\nroot Gain\n"
+        )
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_handle() {
+        let cache = ModelCache::new(4, 8);
+        let text = gain_text(3.0);
+        let (a, key_a, hit_a) = cache.get_or_compile(&text, None).unwrap();
+        let (b, key_b, hit_b) = cache.get_or_compile(&text, None).unwrap();
+        assert!(!hit_a && hit_b);
+        assert_eq!(key_a, key_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn component_selector_is_part_of_the_key() {
+        let cache = ModelCache::new(2, 8);
+        let text = gain_text(2.0);
+        let (_, k_root, _) = cache.get_or_compile(&text, None).unwrap();
+        let (_, k_named, _) = cache.get_or_compile(&text, Some("Gain")).unwrap();
+        assert_ne!(k_root, k_named);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn capacity_overflow_evicts_lru() {
+        let cache = ModelCache::new(1, 2);
+        let texts: Vec<String> = (0..3).map(|i| gain_text(1.0 + i as f64)).collect();
+        cache.get_or_compile(&texts[0], None).unwrap();
+        cache.get_or_compile(&texts[1], None).unwrap();
+        // Touch 0 so 1 is the LRU victim.
+        cache.get_or_compile(&texts[0], None).unwrap();
+        cache.get_or_compile(&texts[2], None).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        // 0 survived, 1 was evicted.
+        assert!(cache.get_or_compile(&texts[0], None).unwrap().2);
+        assert!(!cache.get_or_compile(&texts[1], None).unwrap().2);
+    }
+
+    #[test]
+    fn bad_models_do_not_poison_the_cache() {
+        let cache = ModelCache::new(2, 4);
+        assert!(cache.get_or_compile("not a model", None).is_err());
+        assert!(cache
+            .get_or_compile(&gain_text(1.0), Some("Ghost"))
+            .is_err());
+        assert_eq!(cache.stats().entries, 0);
+        // A good model still compiles afterwards.
+        cache.get_or_compile(&gain_text(1.0), None).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_compile_once() {
+        let cache = Arc::new(ModelCache::new(4, 16));
+        let text = Arc::new(gain_text(5.0));
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let cache = cache.clone();
+            let text = text.clone();
+            joins.push(std::thread::spawn(move || {
+                cache.get_or_compile(&text, None).unwrap().0
+            }));
+        }
+        let handles: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        for h in &handles[1..] {
+            assert!(Arc::ptr_eq(&handles[0], h));
+        }
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

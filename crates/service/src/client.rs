@@ -1,0 +1,164 @@
+//! A minimal loopback HTTP client for tests, benches, and the CLI.
+//!
+//! One request per connection, mirroring the server's
+//! `Connection: close` policy: write the request, read to EOF, decode.
+//! Chunked responses are decoded into ndjson lines and the presence of
+//! the terminating zero-length chunk is reported ([`SweepStream::complete`])
+//! — that flag is how the graceful-shutdown test proves no stream was
+//! truncated.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use crate::ServiceError;
+
+/// A decoded `POST /sweep` response.
+#[derive(Debug, Clone)]
+pub struct SweepStream {
+    /// HTTP status code.
+    pub status: u16,
+    /// Decoded ndjson lines (header line, scenario lines, done line) for
+    /// streamed responses; for non-200 responses, the error body as one
+    /// line.
+    pub lines: Vec<String>,
+    /// Whether a chunked response carried its terminating zero chunk.
+    pub complete: bool,
+}
+
+/// Submits a sweep request body to `addr` and decodes the streamed
+/// response.
+///
+/// # Errors
+///
+/// Connection and protocol-level failures (an HTTP error *status* is not
+/// an `Err` — it comes back in [`SweepStream::status`]).
+pub fn post_sweep(addr: SocketAddr, body: &str) -> Result<SweepStream, ServiceError> {
+    let raw = roundtrip(
+        addr,
+        &format!(
+            "POST /sweep HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )?;
+    let (status, headers, payload) = split_response(&raw)?;
+    if headers
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        let (data, complete) = decode_chunked(payload);
+        let text = String::from_utf8(data)
+            .map_err(|_| ServiceError::BadRequest("non-utf8 response body".into()))?;
+        Ok(SweepStream {
+            status,
+            lines: text
+                .split('\n')
+                .filter(|l| !l.is_empty())
+                .map(str::to_string)
+                .collect(),
+            complete,
+        })
+    } else {
+        let text = String::from_utf8(payload.to_vec())
+            .map_err(|_| ServiceError::BadRequest("non-utf8 response body".into()))?;
+        Ok(SweepStream {
+            status,
+            lines: if text.is_empty() {
+                Vec::new()
+            } else {
+                vec![text]
+            },
+            complete: true,
+        })
+    }
+}
+
+/// Performs a plain `GET` and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Connection and protocol-level failures.
+pub fn get(addr: SocketAddr, path: &str) -> Result<(u16, String), ServiceError> {
+    let raw = roundtrip(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"),
+    )?;
+    let (status, _, payload) = split_response(&raw)?;
+    let body = String::from_utf8(payload.to_vec())
+        .map_err(|_| ServiceError::BadRequest("non-utf8 response body".into()))?;
+    Ok((status, body))
+}
+
+fn roundtrip(addr: SocketAddr, request: &str) -> Result<Vec<u8>, ServiceError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    Ok(raw)
+}
+
+/// Splits a raw response into `(status, header text, body bytes)`.
+fn split_response(raw: &[u8]) -> Result<(u16, &str, &[u8]), ServiceError> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| ServiceError::BadRequest("no response header terminator".into()))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| ServiceError::BadRequest("non-utf8 response head".into()))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ServiceError::BadRequest("bad status line".into()))?;
+    Ok((status, head, &raw[head_end + 4..]))
+}
+
+/// Decodes a chunked body; returns the payload and whether the
+/// terminating zero-length chunk was present.
+fn decode_chunked(mut body: &[u8]) -> (Vec<u8>, bool) {
+    let mut out = Vec::new();
+    loop {
+        let Some(line_end) = body.windows(2).position(|w| w == b"\r\n") else {
+            return (out, false);
+        };
+        let Ok(size_text) = std::str::from_utf8(&body[..line_end]) else {
+            return (out, false);
+        };
+        let Ok(size) = usize::from_str_radix(size_text.trim(), 16) else {
+            return (out, false);
+        };
+        if size == 0 {
+            return (out, true);
+        }
+        let data_start = line_end + 2;
+        if body.len() < data_start + size + 2 {
+            return (out, false);
+        }
+        out.extend_from_slice(&body[data_start..data_start + size]);
+        body = &body[data_start + size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_decoding_handles_truncation() {
+        let (data, complete) = decode_chunked(b"5\r\nhello\r\n0\r\n\r\n");
+        assert_eq!(data, b"hello");
+        assert!(complete);
+        let (data, complete) = decode_chunked(b"5\r\nhello\r\n6\r\nwor");
+        assert_eq!(data, b"hello");
+        assert!(!complete);
+    }
+
+    #[test]
+    fn response_splitting() {
+        let raw = b"HTTP/1.1 413 Payload Too Large\r\nContent-Length: 2\r\n\r\nhi";
+        let (status, head, body) = split_response(raw).unwrap();
+        assert_eq!(status, 413);
+        assert!(head.contains("Content-Length"));
+        assert_eq!(body, b"hi");
+    }
+}

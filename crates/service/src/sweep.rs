@@ -1,0 +1,888 @@
+//! Sweep specs, shard execution, and ordered result streaming.
+//!
+//! A sweep is `count` scenarios over one compiled model. Scenarios are
+//! generated from per-input stimulus templates whose numeric fields can
+//! scale per scenario (`*_step` knobs), sharded into K-lane batches
+//! (K = `lanes`), and executed by the work-stealing pool through
+//! [`CompiledSim::run_batch`] — the typed-SoA fast path from the batch
+//! lanes work.
+//!
+//! Results stream back **in scenario order** through a bounded reorder
+//! buffer ([`StreamBuf`]): shards complete out of order, the buffer
+//! re-sequences them, and its capacity bounds how far execution can run
+//! ahead of a slow client (backpressure). The shard that the writer
+//! needs *next* is always admitted even when the buffer is full —
+//! that exemption is what makes the protocol deadlock-free.
+//!
+//! A sampled **live differential oracle** re-runs every `oracle_every`-th
+//! shard on a clone of the compiled model with batch vectorization
+//! disabled and compares the runs exactly; any divergence fails the
+//! sweep and names the offending scenarios.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use automode_core::json::JsonWriter;
+use automode_kernel::{vcd, FaultKind, Stream, Value};
+use automode_sim::report::sim_run_to_json;
+use automode_sim::{stimulus, BatchScenario, CompiledSim, SimRun};
+
+use crate::json::Json;
+use crate::pool::{Job, WorkerPool};
+use crate::ServiceError;
+
+/// Hard ceiling on scenarios per sweep (memory bound).
+const MAX_SCENARIOS: usize = 65_536;
+/// Hard ceiling on ticks per scenario (memory bound).
+const MAX_TICKS: usize = 1_000_000;
+/// Largest accepted lane width.
+const MAX_LANES: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+/// One input port's stimulus template. Numeric `*_step` fields add
+/// `scenario_index * step` to the base, which is how a sweep spreads a
+/// parameter across scenarios.
+#[derive(Debug, Clone)]
+enum Stim {
+    Constant {
+        value: Value,
+        step: f64,
+    },
+    Ramp {
+        from: f64,
+        to: f64,
+        from_step: f64,
+        to_step: f64,
+    },
+    Step {
+        before: Value,
+        after: Value,
+        at: u64,
+        at_step: f64,
+    },
+    Random {
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct InputSpec {
+    port: String,
+    stim: Stim,
+}
+
+impl InputSpec {
+    /// Materializes this input's stream for scenario `i`.
+    fn stream(&self, i: usize, ticks: usize) -> Stream {
+        let s = i as f64;
+        match &self.stim {
+            Stim::Constant { value, step } => {
+                let v = match value {
+                    Value::Float(f) => Value::Float(f + step * s),
+                    other => other.clone(),
+                };
+                stimulus::constant(v, ticks)
+            }
+            Stim::Ramp {
+                from,
+                to,
+                from_step,
+                to_step,
+            } => stimulus::ramp(from + from_step * s, to + to_step * s, ticks),
+            Stim::Step {
+                before,
+                after,
+                at,
+                at_step,
+            } => {
+                let at = (*at as f64 + at_step * s).max(0.0) as usize;
+                stimulus::step(before.clone(), after.clone(), at.min(ticks), ticks)
+            }
+            Stim::Random { lo, hi, seed } => {
+                stimulus::seeded_random(*lo, *hi, ticks, seed.wrapping_add(i as u64))
+            }
+        }
+    }
+}
+
+/// One fault template, optionally applied only to scenarios with
+/// `i % lane_mod == 0`.
+#[derive(Debug, Clone)]
+struct FaultSpec {
+    target: String,
+    lane_mod: Option<u64>,
+    kind: FaultKind,
+}
+
+/// A parsed and validated sweep request.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// The `.amdl` model text.
+    pub model: String,
+    /// Component to simulate (`None` = the model root).
+    pub component: Option<String>,
+    /// Number of scenarios.
+    pub count: usize,
+    /// Ticks per scenario.
+    pub ticks: usize,
+    /// Lane width K of each batch shard.
+    pub lanes: usize,
+    /// Include the canonical trace text per scenario.
+    pub trace: bool,
+    /// Include a VCD dump per scenario.
+    pub vcd: bool,
+    /// Check channel contracts and include a robustness report.
+    pub robustness: bool,
+    inputs: Vec<InputSpec>,
+    faults: Vec<FaultSpec>,
+}
+
+fn num(v: &Json, what: &str) -> Result<f64, ServiceError> {
+    v.as_f64()
+        .ok_or_else(|| ServiceError::BadRequest(format!("{what} must be a number")))
+}
+
+fn opt_num(obj: &Json, key: &str, default: f64) -> Result<f64, ServiceError> {
+    match obj.get(key) {
+        Some(v) => num(v, key),
+        None => Ok(default),
+    }
+}
+
+fn value_of(v: &Json, what: &str) -> Result<Value, ServiceError> {
+    match v {
+        Json::Num(n) => Ok(Value::Float(*n)),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Str(s) => Ok(Value::sym(s.clone())),
+        _ => Err(ServiceError::BadRequest(format!(
+            "{what} must be a number, bool, or symbol string"
+        ))),
+    }
+}
+
+impl SweepSpec {
+    /// Parses a request document.
+    ///
+    /// # Errors
+    ///
+    /// Missing/ill-typed fields and limit violations all map to
+    /// [`ServiceError::BadRequest`] / [`ServiceError::TooLarge`].
+    pub fn from_json(doc: &Json) -> Result<SweepSpec, ServiceError> {
+        let model = doc
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::BadRequest("missing string field `model`".into()))?
+            .to_string();
+        let component = match doc.get("component") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| ServiceError::BadRequest("`component` must be a string".into()))?
+                    .to_string(),
+            ),
+        };
+        let count = doc.get("count").and_then(Json::as_u64).unwrap_or(32) as usize;
+        let ticks = doc.get("ticks").and_then(Json::as_u64).unwrap_or(100) as usize;
+        let lanes = doc.get("lanes").and_then(Json::as_u64).unwrap_or(32) as usize;
+        if count == 0 || ticks == 0 || lanes == 0 {
+            return Err(ServiceError::BadRequest(
+                "`count`, `ticks`, and `lanes` must be positive".into(),
+            ));
+        }
+        if count > MAX_SCENARIOS {
+            return Err(ServiceError::TooLarge(format!(
+                "count {count} exceeds limit {MAX_SCENARIOS}"
+            )));
+        }
+        if ticks > MAX_TICKS {
+            return Err(ServiceError::TooLarge(format!(
+                "ticks {ticks} exceeds limit {MAX_TICKS}"
+            )));
+        }
+        if lanes > MAX_LANES {
+            return Err(ServiceError::TooLarge(format!(
+                "lanes {lanes} exceeds limit {MAX_LANES}"
+            )));
+        }
+        let mut inputs = Vec::new();
+        if let Some(arr) = doc.get("inputs").and_then(Json::as_array) {
+            for (idx, item) in arr.iter().enumerate() {
+                inputs.push(parse_input(item, idx)?);
+            }
+        }
+        let mut faults = Vec::new();
+        if let Some(arr) = doc.get("faults").and_then(Json::as_array) {
+            for (idx, item) in arr.iter().enumerate() {
+                faults.push(parse_fault(item, idx)?);
+            }
+        }
+        let flag = |key: &str| doc.get(key).and_then(Json::as_bool).unwrap_or(false);
+        Ok(SweepSpec {
+            model,
+            component,
+            count,
+            ticks,
+            lanes,
+            trace: flag("trace"),
+            vcd: flag("vcd"),
+            robustness: flag("robustness"),
+            inputs,
+            faults,
+        })
+    }
+
+    /// Number of K-lane shards this sweep splits into.
+    pub fn shards(&self) -> usize {
+        self.count.div_ceil(self.lanes)
+    }
+}
+
+fn parse_input(item: &Json, idx: usize) -> Result<InputSpec, ServiceError> {
+    let port = item
+        .get("port")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServiceError::BadRequest(format!("inputs[{idx}]: missing `port`")))?
+        .to_string();
+    let kind = item
+        .get("kind")
+        .and_then(Json::as_str)
+        .unwrap_or("constant");
+    let stim = match kind {
+        "constant" => Stim::Constant {
+            value: value_of(
+                item.get("value").unwrap_or(&Json::Num(0.0)),
+                &format!("inputs[{idx}].value"),
+            )?,
+            step: opt_num(item, "value_step", 0.0)?,
+        },
+        "ramp" => Stim::Ramp {
+            from: opt_num(item, "from", 0.0)?,
+            to: opt_num(item, "to", 1.0)?,
+            from_step: opt_num(item, "from_step", 0.0)?,
+            to_step: opt_num(item, "to_step", 0.0)?,
+        },
+        "step" => Stim::Step {
+            before: value_of(
+                item.get("before").unwrap_or(&Json::Num(0.0)),
+                &format!("inputs[{idx}].before"),
+            )?,
+            after: value_of(
+                item.get("after").unwrap_or(&Json::Num(1.0)),
+                &format!("inputs[{idx}].after"),
+            )?,
+            at: opt_num(item, "at", 0.0)? as u64,
+            at_step: opt_num(item, "at_step", 0.0)?,
+        },
+        "random" => Stim::Random {
+            lo: opt_num(item, "lo", 0.0)?,
+            hi: opt_num(item, "hi", 1.0)?,
+            seed: item.get("seed").and_then(Json::as_u64).unwrap_or(1),
+        },
+        other => {
+            return Err(ServiceError::BadRequest(format!(
+                "inputs[{idx}]: unknown stimulus kind `{other}`"
+            )))
+        }
+    };
+    Ok(InputSpec { port, stim })
+}
+
+fn parse_fault(item: &Json, idx: usize) -> Result<FaultSpec, ServiceError> {
+    let target = item
+        .get("target")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServiceError::BadRequest(format!("faults[{idx}]: missing `target`")))?
+        .to_string();
+    let lane_mod = item.get("lane_mod").and_then(Json::as_u64);
+    if lane_mod == Some(0) {
+        return Err(ServiceError::BadRequest(format!(
+            "faults[{idx}]: `lane_mod` must be positive"
+        )));
+    }
+    let kind = item
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServiceError::BadRequest(format!("faults[{idx}]: missing `kind`")))?;
+    let kind = match kind {
+        "drop" => FaultKind::drop_every(
+            item.get("every").and_then(Json::as_u64).unwrap_or(1).max(1),
+            item.get("phase").and_then(Json::as_u64).unwrap_or(0),
+        ),
+        "stuck" => FaultKind::StuckAt(value_of(
+            item.get("value").unwrap_or(&Json::Num(0.0)),
+            &format!("faults[{idx}].value"),
+        )?),
+        "delay" => FaultKind::Delay(item.get("ticks").and_then(Json::as_u64).unwrap_or(1) as usize),
+        "jitter" => {
+            let hold = opt_num(item, "hold", 0.5)?;
+            if !(0.0..1.0).contains(&hold) {
+                return Err(ServiceError::BadRequest(format!(
+                    "faults[{idx}]: `hold` must be in [0, 1)"
+                )));
+            }
+            FaultKind::Jitter {
+                seed: item.get("seed").and_then(Json::as_u64).unwrap_or(1),
+                hold,
+            }
+        }
+        "corrupt_scale" => FaultKind::Corrupt(automode_kernel::Corruptor::scale(opt_num(
+            item, "factor", 1.0,
+        )?)),
+        other => {
+            return Err(ServiceError::BadRequest(format!(
+                "faults[{idx}]: unknown fault kind `{other}`"
+            )))
+        }
+    };
+    Ok(FaultSpec {
+        target,
+        lane_mod,
+        kind,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Ordered streaming with backpressure
+// ---------------------------------------------------------------------------
+
+/// What one shard hands to the writer.
+struct ShardOut {
+    /// One encoded ndjson line per scenario, in scenario order.
+    lines: Vec<String>,
+    /// Shard-level simulation failure, if any.
+    error: Option<String>,
+    /// Scenario indices where the differential oracle diverged.
+    diverged: Vec<usize>,
+    /// Whether the oracle sampled this shard.
+    oracle_checked: bool,
+}
+
+struct StreamState {
+    next_emit: usize,
+    done: HashMap<usize, ShardOut>,
+}
+
+/// The reorder buffer between pool workers and the response writer.
+///
+/// `push` never blocks — a pool worker must never park on a
+/// per-connection buffer, or a slow client could wedge every worker and
+/// deadlock the shard the writer needs next. Boundedness comes from the
+/// *submitter* instead: [`execute`] keeps at most `window` shards in
+/// flight, so `done` holds at most `window` entries.
+struct StreamBuf {
+    state: Mutex<StreamState>,
+    /// Signalled when a shard lands (writer side waits on this).
+    ready: Condvar,
+}
+
+impl StreamBuf {
+    fn new() -> StreamBuf {
+        StreamBuf {
+            state: Mutex::new(StreamState {
+                next_emit: 0,
+                done: HashMap::new(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Deposits shard `idx`'s output (non-blocking).
+    fn push(&self, idx: usize, out: ShardOut) {
+        let mut st = self.state.lock().expect("stream buffer poisoned");
+        st.done.insert(idx, out);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until shard `next_emit` is available and takes it.
+    fn pop_next(&self) -> ShardOut {
+        let mut st = self.state.lock().expect("stream buffer poisoned");
+        loop {
+            let next = st.next_emit;
+            if let Some(out) = st.done.remove(&next) {
+                st.next_emit += 1;
+                return out;
+            }
+            st = self.ready.wait(st).expect("stream buffer poisoned");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Knobs the server passes into [`execute`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOpts {
+    /// Differential-oracle sampling period in shards (re-run every N-th
+    /// shard with vectorization disabled); `0` disables the oracle.
+    pub oracle_every: usize,
+    /// Reorder-buffer capacity in shards (per-connection backpressure).
+    pub queue_cap: usize,
+}
+
+impl Default for ExecOpts {
+    fn default() -> Self {
+        ExecOpts {
+            oracle_every: 16,
+            queue_cap: 8,
+        }
+    }
+}
+
+/// Outcome counters of one executed sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepOutcome {
+    /// Scenarios executed.
+    pub scenarios: usize,
+    /// K-lane shards executed.
+    pub shards: usize,
+    /// Shards re-run by the differential oracle.
+    pub oracle_shards: usize,
+    /// Scenarios where the oracle diverged from the vectorized run.
+    pub oracle_divergences: usize,
+    /// Whether any shard failed or diverged.
+    pub failed: bool,
+}
+
+/// Runs `spec` against `sim` on `pool`, feeding encoded ndjson lines to
+/// `emit` **in scenario order**. Every scenario produces exactly one
+/// line (a result object or an error object), so a stream is complete
+/// iff it carries `spec.count` scenario lines — the invariant the
+/// graceful-shutdown test leans on.
+///
+/// # Errors
+///
+/// Only sink (`emit`) failures abort the stream; simulation failures are
+/// reported in-band and via [`SweepOutcome::failed`].
+pub fn execute(
+    spec: &Arc<SweepSpec>,
+    sim: &Arc<CompiledSim>,
+    pool: &WorkerPool,
+    opts: ExecOpts,
+    emit: &mut dyn FnMut(&str) -> std::io::Result<()>,
+) -> std::io::Result<SweepOutcome> {
+    let shards = spec.shards();
+    // The oracle clone drops the typed-lane fast path: same compiled
+    // artifact, scalar reference semantics.
+    let oracle: Option<Arc<CompiledSim>> = if opts.oracle_every > 0 {
+        let mut o = (**sim).clone();
+        o.set_batch_vectorization(false);
+        Some(Arc::new(o))
+    } else {
+        None
+    };
+    let buf = Arc::new(StreamBuf::new());
+    let make_job = |shard_idx: usize| -> Job {
+        let spec = spec.clone();
+        let sim = sim.clone();
+        let buf = buf.clone();
+        let oracle = oracle
+            .as_ref()
+            .filter(|_| shard_idx.is_multiple_of(opts.oracle_every.max(1)))
+            .cloned();
+        Box::new(move || {
+            let out = run_shard(&spec, &sim, oracle.as_deref(), shard_idx);
+            buf.push(shard_idx, out);
+        })
+    };
+
+    // Backpressure by sliding-window submission: at most `window` shards
+    // are ever in flight, so the reorder buffer — and how far execution
+    // can run ahead of a slow client — is bounded, and no pool worker
+    // ever parks on a per-connection queue. The window never throttles
+    // the pool below full width.
+    let window = opts.queue_cap.max(pool.workers()).max(1);
+    let mut submitted = window.min(shards);
+    pool.submit_shards((0..submitted).map(&make_job));
+
+    // This thread (the connection handler) is the writer: it re-sequences
+    // shard outputs and pushes them down the socket.
+    let mut outcome = SweepOutcome {
+        scenarios: spec.count,
+        shards,
+        ..SweepOutcome::default()
+    };
+    let mut sink_err: Option<std::io::Error> = None;
+    let mut popped = 0;
+    while popped < submitted {
+        let out = buf.pop_next();
+        popped += 1;
+        if out.oracle_checked {
+            outcome.oracle_shards += 1;
+        }
+        outcome.oracle_divergences += out.diverged.len();
+        if out.error.is_some() || !out.diverged.is_empty() {
+            outcome.failed = true;
+        }
+        if sink_err.is_none() {
+            for line in &out.lines {
+                if let Err(e) = emit(line) {
+                    sink_err = Some(e);
+                    break;
+                }
+            }
+        }
+        // Refill the window — unless the client is gone, in which case we
+        // only drain what is already in flight.
+        if sink_err.is_none() && submitted < shards {
+            pool.submit_shards(std::iter::once(make_job(submitted)));
+            submitted += 1;
+        }
+    }
+    match sink_err {
+        Some(e) => Err(e),
+        None => Ok(outcome),
+    }
+}
+
+/// Executes one K-lane shard: builds the scenario streams, runs the
+/// batch, optionally cross-checks against the scalar oracle, and encodes
+/// one line per scenario.
+fn run_shard(
+    spec: &SweepSpec,
+    sim: &CompiledSim,
+    oracle: Option<&CompiledSim>,
+    shard_idx: usize,
+) -> ShardOut {
+    let start = shard_idx * spec.lanes;
+    let end = (start + spec.lanes).min(spec.count);
+    let lane_inputs: Vec<Vec<(&str, Stream)>> = (start..end)
+        .map(|i| {
+            spec.inputs
+                .iter()
+                .map(|inp| (inp.port.as_str(), inp.stream(i, spec.ticks)))
+                .collect()
+        })
+        .collect();
+    let scenarios: Vec<BatchScenario> = lane_inputs
+        .iter()
+        .enumerate()
+        .map(|(lane, inputs)| {
+            let mut sc = BatchScenario::new(inputs, spec.ticks);
+            for f in &spec.faults {
+                let applies = match f.lane_mod {
+                    Some(m) => ((start + lane) as u64).is_multiple_of(m),
+                    None => true,
+                };
+                if applies {
+                    sc = sc.with_fault(f.target.clone(), f.kind.clone());
+                }
+            }
+            sc
+        })
+        .collect();
+
+    let runs = match sim.run_batch(&scenarios) {
+        Ok(r) => r,
+        Err(e) => {
+            return ShardOut {
+                lines: (start..end)
+                    .map(|i| error_line(i, &format!("simulation failed: {e}")))
+                    .collect(),
+                error: Some(e.to_string()),
+                diverged: Vec::new(),
+                oracle_checked: oracle.is_some(),
+            }
+        }
+    };
+
+    // Live differential oracle: the sampled shard re-runs with batch
+    // vectorization off; the runs must match *exactly*.
+    let mut diverged = Vec::new();
+    if let Some(o) = oracle {
+        match o.run_batch(&scenarios) {
+            Ok(scalar_runs) => {
+                for (lane, (fast, slow)) in runs.iter().zip(scalar_runs.iter()).enumerate() {
+                    if fast != slow {
+                        diverged.push(start + lane);
+                    }
+                }
+            }
+            Err(e) => {
+                return ShardOut {
+                    lines: (start..end)
+                        .map(|i| error_line(i, &format!("oracle re-run failed: {e}")))
+                        .collect(),
+                    error: Some(e.to_string()),
+                    diverged: Vec::new(),
+                    oracle_checked: true,
+                }
+            }
+        }
+    }
+    for &i in &diverged {
+        // Server-side log of the offending scenario (satellite a).
+        eprintln!(
+            "service: differential oracle divergence at scenario {i} (shard {shard_idx}): \
+             vectorized batch run differs from scalar reference"
+        );
+    }
+
+    let monitor = spec.robustness.then(|| sim.monitor());
+    let lines = runs
+        .iter()
+        .enumerate()
+        .map(|(lane, run)| {
+            let i = start + lane;
+            if diverged.contains(&i) {
+                return error_line(i, "differential oracle divergence");
+            }
+            let report = monitor.as_ref().map(|m| m.check(&run.trace));
+            let vcd_text = spec.vcd.then(|| {
+                let mut out = Vec::new();
+                let _ = vcd::write_vcd(&run.trace, "sweep", &mut out);
+                String::from_utf8_lossy(&out).into_owned()
+            });
+            scenario_line(i, run, spec.trace, report.as_ref(), vcd_text.as_deref())
+        })
+        .collect();
+    ShardOut {
+        lines,
+        error: None,
+        diverged,
+        oracle_checked: oracle.is_some(),
+    }
+}
+
+/// Encodes one successful scenario as `{"scenario": i, "result": {...}}`.
+pub fn scenario_line(
+    i: usize,
+    run: &SimRun,
+    trace: bool,
+    robustness: Option<&automode_kernel::RobustnessReport>,
+    vcd: Option<&str>,
+) -> String {
+    let mut w = JsonWriter::with_capacity(256);
+    w.begin_object();
+    w.field("scenario").uint(i as u64);
+    w.field("result");
+    sim_run_to_json(&mut w, run, trace, robustness, vcd);
+    w.end_object();
+    w.finish()
+}
+
+/// Encodes one failed scenario as `{"scenario": i, "error": "..."}`.
+fn error_line(i: usize, msg: &str) -> String {
+    let mut w = JsonWriter::with_capacity(64);
+    w.begin_object();
+    w.field("scenario").uint(i as u64);
+    w.field("error").string(msg);
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn spec_doc(extra: &str) -> String {
+        let model = gain_model();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field("model").string(&model);
+        w.end_object();
+        let base = w.finish();
+        if extra.is_empty() {
+            base
+        } else {
+            format!(
+                "{}, {}}}",
+                &base[..base.len() - 1],
+                &extra[1..extra.len() - 1]
+            )
+        }
+    }
+
+    fn gain_model() -> String {
+        "model t\n\ncomponent Gain {\n  in u: float\n  out y: float\n  expr y = (u * 2.0)\n}\n\nroot Gain\n".to_string()
+    }
+
+    fn compiled() -> Arc<CompiledSim> {
+        let model = automode_core::text::from_text(&gain_model()).unwrap();
+        Arc::new(CompiledSim::new_root(&model).unwrap())
+    }
+
+    #[test]
+    fn spec_defaults_and_limits() {
+        let doc = parse(&spec_doc("")).unwrap();
+        let spec = SweepSpec::from_json(&doc).unwrap();
+        assert_eq!((spec.count, spec.ticks, spec.lanes), (32, 100, 32));
+        assert_eq!(spec.shards(), 1);
+
+        let doc = parse(&spec_doc(r#"{"count": 0}"#)).unwrap();
+        assert!(matches!(
+            SweepSpec::from_json(&doc),
+            Err(ServiceError::BadRequest(_))
+        ));
+        let doc = parse(&spec_doc(r#"{"count": 100000000}"#)).unwrap();
+        assert!(matches!(
+            SweepSpec::from_json(&doc),
+            Err(ServiceError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn execute_streams_count_lines_in_order() {
+        let doc = parse(&spec_doc(
+            r#"{"count": 37, "ticks": 16, "lanes": 8,
+                "inputs": [{"port": "u", "kind": "ramp", "from": 0, "to": 1, "to_step": 0.25}]}"#,
+        ))
+        .unwrap();
+        let spec = Arc::new(SweepSpec::from_json(&doc).unwrap());
+        let sim = compiled();
+        let pool = WorkerPool::new(4);
+        let mut lines = Vec::new();
+        let outcome = execute(
+            &spec,
+            &sim,
+            &pool,
+            ExecOpts {
+                oracle_every: 2,
+                queue_cap: 2,
+            },
+            &mut |l| {
+                lines.push(l.to_string());
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(lines.len(), 37);
+        assert_eq!(outcome.scenarios, 37);
+        assert_eq!(outcome.shards, 5);
+        assert_eq!(outcome.oracle_shards, 3);
+        assert_eq!(outcome.oracle_divergences, 0);
+        assert!(!outcome.failed);
+        for (i, line) in lines.iter().enumerate() {
+            let v = parse(line).unwrap();
+            assert_eq!(v.get("scenario").unwrap().as_u64(), Some(i as u64));
+            assert!(v.get("result").is_some(), "line {i} missing result");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn scenario_results_match_direct_runs() {
+        let doc = parse(&spec_doc(
+            r#"{"count": 9, "ticks": 12, "lanes": 4,
+                "inputs": [{"port": "u", "kind": "constant", "value": 1.0, "value_step": 0.5}]}"#,
+        ))
+        .unwrap();
+        let spec = Arc::new(SweepSpec::from_json(&doc).unwrap());
+        let sim = compiled();
+        let pool = WorkerPool::new(2);
+        let mut lines = Vec::new();
+        execute(&spec, &sim, &pool, ExecOpts::default(), &mut |l| {
+            lines.push(l.to_string());
+            Ok(())
+        })
+        .unwrap();
+        // Scenario i drives u = 1.0 + 0.5 i; the direct run must encode to
+        // the identical line.
+        let mut direct = (*sim).clone();
+        for (i, line) in lines.iter().enumerate() {
+            let inputs = vec![(
+                "u",
+                stimulus::constant(Value::Float(1.0 + 0.5 * i as f64), 12),
+            )];
+            let run = direct.run(&inputs, 12).unwrap();
+            assert_eq!(line, &scenario_line(i, &run, false, None, None));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn lane_mod_faults_change_only_selected_scenarios() {
+        let doc = parse(&spec_doc(
+            r#"{"count": 8, "ticks": 10, "lanes": 4,
+                "inputs": [{"port": "u", "kind": "constant", "value": 3.0}],
+                "faults": [{"target": "y", "kind": "drop", "every": 1, "lane_mod": 4}]}"#,
+        ))
+        .unwrap();
+        let spec = Arc::new(SweepSpec::from_json(&doc).unwrap());
+        let sim = compiled();
+        let pool = WorkerPool::new(2);
+        let mut lines = Vec::new();
+        execute(&spec, &sim, &pool, ExecOpts::default(), &mut |l| {
+            lines.push(l.to_string());
+            Ok(())
+        })
+        .unwrap();
+        // Scenarios 0 and 4 have y fully dropped; others are identical to
+        // each other.
+        assert_ne!(
+            lines[0].replace("\"scenario\":0", ""),
+            lines[1].replace("\"scenario\":1", "")
+        );
+        assert_eq!(
+            lines[1].replace("\"scenario\":1", ""),
+            lines[2].replace("\"scenario\":2", "")
+        );
+        assert_eq!(
+            lines[0].replace("\"scenario\":0", ""),
+            lines[4].replace("\"scenario\":4", "")
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn robustness_and_trace_flags_extend_lines() {
+        let doc = parse(&spec_doc(
+            r#"{"count": 2, "ticks": 6, "lanes": 2, "trace": true, "robustness": true,
+                "inputs": [{"port": "u", "kind": "random", "lo": 0, "hi": 1, "seed": 7}]}"#,
+        ))
+        .unwrap();
+        let spec = Arc::new(SweepSpec::from_json(&doc).unwrap());
+        let sim = compiled();
+        let pool = WorkerPool::new(1);
+        let mut lines = Vec::new();
+        execute(&spec, &sim, &pool, ExecOpts::default(), &mut |l| {
+            lines.push(l.to_string());
+            Ok(())
+        })
+        .unwrap();
+        for line in &lines {
+            let v = parse(line).unwrap();
+            let result = v.get("result").unwrap();
+            assert!(result.get("trace").is_some());
+            assert!(result.get("robustness").is_some());
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn sink_failure_drains_without_deadlock() {
+        let doc = parse(&spec_doc(r#"{"count": 64, "ticks": 8, "lanes": 4}"#)).unwrap();
+        let spec = Arc::new(SweepSpec::from_json(&doc).unwrap());
+        let sim = compiled();
+        let pool = WorkerPool::new(4);
+        let mut emitted = 0usize;
+        let err = execute(
+            &spec,
+            &sim,
+            &pool,
+            ExecOpts {
+                oracle_every: 0,
+                queue_cap: 2,
+            },
+            &mut |_| {
+                emitted += 1;
+                if emitted > 5 {
+                    Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        // All jobs still drained; the pool shuts down cleanly.
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,317 @@
+//! Loopback integration tests: a real server on an ephemeral port, real
+//! sockets, real catalog models.
+//!
+//! The core guarantee under test: scenario lines streamed over HTTP are
+//! **byte-identical** to encoding a direct [`CompiledSim`] run with the
+//! same functions — the service adds caching, sharding, and transport,
+//! never different results.
+
+use std::sync::Arc;
+
+use automode_core::json::JsonWriter;
+use automode_core::model::Model;
+use automode_core::text::{from_text, to_text};
+use automode_kernel::{Stream, Value};
+use automode_service::json::parse;
+use automode_service::sweep::scenario_line;
+use automode_service::{get, post_sweep, serve, ServerConfig};
+use automode_sim::{stimulus, CompiledSim};
+
+const TICKS: usize = 30;
+const COUNT: usize = 10;
+
+/// A catalog model: its `.amdl` text, the spec's `inputs` JSON fragment,
+/// and a builder producing the *identical* streams for scenario `i` that
+/// the service derives from that fragment.
+struct Fixture {
+    name: &'static str,
+    text: String,
+    inputs_json: &'static str,
+    streams: fn(usize) -> Vec<(&'static str, Stream)>,
+}
+
+fn fixtures() -> Vec<Fixture> {
+    let momentum = {
+        let mut m = Model::new("momentum");
+        let id = automode_engine::momentum::build_momentum_controller(
+            &mut m,
+            automode_engine::momentum::MomentumGains::default(),
+        )
+        .unwrap();
+        m.set_root(id);
+        m
+    };
+    let engine_modes = {
+        let mut m = Model::new("engine_modes");
+        let id = automode_engine::build_engine_modes(&mut m).unwrap();
+        m.set_root(id);
+        m
+    };
+    let engine = automode_engine::reengineer_engine().unwrap().model;
+    vec![
+        Fixture {
+            name: "momentum",
+            text: to_text(&momentum),
+            inputs_json: r#"[
+                {"port": "v_des", "kind": "constant", "value": 20.0, "value_step": 0.5},
+                {"port": "v_act", "kind": "ramp", "from": 0.0, "to": 20.0, "to_step": 0.25}]"#,
+            streams: |i| {
+                vec![
+                    (
+                        "v_des",
+                        stimulus::constant(Value::Float(20.0 + 0.5 * i as f64), TICKS),
+                    ),
+                    ("v_act", stimulus::ramp(0.0, 20.0 + 0.25 * i as f64, TICKS)),
+                ]
+            },
+        },
+        Fixture {
+            name: "engine_modes",
+            text: to_text(&engine_modes),
+            inputs_json: r#"[
+                {"port": "key_on", "kind": "constant", "value": true},
+                {"port": "rpm", "kind": "ramp", "from": 0.0, "to": 4000.0, "to_step": 100.0},
+                {"port": "throttle", "kind": "ramp", "from": 0.0, "to": 1.0}]"#,
+            streams: |i| {
+                vec![
+                    ("key_on", stimulus::constant(Value::Bool(true), TICKS)),
+                    ("rpm", stimulus::ramp(0.0, 4000.0 + 100.0 * i as f64, TICKS)),
+                    ("throttle", stimulus::ramp(0.0, 1.0, TICKS)),
+                ]
+            },
+        },
+        Fixture {
+            name: "engine",
+            text: to_text(&engine),
+            inputs_json: r#"[
+                {"port": "key_on", "kind": "constant", "value": true},
+                {"port": "rpm", "kind": "ramp", "from": 0.0, "to": 4000.0, "to_step": 50.0},
+                {"port": "throttle", "kind": "ramp", "from": 0.0, "to": 1.0},
+                {"port": "o2", "kind": "constant", "value": 0.5, "value_step": 0.01}]"#,
+            streams: |i| {
+                vec![
+                    ("key_on", stimulus::constant(Value::Bool(true), TICKS)),
+                    ("rpm", stimulus::ramp(0.0, 4000.0 + 50.0 * i as f64, TICKS)),
+                    ("throttle", stimulus::ramp(0.0, 1.0, TICKS)),
+                    (
+                        "o2",
+                        stimulus::constant(Value::Float(0.5 + 0.01 * i as f64), TICKS),
+                    ),
+                ]
+            },
+        },
+    ]
+}
+
+/// Builds a sweep request body: the model text (JSON-escaped by the
+/// writer) spliced with a raw fragment of extra fields.
+fn sweep_body(model_text: &str, extra: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field("model").string(model_text);
+    w.end_object();
+    let base = w.finish();
+    format!("{},{}}}", &base[..base.len() - 1], extra)
+}
+
+fn small_config() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        conn_threads: 2,
+        oracle_every: 2,
+        queue_cap: 4,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn streamed_results_are_byte_equal_to_direct_runs() {
+    let server = serve(small_config()).unwrap();
+    let addr = server.addr();
+    for fx in fixtures() {
+        let body = sweep_body(
+            &fx.text,
+            &format!(
+                r#""count": {COUNT}, "ticks": {TICKS}, "lanes": 4, "inputs": {}"#,
+                fx.inputs_json
+            ),
+        );
+        let resp = post_sweep(addr, &body).unwrap();
+        assert_eq!(resp.status, 200, "{}: {:?}", fx.name, resp.lines.first());
+        assert!(resp.complete, "{}: truncated stream", fx.name);
+        assert_eq!(resp.lines.len(), COUNT + 2, "{}", fx.name);
+
+        let header = parse(&resp.lines[0]).unwrap();
+        let sweep = header.get("sweep").expect("header line");
+        assert_eq!(sweep.get("cache").unwrap().as_str(), Some("miss"));
+        assert_eq!(sweep.get("scenarios").unwrap().as_u64(), Some(COUNT as u64));
+        assert_eq!(sweep.get("shards").unwrap().as_u64(), Some(3));
+
+        // Byte-for-byte: each streamed line equals the direct compiled
+        // run encoded with the same function.
+        let model = from_text(&fx.text).unwrap();
+        let mut direct = CompiledSim::new_root(&model).unwrap();
+        for i in 0..COUNT {
+            let run = direct.run(&(fx.streams)(i), TICKS).unwrap();
+            assert_eq!(
+                resp.lines[1 + i],
+                scenario_line(i, &run, false, None, None),
+                "{} scenario {i}",
+                fx.name
+            );
+        }
+
+        let done = parse(resp.lines.last().unwrap()).unwrap();
+        let done = done.get("done").expect("done line");
+        assert_eq!(done.get("status").unwrap().as_str(), Some("ok"));
+        // oracle_every = 2 over 3 shards → shards 0 and 2 were re-run
+        // scalar; zero divergence between the lane path and the oracle.
+        assert_eq!(done.get("oracle_shards").unwrap().as_u64(), Some(2));
+        assert_eq!(done.get("oracle_divergences").unwrap().as_u64(), Some(0));
+
+        // The repeat submission must hit the compiled-model cache.
+        let again = post_sweep(addr, &body).unwrap();
+        let header = parse(&again.lines[0]).unwrap();
+        assert_eq!(
+            header.get("sweep").unwrap().get("cache").unwrap().as_str(),
+            Some("hit"),
+            "{}",
+            fx.name
+        );
+        // (The done line differs in `elapsed_us`; scenario lines must not.)
+        assert_eq!(again.lines[1..=COUNT], resp.lines[1..=COUNT]);
+    }
+
+    let (code, stats) = get(addr, "/stats").unwrap();
+    assert_eq!(code, 200);
+    let stats = parse(&stats).unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(3));
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(3));
+    assert_eq!(cache.get("entries").unwrap().as_u64(), Some(3));
+    let sweeps = stats.get("sweeps").unwrap();
+    assert_eq!(sweeps.get("total").unwrap().as_u64(), Some(6));
+    assert_eq!(sweeps.get("failed").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        sweeps.get("scenarios").unwrap().as_u64(),
+        Some(6 * COUNT as u64)
+    );
+    let lat = stats.get("latency_us").unwrap();
+    assert_eq!(lat.get("count").unwrap().as_u64(), Some(6));
+    assert!(lat.get("p99").unwrap().as_u64().unwrap() >= lat.get("p50").unwrap().as_u64().unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn cache_eviction_is_observable() {
+    let server = serve(ServerConfig {
+        cache_shards: 1,
+        cache_capacity: 2,
+        oracle_every: 0,
+        ..small_config()
+    })
+    .unwrap();
+    let addr = server.addr();
+    for gain in [2.0, 3.0, 4.0] {
+        let text = format!(
+            "model t\n\ncomponent Gain {{\n  in u: float\n  out y: float\n  expr y = (u * {gain:?})\n}}\n\nroot Gain\n"
+        );
+        let body = sweep_body(
+            &text,
+            r#""count": 2, "ticks": 4, "lanes": 2, "inputs": [{"port": "u", "kind": "constant", "value": 1.0}]"#,
+        );
+        assert_eq!(post_sweep(addr, &body).unwrap().status, 200);
+    }
+    let (_, stats) = get(addr, "/stats").unwrap();
+    let stats = parse(&stats).unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(3));
+    assert_eq!(cache.get("evictions").unwrap().as_u64(), Some(1));
+    assert_eq!(cache.get("entries").unwrap().as_u64(), Some(2));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_oversized_requests_are_rejected() {
+    let server = serve(ServerConfig {
+        max_body: 4096,
+        ..small_config()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // Not JSON at all.
+    let resp = post_sweep(addr, "this is not json").unwrap();
+    assert_eq!(resp.status, 400);
+    // JSON but no model field.
+    let resp = post_sweep(addr, r#"{"count": 4}"#).unwrap();
+    assert_eq!(resp.status, 400);
+    // A model that does not parse.
+    let resp = post_sweep(addr, r#"{"model": "component without a header"}"#).unwrap();
+    assert_eq!(resp.status, 400);
+    // Bad limits.
+    let resp = post_sweep(addr, r#"{"model": "model t\nroot X\n", "count": 0}"#).unwrap();
+    assert_eq!(resp.status, 400);
+    // Unknown component selector.
+    let body = sweep_body(
+        "model t\n\ncomponent G {\n  in u: float\n  out y: float\n  expr y = (u * 1.0)\n}\n\nroot G\n",
+        r#""component": "Ghost""#,
+    );
+    assert_eq!(post_sweep(addr, &body).unwrap().status, 400);
+    // An oversized model body → 413 before any parsing.
+    let big = sweep_body(&"x".repeat(8192), r#""count": 1"#);
+    let resp = post_sweep(addr, &big).unwrap();
+    assert_eq!(resp.status, 413);
+    // Unknown route and liveness.
+    assert_eq!(get(addr, "/nope").unwrap().0, 404);
+    let (code, body) = get(addr, "/healthz").unwrap();
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_never_truncates_streams() {
+    let server = serve(ServerConfig {
+        workers: 2,
+        conn_threads: 2,
+        oracle_every: 4,
+        queue_cap: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let fx = &fixtures()[0];
+    // Big enough that the sweeps are still streaming when shutdown lands.
+    let count = 600usize;
+    let body = Arc::new(sweep_body(
+        &fx.text,
+        &format!(
+            r#""count": {count}, "ticks": 120, "trace": true, "lanes": 8, "inputs": {}"#,
+            fx.inputs_json
+        ),
+    ));
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || post_sweep(addr, &body).unwrap())
+        })
+        .collect();
+    // Let both requests get accepted, then shut down mid-stream.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    server.shutdown();
+    for c in clients {
+        let resp = c.join().unwrap();
+        // The drained stream is complete: terminating chunk present,
+        // every scenario line delivered, done line last.
+        assert_eq!(resp.status, 200);
+        assert!(resp.complete, "shutdown truncated a stream");
+        assert_eq!(resp.lines.len(), count + 2);
+        let done = parse(resp.lines.last().unwrap()).unwrap();
+        assert_eq!(
+            done.get("done").unwrap().get("status").unwrap().as_str(),
+            Some("ok")
+        );
+    }
+    // The listener is gone: new connections are refused.
+    assert!(post_sweep(addr, &body).is_err());
+}

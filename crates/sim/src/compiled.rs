@@ -97,6 +97,15 @@ pub struct CompiledSim {
     input_index: HashMap<String, usize>,
 }
 
+// The sweep service shares one compiled handle across a work-stealing
+// worker pool (`run_batch` takes `&self`), so `CompiledSim` must stay
+// `Send + Sync`; this fails to compile the moment a block or plan grows a
+// thread-bound member.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledSim>();
+};
+
 impl CompiledSim {
     /// Elaborates and compiles `component` for repeated simulation.
     ///

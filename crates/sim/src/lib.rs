@@ -34,6 +34,7 @@ pub mod ccd_sim;
 pub mod compiled;
 pub mod elaborate;
 pub mod error;
+pub mod report;
 pub mod simulate;
 pub mod stimulus;
 

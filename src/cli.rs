@@ -44,6 +44,7 @@ from_error!(
     automode_transform::TransformError,
     automode_ascet::AscetError,
     automode_platform::PlatformError,
+    automode_service::ServiceError,
 );
 
 /// The built-in demonstration models.
@@ -517,6 +518,154 @@ fn split_flags(args: &[String]) -> Result<(Vec<&String>, bool), CliError> {
     Ok((pos, explain))
 }
 
+/// `automode sweep <model> [count] [ticks]` — loopback smoke run of the
+/// scenario-sweep service: start a server on an ephemeral port, submit
+/// the named built-in model as a sweep over real HTTP, stream the
+/// results back, and report the sweep and cache/pool counters.
+///
+/// # Errors
+///
+/// Unknown models, rejected requests, truncated streams.
+pub fn cmd_sweep(model_name: &str, count: usize, ticks: usize) -> Result<String, CliError> {
+    use automode_core::json::JsonWriter;
+    use automode_core::types::DataType;
+
+    let (m, id) = build_model(model_name)?;
+    let text = automode_core::text::to_text(&m);
+    let mut w = JsonWriter::with_capacity(text.len() + 512);
+    w.begin_object();
+    w.field("model").string(&text);
+    w.field("count").uint(count as u64);
+    w.field("ticks").uint(ticks as u64);
+    w.field("lanes").uint(8);
+    w.field("inputs");
+    w.begin_array();
+    for p in m.component(id).inputs() {
+        w.begin_object();
+        w.field("port").string(&p.name);
+        match &p.ty {
+            DataType::Bool => {
+                w.field("kind").string("constant");
+                w.field("value").boolean(true);
+            }
+            DataType::Enum(e) => {
+                w.field("kind").string("constant");
+                w.field("value").string(&e.literals[0]);
+            }
+            _ => {
+                w.field("kind").string("ramp");
+                w.field("from").number(0.0);
+                w.field("to").number(1.0);
+                w.field("to_step").number(0.25);
+            }
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let body = w.finish();
+
+    let server = automode_service::serve(automode_service::ServerConfig {
+        oracle_every: 2,
+        ..automode_service::ServerConfig::default()
+    })
+    .map_err(|e| CliError(format!("bind failed: {e}")))?;
+    let resp = automode_service::post_sweep(server.addr(), &body)?;
+    let (_, stats_body) = automode_service::get(server.addr(), "/stats")?;
+    server.shutdown();
+
+    if resp.status != 200 {
+        return Err(CliError(format!(
+            "sweep rejected ({}): {}",
+            resp.status,
+            resp.lines.join(" ")
+        )));
+    }
+    if !resp.complete {
+        return Err(CliError("truncated sweep stream".into()));
+    }
+    let parse_line = |l: &str| automode_service::json::parse(l).map_err(CliError);
+    let header = parse_line(&resp.lines[0])?;
+    let sweep = header
+        .get("sweep")
+        .ok_or_else(|| CliError("missing sweep header line".into()))?;
+    let done = parse_line(
+        resp.lines
+            .last()
+            .ok_or_else(|| CliError("empty sweep stream".into()))?,
+    )?;
+    let done = done
+        .get("done")
+        .ok_or_else(|| CliError("missing done line".into()))?;
+    let stats = parse_line(&stats_body)?;
+    let uint = |v: Option<&automode_service::Json>| v.and_then(|v| v.as_u64()).unwrap_or(0);
+    let text_of =
+        |v: Option<&automode_service::Json>| v.and_then(|v| v.as_str()).unwrap_or("?").to_string();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario sweep: {model_name}");
+    let _ = writeln!(
+        out,
+        "  scenarios: {}  lanes: {}  shards: {}",
+        uint(sweep.get("scenarios")),
+        uint(sweep.get("lanes")),
+        uint(sweep.get("shards"))
+    );
+    let _ = writeln!(
+        out,
+        "  cache: {}  model hash: {}",
+        text_of(sweep.get("cache")),
+        text_of(sweep.get("model_hash"))
+    );
+    let _ = writeln!(
+        out,
+        "  status: {}  oracle shards: {}  divergences: {}",
+        text_of(done.get("status")),
+        uint(done.get("oracle_shards")),
+        uint(done.get("oracle_divergences"))
+    );
+    let _ = writeln!(
+        out,
+        "  scenario lines: {}  elapsed: {} us",
+        resp.lines.len().saturating_sub(2),
+        uint(done.get("elapsed_us"))
+    );
+    let cache = stats.get("cache");
+    let pool = stats.get("pool");
+    let _ = writeln!(
+        out,
+        "  server: cache {} miss / {} hit, pool {} jobs / {} steals",
+        uint(cache.and_then(|c| c.get("misses"))),
+        uint(cache.and_then(|c| c.get("hits"))),
+        uint(pool.and_then(|p| p.get("executed"))),
+        uint(pool.and_then(|p| p.get("steals")))
+    );
+    Ok(out)
+}
+
+/// `automode serve [addr]` — run the scenario-sweep service until the
+/// process is killed. Streams the bound address to `out`, then blocks.
+///
+/// # Errors
+///
+/// Bind and write failures.
+pub fn cmd_serve_to<W: std::io::Write>(addr: &str, out: &mut W) -> Result<(), CliError> {
+    let server = automode_service::serve(automode_service::ServerConfig {
+        addr: addr.to_string(),
+        ..automode_service::ServerConfig::default()
+    })
+    .map_err(|e| CliError(format!("bind failed: {e}")))?;
+    writeln!(out, "sweep service listening on http://{}", server.addr())
+        .map_err(|e| CliError(format!("write failed: {e}")))?;
+    out.flush()
+        .map_err(|e| CliError(format!("flush failed: {e}")))?;
+    // Serve until killed; graceful shutdown runs in the Server drop when
+    // the process unwinds.
+    loop {
+        std::thread::park();
+    }
+}
+
 /// Top-level dispatch used by the binary. `args` excludes the program name.
 ///
 /// # Errors
@@ -524,12 +673,17 @@ fn split_flags(args: &[String]) -> Result<(Vec<&String>, bool), CliError> {
 /// Returns usage or command errors for the binary to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage =
-        "usage: automode <list|validate|rules|simulate|dot|export|reengineer|deploy|cosim> [args]\n\
+        "usage: automode <list|validate|rules|simulate|sweep|serve|dot|export|reengineer|deploy|cosim> [args]\n\
                  \n  list                      list built-in models\
                  \n  validate <model> [level]  check FAA/FDA conditions (default fda)\
                  \n  rules <model>             FAA design-rule findings\
                  \n  simulate <model> [ticks]  run with a default stimulus (default 20)\
                  \n                            [--explain-plan] print the execution plan\
+                 \n  sweep <model> [n] [ticks] loopback smoke run of the sweep service:\
+                 \n                            n scenarios (default 64) through the compiled-model\
+                 \n                            cache + work-stealing batch pool (default 60 ticks)\
+                 \n  serve [addr]              run the scenario-sweep HTTP service until killed\
+                 \n                            (default 127.0.0.1:8080)\
                  \n  dot <model>               Graphviz rendering of the root notation\
                  \n  export <model>            serialize the model as .amdl text\
                  \n  check <file.amdl> [level] parse + validate an external model file\
@@ -585,6 +739,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .unwrap_or(20);
             cmd_vcd(model, ticks)
         }
+        Some("sweep") => {
+            let model = args.get(1).ok_or_else(|| CliError(usage.into()))?;
+            let count = args
+                .get(2)
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| CliError(format!("bad scenario count: {e}")))?
+                .unwrap_or(64);
+            let ticks = args
+                .get(3)
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| CliError(format!("bad tick count: {e}")))?
+                .unwrap_or(60);
+            cmd_sweep(model, count, ticks)
+        }
+        Some("serve") => Err(CliError(
+            "serve blocks forever; it is dispatched by the automode binary (run_to)".into(),
+        )),
         Some("reengineer") => cmd_reengineer(),
         Some("deploy") => cmd_deploy(),
         Some("cosim") => {
@@ -622,6 +795,10 @@ pub fn run_to<W: std::io::Write>(args: &[String], out: &mut W) -> Result<(), Cli
             .unwrap_or(20);
         return cmd_vcd_to(model, ticks, out);
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:8080");
+        return cmd_serve_to(addr, out);
+    }
     let report = run(args)?;
     out.write_all(report.as_bytes())
         .map_err(|e| CliError(format!("write failed: {e}")))
@@ -637,6 +814,22 @@ mod tests {
         for (name, _) in MODELS {
             assert!(out.contains(name), "missing {name}");
         }
+    }
+
+    #[test]
+    fn sweep_smoke_runs_the_service_loopback() {
+        let out = run(&[
+            "sweep".to_string(),
+            "momentum".to_string(),
+            "12".to_string(),
+            "20".to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("scenarios: 12"), "{out}");
+        assert!(out.contains("status: ok"), "{out}");
+        assert!(out.contains("divergences: 0"), "{out}");
+        assert!(out.contains("scenario lines: 12"), "{out}");
+        assert!(out.contains("cache: miss"), "{out}");
     }
 
     #[test]

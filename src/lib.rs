@@ -16,6 +16,8 @@
 //! * [`engine`] — the gasoline-engine control case study of the paper's
 //!   Sec. 5, plus the door-lock (Fig. 1) and momentum-controller (Fig. 5)
 //!   models.
+//! * [`service`] — the scenario-sweep service: HTTP/JSON API over a
+//!   sharded compiled-model cache and a work-stealing K-lane batch pool.
 //!
 //! See `examples/quickstart.rs` for a tour and `DESIGN.md` / `EXPERIMENTS.md`
 //! for the experiment index.
@@ -30,5 +32,6 @@ pub use automode_engine as engine;
 pub use automode_kernel as kernel;
 pub use automode_lang as lang;
 pub use automode_platform as platform;
+pub use automode_service as service;
 pub use automode_sim as sim;
 pub use automode_transform as transform;
