@@ -1,0 +1,183 @@
+//! Coverage-guided exploration throughput and efficiency on the
+//! reengineered engine model.
+//!
+//! Two questions, one harness:
+//!
+//! * **Throughput** — scenarios/second through the full explorer loop
+//!   (seeded generation, batched execution, coverage scoring, archive
+//!   maintenance, violation shrinking), i.e. what a `POST /explore`
+//!   request costs per scenario of budget.
+//! * **Efficiency** — transition coverage per scenario budget, guided
+//!   vs the pure-random baseline at identical budgets, averaged over a
+//!   pinned seed set. This is the number the roadmap gate is about: the
+//!   MAP-Elites archive + boundary-snap mutations must buy coverage,
+//!   not just burn cycles.
+//!
+//! Writes `BENCH_explore.json` at the repository root.
+//!
+//! Env knobs: `AUTOMODE_BENCH_QUICK=1` shrinks the workload for CI;
+//! `AUTOMODE_BENCH_ENFORCE=1` exits nonzero unless guided mean
+//! transition coverage is >= the random baseline's.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use automode_explore::{
+    exact_output_monitor, explore, DirectRunner, ExploreConfig, ScenarioSpace, Shrinker,
+};
+use automode_sim::CompiledSim;
+
+struct Side {
+    scenarios: u64,
+    secs: f64,
+    mean_states: f64,
+    mean_transitions: f64,
+    repros: u64,
+}
+
+impl Side {
+    fn scenarios_per_second(&self) -> f64 {
+        self.scenarios as f64 / self.secs
+    }
+}
+
+fn run_side(
+    runner: &DirectRunner,
+    shrinker: &Shrinker,
+    space: &ScenarioSpace,
+    seeds: &[u64],
+    generations: usize,
+    population: usize,
+    guided: bool,
+) -> Side {
+    let mut scenarios = 0u64;
+    let mut states = 0usize;
+    let mut transitions = 0usize;
+    let mut repros = 0u64;
+    let start = Instant::now();
+    for &seed in seeds {
+        let cfg = ExploreConfig {
+            seed,
+            generations,
+            population,
+            guided,
+            max_repros: 4,
+        };
+        let report = explore(runner, Some(shrinker), space, &cfg, |_| {});
+        scenarios += report.scenarios_run() as u64;
+        let (s, t) = report.final_coverage();
+        states += s;
+        transitions += t;
+        repros += report.repros.len() as u64;
+    }
+    Side {
+        scenarios,
+        secs: start.elapsed().as_secs_f64(),
+        mean_states: states as f64 / seeds.len() as f64,
+        mean_transitions: transitions as f64 / seeds.len() as f64,
+        repros,
+    }
+}
+
+fn report(side: &str, m: &Side) {
+    println!(
+        "explore_throughput/{side:<7} {:>8.1} scen/s   ({} scenarios, {:.3}s)   mean coverage: {:.2} states, {:.2} transitions   repros: {}",
+        m.scenarios_per_second(),
+        m.scenarios,
+        m.secs,
+        m.mean_states,
+        m.mean_transitions,
+        m.repros
+    );
+}
+
+fn main() {
+    let quick = std::env::var("AUTOMODE_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let enforce = std::env::var("AUTOMODE_BENCH_ENFORCE").is_ok_and(|v| v == "1");
+    // The gate budget (generations 6 x population 4 at 8 ticks) is the
+    // CLI default; the full bench widens the seed set for a stabler mean.
+    let (seeds, generations, population, ticks) = if quick {
+        ((0..5u64).collect::<Vec<_>>(), 6, 4, 8)
+    } else {
+        ((0..20u64).collect::<Vec<_>>(), 6, 4, 8)
+    };
+
+    let eng = automode_engine::reengineer_engine().expect("reengineer engine");
+    let sim = Arc::new(CompiledSim::new(&eng.model, eng.root).expect("compile"));
+    let monitor = exact_output_monitor(&eng.model, eng.root);
+    let runner = DirectRunner::new(sim.clone()).with_monitor(monitor.clone());
+    let shrinker = Shrinker::new(&sim).with_monitor(monitor);
+    let space = ScenarioSpace::from_component(&eng.model, eng.root, ticks)
+        .with_range("rpm", 0.0, 7000.0)
+        .with_range("throttle", 0.0, 1.0)
+        .with_range("o2", 0.0, 2.0);
+
+    let guided = run_side(
+        &runner,
+        &shrinker,
+        &space,
+        &seeds,
+        generations,
+        population,
+        true,
+    );
+    report("guided", &guided);
+    let random = run_side(
+        &runner,
+        &shrinker,
+        &space,
+        &seeds,
+        generations,
+        population,
+        false,
+    );
+    report("random", &random);
+
+    let advantage = guided.mean_transitions - random.mean_transitions;
+    println!(
+        "explore_throughput/advantage  guided - random mean transitions at equal budget: {advantage:+.2}"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"explore_throughput\",\n",
+            "  \"unit\": \"scenarios_per_second\",\n",
+            "  \"model\": \"engine\",\n",
+            "  \"generations\": {generations},\n",
+            "  \"population\": {population},\n",
+            "  \"ticks\": {ticks},\n",
+            "  \"seeds\": {nseeds},\n",
+            "  \"quick\": {quick},\n",
+            "  \"guided\": {{ \"scenarios_per_second\": {g_tp:.1}, \"mean_states\": {g_s:.2}, \"mean_transitions\": {g_t:.2}, \"repros\": {g_r} }},\n",
+            "  \"random\": {{ \"scenarios_per_second\": {r_tp:.1}, \"mean_states\": {r_s:.2}, \"mean_transitions\": {r_t:.2}, \"repros\": {r_r} }},\n",
+            "  \"guided_transition_advantage\": {advantage:.2}\n",
+            "}}\n"
+        ),
+        generations = generations,
+        population = population,
+        ticks = ticks,
+        nseeds = seeds.len(),
+        quick = quick,
+        g_tp = guided.scenarios_per_second(),
+        g_s = guided.mean_states,
+        g_t = guided.mean_transitions,
+        g_r = guided.repros,
+        r_tp = random.scenarios_per_second(),
+        r_s = random.mean_states,
+        r_t = random.mean_transitions,
+        r_r = random.repros,
+        advantage = advantage,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    std::fs::write(path, &json).expect("write BENCH_explore.json");
+    println!("wrote {path}");
+
+    if enforce && advantage < 0.0 {
+        eprintln!(
+            "ENFORCE: guided mean transition coverage {:.2} fell below random baseline {:.2}",
+            guided.mean_transitions, random.mean_transitions
+        );
+        std::process::exit(1);
+    }
+}

@@ -72,7 +72,7 @@ pub mod types;
 
 pub use ccd::{Ccd, CcdChannel, Cluster, FixedPriorityDataIntegrityPolicy, TargetPolicy};
 pub use error::CoreError;
-pub use json::{fnv1a_64, JsonWriter};
+pub use json::{fnv1a_64, parse as parse_json, Json, JsonWriter};
 pub use levels::AbstractionLevel;
 pub use metrics::{LatencyHistogram, ModelMetrics, RobustnessMetrics};
 pub use model::{

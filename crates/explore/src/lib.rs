@@ -1,0 +1,43 @@
+//! # automode-explore
+//!
+//! Coverage-guided exploration of the fault × stimulus space of a
+//! compiled AutoMoDe model, with automatic shrinking of every finding to
+//! a minimal, deterministic, replayable repro.
+//!
+//! The paper validates functional architectures by simulating
+//! "prototypical behavioral descriptions" against representative stimuli
+//! (Sec. 3.1) and hardens LA designs with fault-injected robustness
+//! analyses. This crate closes the loop between the two: instead of
+//! hand-picked drive cycles, a generational search *discovers* stimuli
+//! and fault injections that reach unvisited modes and states.
+//!
+//! * [`scenario`] — the genome: per-input stimulus genes × fault genes,
+//!   JSON round-trippable ([`Scenario`]).
+//! * [`space`] — the typed search space derived from a component's port
+//!   declarations, with seeded generation and mutation
+//!   ([`ScenarioSpace`]).
+//! * [`explore`](mod@explore) — the generational novelty loop over
+//!   batched, coverage-instrumented runs ([`explore()`],
+//!   [`DirectRunner`]).
+//! * [`shrink`] — the minimizer: violations are re-validated on the
+//!   non-vectorized executor and greedily reduced while the violation
+//!   signature is preserved ([`Shrinker`]).
+//!
+//! Everything is a pure function of the configured seed: same seed, same
+//! scenarios, same coverage curve, same repros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod scenario;
+pub mod shrink;
+pub mod space;
+
+pub use crate::explore::{
+    exact_output_monitor, explore, DirectRunner, ExploreConfig, ExploreReport, GenerationStats,
+    LaneOutcome, PopulationRunner, Repro,
+};
+pub use crate::scenario::{FaultGene, FaultGeneKind, Scenario, Stim};
+pub use crate::shrink::{signature_of_error, signature_of_report, Shrinker};
+pub use crate::space::{PortProfile, PortShape, ScenarioSpace};

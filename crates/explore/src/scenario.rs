@@ -1,0 +1,689 @@
+//! Replayable scenario encoding: stimulus genes × fault genes.
+//!
+//! A [`Scenario`] is the explorer's genome — a compact, mutable, *fully
+//! deterministic* description of one simulation lane: per-input stimulus
+//! shapes ([`Stim`]) plus fault injections ([`FaultGene`]) over the stable
+//! elaborator naming surface (input ports and observed output signals).
+//! Scenarios round-trip through JSON so every violation the explorer finds
+//! ships as a replayable `.json` file next to its golden trace.
+
+use automode_core::json::{parse, Json, JsonWriter};
+use automode_kernel::{Corruptor, FaultKind, Message, Stream, Value};
+use automode_sim::stimulus;
+
+/// One input port's stimulus, described compactly enough to mutate,
+/// shrink, and serialize. Expansion to a [`Stream`] is deterministic:
+/// random shapes carry their own seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stim {
+    /// Present every tick with a constant float.
+    ConstFloat(f64),
+    /// Present every tick with a constant int.
+    ConstInt(i64),
+    /// Present every tick with a constant bool.
+    ConstBool(bool),
+    /// Present every tick with a constant enum literal.
+    ConstSym(String),
+    /// Linear float ramp over the scenario's full tick range.
+    Ramp {
+        /// Value at tick 0.
+        from: f64,
+        /// Value at the last tick.
+        to: f64,
+    },
+    /// Float step: `before` until tick `at`, then `after`.
+    Step {
+        /// Value before the step.
+        before: f64,
+        /// Value at and after the step.
+        after: f64,
+        /// First tick carrying `after`.
+        at: usize,
+    },
+    /// Seeded uniform floats in `[lo, hi]`.
+    RandomFloat {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+        /// RNG seed; same seed, same stream.
+        seed: u64,
+    },
+    /// Seeded uniform ints in `[lo, hi]`.
+    RandomInt {
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Seeded random bools, `true` with probability `p`.
+    RandomBool {
+        /// Probability of `true` per tick.
+        p: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Enum literals cycling through `symbols`, present once per `period`
+    /// ticks (at phase `phase`), absent in between.
+    SporadicSym {
+        /// Literals to cycle through (never empty).
+        symbols: Vec<String>,
+        /// Tick period between deliveries (clamped to ≥ 1).
+        period: usize,
+        /// Delivery offset within the period.
+        phase: usize,
+    },
+    /// No messages at all — the fully shrunk stimulus.
+    Absent,
+    /// `first`'s stream up to (excluding) tick `at`, `second`'s stream
+    /// from `at` on. The explorer's key mutation: it preserves the exact
+    /// trajectory prefix that earned a parent its elite slot while
+    /// resampling the suffix past the coverage frontier.
+    Splice {
+        /// First tick taken from `second`.
+        at: usize,
+        /// Prefix gene.
+        first: Box<Stim>,
+        /// Suffix gene.
+        second: Box<Stim>,
+    },
+}
+
+impl Stim {
+    /// Expands the gene to a concrete stream of exactly `ticks` messages.
+    pub fn stream(&self, ticks: usize) -> Stream {
+        match self {
+            Stim::ConstFloat(v) => stimulus::constant(Value::Float(*v), ticks),
+            Stim::ConstInt(v) => stimulus::constant(Value::Int(*v), ticks),
+            Stim::ConstBool(v) => stimulus::constant(Value::Bool(*v), ticks),
+            Stim::ConstSym(s) => stimulus::constant(Value::sym(s.clone()), ticks),
+            Stim::Ramp { from, to } => stimulus::ramp(*from, *to, ticks),
+            Stim::Step { before, after, at } => {
+                stimulus::step(Value::Float(*before), Value::Float(*after), *at, ticks)
+            }
+            Stim::RandomFloat { lo, hi, seed } => stimulus::seeded_random(*lo, *hi, ticks, *seed),
+            Stim::RandomInt { lo, hi, seed } => {
+                use rand::rngs::StdRng;
+                use rand::{Rng, SeedableRng};
+                let mut rng = StdRng::seed_from_u64(*seed);
+                (0..ticks)
+                    .map(|_| Message::present(Value::Int(rng.gen_range(*lo..=*hi))))
+                    .collect()
+            }
+            Stim::RandomBool { p, seed } => stimulus::seeded_random_bool(*p, ticks, *seed),
+            Stim::SporadicSym {
+                symbols,
+                period,
+                phase,
+            } => {
+                let period = (*period).max(1);
+                (0..ticks)
+                    .map(|t| {
+                        if t % period == phase % period && !symbols.is_empty() {
+                            Message::present(Value::sym(
+                                symbols[(t / period) % symbols.len()].clone(),
+                            ))
+                        } else {
+                            Message::Absent
+                        }
+                    })
+                    .collect()
+            }
+            Stim::Absent => (0..ticks).map(|_| Message::Absent).collect(),
+            Stim::Splice { at, first, second } => {
+                let a = first.stream(ticks);
+                let b = second.stream(ticks);
+                a.iter()
+                    .take((*at).min(ticks))
+                    .chain(b.iter().skip((*at).min(ticks)))
+                    .cloned()
+                    .collect()
+            }
+        }
+    }
+
+    /// Gene nesting depth (1 for leaves); mutation caps splice stacking.
+    pub fn depth(&self) -> usize {
+        match self {
+            Stim::Splice { first, second, .. } => 1 + first.depth().max(second.depth()),
+            _ => 1,
+        }
+    }
+
+    fn write(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        match self {
+            Stim::ConstFloat(v) => {
+                w.field("kind")
+                    .string("const_float")
+                    .field("value")
+                    .number(*v);
+            }
+            Stim::ConstInt(v) => {
+                w.field("kind")
+                    .string("const_int")
+                    .field("value")
+                    .number(*v as f64);
+            }
+            Stim::ConstBool(v) => {
+                w.field("kind")
+                    .string("const_bool")
+                    .field("value")
+                    .boolean(*v);
+            }
+            Stim::ConstSym(s) => {
+                w.field("kind").string("const_sym").field("value").string(s);
+            }
+            Stim::Ramp { from, to } => {
+                w.field("kind").string("ramp");
+                w.field("from").number(*from).field("to").number(*to);
+            }
+            Stim::Step { before, after, at } => {
+                w.field("kind").string("step");
+                w.field("before")
+                    .number(*before)
+                    .field("after")
+                    .number(*after);
+                w.field("at").uint(*at as u64);
+            }
+            Stim::RandomFloat { lo, hi, seed } => {
+                w.field("kind").string("random_float");
+                w.field("lo").number(*lo).field("hi").number(*hi);
+                w.field("seed").uint(*seed);
+            }
+            Stim::RandomInt { lo, hi, seed } => {
+                w.field("kind").string("random_int");
+                w.field("lo")
+                    .number(*lo as f64)
+                    .field("hi")
+                    .number(*hi as f64);
+                w.field("seed").uint(*seed);
+            }
+            Stim::RandomBool { p, seed } => {
+                w.field("kind").string("random_bool");
+                w.field("p").number(*p).field("seed").uint(*seed);
+            }
+            Stim::SporadicSym {
+                symbols,
+                period,
+                phase,
+            } => {
+                w.field("kind").string("sporadic_sym");
+                w.field("symbols").begin_array();
+                for s in symbols {
+                    w.string(s);
+                }
+                w.end_array();
+                w.field("period").uint(*period as u64);
+                w.field("phase").uint(*phase as u64);
+            }
+            Stim::Absent => {
+                w.field("kind").string("absent");
+            }
+            Stim::Splice { at, first, second } => {
+                w.field("kind").string("splice");
+                w.field("at").uint(*at as u64);
+                w.field("first");
+                first.write(w);
+                w.field("second");
+                second.write(w);
+            }
+        }
+        w.end_object();
+    }
+
+    fn read(j: &Json) -> Result<Stim, String> {
+        let kind = j
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("stim missing \"kind\"")?;
+        let f = |key: &str| -> Result<f64, String> {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("stim {kind:?} missing number {key:?}"))
+        };
+        let u = |key: &str| -> Result<u64, String> {
+            j.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stim {kind:?} missing uint {key:?}"))
+        };
+        Ok(match kind {
+            "const_float" => Stim::ConstFloat(f("value")?),
+            "const_int" => Stim::ConstInt(f("value")? as i64),
+            "const_bool" => Stim::ConstBool(
+                j.get("value")
+                    .and_then(Json::as_bool)
+                    .ok_or("const_bool missing bool \"value\"")?,
+            ),
+            "const_sym" => Stim::ConstSym(
+                j.get("value")
+                    .and_then(Json::as_str)
+                    .ok_or("const_sym missing string \"value\"")?
+                    .to_string(),
+            ),
+            "ramp" => Stim::Ramp {
+                from: f("from")?,
+                to: f("to")?,
+            },
+            "step" => Stim::Step {
+                before: f("before")?,
+                after: f("after")?,
+                at: u("at")? as usize,
+            },
+            "random_float" => Stim::RandomFloat {
+                lo: f("lo")?,
+                hi: f("hi")?,
+                seed: u("seed")?,
+            },
+            "random_int" => Stim::RandomInt {
+                lo: f("lo")? as i64,
+                hi: f("hi")? as i64,
+                seed: u("seed")?,
+            },
+            "random_bool" => Stim::RandomBool {
+                p: f("p")?,
+                seed: u("seed")?,
+            },
+            "sporadic_sym" => Stim::SporadicSym {
+                symbols: j
+                    .get("symbols")
+                    .and_then(Json::as_array)
+                    .ok_or("sporadic_sym missing array \"symbols\"")?
+                    .iter()
+                    .map(|s| s.as_str().map(str::to_string).ok_or("symbol not a string"))
+                    .collect::<Result<_, _>>()?,
+                period: u("period")? as usize,
+                phase: u("phase")? as usize,
+            },
+            "absent" => Stim::Absent,
+            "splice" => Stim::Splice {
+                at: u("at")? as usize,
+                first: Box::new(Stim::read(
+                    j.get("first").ok_or("splice missing \"first\"")?,
+                )?),
+                second: Box::new(Stim::read(
+                    j.get("second").ok_or("splice missing \"second\"")?,
+                )?),
+            },
+            other => return Err(format!("unknown stim kind {other:?}")),
+        })
+    }
+}
+
+/// A fault injection gene: which signal, and which [`FaultKind`]-shaped
+/// mutation. Value-bearing kinds are split by type so the generator can
+/// stay type-correct (a `StuckFloat` on a bool signal would poison the
+/// whole batch with a type error instead of producing a finding).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultGeneKind {
+    /// Drop every `every`-th delivery (at `phase`).
+    Drop {
+        /// Drop period (≥ 1).
+        every: u64,
+        /// Offset of the dropped tick within the period.
+        phase: u64,
+    },
+    /// Replace every present value with a constant float.
+    StuckFloat(f64),
+    /// Replace every present value with a constant bool.
+    StuckBool(bool),
+    /// Delay deliveries by `n` ticks through a ring buffer.
+    Delay(usize),
+    /// Seeded jitter: deliveries held back with probability `hold`.
+    Jitter {
+        /// RNG seed.
+        seed: u64,
+        /// Hold probability in `[0, 1)`.
+        hold: f64,
+    },
+    /// Scale float values by a factor.
+    CorruptScale(f64),
+    /// Offset float values by a constant.
+    CorruptOffset(f64),
+}
+
+impl FaultGeneKind {
+    /// The kernel fault this gene expands to.
+    pub fn to_fault_kind(&self) -> FaultKind {
+        match self {
+            FaultGeneKind::Drop { every, phase } => FaultKind::drop_every((*every).max(1), *phase),
+            FaultGeneKind::StuckFloat(v) => FaultKind::StuckAt(Value::Float(*v)),
+            FaultGeneKind::StuckBool(v) => FaultKind::StuckAt(Value::Bool(*v)),
+            FaultGeneKind::Delay(n) => FaultKind::Delay(*n),
+            FaultGeneKind::Jitter { seed, hold } => FaultKind::Jitter {
+                seed: *seed,
+                hold: *hold,
+            },
+            FaultGeneKind::CorruptScale(f) => FaultKind::Corrupt(Corruptor::scale(*f)),
+            FaultGeneKind::CorruptOffset(f) => FaultKind::Corrupt(Corruptor::offset(*f)),
+        }
+    }
+}
+
+/// A fault gene: a target signal name (input port or observed output
+/// signal, resolved exactly like
+/// [`CompiledSim::set_faults`](automode_sim::CompiledSim::set_faults)) plus
+/// the fault shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultGene {
+    /// The faulted signal.
+    pub signal: String,
+    /// The fault shape.
+    pub kind: FaultGeneKind,
+}
+
+impl FaultGene {
+    fn write(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field("signal").string(&self.signal);
+        match &self.kind {
+            FaultGeneKind::Drop { every, phase } => {
+                w.field("kind").string("drop");
+                w.field("every").uint(*every).field("phase").uint(*phase);
+            }
+            FaultGeneKind::StuckFloat(v) => {
+                w.field("kind")
+                    .string("stuck_float")
+                    .field("value")
+                    .number(*v);
+            }
+            FaultGeneKind::StuckBool(v) => {
+                w.field("kind")
+                    .string("stuck_bool")
+                    .field("value")
+                    .boolean(*v);
+            }
+            FaultGeneKind::Delay(n) => {
+                w.field("kind")
+                    .string("delay")
+                    .field("ticks")
+                    .uint(*n as u64);
+            }
+            FaultGeneKind::Jitter { seed, hold } => {
+                w.field("kind").string("jitter");
+                w.field("seed").uint(*seed).field("hold").number(*hold);
+            }
+            FaultGeneKind::CorruptScale(f) => {
+                w.field("kind")
+                    .string("corrupt_scale")
+                    .field("factor")
+                    .number(*f);
+            }
+            FaultGeneKind::CorruptOffset(f) => {
+                w.field("kind")
+                    .string("corrupt_offset")
+                    .field("offset")
+                    .number(*f);
+            }
+        }
+        w.end_object();
+    }
+
+    fn read(j: &Json) -> Result<FaultGene, String> {
+        let signal = j
+            .get("signal")
+            .and_then(Json::as_str)
+            .ok_or("fault missing \"signal\"")?
+            .to_string();
+        let kind = j
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("fault missing \"kind\"")?;
+        let f = |key: &str| -> Result<f64, String> {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("fault {kind:?} missing number {key:?}"))
+        };
+        let u = |key: &str| -> Result<u64, String> {
+            j.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("fault {kind:?} missing uint {key:?}"))
+        };
+        let kind = match kind {
+            "drop" => FaultGeneKind::Drop {
+                every: u("every")?,
+                phase: u("phase")?,
+            },
+            "stuck_float" => FaultGeneKind::StuckFloat(f("value")?),
+            "stuck_bool" => FaultGeneKind::StuckBool(
+                j.get("value")
+                    .and_then(Json::as_bool)
+                    .ok_or("stuck_bool missing bool \"value\"")?,
+            ),
+            "delay" => FaultGeneKind::Delay(u("ticks")? as usize),
+            "jitter" => FaultGeneKind::Jitter {
+                seed: u("seed")?,
+                hold: f("hold")?,
+            },
+            "corrupt_scale" => FaultGeneKind::CorruptScale(f("factor")?),
+            "corrupt_offset" => FaultGeneKind::CorruptOffset(f("offset")?),
+            other => return Err(format!("unknown fault kind {other:?}")),
+        };
+        Ok(FaultGene { signal, kind })
+    }
+}
+
+/// One point in the fault × stimulus space: a deterministic, replayable
+/// simulation scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Number of ticks to execute.
+    pub ticks: usize,
+    /// Per-input stimulus genes, one per declared input port.
+    pub inputs: Vec<(String, Stim)>,
+    /// Fault genes layered on top of the nominal run.
+    pub faults: Vec<FaultGene>,
+}
+
+impl Scenario {
+    /// Expands all stimulus genes to named concrete streams.
+    pub fn streams(&self) -> Vec<(String, Stream)> {
+        self.inputs
+            .iter()
+            .map(|(name, stim)| (name.clone(), stim.stream(self.ticks)))
+            .collect()
+    }
+
+    /// Writes the scenario into an open [`JsonWriter`] (as one object).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field("ticks").uint(self.ticks as u64);
+        w.field("inputs").begin_array();
+        for (name, stim) in &self.inputs {
+            w.begin_object().field("port").string(name).field("stim");
+            stim.write(w);
+            w.end_object();
+        }
+        w.end_array();
+        w.field("faults").begin_array();
+        for fault in &self.faults {
+            fault.write(w);
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// Serializes to a standalone JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Reads a scenario back from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first structural mismatch.
+    pub fn from_json_value(j: &Json) -> Result<Scenario, String> {
+        let ticks = j
+            .get("ticks")
+            .and_then(Json::as_u64)
+            .ok_or("scenario missing uint \"ticks\"")? as usize;
+        let inputs = j
+            .get("inputs")
+            .and_then(Json::as_array)
+            .ok_or("scenario missing array \"inputs\"")?
+            .iter()
+            .map(|entry| {
+                let port = entry
+                    .get("port")
+                    .and_then(Json::as_str)
+                    .ok_or("input missing \"port\"")?
+                    .to_string();
+                let stim = Stim::read(entry.get("stim").ok_or("input missing \"stim\"")?)?;
+                Ok((port, stim))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let faults = j
+            .get("faults")
+            .and_then(Json::as_array)
+            .ok_or("scenario missing array \"faults\"")?
+            .iter()
+            .map(FaultGene::read)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Scenario {
+            ticks,
+            inputs,
+            faults,
+        })
+    }
+
+    /// Parses a scenario from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// On malformed JSON or a structural mismatch.
+    pub fn from_json(src: &str) -> Result<Scenario, String> {
+        Scenario::from_json_value(&parse(src)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario {
+            ticks: 24,
+            inputs: vec![
+                (
+                    "rpm".to_string(),
+                    Stim::RandomFloat {
+                        lo: 0.0,
+                        hi: 6000.0,
+                        seed: 7,
+                    },
+                ),
+                (
+                    "throttle".to_string(),
+                    Stim::Step {
+                        before: 0.0,
+                        after: 0.8,
+                        at: 9,
+                    },
+                ),
+                ("key_on".to_string(), Stim::ConstBool(true)),
+                (
+                    "gear".to_string(),
+                    Stim::SporadicSym {
+                        symbols: vec!["N".to_string(), "D".to_string()],
+                        period: 3,
+                        phase: 1,
+                    },
+                ),
+            ],
+            faults: vec![
+                FaultGene {
+                    signal: "rpm".to_string(),
+                    kind: FaultGeneKind::Delay(2),
+                },
+                FaultGene {
+                    signal: "trq".to_string(),
+                    kind: FaultGeneKind::Drop { every: 3, phase: 0 },
+                },
+                FaultGene {
+                    signal: "throttle".to_string(),
+                    kind: FaultGeneKind::Jitter {
+                        seed: 11,
+                        hold: 0.25,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let sc = sample();
+        let text = sc.to_json();
+        let back = Scenario::from_json(&text).unwrap();
+        assert_eq!(back, sc);
+        // And the re-serialization is byte-stable (canonical form).
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_sized() {
+        let sc = sample();
+        let a = sc.streams();
+        let b = sc.streams();
+        assert_eq!(a, b);
+        for (name, s) in &a {
+            assert_eq!(s.len(), sc.ticks, "stream {name}");
+        }
+    }
+
+    #[test]
+    fn sporadic_sym_cycles_literals_on_phase() {
+        let stim = Stim::SporadicSym {
+            symbols: vec!["A".to_string(), "B".to_string()],
+            period: 2,
+            phase: 1,
+        };
+        let s = stim.stream(6);
+        assert!(s[0].is_absent() && s[2].is_absent() && s[4].is_absent());
+        assert_eq!(s[1].value(), Some(&Value::sym("A")));
+        assert_eq!(s[3].value(), Some(&Value::sym("B")));
+        assert_eq!(s[5].value(), Some(&Value::sym("A")));
+    }
+
+    #[test]
+    fn absent_stim_has_no_messages() {
+        let s = Stim::Absent.stream(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.present_count(), 0);
+    }
+
+    #[test]
+    fn malformed_scenarios_are_rejected_with_context() {
+        assert!(Scenario::from_json("{").is_err());
+        let err = Scenario::from_json(
+            r#"{"ticks": 4, "inputs": [], "faults": [{"signal": "x", "kind": "meteor"}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("meteor"), "{err}");
+        let err = Scenario::from_json(r#"{"inputs": [], "faults": []}"#).unwrap_err();
+        assert!(err.contains("ticks"), "{err}");
+    }
+
+    #[test]
+    fn fault_genes_expand_to_matching_kernel_kinds() {
+        let g = FaultGeneKind::Drop { every: 0, phase: 1 };
+        // Zero periods are clamped so expansion never builds a malformed kernel fault.
+        assert!(matches!(
+            g.to_fault_kind(),
+            FaultKind::Drop { every: 1, phase: 1 }
+        ));
+        assert!(matches!(
+            FaultGeneKind::StuckBool(true).to_fault_kind(),
+            FaultKind::StuckAt(Value::Bool(true))
+        ));
+        assert!(matches!(
+            FaultGeneKind::Delay(3).to_fault_kind(),
+            FaultKind::Delay(3)
+        ));
+    }
+}

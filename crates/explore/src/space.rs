@@ -1,0 +1,562 @@
+//! The searchable scenario space: typed port profiles, seeded generation,
+//! and mutation operators.
+//!
+//! The space is derived once from a component's port declarations
+//! ([`ScenarioSpace::from_component`]): every input port becomes a typed
+//! stimulus dimension, and every input *and* output signal becomes a fault
+//! target. Generation and mutation are both fully driven by a caller-owned
+//! seeded RNG, so an exploration run is a pure function of its seed.
+
+use automode_core::model::{ComponentId, Model};
+use automode_core::types::DataType;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::scenario::{FaultGene, FaultGeneKind, Scenario, Stim};
+
+/// The value shape of a port, reduced to what the generator needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PortShape {
+    /// Float-valued (also covers physical-quantity ports), with the
+    /// generator's value range.
+    Float {
+        /// Lower generation bound.
+        lo: f64,
+        /// Upper generation bound.
+        hi: f64,
+    },
+    /// Int-valued, with the generator's value range.
+    Int {
+        /// Lower generation bound.
+        lo: i64,
+        /// Upper generation bound.
+        hi: i64,
+    },
+    /// Bool-valued.
+    Bool,
+    /// Enum-valued, carrying the declared literals.
+    Sym(Vec<String>),
+}
+
+/// One stimulus dimension: an input port and its shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortProfile {
+    /// The input port name.
+    pub name: String,
+    /// Its value shape.
+    pub shape: PortShape,
+}
+
+/// The fault × stimulus search space of one compiled component.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpace {
+    /// Stimulus dimensions, one per input port (port order).
+    pub inputs: Vec<PortProfile>,
+    /// Fault targets: every input port and output signal, with the shape
+    /// used to keep value faults type-correct.
+    pub fault_targets: Vec<(String, PortShape)>,
+    /// Ticks per generated scenario.
+    pub ticks: usize,
+    /// Maximum simultaneous fault genes per scenario.
+    pub max_faults: usize,
+}
+
+fn shape_of(ty: &DataType, lo: f64, hi: f64) -> PortShape {
+    match ty {
+        DataType::Bool => PortShape::Bool,
+        DataType::Int => PortShape::Int {
+            lo: lo as i64,
+            hi: hi as i64,
+        },
+        DataType::Enum(e) => PortShape::Sym(e.literals.clone()),
+        // Float, Physical, and anything else float-like.
+        _ => PortShape::Float { lo, hi },
+    }
+}
+
+impl ScenarioSpace {
+    /// Builds the space from a component's declared ports. Float and int
+    /// ports default to the `[0, 10]` range; tune per-port with
+    /// [`ScenarioSpace::with_range`].
+    pub fn from_component(model: &Model, component: ComponentId, ticks: usize) -> ScenarioSpace {
+        let comp = model.component(component);
+        let inputs: Vec<PortProfile> = comp
+            .inputs()
+            .map(|p| PortProfile {
+                name: p.name.clone(),
+                shape: shape_of(&p.ty, 0.0, 10.0),
+            })
+            .collect();
+        let mut fault_targets: Vec<(String, PortShape)> = inputs
+            .iter()
+            .map(|p| (p.name.clone(), p.shape.clone()))
+            .collect();
+        for p in comp.outputs() {
+            fault_targets.push((p.name.clone(), shape_of(&p.ty, 0.0, 10.0)));
+        }
+        ScenarioSpace {
+            inputs,
+            fault_targets,
+            ticks,
+            max_faults: 2,
+        }
+    }
+
+    /// Overrides the generation range of a float or int port (applies to
+    /// both the stimulus dimension and the fault-value range). Unknown
+    /// names are ignored. Builder-style.
+    pub fn with_range(mut self, port: &str, lo: f64, hi: f64) -> ScenarioSpace {
+        let retype = |shape: &mut PortShape| match shape {
+            PortShape::Float { lo: l, hi: h } => {
+                *l = lo;
+                *h = hi;
+            }
+            PortShape::Int { lo: l, hi: h } => {
+                *l = lo as i64;
+                *h = hi as i64;
+            }
+            _ => {}
+        };
+        for p in &mut self.inputs {
+            if p.name == port {
+                retype(&mut p.shape);
+            }
+        }
+        for (name, shape) in &mut self.fault_targets {
+            if name == port {
+                retype(shape);
+            }
+        }
+        self
+    }
+
+    /// Sets the maximum simultaneous fault genes. Builder-style.
+    pub fn with_max_faults(mut self, max_faults: usize) -> ScenarioSpace {
+        self.max_faults = max_faults;
+        self
+    }
+
+    fn random_stim(&self, shape: &PortShape, rng: &mut StdRng) -> Stim {
+        match shape {
+            PortShape::Float { lo, hi } => match rng.gen_range(0u32..5) {
+                0 => Stim::ConstFloat(rng.gen_range(*lo..=*hi)),
+                1 => Stim::Ramp {
+                    from: rng.gen_range(*lo..=*hi),
+                    to: rng.gen_range(*lo..=*hi),
+                },
+                2 => Stim::Step {
+                    before: rng.gen_range(*lo..=*hi),
+                    after: rng.gen_range(*lo..=*hi),
+                    at: rng.gen_range(0..self.ticks.max(1)),
+                },
+                _ => Stim::RandomFloat {
+                    lo: *lo,
+                    hi: *hi,
+                    seed: rng.gen_range(0u64..1 << 32),
+                },
+            },
+            PortShape::Int { lo, hi } => match rng.gen_range(0u32..2) {
+                0 => Stim::ConstInt(rng.gen_range(*lo..=*hi)),
+                _ => Stim::RandomInt {
+                    lo: *lo,
+                    hi: *hi,
+                    seed: rng.gen_range(0u64..1 << 32),
+                },
+            },
+            PortShape::Bool => match rng.gen_range(0u32..3) {
+                0 => Stim::ConstBool(true),
+                1 => Stim::ConstBool(false),
+                _ => Stim::RandomBool {
+                    p: rng.gen_range(0.1..=0.9),
+                    seed: rng.gen_range(0u64..1 << 32),
+                },
+            },
+            PortShape::Sym(literals) if literals.is_empty() => Stim::Absent,
+            PortShape::Sym(literals) => match rng.gen_range(0u32..3) {
+                0 => Stim::ConstSym(literals[rng.gen_range(0..literals.len())].clone()),
+                _ => Stim::SporadicSym {
+                    symbols: literals.clone(),
+                    period: rng.gen_range(1..6usize),
+                    phase: rng.gen_range(0..6usize),
+                },
+            },
+        }
+    }
+
+    fn random_fault(&self, rng: &mut StdRng) -> Option<FaultGene> {
+        if self.fault_targets.is_empty() {
+            return None;
+        }
+        let (signal, shape) = &self.fault_targets[rng.gen_range(0..self.fault_targets.len())];
+        // Presence faults apply to any type; value faults must match.
+        let kind = match rng.gen_range(0u32..6) {
+            0 => FaultGeneKind::Drop {
+                every: rng.gen_range(1u64..=4),
+                phase: rng.gen_range(0u64..4),
+            },
+            1 => FaultGeneKind::Delay(rng.gen_range(1usize..=4)),
+            2 => FaultGeneKind::Jitter {
+                seed: rng.gen_range(0u64..1 << 32),
+                hold: rng.gen_range(0.1..0.9),
+            },
+            _ => match shape {
+                PortShape::Float { lo, hi } => match rng.gen_range(0u32..3) {
+                    0 => FaultGeneKind::StuckFloat(rng.gen_range(*lo..=*hi)),
+                    1 => FaultGeneKind::CorruptScale(rng.gen_range(0.25..=4.0)),
+                    _ => FaultGeneKind::CorruptOffset(rng.gen_range(-5.0..=5.0)),
+                },
+                PortShape::Bool => FaultGeneKind::StuckBool(rng.gen_bool(0.5)),
+                // No type-correct value fault for int/enum targets here;
+                // fall back to a presence fault.
+                _ => FaultGeneKind::Delay(rng.gen_range(1usize..=4)),
+            },
+        };
+        Some(FaultGene {
+            signal: signal.clone(),
+            kind,
+        })
+    }
+
+    /// Draws a fresh random scenario.
+    pub fn random(&self, rng: &mut StdRng) -> Scenario {
+        let inputs = self
+            .inputs
+            .iter()
+            .map(|p| (p.name.clone(), self.random_stim(&p.shape, rng)))
+            .collect();
+        let n_faults = rng.gen_range(0..=self.max_faults);
+        let faults = (0..n_faults)
+            .filter_map(|_| self.random_fault(rng))
+            .collect();
+        Scenario {
+            ticks: self.ticks,
+            inputs,
+            faults,
+        }
+    }
+
+    /// Produces a mutated copy of `base`: one or two point mutations over
+    /// stimulus genes and fault genes.
+    pub fn mutate(&self, base: &Scenario, rng: &mut StdRng) -> Scenario {
+        let mut sc = base.clone();
+        let ops = 1 + usize::from(rng.gen_bool(0.4));
+        for _ in 0..ops {
+            self.mutate_once(&mut sc, rng);
+        }
+        sc
+    }
+
+    /// Crosses two parents at a single shared cut point: every input
+    /// follows `a`'s trajectory before the cut and `b`'s after it, so the
+    /// child *switches regimes* mid-run — e.g. a low-rpm prefix into a
+    /// high-rpm suffix crosses a mode boundary that neither parent (nor
+    /// an iid random draw holding one regime) would cross. Fault genes
+    /// come from `b`, the parent governing the suffix the faults act on
+    /// longest. Depth-capped like splice mutation.
+    pub fn crossover(&self, a: &Scenario, b: &Scenario, rng: &mut StdRng) -> Scenario {
+        if self.ticks < 2 {
+            return self.mutate(a, rng);
+        }
+        let at = rng.gen_range(1..self.ticks);
+        let inputs = a
+            .inputs
+            .iter()
+            .zip(&b.inputs)
+            .map(|((name, sa), (_, sb))| {
+                let stim = if sa.depth().max(sb.depth()) < 4 {
+                    Stim::Splice {
+                        at,
+                        first: Box::new(sa.clone()),
+                        second: Box::new(sb.clone()),
+                    }
+                } else {
+                    sb.clone()
+                };
+                (name.clone(), stim)
+            })
+            .collect();
+        Scenario {
+            ticks: self.ticks,
+            inputs,
+            faults: b.faults.clone(),
+        }
+    }
+
+    fn mutate_once(&self, sc: &mut Scenario, rng: &mut StdRng) {
+        // Weighted op mix: prefix-preserving splices dominate (keep the
+        // exact trajectory that earned the parent its elite slot, explore
+        // past it), boundary snaps and in-place perturbation second,
+        // wholesale replacement and fault edits stay rare.
+        match rng.gen_range(0u32..15) {
+            // Replace one stimulus gene wholesale.
+            0 => {
+                if let Some(i) = pick(self.inputs.len(), rng) {
+                    sc.inputs[i].1 = self.random_stim(&self.inputs[i].shape, rng);
+                }
+            }
+            // Splice: keep the prefix, resample the suffix from a random
+            // cut point. Depth-capped so genomes stay shallow.
+            1..=5 => {
+                if let Some(i) = pick(self.inputs.len(), rng) {
+                    let cur = &sc.inputs[i].1;
+                    if cur.depth() < 4 && self.ticks > 1 {
+                        let at = rng.gen_range(1..self.ticks);
+                        let suffix = self.random_stim(&self.inputs[i].shape, rng);
+                        sc.inputs[i].1 = Stim::Splice {
+                            at,
+                            first: Box::new(cur.clone()),
+                            second: Box::new(suffix),
+                        };
+                    } else {
+                        perturb_stim(&mut sc.inputs[i].1, self.ticks, rng);
+                    }
+                }
+            }
+            // Perturb one stimulus gene in place.
+            6..=7 => {
+                if let Some(i) = pick(sc.inputs.len(), rng) {
+                    perturb_stim(&mut sc.inputs[i].1, self.ticks, rng);
+                }
+            }
+            // Add a fault gene.
+            8 if sc.faults.len() < self.max_faults => {
+                if let Some(g) = self.random_fault(rng) {
+                    sc.faults.push(g);
+                }
+            }
+            // Remove a fault gene.
+            9 if !sc.faults.is_empty() => {
+                let i = rng.gen_range(0..sc.faults.len());
+                sc.faults.remove(i);
+            }
+            // Perturb a fault gene's parameters.
+            10 if !sc.faults.is_empty() => {
+                let i = rng.gen_range(0..sc.faults.len());
+                perturb_fault(&mut sc.faults[i].kind, rng);
+            }
+            // Retarget a fault gene (keeping presence kinds; value kinds
+            // are regenerated so they stay type-correct).
+            11 if !sc.faults.is_empty() => {
+                if let Some(g) = self.random_fault(rng) {
+                    let i = rng.gen_range(0..sc.faults.len());
+                    sc.faults[i] = g;
+                }
+            }
+            // Boundary snap: hold a boundary value of the gene's range for
+            // the rest of the run (classic boundary-value analysis — guard
+            // thresholds live at range extremes that uniform draws almost
+            // never sample). Spliced after the parent's prefix so the snap
+            // composes with the trajectory that earned the parent its
+            // archive slot: "get to <mode>, then slam this input".
+            12..=14 => {
+                if let Some(i) = pick(self.inputs.len(), rng) {
+                    if let Some(snap) = boundary_stim(&self.inputs[i].shape, rng) {
+                        let cur = &sc.inputs[i].1;
+                        sc.inputs[i].1 = if cur.depth() < 4 && self.ticks > 1 {
+                            Stim::Splice {
+                                at: rng.gen_range(1..self.ticks),
+                                first: Box::new(cur.clone()),
+                                second: Box::new(snap),
+                            }
+                        } else {
+                            snap
+                        };
+                    } else {
+                        perturb_stim(&mut sc.inputs[i].1, self.ticks, rng);
+                    }
+                }
+            }
+            // The chosen op was a no-op on this genome; fall back to an
+            // in-place perturbation so every mutation changes something.
+            _ => {
+                if let Some(i) = pick(sc.inputs.len(), rng) {
+                    perturb_stim(&mut sc.inputs[i].1, self.ticks, rng);
+                }
+            }
+        }
+    }
+}
+
+/// A boundary value of a numeric gene's range: the endpoints, the
+/// midpoint, or a hair inside either end (guards like `x < 0.01` over a
+/// `[0, 1]` range sit exactly in those slivers). `None` for shapes with
+/// no numeric boundary.
+fn boundary_stim(shape: &PortShape, rng: &mut StdRng) -> Option<Stim> {
+    match shape {
+        PortShape::Float { lo, hi } => {
+            let span = hi - lo;
+            let candidates = [
+                *lo,
+                *hi,
+                (lo + hi) / 2.0,
+                lo + 0.001 * span,
+                hi - 0.001 * span,
+            ];
+            Some(Stim::ConstFloat(
+                candidates[rng.gen_range(0..candidates.len())],
+            ))
+        }
+        PortShape::Int { lo, hi } => {
+            let candidates = [*lo, *hi, (lo + hi) / 2];
+            Some(Stim::ConstInt(
+                candidates[rng.gen_range(0..candidates.len())],
+            ))
+        }
+        PortShape::Bool => Some(Stim::ConstBool(rng.gen_bool(0.5))),
+        PortShape::Sym(_) => None,
+    }
+}
+
+fn pick(len: usize, rng: &mut StdRng) -> Option<usize> {
+    (len > 0).then(|| rng.gen_range(0..len))
+}
+
+fn perturb_stim(stim: &mut Stim, ticks: usize, rng: &mut StdRng) {
+    match stim {
+        Stim::ConstFloat(v) => *v *= rng.gen_range(0.5..=1.5),
+        Stim::ConstInt(v) => *v += rng.gen_range(-2i64..=2),
+        Stim::ConstBool(v) => *v = !*v,
+        Stim::Ramp { from, to } => std::mem::swap(from, to),
+        Stim::Step { at, before, after } => {
+            if rng.gen_bool(0.5) {
+                *at = rng.gen_range(0..ticks.max(1));
+            } else {
+                std::mem::swap(before, after);
+            }
+        }
+        // Re-seed: resample the trajectory, keep the shape and range.
+        Stim::RandomFloat { seed, .. } => *seed = rng.gen_range(0u64..1 << 32),
+        Stim::RandomInt { seed, .. } => *seed = rng.gen_range(0u64..1 << 32),
+        Stim::RandomBool { p, seed } => {
+            if rng.gen_bool(0.5) {
+                *seed = rng.gen_range(0u64..1 << 32);
+            } else {
+                *p = rng.gen_range(0.05..=0.95);
+            }
+        }
+        Stim::SporadicSym { period, phase, .. } => {
+            *period = rng.gen_range(1..6usize);
+            *phase = rng.gen_range(0..6usize);
+        }
+        // Recurse into the suffix most of the time — the prefix is what
+        // the parent was selected for.
+        Stim::Splice { at, first, second } => match rng.gen_range(0u32..10) {
+            0..=5 => perturb_stim(second, ticks, rng),
+            6..=7 => perturb_stim(first, ticks, rng),
+            _ => *at = rng.gen_range(1..ticks.max(2)),
+        },
+        Stim::ConstSym(_) | Stim::Absent => {}
+    }
+}
+
+fn perturb_fault(kind: &mut FaultGeneKind, rng: &mut StdRng) {
+    match kind {
+        FaultGeneKind::Drop { every, phase } => {
+            *every = rng.gen_range(1u64..=5);
+            *phase = rng.gen_range(0..*every);
+        }
+        FaultGeneKind::StuckFloat(v) => *v *= rng.gen_range(0.5..=2.0),
+        FaultGeneKind::StuckBool(v) => *v = !*v,
+        FaultGeneKind::Delay(n) => *n = rng.gen_range(1usize..=5),
+        FaultGeneKind::Jitter { seed, hold } => {
+            *seed = rng.gen_range(0u64..1 << 32);
+            *hold = rng.gen_range(0.1..0.9);
+        }
+        FaultGeneKind::CorruptScale(f) => *f = rng.gen_range(0.25..=4.0),
+        FaultGeneKind::CorruptOffset(f) => *f = rng.gen_range(-5.0..=5.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automode_core::model::{Behavior, Component};
+    use rand::SeedableRng;
+
+    fn space() -> ScenarioSpace {
+        let mut m = Model::new("t");
+        let id = m
+            .add_component(
+                Component::new("C")
+                    .input("x", DataType::Float)
+                    .input("b", DataType::Bool)
+                    .output("y", DataType::Float)
+                    .with_behavior(Behavior::Unspecified),
+            )
+            .unwrap();
+        ScenarioSpace::from_component(&m, id, 16).with_range("x", -1.0, 1.0)
+    }
+
+    #[test]
+    fn space_covers_inputs_and_fault_targets() {
+        let s = space();
+        assert_eq!(s.inputs.len(), 2);
+        assert_eq!(s.fault_targets.len(), 3); // x, b, y
+        assert_eq!(s.inputs[0].shape, PortShape::Float { lo: -1.0, hi: 1.0 });
+        assert_eq!(s.inputs[1].shape, PortShape::Bool);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let s = space();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            assert_eq!(s.random(&mut a), s.random(&mut b));
+        }
+    }
+
+    #[test]
+    fn mutation_is_seed_deterministic_and_changes_the_genome() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = s.random(&mut rng);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut changed = 0;
+        for _ in 0..20 {
+            let ma = s.mutate(&base, &mut a);
+            let mb = s.mutate(&base, &mut b);
+            assert_eq!(ma, mb);
+            if ma != base {
+                changed += 1;
+            }
+        }
+        assert!(
+            changed >= 15,
+            "only {changed}/20 mutations changed the genome"
+        );
+    }
+
+    #[test]
+    fn faults_respect_target_types_and_cap() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let sc = s.random(&mut rng);
+            assert!(sc.faults.len() <= s.max_faults);
+            for g in &sc.faults {
+                let shape = s
+                    .fault_targets
+                    .iter()
+                    .find(|(n, _)| *n == g.signal)
+                    .map(|(_, sh)| sh)
+                    .unwrap();
+                match &g.kind {
+                    FaultGeneKind::StuckFloat(_)
+                    | FaultGeneKind::CorruptScale(_)
+                    | FaultGeneKind::CorruptOffset(_) => {
+                        assert!(
+                            matches!(shape, PortShape::Float { .. }),
+                            "{g:?} on {shape:?}"
+                        );
+                    }
+                    FaultGeneKind::StuckBool(_) => {
+                        assert_eq!(*shape, PortShape::Bool, "{g:?}");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Seed-corpus regression tests: explorer-found violating scenarios,
+//! committed as replayable JSON + golden-trace snapshots.
+//!
+//! Each corpus entry is a pair of files under `tests/corpus/`:
+//!
+//! * `<stem>.json`  — the shrunk scenario, exactly as `Scenario::to_json`
+//!   emits it (the same file the CLI `--repros` flag writes);
+//! * `<stem>.trace` — the golden trace of the violating run.
+//!
+//! The scenario file is the source of truth; the trace is derived. When
+//! an intentional engine change shifts the traces, regenerate them with
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p automode-explore --test corpus_regression
+//! ```
+//!
+//! and review the diff. Signature changes are *not* auto-regenerated:
+//! the expected signature is pinned in the table below, so a corpus
+//! scenario silently ceasing to violate (or violating differently) is
+//! always a loud failure.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use automode_core::model::Model;
+use automode_explore::{exact_output_monitor, Scenario, Shrinker};
+use automode_sim::CompiledSim;
+
+struct Entry {
+    model: &'static str,
+    stem: &'static str,
+    signature: &'static str,
+}
+
+/// The committed corpus: three reengineered-engine findings (stimulus
+/// dropouts and fault-gene combinations starving the strict output
+/// contract) and one door_lock finding (all-silent outputs under an
+/// absent stimulus prefix).
+const CORPUS: &[Entry] = &[
+    Entry {
+        model: "engine",
+        stem: "engine_idle_trim_dropout",
+        signature: "contract:idle_trim",
+    },
+    Entry {
+        model: "engine",
+        stem: "engine_idle_rate_faults",
+        signature: "contract:idle_trim+rate",
+    },
+    Entry {
+        model: "engine",
+        stem: "engine_rpm_sensor_drop",
+        signature: "contract:advance+idle_trim+lam_trim+rate+ti",
+    },
+    Entry {
+        model: "door_lock",
+        stem: "door_lock_silent_outputs",
+        signature: "contract:T1C+T2C+T3C+T4C",
+    },
+];
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn shrinker_for(model_name: &str) -> Shrinker {
+    let (model, root) = match model_name {
+        "engine" => {
+            let eng = automode_engine::reengineer_engine().expect("reengineer engine");
+            (eng.model, eng.root)
+        }
+        "door_lock" => {
+            let mut m = Model::new("door_lock");
+            let id = automode_engine::build_door_lock(&mut m).expect("build door_lock");
+            m.set_root(id);
+            (m, id)
+        }
+        other => panic!("unknown corpus model {other}"),
+    };
+    let sim = Arc::new(CompiledSim::new(&model, root).expect("compile"));
+    let monitor = exact_output_monitor(&model, root);
+    Shrinker::new(&sim).with_monitor(monitor)
+}
+
+/// Every corpus scenario still violates its pinned contract signature,
+/// the violation replays deterministically, and the golden trace matches
+/// the committed snapshot byte for byte.
+#[test]
+fn corpus_scenarios_replay_their_pinned_findings() {
+    let regen = std::env::var_os("GOLDEN_REGEN").is_some_and(|v| v == "1");
+    let dir = corpus_dir();
+    for entry in CORPUS {
+        let json_path = dir.join(format!("{}.json", entry.stem));
+        let trace_path = dir.join(format!("{}.trace", entry.stem));
+        let json = std::fs::read_to_string(&json_path)
+            .unwrap_or_else(|e| panic!("{}: {e}", json_path.display()));
+        let scenario =
+            Scenario::from_json(&json).unwrap_or_else(|e| panic!("{}: {e}", json_path.display()));
+        // The committed file is in canonical form — rewriting it is a
+        // no-op, so hand edits that survive parsing still get flagged.
+        assert_eq!(
+            scenario.to_json(),
+            json,
+            "{}: not in canonical Scenario::to_json form",
+            entry.stem
+        );
+
+        let shrinker = shrinker_for(entry.model);
+        assert_eq!(
+            shrinker.classify(&scenario).as_deref(),
+            Some(entry.signature),
+            "{}: pinned signature no longer reproduces",
+            entry.stem
+        );
+        // Deterministic: a second classification agrees.
+        assert_eq!(
+            shrinker.classify(&scenario).as_deref(),
+            Some(entry.signature),
+            "{}: replay diverged",
+            entry.stem
+        );
+
+        let trace = shrinker
+            .golden_trace(&scenario)
+            .unwrap_or_else(|| panic!("{}: no golden trace", entry.stem));
+        if regen {
+            std::fs::write(&trace_path, &trace)
+                .unwrap_or_else(|e| panic!("{}: {e}", trace_path.display()));
+            continue;
+        }
+        let committed = std::fs::read_to_string(&trace_path)
+            .unwrap_or_else(|e| panic!("{}: {e} (run with GOLDEN_REGEN=1)", trace_path.display()));
+        assert_eq!(
+            trace, committed,
+            "{}: golden trace drifted (GOLDEN_REGEN=1 to regenerate)",
+            entry.stem
+        );
+    }
+}
+
+/// The corpus stays shrunk: every committed scenario is locally minimal
+/// or within one reduction of it — dropping *all* faults or blanking the
+/// stimulus wholesale must lose the finding for the fault-driven entries.
+#[test]
+fn corpus_scenarios_stay_small() {
+    for entry in CORPUS {
+        let dir = corpus_dir();
+        let json = std::fs::read_to_string(dir.join(format!("{}.json", entry.stem))).unwrap();
+        let scenario = Scenario::from_json(&json).unwrap();
+        assert!(
+            scenario.ticks <= 8,
+            "{}: corpus scenario grew past the exploration horizon",
+            entry.stem
+        );
+        assert!(
+            scenario.faults.len() <= 2,
+            "{}: corpus scenario carries {} faults — reshrink it",
+            entry.stem,
+            scenario.faults.len()
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the shrinker: for arbitrary seeded draws from the
+//! engine's scenario space, every violating scenario must shrink to a
+//! repro that (a) still violates the *same* contract signature, (b)
+//! replays deterministically on a fresh oracle, and (c) survives the
+//! JSON round trip byte-for-byte.
+
+use std::sync::Arc;
+
+use automode_explore::{exact_output_monitor, Scenario, ScenarioSpace, Shrinker};
+use automode_sim::CompiledSim;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    space: ScenarioSpace,
+    shrinker: Shrinker,
+    fresh: Shrinker,
+}
+
+fn fixture() -> Fixture {
+    let eng = automode_engine::reengineer_engine().expect("reengineer engine");
+    let sim = Arc::new(CompiledSim::new(&eng.model, eng.root).expect("compile"));
+    let monitor = exact_output_monitor(&eng.model, eng.root);
+    let space = ScenarioSpace::from_component(&eng.model, eng.root, 8)
+        .with_range("rpm", 0.0, 7000.0)
+        .with_range("throttle", 0.0, 1.0)
+        .with_range("o2", 0.0, 2.0);
+    Fixture {
+        space,
+        shrinker: Shrinker::new(&sim).with_monitor(monitor.clone()),
+        fresh: Shrinker::new(&sim).with_monitor(monitor),
+    }
+}
+
+proptest! {
+    // Each case compiles nothing (fixture is rebuilt per case, but the
+    // model is small); keep the count modest so the suite stays quick.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn shrinking_preserves_signature_and_determinism(seed in 0u64..10_000) {
+        let fx = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Draw until a violating scenario turns up (fault genes make them
+        // common under the strict output monitor); give up cleanly if the
+        // seed yields none within the budget.
+        let mut found = None;
+        for _ in 0..40 {
+            let sc = fx.space.random(&mut rng);
+            if let Some(sig) = fx.shrinker.classify(&sc) {
+                found = Some((sc, sig));
+                break;
+            }
+        }
+        let Some((scenario, signature)) = found else { return Ok(()); };
+
+        let repro = fx.shrinker.shrink(&scenario, &signature);
+        prop_assert!(repro.shrunk, "oracle failed to reproduce {signature}");
+        prop_assert!(repro.deterministic, "replay diverged for {signature}");
+        prop_assert_eq!(&repro.signature, &signature);
+
+        // The shrunk scenario is never larger than the original.
+        prop_assert!(repro.scenario.ticks <= scenario.ticks);
+        prop_assert!(repro.scenario.faults.len() <= scenario.faults.len());
+
+        // Same signature on an independently constructed oracle.
+        prop_assert_eq!(
+            fx.fresh.classify(&repro.scenario),
+            Some(signature.clone())
+        );
+
+        // Round-tripping the repro file reproduces the same finding.
+        let reread = Scenario::from_json(&repro.scenario.to_json()).expect("parse");
+        prop_assert_eq!(&reread, &repro.scenario);
+        prop_assert_eq!(fx.fresh.classify(&reread), Some(signature));
+    }
+
+    #[test]
+    fn shrinking_a_clean_scenario_reports_unreproducible(seed in 0u64..10_000) {
+        let fx = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sc = fx.space.random(&mut rng);
+        sc.faults.clear(); // fault-free engine scenarios are clean
+        if fx.shrinker.classify(&sc).is_none() {
+            let repro = fx.shrinker.shrink(&sc, "contract:ti");
+            prop_assert!(!repro.shrunk, "clean scenario must not reproduce");
+            prop_assert!(!repro.deterministic);
+        }
+    }
+}

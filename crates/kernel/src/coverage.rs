@@ -1,0 +1,404 @@
+//! Discrete-state coverage collection for covered runs.
+//!
+//! Mode logic is the analyzable core of the operational model (MTD modes,
+//! STD states), but whether a test workload actually *visits* that
+//! structure is invisible from output traces alone. This module gives the
+//! executors a per-lane coverage currency:
+//!
+//! * A block with discrete state exposes it through
+//!   [`Block::coverage_space`](crate::Block::coverage_space) (its state
+//!   names and declared transitions) and
+//!   [`Block::coverage_state`](crate::Block::coverage_state) (the current
+//!   state index).
+//! * [`CoverageLayout`] collects those sites once per compiled plan, in
+//!   ascending node order — so layouts built by the compiled executor, the
+//!   batch paths, and the [`ReferenceExecutor`](crate::ReferenceExecutor)
+//!   are identical, which is what makes coverage differentially testable.
+//! * [`CoverageMap`] is the per-lane accumulator: one preallocated bitset
+//!   over all states and one over all declared transitions. Observation is
+//!   a compare + two bit-sets — no per-tick allocation, no hashing.
+//!
+//! Observation happens after each *stepped* tick. Quiet stretches the
+//! clock engines fast-forward never step a block, so discrete state cannot
+//! change there and skipping them is exact — the same argument that makes
+//! the fast-forward itself sound.
+//!
+//! Self-loop transitions (declared `from == to` edges) are excluded from
+//! the transition denominator: they produce no observable state change, so
+//! no executor could ever mark them.
+
+use std::sync::Arc;
+
+/// The discrete state space a block exposes for coverage observation.
+///
+/// Returned by [`Block::coverage_space`](crate::Block::coverage_space) once
+/// per compiled plan; the per-tick hot path only ever reads the state
+/// *index* via [`Block::coverage_state`](crate::Block::coverage_state).
+#[derive(Debug, Clone)]
+pub struct CoverageSpace {
+    /// State (or mode) names, indexed by the block's state index.
+    pub states: Vec<String>,
+    /// Declared `(from, to)` transitions. Duplicates and self-loops are
+    /// tolerated here; [`CoverageLayout`] dedupes and drops self-loops.
+    pub transitions: Vec<(usize, usize)>,
+    /// The state index the block starts in after reset.
+    pub initial: usize,
+}
+
+/// One observed block: its node index, name, and normalized state space.
+#[derive(Debug, Clone)]
+pub struct CoverageSite {
+    /// Kernel node index of the block (shared across executors).
+    pub node: usize,
+    /// Block display name (the stable elaborator name, e.g. `mtd:Ctrl`).
+    pub name: String,
+    /// State names, indexed by state index.
+    pub states: Vec<String>,
+    /// Deduped, sorted declared transitions with self-loops removed.
+    pub transitions: Vec<(usize, usize)>,
+    /// Initial state index.
+    pub initial: usize,
+    /// First bit of this site's states in the map's state bitset.
+    state_off: usize,
+    /// First bit of this site's transitions in the map's transition bitset.
+    trans_off: usize,
+}
+
+impl CoverageSite {
+    /// Index of `(from, to)` in this site's transition list, if declared.
+    #[inline]
+    fn transition_index(&self, from: usize, to: usize) -> Option<usize> {
+        self.transitions.binary_search(&(from, to)).ok()
+    }
+}
+
+/// The shared site table of a compiled plan: which nodes are observed and
+/// where their bits live. Built once, shared (`Arc`) by every per-lane
+/// [`CoverageMap`].
+#[derive(Debug, Clone)]
+pub struct CoverageLayout {
+    sites: Vec<CoverageSite>,
+    state_bits: usize,
+    trans_bits: usize,
+}
+
+impl CoverageLayout {
+    /// Builds a layout from `(node index, block name, space)` triples.
+    ///
+    /// Callers must supply sites in ascending node order (both executors
+    /// iterate their node tables in order, so this holds by construction).
+    pub fn new(raw: Vec<(usize, String, CoverageSpace)>) -> CoverageLayout {
+        let mut sites = Vec::with_capacity(raw.len());
+        let mut state_off = 0usize;
+        let mut trans_off = 0usize;
+        for (node, name, space) in raw {
+            let mut transitions: Vec<(usize, usize)> = space
+                .transitions
+                .into_iter()
+                .filter(|(from, to)| from != to)
+                .collect();
+            transitions.sort_unstable();
+            transitions.dedup();
+            let site = CoverageSite {
+                node,
+                name,
+                states: space.states,
+                transitions,
+                initial: space.initial,
+                state_off,
+                trans_off,
+            };
+            state_off += site.states.len();
+            trans_off += site.transitions.len();
+            sites.push(site);
+        }
+        CoverageLayout {
+            sites,
+            state_bits: state_off,
+            trans_bits: trans_off,
+        }
+    }
+
+    /// The observed sites, in ascending node order.
+    pub fn sites(&self) -> &[CoverageSite] {
+        &self.sites
+    }
+
+    /// Total number of states across all sites (the state denominator).
+    pub fn total_states(&self) -> usize {
+        self.state_bits
+    }
+
+    /// Total number of observable declared transitions across all sites.
+    pub fn total_transitions(&self) -> usize {
+        self.trans_bits
+    }
+
+    /// `true` when no block exposes a coverage space.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+}
+
+#[inline]
+fn set_bit(bits: &mut [u64], i: usize) -> bool {
+    let word = &mut bits[i >> 6];
+    let mask = 1u64 << (i & 63);
+    let fresh = *word & mask == 0;
+    *word |= mask;
+    fresh
+}
+
+#[inline]
+fn get_bit(bits: &[u64], i: usize) -> bool {
+    bits[i >> 6] >> (i & 63) & 1 == 1
+}
+
+fn words(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// Popcount of `a & !b` — how many bits of `a` are *not* already in `b`.
+fn count_new(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & !y).count_ones() as usize)
+        .sum()
+}
+
+/// A per-lane coverage accumulator over one [`CoverageLayout`].
+///
+/// Observation marks the current state's bit and, when the state changed
+/// since the last observation, the corresponding declared transition's bit.
+/// All storage is preallocated at construction.
+#[derive(Debug, Clone)]
+pub struct CoverageMap {
+    layout: Arc<CoverageLayout>,
+    state_bits: Vec<u64>,
+    trans_bits: Vec<u64>,
+    /// Last observed state per site — the transition source.
+    last: Vec<usize>,
+}
+
+impl PartialEq for CoverageMap {
+    /// Bit-for-bit equality of covered states, covered transitions, and
+    /// final per-site states — layout identity (`Arc` pointer) is *not*
+    /// required, so maps built by different executors over equal layouts
+    /// compare meaningfully.
+    fn eq(&self, other: &Self) -> bool {
+        self.state_bits == other.state_bits
+            && self.trans_bits == other.trans_bits
+            && self.last == other.last
+    }
+}
+
+impl CoverageMap {
+    /// A fresh map: every site in its initial state (which counts as
+    /// visited — a run observes the initial state by construction).
+    pub fn new(layout: Arc<CoverageLayout>) -> CoverageMap {
+        let mut map = CoverageMap {
+            state_bits: vec![0; words(layout.state_bits)],
+            trans_bits: vec![0; words(layout.trans_bits)],
+            last: layout.sites.iter().map(|s| s.initial).collect(),
+            layout,
+        };
+        map.reset();
+        map
+    }
+
+    /// The shared layout.
+    pub fn layout(&self) -> &Arc<CoverageLayout> {
+        &self.layout
+    }
+
+    /// Clears all covered bits and returns every site to its initial state.
+    pub fn reset(&mut self) {
+        self.state_bits.fill(0);
+        self.trans_bits.fill(0);
+        for (i, site) in self.layout.sites.iter().enumerate() {
+            self.last[i] = site.initial;
+            if !site.states.is_empty() {
+                set_bit(&mut self.state_bits, site.state_off + site.initial);
+            }
+        }
+    }
+
+    /// Observes site `site`'s current `state`: marks it visited and, when
+    /// it differs from the previous observation, marks the
+    /// `(previous, state)` transition if declared. O(log transitions) per
+    /// changed state, O(1) otherwise; never allocates.
+    #[inline]
+    pub fn observe(&mut self, site: usize, state: usize) {
+        let prev = self.last[site];
+        if state == prev {
+            return;
+        }
+        let info = &self.layout.sites[site];
+        set_bit(&mut self.state_bits, info.state_off + state);
+        if let Some(ti) = info.transition_index(prev, state) {
+            set_bit(&mut self.trans_bits, info.trans_off + ti);
+        }
+        self.last[site] = state;
+    }
+
+    /// Observes every site in one pass, reading each site's current state
+    /// through `state_of(node index)` — the executor-side adapter.
+    #[inline]
+    pub fn observe_nodes<F: FnMut(usize) -> usize>(&mut self, mut state_of: F) {
+        for s in 0..self.layout.sites.len() {
+            let state = state_of(self.layout.sites[s].node);
+            self.observe(s, state);
+        }
+    }
+
+    /// Folds `other`'s covered bits into `self` (global accumulation).
+    /// Layouts must have identical shape.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        debug_assert_eq!(self.state_bits.len(), other.state_bits.len());
+        for (a, b) in self.state_bits.iter_mut().zip(&other.state_bits) {
+            *a |= b;
+        }
+        for (a, b) in self.trans_bits.iter_mut().zip(&other.trans_bits) {
+            *a |= b;
+        }
+    }
+
+    /// Number of states covered across all sites.
+    pub fn states_covered(&self) -> usize {
+        self.state_bits
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of declared transitions covered across all sites.
+    pub fn transitions_covered(&self) -> usize {
+        self.trans_bits
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// How many of `self`'s covered states are not covered in `base`.
+    pub fn new_states_vs(&self, base: &CoverageMap) -> usize {
+        count_new(&self.state_bits, &base.state_bits)
+    }
+
+    /// How many of `self`'s covered transitions are not covered in `base`.
+    pub fn new_transitions_vs(&self, base: &CoverageMap) -> usize {
+        count_new(&self.trans_bits, &base.trans_bits)
+    }
+
+    /// Whether state `state` of site `site` has been covered.
+    pub fn state_covered(&self, site: usize, state: usize) -> bool {
+        let info = &self.layout.sites[site];
+        get_bit(&self.state_bits, info.state_off + state)
+    }
+
+    /// Whether declared transition `t` (index into the site's
+    /// [`CoverageSite::transitions`]) of site `site` has been covered.
+    pub fn transition_covered(&self, site: usize, t: usize) -> bool {
+        let info = &self.layout.sites[site];
+        get_bit(&self.trans_bits, info.trans_off + t)
+    }
+
+    /// `(covered states, covered transitions)` for one site.
+    pub fn site_counts(&self, site: usize) -> (usize, usize) {
+        let info = &self.layout.sites[site];
+        let states = (0..info.states.len())
+            .filter(|&s| get_bit(&self.state_bits, info.state_off + s))
+            .count();
+        let trans = (0..info.transitions.len())
+            .filter(|&t| get_bit(&self.trans_bits, info.trans_off + t))
+            .count();
+        (states, trans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_site_layout() -> Arc<CoverageLayout> {
+        Arc::new(CoverageLayout::new(vec![
+            (
+                2,
+                "mtd:a".into(),
+                CoverageSpace {
+                    states: vec!["Off".into(), "Idle".into(), "Load".into()],
+                    transitions: vec![(0, 1), (1, 2), (2, 1), (1, 0), (1, 1)],
+                    initial: 0,
+                },
+            ),
+            (
+                5,
+                "std:b".into(),
+                CoverageSpace {
+                    states: vec!["S0".into(), "S1".into()],
+                    transitions: vec![(0, 1), (0, 1), (1, 0)],
+                    initial: 0,
+                },
+            ),
+        ]))
+    }
+
+    #[test]
+    fn layout_dedupes_and_drops_self_loops() {
+        let layout = two_site_layout();
+        assert_eq!(layout.total_states(), 5);
+        // (1,1) self-loop dropped; duplicate (0,1) deduped.
+        assert_eq!(layout.sites()[0].transitions.len(), 4);
+        assert_eq!(layout.sites()[1].transitions.len(), 2);
+        assert_eq!(layout.total_transitions(), 6);
+    }
+
+    #[test]
+    fn initial_states_count_as_visited() {
+        let map = CoverageMap::new(two_site_layout());
+        assert_eq!(map.states_covered(), 2);
+        assert_eq!(map.transitions_covered(), 0);
+    }
+
+    #[test]
+    fn observation_marks_states_and_declared_transitions() {
+        let mut map = CoverageMap::new(two_site_layout());
+        map.observe(0, 1); // Off -> Idle: declared
+        map.observe(0, 1); // no change
+        map.observe(0, 2); // Idle -> Load: declared
+        map.observe(1, 1); // S0 -> S1: declared
+        assert_eq!(map.states_covered(), 5);
+        assert_eq!(map.transitions_covered(), 3);
+        assert!(map.state_covered(0, 2));
+        assert!(!map.transition_covered(0, 1)); // (1,0) not taken
+        assert_eq!(map.site_counts(0), (3, 2));
+    }
+
+    #[test]
+    fn undeclared_jumps_mark_the_state_but_no_transition() {
+        let mut map = CoverageMap::new(two_site_layout());
+        map.observe(0, 2); // Off -> Load is not declared
+        assert!(map.state_covered(0, 2));
+        assert_eq!(map.transitions_covered(), 0);
+        // The jump still moves the transition source.
+        map.observe(0, 1); // Load -> Idle: declared
+        assert_eq!(map.transitions_covered(), 1);
+    }
+
+    #[test]
+    fn merge_and_novelty() {
+        let layout = two_site_layout();
+        let mut global = CoverageMap::new(layout.clone());
+        let mut lane = CoverageMap::new(layout);
+        lane.observe(0, 1);
+        lane.observe(1, 1);
+        assert_eq!(lane.new_states_vs(&global), 2);
+        assert_eq!(lane.new_transitions_vs(&global), 2);
+        global.merge(&lane);
+        assert_eq!(lane.new_states_vs(&global), 0);
+        assert_eq!(global.states_covered(), 4);
+        // Reset clears everything back to the initial picture.
+        lane.reset();
+        assert_eq!(lane.states_covered(), 2);
+        assert_eq!(lane.transitions_covered(), 0);
+    }
+}

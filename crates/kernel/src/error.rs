@@ -113,6 +113,14 @@ pub enum KernelError {
         /// Number of per-lane fault plans provided.
         plans: usize,
     },
+    /// A covered batched run received per-lane coverage maps whose count
+    /// does not match the number of stimulus lanes.
+    CoverageLaneArity {
+        /// Number of stimulus lanes.
+        lanes: usize,
+        /// Number of per-lane coverage maps provided.
+        maps: usize,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -167,6 +175,10 @@ impl fmt::Display for KernelError {
             KernelError::FaultLaneArity { lanes, plans } => write!(
                 f,
                 "batched run has {lanes} stimulus lane(s) but {plans} fault plan(s)"
+            ),
+            KernelError::CoverageLaneArity { lanes, maps } => write!(
+                f,
+                "covered batched run has {lanes} stimulus lane(s) but {maps} coverage map(s)"
             ),
         }
     }

@@ -57,6 +57,7 @@
 
 pub mod causality;
 pub mod clock;
+pub mod coverage;
 pub mod error;
 pub mod event;
 pub mod fault;
@@ -70,6 +71,7 @@ pub mod vcd;
 
 pub use causality::{CausalityError, CausalityReport, Schedule};
 pub use clock::{checked_lcm, Clock};
+pub use coverage::{CoverageLayout, CoverageMap, CoverageSite, CoverageSpace};
 pub use error::KernelError;
 pub use event::{Calendar, EngineKind, PlanInfo, PlanRejection};
 pub use fault::{

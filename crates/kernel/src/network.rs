@@ -46,6 +46,7 @@
 use std::collections::BTreeMap;
 
 use crate::causality::{self, Schedule};
+use crate::coverage::{CoverageLayout, CoverageMap};
 use crate::error::KernelError;
 use crate::event::{
     self, Activation, Engine, HeapState, NodeMeta, PlanInfo, PlanRejection, SrcRef,
@@ -1170,6 +1171,32 @@ impl ReadyNetwork {
     ///
     /// Same conditions as [`ReadyNetwork::step_tick`].
     pub fn run(&mut self, stimulus: &[Vec<Message>]) -> Result<Trace, KernelError> {
+        self.run_inner(stimulus, None)
+    }
+
+    /// [`ReadyNetwork::run`] that additionally accumulates discrete-state
+    /// coverage into `coverage` (built over this network's
+    /// [`ReadyNetwork::coverage_layout`]). Every stepped tick observes each
+    /// covered block's state after commit; quiet fast-forward stretches
+    /// step no block and therefore cannot change discrete state, so the
+    /// trace — and the coverage — is identical to an unskipped run.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReadyNetwork::run`].
+    pub fn run_covered(
+        &mut self,
+        stimulus: &[Vec<Message>],
+        coverage: &mut CoverageMap,
+    ) -> Result<Trace, KernelError> {
+        self.run_inner(stimulus, Some(coverage))
+    }
+
+    fn run_inner(
+        &mut self,
+        stimulus: &[Vec<Message>],
+        mut coverage: Option<&mut CoverageMap>,
+    ) -> Result<Trace, KernelError> {
         let mut trace = Trace::new();
         for name in &self.probe_names {
             trace.declare(name.clone());
@@ -1193,9 +1220,27 @@ impl ReadyNetwork {
             }
             let observed = self.step_tick_observed(&stimulus[i])?;
             trace.push_row_indexed(observed)?;
+            if let Some(cov) = coverage.as_deref_mut() {
+                cov.observe_nodes(|node| self.blocks[node].coverage_state());
+            }
             i += 1;
         }
         Ok(trace)
+    }
+
+    /// The discrete-state coverage layout of this compiled plan: one site
+    /// per block exposing a [`Block::coverage_space`], in ascending node
+    /// order. Executors built from the same [`Network`] produce identical
+    /// layouts (node order is insertion order everywhere), which is what
+    /// makes coverage differentially comparable.
+    pub fn coverage_layout(&self) -> CoverageLayout {
+        CoverageLayout::new(
+            self.blocks
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| b.coverage_space().map(|s| (i, b.name().to_string(), s)))
+                .collect(),
+        )
     }
 
     /// Exclusive end of the provably silent stretch starting at the current
@@ -1335,6 +1380,41 @@ impl ReadyNetwork {
         stimuli: &[Vec<Vec<Message>>],
         lane_faults: &[Vec<FaultSpec>],
     ) -> Result<Vec<Trace>, KernelError> {
+        self.run_batch_inner(stimuli, lane_faults, None)
+    }
+
+    /// [`ReadyNetwork::run_batch_with_faults`] that additionally
+    /// accumulates per-lane discrete-state coverage: `coverage[l]` (built
+    /// over [`ReadyNetwork::coverage_layout`]) receives lane `l`'s covered
+    /// states and transitions, identical to what
+    /// [`ReadyNetwork::run_covered`] would collect for that lane alone.
+    ///
+    /// # Errors
+    ///
+    /// In addition to the [`ReadyNetwork::run_batch_with_faults`]
+    /// conditions, fails with [`KernelError::CoverageLaneArity`] when the
+    /// map count does not match the lane count.
+    pub fn run_batch_covered(
+        &self,
+        stimuli: &[Vec<Vec<Message>>],
+        lane_faults: &[Vec<FaultSpec>],
+        coverage: &mut [CoverageMap],
+    ) -> Result<Vec<Trace>, KernelError> {
+        if coverage.len() != stimuli.len() {
+            return Err(KernelError::CoverageLaneArity {
+                lanes: stimuli.len(),
+                maps: coverage.len(),
+            });
+        }
+        self.run_batch_inner(stimuli, lane_faults, Some(coverage))
+    }
+
+    fn run_batch_inner(
+        &self,
+        stimuli: &[Vec<Vec<Message>>],
+        lane_faults: &[Vec<FaultSpec>],
+        coverage: Option<&mut [CoverageMap]>,
+    ) -> Result<Vec<Trace>, KernelError> {
         if !lane_faults.is_empty() && lane_faults.len() != stimuli.len() {
             return Err(KernelError::FaultLaneArity {
                 lanes: stimuli.len(),
@@ -1345,9 +1425,9 @@ impl ReadyNetwork {
         // opted out; parallel mode keeps the `Message`-lane path, whose
         // `(node, lane)` work items are what the workers fan out over.
         if self.vectorize_batch && self.parallel_min_width.is_none() {
-            self.run_batch_typed(stimuli, lane_faults)
+            self.run_batch_typed(stimuli, lane_faults, coverage)
         } else {
-            self.run_batch_messages(stimuli, lane_faults)
+            self.run_batch_messages(stimuli, lane_faults, coverage)
         }
     }
 
@@ -1358,6 +1438,7 @@ impl ReadyNetwork {
         &self,
         stimuli: &[Vec<Vec<Message>>],
         lane_faults: &[Vec<FaultSpec>],
+        mut coverage: Option<&mut [CoverageMap]>,
     ) -> Result<Vec<Trace>, KernelError> {
         // Cache blocking: each lane replicates block state, so very wide
         // sequential batches outgrow the cache and slow down per lane.
@@ -1373,7 +1454,10 @@ impl ReadyNetwork {
                 } else {
                     &lane_faults[ci * LANE_CHUNK..ci * LANE_CHUNK + chunk.len()]
                 };
-                traces.extend(self.run_batch_messages(chunk, faults_chunk)?);
+                let coverage_chunk = coverage
+                    .as_deref_mut()
+                    .map(|c| &mut c[ci * LANE_CHUNK..ci * LANE_CHUNK + chunk.len()]);
+                traces.extend(self.run_batch_messages(chunk, faults_chunk, coverage_chunk)?);
             }
             return Ok(traces);
         }
@@ -1633,6 +1717,18 @@ impl ReadyNetwork {
                 }
                 traces[l].push_row_indexed(&observed)?;
             }
+
+            // Observe each active lane's discrete block state. Lanes that
+            // already finished (and quiet stretches, which never reach
+            // here) stepped no block, so skipping them is exact.
+            if let Some(cov) = coverage.as_deref_mut() {
+                for (l, &len) in lens.iter().enumerate() {
+                    if t >= len {
+                        continue;
+                    }
+                    cov[l].observe_nodes(|node| lane_blocks[node * k + l].coverage_state());
+                }
+            }
             t += 1;
         }
         Ok(traces)
@@ -1653,6 +1749,7 @@ impl ReadyNetwork {
         &self,
         stimuli: &[Vec<Vec<Message>>],
         lane_faults: &[Vec<FaultSpec>],
+        mut coverage: Option<&mut [CoverageMap]>,
     ) -> Result<Vec<Trace>, KernelError> {
         let k = stimuli.len();
         let mut traces: Vec<Trace> = (0..k)
@@ -1711,11 +1808,17 @@ impl ReadyNetwork {
 
         // Classify nodes once per batch: vectorizable nodes get one lane
         // kernel (starting from reset state, per the `lane_kernel`
-        // contract); the rest get K per-lane replicas.
+        // contract); the rest get K per-lane replicas. Covered runs force
+        // coverage sites onto the replica path — per-lane discrete state
+        // must stay readable through `Block::coverage_state`, which a
+        // fused lane kernel does not expose.
         let n = self.blocks.len();
+        let observe_coverage = coverage.is_some();
         let mut kernels: Vec<Option<Box<dyn LaneKernel>>> = (0..n)
             .map(|i| {
-                if self.out_offset[i + 1] - self.out_offset[i] == 1 {
+                if self.out_offset[i + 1] - self.out_offset[i] == 1
+                    && !(observe_coverage && self.blocks[i].coverage_space().is_some())
+                {
                     self.blocks[i].lane_kernel(k)
                 } else {
                     None
@@ -1992,6 +2095,18 @@ impl ReadyNetwork {
                     observed[j] = read_lane(slot, l, &arena, &ext);
                 }
                 traces[l].push_row_indexed(&observed)?;
+            }
+
+            // Observe each active lane's discrete block state. Coverage
+            // sites were forced onto the replica path above, so their
+            // per-lane state is always readable here.
+            if let Some(cov) = coverage.as_deref_mut() {
+                for (l, &is_active) in active.iter().enumerate() {
+                    if !is_active {
+                        continue;
+                    }
+                    cov[l].observe_nodes(|node| fallback[node][l].coverage_state());
+                }
             }
             t += 1;
         }
@@ -2379,6 +2494,48 @@ impl ReferenceExecutor {
         for row in stimulus {
             let observed = self.step_tick(row)?;
             trace.push_row(&observed)?;
+        }
+        Ok(trace)
+    }
+
+    /// The discrete-state coverage layout, identical to
+    /// [`ReadyNetwork::coverage_layout`] of the same network (node index
+    /// is insertion order in both executors).
+    pub fn coverage_layout(&self) -> CoverageLayout {
+        CoverageLayout::new(
+            self.net
+                .nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, node)| {
+                    node.block
+                        .coverage_space()
+                        .map(|s| (i, node.block.name().to_string(), s))
+                })
+                .collect(),
+        )
+    }
+
+    /// [`ReferenceExecutor::run`] accumulating discrete-state coverage —
+    /// the interpretive oracle the compiled covered paths are
+    /// differentially tested against.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReferenceExecutor::run`].
+    pub fn run_covered(
+        &mut self,
+        stimulus: &[Vec<Message>],
+        coverage: &mut CoverageMap,
+    ) -> Result<Trace, KernelError> {
+        let mut trace = Trace::new();
+        for (name, _) in &self.net.probes {
+            trace.declare(name.clone());
+        }
+        for row in stimulus {
+            let observed = self.step_tick(row)?;
+            trace.push_row(&observed)?;
+            coverage.observe_nodes(|node| self.net.nodes[node].block.coverage_state());
         }
         Ok(trace)
     }

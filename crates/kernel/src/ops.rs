@@ -179,6 +179,24 @@ pub trait Block: fmt::Debug {
     fn lane_kernel(&self, _k: usize) -> Option<Box<dyn LaneKernel>> {
         None
     }
+
+    /// The discrete state space this block exposes for coverage
+    /// observation, or `None` for stateless / continuous-state blocks.
+    ///
+    /// Called once per compiled plan when a covered run is requested;
+    /// blocks that return `Some` must keep [`Block::coverage_state`] in the
+    /// declared range at all times. Defaults to `None`.
+    fn coverage_space(&self) -> Option<crate::coverage::CoverageSpace> {
+        None
+    }
+
+    /// The current state index within [`Block::coverage_space`].
+    ///
+    /// Called once per stepped tick per lane on covered runs — must not
+    /// allocate. Only meaningful when `coverage_space` returns `Some`.
+    fn coverage_state(&self) -> usize {
+        0
+    }
 }
 
 /// Implements [`Block::step`] by delegating to [`Block::step_into`] — for

@@ -33,10 +33,25 @@ pub struct SweepStream {
 /// Connection and protocol-level failures (an HTTP error *status* is not
 /// an `Err` — it comes back in [`SweepStream::status`]).
 pub fn post_sweep(addr: SocketAddr, body: &str) -> Result<SweepStream, ServiceError> {
+    post_ndjson(addr, "/sweep", body)
+}
+
+/// Submits an explore request body to `addr` and decodes the streamed
+/// response (header line, generation lines, repro lines, done line).
+///
+/// # Errors
+///
+/// Connection and protocol-level failures (an HTTP error *status* is not
+/// an `Err` — it comes back in [`SweepStream::status`]).
+pub fn post_explore(addr: SocketAddr, body: &str) -> Result<SweepStream, ServiceError> {
+    post_ndjson(addr, "/explore", body)
+}
+
+fn post_ndjson(addr: SocketAddr, path: &str, body: &str) -> Result<SweepStream, ServiceError> {
     let raw = roundtrip(
         addr,
         &format!(
-            "POST /sweep HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
             body.len()
         ),
     )?;

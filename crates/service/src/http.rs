@@ -30,6 +30,7 @@ use automode_core::metrics::LatencyHistogram;
 use automode_sim::report::sim_stats_to_json;
 
 use crate::cache::ModelCache;
+use crate::explore::{execute_explore, ExploreSpec};
 use crate::pool::WorkerPool;
 use crate::sweep::{execute, ExecOpts, SweepSpec};
 use crate::ServiceError;
@@ -88,6 +89,8 @@ struct Shared {
     latency: LatencyHistogram,
     sweeps: AtomicU64,
     failed_sweeps: AtomicU64,
+    explores: AtomicU64,
+    failed_explores: AtomicU64,
     scenarios: AtomicU64,
     oracle_shards: AtomicU64,
     oracle_divergences: AtomicU64,
@@ -120,6 +123,8 @@ pub fn serve(config: ServerConfig) -> std::io::Result<Server> {
         latency: LatencyHistogram::new(),
         sweeps: AtomicU64::new(0),
         failed_sweeps: AtomicU64::new(0),
+        explores: AtomicU64::new(0),
+        failed_explores: AtomicU64::new(0),
         scenarios: AtomicU64::new(0),
         oracle_shards: AtomicU64::new(0),
         oracle_divergences: AtomicU64::new(0),
@@ -397,6 +402,7 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
     };
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/sweep") => handle_sweep(shared, &mut stream, &req.body),
+        ("POST", "/explore") => handle_explore(shared, &mut stream, &req.body),
         ("GET", "/stats") => {
             write_simple(&mut stream, 200, "application/json", &stats_body(shared))
         }
@@ -511,6 +517,65 @@ fn handle_sweep(shared: &Arc<Shared>, stream: &mut TcpStream, body: &str) {
     }
 }
 
+fn handle_explore(shared: &Arc<Shared>, stream: &mut TcpStream, body: &str) {
+    let started = Instant::now();
+    let spec = match crate::json::parse(body)
+        .map_err(ServiceError::BadRequest)
+        .and_then(|doc| ExploreSpec::from_json(&doc))
+    {
+        Ok(s) => s,
+        Err(e) => {
+            service_error_response(stream, &e);
+            return;
+        }
+    };
+    let (sim, key, hit) = match shared
+        .cache
+        .get_or_compile(&spec.model, spec.component.as_deref())
+    {
+        Ok(r) => r,
+        Err(e) => {
+            service_error_response(stream, &ServiceError::Model(e.to_string()));
+            return;
+        }
+    };
+    // Space/monitor construction needs the parsed model; surface those
+    // errors as a plain 400 before committing to the chunked stream.
+    if let Err(e) = spec.parse_model() {
+        service_error_response(stream, &e);
+        return;
+    }
+
+    let head =
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    let result = execute_explore(&spec, &sim, key, hit, &shared.pool, started, &mut |line| {
+        write_chunk(stream, line)
+    });
+    shared.explores.fetch_add(1, Relaxed);
+    match result {
+        Ok(report) => {
+            shared
+                .scenarios
+                .fetch_add(report.scenarios_run() as u64, Relaxed);
+            let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            shared.latency.record(elapsed_us);
+            let _ = stream.write_all(b"0\r\n\r\n");
+            let _ = stream.flush();
+        }
+        Err(ServiceError::Io(_)) => {
+            // Client went away mid-stream; the exploration still ran to
+            // completion so no pool shard was abandoned.
+            shared.failed_explores.fetch_add(1, Relaxed);
+        }
+        Err(_) => {
+            shared.failed_explores.fetch_add(1, Relaxed);
+        }
+    }
+}
+
 fn stats_body(shared: &Shared) -> String {
     let cache = shared.cache.stats();
     let pool = shared.pool.stats();
@@ -539,6 +604,11 @@ fn stats_body(shared: &Shared) -> String {
         .uint(shared.oracle_shards.load(Relaxed));
     w.field("oracle_divergences")
         .uint(shared.oracle_divergences.load(Relaxed));
+    w.end_object();
+    w.field("explores");
+    w.begin_object();
+    w.field("total").uint(shared.explores.load(Relaxed));
+    w.field("failed").uint(shared.failed_explores.load(Relaxed));
     w.end_object();
     w.field("latency_us");
     w.begin_object();

@@ -36,13 +36,15 @@
 
 pub mod cache;
 pub mod client;
+pub mod explore;
 pub mod http;
 pub mod json;
 pub mod pool;
 pub mod sweep;
 
 pub use cache::{CacheStats, ModelCache};
-pub use client::{get, post_sweep, SweepStream};
+pub use client::{get, post_explore, post_sweep, SweepStream};
+pub use explore::{execute_explore, ExploreSpec, PoolRunner};
 pub use http::{serve, Server, ServerConfig};
 pub use json::Json;
 pub use pool::{PoolStats, WorkerPool};

@@ -14,7 +14,7 @@ use automode_core::text::{from_text, to_text};
 use automode_kernel::{Stream, Value};
 use automode_service::json::parse;
 use automode_service::sweep::scenario_line;
-use automode_service::{get, post_sweep, serve, ServerConfig};
+use automode_service::{get, post_explore, post_sweep, serve, ServerConfig};
 use automode_sim::{stimulus, CompiledSim};
 
 const TICKS: usize = 30;
@@ -266,6 +266,193 @@ fn malformed_and_oversized_requests_are_rejected() {
     assert_eq!(get(addr, "/nope").unwrap().0, 404);
     let (code, body) = get(addr, "/healthz").unwrap();
     assert_eq!((code, body.as_str()), (200, "ok\n"));
+    server.shutdown();
+}
+
+#[test]
+fn explore_streams_generations_repros_and_done() {
+    let server = serve(small_config()).unwrap();
+    let addr = server.addr();
+    let engine_text = to_text(&automode_engine::reengineer_engine().unwrap().model);
+    let body = sweep_body(
+        &engine_text,
+        r#""generations": 4, "population": 6, "ticks": 8, "seed": 0, "lanes": 2,
+           "max_repros": 4,
+           "ranges": [{"port": "rpm", "lo": 0, "hi": 7000},
+                      {"port": "throttle", "lo": 0, "hi": 1},
+                      {"port": "o2", "lo": 0, "hi": 2}]"#,
+    );
+    let resp = post_explore(addr, &body).unwrap();
+    assert_eq!(resp.status, 200, "{:?}", resp.lines.first());
+    assert!(resp.complete, "truncated explore stream");
+
+    // Header line: totals for the engine's coverage space, cache miss.
+    let header = parse(&resp.lines[0]).unwrap();
+    let ex = header.get("explore").expect("header line");
+    assert_eq!(ex.get("cache").unwrap().as_str(), Some("miss"));
+    assert_eq!(ex.get("generations").unwrap().as_u64(), Some(4));
+    let total_t = ex.get("total_transitions").unwrap().as_u64().unwrap();
+    assert!(total_t > 0, "engine model declares transitions");
+
+    // One line per generation, cumulative coverage monotone.
+    let gens: Vec<_> = resp
+        .lines
+        .iter()
+        .filter_map(|l| parse(l).ok())
+        .filter(|j| j.get("generation").is_some())
+        .collect();
+    assert_eq!(gens.len(), 4);
+    let mut prev = (0, 0);
+    for (i, g) in gens.iter().enumerate() {
+        let g = g.get("generation").unwrap();
+        assert_eq!(g.get("index").unwrap().as_u64(), Some(i as u64));
+        let s = g.get("states_covered").unwrap().as_u64().unwrap();
+        let t = g.get("transitions_covered").unwrap().as_u64().unwrap();
+        assert!(s >= prev.0 && t >= prev.1, "coverage regressed");
+        prev = (s, t);
+    }
+    assert!(prev.1 > 0, "exploration covered no transitions");
+
+    // Every repro line carries a replayable scenario document.
+    for line in &resp.lines {
+        let Ok(j) = parse(line) else { continue };
+        let Some(r) = j.get("repro") else { continue };
+        assert!(r.get("shrunk").unwrap().as_bool().unwrap());
+        assert!(r.get("deterministic").unwrap().as_bool().unwrap());
+        let scenario_json = r.get("scenario").unwrap().as_str().unwrap();
+        let sc = automode_explore::Scenario::from_json(scenario_json).expect("replayable repro");
+        assert_eq!(sc.ticks as u64, r.get("ticks").unwrap().as_u64().unwrap());
+    }
+
+    // Done line accounts for the full budget.
+    let done = parse(resp.lines.last().unwrap()).unwrap();
+    let done = done.get("done").expect("done line");
+    assert_eq!(done.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(done.get("scenarios").unwrap().as_u64(), Some(24));
+
+    // Same model resubmitted → compiled-model cache hit, and the explore
+    // stream is deterministic line-for-line (elapsed_us differs).
+    let again = post_explore(addr, &body).unwrap();
+    let header = parse(&again.lines[0]).unwrap();
+    assert_eq!(
+        header
+            .get("explore")
+            .unwrap()
+            .get("cache")
+            .unwrap()
+            .as_str(),
+        Some("hit")
+    );
+    let n = resp.lines.len();
+    assert_eq!(again.lines[1..n - 1], resp.lines[1..n - 1]);
+
+    // Bad budgets are rejected before streaming starts.
+    let bad = sweep_body(&engine_text, r#""generations": 0"#);
+    assert_eq!(post_explore(addr, &bad).unwrap().status, 400);
+    let huge = sweep_body(&engine_text, r#""population": 999999"#);
+    assert_eq!(post_explore(addr, &huge).unwrap().status, 413);
+
+    let (_, stats) = get(addr, "/stats").unwrap();
+    let stats = parse(&stats).unwrap();
+    let explores = stats.get("explores").unwrap();
+    assert_eq!(explores.get("total").unwrap().as_u64(), Some(2));
+    assert_eq!(explores.get("failed").unwrap().as_u64(), Some(0));
+    server.shutdown();
+}
+
+/// A client that vanishes mid-stream must not poison the service: the
+/// reorder buffer drains, no pool shard leaks, and the next sweep on the
+/// same server completes in full.
+#[test]
+fn client_disconnect_mid_stream_recovers() {
+    use std::io::{Read, Write};
+
+    let server = serve(ServerConfig {
+        workers: 2,
+        conn_threads: 2,
+        oracle_every: 0,
+        queue_cap: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let fx = &fixtures()[0];
+    let count = 400usize;
+    let lanes = 4usize;
+    // trace + long runs → a response far larger than any socket buffer,
+    // so the server's writes are guaranteed to hit the dead connection.
+    let body = sweep_body(
+        &fx.text,
+        &format!(
+            r#""count": {count}, "ticks": 200, "trace": true, "lanes": {lanes}, "inputs": {}"#,
+            fx.inputs_json
+        ),
+    );
+
+    // Hand-rolled client: read just the start of the stream, then drop
+    // the socket while shards are still being produced.
+    {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        let req = format!(
+            "POST /sweep HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        s.write_all(req.as_bytes()).unwrap();
+        let mut first = [0u8; 128];
+        let n = s.read(&mut first).unwrap();
+        assert!(n > 0, "no response at all");
+        assert!(std::str::from_utf8(&first[..n])
+            .unwrap()
+            .starts_with("HTTP/1.1 200"));
+        // Dropping here closes with unread data in flight → RST; the
+        // server's next write fails and its abort path runs.
+    }
+
+    // Immediately afterwards a well-behaved sweep of the same spec must
+    // stream to completion — the pool and per-connection reorder buffer
+    // recovered.
+    let resp = post_sweep(addr, &body).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.complete, "stream truncated after a peer disconnect");
+    assert_eq!(resp.lines.len(), count + 2);
+    let done = parse(resp.lines.last().unwrap()).unwrap();
+    assert_eq!(
+        done.get("done").unwrap().get("status").unwrap().as_str(),
+        Some("ok")
+    );
+
+    // The aborted connection's handler keeps draining its shards in the
+    // background; poll until both sweeps are accounted for.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let (_, stats) = get(addr, "/stats").unwrap();
+        let stats = parse(&stats).unwrap();
+        let sweeps = stats.get("sweeps").unwrap();
+        if sweeps.get("total").unwrap().as_u64() == Some(2) {
+            // Exactly the aborted sweep is failed. The abort path stops
+            // *submitting* new shards but drains the in-flight window, so
+            // the pool executed the complete sweep's shards plus a few
+            // from the aborted one — and nothing is left queued.
+            assert_eq!(sweeps.get("failed").unwrap().as_u64(), Some(1));
+            let executed = stats
+                .get("pool")
+                .unwrap()
+                .get("executed")
+                .unwrap()
+                .as_u64()
+                .unwrap();
+            assert!(
+                executed > (count as u64).div_ceil(lanes as u64),
+                "pool executed only {executed} shards"
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "aborted sweep never drained"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
     server.shutdown();
 }
 

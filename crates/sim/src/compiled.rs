@@ -12,10 +12,14 @@
 use std::collections::HashMap;
 
 use std::fmt;
+use std::sync::Arc;
 
 use automode_core::model::{ComponentId, Model};
 use automode_kernel::network::rows_padded_with_absence;
-use automode_kernel::{ContractMonitor, FaultKind, FaultSpec, PlanInfo, RobustnessReport, Stream};
+use automode_kernel::{
+    ContractMonitor, CoverageLayout, CoverageMap, FaultKind, FaultSpec, PlanInfo, RobustnessReport,
+    Stream,
+};
 
 use crate::elaborate::elaborate;
 use crate::error::SimError;
@@ -383,6 +387,83 @@ impl CompiledSim {
                 }
             })
             .collect())
+    }
+
+    /// The discrete-state coverage layout of the compiled model: one site
+    /// per MTD (modes and declared mode transitions) and STD (states and
+    /// declared transitions) block, shared by every coverage map this
+    /// handle produces.
+    pub fn coverage_layout(&self) -> Arc<CoverageLayout> {
+        Arc::new(self.ready.coverage_layout())
+    }
+
+    /// [`CompiledSim::run`] that also accumulates mode/state coverage.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledSim::run`].
+    pub fn run_covered(
+        &mut self,
+        inputs: &[(&str, Stream)],
+        ticks: usize,
+    ) -> Result<(SimRun, CoverageMap), SimError> {
+        let ordered = self.ordered(inputs)?;
+        let stim = rows_padded_with_absence(&ordered, ticks);
+        self.ready.reset();
+        let mut coverage = CoverageMap::new(self.coverage_layout());
+        let mut trace = self.ready.run_covered(&stim, &mut coverage)?;
+        Self::echo_inputs(&mut trace, inputs, ticks);
+        Ok((SimRun { trace, ticks }, coverage))
+    }
+
+    /// [`CompiledSim::run_batch`] that also accumulates one coverage map
+    /// per lane (all sharing one layout `Arc`), each identical to what
+    /// [`CompiledSim::run_covered`] would collect for that scenario alone.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledSim::run_batch`].
+    pub fn run_batch_covered(
+        &self,
+        scenarios: &[BatchScenario<'_>],
+    ) -> Result<(Vec<SimRun>, Vec<CoverageMap>), SimError> {
+        let mut stimuli = Vec::with_capacity(scenarios.len());
+        for sc in scenarios {
+            let ordered = self.ordered(sc.inputs)?;
+            stimuli.push(rows_padded_with_absence(&ordered, sc.ticks));
+        }
+        let layout = self.coverage_layout();
+        let mut coverage: Vec<CoverageMap> = (0..scenarios.len())
+            .map(|_| CoverageMap::new(layout.clone()))
+            .collect();
+        let lane_faults: Vec<Vec<FaultSpec>> = if scenarios.iter().any(|sc| !sc.faults.is_empty()) {
+            scenarios
+                .iter()
+                .map(|sc| {
+                    sc.faults
+                        .iter()
+                        .map(|(name, kind)| self.fault_spec(name, kind.clone()))
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let traces = self
+            .ready
+            .run_batch_covered(&stimuli, &lane_faults, &mut coverage)?;
+        let runs = traces
+            .into_iter()
+            .zip(scenarios)
+            .map(|(mut trace, sc)| {
+                Self::echo_inputs(&mut trace, sc.inputs, sc.ticks);
+                SimRun {
+                    trace,
+                    ticks: sc.ticks,
+                }
+            })
+            .collect();
+        Ok((runs, coverage))
     }
 }
 

@@ -354,6 +354,22 @@ impl Block for MtdBlock {
     fn clone_block(&self) -> Box<dyn Block + Send + Sync> {
         Box::new(self.clone())
     }
+    fn coverage_space(&self) -> Option<automode_kernel::CoverageSpace> {
+        let mut transitions = Vec::new();
+        for (mode, trigger_list) in self.triggers.iter().enumerate() {
+            for (target, _) in trigger_list {
+                transitions.push((mode, *target));
+            }
+        }
+        Some(automode_kernel::CoverageSpace {
+            states: self.mode_names.to_vec(),
+            transitions,
+            initial: self.initial,
+        })
+    }
+    fn coverage_state(&self) -> usize {
+        self.current
+    }
 }
 
 /// The STD interpreter block: a flat extended state machine with local
@@ -451,6 +467,21 @@ impl Block for StdBlock {
     }
     fn clone_block(&self) -> Box<dyn Block + Send + Sync> {
         Box::new(self.clone())
+    }
+    fn coverage_space(&self) -> Option<automode_kernel::CoverageSpace> {
+        Some(automode_kernel::CoverageSpace {
+            states: self.machine.states.clone(),
+            transitions: self
+                .machine
+                .transitions
+                .iter()
+                .map(|t| (t.from, t.to))
+                .collect(),
+            initial: self.machine.initial,
+        })
+    }
+    fn coverage_state(&self) -> usize {
+        self.state
     }
 }
 

@@ -39,8 +39,8 @@ pub mod simulate;
 pub mod stimulus;
 
 pub use automode_kernel::{
-    ChannelContract, ContractMonitor, Corruptor, FaultKind, FaultSpec, FaultTarget,
-    PresenceViolation, RobustnessReport,
+    ChannelContract, ContractMonitor, Corruptor, CoverageLayout, CoverageMap, CoverageSite,
+    CoverageSpace, FaultKind, FaultSpec, FaultTarget, PresenceViolation, RobustnessReport,
 };
 pub use ccd_sim::elaborate_ccd;
 pub use compiled::{BatchScenario, CompiledSim, SimStats};

@@ -518,6 +518,142 @@ fn split_flags(args: &[String]) -> Result<(Vec<&String>, bool), CliError> {
     Ok((pos, explain))
 }
 
+/// The explorer's search space for a built-in model: port ranges wide
+/// enough to reach every mode regime the model distinguishes.
+fn explore_space(
+    m: &Model,
+    id: ComponentId,
+    model_name: &str,
+    ticks: usize,
+) -> automode_explore::ScenarioSpace {
+    let space = automode_explore::ScenarioSpace::from_component(m, id, ticks);
+    match model_name {
+        "engine" | "engine_modes" | "sequencer" => space
+            .with_range("rpm", 0.0, 7000.0)
+            .with_range("throttle", 0.0, 1.0)
+            .with_range("o2", 0.0, 2.0),
+        "momentum" => space
+            .with_range("v_des", 0.0, 30.0)
+            .with_range("v_act", 0.0, 30.0),
+        "door_lock" => space.with_range("FZG_V", 0.0, 15.0),
+        _ => space,
+    }
+}
+
+/// The contract monitor the explorer scores against. Models whose outputs
+/// are unconditionally computed every tick get the strict exact-presence
+/// monitor; the start sequencer's event-style commands keep the (empty)
+/// inferred monitor — coverage search still applies, violation search
+/// does not.
+fn explore_monitor(
+    m: &Model,
+    id: ComponentId,
+    model_name: &str,
+    sim: &automode_sim::CompiledSim,
+) -> automode_sim::ContractMonitor {
+    match model_name {
+        "sequencer" => sim.monitor(),
+        _ => automode_explore::exact_output_monitor(m, id),
+    }
+}
+
+fn repro_file_stem(signature: &str) -> String {
+    signature
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// `automode explore <model> [generations] [population] [seed]` — run the
+/// coverage-guided scenario explorer over the model's fault × stimulus
+/// space and report the coverage curve, every shrunk violation repro, and
+/// the pure-random baseline at the identical scenario budget and seed.
+/// With `--repros <dir>`, each distinct violation is written as a
+/// replayable `<signature>.json` scenario plus a `<signature>.trace`
+/// golden trace.
+///
+/// # Errors
+///
+/// Unknown models, compile failures, unwritable repro directories.
+pub fn cmd_explore(
+    model_name: &str,
+    generations: usize,
+    population: usize,
+    seed: u64,
+    repros_dir: Option<&str>,
+) -> Result<String, CliError> {
+    use automode_explore::{explore, DirectRunner, ExploreConfig, Shrinker};
+    use std::sync::Arc;
+
+    const TICKS: usize = 8;
+    let (m, id) = build_model(model_name)?;
+    let sim = Arc::new(automode_sim::CompiledSim::new(&m, id)?);
+    let monitor = explore_monitor(&m, id, model_name, &sim);
+    let runner = DirectRunner::new(sim.clone()).with_monitor(monitor.clone());
+    let shrinker = Shrinker::new(&sim).with_monitor(monitor);
+    let space = explore_space(&m, id, model_name, TICKS);
+
+    let cfg = ExploreConfig {
+        seed,
+        generations,
+        population,
+        guided: true,
+        max_repros: 8,
+    };
+    let report = explore(&runner, Some(&shrinker), &space, &cfg, |_| {});
+    let baseline = explore(
+        &runner,
+        None,
+        &space,
+        &ExploreConfig {
+            guided: false,
+            max_repros: 0,
+            ..cfg
+        },
+        |_| {},
+    );
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "explore {model_name}: {generations} generation(s) x {population} scenario(s), \
+         {TICKS} tick(s), seed {seed}"
+    );
+    out.push_str(&report.render());
+    let (bs, bt) = baseline.final_coverage();
+    let (gs, gt) = report.final_coverage();
+    let _ = writeln!(
+        out,
+        "baseline (pure random, same budget): {bs}/{} states, {bt}/{} transitions",
+        baseline.total_states, baseline.total_transitions
+    );
+    let _ = writeln!(
+        out,
+        "guided advantage: {:+} state(s), {:+} transition(s)",
+        gs as i64 - bs as i64,
+        gt as i64 - bt as i64
+    );
+
+    if let Some(dir) = repros_dir {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError(format!("cannot create {}: {e}", dir.display())))?;
+        for r in &report.repros {
+            let stem = repro_file_stem(&r.signature);
+            let scenario_path = dir.join(format!("{stem}.json"));
+            std::fs::write(&scenario_path, r.scenario.to_json())
+                .map_err(|e| CliError(format!("cannot write {}: {e}", scenario_path.display())))?;
+            if !r.trace_text.is_empty() {
+                let trace_path = dir.join(format!("{stem}.trace"));
+                std::fs::write(&trace_path, &r.trace_text)
+                    .map_err(|e| CliError(format!("cannot write {}: {e}", trace_path.display())))?;
+            }
+            let _ = writeln!(out, "wrote {}", scenario_path.display());
+        }
+    }
+    Ok(out)
+}
+
 /// `automode sweep <model> [count] [ticks]` — loopback smoke run of the
 /// scenario-sweep service: start a server on an ephemeral port, submit
 /// the named built-in model as a sweep over real HTTP, stream the
@@ -673,12 +809,17 @@ pub fn cmd_serve_to<W: std::io::Write>(addr: &str, out: &mut W) -> Result<(), Cl
 /// Returns usage or command errors for the binary to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage =
-        "usage: automode <list|validate|rules|simulate|sweep|serve|dot|export|reengineer|deploy|cosim> [args]\n\
+        "usage: automode <list|validate|rules|simulate|explore|sweep|serve|dot|export|reengineer|deploy|cosim> [args]\n\
                  \n  list                      list built-in models\
                  \n  validate <model> [level]  check FAA/FDA conditions (default fda)\
                  \n  rules <model>             FAA design-rule findings\
                  \n  simulate <model> [ticks]  run with a default stimulus (default 20)\
                  \n                            [--explain-plan] print the execution plan\
+                 \n  explore <model> [gens] [pop] [seed]\
+                 \n                            coverage-guided exploration of the fault x stimulus\
+                 \n                            space (default 6 generations x 4 scenarios, seed 0)\
+                 \n                            with shrunk violation repros and a pure-random\
+                 \n                            baseline; [--repros <dir>] write repro .json + .trace\
                  \n  sweep <model> [n] [ticks] loopback smoke run of the sweep service:\
                  \n                            n scenarios (default 64) through the compiled-model\
                  \n                            cache + work-stealing batch pool (default 60 ticks)\
@@ -738,6 +879,45 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| CliError(format!("bad tick count: {e}")))?
                 .unwrap_or(20);
             cmd_vcd(model, ticks)
+        }
+        Some("explore") => {
+            // Positional args plus the one `--repros <dir>` flag.
+            let mut pos: Vec<&String> = Vec::new();
+            let mut repros = None;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--repros" {
+                    repros = Some(
+                        rest.next()
+                            .ok_or_else(|| CliError("--repros needs a directory".into()))?
+                            .as_str(),
+                    );
+                } else if a.starts_with("--") {
+                    return Err(CliError(format!("unknown flag `{a}`")));
+                } else {
+                    pos.push(a);
+                }
+            }
+            let model = pos.first().ok_or_else(|| CliError(usage.into()))?;
+            let gens = pos
+                .get(1)
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| CliError(format!("bad generation count: {e}")))?
+                .unwrap_or(6);
+            let pop = pos
+                .get(2)
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| CliError(format!("bad population size: {e}")))?
+                .unwrap_or(4);
+            let seed = pos
+                .get(3)
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| CliError(format!("bad seed: {e}")))?
+                .unwrap_or(0);
+            cmd_explore(model, gens, pop, seed, repros)
         }
         Some("sweep") => {
             let model = args.get(1).ok_or_else(|| CliError(usage.into()))?;
@@ -886,6 +1066,80 @@ mod tests {
         let out = run(&["cosim".into(), "bus-load".into(), "120".into()]).unwrap();
         assert!(out.contains("babbling"), "{out}");
         assert!(run(&["cosim".into(), "nominal".into(), "abc".into()]).is_err());
+    }
+
+    #[test]
+    fn explore_engine_beats_random_baseline_at_default_budget() {
+        // The CI gate: the default budget and seed pin a configuration
+        // where guided search strictly beats the random baseline on
+        // transition coverage of the reengineered engine.
+        let out = run(&["explore".into(), "engine".into()]).unwrap();
+        assert!(out.contains("coverage:"), "{out}");
+        let adv = out
+            .lines()
+            .find(|l| l.starts_with("guided advantage:"))
+            .unwrap_or_else(|| panic!("no advantage line:\n{out}"));
+        assert!(
+            adv.contains("+2 transition(s)"),
+            "expected the pinned +2 transition margin: {adv}"
+        );
+    }
+
+    #[test]
+    fn explore_writes_replayable_repro_files() {
+        let dir = std::env::temp_dir().join("automode_cli_explore_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&[
+            "explore".into(),
+            "engine".into(),
+            "6".into(),
+            "16".into(),
+            "5".into(),
+            "--repros".into(),
+            dir.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(out.contains("repro contract:"), "{out}");
+        assert!(out.contains("deterministic"), "{out}");
+        let mut wrote_scenario = false;
+        let mut wrote_trace = false;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            match path.extension().and_then(|e| e.to_str()) {
+                Some("json") => {
+                    // Every repro file must parse back to a scenario.
+                    let text = std::fs::read_to_string(&path).unwrap();
+                    automode_explore::Scenario::from_json(&text)
+                        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+                    wrote_scenario = true;
+                }
+                Some("trace") => wrote_trace = true,
+                _ => {}
+            }
+        }
+        assert!(wrote_scenario, "no .json repro files written");
+        assert!(wrote_trace, "no .trace golden traces written");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explore_rejects_bad_arguments() {
+        assert!(run(&["explore".into()]).is_err());
+        assert!(run(&["explore".into(), "nope".into()]).is_err());
+        assert!(run(&["explore".into(), "engine".into(), "abc".into()]).is_err());
+        assert!(run(&["explore".into(), "engine".into(), "--bogus".into()]).is_err());
+        assert!(run(&["explore".into(), "engine".into(), "--repros".into()]).is_err());
+    }
+
+    #[test]
+    fn explore_covers_every_builtin_model() {
+        // Exploration must run on all built-ins, including those with no
+        // coverage sites (door_lock) and event-style outputs (sequencer).
+        for (name, _) in MODELS {
+            let out = run(&["explore".into(), (*name).into(), "2".into(), "4".into()])
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(out.contains("coverage:"), "{name}:\n{out}");
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod cli;
 pub use automode_ascet as ascet;
 pub use automode_core as core;
 pub use automode_engine as engine;
+pub use automode_explore as explore;
 pub use automode_kernel as kernel;
 pub use automode_lang as lang;
 pub use automode_platform as platform;
